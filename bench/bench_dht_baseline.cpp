@@ -1,0 +1,107 @@
+// A2 — hard vs probabilistic guarantees: the witness scheme against the
+// DHT spent-coin database (WhoPay / Hoepman, paper §2).
+//
+// For each fraction f of compromised peers, an attacker double-spends 1000
+// coins.  The DHT baseline accepts a double-spend whenever every replica
+// that should remember the coin is compromised (and optionally when a
+// malicious hop derails the lookup).  The witness scheme's acceptance
+// count is measured with the real protocol — and is structurally zero:
+// cheating witnesses don't let the attacker win, they shift liability to
+// the witness's security deposit (the merchant is still paid).
+
+#include <cstdio>
+
+#include "baseline/dht_registry.h"
+#include "bench_util.h"
+#include "crypto/chacha.h"
+#include "ecash/deployment.h"
+
+using namespace p2pcash;
+
+namespace {
+
+int dht_accepted(double fraction, std::size_t replicas, bool misroute,
+                 int coins) {
+  crypto::ChaChaRng rng("a2-dht-" + std::to_string(fraction) +
+                        std::to_string(replicas) + std::to_string(misroute));
+  baseline::DhtSpentRegistry dht({.nodes = 128,
+                                  .replicas = replicas,
+                                  .malicious_fraction = fraction,
+                                  .malicious_misroute = misroute},
+                                 rng);
+  int accepted = 0;
+  for (int i = 0; i < coins; ++i) {
+    auto coin = bn::random_bits(rng, overlay::kIdBits);
+    (void)dht.check_and_record(coin);                       // first spend
+    if (!dht.check_and_record(coin).seen_before) ++accepted;  // double spend
+  }
+  return accepted;
+}
+
+/// Real witness-scheme run: `coins` double-spend attempts with fraction f
+/// of merchants running *faulty* witnesses that sign everything.
+struct WitnessResult {
+  int services_stolen = 0;   // double services obtained AND unpaid-for
+  int merchant_losses = 0;   // merchants left uncompensated
+};
+WitnessResult witness_accepted(double fraction, int coins) {
+  const auto& grp = group::SchnorrGroup::test_256();
+  ecash::Deployment dep(grp, 16, /*seed=*/31337);
+  auto wallet = dep.make_wallet();
+  crypto::ChaChaRng rng("a2-wit-" + std::to_string(fraction));
+  auto ids = dep.merchant_ids();
+  // Compromise a fraction of witnesses.
+  for (const auto& id : ids) {
+    double u = static_cast<double>(rng.next_u64() >> 11) * 0x1.0p-53;
+    if (u < fraction) dep.node(id).witness->set_faulty(true);
+  }
+  WitnessResult result;
+  for (int i = 0; i < coins; ++i) {
+    auto coin = dep.withdraw(*wallet, 100, 1000 + i);
+    if (!coin) continue;
+    auto first = dep.pay(*wallet, coin.value(), ids[i % ids.size()], 2000 + i);
+    auto second =
+        dep.pay(*wallet, coin.value(), ids[(i + 7) % ids.size()], 2100 + i);
+    if (first.accepted && second.accepted) ++result.services_stolen;
+  }
+  // Deposit everything; count merchants left unpaid.
+  for (const auto& id : ids) (void)dep.deposit_all(id, 50'000);
+  // Every accepted payment should have been credited (possibly from the
+  // witness deposit).  Count shortfalls.
+  std::int64_t credited = 0;
+  for (const auto& id : ids) credited += dep.broker().account(id)->balance;
+  std::int64_t owed = 0;
+  for (const auto& id : ids)
+    owed += 100 * static_cast<std::int64_t>(
+                      dep.node(id).merchant->services_delivered());
+  result.merchant_losses = static_cast<int>((owed - credited) / 100);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const int kCoins = 1000;
+  bench::header("A2", "double-spends accepted per 1000 attempts vs fraction "
+                      "of compromised peers");
+  std::printf("  %-10s | %-12s | %-12s | %-14s | %-20s\n", "f malicious",
+              "DHT r=1", "DHT r=3", "DHT r=3+route", "witness scheme");
+  std::printf("  -----------|--------------|--------------|----------------|---------------------\n");
+  for (double f : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    int d1 = dht_accepted(f, 1, false, kCoins);
+    int d3 = dht_accepted(f, 3, false, kCoins);
+    int d3r = dht_accepted(f, 3, true, kCoins);
+    auto wit = witness_accepted(f, 100);  // real crypto: fewer, scaled
+    std::printf("  %9.2f  | %12d | %12d | %14d | %3d services stolen,"
+                " %d merchants unpaid\n",
+                f, d1, d3, d3r, wit.services_stolen, wit.merchant_losses);
+  }
+  bench::note("");
+  bench::note("(witness column runs the full protocol on 100 coins/point)");
+  bench::note("shape matches §2's argument: the DHT database degrades as");
+  bench::note("~f^r (worse with routing attacks), while the witness scheme");
+  bench::note("lets services be double-obtained only through witnesses who");
+  bench::note("then pay for them — merchants never lose, so the guarantee");
+  bench::note("is economic-hard, not probabilistic.");
+  return 0;
+}

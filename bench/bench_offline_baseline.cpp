@@ -1,0 +1,59 @@
+// A4 — the off-line detect-at-deposit baseline (Brands / Chaum-Fiat-Naor):
+// how much fraud a double-spender commits before the first deposit lands,
+// as a function of merchant deposit delay.  Uses real coins, real NIZK
+// transcripts, real extraction — only the witness is bypassed.
+//
+// This is the paper's core motivation: without real-time detection,
+// "the danger of large groups doing concurrent double-spending using the
+// same coin is non-trivial", and someone must eat the loss — which is why
+// those schemes need client accounts and security deposits.
+
+#include <cstdio>
+
+#include "baseline/offline_detection.h"
+#include "bench_util.h"
+#include "crypto/chacha.h"
+
+using namespace p2pcash;
+using baseline::OfflineDetection;
+
+int main() {
+  const auto& grp = group::SchnorrGroup::test_512();
+  bench::header("A4", "off-line detection: fraud per coin vs deposit delay "
+                      "(attacker spends 1 coin/s at up to 200 merchants)");
+  std::printf("  %-18s | %-18s | %-16s | %s\n", "deposit delay",
+              "fraudulent spends", "detection delay", "secrets extracted");
+  std::printf("  -------------------|--------------------|------------------|------------------\n");
+  struct DelayCase {
+    const char* label;
+    double ms;
+  };
+  for (auto [label, ms] : {DelayCase{"5 s", 5'000.0},
+                           DelayCase{"30 s", 30'000.0},
+                           DelayCase{"5 min", 300'000.0},
+                           DelayCase{"1 hour", 3'600'000.0},
+                           DelayCase{"1 day", 86'400'000.0}}) {
+    crypto::ChaChaRng rng(std::string("a4-") + label);
+    OfflineDetection::Options opt;
+    opt.deposit_interval_ms = ms;
+    opt.spend_rate_per_s = 1.0;
+    opt.merchants = 200;
+    auto stats = OfflineDetection::simulate(grp, opt, rng);
+    char delay[32];
+    if (stats.detected_at_deposit) {
+      std::snprintf(delay, sizeof delay, "%13.0f ms", stats.detection_delay_ms);
+    } else {
+      std::snprintf(delay, sizeof delay, "%16s", "after attack");
+    }
+    std::printf("  %-18s | %14llu     | %s | %s\n", label,
+                static_cast<unsigned long long>(stats.fraudulent_spends),
+                delay,
+                stats.secrets_extracted ? "yes" : "n/a (never two deposits)");
+  }
+  bench::note("");
+  bench::note("every row's fraud (minus the one legitimate spend) is pure");
+  bench::note("loss that some party must cover.  The witness scheme holds");
+  bench::note("this at zero regardless of deposit cadence (doublespend_test,");
+  bench::note("bench A2) — its detection delay is one witness RTT.");
+  return 0;
+}

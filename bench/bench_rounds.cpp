@@ -1,0 +1,78 @@
+// R — protocol round counts (§7 complexity analysis): "withdrawal and
+// renewal ... two rounds of message exchange", "payment requires 3 rounds
+// (2 for payment, and 1 for commitment)", "deposit ... one message".
+//
+// Measured by counting actual messages on the simulated network.
+
+#include <cstdio>
+
+#include "actors/world.h"
+#include "bench_util.h"
+
+using namespace p2pcash;
+using namespace p2pcash::actors;
+
+int main() {
+  const auto& grp = group::SchnorrGroup::test_512();
+  SimWorld::Options opt;
+  opt.merchants = 6;
+  opt.seed = 9;
+  opt.cost = simnet::free_cost();
+  SimWorld world(grp, opt);
+  auto& client = world.add_client();
+  const simnet::NodeId client_node = 1 + opt.merchants;
+
+  bench::header("R", "message rounds per protocol (measured on the wire)");
+
+  auto total_messages = [&](auto&& op) {
+    std::uint64_t before = 0, after = 0;
+    for (simnet::NodeId n = 0; n <= client_node; ++n)
+      before += world.net().messages_sent(n);
+    op();
+    world.sim().run();
+    for (simnet::NodeId n = 0; n <= client_node; ++n)
+      after += world.net().messages_sent(n);
+    return after - before;
+  };
+
+  std::optional<ecash::WalletCoin> coin;
+  auto withdrawal_msgs = total_messages([&] {
+    client.withdraw(100, [&](ecash::Outcome<ecash::WalletCoin> c) {
+      if (c) coin = std::move(c).value();
+    });
+  });
+  std::printf("  withdrawal : %2llu messages = %llu round trips (paper: 2 rounds)\n",
+              (unsigned long long)withdrawal_msgs,
+              (unsigned long long)withdrawal_msgs / 2);
+
+  ecash::MerchantId target;
+  for (const auto& id : world.merchant_ids()) {
+    if (coin && id != coin->coin.witnesses[0].merchant) {
+      target = id;
+      break;
+    }
+  }
+  auto payment_msgs = total_messages([&] {
+    client.pay(*coin, target, [](ClientActor::PayResult) {});
+  });
+  std::printf("  payment    : %2llu messages = %llu round trips (paper: 3 rounds:"
+              " 1 commit + 2 payment)\n",
+              (unsigned long long)payment_msgs,
+              (unsigned long long)payment_msgs / 2);
+
+  auto deposit_msgs = total_messages([&] {
+    auto queue = world.merchant(target).drain_deposit_queue();
+    wire::Writer w;
+    queue.front().encode(w);
+    world.net().send(simnet::Message{world.merchant_node(target),
+                                     world.directory().broker,
+                                     "deposit.submit", w.take()});
+  });
+  std::printf("  deposit    : %2llu message(s) one-way + receipt (paper: "
+              "one-sided, 1 message)\n",
+              (unsigned long long)deposit_msgs - 1);
+  bench::note("");
+  bench::note("note: our broker acks deposits with a receipt; the paper's");
+  bench::note("deposit is fire-and-forget. The merchant-side cost is 1 send.");
+  return 0;
+}

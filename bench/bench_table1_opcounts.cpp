@@ -1,0 +1,237 @@
+// T1 / T1b — regenerates Table 1: "Number of cryptographic operations"
+// per protocol and role (Exp / Hash / Sig / Ver), measured by running the
+// real protocols with the metrics layer attached, side by side with the
+// paper's reported numbers.  Also prints the §7 double-spending deltas.
+//
+// Run on the production-size group (1024-bit p, 160-bit q) — op counts are
+// size-independent, but this proves the full-size path executes.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "ecash/deployment.h"
+#include "metrics/counters.h"
+
+using namespace p2pcash;
+using namespace p2pcash::ecash;
+using metrics::OpCounters;
+using metrics::ScopedOpCounting;
+
+namespace {
+
+struct Row {
+  const char* protocol;
+  const char* role;
+  OpCounters measured;
+  OpCounters paper;
+};
+
+void print_rows(const std::vector<Row>& rows) {
+  std::printf("  %-12s %-9s | %13s | %13s | %s\n", "Protocol", "Role",
+              "measured", "paper", "match");
+  std::printf("  %-12s %-9s | %4s %4s %3s %3s | %4s %4s %3s %3s |\n", "", "",
+              "Exp", "Hsh", "Sig", "Ver", "Exp", "Hsh", "Sig", "Ver");
+  std::printf("  ------------------------------------------------------------------\n");
+  for (const auto& row : rows) {
+    bool match = row.measured == row.paper;
+    std::printf("  %-12s %-9s | %4llu %4llu %3llu %3llu | %4llu %4llu %3llu "
+                "%3llu | %s\n",
+                row.protocol, row.role,
+                static_cast<unsigned long long>(row.measured.exp),
+                static_cast<unsigned long long>(row.measured.hash),
+                static_cast<unsigned long long>(row.measured.sig),
+                static_cast<unsigned long long>(row.measured.ver),
+                static_cast<unsigned long long>(row.paper.exp),
+                static_cast<unsigned long long>(row.paper.hash),
+                static_cast<unsigned long long>(row.paper.sig),
+                static_cast<unsigned long long>(row.paper.ver),
+                match ? "yes" : "note[*]");
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::header("T1", "Table 1: cryptographic operations per protocol/role");
+
+  const auto& grp = group::SchnorrGroup::production_1024();
+  Deployment dep(grp, 8, /*seed=*/2024);
+  auto wallet = dep.make_wallet();
+  std::vector<Row> rows;
+
+  // ---- Withdrawal ----
+  {
+    OpCounters client, broker;
+    Broker::WithdrawalOffer offer;
+    {
+      ScopedOpCounting guard(broker);
+      offer = dep.broker().start_withdrawal(100, 1000).value();
+    }
+    Wallet::Withdrawal state = [&] {
+      ScopedOpCounting guard(client);
+      return wallet->begin_withdrawal(offer);
+    }();
+    blindsig::SignerResponse response;
+    {
+      ScopedOpCounting guard(broker);
+      response = dep.broker().finish_withdrawal(state.session, state.e).value();
+    }
+    {
+      ScopedOpCounting guard(client);
+      auto coin = wallet->complete_withdrawal(state, response,
+                                              dep.broker().current_table());
+      if (coin) wallet->add_coin(std::move(coin).value());
+    }
+    rows.push_back({"Withdrawal", "Client", client, {12, 4, 0, 1}});
+    rows.push_back({"Withdrawal", "Broker", broker, {3, 1, 0, 0}});
+  }
+
+  // ---- Payment (no double spending) ----
+  auto coin = dep.withdraw(*wallet, 100, 1000).value();
+  MerchantId target;
+  for (const auto& id : dep.merchant_ids()) {
+    if (id != coin.coin.witnesses[0].merchant) {
+      target = id;
+      break;
+    }
+  }
+  SignedTranscript deposit_material;
+  {
+    OpCounters client, witness, merchant;
+    auto& w = *dep.node(coin.coin.witnesses[0].merchant).witness;
+    auto& m = *dep.node(target).merchant;
+    Wallet::PaymentIntent intent;
+    {
+      ScopedOpCounting guard(client);
+      intent = wallet->prepare_payment(coin, target);
+    }
+    WitnessCommitment commitment = [&] {
+      ScopedOpCounting guard(witness);
+      return w.request_commitment(intent.coin_hash, intent.nonce, 2000)
+          .value();
+    }();
+    PaymentTranscript transcript = [&] {
+      ScopedOpCounting guard(client);
+      return wallet->build_transcript(coin, intent, {commitment}, 2010)
+          .value();
+    }();
+    {
+      ScopedOpCounting guard(merchant);
+      (void)m.receive_payment(transcript, {commitment}, 2020);
+    }
+    SignResult sign = [&] {
+      ScopedOpCounting guard(witness);
+      return w.sign_transcript(transcript, 2030).value();
+    }();
+    {
+      ScopedOpCounting guard(merchant);
+      (void)m.add_endorsement(intent.coin_hash,
+                              std::get<WitnessEndorsement>(sign));
+    }
+    deposit_material = m.drain_deposit_queue().front();
+    rows.push_back({"Payment", "Client", client, {0, 3, 0, 1}});
+    rows.push_back({"Payment", "Witness", witness, {7, 6, 2, 1}});
+    rows.push_back({"Payment", "Merchant", merchant, {7, 6, 0, 3}});
+  }
+
+  // ---- Deposit ----
+  {
+    OpCounters merchant, broker;
+    {
+      ScopedOpCounting guard(merchant);
+      (void)wire::encode(deposit_material);  // the merchant only transmits
+    }
+    {
+      ScopedOpCounting guard(broker);
+      (void)dep.broker().deposit(target, deposit_material, 5000);
+    }
+    rows.push_back({"Deposit", "Merchant", merchant, {0, 0, 0, 0}});
+    rows.push_back({"Deposit", "Broker", broker, {6, 4, 0, 1}});
+  }
+
+  // ---- Coin renewal ----
+  {
+    auto old_coin = dep.withdraw(*wallet, 100, 1000).value();
+    Timestamp when = old_coin.coin.bare.info.soft_expiry +
+                     dep.broker().config().deposit_grace_ms + 1000;
+    OpCounters client, broker;
+    Broker::RenewalOffer offer;
+    {
+      ScopedOpCounting guard(broker);
+      offer = dep.broker().start_renewal(100, when).value();
+    }
+    bn::BigInt challenge;
+    {
+      ScopedOpCounting guard(client);  // client computes d* itself
+      challenge = dep.broker().renewal_challenge(old_coin.coin, when);
+    }
+    Wallet::Renewal state = [&] {
+      ScopedOpCounting guard(client);
+      return wallet->begin_renewal(old_coin, offer, challenge, when);
+    }();
+    blindsig::SignerResponse response = [&] {
+      ScopedOpCounting guard(broker);
+      return dep.broker()
+          .finish_renewal(state.session, state.e, old_coin.coin,
+                          state.old_proof, state.datetime, when)
+          .value();
+    }();
+    {
+      ScopedOpCounting guard(client);
+      (void)wallet->complete_renewal(state, response,
+                                     dep.broker().current_table());
+    }
+    rows.push_back({"Coin Renewal", "Client", client, {12, 5, 0, 1}});
+    rows.push_back({"Coin Renewal", "Broker", broker, {9, 4, 0, 0}});
+  }
+
+  print_rows(rows);
+  bench::note("");
+  bench::note("[*] renewal broker: +1 Hash — we re-hash the bare coin to key");
+  bench::note("    the renewal database; the paper's count omits this lookup.");
+
+  // ---- T1b: double-spending deltas (§7 text) ----
+  bench::header("T1b", "op-count deltas when a coin is double-spent (§7)");
+  {
+    auto ds_coin = dep.withdraw(*wallet, 100, 1000).value();
+    auto& w = *dep.node(ds_coin.coin.witnesses[0].merchant).witness;
+    MerchantId m1, m2;
+    for (const auto& id : dep.merchant_ids()) {
+      if (id == ds_coin.coin.witnesses[0].merchant) continue;
+      if (m1.empty())
+        m1 = id;
+      else if (m2.empty())
+        m2 = id;
+    }
+    (void)dep.pay(*wallet, ds_coin, m1, 2000);
+    Timestamp later = 2000 + w.commitment_ttl() + 100;
+    auto intent = wallet->prepare_payment(ds_coin, m2);
+    auto commitment =
+        w.request_commitment(intent.coin_hash, intent.nonce, later).value();
+    auto transcript =
+        wallet->build_transcript(ds_coin, intent, {commitment}, later + 10)
+            .value();
+    auto& m = *dep.node(m2).merchant;
+    (void)m.receive_payment(transcript, {commitment}, later + 20);
+    OpCounters witness_ops;
+    SignResult sign = [&] {
+      ScopedOpCounting guard(witness_ops);
+      return w.sign_transcript(transcript, later + 30).value();
+    }();
+    OpCounters merchant_ops;
+    {
+      ScopedOpCounting guard(merchant_ops);
+      (void)m.handle_double_spend(intent.coin_hash,
+                                  std::get<DoubleSpendProof>(sign));
+    }
+    std::printf("  witness extraction + proof : %s\n",
+                witness_ops.to_string().c_str());
+    std::printf("  merchant proof verification: %s\n",
+                merchant_ops.to_string().c_str());
+    bench::note("paper: merchant does 2 extra Exp and 1 Ver less; witness at");
+    bench::note("most 2 Exp.  We verify BOTH representations at the merchant");
+    bench::note("(4 Exp, 0 Ver) and extract with pure Z_q arithmetic at the");
+    bench::note("witness (0 Exp) — same shape, stricter checking.");
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Shared helpers for the benchmark/reproduction harnesses.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace p2pcash::bench {
+
+inline void header(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+}  // namespace p2pcash::bench

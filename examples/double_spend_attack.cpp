@@ -1,0 +1,133 @@
+// double_spend_attack — an attacker's-eye view of why the scheme holds.
+//
+// Mallory tries, in order:
+//   1. the naive double spend (sequential, two merchants);
+//   2. the concurrent race (two colluding clients firing simultaneously);
+//   3. corrupting the coin's witness (who signs everything);
+//   4. forging a coin outright.
+// For each attack the example shows what the defenses do: real-time
+// refusal with extraction proof, commitment serialization, deposit-time
+// liability shift onto the witness's security deposit, and signature
+// verification.  Ends with the arbiter double-checking the evidence.
+//
+//   $ ./examples/double_spend_attack
+
+#include <cstdio>
+
+#include "ecash/deployment.h"
+
+using namespace p2pcash;
+using namespace p2pcash::ecash;
+
+int main() {
+  const auto& grp = group::SchnorrGroup::production_1024();
+  Deployment dep(grp, 8, /*seed=*/666, Broker::Config{},
+                 /*security_deposit=*/500);
+  auto mallory = dep.make_wallet();
+  Timestamp now = 1'000;
+  auto ids = dep.merchant_ids();
+
+  // ---------------------------------------------------------------------
+  std::printf("attack 1: spend the same coin at two shops, one after the "
+              "other\n");
+  auto coin = dep.withdraw(*mallory, 100, now).value();
+  auto w_id = coin.coin.witnesses[0].merchant;
+  MerchantId shop_a, shop_b;
+  for (const auto& id : ids) {
+    if (id == w_id) continue;
+    if (shop_a.empty())
+      shop_a = id;
+    else if (shop_b.empty())
+      shop_b = id;
+  }
+  auto first = dep.pay(*mallory, coin, shop_a, now + 10);
+  auto second = dep.pay(*mallory, coin, shop_b, now + 20);
+  std::printf("  spend 1 at %s: %s\n", shop_a.c_str(),
+              first.accepted ? "accepted" : "refused");
+  std::printf("  spend 2 at %s: %s — witness %s answered with a proof that "
+              "opens A and B\n",
+              shop_b.c_str(), second.accepted ? "ACCEPTED (!)" : "refused",
+              w_id.c_str());
+  if (second.double_spend_proof) {
+    bool ok = second.double_spend_proof->verify(grp);
+    bool are_secrets = second.double_spend_proof->secrets.of_a.e1 ==
+                       coin.secret.x1;
+    std::printf("  proof verifies publicly: %s; recovered Mallory's exact "
+                "secrets: %s\n",
+                ok ? "yes" : "no", are_secrets ? "yes" : "no");
+  }
+
+  // ---------------------------------------------------------------------
+  std::printf("\nattack 2: race two shops before the witness can notice\n");
+  auto coin2 = dep.withdraw(*mallory, 100, now).value();
+  // Both payments request commitments at the same instant; the witness's
+  // single-flight rule (one live commitment per coin) serializes them.
+  auto intent_a = mallory->prepare_payment(coin2, shop_a);
+  auto intent_b = mallory->prepare_payment(coin2, shop_b);
+  auto& witness2 = *dep.node(coin2.coin.witnesses[0].merchant).witness;
+  auto commit_a =
+      witness2.request_commitment(intent_a.coin_hash, intent_a.nonce, now);
+  auto commit_b =
+      witness2.request_commitment(intent_b.coin_hash, intent_b.nonce, now);
+  std::printf("  commitment for shop A: %s\n",
+              commit_a.ok() ? "issued" : commit_a.refusal().detail.c_str());
+  std::printf("  commitment for shop B: %s\n",
+              commit_b.ok() ? "issued (!)" : to_string(commit_b.refusal().reason));
+  std::printf("  -> the race is lost at step 1: only one transaction holds "
+              "a live commitment\n");
+
+  // ---------------------------------------------------------------------
+  std::printf("\nattack 3: corrupt the witness (it signs everything)\n");
+  auto coin3 = dep.withdraw(*mallory, 100, now).value();
+  auto w3 = coin3.coin.witnesses[0].merchant;
+  dep.node(w3).witness->set_faulty(true);
+  MerchantId victim_a, victim_b;
+  for (const auto& id : ids) {
+    if (id == w3) continue;
+    if (victim_a.empty())
+      victim_a = id;
+    else if (victim_b.empty())
+      victim_b = id;
+  }
+  auto v1 = dep.pay(*mallory, coin3, victim_a, now + 100);
+  auto v2 = dep.pay(*mallory, coin3, victim_b, now + 110);
+  std::printf("  both shops accepted: %s — Mallory got two services for one "
+              "coin\n",
+              v1.accepted && v2.accepted ? "yes" : "no");
+  auto s1 = dep.deposit_all(victim_a, now + 1000);
+  auto s2 = dep.deposit_all(victim_b, now + 1100);
+  const auto* w_acct = dep.broker().account(w3);
+  std::printf("  deposits: %s credited %u, %s credited %u\n", victim_a.c_str(),
+              s1.credited, victim_b.c_str(), s2.credited);
+  std::printf("  but the broker caught witness %s double-signing: flagged=%s,"
+              " security deposit %u -> %u cents\n",
+              w3.c_str(), w_acct->flagged ? "yes" : "no", 500u,
+              w_acct->deposit_remaining);
+  std::printf("  -> merchants are whole; the corrupted witness paid, and is "
+              "out of the next table\n");
+
+  // ---------------------------------------------------------------------
+  std::printf("\nattack 4: forge a coin without the broker\n");
+  crypto::ChaChaRng forge_rng("mallory-forge");
+  Coin forged;
+  forged.bare.info = coin.coin.bare.info;
+  forged.bare.a = grp.exp_g(grp.random_scalar(forge_rng));
+  forged.bare.b = grp.exp_g(grp.random_scalar(forge_rng));
+  forged.bare.sig = coin.coin.bare.sig;  // splice a real signature
+  forged.witnesses = coin.coin.witnesses;
+  auto verdict = verify_coin(grp, dep.broker().coin_key(), forged, now);
+  std::printf("  spliced coin verifies: %s (%s)\n",
+              verdict.ok() ? "yes (!)" : "no",
+              verdict.ok() ? "" : verdict.refusal().detail.c_str());
+
+  // ---------------------------------------------------------------------
+  std::printf("\narbitration: the evidence from attack 3 stands on its own\n");
+  const auto& faults = dep.broker().witness_faults();
+  if (!faults.empty()) {
+    auto verdict3 = dep.arbiter().judge_double_signing(
+        faults[0].first, faults[0].second, faults[0].witness);
+    std::printf("  arbiter verdict on the two signed transcripts: %s\n",
+                to_string(verdict3));
+  }
+  return 0;
+}

@@ -1,0 +1,130 @@
+// vendor_shop — the paper's motivating scenario (§1): ad-free web vendors
+// charging "a penny or so for access".
+//
+// A newspaper, a music store and a shareware author sell mini-priced items.
+// A reader tops up a wallet with a batch of coins, browses and buys across
+// all three vendors over a simulated WAN (the actors layer), and the
+// vendors batch-deposit at end of day.  Demonstrates: multi-coin wallets,
+// concurrent clients, per-vendor revenue, and that no one needed a credit
+// card or an online broker at purchase time.
+//
+//   $ ./examples/vendor_shop
+
+#include <cstdio>
+#include <map>
+
+#include "actors/world.h"
+
+using namespace p2pcash;
+using namespace p2pcash::actors;
+
+namespace {
+
+struct Item {
+  const char* vendor;  // merchant id
+  const char* what;
+  ecash::Cents price;
+};
+
+}  // namespace
+
+int main() {
+  const auto& grp = group::SchnorrGroup::production_1024();
+  SimWorld::Options opt;
+  opt.merchants = 3;
+  opt.seed = 7;
+  opt.cost = simnet::openssl_cost();  // a modern deployment
+  SimWorld world(grp, opt);
+  // m000 = The Daily Byte, m001 = Chord Records, m002 = TinyTools.
+  std::map<std::string, const char*> names = {
+      {"m000", "The Daily Byte (news)"},
+      {"m001", "Chord Records (music)"},
+      {"m002", "TinyTools (shareware tips)"}};
+
+  auto& alice = world.add_client();
+  auto& bob = world.add_client();
+
+  // Morning: both readers withdraw small batches (each coin is withdrawn
+  // independently so coins stay unlinkable, per Algorithm 1 step 0).
+  std::printf("== morning: wallets top up ==\n");
+  int pending = 0;
+  auto top_up = [&](ClientActor& who, const char* name, int coins,
+                    ecash::Cents denom) {
+    for (int i = 0; i < coins; ++i) {
+      ++pending;
+      who.withdraw(denom, [&, name](ecash::Outcome<ecash::WalletCoin> c) {
+        --pending;
+        if (c) who.wallet().add_coin(std::move(c).value());
+        else
+          std::printf("  %s: withdrawal failed: %s\n", name,
+                      c.refusal().detail.c_str());
+      });
+    }
+  };
+  top_up(alice, "alice", 5, 2);  // five 2-cent coins
+  top_up(bob, "bob", 3, 5);     // three 5-cent coins
+  world.sim().run();
+  std::printf("  alice: %u cents in %zu coins;  bob: %u cents in %zu coins\n",
+              alice.wallet().balance(), alice.wallet().coins().size(),
+              bob.wallet().balance(), bob.wallet().coins().size());
+
+  // Daytime: purchases interleave across vendors over the WAN.
+  std::printf("\n== daytime: shopping (50-100 ms WAN, OpenSSL crypto) ==\n");
+  const Item kAliceCart[] = {{"m000", "today's front page", 2},
+                             {"m001", "one track preview", 2},
+                             {"m000", "the crossword", 2}};
+  const Item kBobCart[] = {{"m002", "pro tip #42", 5},
+                           {"m001", "b-side single", 5}};
+  auto shop = [&](ClientActor& who, const char* name,
+                  std::span<const Item> cart) {
+    for (const auto& item : cart) {
+      auto coin = who.wallet().take_coin(item.price);
+      if (!coin) {
+        std::printf("  %s is out of %u-cent coins\n", name, item.price);
+        continue;
+      }
+      who.pay(*coin, item.vendor,
+              [&, name, item](ClientActor::PayResult result) {
+                std::printf("  %-5s buys %-22s at %-24s %s (%4.0f ms)\n",
+                            name, item.what, names[item.vendor],
+                            result.accepted ? "ok " : "REFUSED",
+                            result.elapsed_ms);
+              });
+    }
+  };
+  shop(alice, "alice", kAliceCart);
+  shop(bob, "bob", kBobCart);
+  world.sim().run();
+
+  // Evening: vendors batch-deposit. The broker settles and the books must
+  // balance exactly.
+  std::printf("\n== evening: vendors deposit ==\n");
+  for (const auto& id : world.merchant_ids()) {
+    for (auto& st : world.merchant(id).drain_deposit_queue()) {
+      wire::Writer w;
+      st.encode(w);
+      world.net().send(simnet::Message{world.merchant_node(id),
+                                       world.directory().broker,
+                                       "deposit.submit", w.take()});
+    }
+  }
+  world.sim().run();
+  std::int64_t total = 0;
+  for (const auto& id : world.merchant_ids()) {
+    auto balance = world.broker().account(id)->balance;
+    total += balance;
+    std::printf("  %-26s earned %3lld cents\n", names[id],
+                static_cast<long long>(balance));
+  }
+  std::printf("  broker: issued %llu coins (%lld cents in), paid out %lld\n",
+              static_cast<unsigned long long>(world.broker().coins_issued()),
+              static_cast<long long>(world.broker().fiat_collected()),
+              static_cast<long long>(world.broker().fiat_paid_out()));
+  std::printf("  leftover wallet change: alice %u, bob %u cents\n",
+              alice.wallet().balance(), bob.wallet().balance());
+  bool books_balance =
+      world.broker().fiat_collected() ==
+      total + alice.wallet().balance() + bob.wallet().balance();
+  std::printf("  books balance: %s\n", books_balance ? "yes" : "NO");
+  return books_balance ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+// witness_failover — operating through witness unavailability.
+//
+// The paper's answer to dead witnesses is two-layered (§4): k-of-n witness
+// assignment for real-time tolerance, and soft-expiry coin renewal as the
+// backstop.  This example walks a coin through both layers:
+//   * a 2-of-3 coin keeps spending with one witness machine dark;
+//   * a 1-of-1 coin whose witness stays dark is stranded, then rescued by
+//     renewing it (after its soft expiry) into a fresh coin with a fresh
+//     witness.
+//
+//   $ ./examples/witness_failover
+
+#include <cstdio>
+
+#include "ecash/deployment.h"
+
+using namespace p2pcash;
+using namespace p2pcash::ecash;
+
+namespace {
+
+MerchantId pick_non_witness(const Deployment& dep_const, Deployment& dep,
+                            const WalletCoin& coin) {
+  (void)dep_const;
+  for (const auto& id : dep.merchant_ids()) {
+    bool witness = false;
+    for (const auto& w : coin.coin.witnesses)
+      if (w.merchant == id) witness = true;
+    if (!witness && !dep.is_offline(id)) return id;
+  }
+  return {};
+}
+
+}  // namespace
+
+int main() {
+  const auto& grp = group::SchnorrGroup::production_1024();
+
+  std::printf("== layer 1: 2-of-3 witnesses tolerate a dead machine ==\n");
+  Broker::Config multi;
+  multi.witness_n = 3;
+  multi.witness_k = 2;
+  Deployment dep(grp, 12, /*seed=*/99, multi);
+  auto wallet = dep.make_wallet();
+  Timestamp now = 1'000;
+  auto coin = dep.withdraw(*wallet, 50, now).value();
+  std::printf("  coin's witnesses:");
+  for (const auto& w : coin.coin.witnesses) std::printf(" %s", w.merchant.c_str());
+  std::printf("  (any 2 must sign)\n");
+
+  dep.set_offline(coin.coin.witnesses[0].merchant, true);
+  std::printf("  %s goes dark\n", coin.coin.witnesses[0].merchant.c_str());
+  auto shop = pick_non_witness(dep, dep, coin);
+  auto result = dep.pay(*wallet, coin, shop, now + 10);
+  std::printf("  payment at %s: %s\n", shop.c_str(),
+              result.accepted ? "accepted — two live witnesses sufficed"
+                              : result.refusal->detail.c_str());
+
+  std::printf("\n== layer 2: renewal rescues a stranded 1-of-1 coin ==\n");
+  Broker::Config single;        // default 1-of-1
+  single.soft_lifetime_ms = 60'000;  // short-lived coins for the demo
+  single.renewal_window_ms = 600'000;
+  single.deposit_grace_ms = 10'000;
+  Deployment dep2(grp, 12, /*seed=*/100, single);
+  auto wallet2 = dep2.make_wallet();
+  auto stranded = dep2.withdraw(*wallet2, 50, now).value();
+  auto lone_witness = stranded.coin.witnesses[0].merchant;
+  dep2.set_offline(lone_witness, true);
+  std::printf("  coin's only witness %s goes dark\n", lone_witness.c_str());
+
+  auto shop2 = pick_non_witness(dep2, dep2, stranded);
+  auto blocked = dep2.pay(*wallet2, stranded, shop2, now + 10);
+  std::printf("  payment attempt: %s (%s)\n",
+              blocked.accepted ? "accepted (?)" : "fails",
+              blocked.refusal ? blocked.refusal->detail.c_str() : "");
+
+  // Wait out the soft expiry + deposit grace, then exchange the coin.  The
+  // broker checks the coin was never spent/renewed and issues a fresh
+  // blind-signed coin — new h(bare coin), new witness.
+  Timestamp renew_at = stranded.coin.bare.info.soft_expiry +
+                       dep2.broker().config().deposit_grace_ms + 1'000;
+  auto renewed = dep2.renew(*wallet2, stranded, renew_at);
+  if (!renewed) {
+    std::printf("  renewal failed: %s\n", renewed.refusal().detail.c_str());
+    return 1;
+  }
+  std::printf("  renewed at t=%lld into a fresh coin; new witness: %s\n",
+              static_cast<long long>(renew_at),
+              renewed.value().coin.witnesses[0].merchant.c_str());
+
+  auto shop3 = pick_non_witness(dep2, dep2, renewed.value());
+  auto rescued = dep2.pay(*wallet2, renewed.value(), shop3, renew_at + 10);
+  std::printf("  payment with the renewed coin at %s: %s\n", shop3.c_str(),
+              rescued.accepted ? "accepted" : "refused");
+
+  std::printf("\n  (hard expiry bounds the rescue window: after t=%lld the "
+              "coin is void)\n",
+              static_cast<long long>(renewed.value().coin.bare.info.hard_expiry));
+  return result.accepted && !blocked.accepted && rescued.accepted ? 0 : 1;
+}

@@ -1,0 +1,565 @@
+#include "actors/actors.h"
+
+#include "wire/codec.h"
+
+namespace p2pcash::actors {
+
+using bn::BigInt;
+using ecash::Hash256;
+using ecash::Outcome;
+using ecash::Refusal;
+using ecash::RefusalReason;
+using metrics::OpCounters;
+using metrics::ScopedOpCounting;
+using wire::Reader;
+using wire::Writer;
+
+namespace {
+
+void put_hash(Writer& w, const Hash256& h) { w.put_bytes(h); }
+
+Hash256 get_hash(Reader& r) {
+  auto bytes = r.get_bytes();
+  if (bytes.size() != 32) throw wire::DecodeError("expected 32-byte hash");
+  Hash256 h;
+  std::copy(bytes.begin(), bytes.end(), h.begin());
+  return h;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ProtocolActor
+// ---------------------------------------------------------------------------
+
+void ProtocolActor::send_after_cost(const OpCounters& ops, Message msg) {
+  const SimTime cost = cost_.sample_cost_ms(ops, net_.rng());
+  if (cost <= 0) {
+    net_.send(std::move(msg));
+    return;
+  }
+  net_.sim().schedule(cost,
+                      [this, msg = std::move(msg)]() mutable {
+                        net_.send(std::move(msg));
+                      });
+}
+
+void ProtocolActor::send_now(Message msg) { net_.send(std::move(msg)); }
+
+// ---------------------------------------------------------------------------
+// BrokerActor
+// ---------------------------------------------------------------------------
+
+void BrokerActor::on_message(const Message& msg) {
+  Reader r(msg.payload);
+  if (msg.type == "withdraw.start") {
+    const std::uint64_t req_id = r.get_u64();
+    const Cents denomination = r.get_u32();
+    OpCounters ops;
+    Message reply{id(), msg.from, "", {}};
+    {
+      ScopedOpCounting guard(ops);
+      auto offer = broker_.start_withdrawal(denomination, now());
+      Writer w;
+      w.put_u64(req_id);
+      if (offer) {
+        reply.type = "withdraw.offer";
+        w.put_u64(offer.value().session);
+        offer.value().info.encode(w);
+        w.put_bigint(offer.value().first.a);
+        w.put_bigint(offer.value().first.b);
+      } else {
+        reply.type = "withdraw.refused";
+        w.put_string(offer.refusal().detail);
+      }
+      reply.payload = w.take();
+    }
+    send_after_cost(ops, std::move(reply));
+  } else if (msg.type == "withdraw.challenge") {
+    const std::uint64_t session = r.get_u64();
+    const BigInt e = r.get_bigint();
+    OpCounters ops;
+    Message reply{id(), msg.from, "", {}};
+    {
+      ScopedOpCounting guard(ops);
+      auto response = broker_.finish_withdrawal(session, e);
+      Writer w;
+      w.put_u64(session);
+      if (response) {
+        reply.type = "withdraw.response";
+        w.put_bigint(response.value().r);
+        w.put_bigint(response.value().c);
+        w.put_bigint(response.value().s);
+      } else {
+        reply.type = "withdraw.refused";
+        w.put_string(response.refusal().detail);
+      }
+      reply.payload = w.take();
+    }
+    send_after_cost(ops, std::move(reply));
+  } else if (msg.type == "deposit.submit") {
+    auto st = ecash::SignedTranscript::decode(r);
+    OpCounters ops;
+    Message reply{id(), msg.from, "", {}};
+    {
+      ScopedOpCounting guard(ops);
+      // The depositor is authenticated by its network endpoint here; a real
+      // deployment would use a transport-level credential.
+      auto receipt =
+          broker_.deposit(st.transcript.merchant, st, now());
+      Writer w;
+      put_hash(w, st.transcript.coin.bare.coin_hash());
+      if (receipt) {
+        reply.type = "deposit.receipt";
+        w.put_u32(receipt.value().credited);
+        w.put_u8(receipt.value().paid_from_witness_deposit ? 1 : 0);
+      } else {
+        reply.type = "deposit.refused";
+        w.put_string(receipt.refusal().detail);
+      }
+      reply.payload = w.take();
+    }
+    send_after_cost(ops, std::move(reply));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MerchantActor
+// ---------------------------------------------------------------------------
+
+void MerchantActor::on_message(const Message& msg) {
+  if (msg.type == "pay.commit_req") {
+    handle_commit_request(msg);
+  } else if (msg.type == "pay.transcript") {
+    handle_transcript(msg);
+  } else if (msg.type == "pay.sign_req") {
+    handle_sign_request(msg);
+  } else if (msg.type == "pay.endorse" || msg.type == "pay.double_spend" ||
+             msg.type == "pay.sign_refused") {
+    handle_sign_reply(msg);
+  } else if (msg.type == "deposit.receipt" || msg.type == "deposit.refused") {
+    handle_deposit_receipt(msg);
+  }
+}
+
+void MerchantActor::handle_commit_request(const Message& msg) {
+  Reader r(msg.payload);
+  const Hash256 coin_hash = get_hash(r);
+  const Hash256 nonce = get_hash(r);
+  OpCounters ops;
+  Message reply{id(), msg.from, "", {}};
+  {
+    ScopedOpCounting guard(ops);
+    auto commitment = witness_.request_commitment(coin_hash, nonce, now());
+    Writer w;
+    if (commitment) {
+      reply.type = "pay.commit";
+      commitment.value().encode(w);
+    } else {
+      reply.type = "pay.commit_refused";
+      put_hash(w, coin_hash);
+      w.put_string(commitment.refusal().detail);
+    }
+    reply.payload = w.take();
+  }
+  send_after_cost(ops, std::move(reply));
+}
+
+void MerchantActor::handle_transcript(const Message& msg) {
+  Reader r(msg.payload);
+  auto transcript = ecash::PaymentTranscript::decode(r);
+  const std::uint8_t n = r.get_u8();
+  std::vector<ecash::WitnessCommitment> commitments;
+  commitments.reserve(n);
+  for (std::uint8_t i = 0; i < n; ++i)
+    commitments.push_back(ecash::WitnessCommitment::decode(r));
+
+  const Hash256 coin_hash = transcript.coin.bare.coin_hash();
+  OpCounters ops;
+  std::optional<Refusal> refusal;
+  {
+    ScopedOpCounting guard(ops);
+    auto accepted = merchant_.receive_payment(transcript, commitments, now());
+    if (!accepted) refusal = accepted.refusal();
+  }
+  if (refusal) {
+    Writer w;
+    put_hash(w, coin_hash);
+    w.put_string(refusal->detail);
+    send_after_cost(ops, Message{id(), msg.from, "pay.refused", w.take()});
+    return;
+  }
+  in_flight_[coin_hash] = msg.from;
+  // Forward the transcript to every committing witness for countersigning.
+  Writer w;
+  transcript.encode(w);
+  auto payload = w.take();
+  for (const auto& commitment : commitments) {
+    auto node = directory_.merchants.find(commitment.witness);
+    if (node == directory_.merchants.end()) continue;
+    send_after_cost(ops,
+                    Message{id(), node->second, "pay.sign_req", payload});
+    ops = OpCounters{};  // charge validation cost only once
+  }
+}
+
+void MerchantActor::handle_sign_request(const Message& msg) {
+  Reader r(msg.payload);
+  auto transcript = ecash::PaymentTranscript::decode(r);
+  const Hash256 coin_hash = transcript.coin.bare.coin_hash();
+  OpCounters ops;
+  Message reply{id(), msg.from, "", {}};
+  {
+    ScopedOpCounting guard(ops);
+    auto result = witness_.sign_transcript(transcript, now());
+    Writer w;
+    if (!result) {
+      reply.type = "pay.sign_refused";
+      put_hash(w, coin_hash);
+      w.put_string(result.refusal().detail);
+    } else if (auto* endorsement =
+                   std::get_if<ecash::WitnessEndorsement>(&result.value())) {
+      reply.type = "pay.endorse";
+      put_hash(w, coin_hash);
+      endorsement->encode(w);
+    } else {
+      reply.type = "pay.double_spend";
+      std::get<ecash::DoubleSpendProof>(result.value()).encode(w);
+    }
+    reply.payload = w.take();
+  }
+  send_after_cost(ops, std::move(reply));
+}
+
+void MerchantActor::handle_sign_reply(const Message& msg) {
+  Reader r(msg.payload);
+  if (msg.type == "pay.double_spend") {
+    auto proof = ecash::DoubleSpendProof::decode(r);
+    auto client = in_flight_.find(proof.coin_hash);
+    if (client == in_flight_.end()) return;
+    OpCounters ops;
+    Message reply{id(), client->second, "", {}};
+    {
+      ScopedOpCounting guard(ops);
+      auto verified = merchant_.handle_double_spend(proof.coin_hash, proof);
+      Writer w;
+      if (verified) {
+        reply.type = "pay.refused_double_spend";
+        verified.value().encode(w);
+      } else {
+        // Witness answered with a bogus proof: from the client's view the
+        // payment failed; the merchant can escalate to the arbiter.
+        reply.type = "pay.refused";
+        put_hash(w, proof.coin_hash);
+        w.put_string(verified.refusal().detail);
+      }
+      reply.payload = w.take();
+    }
+    in_flight_.erase(client);
+    send_after_cost(ops, std::move(reply));
+    return;
+  }
+
+  const Hash256 coin_hash = get_hash(r);
+  auto client = in_flight_.find(coin_hash);
+  if (client == in_flight_.end()) return;
+
+  if (msg.type == "pay.sign_refused") {
+    const std::string detail = r.get_string();
+    merchant_.abandon(coin_hash);
+    Writer w;
+    put_hash(w, coin_hash);
+    w.put_string("witness refused: " + detail);
+    send_now(Message{id(), client->second, "pay.refused", w.take()});
+    in_flight_.erase(client);
+    return;
+  }
+
+  // pay.endorse
+  auto endorsement = ecash::WitnessEndorsement::decode(r);
+  OpCounters ops;
+  std::optional<Message> reply;
+  {
+    ScopedOpCounting guard(ops);
+    auto done = merchant_.add_endorsement(coin_hash, endorsement);
+    Writer w;
+    if (!done) {
+      put_hash(w, coin_hash);
+      w.put_string(done.refusal().detail);
+      reply = Message{id(), client->second, "pay.refused", w.take()};
+    } else if (done.value()) {
+      put_hash(w, coin_hash);
+      reply = Message{id(), client->second, "pay.service", w.take()};
+    }
+    // else: keep waiting for more endorsements (k-of-n).
+  }
+  if (reply) {
+    in_flight_.erase(client);
+    send_after_cost(ops, std::move(*reply));
+  }
+}
+
+void MerchantActor::handle_deposit_receipt(const Message&) {
+  // Deposits are fire-and-forget for the storefront; receipts are counted
+  // by the benchmarks via the broker's ledgers.
+}
+
+// ---------------------------------------------------------------------------
+// ClientActor
+// ---------------------------------------------------------------------------
+
+ClientActor::ClientActor(simnet::Network& net, simnet::CostModel cost,
+                         const group::SchnorrGroup& grp,
+                         sig::PublicKey broker_key,
+                         const ecash::WitnessTable& table,
+                         const Directory& directory, std::uint64_t seed)
+    : ProtocolActor(net, cost),
+      grp_(grp),
+      broker_key_(broker_key),
+      table_(table),
+      directory_(directory),
+      rng_(seed),
+      wallet_(grp, broker_key, broker_key, rng_) {}
+
+void ClientActor::withdraw(Cents denomination, WithdrawCallback done) {
+  const std::uint64_t req_id = next_request_++;
+  withdrawal_requests_[req_id] =
+      PendingWithdrawal{std::nullopt, std::move(done)};
+  Writer w;
+  w.put_u64(req_id);
+  w.put_u32(denomination);
+  send_now(Message{id(), directory_.broker, "withdraw.start", w.take()});
+}
+
+void ClientActor::handle_withdraw_offer(const Message& msg) {
+  Reader r(msg.payload);
+  const std::uint64_t req_id = r.get_u64();
+  auto it = withdrawal_requests_.find(req_id);
+  if (it == withdrawal_requests_.end()) return;
+
+  ecash::Broker::WithdrawalOffer offer;
+  offer.session = r.get_u64();
+  offer.info = ecash::CoinInfo::decode(r);
+  offer.first.a = r.get_bigint();
+  offer.first.b = r.get_bigint();
+
+  OpCounters ops;
+  Message reply{id(), directory_.broker, "withdraw.challenge", {}};
+  {
+    ScopedOpCounting guard(ops);
+    it->second.state = wallet_.begin_withdrawal(offer);
+    Writer w;
+    w.put_u64(it->second.state->session);
+    w.put_bigint(it->second.state->e);
+    reply.payload = w.take();
+  }
+  // Move the pending record to the by-session map for the response phase.
+  auto pending = std::move(it->second);
+  withdrawal_requests_.erase(it);
+  withdrawal_sessions_[pending.state->session] = std::move(pending);
+  send_after_cost(ops, std::move(reply));
+}
+
+void ClientActor::handle_withdraw_response(const Message& msg) {
+  Reader r(msg.payload);
+  const std::uint64_t id = r.get_u64();
+  auto it = withdrawal_sessions_.find(id);
+  if (it == withdrawal_sessions_.end() && msg.type == "withdraw.refused") {
+    // A refusal straight after withdraw.start carries our request id.
+    it = withdrawal_requests_.find(id);
+    if (it == withdrawal_requests_.end()) return;
+    auto pending = std::move(it->second);
+    withdrawal_requests_.erase(it);
+    pending.done(Refusal{RefusalReason::kInternal, r.get_string()});
+    return;
+  }
+  if (it == withdrawal_sessions_.end()) return;
+  auto pending = std::move(it->second);
+  withdrawal_sessions_.erase(it);
+
+  if (msg.type == "withdraw.refused") {
+    pending.done(Refusal{RefusalReason::kInternal, r.get_string()});
+    return;
+  }
+  blindsig::SignerResponse response;
+  response.r = r.get_bigint();
+  response.c = r.get_bigint();
+  response.s = r.get_bigint();
+  OpCounters ops;
+  Outcome<ecash::WalletCoin> coin =
+      Refusal{RefusalReason::kInternal, "unset"};
+  {
+    ScopedOpCounting guard(ops);
+    coin = wallet_.complete_withdrawal(*pending.state, response, table_);
+  }
+  // Charge the unblinding cost before reporting completion.
+  net_.sim().schedule(cost_.sample_cost_ms(ops, net_.rng()),
+                      [done = std::move(pending.done),
+                       coin = std::move(coin)]() mutable {
+                        done(std::move(coin));
+                      });
+}
+
+void ClientActor::pay(const ecash::WalletCoin& coin,
+                      const MerchantId& merchant, PayCallback done,
+                      SimTime timeout_ms) {
+  // One in-flight payment per coin per client: replies are correlated by
+  // coin hash.  (An attacker wanting concurrent spends runs two clients —
+  // see the actors test; the witness still serializes them.)
+  {
+    metrics::ScopedSuspendOpCounting suspend;
+    const auto hash = coin.coin.bare.coin_hash();
+    if (payments_.contains(hash)) {
+      PayResult result;
+      result.error = "payment already in flight for this coin";
+      done(std::move(result));
+      return;
+    }
+  }
+  PendingPayment p;
+  p.coin = coin;
+  p.merchant = merchant;
+  p.started = net_.sim().now();
+  p.generation = ++pay_generation_;
+  p.done = std::move(done);
+
+  OpCounters ops;
+  {
+    ScopedOpCounting guard(ops);
+    p.intent = wallet_.prepare_payment(coin, merchant);
+  }
+  const Hash256 coin_hash = p.intent.coin_hash;
+  const std::uint64_t generation = p.generation;
+
+  // Step 1: request commitments from every assigned witness in parallel.
+  Writer w;
+  put_hash(w, p.intent.coin_hash);
+  put_hash(w, p.intent.nonce);
+  auto payload = w.take();
+  for (const auto& entry : coin.coin.witnesses) {
+    auto node = directory_.merchants.find(entry.merchant);
+    if (node == directory_.merchants.end()) continue;
+    p.witnesses_asked.push_back(entry.merchant);
+    send_after_cost(ops, Message{id(), node->second, "pay.commit_req",
+                                 payload});
+    ops = OpCounters{};  // charge preparation once
+  }
+  payments_[coin_hash] = std::move(p);
+
+  net_.sim().schedule(timeout_ms, [this, coin_hash, generation]() {
+    auto it = payments_.find(coin_hash);
+    if (it == payments_.end() || it->second.generation != generation) return;
+    PayResult result;
+    result.accepted = false;
+    result.elapsed_ms = net_.sim().now() - it->second.started;
+    result.error = "timeout";
+    finish_payment(it->second, std::move(result));
+  });
+}
+
+void ClientActor::handle_commit(const Message& msg) {
+  Reader r(msg.payload);
+  auto commitment = ecash::WitnessCommitment::decode(r);
+  auto it = payments_.find(commitment.coin_hash);
+  if (it == payments_.end()) return;
+  PendingPayment& p = it->second;
+  const std::uint8_t need = p.coin.coin.bare.info.witness_k;
+  if (p.commitments.size() >= need) return;  // already proceeding
+  for (const auto& c : p.commitments) {
+    if (c.witness == commitment.witness) return;  // duplicate slot owner
+  }
+  p.commitments.push_back(std::move(commitment));
+  if (p.commitments.size() < need) return;
+
+  // Step 3: build and send the transcript (this is where the client's Ver
+  // of the commitment signature and the NIZK response happen).
+  OpCounters ops;
+  Outcome<ecash::PaymentTranscript> transcript =
+      Refusal{RefusalReason::kInternal, "unset"};
+  {
+    ScopedOpCounting guard(ops);
+    transcript = wallet_.build_transcript(p.coin, p.intent, p.commitments,
+                                          now());
+  }
+  if (!transcript) {
+    PayResult result;
+    result.elapsed_ms = net_.sim().now() - p.started;
+    result.error = transcript.refusal().detail;
+    finish_payment(p, std::move(result));
+    return;
+  }
+  auto node = directory_.merchants.find(p.merchant);
+  if (node == directory_.merchants.end()) {
+    PayResult result;
+    result.error = "unknown merchant";
+    finish_payment(p, std::move(result));
+    return;
+  }
+  Writer w;
+  transcript.value().encode(w);
+  w.put_u8(static_cast<std::uint8_t>(p.commitments.size()));
+  for (const auto& c : p.commitments) c.encode(w);
+  send_after_cost(ops,
+                  Message{id(), node->second, "pay.transcript", w.take()});
+}
+
+void ClientActor::handle_pay_reply(const Message& msg) {
+  Reader r(msg.payload);
+  if (msg.type == "pay.refused_double_spend") {
+    auto proof = ecash::DoubleSpendProof::decode(r);
+    auto it = payments_.find(proof.coin_hash);
+    if (it == payments_.end()) return;
+    PayResult result;
+    result.elapsed_ms = net_.sim().now() - it->second.started;
+    result.double_spend_proof = std::move(proof);
+    result.error = "double spend detected";
+    finish_payment(it->second, std::move(result));
+    return;
+  }
+  const Hash256 coin_hash = get_hash(r);
+  auto it = payments_.find(coin_hash);
+  if (it == payments_.end()) return;
+  PayResult result;
+  result.elapsed_ms = net_.sim().now() - it->second.started;
+  if (msg.type == "pay.service") {
+    result.accepted = true;
+  } else if (msg.type == "pay.commit_refused") {
+    // One witness refused to commit; under k-of-n others may still carry
+    // the payment. Fail only when k successes are no longer reachable.
+    PendingPayment& p = it->second;
+    ++p.commit_refusals;
+    const std::size_t possible = p.witnesses_asked.size() - p.commit_refusals;
+    if (p.commitments.size() < p.coin.coin.bare.info.witness_k &&
+        possible < p.coin.coin.bare.info.witness_k) {
+      result.error = "commitment refused: " + r.get_string();
+      finish_payment(p, std::move(result));
+    }
+    return;
+  } else {
+    result.error = r.get_string();
+  }
+  finish_payment(it->second, std::move(result));
+}
+
+void ClientActor::finish_payment(PendingPayment& p, PayResult result) {
+  auto done = std::move(p.done);
+  payments_.erase(p.intent.coin_hash);
+  done(std::move(result));
+}
+
+void ClientActor::on_message(const Message& msg) {
+  if (msg.type == "withdraw.offer") {
+    handle_withdraw_offer(msg);
+  } else if (msg.type == "withdraw.response" ||
+             msg.type == "withdraw.refused") {
+    handle_withdraw_response(msg);
+  } else if (msg.type == "pay.commit") {
+    handle_commit(msg);
+  } else if (msg.type == "pay.service" || msg.type == "pay.refused" ||
+             msg.type == "pay.refused_double_spend" ||
+             msg.type == "pay.commit_refused") {
+    handle_pay_reply(msg);
+  }
+}
+
+}  // namespace p2pcash::actors

@@ -1,0 +1,185 @@
+// actors.h — the four protocol roles as message-passing actors.
+//
+// Same protocol objects as the in-memory Deployment (Broker, Merchant,
+// WitnessService, Wallet), but every protocol step is a network message
+// over simnet, and every handler charges virtual compute time from a
+// CostModel based on the crypto ops it actually performed (recorded by the
+// metrics layer).  This is the harness behind Table 2: payment wall-clock
+// and per-role bytes under PlanetLab latencies with python/openssl costs.
+//
+// Message flow (payment, n=k=1):
+//   client  -> witness : pay.commit_req (coin_hash, nonce)
+//   witness -> client  : pay.commit     (signed commitment)
+//   client  -> merchant: pay.transcript (transcript + commitments)
+//   merchant-> witness : pay.sign_req   (transcript)
+//   witness -> merchant: pay.endorse / pay.double_spend
+//   merchant-> client  : pay.service / pay.refused
+// — 3 round trips, matching the paper's "payment requires 3 rounds of
+// message exchange (2 for payment, and 1 for commitment)".
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "crypto/chacha.h"
+#include "ecash/broker.h"
+#include "ecash/merchant.h"
+#include "ecash/wallet.h"
+#include "ecash/witness.h"
+#include "simnet/net.h"
+
+namespace p2pcash::actors {
+
+using ecash::Cents;
+using ecash::MerchantId;
+using ecash::Timestamp;
+using simnet::Message;
+using simnet::NodeId;
+using simnet::SimTime;
+
+/// Where each role lives on the simulated network.
+struct Directory {
+  NodeId broker = 0;
+  std::map<MerchantId, NodeId> merchants;  // storefront + witness co-located
+};
+
+/// Base for protocol actors: cost-charged replies and current sim time as a
+/// protocol Timestamp.
+class ProtocolActor : public simnet::Node {
+ public:
+  ProtocolActor(simnet::Network& net, simnet::CostModel cost)
+      : net_(net), cost_(cost) {}
+
+  Timestamp now() const {
+    return static_cast<Timestamp>(net_.sim().now());
+  }
+
+ protected:
+  /// Sends `msg` after charging the compute time for `ops`.
+  void send_after_cost(const metrics::OpCounters& ops, Message msg);
+  /// Sends with no compute charge.
+  void send_now(Message msg);
+
+  simnet::Network& net_;
+  simnet::CostModel cost_;
+};
+
+/// The broker as an actor: withdrawal, deposit and renewal services.
+class BrokerActor final : public ProtocolActor {
+ public:
+  BrokerActor(simnet::Network& net, simnet::CostModel cost,
+              ecash::Broker& broker)
+      : ProtocolActor(net, cost), broker_(broker) {}
+
+  void on_message(const Message& msg) override;
+
+  ecash::Broker& broker() { return broker_; }
+
+ private:
+  ecash::Broker& broker_;
+};
+
+/// A merchant machine: storefront and witness service behind one node.
+class MerchantActor final : public ProtocolActor {
+ public:
+  MerchantActor(simnet::Network& net, simnet::CostModel cost,
+                ecash::Merchant& merchant, ecash::WitnessService& witness,
+                const Directory& directory)
+      : ProtocolActor(net, cost),
+        merchant_(merchant),
+        witness_(witness),
+        directory_(directory) {}
+
+  void on_message(const Message& msg) override;
+
+  ecash::Merchant& merchant() { return merchant_; }
+  ecash::WitnessService& witness() { return witness_; }
+
+ private:
+  void handle_commit_request(const Message& msg);
+  void handle_transcript(const Message& msg);
+  void handle_sign_request(const Message& msg);
+  void handle_sign_reply(const Message& msg);
+  void handle_deposit_receipt(const Message& msg);
+
+  ecash::Merchant& merchant_;
+  ecash::WitnessService& witness_;
+  const Directory& directory_;
+  /// Payments awaiting witness replies: coin_hash -> paying client node.
+  std::map<ecash::Hash256, NodeId> in_flight_;
+};
+
+/// The client as an actor: asynchronous withdraw/pay with completion
+/// callbacks and timeouts.
+class ClientActor final : public ProtocolActor {
+ public:
+  ClientActor(simnet::Network& net, simnet::CostModel cost,
+              const group::SchnorrGroup& grp, sig::PublicKey broker_key,
+              const ecash::WitnessTable& table, const Directory& directory,
+              std::uint64_t seed);
+
+  void on_message(const Message& msg) override;
+
+  ecash::Wallet& wallet() { return wallet_; }
+
+  /// Starts a withdrawal; `done` fires with the coin or a refusal.
+  using WithdrawCallback =
+      std::function<void(ecash::Outcome<ecash::WalletCoin>)>;
+  void withdraw(Cents denomination, WithdrawCallback done);
+
+  struct PayResult {
+    bool accepted = false;
+    SimTime elapsed_ms = 0;
+    std::optional<ecash::DoubleSpendProof> double_spend_proof;
+    std::optional<std::string> error;
+  };
+  using PayCallback = std::function<void(PayResult)>;
+  /// Runs the full payment protocol for `coin` at `merchant`. Fails with
+  /// "timeout" if not completed within timeout_ms (dead witness, lost
+  /// messages).
+  void pay(const ecash::WalletCoin& coin, const MerchantId& merchant,
+           PayCallback done, SimTime timeout_ms = 60'000);
+
+ private:
+  struct PendingWithdrawal {
+    std::optional<ecash::Wallet::Withdrawal> state;
+    WithdrawCallback done;
+  };
+  struct PendingPayment {
+    ecash::WalletCoin coin;
+    MerchantId merchant;
+    ecash::Wallet::PaymentIntent intent;
+    std::vector<ecash::WitnessCommitment> commitments;
+    std::vector<MerchantId> witnesses_asked;
+    std::size_t commit_refusals = 0;
+    SimTime started = 0;
+    std::uint64_t generation = 0;  // guards the timeout event
+    PayCallback done;
+  };
+
+  void handle_withdraw_offer(const Message& msg);
+  void handle_withdraw_response(const Message& msg);
+  void handle_commit(const Message& msg);
+  void handle_pay_reply(const Message& msg);
+  void finish_payment(PendingPayment& p, PayResult result);
+
+  const group::SchnorrGroup& grp_;
+  sig::PublicKey broker_key_;
+  const ecash::WitnessTable& table_;
+  const Directory& directory_;
+  crypto::ChaChaRng rng_;
+  ecash::Wallet wallet_;
+
+  std::uint64_t next_request_ = 1;
+  /// Withdrawals awaiting the broker's offer, keyed by our request id.
+  std::map<std::uint64_t, PendingWithdrawal> withdrawal_requests_;
+  /// Withdrawals awaiting the broker's response, keyed by broker session
+  /// (a separate map: the two id spaces are unrelated and may collide).
+  std::map<std::uint64_t, PendingWithdrawal> withdrawal_sessions_;
+  std::map<ecash::Hash256, PendingPayment> payments_;  // by coin hash
+  std::uint64_t pay_generation_ = 0;
+};
+
+}  // namespace p2pcash::actors

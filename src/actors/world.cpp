@@ -1,0 +1,92 @@
+#include "actors/world.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace p2pcash::actors {
+
+namespace {
+MerchantId merchant_name(std::size_t i) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "m%03zu", i);
+  return buf;
+}
+}  // namespace
+
+SimWorld::SimWorld(const group::SchnorrGroup& grp, Options options)
+    : grp_(grp), options_(options) {
+  rng_ = std::make_unique<crypto::ChaChaRng>(options_.seed);
+  net_ = std::make_unique<simnet::Network>(
+      sim_,
+      std::make_unique<simnet::UniformLatency>(options_.latency_lo,
+                                               options_.latency_hi),
+      *rng_, options_.wire);
+  broker_ = std::make_unique<ecash::Broker>(grp_, *rng_, options_.broker);
+  broker_actor_ =
+      std::make_unique<BrokerActor>(*net_, options_.cost, *broker_);
+  directory_.broker = net_->attach(*broker_actor_);
+
+  if (options_.merchants == 0)
+    throw std::invalid_argument("SimWorld: need at least one merchant");
+  merchants_.reserve(options_.merchants);
+  for (std::size_t i = 0; i < options_.merchants; ++i) {
+    MerchantSlot slot;
+    slot.id = merchant_name(i);
+    auto key = sig::KeyPair::generate(grp_, *rng_);
+    broker_->register_merchant(slot.id, key.public_key(),
+                               options_.security_deposit);
+    slot.merchant = std::make_unique<ecash::Merchant>(
+        grp_, broker_->coin_key(), slot.id, key, *rng_);
+    slot.witness = std::make_unique<ecash::WitnessService>(
+        grp_, broker_->coin_key(), slot.id, key, *rng_);
+    slot.actor = std::make_unique<MerchantActor>(
+        *net_, options_.cost, *slot.merchant, *slot.witness, directory_);
+    directory_.merchants[slot.id] = net_->attach(*slot.actor);
+    merchants_.push_back(std::move(slot));
+  }
+  broker_->publish_witness_table(/*now=*/0);
+}
+
+std::vector<MerchantId> SimWorld::merchant_ids() const {
+  std::vector<MerchantId> out;
+  out.reserve(merchants_.size());
+  for (const auto& slot : merchants_) out.push_back(slot.id);
+  return out;
+}
+
+MerchantActor& SimWorld::merchant_actor(const MerchantId& id) {
+  for (auto& slot : merchants_) {
+    if (slot.id == id) return *slot.actor;
+  }
+  throw std::invalid_argument("SimWorld: unknown merchant " + id);
+}
+
+ecash::Merchant& SimWorld::merchant(const MerchantId& id) {
+  return merchant_actor(id).merchant();
+}
+
+ecash::WitnessService& SimWorld::witness(const MerchantId& id) {
+  return merchant_actor(id).witness();
+}
+
+NodeId SimWorld::merchant_node(const MerchantId& id) const {
+  auto it = directory_.merchants.find(id);
+  if (it == directory_.merchants.end())
+    throw std::invalid_argument("SimWorld: unknown merchant " + id);
+  return it->second;
+}
+
+ClientActor& SimWorld::add_client() {
+  clients_.push_back(std::make_unique<ClientActor>(
+      *net_, options_.cost, grp_, broker_->coin_key(),
+      broker_->current_table(), directory_,
+      options_.seed * 1000003 + (++next_client_seed_)));
+  net_->attach(*clients_.back());
+  return *clients_.back();
+}
+
+void SimWorld::set_merchant_down(const MerchantId& id, bool down) {
+  net_->set_down(merchant_node(id), down);
+}
+
+}  // namespace p2pcash::actors

@@ -1,0 +1,71 @@
+// world.h — assembles a complete simulated deployment: broker node,
+// merchant nodes (storefront + witness) and client nodes on one simnet
+// Network.  The construction mirrors the paper's PlanetLab setup: every
+// party on a different WAN host.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "actors/actors.h"
+#include "simnet/sim.h"
+
+namespace p2pcash::actors {
+
+class SimWorld {
+ public:
+  struct Options {
+    std::size_t merchants = 8;
+    std::uint64_t seed = 1;
+    simnet::CostModel cost = simnet::openssl_cost();
+    simnet::WireFormat wire = simnet::WireFormat::kBinary;
+    /// One-way latency bounds in ms (the paper's WAN: 25–50).
+    simnet::SimTime latency_lo = 25.0;
+    simnet::SimTime latency_hi = 50.0;
+    ecash::Broker::Config broker;
+    ecash::Cents security_deposit = 10'000;
+  };
+
+  explicit SimWorld(const group::SchnorrGroup& grp, Options options);
+
+  simnet::Simulator& sim() { return sim_; }
+  simnet::Network& net() { return *net_; }
+  ecash::Broker& broker() { return *broker_; }
+  const Directory& directory() const { return directory_; }
+  const group::SchnorrGroup& grp() const { return grp_; }
+
+  std::vector<MerchantId> merchant_ids() const;
+  MerchantActor& merchant_actor(const MerchantId& id);
+  ecash::Merchant& merchant(const MerchantId& id);
+  ecash::WitnessService& witness(const MerchantId& id);
+  NodeId merchant_node(const MerchantId& id) const;
+
+  /// Creates a client node (its own RNG stream derived from the seed).
+  ClientActor& add_client();
+
+  /// Takes a merchant machine down / up (storefront and witness together).
+  void set_merchant_down(const MerchantId& id, bool down);
+
+ private:
+  struct MerchantSlot {
+    MerchantId id;
+    std::unique_ptr<ecash::Merchant> merchant;
+    std::unique_ptr<ecash::WitnessService> witness;
+    std::unique_ptr<MerchantActor> actor;
+  };
+
+  group::SchnorrGroup grp_;
+  Options options_;
+  simnet::Simulator sim_;
+  std::unique_ptr<crypto::ChaChaRng> rng_;
+  std::unique_ptr<simnet::Network> net_;
+  std::unique_ptr<ecash::Broker> broker_;
+  std::unique_ptr<BrokerActor> broker_actor_;
+  Directory directory_;
+  std::vector<MerchantSlot> merchants_;
+  std::vector<std::unique_ptr<ClientActor>> clients_;
+  std::uint64_t next_client_seed_ = 0;
+};
+
+}  // namespace p2pcash::actors

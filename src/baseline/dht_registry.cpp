@@ -1,0 +1,52 @@
+#include "baseline/dht_registry.h"
+
+namespace p2pcash::baseline {
+
+DhtSpentRegistry::DhtSpentRegistry(Options options, bn::Rng& rng)
+    : options_(options), rng_(rng), ring_(options.nodes, rng) {
+  storage_.resize(ring_.size());
+  // Sample the compromised set uniformly without replacement.
+  const auto target = static_cast<std::size_t>(
+      options_.malicious_fraction * static_cast<double>(ring_.size()));
+  while (malicious_.size() < target) {
+    malicious_.insert(static_cast<std::size_t>(rng_.next_u64() % ring_.size()));
+  }
+}
+
+DhtSpentRegistry::CheckResult DhtSpentRegistry::check_and_record(
+    const overlay::ChordId& coin_point) {
+  CheckResult result;
+  // The querying merchant starts the lookup from a random (honest) vantage.
+  std::size_t start = static_cast<std::size_t>(rng_.next_u64() % ring_.size());
+  auto path = ring_.route(start, coin_point);
+  result.hops = path.size() - 1;
+
+  if (options_.malicious_misroute) {
+    // If any intermediate hop is malicious, it misroutes: the lookup never
+    // reaches the true replica set and reports "unseen".
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      if (malicious_.contains(path[i])) {
+        result.routed = false;
+        break;
+      }
+    }
+  }
+
+  auto replicas = ring_.replica_set(coin_point, options_.replicas);
+  if (result.routed) {
+    for (auto node : replicas) {
+      if (malicious_.contains(node)) continue;  // lies: "unseen"
+      if (storage_[node].contains(coin_point)) {
+        result.seen_before = true;
+        break;
+      }
+    }
+  }
+  // Record phase: honest replicas store; malicious replicas drop.
+  for (auto node : replicas) {
+    if (!malicious_.contains(node)) storage_[node].insert(coin_point);
+  }
+  return result;
+}
+
+}  // namespace p2pcash::baseline

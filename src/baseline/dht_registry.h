@@ -1,0 +1,61 @@
+// dht_registry.h — baseline: a DHT spent-coin database (WhoPay / Hoepman).
+//
+// The approach the paper argues against (§2): merchants publish spent coins
+// into a Chord DHT and query it before accepting a payment.  Guarantees are
+// only probabilistic once peers can be compromised: a malicious replica
+// swallows the spent-record or answers "unseen", and a malicious router
+// can send the lookup astray.  Bench A2 measures exactly this: double
+// spends accepted vs. fraction of compromised nodes, against the witness
+// scheme's hard zero.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "overlay/chord.h"
+
+namespace p2pcash::baseline {
+
+class DhtSpentRegistry {
+ public:
+  struct Options {
+    std::size_t nodes = 128;
+    std::size_t replicas = 3;       ///< successor-list replication factor
+    double malicious_fraction = 0;  ///< nodes that suppress spent records
+    bool malicious_misroute = false;  ///< malicious nodes also derail lookups
+  };
+
+  DhtSpentRegistry(Options options, bn::Rng& rng);
+
+  /// Result of a check-then-record payment attempt.
+  struct CheckResult {
+    bool seen_before = false;  ///< some honest replica reported the coin
+    std::size_t hops = 0;      ///< route length of the lookup
+    bool routed = true;        ///< lookup reached the replica set at all
+  };
+
+  /// The merchant-side protocol: look up `coin_point` from a random node,
+  /// then record it on the replica set.  Honest replicas store and report
+  /// truthfully; malicious replicas store nothing and always report
+  /// "unseen".
+  CheckResult check_and_record(const overlay::ChordId& coin_point);
+
+  std::size_t node_count() const { return ring_.size(); }
+  std::size_t malicious_count() const { return malicious_.size(); }
+  bool is_malicious(std::size_t node) const {
+    return malicious_.contains(node);
+  }
+
+ private:
+  Options options_;
+  bn::Rng& rng_;
+  overlay::ChordRing ring_;
+  std::set<std::size_t> malicious_;
+  /// Per-node stored records (honest nodes only ever hold entries).
+  std::vector<std::set<bn::BigInt>> storage_;
+};
+
+}  // namespace p2pcash::baseline

@@ -1,0 +1,103 @@
+#include "baseline/offline_detection.h"
+
+#include <cstdio>
+
+#include "ecash/broker.h"
+#include "ecash/transcript.h"
+#include "ecash/wallet.h"
+#include "nizk/representation.h"
+
+namespace p2pcash::baseline {
+
+using namespace p2pcash::ecash;
+
+OfflineDetection::RunStats OfflineDetection::simulate(
+    const group::SchnorrGroup& grp, Options options, bn::Rng& rng) {
+  RunStats stats;
+
+  // Real setup: broker, one registered merchant per victim, one coin.
+  Broker::Config config;
+  config.witness_n = 1;
+  config.witness_k = 1;
+  Broker broker(grp, rng, config);
+  std::vector<MerchantId> merchants;
+  for (std::size_t i = 0; i < options.merchants; ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "v%04u", static_cast<unsigned>(i));
+    auto key = sig::KeyPair::generate(grp, rng);
+    broker.register_merchant(buf, key.public_key(), 0);
+    merchants.emplace_back(buf);
+  }
+  broker.publish_witness_table(0);
+
+  Wallet wallet(grp, broker.coin_key(), broker.identity_key(), rng);
+  auto offer = broker.start_withdrawal(100, /*now=*/0);
+  auto state = wallet.begin_withdrawal(offer.value());
+  auto response = broker.finish_withdrawal(state.session, state.e);
+  auto coin =
+      wallet.complete_withdrawal(state, response.value(),
+                                 broker.current_table());
+  if (!coin) return stats;  // cannot happen with an honest broker
+
+  // The attack: spend the same coin at merchant after merchant.  Without a
+  // witness in the loop every local check passes — the transcripts are
+  // genuinely valid.  Each victim deposits `deposit_interval_ms` after its
+  // own sale; the attack run ends when the first double deposit hits.
+  const double spend_gap_ms = 1000.0 / options.spend_rate_per_s;
+  double first_spend = -1;
+  double first_detection = -1;
+  std::vector<std::pair<double, PaymentTranscript>> pending_deposits;
+
+  double now = 0;
+  std::optional<nizk::ExtractedSecrets> extracted;
+  nizk::ChallengeResponse first_cr;
+  bool have_first = false;
+
+  for (std::size_t i = 0; i < merchants.size(); ++i) {
+    now += spend_gap_ms;
+    // Merchant-side checks (coin + NIZK) all pass:
+    auto intent = wallet.prepare_payment(coin.value(), merchants[i]);
+    PaymentTranscript t;
+    t.coin = coin.value().coin;
+    t.merchant = merchants[i];
+    t.datetime = static_cast<Timestamp>(now);
+    t.salt = intent.salt;
+    bn::BigInt d = payment_challenge(grp, t.coin, t.merchant, t.datetime);
+    t.resp = nizk::respond(grp, coin.value().secret, d);
+    if (!verify_transcript_proof(grp, t)) continue;  // cannot happen
+    if (first_spend < 0) first_spend = now;
+    ++stats.fraudulent_spends;
+    pending_deposits.emplace_back(now + options.deposit_interval_ms, t);
+
+    // Extraction material: the broker can recover the secrets as soon as
+    // two transcripts have been deposited.
+    if (!have_first) {
+      first_cr = nizk::ChallengeResponse{d, t.resp};
+      have_first = true;
+    } else if (!extracted) {
+      extracted = nizk::extract(grp, first_cr, nizk::ChallengeResponse{d, t.resp});
+    }
+
+    // Does the second-earliest deposit land before the next spend?  If so
+    // the broker has two transcripts of one coin: detection.
+    if (pending_deposits.size() >= 2) {
+      double second_deposit_due = pending_deposits[1].first;
+      if (second_deposit_due <= now + spend_gap_ms) {
+        first_detection = second_deposit_due;
+        break;
+      }
+    }
+  }
+
+  if (first_detection >= 0) {
+    stats.detected_at_deposit = 1;
+    stats.detection_delay_ms = first_detection - first_spend;
+  }
+  stats.secrets_extracted =
+      extracted.has_value() &&
+      nizk::verify_representation(grp, coin.value().coin.bare.a,
+                                  extracted->of_a);
+  return stats;
+}
+
+}  // namespace p2pcash::baseline

@@ -1,0 +1,55 @@
+#include "baseline/online_clearing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p2pcash::baseline {
+
+namespace {
+double uniform01(bn::Rng& rng) {
+  return static_cast<double>(rng.next_u64() >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+OnlineClearingBroker::RunStats OnlineClearingBroker::simulate(
+    Options options, std::uint64_t payments, double arrival_rate_per_s,
+    bn::Rng& rng, double outage_start_ms, double outage_end_ms) {
+  RunStats stats;
+  const double mean_interarrival_ms = 1000.0 / arrival_rate_per_s;
+  double arrival = 0;            // next arrival time
+  double server_free_at = 0;     // broker becomes idle at this time
+  double busy_ms = 0;
+  double last_arrival = 0;
+
+  for (std::uint64_t i = 0; i < payments; ++i) {
+    // Poisson arrivals: exponential interarrival times.
+    arrival += -mean_interarrival_ms * std::log(1.0 - uniform01(rng));
+    last_arrival = arrival;
+
+    if (outage_start_ms >= 0 && arrival >= outage_start_ms &&
+        arrival < outage_end_ms) {
+      ++stats.failed_outage;  // broker unreachable: payment cannot clear
+      continue;
+    }
+
+    const double uplink =
+        options.latency_lo_ms +
+        (options.latency_hi_ms - options.latency_lo_ms) * uniform01(rng);
+    const double downlink =
+        options.latency_lo_ms +
+        (options.latency_hi_ms - options.latency_lo_ms) * uniform01(rng);
+
+    const double reach_broker = arrival + uplink;
+    const double start_service = std::max(reach_broker, server_free_at);
+    const double end_service = start_service + options.service_ms;
+    server_free_at = end_service;
+    busy_ms += options.service_ms;
+
+    stats.latency_ms.add(end_service + downlink - arrival);
+    ++stats.cleared;
+  }
+  if (last_arrival > 0) stats.broker_utilization = busy_ms / last_arrival;
+  return stats;
+}
+
+}  // namespace p2pcash::baseline

@@ -1,0 +1,51 @@
+// online_clearing.h — baseline: Chaum-style on-line clearing.
+//
+// The original untraceable e-cash design (Chaum '82) requires the broker
+// to clear every coin on-line before the merchant provides service.  The
+// paper's introduction rejects this for two reasons: the broker becomes a
+// single point of failure, and it must be provisioned for peak load.
+// Bench A3 quantifies both: payment latency vs. offered load at a
+// single-server broker (an M/D/1 queue, simulated exactly), and the outage
+// behaviour when the broker goes down — contrasted with the witness
+// scheme, whose per-witness load shrinks as the merchant network grows.
+
+#pragma once
+
+#include <cstdint>
+
+#include "bn/rng.h"
+#include "metrics/stats.h"
+#include "simnet/sim.h"
+
+namespace p2pcash::baseline {
+
+class OnlineClearingBroker {
+ public:
+  struct Options {
+    /// Broker CPU time to verify + record one coin (ms). The witness
+    /// scheme pays the same check, but spread across all merchants.
+    double service_ms = 10.0;
+    /// One-way WAN latency bounds to the broker (ms).
+    double latency_lo_ms = 25.0;
+    double latency_hi_ms = 50.0;
+  };
+
+  /// Results over a simulated run.
+  struct RunStats {
+    metrics::RunningStats latency_ms;   ///< merchant-observed clearing time
+    std::uint64_t cleared = 0;
+    std::uint64_t failed_outage = 0;    ///< arrived while the broker was down
+    double broker_utilization = 0;      ///< busy time / span
+  };
+
+  /// Simulates `payments` Poisson arrivals at `arrival_rate_per_s` against
+  /// a single FIFO broker.  `outage` optionally takes the broker down for
+  /// [outage_start_ms, outage_end_ms) — arrivals in that window fail (the
+  /// paper's single-point-of-failure argument).
+  static RunStats simulate(Options options, std::uint64_t payments,
+                           double arrival_rate_per_s, bn::Rng& rng,
+                           double outage_start_ms = -1,
+                           double outage_end_ms = -1);
+};
+
+}  // namespace p2pcash::baseline

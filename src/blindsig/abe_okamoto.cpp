@@ -1,0 +1,145 @@
+#include "blindsig/abe_okamoto.h"
+
+#include <stdexcept>
+
+#include "metrics/counters.h"
+
+namespace p2pcash::blindsig {
+
+using bn::BigInt;
+
+namespace {
+
+// Injective (length-prefixed) encoding of the challenge-hash preimage
+// alpha || beta || z || msg.
+std::vector<std::uint8_t> challenge_preimage(const BigInt& alpha,
+                                             const BigInt& beta,
+                                             const BigInt& z,
+                                             const std::vector<std::uint8_t>& msg) {
+  std::vector<std::uint8_t> out;
+  auto put = [&out](const std::vector<std::uint8_t>& bytes) {
+    std::uint32_t n = static_cast<std::uint32_t>(bytes.size());
+    out.push_back(static_cast<std::uint8_t>(n >> 24));
+    out.push_back(static_cast<std::uint8_t>(n >> 16));
+    out.push_back(static_cast<std::uint8_t>(n >> 8));
+    out.push_back(static_cast<std::uint8_t>(n));
+    out.insert(out.end(), bytes.begin(), bytes.end());
+  };
+  put(alpha.to_bytes_be());
+  put(beta.to_bytes_be());
+  put(z.to_bytes_be());
+  put(msg);
+  return out;
+}
+
+}  // namespace
+
+BlindSigner::BlindSigner(group::SchnorrGroup grp, bn::BigInt secret_x)
+    : grp_(std::move(grp)), x_(std::move(secret_x)) {
+  metrics::ScopedSuspendOpCounting suspend;  // key setup is not protocol cost
+  y_ = grp_.exp_g(x_);
+}
+
+BlindSigner::Session BlindSigner::start(const std::vector<std::uint8_t>& info,
+                                        bn::Rng& rng) const {
+  Session session;
+  session.info = info;
+  session.z = grp_.hash_to_group(info);
+  session.u = grp_.random_scalar(rng);
+  session.s = grp_.random_scalar(rng);
+  session.d = grp_.random_scalar(rng);
+  session.first.a = grp_.exp_g(session.u);
+  session.first.b =
+      grp_.mul(grp_.exp_g(session.s), grp_.exp(session.z, session.d));
+  return session;
+}
+
+SignerResponse BlindSigner::respond(const Session& session,
+                                    const bn::BigInt& e) const {
+  SignerResponse resp;
+  resp.c = bn::mod_sub(e, session.d, grp_.q());
+  resp.r = bn::mod_sub(session.u, bn::mod_mul(resp.c, x_, grp_.q()), grp_.q());
+  resp.s = session.s;
+  return resp;
+}
+
+BlindRequester::BlindRequester(group::SchnorrGroup grp, bn::BigInt signer_y,
+                               std::vector<std::uint8_t> info,
+                               std::vector<std::uint8_t> msg)
+    : grp_(std::move(grp)),
+      y_(std::move(signer_y)),
+      info_(std::move(info)),
+      msg_(std::move(msg)) {
+  z_ = grp_.hash_to_group(info_);
+}
+
+BigInt BlindRequester::challenge(const SignerFirstMessage& first,
+                                 bn::Rng& rng) {
+  if (challenged_)
+    throw std::logic_error("BlindRequester: challenge() called twice");
+  // No subgroup-membership check on (a, b): the paper's protocol relies on
+  // the step-4 verification equation, which rejects any deviant response.
+  t1_ = grp_.random_scalar(rng);
+  t2_ = grp_.random_scalar(rng);
+  t3_ = grp_.random_scalar(rng);
+  t4_ = grp_.random_scalar(rng);
+  BigInt alpha =
+      grp_.mul(grp_.mul(first.a, grp_.exp_g(t1_)), grp_.exp(y_, t2_));
+  BigInt beta =
+      grp_.mul(grp_.mul(first.b, grp_.exp_g(t3_)), grp_.exp(z_, t4_));
+  BigInt epsilon = grp_.hash_to_zq(challenge_preimage(alpha, beta, z_, msg_));
+  e_ = bn::mod_sub(bn::mod_sub(epsilon, t2_, grp_.q()), t4_, grp_.q());
+  challenged_ = true;
+  return e_;
+}
+
+PartialBlindSignature BlindRequester::unblind(const SignerResponse& response) {
+  if (!challenged_)
+    throw std::logic_error("BlindRequester: unblind() before challenge()");
+  PartialBlindSignature sig;
+  sig.rho = bn::mod_add(response.r, t1_, grp_.q());
+  sig.omega = bn::mod_add(response.c, t2_, grp_.q());
+  sig.sigma = bn::mod_add(response.s, t3_, grp_.q());
+  sig.delta = bn::mod_add(bn::mod_sub(e_, response.c, grp_.q()), t4_, grp_.q());
+  // Client-side check of the verification equation (paper Algorithm 1
+  // step 4).  A failure here means the broker deviated from the protocol.
+  BigInt lhs = grp_.mul(grp_.exp_g(sig.rho), grp_.exp(y_, sig.omega));
+  BigInt rhs = grp_.mul(grp_.exp_g(sig.sigma), grp_.exp(z_, sig.delta));
+  BigInt expected = grp_.hash_to_zq(challenge_preimage(lhs, rhs, z_, msg_));
+  if (bn::mod_add(sig.omega, sig.delta, grp_.q()) != expected)
+    throw std::runtime_error("BlindRequester: broker response fails to verify");
+  return sig;
+}
+
+bool verify(const group::SchnorrGroup& grp, const bn::BigInt& signer_y,
+            const std::vector<std::uint8_t>& info,
+            const std::vector<std::uint8_t>& msg,
+            const PartialBlindSignature& sig) {
+  for (const BigInt* scalar : {&sig.rho, &sig.omega, &sig.sigma, &sig.delta}) {
+    if (scalar->is_negative() || *scalar >= grp.q()) return false;
+  }
+  BigInt z = grp.hash_to_group(info);
+  BigInt lhs = grp.mul(grp.exp_g(sig.rho), grp.exp(signer_y, sig.omega));
+  BigInt rhs = grp.mul(grp.exp_g(sig.sigma), grp.exp(z, sig.delta));
+  BigInt expected = grp.hash_to_zq(challenge_preimage(lhs, rhs, z, msg));
+  return bn::mod_add(sig.omega, sig.delta, grp.q()) == expected;
+}
+
+bool verify_with_secret(const group::SchnorrGroup& grp, const bn::BigInt& x,
+                        const std::vector<std::uint8_t>& info,
+                        const std::vector<std::uint8_t>& msg,
+                        const PartialBlindSignature& sig) {
+  for (const BigInt* scalar : {&sig.rho, &sig.omega, &sig.sigma, &sig.delta}) {
+    if (scalar->is_negative() || *scalar >= grp.q()) return false;
+  }
+  BigInt z = grp.hash_to_group(info);
+  // g^rho * y^omega = g^(rho + x*omega): one exponentiation instead of two.
+  BigInt exponent = bn::mod_add(sig.rho, bn::mod_mul(x, sig.omega, grp.q()),
+                                grp.q());
+  BigInt lhs = grp.exp_g(exponent);
+  BigInt rhs = grp.mul(grp.exp_g(sig.sigma), grp.exp(z, sig.delta));
+  BigInt expected = grp.hash_to_zq(challenge_preimage(lhs, rhs, z, msg));
+  return bn::mod_add(sig.omega, sig.delta, grp.q()) == expected;
+}
+
+}  // namespace p2pcash::blindsig

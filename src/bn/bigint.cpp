@@ -1,0 +1,684 @@
+#include "bn/bigint.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace p2pcash::bn {
+
+namespace {
+
+constexpr std::size_t kKaratsubaThreshold = 24;  // limbs
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+void trim_leading_zero_limbs(std::vector<BigInt::Limb>& v) {
+  while (!v.empty() && v.back() == 0) v.pop_back();
+}
+
+}  // namespace
+
+BigInt::BigInt(std::int64_t v) {
+  negative_ = v < 0;
+  // Avoid UB negating INT64_MIN: go through the unsigned complement.
+  std::uint64_t mag =
+      negative_ ? ~static_cast<std::uint64_t>(v) + 1 : static_cast<std::uint64_t>(v);
+  if (mag & 0xffffffffull) limbs_.push_back(static_cast<Limb>(mag));
+  if (mag >> 32) {
+    if (limbs_.empty()) limbs_.push_back(0);
+    limbs_.push_back(static_cast<Limb>(mag >> 32));
+  }
+  normalize();
+}
+
+BigInt::BigInt(std::uint64_t v) {
+  if (v & 0xffffffffull) limbs_.push_back(static_cast<Limb>(v));
+  if (v >> 32) {
+    if (limbs_.empty()) limbs_.push_back(0);
+    limbs_.push_back(static_cast<Limb>(v >> 32));
+  }
+  normalize();
+}
+
+BigInt BigInt::from_limbs(std::vector<Limb> limbs, bool negative) {
+  BigInt r;
+  r.limbs_ = std::move(limbs);
+  r.negative_ = negative;
+  r.normalize();
+  return r;
+}
+
+void BigInt::normalize() {
+  trim_leading_zero_limbs(limbs_);
+  if (limbs_.empty()) negative_ = false;
+}
+
+BigInt BigInt::from_string(std::string_view s) {
+  bool neg = false;
+  if (!s.empty() && (s[0] == '-' || s[0] == '+')) {
+    neg = s[0] == '-';
+    s.remove_prefix(1);
+  }
+  BigInt r;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    r = from_hex(s.substr(2));
+  } else {
+    r = from_dec(s);
+  }
+  if (neg && !r.is_zero()) r.negative_ = true;
+  return r;
+}
+
+BigInt BigInt::from_hex(std::string_view s) {
+  if (s.empty()) throw std::invalid_argument("BigInt::from_hex: empty string");
+  bool neg = false;
+  if (s[0] == '-') {
+    neg = true;
+    s.remove_prefix(1);
+    if (s.empty()) throw std::invalid_argument("BigInt::from_hex: bare sign");
+  }
+  BigInt r;
+  r.limbs_.reserve(s.size() / 8 + 1);
+  // Consume from the least-significant end, 8 hex digits per limb.
+  std::size_t pos = s.size();
+  while (pos > 0) {
+    std::size_t take = pos >= 8 ? 8 : pos;
+    Limb limb = 0;
+    for (std::size_t i = pos - take; i < pos; ++i) {
+      int d = hex_digit(s[i]);
+      if (d < 0) throw std::invalid_argument("BigInt::from_hex: bad digit");
+      limb = (limb << 4) | static_cast<Limb>(d);
+    }
+    r.limbs_.push_back(limb);
+    pos -= take;
+  }
+  r.negative_ = neg;
+  r.normalize();
+  return r;
+}
+
+BigInt BigInt::from_dec(std::string_view s) {
+  if (s.empty()) throw std::invalid_argument("BigInt::from_dec: empty string");
+  bool neg = false;
+  if (s[0] == '-') {
+    neg = true;
+    s.remove_prefix(1);
+    if (s.empty()) throw std::invalid_argument("BigInt::from_dec: bare sign");
+  }
+  BigInt r;
+  // Process 9 decimal digits at a time: r = r * 10^9 + chunk.
+  std::size_t i = 0;
+  while (i < s.size()) {
+    std::size_t take = std::min<std::size_t>(9, s.size() - i);
+    std::uint32_t chunk = 0;
+    std::uint32_t scale = 1;
+    for (std::size_t j = 0; j < take; ++j, ++i) {
+      char c = s[i];
+      if (c < '0' || c > '9')
+        throw std::invalid_argument("BigInt::from_dec: bad digit");
+      chunk = chunk * 10 + static_cast<std::uint32_t>(c - '0');
+      scale *= 10;
+    }
+    // r = r * scale + chunk, in-place over limbs.
+    DoubleLimb carry = chunk;
+    for (auto& limb : r.limbs_) {
+      DoubleLimb t = static_cast<DoubleLimb>(limb) * scale + carry;
+      limb = static_cast<Limb>(t);
+      carry = t >> 32;
+    }
+    if (carry) r.limbs_.push_back(static_cast<Limb>(carry));
+  }
+  r.negative_ = neg;
+  r.normalize();
+  return r;
+}
+
+BigInt BigInt::from_bytes_be(std::span<const std::uint8_t> bytes) {
+  BigInt r;
+  r.limbs_.assign((bytes.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    // bytes[i] is the (bytes.size()-1-i)-th byte from the LSB end.
+    std::size_t byte_from_lsb = bytes.size() - 1 - i;
+    r.limbs_[byte_from_lsb / 4] |= static_cast<Limb>(bytes[i])
+                                   << (8 * (byte_from_lsb % 4));
+  }
+  r.normalize();
+  return r;
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0";
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  if (negative_) out.push_back('-');
+  bool leading = true;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      unsigned nib = (limbs_[i] >> shift) & 0xf;
+      if (leading && nib == 0) continue;
+      leading = false;
+      out.push_back(kDigits[nib]);
+    }
+  }
+  return out;
+}
+
+std::string BigInt::to_dec() const {
+  if (is_zero()) return "0";
+  std::vector<Limb> work = limbs_;
+  std::string digits;
+  while (!work.empty()) {
+    // Divide work by 10^9, collecting the remainder.
+    DoubleLimb rem = 0;
+    for (std::size_t i = work.size(); i-- > 0;) {
+      DoubleLimb cur = (rem << 32) | work[i];
+      work[i] = static_cast<Limb>(cur / 1000000000u);
+      rem = cur % 1000000000u;
+    }
+    trim_leading_zero_limbs(work);
+    auto chunk = static_cast<std::uint32_t>(rem);
+    for (int i = 0; i < 9; ++i) {
+      digits.push_back(static_cast<char>('0' + chunk % 10));
+      chunk /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::vector<std::uint8_t> BigInt::to_bytes_be() const {
+  std::size_t nbytes = (bit_length() + 7) / 8;
+  return to_bytes_be_padded(nbytes);
+}
+
+std::vector<std::uint8_t> BigInt::to_bytes_be_padded(std::size_t len) const {
+  std::size_t need = (bit_length() + 7) / 8;
+  if (need > len)
+    throw std::length_error("BigInt::to_bytes_be_padded: value too large");
+  std::vector<std::uint8_t> out(len, 0);
+  for (std::size_t byte_from_lsb = 0; byte_from_lsb < need; ++byte_from_lsb) {
+    Limb limb = limbs_[byte_from_lsb / 4];
+    out[len - 1 - byte_from_lsb] =
+        static_cast<std::uint8_t>(limb >> (8 * (byte_from_lsb % 4)));
+  }
+  return out;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  Limb top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * kLimbBits;
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::bit(std::size_t i) const {
+  std::size_t limb = i / kLimbBits;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % kLimbBits)) & 1u;
+}
+
+void BigInt::set_bit(std::size_t i) {
+  std::size_t limb = i / kLimbBits;
+  if (limb >= limbs_.size()) limbs_.resize(limb + 1, 0);
+  limbs_[limb] |= Limb{1} << (i % kLimbBits);
+}
+
+std::size_t BigInt::count_trailing_zeros() const {
+  if (limbs_.empty()) return 0;
+  std::size_t tz = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    if (limbs_[i] == 0) {
+      tz += kLimbBits;
+      continue;
+    }
+    Limb v = limbs_[i];
+    while (!(v & 1u)) {
+      ++tz;
+      v >>= 1;
+    }
+    break;
+  }
+  return tz;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt r = *this;
+  if (!r.is_zero()) r.negative_ = !r.negative_;
+  return r;
+}
+
+BigInt BigInt::abs() const {
+  BigInt r = *this;
+  r.negative_ = false;
+  return r;
+}
+
+int BigInt::mag_cmp(std::span<const Limb> a, std::span<const Limb> b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+int BigInt::cmp_magnitude(const BigInt& a, const BigInt& b) {
+  return mag_cmp(a.limbs_, b.limbs_);
+}
+
+int BigInt::cmp(const BigInt& a, const BigInt& b) {
+  if (a.negative_ != b.negative_) return a.negative_ ? -1 : 1;
+  int m = mag_cmp(a.limbs_, b.limbs_);
+  return a.negative_ ? -m : m;
+}
+
+std::vector<BigInt::Limb> BigInt::mag_add(std::span<const Limb> a,
+                                          std::span<const Limb> b) {
+  if (a.size() < b.size()) std::swap(a, b);
+  std::vector<Limb> out(a.size() + 1, 0);
+  DoubleLimb carry = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    DoubleLimb t = carry + a[i] + (i < b.size() ? b[i] : 0);
+    out[i] = static_cast<Limb>(t);
+    carry = t >> 32;
+  }
+  out[a.size()] = static_cast<Limb>(carry);
+  trim_leading_zero_limbs(out);
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::mag_sub(std::span<const Limb> a,
+                                          std::span<const Limb> b) {
+  assert(mag_cmp(a, b) >= 0);
+  std::vector<Limb> out(a.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t t = static_cast<std::int64_t>(a[i]) -
+                     (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0) -
+                     borrow;
+    if (t < 0) {
+      t += (std::int64_t{1} << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out[i] = static_cast<Limb>(t);
+  }
+  trim_leading_zero_limbs(out);
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::mag_mul_school(std::span<const Limb> a,
+                                                 std::span<const Limb> b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<Limb> out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    DoubleLimb carry = 0;
+    DoubleLimb ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      DoubleLimb t = ai * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<Limb>(t);
+      carry = t >> 32;
+    }
+    out[i + b.size()] = static_cast<Limb>(carry);
+  }
+  trim_leading_zero_limbs(out);
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::mag_mul_karatsuba(std::span<const Limb> a,
+                                                    std::span<const Limb> b) {
+  // Split at half of the larger operand: x = x1*W^m + x0.
+  std::size_t m = std::max(a.size(), b.size()) / 2;
+  auto lo = [m](std::span<const Limb> x) {
+    return x.subspan(0, std::min(m, x.size()));
+  };
+  auto hi = [m](std::span<const Limb> x) {
+    return x.size() > m ? x.subspan(m) : std::span<const Limb>{};
+  };
+  std::vector<Limb> z0 = mag_mul(lo(a), lo(b));
+  std::vector<Limb> z2 = mag_mul(hi(a), hi(b));
+  std::vector<Limb> sa = mag_add(lo(a), hi(a));
+  std::vector<Limb> sb = mag_add(lo(b), hi(b));
+  std::vector<Limb> z1 = mag_mul(sa, sb);
+  // z1 -= z0 + z2
+  z1 = mag_sub(z1, mag_add(z0, z2));
+  // result = z2*W^(2m) + z1*W^m + z0
+  std::vector<Limb> out(a.size() + b.size() + 1, 0);
+  auto add_at = [&out](const std::vector<Limb>& v, std::size_t shift) {
+    DoubleLimb carry = 0;
+    std::size_t i = 0;
+    for (; i < v.size(); ++i) {
+      DoubleLimb t = static_cast<DoubleLimb>(out[shift + i]) + v[i] + carry;
+      out[shift + i] = static_cast<Limb>(t);
+      carry = t >> 32;
+    }
+    for (; carry; ++i) {
+      DoubleLimb t = static_cast<DoubleLimb>(out[shift + i]) + carry;
+      out[shift + i] = static_cast<Limb>(t);
+      carry = t >> 32;
+    }
+  };
+  add_at(z0, 0);
+  add_at(z1, m);
+  add_at(z2, 2 * m);
+  trim_leading_zero_limbs(out);
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::mag_mul(std::span<const Limb> a,
+                                          std::span<const Limb> b) {
+  if (a.empty() || b.empty()) return {};
+  if (std::min(a.size(), b.size()) < kKaratsubaThreshold)
+    return mag_mul_school(a, b);
+  return mag_mul_karatsuba(a, b);
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  if (negative_ == rhs.negative_) {
+    limbs_ = mag_add(limbs_, rhs.limbs_);
+  } else {
+    int c = mag_cmp(limbs_, rhs.limbs_);
+    if (c == 0) {
+      limbs_.clear();
+      negative_ = false;
+    } else if (c > 0) {
+      limbs_ = mag_sub(limbs_, rhs.limbs_);
+    } else {
+      limbs_ = mag_sub(rhs.limbs_, limbs_);
+      negative_ = rhs.negative_;
+    }
+  }
+  normalize();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) {
+  // a - b == a + (-b); inline the sign flip to avoid a copy of rhs.limbs_.
+  if (negative_ != rhs.negative_) {
+    limbs_ = mag_add(limbs_, rhs.limbs_);
+  } else {
+    int c = mag_cmp(limbs_, rhs.limbs_);
+    if (c == 0) {
+      limbs_.clear();
+      negative_ = false;
+    } else if (c > 0) {
+      limbs_ = mag_sub(limbs_, rhs.limbs_);
+    } else {
+      limbs_ = mag_sub(rhs.limbs_, limbs_);
+      negative_ = !rhs.negative_;
+    }
+  }
+  normalize();
+  return *this;
+}
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  bool neg = negative_ != rhs.negative_;
+  limbs_ = mag_mul(limbs_, rhs.limbs_);
+  negative_ = neg;
+  normalize();
+  return *this;
+}
+
+void BigInt::mag_divmod(std::span<const Limb> num, std::span<const Limb> den,
+                        std::vector<Limb>& quot, std::vector<Limb>& rem) {
+  assert(!den.empty());
+  if (mag_cmp(num, den) < 0) {
+    quot.clear();
+    rem.assign(num.begin(), num.end());
+    return;
+  }
+  if (den.size() == 1) {
+    // Short division.
+    quot.assign(num.size(), 0);
+    DoubleLimb d = den[0];
+    DoubleLimb r = 0;
+    for (std::size_t i = num.size(); i-- > 0;) {
+      DoubleLimb cur = (r << 32) | num[i];
+      quot[i] = static_cast<Limb>(cur / d);
+      r = cur % d;
+    }
+    trim_leading_zero_limbs(quot);
+    rem.clear();
+    if (r) rem.push_back(static_cast<Limb>(r));
+    return;
+  }
+  // Knuth Algorithm D.
+  const std::size_t n = den.size();
+  const std::size_t m = num.size() - n;
+  // D1: normalize so the top limb of the divisor has its high bit set.
+  unsigned shift = 0;
+  {
+    Limb top = den[n - 1];
+    while (!(top & 0x80000000u)) {
+      top <<= 1;
+      ++shift;
+    }
+  }
+  auto shl = [](std::span<const Limb> v, unsigned s, std::size_t extra) {
+    std::vector<Limb> out(v.size() + extra, 0);
+    if (s == 0) {
+      std::copy(v.begin(), v.end(), out.begin());
+      return out;
+    }
+    Limb carry = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      out[i] = (v[i] << s) | carry;
+      carry = static_cast<Limb>(v[i] >> (32 - s));
+    }
+    if (extra) out[v.size()] = carry;
+    return out;
+  };
+  std::vector<Limb> u = shl(num, shift, 1);          // size m+n+1
+  const std::vector<Limb> v = shl(den, shift, 0);    // size n
+  quot.assign(m + 1, 0);
+  const DoubleLimb b = DoubleLimb{1} << 32;
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // D3: estimate q_hat.
+    DoubleLimb top2 = (static_cast<DoubleLimb>(u[j + n]) << 32) | u[j + n - 1];
+    DoubleLimb q_hat = top2 / v[n - 1];
+    DoubleLimb r_hat = top2 % v[n - 1];
+    while (q_hat >= b ||
+           q_hat * v[n - 2] > ((r_hat << 32) | u[j + n - 2])) {
+      --q_hat;
+      r_hat += v[n - 1];
+      if (r_hat >= b) break;
+    }
+    // D4: multiply and subtract u[j..j+n] -= q_hat * v.
+    std::int64_t borrow = 0;
+    DoubleLimb carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      DoubleLimb p = q_hat * v[i] + carry;
+      carry = p >> 32;
+      std::int64_t t = static_cast<std::int64_t>(u[i + j]) -
+                       static_cast<std::int64_t>(p & 0xffffffffull) - borrow;
+      if (t < 0) {
+        t += static_cast<std::int64_t>(b);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<Limb>(t);
+    }
+    std::int64_t t = static_cast<std::int64_t>(u[j + n]) -
+                     static_cast<std::int64_t>(carry) - borrow;
+    bool negative = t < 0;
+    u[j + n] = static_cast<Limb>(t);
+    // D5/D6: if we subtracted too much, add back.
+    if (negative) {
+      --q_hat;
+      DoubleLimb c2 = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        DoubleLimb s = static_cast<DoubleLimb>(u[i + j]) + v[i] + c2;
+        u[i + j] = static_cast<Limb>(s);
+        c2 = s >> 32;
+      }
+      u[j + n] = static_cast<Limb>(u[j + n] + c2);
+    }
+    quot[j] = static_cast<Limb>(q_hat);
+  }
+  trim_leading_zero_limbs(quot);
+  // D8: denormalize the remainder.
+  rem.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+  if (shift) {
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      rem[i] = (rem[i] >> shift) | (rem[i + 1] << (32 - shift));
+    }
+    rem[n - 1] >>= shift;
+  }
+  trim_leading_zero_limbs(rem);
+}
+
+std::pair<BigInt, BigInt> BigInt::divmod(const BigInt& num,
+                                         const BigInt& den) {
+  if (den.is_zero()) throw std::domain_error("BigInt: division by zero");
+  std::vector<Limb> q, r;
+  mag_divmod(num.limbs_, den.limbs_, q, r);
+  BigInt quot = from_limbs(std::move(q), num.negative_ != den.negative_);
+  BigInt rem = from_limbs(std::move(r), num.negative_);
+  return {std::move(quot), std::move(rem)};
+}
+
+BigInt& BigInt::operator/=(const BigInt& rhs) {
+  *this = divmod(*this, rhs).first;
+  return *this;
+}
+
+BigInt& BigInt::operator%=(const BigInt& rhs) {
+  *this = divmod(*this, rhs).second;
+  return *this;
+}
+
+BigInt& BigInt::operator<<=(std::size_t bits) {
+  if (is_zero() || bits == 0) return *this;
+  std::size_t limb_shift = bits / kLimbBits;
+  unsigned bit_shift = bits % kLimbBits;
+  std::vector<Limb> out(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out[i + limb_shift] |= bit_shift ? (limbs_[i] << bit_shift) : limbs_[i];
+    if (bit_shift)
+      out[i + limb_shift + 1] |= static_cast<Limb>(limbs_[i] >> (32 - bit_shift));
+  }
+  limbs_ = std::move(out);
+  normalize();
+  return *this;
+}
+
+BigInt& BigInt::operator>>=(std::size_t bits) {
+  if (is_zero() || bits == 0) return *this;
+  std::size_t limb_shift = bits / kLimbBits;
+  unsigned bit_shift = bits % kLimbBits;
+  if (limb_shift >= limbs_.size()) {
+    limbs_.clear();
+    negative_ = false;
+    return *this;
+  }
+  std::vector<Limb> out(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift && i + limb_shift + 1 < limbs_.size())
+      out[i] |= limbs_[i + limb_shift + 1] << (32 - bit_shift);
+  }
+  limbs_ = std::move(out);
+  normalize();
+  return *this;
+}
+
+std::int64_t BigInt::to_int64() const {
+  if (bit_length() > 64) throw std::overflow_error("BigInt::to_int64");
+  std::uint64_t mag = 0;
+  if (!limbs_.empty()) mag = limbs_[0];
+  if (limbs_.size() > 1) mag |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (!negative_) {
+    if (mag > static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()))
+      throw std::overflow_error("BigInt::to_int64");
+    return static_cast<std::int64_t>(mag);
+  }
+  // Negative: magnitudes up to 2^63 (INT64_MIN) are representable.
+  if (mag > std::uint64_t{1} << 63)
+    throw std::overflow_error("BigInt::to_int64");
+  return static_cast<std::int64_t>(~mag + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Modular arithmetic
+// ---------------------------------------------------------------------------
+
+BigInt mod(const BigInt& a, const BigInt& m) {
+  if (m.is_zero() || m.is_negative())
+    throw std::domain_error("mod: modulus must be positive");
+  BigInt r = a % m;
+  if (r.is_negative()) r += m;
+  return r;
+}
+
+BigInt mod_add(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return mod(a + b, m);
+}
+
+BigInt mod_sub(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return mod(a - b, m);
+}
+
+BigInt mod_mul(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return mod(a * b, m);
+}
+
+BigInt gcd(BigInt a, BigInt b) {
+  a = a.abs();
+  b = b.abs();
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+EgcdResult egcd(const BigInt& a, const BigInt& b) {
+  // Iterative extended Euclid on the given (possibly negative) inputs.
+  BigInt old_r = a, r = b;
+  BigInt old_s = 1, s = 0;
+  BigInt old_t = 0, t = 1;
+  while (!r.is_zero()) {
+    auto [q, rem] = BigInt::divmod(old_r, r);
+    old_r = std::move(r);
+    r = std::move(rem);
+    BigInt tmp_s = old_s - q * s;
+    old_s = std::move(s);
+    s = std::move(tmp_s);
+    BigInt tmp_t = old_t - q * t;
+    old_t = std::move(t);
+    t = std::move(tmp_t);
+  }
+  if (old_r.is_negative()) {
+    old_r = -old_r;
+    old_s = -old_s;
+    old_t = -old_t;
+  }
+  return {std::move(old_r), std::move(old_s), std::move(old_t)};
+}
+
+BigInt mod_inverse(const BigInt& a, const BigInt& m) {
+  if (m.is_zero() || m.is_negative())
+    throw std::domain_error("mod_inverse: modulus must be positive");
+  auto [g, x, y] = egcd(mod(a, m), m);
+  (void)y;
+  if (g != BigInt{1})
+    throw std::domain_error("mod_inverse: not invertible");
+  return mod(x, m);
+}
+
+}  // namespace p2pcash::bn

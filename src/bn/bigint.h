@@ -1,0 +1,176 @@
+// bigint.h — arbitrary-precision signed integers.
+//
+// This is the arithmetic substrate for the whole library: the Schnorr group,
+// the Abe-Okamoto partially blind signature, and the Brands/Okamoto
+// representation proofs all compute in Z_p / Z_q with 1024/160-bit moduli.
+//
+// Representation: sign-magnitude with little-endian 32-bit limbs.  The
+// canonical (normalized) form has no leading zero limbs and zero is
+// represented by an empty limb vector with non-negative sign.  All public
+// operations return normalized values.
+//
+// The class is a regular value type (copyable, movable, equality-comparable,
+// totally ordered) per C++ Core Guidelines C.10/C.61.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace p2pcash::bn {
+
+/// Arbitrary-precision signed integer.
+class BigInt {
+ public:
+  using Limb = std::uint32_t;
+  using DoubleLimb = std::uint64_t;
+  static constexpr unsigned kLimbBits = 32;
+
+  /// Zero.
+  BigInt() = default;
+  BigInt(std::int64_t v);   // NOLINT(google-explicit-constructor) — integers
+  BigInt(std::uint64_t v);  // NOLINT — are genuinely substitutable here.
+  BigInt(int v) : BigInt(static_cast<std::int64_t>(v)) {}
+  BigInt(unsigned v) : BigInt(static_cast<std::uint64_t>(v)) {}
+
+  /// Parses decimal ("-123", "123") or, with prefix "0x"/"-0x", hexadecimal.
+  /// Throws std::invalid_argument on malformed input.
+  static BigInt from_string(std::string_view s);
+  /// Parses a hexadecimal string without prefix (case-insensitive).
+  static BigInt from_hex(std::string_view s);
+  /// Parses a decimal string.
+  static BigInt from_dec(std::string_view s);
+  /// Interprets bytes as a big-endian unsigned integer.
+  static BigInt from_bytes_be(std::span<const std::uint8_t> bytes);
+
+  /// Lowercase hex, no prefix, "-" for negatives, "0" for zero.
+  std::string to_hex() const;
+  /// Decimal string.
+  std::string to_dec() const;
+  /// Big-endian bytes, minimal length (empty for zero). Magnitude only.
+  std::vector<std::uint8_t> to_bytes_be() const;
+  /// Big-endian bytes left-padded with zeros to exactly `len` bytes.
+  /// Throws std::length_error if the magnitude does not fit.
+  std::vector<std::uint8_t> to_bytes_be_padded(std::size_t len) const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1u); }
+  bool is_even() const { return !is_odd(); }
+
+  /// Number of significant bits in the magnitude (0 for zero).
+  std::size_t bit_length() const;
+  /// Bit i (0 = least significant) of the magnitude.
+  bool bit(std::size_t i) const;
+  /// Sets bit i of the magnitude to 1.
+  void set_bit(std::size_t i);
+  /// Number of trailing zero bits of the magnitude (0 for zero).
+  std::size_t count_trailing_zeros() const;
+
+  BigInt operator-() const;
+  BigInt abs() const;
+
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+  /// Truncated division (C++ semantics: quotient rounds toward zero).
+  BigInt& operator/=(const BigInt& rhs);
+  /// Remainder with the sign of the dividend (C++ % semantics).
+  BigInt& operator%=(const BigInt& rhs);
+  BigInt& operator<<=(std::size_t bits);
+  BigInt& operator>>=(std::size_t bits);
+
+  friend BigInt operator+(BigInt a, const BigInt& b) { return a += b; }
+  friend BigInt operator-(BigInt a, const BigInt& b) { return a -= b; }
+  friend BigInt operator*(BigInt a, const BigInt& b) { return a *= b; }
+  friend BigInt operator/(BigInt a, const BigInt& b) { return a /= b; }
+  friend BigInt operator%(BigInt a, const BigInt& b) { return a %= b; }
+  friend BigInt operator<<(BigInt a, std::size_t bits) { return a <<= bits; }
+  friend BigInt operator>>(BigInt a, std::size_t bits) { return a >>= bits; }
+
+  /// Quotient and remainder in one pass (truncated division).
+  /// Throws std::domain_error on division by zero.
+  static std::pair<BigInt, BigInt> divmod(const BigInt& num, const BigInt& den);
+
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return a.negative_ == b.negative_ && a.limbs_ == b.limbs_;
+  }
+  friend bool operator!=(const BigInt& a, const BigInt& b) { return !(a == b); }
+  friend bool operator<(const BigInt& a, const BigInt& b) {
+    return cmp(a, b) < 0;
+  }
+  friend bool operator>(const BigInt& a, const BigInt& b) {
+    return cmp(a, b) > 0;
+  }
+  friend bool operator<=(const BigInt& a, const BigInt& b) {
+    return cmp(a, b) <= 0;
+  }
+  friend bool operator>=(const BigInt& a, const BigInt& b) {
+    return cmp(a, b) >= 0;
+  }
+  /// Three-way comparison: -1, 0, +1.
+  static int cmp(const BigInt& a, const BigInt& b);
+  /// Magnitude-only comparison.
+  static int cmp_magnitude(const BigInt& a, const BigInt& b);
+
+  /// Value as int64 — precondition: fits (checked, throws std::overflow_error).
+  std::int64_t to_int64() const;
+
+  /// Read-only access to limbs (little-endian), for codec/Montgomery layers.
+  std::span<const Limb> limbs() const { return limbs_; }
+
+ private:
+  static BigInt from_limbs(std::vector<Limb> limbs, bool negative);
+  void normalize();
+
+  // Magnitude helpers (ignore sign).
+  static std::vector<Limb> mag_add(std::span<const Limb> a,
+                                   std::span<const Limb> b);
+  static std::vector<Limb> mag_sub(std::span<const Limb> a,
+                                   std::span<const Limb> b);  // pre: a >= b
+  static std::vector<Limb> mag_mul(std::span<const Limb> a,
+                                   std::span<const Limb> b);
+  static std::vector<Limb> mag_mul_school(std::span<const Limb> a,
+                                          std::span<const Limb> b);
+  static std::vector<Limb> mag_mul_karatsuba(std::span<const Limb> a,
+                                             std::span<const Limb> b);
+  static int mag_cmp(std::span<const Limb> a, std::span<const Limb> b);
+  static void mag_divmod(std::span<const Limb> num, std::span<const Limb> den,
+                         std::vector<Limb>& quot, std::vector<Limb>& rem);
+
+  bool negative_ = false;
+  std::vector<Limb> limbs_;  // little-endian, normalized
+};
+
+// ---------------------------------------------------------------------------
+// Modular arithmetic. All functions require m > 0 and reduce results into
+// [0, m). Inputs may be any sign; they are reduced first.
+// ---------------------------------------------------------------------------
+
+/// a mod m, always in [0, m).
+BigInt mod(const BigInt& a, const BigInt& m);
+/// (a + b) mod m.
+BigInt mod_add(const BigInt& a, const BigInt& b, const BigInt& m);
+/// (a - b) mod m.
+BigInt mod_sub(const BigInt& a, const BigInt& b, const BigInt& m);
+/// (a * b) mod m.
+BigInt mod_mul(const BigInt& a, const BigInt& b, const BigInt& m);
+/// base^exp mod m for exp >= 0. Uses Montgomery form when m is odd.
+BigInt mod_exp(const BigInt& base, const BigInt& exp, const BigInt& m);
+/// Multiplicative inverse of a mod m; throws std::domain_error if
+/// gcd(a, m) != 1.
+BigInt mod_inverse(const BigInt& a, const BigInt& m);
+
+/// Greatest common divisor (non-negative).
+BigInt gcd(BigInt a, BigInt b);
+/// Extended Euclid: returns (g, x, y) with a*x + b*y = g = gcd(a, b).
+struct EgcdResult {
+  BigInt g, x, y;
+};
+EgcdResult egcd(const BigInt& a, const BigInt& b);
+
+}  // namespace p2pcash::bn

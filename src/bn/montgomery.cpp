@@ -1,0 +1,187 @@
+#include "bn/montgomery.h"
+
+#include <stdexcept>
+
+namespace p2pcash::bn {
+
+namespace {
+
+// -n^{-1} mod 2^32 via Newton iteration (n odd).
+BigInt::Limb neg_inverse_32(BigInt::Limb n) {
+  BigInt::Limb x = n;  // 3-bit-correct seed: n * n ≡ 1 (mod 8) for odd n.
+  for (int i = 0; i < 5; ++i) x *= 2 - n * x;  // doubles correct bits
+  return static_cast<BigInt::Limb>(0u - x);
+}
+
+}  // namespace
+
+MontgomeryCtx::MontgomeryCtx(BigInt modulus) : modulus_(std::move(modulus)) {
+  if (modulus_.is_negative() || modulus_ <= BigInt{1} || !modulus_.is_odd())
+    throw std::domain_error("MontgomeryCtx: modulus must be odd and > 1");
+  auto limbs = modulus_.limbs();
+  n_.assign(limbs.begin(), limbs.end());
+  n_limbs_ = n_.size();
+  n0_inv_ = neg_inverse_32(n_[0]);
+  // R = 2^(32 * n_limbs); compute R^2 mod n and R mod n via BigInt div.
+  BigInt r = BigInt{1} << (BigInt::kLimbBits * n_limbs_);
+  BigInt r_mod = mod(r, modulus_);
+  BigInt r2_mod = mod(r * r, modulus_);
+  auto pad = [this](const BigInt& v) {
+    std::vector<Limb> out(n_limbs_, 0);
+    auto src = v.limbs();
+    for (std::size_t i = 0; i < src.size(); ++i) out[i] = src[i];
+    return out;
+  };
+  one_ = pad(r_mod);
+  r2_ = pad(r2_mod);
+}
+
+std::vector<MontgomeryCtx::Limb> MontgomeryCtx::mont_mul(
+    const std::vector<Limb>& a, const std::vector<Limb>& b) const {
+  const std::size_t s = n_limbs_;
+  // CIOS with an (s+2)-limb accumulator.
+  std::vector<Limb> t(s + 2, 0);
+  for (std::size_t i = 0; i < s; ++i) {
+    // t += a * b[i]
+    std::uint64_t carry = 0;
+    const std::uint64_t bi = b[i];
+    for (std::size_t j = 0; j < s; ++j) {
+      std::uint64_t cur = static_cast<std::uint64_t>(t[j]) +
+                          static_cast<std::uint64_t>(a[j]) * bi + carry;
+      t[j] = static_cast<Limb>(cur);
+      carry = cur >> 32;
+    }
+    std::uint64_t cur = static_cast<std::uint64_t>(t[s]) + carry;
+    t[s] = static_cast<Limb>(cur);
+    t[s + 1] = static_cast<Limb>(cur >> 32);
+    // Reduce: add m*n where m makes the low limb vanish, then shift.
+    const std::uint64_t m =
+        static_cast<Limb>(static_cast<std::uint64_t>(t[0]) * n0_inv_);
+    cur = static_cast<std::uint64_t>(t[0]) + m * n_[0];
+    carry = cur >> 32;
+    for (std::size_t j = 1; j < s; ++j) {
+      cur = static_cast<std::uint64_t>(t[j]) + m * n_[j] + carry;
+      t[j - 1] = static_cast<Limb>(cur);
+      carry = cur >> 32;
+    }
+    cur = static_cast<std::uint64_t>(t[s]) + carry;
+    t[s - 1] = static_cast<Limb>(cur);
+    t[s] = t[s + 1] + static_cast<Limb>(cur >> 32);
+  }
+  // Conditional final subtraction: t may be in [0, 2n).
+  bool ge = t[s] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = s; i-- > 0;) {
+      if (t[i] != n_[i]) {
+        ge = t[i] > n_[i];
+        break;
+      }
+    }
+  }
+  std::vector<Limb> out(s, 0);
+  if (ge) {
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < s; ++i) {
+      std::int64_t v = static_cast<std::int64_t>(t[i]) -
+                       static_cast<std::int64_t>(n_[i]) - borrow;
+      if (v < 0) {
+        v += (std::int64_t{1} << 32);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      out[i] = static_cast<Limb>(v);
+    }
+  } else {
+    std::copy(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(s),
+              out.begin());
+  }
+  return out;
+}
+
+std::vector<MontgomeryCtx::Limb> MontgomeryCtx::to_mont(const BigInt& a) const {
+  BigInt r = mod(a, modulus_);
+  std::vector<Limb> out(n_limbs_, 0);
+  auto src = r.limbs();
+  for (std::size_t i = 0; i < src.size(); ++i) out[i] = src[i];
+  return mont_mul(out, r2_);
+}
+
+BigInt MontgomeryCtx::from_mont(std::vector<Limb> a) const {
+  std::vector<Limb> one(n_limbs_, 0);
+  one[0] = 1;
+  std::vector<Limb> res = mont_mul(a, one);
+  // Strip leading zeros and build a BigInt.
+  while (!res.empty() && res.back() == 0) res.pop_back();
+  std::vector<std::uint8_t> bytes(res.size() * 4);
+  for (std::size_t i = 0; i < res.size(); ++i) {
+    Limb limb = res[res.size() - 1 - i];
+    bytes[4 * i + 0] = static_cast<std::uint8_t>(limb >> 24);
+    bytes[4 * i + 1] = static_cast<std::uint8_t>(limb >> 16);
+    bytes[4 * i + 2] = static_cast<std::uint8_t>(limb >> 8);
+    bytes[4 * i + 3] = static_cast<std::uint8_t>(limb);
+  }
+  return BigInt::from_bytes_be(bytes);
+}
+
+BigInt MontgomeryCtx::mul(const BigInt& a, const BigInt& b) const {
+  return from_mont(mont_mul(to_mont(a), to_mont(b)));
+}
+
+BigInt MontgomeryCtx::exp(const BigInt& base, const BigInt& exponent) const {
+  if (exponent.is_negative())
+    throw std::domain_error("MontgomeryCtx::exp: negative exponent");
+  if (exponent.is_zero()) return mod(BigInt{1}, modulus_);
+  const std::vector<Limb> mbase = to_mont(base);
+  // Precompute mbase^0..mbase^15 for a fixed 4-bit left-to-right window.
+  std::vector<std::vector<Limb>> table(16);
+  table[0] = one_;
+  table[1] = mbase;
+  for (int i = 2; i < 16; ++i) table[i] = mont_mul(table[i - 1], mbase);
+  const std::size_t bits = exponent.bit_length();
+  const std::size_t windows = (bits + 3) / 4;
+  std::vector<Limb> acc = one_;
+  bool started = false;
+  for (std::size_t w = windows; w-- > 0;) {
+    unsigned nib = 0;
+    for (int k = 3; k >= 0; --k) {
+      nib = (nib << 1) |
+            (exponent.bit(w * 4 + static_cast<std::size_t>(k)) ? 1u : 0u);
+    }
+    if (started) {
+      acc = mont_mul(acc, acc);
+      acc = mont_mul(acc, acc);
+      acc = mont_mul(acc, acc);
+      acc = mont_mul(acc, acc);
+    }
+    if (nib != 0) {
+      acc = started ? mont_mul(acc, table[nib]) : table[nib];
+      started = true;
+    } else if (!started) {
+      continue;  // leading zero window
+    }
+  }
+  return from_mont(std::move(acc));
+}
+
+BigInt mod_exp(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  if (m.is_zero() || m.is_negative())
+    throw std::domain_error("mod_exp: modulus must be positive");
+  if (exp.is_negative()) throw std::domain_error("mod_exp: negative exponent");
+  if (m == BigInt{1}) return BigInt{};
+  if (m.is_odd()) {
+    MontgomeryCtx ctx(m);
+    return ctx.exp(base, exp);
+  }
+  // Even modulus: plain square-and-multiply (rare path, used only in tests).
+  BigInt result{1};
+  BigInt b = mod(base, m);
+  for (std::size_t i = exp.bit_length(); i-- > 0;) {
+    result = mod_mul(result, result, m);
+    if (exp.bit(i)) result = mod_mul(result, b, m);
+  }
+  return result;
+}
+
+}  // namespace p2pcash::bn

@@ -1,0 +1,95 @@
+#include "bn/prime.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "bn/montgomery.h"
+
+namespace p2pcash::bn {
+
+namespace {
+
+// Primes below 1000 for fast trial division.
+constexpr std::array<std::uint32_t, 168> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263,
+    269, 271, 277, 281, 283, 293, 307, 311, 313, 317, 331, 337, 347, 349,
+    353, 359, 367, 373, 379, 383, 389, 397, 401, 409, 419, 421, 431, 433,
+    439, 443, 449, 457, 461, 463, 467, 479, 487, 491, 499, 503, 509, 521,
+    523, 541, 547, 557, 563, 569, 571, 577, 587, 593, 599, 601, 607, 613,
+    617, 619, 631, 641, 643, 647, 653, 659, 661, 673, 677, 683, 691, 701,
+    709, 719, 727, 733, 739, 743, 751, 757, 761, 769, 773, 787, 797, 809,
+    811, 821, 823, 827, 829, 839, 853, 857, 859, 863, 877, 881, 883, 887,
+    907, 911, 919, 929, 937, 941, 947, 953, 967, 971, 977, 983, 991, 997};
+
+std::uint32_t mod_small(const BigInt& n, std::uint32_t d) {
+  std::uint64_t rem = 0;
+  auto limbs = n.limbs();
+  for (std::size_t i = limbs.size(); i-- > 0;) {
+    rem = ((rem << 32) | limbs[i]) % d;
+  }
+  return static_cast<std::uint32_t>(rem);
+}
+
+}  // namespace
+
+bool is_probable_prime(const BigInt& n, Rng& rng, int rounds) {
+  if (n.is_negative()) return false;
+  if (n < BigInt{2}) return false;
+  for (auto p : kSmallPrimes) {
+    if (n == BigInt{p}) return true;
+    if (mod_small(n, p) == 0) return false;
+  }
+  // Miller–Rabin: n - 1 = d * 2^s with d odd.
+  const BigInt n_minus_1 = n - BigInt{1};
+  const std::size_t s = n_minus_1.count_trailing_zeros();
+  const BigInt d = n_minus_1 >> s;
+  const MontgomeryCtx ctx(n);
+  for (int round = 0; round < rounds; ++round) {
+    // Base in [2, n-2].
+    BigInt a = random_below(rng, n - BigInt{3}) + BigInt{2};
+    BigInt x = ctx.exp(a, d);
+    if (x == BigInt{1} || x == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t i = 1; i < s; ++i) {
+      x = ctx.mul(x, x);
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigInt generate_prime(Rng& rng, std::size_t bits, int rounds) {
+  if (bits < 2) throw std::domain_error("generate_prime: bits must be >= 2");
+  for (;;) {
+    BigInt candidate = random_bits(rng, bits);
+    candidate.set_bit(bits - 1);  // exact bit length
+    candidate.set_bit(0);         // odd
+    if (is_probable_prime(candidate, rng, rounds)) return candidate;
+  }
+}
+
+PqParams generate_pq(Rng& rng, std::size_t p_bits, std::size_t q_bits,
+                     int rounds) {
+  if (q_bits + 1 >= p_bits)
+    throw std::domain_error("generate_pq: need q_bits + 1 < p_bits");
+  const BigInt q = generate_prime(rng, q_bits, rounds);
+  const std::size_t k_bits = p_bits - q_bits;
+  for (;;) {
+    // p = k*q + 1 with k even so p is odd, sized so |p| = p_bits.
+    BigInt k = random_bits(rng, k_bits);
+    k.set_bit(k_bits - 1);
+    if (k.is_odd()) k += BigInt{1};
+    BigInt p = k * q + BigInt{1};
+    if (p.bit_length() != p_bits) continue;
+    if (is_probable_prime(p, rng, rounds)) return {p, q};
+  }
+}
+
+}  // namespace p2pcash::bn

@@ -1,0 +1,31 @@
+// prime.h — probabilistic primality testing and prime/parameter generation.
+//
+// Used to generate the Schnorr-group parameters the paper prescribes
+// (1024-bit p, 160-bit q with q | p-1) and the smaller test-size groups.
+
+#pragma once
+
+#include <cstddef>
+
+#include "bn/bigint.h"
+#include "bn/rng.h"
+
+namespace p2pcash::bn {
+
+/// Miller–Rabin with `rounds` random bases, preceded by trial division by
+/// small primes. Error probability <= 4^-rounds for composite n.
+bool is_probable_prime(const BigInt& n, Rng& rng, int rounds = 40);
+
+/// Uniform random probable prime of exactly `bits` bits (top bit set, odd).
+BigInt generate_prime(Rng& rng, std::size_t bits, int rounds = 40);
+
+/// DSA-style parameters: primes (p, q) with q | p - 1, |p| = p_bits,
+/// |q| = q_bits. Generation searches p = k*q + 1 over random k.
+struct PqParams {
+  BigInt p;
+  BigInt q;
+};
+PqParams generate_pq(Rng& rng, std::size_t p_bits, std::size_t q_bits,
+                     int rounds = 40);
+
+}  // namespace p2pcash::bn

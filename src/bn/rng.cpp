@@ -1,0 +1,38 @@
+#include "bn/rng.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace p2pcash::bn {
+
+BigInt random_bits(Rng& rng, std::size_t bits) {
+  if (bits == 0) return BigInt{};
+  std::vector<std::uint8_t> buf((bits + 7) / 8);
+  rng.fill(buf);
+  // Mask off excess high bits so the value is uniform in [0, 2^bits).
+  unsigned excess = static_cast<unsigned>(buf.size() * 8 - bits);
+  buf[0] &= static_cast<std::uint8_t>(0xffu >> excess);
+  return BigInt::from_bytes_be(buf);
+}
+
+BigInt random_below(Rng& rng, const BigInt& bound) {
+  if (bound.is_zero() || bound.is_negative())
+    throw std::domain_error("random_below: bound must be positive");
+  const std::size_t bits = bound.bit_length();
+  // Rejection sampling: each draw succeeds with probability > 1/2.
+  for (;;) {
+    BigInt candidate = random_bits(rng, bits);
+    if (candidate < bound) return candidate;
+  }
+}
+
+BigInt random_nonzero_below(Rng& rng, const BigInt& bound) {
+  if (bound <= BigInt{1})
+    throw std::domain_error("random_nonzero_below: bound must be > 1");
+  for (;;) {
+    BigInt candidate = random_below(rng, bound);
+    if (!candidate.is_zero()) return candidate;
+  }
+}
+
+}  // namespace p2pcash::bn

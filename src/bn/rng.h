@@ -1,0 +1,43 @@
+// rng.h — randomness source abstraction used by the arithmetic layer.
+//
+// All randomness in the library flows through this interface so tests and
+// benchmarks can inject a deterministic, seeded generator (crypto::ChaChaRng)
+// and every run is reproducible.  Defined here, at the lowest layer, so that
+// prime generation does not need to depend on the crypto module.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "bn/bigint.h"
+
+namespace p2pcash::bn {
+
+/// Source of random bytes. Implementations must fill the whole span.
+class Rng {
+ public:
+  virtual ~Rng() = default;
+  virtual void fill(std::span<std::uint8_t> out) = 0;
+
+  /// Convenience: one uniform 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint8_t buf[8];
+    fill(buf);
+    std::uint64_t v = 0;
+    for (auto b : buf) v = (v << 8) | b;
+    return v;
+  }
+};
+
+/// Uniform value in [0, 2^bits).
+BigInt random_bits(Rng& rng, std::size_t bits);
+
+/// Uniform value in [0, bound) via rejection sampling; bound must be > 0.
+BigInt random_below(Rng& rng, const BigInt& bound);
+
+/// Uniform value in [1, bound); bound must be > 1. The standard "random
+/// exponent in Z_q^*" helper used throughout the protocols.
+BigInt random_nonzero_below(Rng& rng, const BigInt& bound);
+
+}  // namespace p2pcash::bn

@@ -1,0 +1,110 @@
+#include "crypto/chacha.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/sha256.h"
+
+namespace p2pcash::crypto {
+
+namespace {
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b; d ^= a; d = std::rotl(d, 16);
+  c += d; b ^= c; b = std::rotl(b, 12);
+  a += b; d ^= a; d = std::rotl(d, 8);
+  c += d; b ^= c; b = std::rotl(b, 7);
+}
+
+}  // namespace
+
+void chacha20_block(const std::array<std::uint32_t, 8>& key,
+                    std::uint32_t counter,
+                    const std::array<std::uint32_t, 3>& nonce,
+                    std::span<std::uint8_t, 64> out) {
+  std::uint32_t state[16] = {
+      0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,  // "expand 32-byte k"
+      key[0], key[1], key[2], key[3],
+      key[4], key[5], key[6], key[7],
+      counter, nonce[0], nonce[1], nonce[2]};
+  std::uint32_t working[16];
+  std::memcpy(working, state, sizeof(state));
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(working[0], working[4], working[8], working[12]);
+    quarter_round(working[1], working[5], working[9], working[13]);
+    quarter_round(working[2], working[6], working[10], working[14]);
+    quarter_round(working[3], working[7], working[11], working[15]);
+    quarter_round(working[0], working[5], working[10], working[15]);
+    quarter_round(working[1], working[6], working[11], working[12]);
+    quarter_round(working[2], working[7], working[8], working[13]);
+    quarter_round(working[3], working[4], working[9], working[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    std::uint32_t v = working[i] + state[i];
+    out[4 * i] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+}
+
+ChaChaRng::ChaChaRng(std::span<const std::uint8_t, 32> seed) {
+  for (int i = 0; i < 8; ++i) {
+    key_[i] = static_cast<std::uint32_t>(seed[4 * i]) |
+              (static_cast<std::uint32_t>(seed[4 * i + 1]) << 8) |
+              (static_cast<std::uint32_t>(seed[4 * i + 2]) << 16) |
+              (static_cast<std::uint32_t>(seed[4 * i + 3]) << 24);
+  }
+}
+
+ChaChaRng::ChaChaRng(std::string_view seed_label)
+    : ChaChaRng(std::span<const std::uint8_t, 32>(
+          Sha256::hash(seed_label).data(), 32)) {}
+
+ChaChaRng::ChaChaRng(std::uint64_t seed)
+    : ChaChaRng([seed] {
+        std::uint8_t buf[8];
+        for (int i = 0; i < 8; ++i)
+          buf[i] = static_cast<std::uint8_t>(seed >> (8 * i));
+        return Sha256::hash(std::span<const std::uint8_t>(buf, 8));
+      }()) {}
+
+void ChaChaRng::refill() {
+  chacha20_block(key_, counter_++, nonce_, block_);
+  block_pos_ = 0;
+}
+
+void ChaChaRng::fill(std::span<std::uint8_t> out) {
+  std::size_t offset = 0;
+  while (offset < out.size()) {
+    if (block_pos_ == 64) refill();
+    std::size_t take = std::min(out.size() - offset, std::size_t{64} - block_pos_);
+    std::memcpy(out.data() + offset, block_.data() + block_pos_, take);
+    block_pos_ += take;
+    offset += take;
+  }
+}
+
+ChaChaRng ChaChaRng::fork(std::string_view label) {
+  std::array<std::uint8_t, 32> child_seed;
+  fill(child_seed);
+  Sha256 h;
+  h.update(child_seed);
+  h.update(label);
+  auto d = h.finalize();
+  return ChaChaRng(std::span<const std::uint8_t, 32>(d.data(), 32));
+}
+
+void SystemRng::fill(std::span<std::uint8_t> out) {
+  std::FILE* f = std::fopen("/dev/urandom", "rb");
+  if (!f) throw std::runtime_error("SystemRng: cannot open /dev/urandom");
+  std::size_t got = std::fread(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  if (got != out.size())
+    throw std::runtime_error("SystemRng: short read from /dev/urandom");
+}
+
+}  // namespace p2pcash::crypto

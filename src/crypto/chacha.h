@@ -1,0 +1,57 @@
+// chacha.h — ChaCha20 block function (RFC 8439) and a deterministic RNG.
+//
+// ChaChaRng is the library's only randomness implementation: seeded from 32
+// bytes, it implements bn::Rng, so every protocol run — tests, benchmarks,
+// simulations — is reproducible bit-for-bit given the seed.  Production
+// deployments would seed it from the OS entropy pool (see SystemRng).
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "bn/rng.h"
+
+namespace p2pcash::crypto {
+
+/// Raw ChaCha20 block function: fills a 64-byte block from key/counter/nonce.
+void chacha20_block(const std::array<std::uint32_t, 8>& key,
+                    std::uint32_t counter,
+                    const std::array<std::uint32_t, 3>& nonce,
+                    std::span<std::uint8_t, 64> out);
+
+/// Deterministic cryptographically-strong RNG over the ChaCha20 keystream.
+class ChaChaRng final : public bn::Rng {
+ public:
+  /// Seeds from exactly 32 bytes.
+  explicit ChaChaRng(std::span<const std::uint8_t, 32> seed);
+  /// Seeds from the SHA-256 of an arbitrary string label (test convenience).
+  explicit ChaChaRng(std::string_view seed_label);
+  /// Seeds from a 64-bit value (expanded through SHA-256).
+  explicit ChaChaRng(std::uint64_t seed);
+
+  void fill(std::span<std::uint8_t> out) override;
+
+  /// Forks an independent child RNG; the child stream is computationally
+  /// independent of the parent's future output.
+  ChaChaRng fork(std::string_view label);
+
+ private:
+  void refill();
+
+  std::array<std::uint32_t, 8> key_{};
+  std::array<std::uint32_t, 3> nonce_{};
+  std::uint32_t counter_ = 0;
+  std::array<std::uint8_t, 64> block_{};
+  std::size_t block_pos_ = 64;  // empty
+};
+
+/// RNG backed by the operating system entropy pool (/dev/urandom).
+class SystemRng final : public bn::Rng {
+ public:
+  void fill(std::span<std::uint8_t> out) override;
+};
+
+}  // namespace p2pcash::crypto

@@ -1,0 +1,155 @@
+#include "crypto/encoding.h"
+
+#include <stdexcept>
+
+namespace p2pcash::crypto {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+constexpr char kB64Digits[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+int b64_value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+
+bool is_unreserved(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+         (c >= '0' && c <= '9') || c == '-' || c == '.' || c == '_' ||
+         c == '~';
+}
+
+}  // namespace
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (auto b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0)
+    throw std::invalid_argument("from_hex: odd length");
+  std::vector<std::uint8_t> out(hex.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    int hi = hex_value(hex[2 * i]);
+    int lo = hex_value(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) throw std::invalid_argument("from_hex: bad digit");
+    out[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return out;
+}
+
+std::string to_base64(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                      (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                      data[i + 2];
+    out.push_back(kB64Digits[(v >> 18) & 0x3f]);
+    out.push_back(kB64Digits[(v >> 12) & 0x3f]);
+    out.push_back(kB64Digits[(v >> 6) & 0x3f]);
+    out.push_back(kB64Digits[v & 0x3f]);
+  }
+  std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    std::uint32_t v = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kB64Digits[(v >> 18) & 0x3f]);
+    out.push_back(kB64Digits[(v >> 12) & 0x3f]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rem == 2) {
+    std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                      (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out.push_back(kB64Digits[(v >> 18) & 0x3f]);
+    out.push_back(kB64Digits[(v >> 12) & 0x3f]);
+    out.push_back(kB64Digits[(v >> 6) & 0x3f]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> from_base64(std::string_view b64) {
+  if (b64.size() % 4 != 0)
+    throw std::invalid_argument("from_base64: length not multiple of 4");
+  std::vector<std::uint8_t> out;
+  out.reserve(b64.size() / 4 * 3);
+  for (std::size_t i = 0; i < b64.size(); i += 4) {
+    int pads = 0;
+    std::uint32_t v = 0;
+    for (int j = 0; j < 4; ++j) {
+      char c = b64[i + j];
+      if (c == '=') {
+        if (i + 4 != b64.size() || j < 2)
+          throw std::invalid_argument("from_base64: misplaced padding");
+        ++pads;
+        v <<= 6;
+      } else {
+        if (pads) throw std::invalid_argument("from_base64: data after pad");
+        int d = b64_value(c);
+        if (d < 0) throw std::invalid_argument("from_base64: bad digit");
+        v = (v << 6) | static_cast<std::uint32_t>(d);
+      }
+    }
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    if (pads < 2) out.push_back(static_cast<std::uint8_t>(v >> 8));
+    if (pads < 1) out.push_back(static_cast<std::uint8_t>(v));
+  }
+  return out;
+}
+
+std::string uri_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (is_unreserved(c)) {
+      out.push_back(c);
+    } else {
+      out.push_back('%');
+      out.push_back(kHexDigits[static_cast<std::uint8_t>(c) >> 4]);
+      out.push_back(kHexDigits[static_cast<std::uint8_t>(c) & 0xf]);
+    }
+  }
+  return out;
+}
+
+std::string uri_unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%') {
+      if (i + 2 >= s.size())
+        throw std::invalid_argument("uri_unescape: truncated escape");
+      int hi = hex_value(s[i + 1]);
+      int lo = hex_value(s[i + 2]);
+      if (hi < 0 || lo < 0)
+        throw std::invalid_argument("uri_unescape: bad escape");
+      out.push_back(static_cast<char>((hi << 4) | lo));
+      i += 2;
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace p2pcash::crypto

@@ -1,0 +1,30 @@
+// encoding.h — hex, base64 and percent (URI) codecs.
+//
+// The paper's prototype transfers all protocol state URL-encoded (§7); the
+// wire layer uses these codecs to reproduce the byte counts of Table 2 and
+// to offer the compact binary/base64 alternative the paper suggests.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p2pcash::crypto {
+
+std::string to_hex(std::span<const std::uint8_t> data);
+/// Throws std::invalid_argument on odd length or non-hex characters.
+std::vector<std::uint8_t> from_hex(std::string_view hex);
+
+std::string to_base64(std::span<const std::uint8_t> data);
+/// Accepts padded canonical base64; throws std::invalid_argument otherwise.
+std::vector<std::uint8_t> from_base64(std::string_view b64);
+
+/// Percent-encodes everything outside RFC 3986 "unreserved".
+std::string uri_escape(std::string_view s);
+/// Throws std::invalid_argument on malformed %-sequences.
+std::string uri_unescape(std::string_view s);
+
+}  // namespace p2pcash::crypto

@@ -1,0 +1,68 @@
+#include "crypto/hmac.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace p2pcash::crypto {
+
+Sha256::Digest hmac_sha256(std::span<const std::uint8_t> key,
+                           std::span<const std::uint8_t> data) {
+  std::array<std::uint8_t, 64> k_block{};
+  if (key.size() > 64) {
+    auto d = Sha256::hash(key);
+    std::memcpy(k_block.data(), d.data(), d.size());
+  } else {
+    std::memcpy(k_block.data(), key.data(), key.size());
+  }
+  std::array<std::uint8_t, 64> ipad{};
+  std::array<std::uint8_t, 64> opad{};
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = k_block[i] ^ 0x36;
+    opad[i] = k_block[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  auto inner_digest = inner.finalize();
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finalize();
+}
+
+Sha256::Digest hkdf_extract(std::span<const std::uint8_t> salt,
+                            std::span<const std::uint8_t> ikm) {
+  return hmac_sha256(salt, ikm);
+}
+
+std::vector<std::uint8_t> hkdf_expand(const Sha256::Digest& prk,
+                                      std::span<const std::uint8_t> info,
+                                      std::size_t length) {
+  if (length > 255 * Sha256::kDigestSize)
+    throw std::length_error("hkdf_expand: output too long");
+  std::vector<std::uint8_t> out;
+  out.reserve(length);
+  std::vector<std::uint8_t> t;  // T(i-1)
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    std::vector<std::uint8_t> block = t;
+    block.insert(block.end(), info.begin(), info.end());
+    block.push_back(counter++);
+    auto d = hmac_sha256(prk, block);
+    t.assign(d.begin(), d.end());
+    std::size_t take = std::min(t.size(), length - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+bool constant_time_equal(std::span<const std::uint8_t> a,
+                         std::span<const std::uint8_t> b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace p2pcash::crypto

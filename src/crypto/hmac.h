@@ -1,0 +1,35 @@
+// hmac.h — HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+//
+// HKDF derives independent sub-keys (e.g. the broker's range-signing key vs
+// its coin-signing key) from one master secret, and seeds per-component
+// deterministic RNGs in tests.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace p2pcash::crypto {
+
+/// HMAC-SHA256 of `data` under `key`.
+Sha256::Digest hmac_sha256(std::span<const std::uint8_t> key,
+                           std::span<const std::uint8_t> data);
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Sha256::Digest hkdf_extract(std::span<const std::uint8_t> salt,
+                            std::span<const std::uint8_t> ikm);
+
+/// HKDF-Expand: `length` bytes of output keyed by `prk`, labelled by `info`.
+/// length <= 255 * 32.
+std::vector<std::uint8_t> hkdf_expand(const Sha256::Digest& prk,
+                                      std::span<const std::uint8_t> info,
+                                      std::size_t length);
+
+/// Constant-time equality of two byte strings (length leak only).
+bool constant_time_equal(std::span<const std::uint8_t> a,
+                         std::span<const std::uint8_t> b);
+
+}  // namespace p2pcash::crypto

@@ -1,0 +1,55 @@
+// sha256.h — SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// This is the hash behind every random-oracle instantiation in the protocol:
+// the challenge hash H: {0,1}* -> Z_q, the hash-to-group F: {0,1}* -> <g>,
+// coin hashes h(bare coin) used for witness assignment, and commitment
+// nonces h(salt || merchant).
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p2pcash::crypto {
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256() { reset(); }
+
+  void reset();
+  Sha256& update(std::span<const std::uint8_t> data);
+  Sha256& update(std::string_view data);
+  /// Finalizes and returns the digest; the hasher must be reset() before
+  /// further use.
+  Digest finalize();
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const std::uint8_t> data);
+  static Digest hash(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// Digest as a lowercase hex string (for logging / URI encoding).
+std::string digest_to_hex(const Sha256::Digest& d);
+
+/// Hash a sequence of length-prefixed fields. Length prefixing makes the
+/// encoding injective, so h(a||b) cannot collide with h(a'||b') when field
+/// boundaries differ — required for all the paper's h(x||y) constructions.
+Sha256::Digest hash_fields(std::span<const std::vector<std::uint8_t>> fields);
+
+}  // namespace p2pcash::crypto

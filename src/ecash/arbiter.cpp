@@ -1,0 +1,100 @@
+#include "ecash/arbiter.h"
+
+#include <algorithm>
+
+namespace p2pcash::ecash {
+
+const char* to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kWitnessViolated: return "witness-violated";
+    case Verdict::kClientDoubleSpent: return "client-double-spent";
+    case Verdict::kMerchantViolated: return "merchant-violated";
+    case Verdict::kNoFault: return "no-fault";
+    case Verdict::kInvalidEvidence: return "invalid-evidence";
+  }
+  return "unknown";
+}
+
+bool Arbiter::verify_double_spend_proof(const Coin& coin,
+                                        const DoubleSpendProof& proof) const {
+  const auto current = current_commitments(coin);
+  return proof.coin_hash == coin.bare.coin_hash() &&
+         proof.a == current.a && proof.b == current.b && proof.verify(grp_);
+}
+
+Verdict Arbiter::judge_refusal(const PaymentTranscript& transcript,
+                               const WitnessCommitment& commitment,
+                               const std::optional<CommittedValue>& revealed,
+                               const DoubleSpendProof& refusal_proof) const {
+  const Coin& coin = transcript.coin;
+  const Hash256 coin_hash = coin.bare.coin_hash();
+
+  // The dispute only makes sense if the commitment covers the coin and is
+  // signed by one of its assigned witnesses.
+  if (commitment.coin_hash != coin_hash) return Verdict::kInvalidEvidence;
+  auto entry = std::find_if(coin.witnesses.begin(), coin.witnesses.end(),
+                            [&](const SignedWitnessEntry& e) {
+                              return e.merchant == commitment.witness;
+                            });
+  if (entry == coin.witnesses.end()) return Verdict::kInvalidEvidence;
+  if (!sig::verify(grp_, entry->witness_key, commitment.signed_payload(),
+                   commitment.witness_sig))
+    return Verdict::kInvalidEvidence;
+  // The merchant's own claim must be internally consistent: the nonce must
+  // bind the transcript's merchant.
+  if (payment_nonce(transcript.salt, transcript.merchant) != commitment.nonce)
+    return Verdict::kMerchantViolated;
+
+  // The refusal proof itself must open this coin's commitments; a witness
+  // refusing with garbage is cheating outright.
+  if (!verify_double_spend_proof(coin, refusal_proof))
+    return Verdict::kWitnessViolated;
+
+  // The witness must reveal v on demand; silence is a violation.
+  if (!revealed) return Verdict::kWitnessViolated;
+  if (revealed->hash() != commitment.value_hash)
+    return Verdict::kWitnessViolated;
+
+  switch (revealed->kind) {
+    case CommittedValue::Kind::kFresh:
+      // Committed while knowing of no prior spend, then claimed a prior
+      // spend: the paper's explicit witness-violation case.
+      return Verdict::kWitnessViolated;
+    case CommittedValue::Kind::kPriorTranscript:
+    case CommittedValue::Kind::kExtracted:
+      // The witness committed already knowing evidence of a prior spend;
+      // given the proof verifies, the client double-spent.
+      return Verdict::kClientDoubleSpent;
+  }
+  return Verdict::kInvalidEvidence;
+}
+
+Verdict Arbiter::judge_double_signing(const SignedTranscript& first,
+                                      const SignedTranscript& second,
+                                      const MerchantId& witness) const {
+  const Coin& coin = first.transcript.coin;
+  if (first.transcript.coin.bare != second.transcript.coin.bare)
+    return Verdict::kInvalidEvidence;  // different coins — no conflict
+  if (first.transcript == second.transcript)
+    return Verdict::kNoFault;  // the same transcript twice proves nothing
+
+  auto entry = std::find_if(coin.witnesses.begin(), coin.witnesses.end(),
+                            [&](const SignedWitnessEntry& e) {
+                              return e.merchant == witness;
+                            });
+  if (entry == coin.witnesses.end()) return Verdict::kInvalidEvidence;
+
+  auto signed_by = [&](const SignedTranscript& st) {
+    return std::any_of(st.endorsements.begin(), st.endorsements.end(),
+                       [&](const WitnessEndorsement& e) {
+                         return e.witness == witness &&
+                                sig::verify(grp_, entry->witness_key,
+                                            st.transcript.signed_payload(),
+                                            e.signature);
+                       });
+  };
+  if (signed_by(first) && signed_by(second)) return Verdict::kWitnessViolated;
+  return Verdict::kInvalidEvidence;
+}
+
+}  // namespace p2pcash::ecash

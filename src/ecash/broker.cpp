@@ -1,0 +1,586 @@
+#include "ecash/broker.h"
+
+#include "escrow/elgamal.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p2pcash::ecash {
+
+using bn::BigInt;
+
+namespace {
+// The broker has a single key pair (x, y = g^x) like the paper's B: it
+// blind-signs coins and plain-signs witness-range entries with the same
+// key (the two uses are domain-separated by their hash tags).
+bn::BigInt broker_secret(const group::SchnorrGroup& grp, bn::Rng& rng) {
+  return grp.random_scalar(rng);
+}
+}  // namespace
+
+Broker::Broker(group::SchnorrGroup grp, bn::Rng& rng, Config config)
+    : grp_(grp),
+      rng_(rng),
+      config_(config),
+      signer_(grp, broker_secret(grp, rng)),
+      identity_(sig::KeyPair::from_secret(grp, signer_.secret_x())) {}
+
+void Broker::register_merchant(const MerchantId& id, const sig::PublicKey& key,
+                               Cents security_deposit) {
+  auto& account = accounts_[id];
+  account.key = key;
+  account.deposit_remaining = security_deposit;
+}
+
+bool Broker::is_registered(const MerchantId& id) const {
+  return accounts_.contains(id);
+}
+
+const Broker::MerchantAccount* Broker::account(const MerchantId& id) const {
+  auto it = accounts_.find(id);
+  return it == accounts_.end() ? nullptr : &it->second;
+}
+
+void Broker::set_weight(const MerchantId& id, std::uint64_t weight) {
+  auto it = accounts_.find(id);
+  if (it == accounts_.end())
+    throw std::invalid_argument("Broker::set_weight: unknown merchant");
+  if (weight == 0)
+    throw std::invalid_argument("Broker::set_weight: zero weight");
+  it->second.weight = weight;
+}
+
+const WitnessTable& Broker::publish_witness_table(Timestamp now) {
+  std::vector<WitnessTable::Participant> participants;
+  for (const auto& [id, account] : accounts_) {
+    if (account.flagged) continue;  // caught cheating: out of the rotation
+    participants.push_back({id, account.key, account.weight});
+  }
+  if (participants.empty())
+    throw std::logic_error("Broker: no eligible witnesses to publish");
+  auto version = static_cast<std::uint32_t>(tables_.size() + 1);
+  tables_.push_back(
+      WitnessTable::build(version, now, participants, identity_, rng_));
+  return tables_.back();
+}
+
+const WitnessTable& Broker::current_table() const {
+  if (tables_.empty())
+    throw std::logic_error("Broker: no witness table published yet");
+  return tables_.back();
+}
+
+const WitnessTable* Broker::table(std::uint32_t version) const {
+  if (version == 0 || version > tables_.size()) return nullptr;
+  return &tables_[version - 1];
+}
+
+CoinInfo Broker::make_info(Cents denomination, Timestamp now) const {
+  CoinInfo info;
+  info.denomination = denomination;
+  info.list_version = current_table().version();
+  info.soft_expiry = now + config_.soft_lifetime_ms;
+  info.hard_expiry = info.soft_expiry + config_.renewal_window_ms;
+  info.witness_n = config_.witness_n;
+  info.witness_k = config_.witness_k;
+  return info;
+}
+
+Outcome<Broker::WithdrawalOffer> Broker::start_withdrawal(Cents denomination,
+                                                          Timestamp now) {
+  if (tables_.empty())
+    return Refusal{RefusalReason::kInternal, "no witness table published"};
+  if (denomination == 0)
+    return Refusal{RefusalReason::kInternal, "zero denomination"};
+  WithdrawalOffer offer;
+  offer.session = next_session_++;
+  offer.info = make_info(denomination, now);
+  auto session = signer_.start(offer.info.bytes(), rng_);
+  offer.first = session.first;
+  withdrawal_sessions_.emplace(offer.session, std::move(session));
+  fiat_collected_ += denomination;  // client pays out of band (card/deposit)
+  return offer;
+}
+
+Outcome<Broker::WithdrawalOffer> Broker::start_withdrawal_escrowed(
+    Cents denomination, const std::string& client_identity,
+    const bn::BigInt& escrow_authority_y, Timestamp now) {
+  if (tables_.empty())
+    return Refusal{RefusalReason::kInternal, "no witness table published"};
+  if (denomination == 0)
+    return Refusal{RefusalReason::kInternal, "zero denomination"};
+  if (client_identity.empty())
+    return Refusal{RefusalReason::kInternal, "empty identity to escrow"};
+  WithdrawalOffer offer;
+  offer.session = next_session_++;
+  offer.info = make_info(denomination, now);
+  offer.info.escrow_tag = escrow::make_escrow_tag(
+      grp_, escrow_authority_y, client_identity, rng_);
+  auto session = signer_.start(offer.info.bytes(), rng_);
+  offer.first = session.first;
+  withdrawal_sessions_.emplace(offer.session, std::move(session));
+  fiat_collected_ += denomination;
+  return offer;
+}
+
+Outcome<blindsig::SignerResponse> Broker::finish_withdrawal(
+    std::uint64_t session, const BigInt& e) {
+  auto it = withdrawal_sessions_.find(session);
+  if (it == withdrawal_sessions_.end())
+    return Refusal{RefusalReason::kStaleRequest, "unknown withdrawal session"};
+  auto response = signer_.respond(it->second, e);
+  withdrawal_sessions_.erase(it);  // one response per session, ever
+  ++coins_issued_;
+  return response;
+}
+
+Outcome<std::monostate> Broker::check_witness_assignment(
+    const Coin& coin, const Hash256& coin_hash) const {
+  const WitnessTable* tbl = table(coin.bare.info.list_version);
+  if (!tbl)
+    return Refusal{RefusalReason::kInvalidCoin, "unknown table version"};
+  if (coin.witnesses.size() != coin.bare.info.witness_n)
+    return Refusal{RefusalReason::kInvalidCoin, "witness entry count"};
+  // The broker checks entries against its own records rather than
+  // verifying its own signatures (no Ver cost — Table 1 deposit row),
+  // following the same distinct-witness probe sequence as everyone else.
+  std::size_t next = 0;
+  for (std::uint8_t idx = 0;
+       idx < kMaxWitnessProbes && next < coin.witnesses.size(); ++idx) {
+    auto expected = tbl->lookup(witness_point(coin_hash, idx));
+    if (!expected)
+      return Refusal{RefusalReason::kInternal, "witness table has a gap"};
+    bool collision = false;
+    for (std::size_t j = 0; j < next; ++j) {
+      if (coin.witnesses[j].merchant == expected->merchant) collision = true;
+    }
+    if (collision) continue;
+    if (coin.witnesses[next] != *expected)
+      return Refusal{RefusalReason::kWrongWitness,
+                     "witness entry does not match published table"};
+    ++next;
+  }
+  if (next != coin.witnesses.size())
+    return Refusal{RefusalReason::kWrongWitness,
+                   "witness assignment incomplete"};
+  return std::monostate{};
+}
+
+Outcome<std::vector<MerchantId>> Broker::validate_signed_transcript(
+    const SignedTranscript& st, const Hash256& coin_hash,
+    Timestamp now) const {
+  const PaymentTranscript& t = st.transcript;
+  const CoinInfo& info = t.coin.bare.info;
+
+  // Coin validity and deposit window: payments happen before soft expiry;
+  // deposits are accepted until soft expiry + grace (after which renewal
+  // opens — the windows are disjoint by construction).
+  if (t.datetime >= info.soft_expiry)
+    return Refusal{RefusalReason::kExpired, "payment after soft expiry"};
+  if (now > info.soft_expiry + config_.deposit_grace_ms)
+    return Refusal{RefusalReason::kExpired, "deposit window closed"};
+
+  // Broker's own blind signature (secret-key fast path: 3 Exp + 2 Hash).
+  if (auto ok = verify_bare_coin_with_secret(grp_, signer_.secret_x(),
+                                             t.coin.bare);
+      !ok)
+    return ok.refusal();
+
+  // Witness assignment per the broker's own table records.
+  if (auto ok = check_witness_assignment(t.coin, coin_hash); !ok)
+    return ok.refusal();
+
+  // The payment NIZK (1 Hash + 3 Exp).
+  if (!verify_transcript_proof(grp_, t))
+    return Refusal{RefusalReason::kBadProof, "NIZK response invalid"};
+
+  // Required witness endorsements: at least witness_k distinct witnesses
+  // from the coin's assignment, each signature valid (1 Ver each).
+  std::vector<MerchantId> endorsers;
+  for (const auto& endorsement : st.endorsements) {
+    auto entry_it = std::find_if(
+        t.coin.witnesses.begin(), t.coin.witnesses.end(),
+        [&](const SignedWitnessEntry& e) {
+          return e.merchant == endorsement.witness;
+        });
+    if (entry_it == t.coin.witnesses.end()) continue;
+    if (std::find(endorsers.begin(), endorsers.end(), endorsement.witness) !=
+        endorsers.end())
+      continue;  // duplicate endorser
+    if (!sig::verify(grp_, entry_it->witness_key, t.signed_payload(),
+                     endorsement.signature))
+      return Refusal{RefusalReason::kBadSignature,
+                     "witness endorsement signature invalid"};
+    endorsers.push_back(endorsement.witness);
+  }
+  if (endorsers.size() < info.witness_k)
+    return Refusal{RefusalReason::kBadSignature,
+                   "insufficient witness endorsements"};
+  return endorsers;
+}
+
+Outcome<Broker::DepositReceipt> Broker::deposit(const MerchantId& depositor,
+                                                const SignedTranscript& st,
+                                                Timestamp now) {
+  const PaymentTranscript& t = st.transcript;
+  const CoinInfo& info = t.coin.bare.info;
+
+  // Only registered merchants hold accounts to credit (paper §3: merchants
+  // are long-term, legitimate members).
+  auto account_it = accounts_.find(depositor);
+  if (account_it == accounts_.end())
+    return Refusal{RefusalReason::kUnknownMerchant, "depositor not registered"};
+  if (t.merchant != depositor)
+    return Refusal{RefusalReason::kBadProof,
+                   "transcript names a different merchant"};
+
+  // h(bare coin): computed once, keys both the witness check and the
+  // deposit database (matching the paper's 4-Hash deposit row).
+  const Hash256 coin_hash = t.coin.bare.coin_hash();
+
+  auto endorsers_outcome = validate_signed_transcript(st, coin_hash, now);
+  if (!endorsers_outcome) return endorsers_outcome.refusal();
+  std::vector<MerchantId> endorsers = std::move(endorsers_outcome).value();
+
+  // A renewed coin can no longer be deposited (disjoint windows make this
+  // unreachable for honest parties; see header).
+  if (renewals_.contains(coin_hash))
+    return Refusal{RefusalReason::kDoubleSpent, "coin was renewed"};
+
+  auto prior = deposits_.find(coin_hash);
+  if (prior == deposits_.end()) {
+    // Case 2-a: first deposit. Credit and store until hard expiry.
+    deposits_.emplace(coin_hash, DepositRecord{st, depositor});
+    account_it->second.balance += info.denomination;
+    fiat_paid_out_ += info.denomination;
+    return DepositReceipt{info.denomination, false};
+  }
+
+  if (prior->second.depositor == depositor)
+    // Case 2-b(i): same merchant re-deposits — refused, no credit.
+    return Refusal{RefusalReason::kAlreadyDeposited,
+                   "this merchant already deposited this coin"};
+
+  // Case 2-b(ii): a different merchant deposits the same coin — some
+  // witness signed two transcripts.  The merchant is still paid, out of
+  // that witness's security deposit; the proof is two witness signatures
+  // over different transcripts of one coin.
+  std::vector<MerchantId> prior_endorsers;
+  for (const auto& e : prior->second.st.endorsements)
+    prior_endorsers.push_back(e.witness);
+  MerchantId culprit;
+  for (const auto& id : endorsers) {
+    if (std::find(prior_endorsers.begin(), prior_endorsers.end(), id) !=
+        prior_endorsers.end()) {
+      culprit = id;
+      break;
+    }
+  }
+  if (culprit.empty()) {
+    // No common endorser (possible under k-of-n with disjoint sets): charge
+    // the first endorser of the second deposit — it still signed a coin
+    // that the assignment says it shares responsibility for.
+    culprit = endorsers.front();
+  }
+  witness_faults_.push_back(
+      WitnessFaultProof{coin_hash, prior->second.st, st, culprit});
+  auto culprit_it = accounts_.find(culprit);
+  Cents amount = info.denomination;
+  if (culprit_it != accounts_.end()) {
+    culprit_it->second.flagged = true;
+    Cents charge = std::min<Cents>(amount, culprit_it->second.deposit_remaining);
+    culprit_it->second.deposit_remaining -= charge;
+  }
+  account_it->second.balance += amount;
+  fiat_paid_out_ += amount;
+  return DepositReceipt{amount, true};
+}
+
+Outcome<std::vector<Broker::WithdrawalOffer>> Broker::exchange(
+    const SignedTranscript& st, const std::vector<Cents>& denominations,
+    Timestamp now) {
+  const PaymentTranscript& t = st.transcript;
+  const CoinInfo& info = t.coin.bare.info;
+  if (t.merchant != kBrokerCounterparty)
+    return Refusal{RefusalReason::kBadProof,
+                   "exchange transcript must name the broker"};
+  if (denominations.empty())
+    return Refusal{RefusalReason::kBadProof, "no change requested"};
+  Cents total = 0;
+  for (Cents d : denominations) {
+    if (d == 0)
+      return Refusal{RefusalReason::kBadProof, "zero denomination"};
+    total += d;
+  }
+  if (total != info.denomination)
+    return Refusal{RefusalReason::kBadProof,
+                   "change does not sum to the coin's value"};
+
+  const Hash256 coin_hash = t.coin.bare.coin_hash();
+  if (auto endorsers = validate_signed_transcript(st, coin_hash, now);
+      !endorsers)
+    return endorsers.refusal();
+
+  if (renewals_.contains(coin_hash))
+    return Refusal{RefusalReason::kDoubleSpent, "coin was renewed"};
+  if (deposits_.contains(coin_hash))
+    return Refusal{RefusalReason::kDoubleSpent,
+                   "coin was already deposited or exchanged"};
+
+  // Consume the coin: it enters the deposit database under the broker's
+  // own name, so any later merchant deposit of the same coin triggers the
+  // standard double-deposit handling (the witness double-signed and pays).
+  deposits_.emplace(coin_hash, DepositRecord{st, kBrokerCounterparty});
+
+  // Issue the change: one blind-signature session per new coin.  No fiat
+  // moves — the consumed coin funds the new ones exactly.
+  std::vector<WithdrawalOffer> offers;
+  offers.reserve(denominations.size());
+  for (Cents d : denominations) {
+    WithdrawalOffer offer;
+    offer.session = next_session_++;
+    offer.info = make_info(d, now);
+    auto session = signer_.start(offer.info.bytes(), rng_);
+    offer.first = session.first;
+    withdrawal_sessions_.emplace(offer.session, std::move(session));
+    offers.push_back(std::move(offer));
+  }
+  return offers;
+}
+
+BigInt Broker::renewal_challenge(const Coin& coin,
+                                 Timestamp datetime) const {
+  wire::Writer w;
+  w.put_string("p2pcash/renewal-challenge/v1");
+  coin.encode(w);
+  w.put_i64(datetime);
+  return grp_.hash_to_zq(w.take());
+}
+
+Outcome<Broker::RenewalOffer> Broker::start_renewal(Cents denomination,
+                                                    Timestamp now) {
+  if (tables_.empty())
+    return Refusal{RefusalReason::kInternal, "no witness table published"};
+  RenewalOffer offer;
+  offer.session = next_session_++;
+  offer.info = make_info(denomination, now);
+  auto session = signer_.start(offer.info.bytes(), rng_);
+  offer.first = session.first;
+  renewal_sessions_.emplace(offer.session, std::move(session));
+  return offer;
+}
+
+Outcome<blindsig::SignerResponse> Broker::finish_renewal(
+    std::uint64_t session, const BigInt& e, const Coin& old_coin,
+    const nizk::Response& proof, Timestamp datetime, Timestamp now) {
+  auto it = renewal_sessions_.find(session);
+  if (it == renewal_sessions_.end())
+    return Refusal{RefusalReason::kStaleRequest, "unknown renewal session"};
+  // The new coin must match the old coin's value (renewal is an exchange,
+  // not a purchase).  The session fixed the new coin's info at start time.
+  const CoinInfo new_info =
+      wire::decode<CoinInfo>(std::span<const std::uint8_t>(it->second.info));
+  if (new_info.denomination != old_coin.bare.info.denomination)
+    return Refusal{RefusalReason::kBadProof,
+                   "renewal denomination mismatch"};
+
+  // Renewal window: after the deposit grace closes, before hard expiry.
+  if (now < old_coin.bare.info.soft_expiry + config_.deposit_grace_ms)
+    return Refusal{RefusalReason::kStaleRequest,
+                   "renewal opens after the deposit window closes"};
+  if (now >= old_coin.bare.info.hard_expiry)
+    return Refusal{RefusalReason::kExpired, "coin past hard expiry"};
+
+  // Old coin authenticity (secret-key fast path) and, for transferred
+  // coins, the witness-endorsed ownership chain.
+  if (auto ok = verify_bare_coin_with_secret(grp_, signer_.secret_x(),
+                                             old_coin.bare);
+      !ok)
+    return ok.refusal();
+  if (auto chain = verify_transfer_chain(grp_, old_coin); !chain)
+    return chain.refusal();
+
+  // Ownership proof: response to d* = H0(old coin, "renewal", datetime),
+  // under the coin's *current* commitments.
+  BigInt d_star = renewal_challenge(old_coin, datetime);
+  const auto current = current_commitments(old_coin);
+  nizk::Commitments comm{current.a, current.b};
+  if (!nizk::verify_response(grp_, comm, d_star, proof))
+    return Refusal{RefusalReason::kBadProof, "renewal ownership proof invalid"};
+
+  const Hash256 coin_hash = old_coin.bare.coin_hash();
+
+  // Already deposited? Extract the representations from the deposit's
+  // transcript plus this renewal proof and refuse (Algorithm 4 step 3).
+  if (auto dep = deposits_.find(coin_hash); dep != deposits_.end()) {
+    const PaymentTranscript& t = dep->second.st.transcript;
+    nizk::ChallengeResponse first{
+        payment_challenge(grp_, t.coin, t.merchant, t.datetime), t.resp};
+    nizk::ChallengeResponse second{d_star, proof};
+    if (auto extracted = nizk::extract(grp_, first, second)) {
+      DoubleSpendProof ds;
+      ds.coin_hash = coin_hash;
+      ds.a = current.a;
+      ds.b = current.b;
+      ds.secrets = *extracted;
+      if (ds.verify(grp_)) renewal_fraud_proofs_.push_back(ds);
+    }
+    return Refusal{RefusalReason::kDoubleSpent, "coin was already deposited"};
+  }
+  // Already renewed?
+  if (auto ren = renewals_.find(coin_hash); ren != renewals_.end()) {
+    nizk::ChallengeResponse first{
+        renewal_challenge(ren->second.coin, ren->second.datetime),
+        ren->second.proof};
+    nizk::ChallengeResponse second{d_star, proof};
+    if (auto extracted = nizk::extract(grp_, first, second)) {
+      DoubleSpendProof ds;
+      ds.coin_hash = coin_hash;
+      ds.a = current.a;
+      ds.b = current.b;
+      ds.secrets = *extracted;
+      if (ds.verify(grp_)) renewal_fraud_proofs_.push_back(ds);
+    }
+    return Refusal{RefusalReason::kDoubleSpent, "coin was already renewed"};
+  }
+
+  // Mark renewed (stored until the old coin's hard expiry) and answer the
+  // blind challenge for the new coin.
+  renewals_.emplace(coin_hash, RenewalRecord{old_coin, proof, datetime});
+  auto response = signer_.respond(it->second, e);
+  renewal_sessions_.erase(it);
+  ++coins_issued_;
+  return response;
+}
+
+
+std::vector<std::uint8_t> Broker::snapshot_state() const {
+  wire::Writer w;
+  w.put_string("p2pcash/broker-snapshot/v1");
+  w.put_bigint(signer_.secret_x());
+  w.put_u64(next_session_);
+  w.put_u64(coins_issued_);
+  w.put_i64(fiat_collected_);
+  w.put_i64(fiat_paid_out_);
+  w.put_u32(static_cast<std::uint32_t>(accounts_.size()));
+  for (const auto& [id, account] : accounts_) {
+    w.put_string(id);
+    w.put_bigint(account.key.y);
+    w.put_u32(account.deposit_remaining);
+    w.put_i64(account.balance);
+    w.put_u64(account.weight);
+    w.put_u8(account.flagged ? 1 : 0);
+  }
+  w.put_u32(static_cast<std::uint32_t>(tables_.size()));
+  for (const auto& table : tables_) table.encode(w);
+  w.put_u32(static_cast<std::uint32_t>(deposits_.size()));
+  for (const auto& [hash, record] : deposits_) {
+    w.put_bytes(hash);
+    record.st.encode(w);
+    w.put_string(record.depositor);
+  }
+  w.put_u32(static_cast<std::uint32_t>(renewals_.size()));
+  for (const auto& [hash, record] : renewals_) {
+    w.put_bytes(hash);
+    record.coin.encode(w);
+    w.put_bigint(record.proof.r1);
+    w.put_bigint(record.proof.r2);
+    w.put_i64(record.datetime);
+  }
+  w.put_u32(static_cast<std::uint32_t>(witness_faults_.size()));
+  for (const auto& fault : witness_faults_) {
+    w.put_bytes(fault.coin_hash);
+    fault.first.encode(w);
+    fault.second.encode(w);
+    w.put_string(fault.witness);
+  }
+  w.put_u32(static_cast<std::uint32_t>(renewal_fraud_proofs_.size()));
+  for (const auto& proof : renewal_fraud_proofs_) proof.encode(w);
+  return w.take();
+}
+
+namespace {
+Hash256 snapshot_hash(wire::Reader& r) {
+  auto bytes = r.get_bytes();
+  if (bytes.size() != 32)
+    throw wire::DecodeError("broker snapshot: bad hash width");
+  Hash256 h;
+  std::copy(bytes.begin(), bytes.end(), h.begin());
+  return h;
+}
+}  // namespace
+
+void Broker::restore_state(std::span<const std::uint8_t> snapshot) {
+  wire::Reader r(snapshot);
+  if (r.get_string() != "p2pcash/broker-snapshot/v1")
+    throw wire::DecodeError("broker snapshot: bad magic");
+  BigInt secret = r.get_bigint();
+  std::uint64_t next_session = r.get_u64();
+  std::uint64_t coins_issued = r.get_u64();
+  std::int64_t fiat_collected = r.get_i64();
+  std::int64_t fiat_paid_out = r.get_i64();
+  std::map<MerchantId, MerchantAccount> accounts;
+  for (std::uint32_t i = 0, n = r.get_u32(); i < n; ++i) {
+    MerchantId id = r.get_string();
+    MerchantAccount account;
+    account.key.y = r.get_bigint();
+    account.deposit_remaining = r.get_u32();
+    account.balance = r.get_i64();
+    account.weight = r.get_u64();
+    account.flagged = r.get_u8() != 0;
+    accounts.emplace(std::move(id), std::move(account));
+  }
+  std::vector<WitnessTable> tables;
+  for (std::uint32_t i = 0, n = r.get_u32(); i < n; ++i)
+    tables.push_back(WitnessTable::decode(r));
+  std::map<Hash256, DepositRecord> deposits;
+  for (std::uint32_t i = 0, n = r.get_u32(); i < n; ++i) {
+    Hash256 hash = snapshot_hash(r);
+    DepositRecord record;
+    record.st = SignedTranscript::decode(r);
+    record.depositor = r.get_string();
+    deposits.emplace(hash, std::move(record));
+  }
+  std::map<Hash256, RenewalRecord> renewals;
+  for (std::uint32_t i = 0, n = r.get_u32(); i < n; ++i) {
+    Hash256 hash = snapshot_hash(r);
+    RenewalRecord record;
+    record.coin = Coin::decode(r);
+    record.proof.r1 = r.get_bigint();
+    record.proof.r2 = r.get_bigint();
+    record.datetime = r.get_i64();
+    renewals.emplace(hash, std::move(record));
+  }
+  std::vector<WitnessFaultProof> faults;
+  for (std::uint32_t i = 0, n = r.get_u32(); i < n; ++i) {
+    WitnessFaultProof fault;
+    fault.coin_hash = snapshot_hash(r);
+    fault.first = SignedTranscript::decode(r);
+    fault.second = SignedTranscript::decode(r);
+    fault.witness = r.get_string();
+    faults.push_back(std::move(fault));
+  }
+  std::vector<DoubleSpendProof> fraud;
+  for (std::uint32_t i = 0, n = r.get_u32(); i < n; ++i)
+    fraud.push_back(DoubleSpendProof::decode(r));
+  r.expect_end();
+
+  // Parsed completely: commit (keys first, then ledgers).
+  signer_ = blindsig::BlindSigner(grp_, secret);
+  identity_ = sig::KeyPair::from_secret(grp_, secret);
+  next_session_ = next_session;
+  coins_issued_ = coins_issued;
+  fiat_collected_ = fiat_collected;
+  fiat_paid_out_ = fiat_paid_out;
+  accounts_ = std::move(accounts);
+  tables_ = std::move(tables);
+  deposits_ = std::move(deposits);
+  renewals_ = std::move(renewals);
+  witness_faults_ = std::move(faults);
+  renewal_fraud_proofs_ = std::move(fraud);
+  withdrawal_sessions_.clear();
+  renewal_sessions_.clear();
+}
+
+
+}  // namespace p2pcash::ecash

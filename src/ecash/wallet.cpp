@@ -1,0 +1,231 @@
+#include "ecash/wallet.h"
+
+#include <stdexcept>
+
+namespace p2pcash::ecash {
+
+using bn::BigInt;
+
+Wallet::Wallet(group::SchnorrGroup grp, sig::PublicKey broker_coin_key,
+               sig::PublicKey broker_identity_key, bn::Rng& rng)
+    : grp_(std::move(grp)),
+      broker_coin_key_(std::move(broker_coin_key)),
+      broker_identity_key_(std::move(broker_identity_key)),
+      rng_(rng) {}
+
+Wallet::Withdrawal Wallet::begin_withdrawal(
+    const Broker::WithdrawalOffer& offer) {
+  nizk::CoinSecret secret = nizk::CoinSecret::random(grp_, rng_);
+  nizk::Commitments comm = nizk::commit(grp_, secret);  // A, B (4 Exp)
+  BareCoin shape;  // only to build the canonical blind message
+  shape.info = offer.info;
+  shape.a = comm.a;
+  shape.b = comm.b;
+  blindsig::BlindRequester requester(grp_, broker_coin_key_.y,
+                                     offer.info.bytes(),
+                                     shape.blind_message());
+  BigInt e = requester.challenge(offer.first, rng_);
+  return Withdrawal{offer.session,   offer.info,   std::move(secret),
+                    std::move(comm), std::move(requester), std::move(e)};
+}
+
+Outcome<WalletCoin> Wallet::finish(const CoinInfo& info,
+                                   const nizk::CoinSecret& secret,
+                                   const nizk::Commitments& comm,
+                                   blindsig::BlindRequester& requester,
+                                   const blindsig::SignerResponse& resp,
+                                   const WitnessTable& table) {
+  if (table.version() != info.list_version)
+    return Refusal{RefusalReason::kInternal,
+                   "witness table version does not match coin info"};
+  WalletCoin wc;
+  wc.secret = secret;
+  wc.coin.bare.info = info;
+  wc.coin.bare.a = comm.a;
+  wc.coin.bare.b = comm.b;
+  try {
+    wc.coin.bare.sig = requester.unblind(resp);
+  } catch (const std::runtime_error& err) {
+    return Refusal{RefusalReason::kBadSignature, err.what()};
+  }
+  // Attach the broker-signed witness entries selected by h(bare coin):
+  // probe indices 0, 1, 2, … and skip collisions with already-assigned
+  // witnesses, so the coin carries witness_n *distinct* witnesses.
+  const auto coin_hash = wc.coin.bare.coin_hash();
+  for (std::uint8_t idx = 0;
+       idx < kMaxWitnessProbes && wc.coin.witnesses.size() < info.witness_n;
+       ++idx) {
+    BigInt point = witness_point(coin_hash, idx);
+    bool collision = false;
+    for (const auto& prior : wc.coin.witnesses) {
+      if (prior.contains(point)) collision = true;
+    }
+    if (collision) continue;
+    auto entry = table.lookup(point);
+    if (!entry)
+      return Refusal{RefusalReason::kInternal, "witness table has a gap"};
+    // The client verifies the broker's signature on the entry it copies
+    // (its 1 Ver in Table 1's withdrawal row).
+    if (!sig::verify(grp_, broker_identity_key_, entry->signed_payload(),
+                     entry->broker_sig))
+      return Refusal{RefusalReason::kBadSignature,
+                     "witness entry signature invalid"};
+    wc.coin.witnesses.push_back(std::move(*entry));
+  }
+  if (wc.coin.witnesses.size() < info.witness_n)
+    return Refusal{RefusalReason::kInternal,
+                   "not enough distinct witnesses in the table"};
+  return wc;
+}
+
+Outcome<WalletCoin> Wallet::complete_withdrawal(
+    Withdrawal& state, const blindsig::SignerResponse& resp,
+    const WitnessTable& table) {
+  return finish(state.info, state.secret, state.comm, state.requester, resp,
+                table);
+}
+
+Wallet::PaymentIntent Wallet::prepare_payment(const WalletCoin& coin,
+                                              const MerchantId& merchant) {
+  PaymentIntent intent;
+  intent.coin_hash = coin.coin.bare.coin_hash();
+  intent.salt.resize(16);
+  rng_.fill(intent.salt);
+  intent.nonce = payment_nonce(intent.salt, merchant);
+  intent.merchant = merchant;
+  return intent;
+}
+
+Outcome<PaymentTranscript> Wallet::build_transcript(
+    const WalletCoin& coin, const PaymentIntent& intent,
+    const std::vector<WitnessCommitment>& commitments, Timestamp now) {
+  // Each commitment must cover exactly this coin and this (hidden)
+  // merchant, be unexpired, and carry a valid signature from one of the
+  // coin's assigned witnesses; witness_k distinct witnesses are required.
+  std::vector<MerchantId> committed;
+  for (const auto& commitment : commitments) {
+    if (commitment.coin_hash != intent.coin_hash)
+      return Refusal{RefusalReason::kBadProof,
+                     "commitment covers another coin"};
+    if (commitment.nonce != intent.nonce)
+      return Refusal{RefusalReason::kBadNonce,
+                     "commitment bound to other nonce"};
+    if (now >= commitment.expires)
+      return Refusal{RefusalReason::kStaleRequest, "commitment expired"};
+    const SignedWitnessEntry* entry = nullptr;
+    for (const auto& w : coin.coin.witnesses) {
+      if (w.merchant == commitment.witness) {
+        entry = &w;
+        break;
+      }
+    }
+    if (!entry)
+      return Refusal{RefusalReason::kWrongWitness,
+                     "commitment from a non-assigned witness"};
+    for (const auto& prior : committed) {
+      if (prior == commitment.witness)
+        return Refusal{RefusalReason::kBadProof,
+                       "duplicate commitment witness"};
+    }
+    if (!sig::verify(grp_, entry->witness_key, commitment.signed_payload(),
+                     commitment.witness_sig))
+      return Refusal{RefusalReason::kBadSignature,
+                     "witness commitment signature invalid"};
+    committed.push_back(commitment.witness);
+  }
+  if (committed.size() < coin.coin.bare.info.witness_k)
+    return Refusal{RefusalReason::kBadProof,
+                   "insufficient witness commitments"};
+
+  PaymentTranscript t;
+  t.coin = coin.coin;
+  t.merchant = intent.merchant;
+  t.datetime = now;
+  t.salt = intent.salt;
+  BigInt d = payment_challenge(grp_, t.coin, t.merchant, t.datetime);
+  t.resp = nizk::respond(grp_, coin.secret, d);
+  return t;
+}
+
+Wallet::Renewal Wallet::begin_renewal(const WalletCoin& old_coin,
+                                      const Broker::RenewalOffer& offer,
+                                      const BigInt& renewal_challenge,
+                                      Timestamp datetime) {
+  nizk::CoinSecret secret = nizk::CoinSecret::random(grp_, rng_);
+  nizk::Commitments comm = nizk::commit(grp_, secret);
+  BareCoin shape;
+  shape.info = offer.info;
+  shape.a = comm.a;
+  shape.b = comm.b;
+  blindsig::BlindRequester requester(grp_, broker_coin_key_.y,
+                                     offer.info.bytes(),
+                                     shape.blind_message());
+  BigInt e = requester.challenge(offer.first, rng_);
+  Renewal state{offer.session,
+                offer.info,
+                std::move(secret),
+                std::move(comm),
+                std::move(requester),
+                std::move(e),
+                nizk::respond(grp_, old_coin.secret, renewal_challenge),
+                datetime};
+  return state;
+}
+
+Outcome<WalletCoin> Wallet::complete_renewal(
+    Renewal& state, const blindsig::SignerResponse& resp,
+    const WitnessTable& table) {
+  return finish(state.info, state.secret, state.comm, state.requester, resp,
+                table);
+}
+
+Wallet::ReceiveIntent Wallet::prepare_receive() {
+  ReceiveIntent intent;
+  intent.secret = nizk::CoinSecret::random(grp_, rng_);
+  intent.comm = nizk::commit(grp_, intent.secret);
+  return intent;
+}
+
+nizk::Response Wallet::respond_transfer(const WalletCoin& coin,
+                                        const BigInt& new_a,
+                                        const BigInt& new_b,
+                                        Timestamp datetime) const {
+  BigInt d = transfer_challenge(grp_, coin.coin, new_a, new_b, datetime);
+  return nizk::respond(grp_, coin.secret, d);
+}
+
+Outcome<WalletCoin> Wallet::accept_transfer(const Coin& coin_before,
+                                            const TransferLink& link,
+                                            const ReceiveIntent& intent) const {
+  if (link.new_a != intent.comm.a || link.new_b != intent.comm.b)
+    return Refusal{RefusalReason::kBadProof,
+                   "transfer link targets other commitments"};
+  WalletCoin received;
+  received.coin = coin_before;
+  received.coin.transfers.push_back(link);
+  received.secret = intent.secret;
+  // The recipient verifies the whole chain (and thus the witness's
+  // signature on its own link) before treating the coin as money.
+  if (auto chain = verify_transfer_chain(grp_, received.coin); !chain)
+    return chain.refusal();
+  return received;
+}
+
+Cents Wallet::balance() const {
+  Cents total = 0;
+  for (const auto& c : coins_) total += c.coin.bare.info.denomination;
+  return total;
+}
+
+std::optional<WalletCoin> Wallet::take_coin(Cents denomination) {
+  for (auto it = coins_.begin(); it != coins_.end(); ++it) {
+    if (it->coin.bare.info.denomination == denomination) {
+      WalletCoin out = std::move(*it);
+      coins_.erase(it);
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace p2pcash::ecash

@@ -1,0 +1,150 @@
+// wallet.h — the client role: withdraw, pay, renew.
+//
+// The wallet is fully anonymous: it registers nowhere, leaves no security
+// deposit, and every coin it withdraws is unlinkable to the withdrawal
+// session thanks to the partially blind signature.  A coin is a bearer
+// instrument — WalletCoin couples the public Coin with the representation
+// secrets (x1, x2, y1, y2) that constitute ownership.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "blindsig/abe_okamoto.h"
+#include "ecash/broker.h"
+#include "ecash/coin.h"
+#include "ecash/transcript.h"
+#include "nizk/representation.h"
+
+namespace p2pcash::ecash {
+
+/// A coin plus the secrets that let its owner spend it.
+struct WalletCoin {
+  Coin coin;
+  nizk::CoinSecret secret;
+};
+
+class Wallet {
+ public:
+  /// `rng` must outlive the wallet.
+  Wallet(group::SchnorrGroup grp, sig::PublicKey broker_coin_key,
+         sig::PublicKey broker_identity_key, bn::Rng& rng);
+
+  // ---- withdrawal (Algorithm 1, client side) ----
+
+  /// In-flight withdrawal: the blinding state plus the coin secrets.
+  struct Withdrawal {
+    std::uint64_t session = 0;
+    CoinInfo info;
+    nizk::CoinSecret secret;
+    nizk::Commitments comm;  ///< A, B
+    blindsig::BlindRequester requester;
+    bn::BigInt e;  ///< blinded challenge to send to the broker
+  };
+
+  /// Step 2: accepts the broker's offer, commits to fresh coin secrets and
+  /// produces the blinded challenge e.
+  Withdrawal begin_withdrawal(const Broker::WithdrawalOffer& offer);
+
+  /// Step 4: unblinds the response and attaches the witness entries chosen
+  /// by h(bare coin) from `table` (which must be the version in info and is
+  /// validated against the broker's identity key — the client's 1 Ver).
+  Outcome<WalletCoin> complete_withdrawal(Withdrawal& state,
+                                          const blindsig::SignerResponse& resp,
+                                          const WitnessTable& table);
+
+  // ---- payment (Algorithm 2, client side) ----
+
+  /// Client step-1 material for one witness.
+  struct PaymentIntent {
+    Hash256 coin_hash{};
+    std::vector<std::uint8_t> salt;  ///< salt_C, fresh per transaction
+    Hash256 nonce{};                 ///< h(salt || I_M)
+    MerchantId merchant;
+  };
+
+  /// Picks salt_C and computes (coin_hash, nonce) to request the witness
+  /// commitment. 2 Hash (coin hash + nonce).
+  PaymentIntent prepare_payment(const WalletCoin& coin,
+                                const MerchantId& merchant);
+
+  /// Step 3: checks the witness commitments (signature — the client's 1
+  /// Ver per commitment — binding to our coin/nonce, expiry; at least
+  /// witness_k from distinct assigned witnesses) and builds the transcript
+  /// with the NIZK response for d = H0(C, I_M, date/time). 1 Hash, 0 Exp.
+  Outcome<PaymentTranscript> build_transcript(
+      const WalletCoin& coin, const PaymentIntent& intent,
+      const std::vector<WitnessCommitment>& commitments, Timestamp now);
+
+  // ---- renewal (Algorithm 4, client side) ----
+
+  struct Renewal {
+    std::uint64_t session = 0;
+    CoinInfo info;
+    nizk::CoinSecret secret;
+    nizk::Commitments comm;
+    blindsig::BlindRequester requester;
+    bn::BigInt e;
+    nizk::Response old_proof;
+    Timestamp datetime = 0;
+  };
+
+  /// Step 2: challenge for the new coin plus ownership proof for the old.
+  Renewal begin_renewal(const WalletCoin& old_coin,
+                        const Broker::RenewalOffer& offer,
+                        const bn::BigInt& renewal_challenge, Timestamp datetime);
+
+  /// Step 4: same unblinding as withdrawal.
+  Outcome<WalletCoin> complete_renewal(Renewal& state,
+                                       const blindsig::SignerResponse& resp,
+                                       const WitnessTable& table);
+
+  // ---- transfer (the PPay-style transferability extension) ----
+
+  /// Recipient step: fresh secrets + commitments to receive a coin under.
+  struct ReceiveIntent {
+    nizk::CoinSecret secret;
+    nizk::Commitments comm;
+  };
+  ReceiveIntent prepare_receive();
+
+  /// Owner step: the ownership proof for handing `coin` to the recipient's
+  /// commitments at `datetime` (the transfer challenge binds both). 1 Hash.
+  nizk::Response respond_transfer(const WalletCoin& coin,
+                                  const bn::BigInt& new_a,
+                                  const bn::BigInt& new_b,
+                                  Timestamp datetime) const;
+
+  /// Recipient step: assembles the received coin from the witness-endorsed
+  /// link. Verifies the link targets our commitments.
+  Outcome<WalletCoin> accept_transfer(const Coin& coin_before,
+                                      const TransferLink& link,
+                                      const ReceiveIntent& intent) const;
+
+  // ---- coin storage ----
+
+  void add_coin(WalletCoin coin) { coins_.push_back(std::move(coin)); }
+  std::vector<WalletCoin>& coins() { return coins_; }
+  const std::vector<WalletCoin>& coins() const { return coins_; }
+  /// Total face value of stored coins.
+  Cents balance() const;
+  /// Removes and returns a coin of the given denomination, if any.
+  std::optional<WalletCoin> take_coin(Cents denomination);
+
+ private:
+  Outcome<WalletCoin> finish(const CoinInfo& info,
+                             const nizk::CoinSecret& secret,
+                             const nizk::Commitments& comm,
+                             blindsig::BlindRequester& requester,
+                             const blindsig::SignerResponse& resp,
+                             const WitnessTable& table);
+
+  group::SchnorrGroup grp_;
+  sig::PublicKey broker_coin_key_;
+  sig::PublicKey broker_identity_key_;
+  bn::Rng& rng_;
+  std::vector<WalletCoin> coins_;
+};
+
+}  // namespace p2pcash::ecash

@@ -1,0 +1,427 @@
+#include "ecash/witness.h"
+
+#include <algorithm>
+
+namespace p2pcash::ecash {
+
+WitnessService::WitnessService(group::SchnorrGroup grp,
+                               sig::PublicKey broker_key, MerchantId id,
+                               sig::KeyPair key, bn::Rng& rng)
+    : grp_(std::move(grp)),
+      broker_key_(std::move(broker_key)),
+      id_(std::move(id)),
+      key_(std::move(key)),
+      rng_(rng) {}
+
+Outcome<WitnessCommitment> WitnessService::request_commitment(
+    const Hash256& coin_hash, const Hash256& nonce, Timestamp now) {
+  auto it = commitments_.find(coin_hash);
+  if (it != commitments_.end() && now < it->second.commitment.expires &&
+      !it->second.consumed && it->second.commitment.nonce != nonce &&
+      !spent_.contains(coin_hash) && !double_spent_.contains(coin_hash)) {
+    // A different, still-pending transaction holds a live promise-to-sign
+    // on this fresh coin ("must not issue new commitments ... until this
+    // commitment expires").  Once the coin has a spend record the promise
+    // is no longer dangerous — any further transcript can only yield a
+    // double-spend proof — so new commitments are allowed.
+    return Refusal{RefusalReason::kCommitmentOutstanding,
+                   "live commitment exists until t_e"};
+  }
+  // Commit to what we currently know about the coin.
+  CommittedValue value = [&] {
+    if (auto ds = double_spent_.find(coin_hash); ds != double_spent_.end())
+      return CommittedValue::extracted(ds->second.proof.secrets);
+    if (auto sp = spent_.find(coin_hash); sp != spent_.end())
+      return CommittedValue::prior_transcript(sp->second.transcript, rng_);
+    return CommittedValue::fresh(rng_);
+  }();
+  WitnessCommitment commitment;
+  commitment.coin_hash = coin_hash;
+  commitment.nonce = nonce;
+  commitment.value_hash = value.hash();
+  commitment.expires = now + commitment_ttl_;
+  commitment.witness = id_;
+  commitment.witness_sig = key_.sign(commitment.signed_payload(), rng_);
+  commitments_[coin_hash] =
+      CommitmentRecord{commitment, std::move(value), /*consumed=*/false};
+  return commitment;
+}
+
+std::optional<std::size_t> WitnessService::own_entry_index(
+    const Coin& coin, const Hash256& coin_hash) const {
+  if (!check_witness_probe_sequence(coin, coin_hash)) return std::nullopt;
+  for (std::size_t i = 0; i < coin.witnesses.size(); ++i) {
+    if (coin.witnesses[i].merchant == id_) return i;
+  }
+  return std::nullopt;
+}
+
+Outcome<SignResult> WitnessService::sign_transcript(
+    const PaymentTranscript& transcript, Timestamp now) {
+  const Coin& coin = transcript.coin;
+  const Hash256 coin_hash = coin.bare.coin_hash();
+
+  // Fast path: coin already known double-spent — return the stored proof
+  // ("the witness will either be spared all significant crypto operations").
+  if (auto ds = double_spent_.find(coin_hash); ds != double_spent_.end()) {
+    if (!faulty_) return SignResult{ds->second.proof};
+  }
+  // Idempotent retry of the very same transcript: re-issue the endorsement
+  // rather than treating the retransmission as a second spend.
+  if (auto sp = spent_.find(coin_hash);
+      sp != spent_.end() && sp->second.transcript == transcript) {
+    return SignResult{sp->second.endorsement};
+  }
+
+  // Full verification of the presented coin (ours? valid? unexpired?).
+  auto index = check_presented_coin(coin, coin_hash, now);
+  if (!index) return index.refusal();
+
+  // Verify the payment NIZK (1 Hash for d + 3 Exp).
+  if (!verify_transcript_proof(grp_, transcript))
+    return Refusal{RefusalReason::kBadProof, "NIZK response invalid"};
+
+  // Transfer-chain consistency: the coin must answer to the commitments we
+  // currently hold it to.  A previous owner spending a stale copy after
+  // transferring the coin away incriminates itself: its payment response
+  // and the recorded transfer-link response open the same commitments
+  // under different challenges.
+  const auto& recorded = recorded_chain(coin_hash);
+  if (coin.transfers != recorded) {
+    const bool is_prefix =
+        coin.transfers.size() < recorded.size() &&
+        std::equal(coin.transfers.begin(), coin.transfers.end(),
+                   recorded.begin());
+    if (is_prefix && !faulty_) {
+      const TransferLink& next = recorded[coin.transfers.size()];
+      nizk::ChallengeResponse from_transfer{
+          transfer_challenge(grp_, coin, next.new_a, next.new_b,
+                             next.datetime),
+          nizk::Response{next.r1, next.r2}};
+      nizk::ChallengeResponse from_payment{
+          payment_challenge(grp_, coin, transcript.merchant,
+                            transcript.datetime),
+          transcript.resp};
+      if (auto extracted = nizk::extract(grp_, from_transfer, from_payment)) {
+        // The proof opens the *stale* commitments: it incriminates the
+        // previous owner but must not invalidate the coin for its current
+        // holder — so it is kept as evidence, not as a double-spend record.
+        auto commitments = current_commitments(coin);
+        DoubleSpendProof proof;
+        proof.coin_hash = coin_hash;
+        proof.a = commitments.a;
+        proof.b = commitments.b;
+        proof.secrets = *extracted;
+        stale_owner_evidence_.push_back(proof);
+        // The stale owner's commitment (if it obtained one) is discharged
+        // by this refusal — it must not block the rightful current owner.
+        if (auto commit_it = commitments_.find(coin_hash);
+            commit_it != commitments_.end() &&
+            payment_nonce(transcript.salt, transcript.merchant) ==
+                commit_it->second.commitment.nonce) {
+          commit_it->second.consumed = true;
+        }
+        return SignResult{std::move(proof)};
+      }
+    }
+    return Refusal{RefusalReason::kDoubleSpent,
+                   "stale or divergent transfer chain"};
+  }
+
+  // Enforce the commitment binding: nonce must equal h(salt || I_M)
+  // ("refusing transaction if this check fails").
+  auto commit_it = commitments_.find(coin_hash);
+  if (commit_it == commitments_.end())
+    return Refusal{RefusalReason::kStaleRequest,
+                   "no commitment requested for this coin"};
+  const WitnessCommitment& commitment = commit_it->second.commitment;
+  if (now >= commitment.expires)
+    return Refusal{RefusalReason::kStaleRequest, "commitment expired"};
+  if (payment_nonce(transcript.salt, transcript.merchant) != commitment.nonce)
+    return Refusal{RefusalReason::kBadNonce,
+                   "nonce does not bind this merchant"};
+
+  // Double-spend check: a prior transcript with a different challenge lets
+  // us extract the representations (paper §6 footnote 4).
+  if (auto sp = spent_.find(coin_hash);
+      sp != spent_.end() && !faulty_) {
+    const PaymentTranscript& prior = sp->second.transcript;
+    nizk::ChallengeResponse first{
+        payment_challenge(grp_, prior.coin, prior.merchant, prior.datetime),
+        prior.resp};
+    nizk::ChallengeResponse second{
+        payment_challenge(grp_, coin, transcript.merchant,
+                          transcript.datetime),
+        transcript.resp};
+    auto extracted = nizk::extract(grp_, first, second);
+    if (!extracted) {
+      // Identical challenge but different transcript bytes: a malformed
+      // replay; refuse without proof.
+      return Refusal{RefusalReason::kDoubleSpent,
+                     "coin already spent (identical challenge)"};
+    }
+    auto commitments = current_commitments(coin);
+    DoubleSpendProof proof;
+    proof.coin_hash = coin_hash;
+    proof.a = commitments.a;
+    proof.b = commitments.b;
+    proof.secrets = *extracted;
+    // Keep only the proof; drop the transcripts (privacy: do not reveal
+    // where the coin was first spent).
+    double_spent_[coin_hash] = DoubleSpentRecord{proof};
+    spent_.erase(coin_hash);
+    commit_it->second.consumed = true;  // promise discharged by the proof
+    return SignResult{std::move(proof)};
+  }
+
+  // First (or faulty-witness) spend: countersign the transcript.
+  WitnessEndorsement endorsement;
+  endorsement.witness = id_;
+  endorsement.signature = key_.sign(transcript.signed_payload(), rng_);
+  spent_[coin_hash] = SpentRecord{transcript, endorsement};
+  // The commitment is fulfilled; keep the record (the arbiter may ask us to
+  // reveal v during conflict resolution) but allow fresh commitments.
+  commit_it->second.consumed = true;
+  ++coins_signed_;
+  return SignResult{std::move(endorsement)};
+}
+
+Outcome<std::size_t> WitnessService::check_presented_coin(
+    const Coin& coin, const Hash256& coin_hash, Timestamp now) const {
+  auto index = own_entry_index(coin, coin_hash);
+  if (!index)
+    return Refusal{RefusalReason::kWrongWitness,
+                   "coin is not assigned to this witness"};
+  // Verify our broker-signed range entry (1 Ver) and the bare coin's blind
+  // signature (4 Exp + 2 Hash); an invalid coin is never countersigned.
+  const SignedWitnessEntry& entry = coin.witnesses[*index];
+  if (entry.version != coin.bare.info.list_version)
+    return Refusal{RefusalReason::kInvalidCoin, "entry/info version mismatch"};
+  if (!sig::verify(grp_, broker_key_, entry.signed_payload(),
+                   entry.broker_sig))
+    return Refusal{RefusalReason::kBadSignature, "bad broker range signature"};
+  if (now >= coin.bare.info.soft_expiry)
+    return Refusal{RefusalReason::kExpired, "coin past soft expiry"};
+  if (!blindsig::verify(grp_, broker_key_.y, coin.bare.info.bytes(),
+                        coin.bare.blind_message(), coin.bare.sig))
+    return Refusal{RefusalReason::kInvalidCoin, "bad broker blind signature"};
+  if (auto chain = verify_transfer_chain(grp_, coin); !chain)
+    return chain.refusal();
+  return *index;
+}
+
+const std::vector<TransferLink>& WitnessService::recorded_chain(
+    const Hash256& coin_hash) const {
+  static const std::vector<TransferLink> kEmpty;
+  auto it = chains_.find(coin_hash);
+  return it == chains_.end() ? kEmpty : it->second;
+}
+
+Outcome<std::variant<TransferLink, DoubleSpendProof>>
+WitnessService::sign_transfer(const Coin& coin, const bn::BigInt& new_a,
+                              const bn::BigInt& new_b,
+                              const nizk::Response& response,
+                              Timestamp datetime, Timestamp now) {
+  using TransferResult = std::variant<TransferLink, DoubleSpendProof>;
+  const Hash256 coin_hash = coin.bare.coin_hash();
+
+  if (auto ds = double_spent_.find(coin_hash);
+      ds != double_spent_.end() && !faulty_) {
+    return TransferResult{ds->second.proof};
+  }
+
+  auto index = check_presented_coin(coin, coin_hash, now);
+  if (!index) return index.refusal();
+  if (index.value() != 0)
+    return Refusal{RefusalReason::kWrongWitness,
+                   "transfers are endorsed by witness slot 0 only"};
+
+  // Chain consistency with our records.
+  const auto& recorded = recorded_chain(coin_hash);
+  if (coin.transfers != recorded) {
+    const bool is_prefix =
+        coin.transfers.size() < recorded.size() &&
+        std::equal(coin.transfers.begin(), coin.transfers.end(),
+                   recorded.begin());
+    if (!is_prefix)
+      return Refusal{RefusalReason::kDoubleSpent,
+                     "stale or divergent transfer chain"};
+    const TransferLink& next = recorded[coin.transfers.size()];
+    // Identical re-request (network retry): re-issue the recorded link.
+    if (next.new_a == new_a && next.new_b == new_b &&
+        next.datetime == datetime &&
+        nizk::Response{next.r1, next.r2} == response) {
+      return TransferResult{next};
+    }
+    if (faulty_) return Refusal{RefusalReason::kInternal, "faulty witness"};
+    // Double transfer: the recorded link and this request answer the same
+    // commitments under different challenges — extract.
+    nizk::ChallengeResponse first{
+        transfer_challenge(grp_, coin, next.new_a, next.new_b, next.datetime),
+        nizk::Response{next.r1, next.r2}};
+    nizk::ChallengeResponse second{
+        transfer_challenge(grp_, coin, new_a, new_b, datetime), response};
+    if (auto extracted = nizk::extract(grp_, first, second)) {
+      auto commitments = current_commitments(coin);
+      DoubleSpendProof proof;
+      proof.coin_hash = coin_hash;
+      proof.a = commitments.a;
+      proof.b = commitments.b;
+      proof.secrets = *extracted;
+      double_spent_[coin_hash] = DoubleSpentRecord{proof};
+      return TransferResult{std::move(proof)};
+    }
+    return Refusal{RefusalReason::kDoubleSpent,
+                   "coin already transferred onward"};
+  }
+
+  // A spent coin cannot be transferred; the attempt incriminates the owner.
+  if (auto sp = spent_.find(coin_hash); sp != spent_.end() && !faulty_) {
+    const PaymentTranscript& prior = sp->second.transcript;
+    nizk::ChallengeResponse from_payment{
+        payment_challenge(grp_, prior.coin, prior.merchant, prior.datetime),
+        prior.resp};
+    nizk::ChallengeResponse from_transfer{
+        transfer_challenge(grp_, coin, new_a, new_b, datetime), response};
+    if (auto extracted =
+            nizk::extract(grp_, from_payment, from_transfer)) {
+      auto commitments = current_commitments(coin);
+      DoubleSpendProof proof;
+      proof.coin_hash = coin_hash;
+      proof.a = commitments.a;
+      proof.b = commitments.b;
+      proof.secrets = *extracted;
+      double_spent_[coin_hash] = DoubleSpentRecord{proof};
+      spent_.erase(coin_hash);
+      return TransferResult{std::move(proof)};
+    }
+    return Refusal{RefusalReason::kDoubleSpent, "coin already spent"};
+  }
+
+  // Ownership proof for the hand-off.
+  bn::BigInt d = transfer_challenge(grp_, coin, new_a, new_b, datetime);
+  auto commitments = current_commitments(coin);
+  if (!nizk::verify_response(grp_, {commitments.a, commitments.b}, d,
+                             response))
+    return Refusal{RefusalReason::kBadProof,
+                   "transfer ownership proof invalid"};
+
+  TransferLink link;
+  link.new_a = new_a;
+  link.new_b = new_b;
+  link.r1 = response.r1;
+  link.r2 = response.r2;
+  link.datetime = datetime;
+  link.witness = id_;
+  auto position = static_cast<std::uint32_t>(coin.transfers.size());
+  auto signature =
+      key_.sign(link.signed_payload(coin_hash, position), rng_);
+  link.sig_e = signature.e;
+  link.sig_s = signature.s;
+  auto& chain = chains_[coin_hash];
+  chain = coin.transfers;
+  chain.push_back(link);
+  return TransferResult{std::move(link)};
+}
+
+Outcome<CommittedValue> WitnessService::reveal_committed_value(
+    const Hash256& coin_hash) {
+  auto it = commitments_.find(coin_hash);
+  if (it == commitments_.end())
+    return Refusal{RefusalReason::kStaleRequest,
+                   "no commitment stored for this coin"};
+  return it->second.value;
+}
+
+bool WitnessService::has_double_spend_record(const Hash256& coin_hash) const {
+  return double_spent_.contains(coin_hash);
+}
+
+namespace {
+void put_hash256(wire::Writer& w, const Hash256& h) { w.put_bytes(h); }
+Hash256 get_hash256(wire::Reader& r) {
+  auto bytes = r.get_bytes();
+  if (bytes.size() != 32)
+    throw wire::DecodeError("witness snapshot: bad hash width");
+  Hash256 h;
+  std::copy(bytes.begin(), bytes.end(), h.begin());
+  return h;
+}
+}  // namespace
+
+std::vector<std::uint8_t> WitnessService::snapshot_state() const {
+  wire::Writer w;
+  w.put_string("p2pcash/witness-snapshot/v1");
+  w.put_u64(coins_signed_);
+  w.put_u32(static_cast<std::uint32_t>(commitments_.size()));
+  for (const auto& [hash, record] : commitments_) {
+    put_hash256(w, hash);
+    record.commitment.encode(w);
+    record.value.encode(w);
+    w.put_u8(record.consumed ? 1 : 0);
+  }
+  w.put_u32(static_cast<std::uint32_t>(spent_.size()));
+  for (const auto& [hash, record] : spent_) {
+    put_hash256(w, hash);
+    record.transcript.encode(w);
+    record.endorsement.encode(w);
+  }
+  w.put_u32(static_cast<std::uint32_t>(double_spent_.size()));
+  for (const auto& [hash, record] : double_spent_) {
+    put_hash256(w, hash);
+    record.proof.encode(w);
+  }
+  w.put_u32(static_cast<std::uint32_t>(chains_.size()));
+  for (const auto& [hash, chain] : chains_) {
+    put_hash256(w, hash);
+    w.put_u32(static_cast<std::uint32_t>(chain.size()));
+    for (const auto& link : chain) link.encode(w);
+  }
+  return w.take();
+}
+
+void WitnessService::restore_state(std::span<const std::uint8_t> snapshot) {
+  wire::Reader r(snapshot);
+  if (r.get_string() != "p2pcash/witness-snapshot/v1")
+    throw wire::DecodeError("witness snapshot: bad magic");
+  std::map<Hash256, CommitmentRecord> commitments;
+  std::map<Hash256, SpentRecord> spent;
+  std::map<Hash256, DoubleSpentRecord> double_spent;
+  const std::uint64_t coins_signed = r.get_u64();
+  for (std::uint32_t i = 0, n = r.get_u32(); i < n; ++i) {
+    Hash256 hash = get_hash256(r);
+    CommitmentRecord record;
+    record.commitment = WitnessCommitment::decode(r);
+    record.value = CommittedValue::decode(r);
+    record.consumed = r.get_u8() != 0;
+    commitments.emplace(hash, std::move(record));
+  }
+  for (std::uint32_t i = 0, n = r.get_u32(); i < n; ++i) {
+    Hash256 hash = get_hash256(r);
+    SpentRecord record;
+    record.transcript = PaymentTranscript::decode(r);
+    record.endorsement = WitnessEndorsement::decode(r);
+    spent.emplace(hash, std::move(record));
+  }
+  for (std::uint32_t i = 0, n = r.get_u32(); i < n; ++i) {
+    Hash256 hash = get_hash256(r);
+    double_spent.emplace(hash, DoubleSpentRecord{DoubleSpendProof::decode(r)});
+  }
+  std::map<Hash256, std::vector<TransferLink>> chains;
+  for (std::uint32_t i = 0, n = r.get_u32(); i < n; ++i) {
+    Hash256 hash = get_hash256(r);
+    std::vector<TransferLink> chain;
+    for (std::uint32_t j = 0, m = r.get_u32(); j < m; ++j)
+      chain.push_back(TransferLink::decode(r));
+    chains.emplace(hash, std::move(chain));
+  }
+  r.expect_end();
+  // Commit only after the whole snapshot parsed (basic exception safety).
+  coins_signed_ = coins_signed;
+  commitments_ = std::move(commitments);
+  spent_ = std::move(spent);
+  double_spent_ = std::move(double_spent);
+  chains_ = std::move(chains);
+}
+
+}  // namespace p2pcash::ecash

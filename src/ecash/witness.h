@@ -1,0 +1,156 @@
+// witness.h — the witness role: real-time double-spending prevention.
+//
+// Every merchant runs a WitnessService for the coins whose witness point
+// falls in its published range.  The service implements steps 1–2 and 4–5
+// of the payment protocol (paper Algorithm 2):
+//
+//   * request_commitment: issue a signed promise (coin_hash, nonce, h(v),
+//     t_e, "commit") to countersign this coin's next valid transcript.  Only
+//     one live commitment per coin at a time; v proves, after the fact, what
+//     the witness knew when it committed (fresh randomness vs. evidence of a
+//     prior spend) — the race-condition audit hook of §5.
+//   * sign_transcript: verify the coin and its NIZK, enforce the nonce
+//     binding, and either countersign (first spend) or answer with a
+//     publicly verifiable DoubleSpendProof extracted from the two
+//     conflicting transcripts.
+//
+// After detecting a double spend the witness keeps only the extracted
+// representations and the coin hash, "dropping all transcripts", so it can
+// prove double-spending without revealing where the coin was first spent.
+
+#pragma once
+
+#include <map>
+#include <variant>
+
+#include "ecash/transcript.h"
+
+namespace p2pcash::ecash {
+
+/// Outcome of a sign_transcript call: a countersignature, or proof that the
+/// coin was already spent.
+using SignResult = std::variant<WitnessEndorsement, DoubleSpendProof>;
+
+class WitnessService {
+ public:
+  /// `rng` must outlive the service.
+  WitnessService(group::SchnorrGroup grp, sig::PublicKey broker_key,
+                 MerchantId id, sig::KeyPair key, bn::Rng& rng);
+
+  const MerchantId& id() const { return id_; }
+  const sig::PublicKey& public_key() const { return key_.public_key(); }
+
+  /// How long a commitment stays live (t_e - now). Default 30 s.
+  void set_commitment_ttl(Timestamp ttl_ms) { commitment_ttl_ = ttl_ms; }
+  Timestamp commitment_ttl() const { return commitment_ttl_; }
+
+  /// Step 1 -> 2.  Refuses with kCommitmentOutstanding while an unexpired
+  /// commitment for the same coin exists ("the witness must not issue new
+  /// commitments on this coin_hash until this commitment expires").
+  Outcome<WitnessCommitment> request_commitment(const Hash256& coin_hash,
+                                                const Hash256& nonce,
+                                                Timestamp now);
+
+  /// Step 4 -> 5.  On first valid spend: endorsement. On a second spend
+  /// with a different challenge: DoubleSpendProof. Refusals: wrong witness,
+  /// invalid coin/proof, missing or mismatched commitment (bad nonce).
+  Outcome<SignResult> sign_transcript(const PaymentTranscript& transcript,
+                                      Timestamp now);
+
+  /// Conflict resolution (paper §5): reveal the value v committed under
+  /// h(v) so an arbiter can decide whether the witness knew of a prior
+  /// spend when it committed.  Reveals the *latest* commitment for the coin.
+  Outcome<CommittedValue> reveal_committed_value(const Hash256& coin_hash);
+
+  /// Transferability extension: countersigns an ownership hand-off.  The
+  /// presented coin (with its chain so far) must match this witness's
+  /// recorded chain; `response` must open the coin's current commitments
+  /// against transfer_challenge(coin, new_a, new_b, datetime).  On a stale
+  /// chain or an already-spent coin the conflicting responses let us
+  /// extract the current owner's secrets — the same self-incrimination as
+  /// double spending.
+  Outcome<std::variant<TransferLink, DoubleSpendProof>> sign_transfer(
+      const Coin& coin, const bn::BigInt& new_a, const bn::BigInt& new_b,
+      const nizk::Response& response, Timestamp datetime, Timestamp now);
+
+  /// True if this witness has recorded a double-spend for the coin.
+  bool has_double_spend_record(const Hash256& coin_hash) const;
+  /// Proofs extracted against *stale* owners of transferred coins (their
+  /// old commitments).  These incriminate the previous owner without
+  /// invalidating the coin for its rightful current holder.
+  const std::vector<DoubleSpendProof>& stale_owner_evidence() const {
+    return stale_owner_evidence_;
+  }
+  /// Number of coins this witness has countersigned (its "performance",
+  /// which the broker feeds back into range sizes).
+  std::uint64_t coins_signed() const { return coins_signed_; }
+
+  /// Fault injection for tests/benches: a faulty witness signs transcripts
+  /// unconditionally, never reporting double-spends (the misbehaviour the
+  /// broker's deposit protocol must catch and charge).
+  void set_faulty(bool faulty) { faulty_ = faulty; }
+
+  // ---- crash recovery -------------------------------------------------
+  //
+  // A witness that forgets its spent-coin state after a crash would sign a
+  // coin twice and be charged for it (Algorithm 3 case 2-b), so the state
+  // must survive restarts.  snapshot_state() captures commitments, spent
+  // records and double-spend proofs in canonical bytes; restore_state()
+  // rebuilds them on a freshly constructed service (same key).  In a real
+  // deployment the snapshot would be written behind a write-ahead log;
+  // here durability is the caller's concern.
+
+  /// Serializes all double-spend-relevant state.
+  std::vector<std::uint8_t> snapshot_state() const;
+  /// Replaces current state with a snapshot. Throws wire::DecodeError on
+  /// malformed input.
+  void restore_state(std::span<const std::uint8_t> snapshot);
+
+ private:
+  struct CommitmentRecord {
+    WitnessCommitment commitment;
+    CommittedValue value;
+    /// Set once the committed transaction's transcript has been signed: the
+    /// promise is fulfilled, so a new commitment may be issued (a later
+    /// transcript can only trigger double-spend extraction).
+    bool consumed = false;
+  };
+  struct SpentRecord {
+    PaymentTranscript transcript;
+    WitnessEndorsement endorsement;  // reissued on idempotent retries
+  };
+  struct DoubleSpentRecord {
+    DoubleSpendProof proof;
+  };
+
+  /// Finds this witness's entry index in the coin, verifying the witness
+  /// point; nullopt if the coin is not ours.
+  std::optional<std::size_t> own_entry_index(const Coin& coin,
+                                             const Hash256& coin_hash) const;
+
+  group::SchnorrGroup grp_;
+  sig::PublicKey broker_key_;
+  MerchantId id_;
+  sig::KeyPair key_;
+  bn::Rng& rng_;
+  Timestamp commitment_ttl_ = 30'000;
+  bool faulty_ = false;
+  std::uint64_t coins_signed_ = 0;
+
+  /// Verifies everything about a presented coin except spend state; on
+  /// success returns the index of our witness entry.
+  Outcome<std::size_t> check_presented_coin(const Coin& coin,
+                                            const Hash256& coin_hash,
+                                            Timestamp now) const;
+  /// The chain we have accepted for this coin (empty if never transferred).
+  const std::vector<TransferLink>& recorded_chain(
+      const Hash256& coin_hash) const;
+
+  std::map<Hash256, CommitmentRecord> commitments_;
+  std::map<Hash256, SpentRecord> spent_;
+  std::map<Hash256, DoubleSpentRecord> double_spent_;
+  std::map<Hash256, std::vector<TransferLink>> chains_;
+  std::vector<DoubleSpendProof> stale_owner_evidence_;
+};
+
+}  // namespace p2pcash::ecash

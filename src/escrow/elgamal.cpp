@@ -1,0 +1,130 @@
+#include "escrow/elgamal.h"
+
+#include "crypto/chacha.h"
+#include "metrics/counters.h"
+#include "crypto/hmac.h"
+#include "wire/codec.h"
+
+namespace p2pcash::escrow {
+
+using bn::BigInt;
+
+namespace {
+
+struct DerivedKeys {
+  std::array<std::uint32_t, 8> stream_key;
+  std::vector<std::uint8_t> mac_key;
+};
+
+// Derives independent stream/MAC keys from the shared group element.
+DerivedKeys derive_keys(const group::SchnorrGroup& grp,
+                        const BigInt& shared) {
+  auto shared_bytes = shared.to_bytes_be_padded(grp.element_bytes());
+  std::vector<std::uint8_t> salt = {'p', '2', 'p', 'c', 'a', 's', 'h'};
+  auto prk = crypto::hkdf_extract(salt, shared_bytes);
+  std::vector<std::uint8_t> info_stream = {'s', 't', 'r', 'e', 'a', 'm'};
+  std::vector<std::uint8_t> info_mac = {'m', 'a', 'c'};
+  auto stream = crypto::hkdf_expand(prk, info_stream, 32);
+  DerivedKeys keys;
+  for (int i = 0; i < 8; ++i) {
+    keys.stream_key[i] = static_cast<std::uint32_t>(stream[4 * i]) |
+                         (static_cast<std::uint32_t>(stream[4 * i + 1]) << 8) |
+                         (static_cast<std::uint32_t>(stream[4 * i + 2]) << 16) |
+                         (static_cast<std::uint32_t>(stream[4 * i + 3]) << 24);
+  }
+  keys.mac_key = crypto::hkdf_expand(prk, info_mac, 32);
+  return keys;
+}
+
+void apply_keystream(const std::array<std::uint32_t, 8>& key,
+                     std::span<std::uint8_t> data) {
+  std::array<std::uint32_t, 3> nonce{};  // fresh key per message: zero nonce
+  std::array<std::uint8_t, 64> block;
+  std::uint32_t counter = 0;
+  for (std::size_t offset = 0; offset < data.size(); offset += 64) {
+    crypto::chacha20_block(key, counter++, nonce, block);
+    std::size_t n = std::min<std::size_t>(64, data.size() - offset);
+    for (std::size_t i = 0; i < n; ++i) data[offset + i] ^= block[i];
+  }
+}
+
+std::array<std::uint8_t, 32> compute_mac(const std::vector<std::uint8_t>& key,
+                                         const BigInt& ephemeral,
+                                         std::span<const std::uint8_t> body) {
+  wire::Writer w;
+  w.put_bigint(ephemeral);
+  w.put_bytes(body);
+  return crypto::hmac_sha256(key, w.bytes());
+}
+
+}  // namespace
+
+ElGamalKeyPair ElGamalKeyPair::generate(const group::SchnorrGroup& grp,
+                                        bn::Rng& rng) {
+  ElGamalKeyPair kp;
+  kp.x = grp.random_scalar(rng);
+  metrics::ScopedSuspendOpCounting suspend;  // key setup, not protocol cost
+  kp.y = grp.exp_g(kp.x);
+  return kp;
+}
+
+Ciphertext encrypt(const group::SchnorrGroup& grp, const BigInt& public_y,
+                   std::span<const std::uint8_t> plaintext, bn::Rng& rng) {
+  BigInt r = grp.random_scalar(rng);
+  Ciphertext ct;
+  ct.ephemeral = grp.exp_g(r);
+  auto keys = derive_keys(grp, grp.exp(public_y, r));
+  ct.body.assign(plaintext.begin(), plaintext.end());
+  apply_keystream(keys.stream_key, ct.body);
+  ct.mac = compute_mac(keys.mac_key, ct.ephemeral, ct.body);
+  return ct;
+}
+
+std::optional<std::vector<std::uint8_t>> decrypt(
+    const group::SchnorrGroup& grp, const BigInt& secret_x,
+    const Ciphertext& ct) {
+  if (!grp.is_element(ct.ephemeral)) return std::nullopt;
+  auto keys = derive_keys(grp, grp.exp(ct.ephemeral, secret_x));
+  auto expected = compute_mac(keys.mac_key, ct.ephemeral, ct.body);
+  if (!crypto::constant_time_equal(expected, ct.mac)) return std::nullopt;
+  std::vector<std::uint8_t> plaintext = ct.body;
+  apply_keystream(keys.stream_key, plaintext);
+  return plaintext;
+}
+
+std::vector<std::uint8_t> make_escrow_tag(const group::SchnorrGroup& grp,
+                                          const bn::BigInt& authority_y,
+                                          const std::string& client_identity,
+                                          bn::Rng& rng) {
+  std::span<const std::uint8_t> bytes(
+      reinterpret_cast<const std::uint8_t*>(client_identity.data()),
+      client_identity.size());
+  return encode_ciphertext(encrypt(grp, authority_y, bytes, rng));
+}
+
+std::vector<std::uint8_t> encode_ciphertext(const Ciphertext& ct) {
+  wire::Writer w;
+  w.put_bigint(ct.ephemeral);
+  w.put_bytes(ct.body);
+  w.put_bytes(ct.mac);
+  return w.take();
+}
+
+std::optional<Ciphertext> decode_ciphertext(
+    std::span<const std::uint8_t> bytes) {
+  try {
+    wire::Reader r(bytes);
+    Ciphertext ct;
+    ct.ephemeral = r.get_bigint();
+    ct.body = r.get_bytes();
+    auto mac = r.get_bytes();
+    if (mac.size() != ct.mac.size()) return std::nullopt;
+    std::copy(mac.begin(), mac.end(), ct.mac.begin());
+    r.expect_end();
+    return ct;
+  } catch (const wire::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace p2pcash::escrow

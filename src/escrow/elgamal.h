@@ -1,0 +1,61 @@
+// elgamal.h — hybrid ElGamal encryption over the Schnorr group.
+//
+// The substrate for the escrow extension: KEM = classic ElGamal in ⟨g⟩
+// (ephemeral g^r, shared secret y^r), DEM = ChaCha20 keystream XOR keyed
+// through HKDF, with an HMAC tag for integrity.  IND-CPA under DDH in ⟨g⟩;
+// the MAC gives integrity against tag tampering (the coin signature
+// already covers escrow tags embedded in coins, so this is defense in
+// depth for standalone uses).
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bn/bigint.h"
+#include "bn/rng.h"
+#include "group/schnorr_group.h"
+
+namespace p2pcash::escrow {
+
+/// An ElGamal hybrid ciphertext.
+struct Ciphertext {
+  bn::BigInt ephemeral;               ///< g^r
+  std::vector<std::uint8_t> body;     ///< plaintext XOR ChaCha20(key)
+  std::array<std::uint8_t, 32> mac{}; ///< HMAC over ephemeral || body
+
+  friend bool operator==(const Ciphertext&, const Ciphertext&) = default;
+};
+
+/// Encryption key pair: secret x in Z_q, public y = g^x in ⟨g⟩.
+struct ElGamalKeyPair {
+  bn::BigInt x;
+  bn::BigInt y;
+
+  static ElGamalKeyPair generate(const group::SchnorrGroup& grp,
+                                 bn::Rng& rng);
+};
+
+/// Encrypts arbitrary bytes to the holder of `public_y`.
+Ciphertext encrypt(const group::SchnorrGroup& grp, const bn::BigInt& public_y,
+                   std::span<const std::uint8_t> plaintext, bn::Rng& rng);
+
+/// Decrypts; nullopt if the MAC fails (tampered or wrong key).
+std::optional<std::vector<std::uint8_t>> decrypt(
+    const group::SchnorrGroup& grp, const bn::BigInt& secret_x,
+    const Ciphertext& ct);
+
+/// Builds a coin's escrow tag: Enc_authority(identity), canonically
+/// encoded.  Called by the broker during withdrawal of an escrowed coin.
+std::vector<std::uint8_t> make_escrow_tag(const group::SchnorrGroup& grp,
+                                          const bn::BigInt& authority_y,
+                                          const std::string& client_identity,
+                                          bn::Rng& rng);
+
+/// Canonical byte encodings (for embedding in CoinInfo).
+std::vector<std::uint8_t> encode_ciphertext(const Ciphertext& ct);
+std::optional<Ciphertext> decode_ciphertext(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace p2pcash::escrow

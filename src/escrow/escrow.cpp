@@ -1,0 +1,33 @@
+#include "escrow/escrow.h"
+
+namespace p2pcash::escrow {
+
+using ecash::Outcome;
+using ecash::Refusal;
+using ecash::RefusalReason;
+
+EscrowAuthority EscrowAuthority::create(const group::SchnorrGroup& grp,
+                                        bn::Rng& rng) {
+  return EscrowAuthority(grp, ElGamalKeyPair::generate(grp, rng));
+}
+
+Outcome<std::string> EscrowAuthority::trace(const ecash::Coin& coin) const {
+  return trace_tag(coin.bare.info.escrow_tag);
+}
+
+Outcome<std::string> EscrowAuthority::trace_tag(
+    std::span<const std::uint8_t> tag) const {
+  if (tag.empty())
+    return Refusal{RefusalReason::kBadProof,
+                   "coin carries no escrow tag (fully anonymous)"};
+  auto ct = decode_ciphertext(tag);
+  if (!ct)
+    return Refusal{RefusalReason::kBadProof, "malformed escrow tag"};
+  auto plaintext = decrypt(grp_, keys_.x, *ct);
+  if (!plaintext)
+    return Refusal{RefusalReason::kBadProof,
+                   "tag not addressed to this authority (or tampered)"};
+  return std::string(plaintext->begin(), plaintext->end());
+}
+
+}  // namespace p2pcash::escrow

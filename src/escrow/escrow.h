@@ -1,0 +1,56 @@
+// escrow.h — the identity-escrow extension (paper §3 "Usability and
+// Extendibility": the system "should allow for incorporation of escrow
+// mechanisms that allow tracing the coin owner", §8 "can easily be
+// extended to provide additional functionalities such as escrow service").
+//
+// Mechanism: at withdrawal the broker — which knows who is paying, via the
+// payment rails — encrypts the client's identity under an *escrow
+// authority's* key and embeds the ciphertext in the coin's public `info`.
+// The blind signature then covers the tag, so it cannot be stripped or
+// swapped.  Whoever later holds the coin (a merchant, the broker at
+// deposit) sees only an IND-CPA ciphertext; the authority alone can open
+// it, e.g. under a court order.
+//
+// Honest trade-off, documented loudly: because the tag is *public
+// per-coin* information created by the broker, escrowed coins are
+// linkable by the broker (it can remember tag -> withdrawal).  Escrow
+// inherently sacrifices the unconditional untraceability of the base
+// scheme; what the split achieves is that *identity disclosure* needs the
+// authority, not the broker alone.  Deployments choose per-coin (or
+// per-jurisdiction) whether to issue escrowed or bare coins; untagged
+// coins keep the paper's full unlinkability (see blindsig_test).
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ecash/coin.h"
+#include "ecash/common.h"
+#include "escrow/elgamal.h"
+
+namespace p2pcash::escrow {
+
+/// The trusted tracing party (a court, a regulator's key ceremony, …).
+class EscrowAuthority {
+ public:
+  static EscrowAuthority create(const group::SchnorrGroup& grp, bn::Rng& rng);
+
+  /// Published key under which brokers escrow identities.
+  const bn::BigInt& public_y() const { return keys_.y; }
+
+  /// Opens a coin's escrow tag. Refuses for untagged coins or tags not
+  /// addressed to this authority.
+  ecash::Outcome<std::string> trace(const ecash::Coin& coin) const;
+  ecash::Outcome<std::string> trace_tag(
+      std::span<const std::uint8_t> tag) const;
+
+ private:
+  EscrowAuthority(group::SchnorrGroup grp, ElGamalKeyPair keys)
+      : grp_(std::move(grp)), keys_(std::move(keys)) {}
+
+  group::SchnorrGroup grp_;
+  ElGamalKeyPair keys_;
+};
+
+}  // namespace p2pcash::escrow

@@ -1,0 +1,152 @@
+#include "group/schnorr_group.h"
+
+#include <stdexcept>
+
+#include "bn/prime.h"
+#include "crypto/chacha.h"
+#include "crypto/sha256.h"
+#include "metrics/counters.h"
+
+namespace p2pcash::group {
+
+using bn::BigInt;
+
+namespace {
+
+// Domain-separated hash of `data` to a big integer of the digest width.
+BigInt hash_to_int(std::string_view domain, std::uint32_t counter,
+                   const std::vector<std::uint8_t>& data) {
+  crypto::Sha256 h;
+  h.update(domain);
+  std::uint8_t ctr_be[4] = {static_cast<std::uint8_t>(counter >> 24),
+                            static_cast<std::uint8_t>(counter >> 16),
+                            static_cast<std::uint8_t>(counter >> 8),
+                            static_cast<std::uint8_t>(counter)};
+  h.update(std::span<const std::uint8_t>(ctr_be, 4));
+  h.update(data);
+  auto d = h.finalize();
+  return BigInt::from_bytes_be(d);
+}
+
+}  // namespace
+
+SchnorrGroup SchnorrGroup::make(BigInt p, BigInt q, BigInt g, BigInt g1,
+                                BigInt g2) {
+  auto data = std::make_shared<Data>();
+  data->p = std::move(p);
+  data->q = std::move(q);
+  data->g = std::move(g);
+  data->g1 = std::move(g1);
+  data->g2 = std::move(g2);
+  data->ctx_p = std::make_unique<bn::MontgomeryCtx>(data->p);
+  return SchnorrGroup(std::move(data));
+}
+
+SchnorrGroup SchnorrGroup::generate(bn::Rng& rng, std::size_t p_bits,
+                                    std::size_t q_bits) {
+  auto [p, q] = bn::generate_pq(rng, p_bits, q_bits);
+  const BigInt cofactor = (p - BigInt{1}) / q;
+  bn::MontgomeryCtx ctx(p);
+  // Find g: random h, g = h^((p-1)/q); repeat until g != 1.
+  BigInt g;
+  do {
+    BigInt h = bn::random_below(rng, p - BigInt{3}) + BigInt{2};
+    g = ctx.exp(h, cofactor);
+  } while (g == BigInt{1});
+  // g1, g2: hash into the group so nobody knows log_g(g1) or log_{g1}(g2).
+  auto derive = [&](std::string_view label) {
+    std::uint32_t counter = 0;
+    for (;;) {
+      BigInt u = bn::mod(hash_to_int(label, counter++, {}), p);
+      BigInt cand = ctx.exp(u, cofactor);
+      if (cand != BigInt{1} && !cand.is_zero()) return cand;
+    }
+  };
+  BigInt g1 = derive("p2pcash/generator-g1");
+  BigInt g2 = derive("p2pcash/generator-g2");
+  return make(std::move(p), std::move(q), std::move(g), std::move(g1),
+              std::move(g2));
+}
+
+SchnorrGroup SchnorrGroup::from_params(const BigInt& p, const BigInt& q,
+                                       const BigInt& g, const BigInt& g1,
+                                       const BigInt& g2, bn::Rng& rng) {
+  if (!bn::is_probable_prime(p, rng) || !bn::is_probable_prime(q, rng))
+    throw std::invalid_argument("SchnorrGroup: p and q must be prime");
+  if (bn::mod(p - BigInt{1}, q) != BigInt{0})
+    throw std::invalid_argument("SchnorrGroup: q must divide p-1");
+  SchnorrGroup grp = make(p, q, g, g1, g2);
+  if (!grp.is_generator(g) || !grp.is_generator(g1) || !grp.is_generator(g2))
+    throw std::invalid_argument("SchnorrGroup: generators must have order q");
+  return grp;
+}
+
+BigInt SchnorrGroup::exp(const BigInt& base, const BigInt& e) const {
+  metrics::count_exp();
+  BigInt reduced = e.is_negative() || e >= data_->q ? bn::mod(e, data_->q) : e;
+  return data_->ctx_p->exp(base, reduced);
+}
+
+BigInt SchnorrGroup::mul(const BigInt& a, const BigInt& b) const {
+  return data_->ctx_p->mul(a, b);
+}
+
+BigInt SchnorrGroup::inv(const BigInt& a) const {
+  return bn::mod_inverse(a, data_->p);
+}
+
+bool SchnorrGroup::is_element(const BigInt& x) const {
+  if (x.is_negative() || x.is_zero() || x >= data_->p) return false;
+  metrics::count_exp();
+  return data_->ctx_p->exp(x, data_->q) == BigInt{1};
+}
+
+bool SchnorrGroup::is_generator(const BigInt& x) const {
+  return x != BigInt{1} && is_element(x);
+}
+
+BigInt SchnorrGroup::hash_to_group(const std::vector<std::uint8_t>& data) const {
+  metrics::count_hash();
+  const BigInt cofactor = (data_->p - BigInt{1}) / data_->q;
+  std::uint32_t counter = 0;
+  for (;;) {
+    BigInt u = bn::mod(hash_to_int("p2pcash/F", counter++, data), data_->p);
+    BigInt cand = data_->ctx_p->exp(u, cofactor);
+    if (cand != BigInt{1} && !cand.is_zero()) return cand;
+  }
+}
+
+BigInt SchnorrGroup::hash_to_zq(const std::vector<std::uint8_t>& data) const {
+  metrics::count_hash();
+  return bn::mod(hash_to_int("p2pcash/H", 0, data), data_->q);
+}
+
+namespace {
+
+const SchnorrGroup* make_static_group(std::string_view seed, std::size_t p_bits,
+                                      std::size_t q_bits) {
+  crypto::ChaChaRng rng(seed);
+  return new SchnorrGroup(SchnorrGroup::generate(rng, p_bits, q_bits));
+}
+
+}  // namespace
+
+const SchnorrGroup& SchnorrGroup::production_1024() {
+  static const SchnorrGroup* g =
+      make_static_group("p2pcash/group/production-1024-160/v1", 1024, 160);
+  return *g;
+}
+
+const SchnorrGroup& SchnorrGroup::test_512() {
+  static const SchnorrGroup* g =
+      make_static_group("p2pcash/group/test-512-160/v1", 512, 160);
+  return *g;
+}
+
+const SchnorrGroup& SchnorrGroup::test_256() {
+  static const SchnorrGroup* g =
+      make_static_group("p2pcash/group/test-256-160/v1", 256, 160);
+  return *g;
+}
+
+}  // namespace p2pcash::group

@@ -1,0 +1,107 @@
+// schnorr_group.h — the prime-order subgroup the whole protocol lives in.
+//
+// Paper §5: p, q large primes with q | p-1, g a generator of the order-q
+// subgroup <g> of Z_p^*; g1, g2 two additional random generators of <g>
+// whose mutual discrete logs nobody knows (we derive them by hashing into
+// the group).  Also provides the paper's random oracles
+//   F : {0,1}* -> <g>      (used for z = F(info))
+//   H : {0,1}* -> Z_q      (challenge hash in the blind signature)
+//   H0: {0,1}* -> Z_q      (payment challenge d = H0(C, I_M, date/time))
+// — all built on SHA-256.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bn/bigint.h"
+#include "bn/montgomery.h"
+#include "bn/rng.h"
+
+namespace p2pcash::group {
+
+/// Immutable group parameters plus precomputed Montgomery contexts.
+/// Cheap to copy (shared_ptr internals); thread-compatible.
+class SchnorrGroup {
+ public:
+  /// Generates fresh parameters: primes (p, q), generator g of the order-q
+  /// subgroup, and independent generators g1, g2 hashed into the group.
+  static SchnorrGroup generate(bn::Rng& rng, std::size_t p_bits,
+                               std::size_t q_bits);
+
+  /// Reconstructs a group from known parameters, fully validating them:
+  /// p, q prime; q | p-1; g, g1, g2 of order exactly q.  Throws
+  /// std::invalid_argument on any violation.
+  static SchnorrGroup from_params(const bn::BigInt& p, const bn::BigInt& q,
+                                  const bn::BigInt& g, const bn::BigInt& g1,
+                                  const bn::BigInt& g2, bn::Rng& rng);
+
+  /// The fixed 1024/160-bit production group (paper §5 sizes), generated
+  /// once from a public seed and embedded as constants.
+  static const SchnorrGroup& production_1024();
+  /// 512/160-bit group for integration tests.
+  static const SchnorrGroup& test_512();
+  /// 256/160-bit group for the hottest unit tests. NOT secure; tests only.
+  static const SchnorrGroup& test_256();
+
+  const bn::BigInt& p() const { return data_->p; }
+  const bn::BigInt& q() const { return data_->q; }
+  const bn::BigInt& g() const { return data_->g; }
+  const bn::BigInt& g1() const { return data_->g1; }
+  const bn::BigInt& g2() const { return data_->g2; }
+
+  /// base^e mod p. Counts one Exp in the active metrics counter.
+  bn::BigInt exp(const bn::BigInt& base, const bn::BigInt& e) const;
+  /// g^e mod p (same cost accounting as exp).
+  bn::BigInt exp_g(const bn::BigInt& e) const { return exp(data_->g, e); }
+  /// (a * b) mod p.
+  bn::BigInt mul(const bn::BigInt& a, const bn::BigInt& b) const;
+  /// a^{-1} mod p.
+  bn::BigInt inv(const bn::BigInt& a) const;
+  /// a mod q (values in exponent arithmetic).
+  bn::BigInt reduce_q(const bn::BigInt& a) const { return bn::mod(a, data_->q); }
+
+  /// True iff 0 < x < p and x^q = 1 (x lies in the order-q subgroup).
+  /// The membership exponentiation counts as one Exp.
+  bool is_element(const bn::BigInt& x) const;
+  /// True iff x is in the subgroup and x != 1 (i.e. x generates it).
+  bool is_generator(const bn::BigInt& x) const;
+
+  /// F: hash arbitrary bytes onto a subgroup element (never 1).
+  /// Counts one Hash (the inner exponentiation is bookkept separately by
+  /// the caller-visible exp count only when the paper's Table 1 counts it —
+  /// the paper treats F as a hash, so we do not add an Exp here).
+  bn::BigInt hash_to_group(const std::vector<std::uint8_t>& data) const;
+  /// H / H0: hash arbitrary bytes to an exponent in Z_q. Counts one Hash.
+  bn::BigInt hash_to_zq(const std::vector<std::uint8_t>& data) const;
+
+  /// Serialized element width in bytes (= |p| rounded up).
+  std::size_t element_bytes() const { return (data_->p.bit_length() + 7) / 8; }
+  /// Serialized exponent width in bytes (= |q| rounded up).
+  std::size_t scalar_bytes() const { return (data_->q.bit_length() + 7) / 8; }
+
+  /// Random exponent uniform in [1, q).
+  bn::BigInt random_scalar(bn::Rng& rng) const {
+    return bn::random_nonzero_below(rng, data_->q);
+  }
+
+  friend bool operator==(const SchnorrGroup& a, const SchnorrGroup& b) {
+    return a.p() == b.p() && a.q() == b.q() && a.g() == b.g() &&
+           a.g1() == b.g1() && a.g2() == b.g2();
+  }
+
+ private:
+  struct Data {
+    bn::BigInt p, q, g, g1, g2;
+    std::unique_ptr<bn::MontgomeryCtx> ctx_p;
+  };
+  explicit SchnorrGroup(std::shared_ptr<const Data> data)
+      : data_(std::move(data)) {}
+  static SchnorrGroup make(bn::BigInt p, bn::BigInt q, bn::BigInt g,
+                           bn::BigInt g1, bn::BigInt g2);
+
+  std::shared_ptr<const Data> data_;
+};
+
+}  // namespace p2pcash::group

@@ -1,0 +1,44 @@
+#include "metrics/counters.h"
+
+#include <sstream>
+
+namespace p2pcash::metrics {
+
+namespace {
+thread_local OpCounters* g_active = nullptr;
+}  // namespace
+
+std::string OpCounters::to_string() const {
+  std::ostringstream os;
+  os << "exp=" << exp << " hash=" << hash << " sig=" << sig << " ver=" << ver;
+  return os.str();
+}
+
+ScopedOpCounting::ScopedOpCounting(OpCounters& target) : previous_(g_active) {
+  g_active = &target;
+}
+
+ScopedOpCounting::~ScopedOpCounting() { g_active = previous_; }
+
+ScopedSuspendOpCounting::ScopedSuspendOpCounting() : previous_(g_active) {
+  g_active = nullptr;
+}
+
+ScopedSuspendOpCounting::~ScopedSuspendOpCounting() { g_active = previous_; }
+
+void count_exp(std::uint64_t n) {
+  if (g_active) g_active->exp += n;
+}
+void count_hash(std::uint64_t n) {
+  if (g_active) g_active->hash += n;
+}
+void count_sig(std::uint64_t n) {
+  if (g_active) g_active->sig += n;
+}
+void count_ver(std::uint64_t n) {
+  if (g_active) g_active->ver += n;
+}
+
+OpCounters* active_counters() { return g_active; }
+
+}  // namespace p2pcash::metrics

@@ -1,0 +1,80 @@
+// counters.h — crypto-operation and byte accounting.
+//
+// Table 1 of the paper reports, per protocol and per role, the number of
+// modular exponentiations (Exp), protocol-level hash invocations (Hash),
+// signature generations (Sig) and signature verifications (Ver).  Rather
+// than hand-counting, the primitive layers report into a thread-local
+// OpCounters that a ScopedOpCounting RAII guard installs, so the benchmark
+// regenerates the table from the code that actually runs.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace p2pcash::metrics {
+
+/// Counts of protocol-visible cryptographic operations.
+struct OpCounters {
+  std::uint64_t exp = 0;   ///< modular exponentiations in the group
+  std::uint64_t hash = 0;  ///< protocol-level hash invocations
+  std::uint64_t sig = 0;   ///< plain signature generations
+  std::uint64_t ver = 0;   ///< signature verifications
+
+  OpCounters& operator+=(const OpCounters& o) {
+    exp += o.exp;
+    hash += o.hash;
+    sig += o.sig;
+    ver += o.ver;
+    return *this;
+  }
+  friend OpCounters operator-(OpCounters a, const OpCounters& b) {
+    a.exp -= b.exp;
+    a.hash -= b.hash;
+    a.sig -= b.sig;
+    a.ver -= b.ver;
+    return a;
+  }
+  friend bool operator==(const OpCounters&, const OpCounters&) = default;
+
+  std::string to_string() const;
+};
+
+/// Installs `target` as the thread's active counter for its lifetime;
+/// restores the previous target on destruction (guards nest).
+class ScopedOpCounting {
+ public:
+  explicit ScopedOpCounting(OpCounters& target);
+  ~ScopedOpCounting();
+  ScopedOpCounting(const ScopedOpCounting&) = delete;
+  ScopedOpCounting& operator=(const ScopedOpCounting&) = delete;
+
+ private:
+  OpCounters* previous_;
+};
+
+/// Suspends op counting on this thread for its lifetime. Used by the plain
+/// signature layer: the paper's Table 1 counts a signature generation /
+/// verification as one Sig/Ver unit, not as its constituent exponentiations.
+class ScopedSuspendOpCounting {
+ public:
+  ScopedSuspendOpCounting();
+  ~ScopedSuspendOpCounting();
+  ScopedSuspendOpCounting(const ScopedSuspendOpCounting&) = delete;
+  ScopedSuspendOpCounting& operator=(const ScopedSuspendOpCounting&) = delete;
+
+ private:
+  OpCounters* previous_;
+};
+
+// Reporting hooks called by the primitive layers. No-ops when no counter
+// is installed on this thread.
+void count_exp(std::uint64_t n = 1);
+void count_hash(std::uint64_t n = 1);
+void count_sig(std::uint64_t n = 1);
+void count_ver(std::uint64_t n = 1);
+
+/// The thread's active counter, or nullptr.
+OpCounters* active_counters();
+
+}  // namespace p2pcash::metrics

@@ -1,0 +1,64 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace p2pcash::metrics {
+
+void RunningStats::add(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+  sum_sq_ += sample * sample;
+  sorted_valid_ = false;
+}
+
+double RunningStats::mean() const {
+  if (samples_.empty()) return 0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double RunningStats::stddev() const {
+  const auto n = static_cast<double>(samples_.size());
+  if (samples_.size() < 2) return 0;
+  double m = mean();
+  double var = (sum_sq_ - n * m * m) / (n - 1);
+  return var > 0 ? std::sqrt(var) : 0;
+}
+
+double RunningStats::min() const {
+  if (samples_.empty()) return 0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double RunningStats::max() const {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double RunningStats::percentile(double pct) const {
+  if (samples_.empty()) return 0;
+  if (pct < 0 || pct > 100)
+    throw std::invalid_argument("RunningStats::percentile: pct out of range");
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  double rank = pct / 100.0 * static_cast<double>(sorted_.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  auto hi = std::min(lo + 1, sorted_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1 - frac) + sorted_[hi] * frac;
+}
+
+std::string RunningStats::summary() const {
+  std::ostringstream os;
+  os << "mean=" << mean() << " sd=" << stddev() << " min=" << min()
+     << " p50=" << percentile(50) << " p99=" << percentile(99)
+     << " max=" << max() << " n=" << count();
+  return os.str();
+}
+
+}  // namespace p2pcash::metrics

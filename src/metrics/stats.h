@@ -1,0 +1,53 @@
+// stats.h — running statistics for the benchmark harness.
+//
+// Table 2 of the paper reports mean and standard deviation over 100 trials;
+// the ablation benches additionally report percentiles, so samples are kept.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p2pcash::metrics {
+
+/// Accumulates double-valued samples; O(n) memory to support percentiles.
+class RunningStats {
+ public:
+  void add(double sample);
+
+  std::size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Linear-interpolated percentile, pct in [0, 100].
+  double percentile(double pct) const;
+
+  /// "mean=… sd=… min=… p50=… p99=… max=… n=…" summary line.
+  std::string summary() const;
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+  mutable std::vector<double> sorted_;  // cache, invalidated by add()
+  mutable bool sorted_valid_ = false;
+};
+
+/// Byte-count accounting per named channel (e.g. per protocol role).
+class ByteCounter {
+ public:
+  void add(std::uint64_t bytes) { total_ += bytes; ++messages_; }
+  std::uint64_t total() const { return total_; }
+  std::uint64_t messages() const { return messages_; }
+  void reset() { total_ = 0; messages_ = 0; }
+
+ private:
+  std::uint64_t total_ = 0;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace p2pcash::metrics

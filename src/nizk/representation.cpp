@@ -1,0 +1,62 @@
+#include "nizk/representation.h"
+
+namespace p2pcash::nizk {
+
+using bn::BigInt;
+
+CoinSecret CoinSecret::random(const group::SchnorrGroup& grp, bn::Rng& rng) {
+  return CoinSecret{grp.random_scalar(rng), grp.random_scalar(rng),
+                    grp.random_scalar(rng), grp.random_scalar(rng)};
+}
+
+Commitments commit(const group::SchnorrGroup& grp, const CoinSecret& secret) {
+  Commitments c;
+  c.a = grp.mul(grp.exp(grp.g1(), secret.x1), grp.exp(grp.g2(), secret.x2));
+  c.b = grp.mul(grp.exp(grp.g1(), secret.y1), grp.exp(grp.g2(), secret.y2));
+  return c;
+}
+
+Response respond(const group::SchnorrGroup& grp, const CoinSecret& secret,
+                 const BigInt& d) {
+  Response r;
+  r.r1 = bn::mod_add(secret.x1, bn::mod_mul(d, secret.y1, grp.q()), grp.q());
+  r.r2 = bn::mod_add(secret.x2, bn::mod_mul(d, secret.y2, grp.q()), grp.q());
+  return r;
+}
+
+bool verify_response(const group::SchnorrGroup& grp, const Commitments& comm,
+                     const BigInt& d, const Response& resp) {
+  if (resp.r1.is_negative() || resp.r1 >= grp.q()) return false;
+  if (resp.r2.is_negative() || resp.r2 >= grp.q()) return false;
+  BigInt lhs = grp.mul(comm.a, grp.exp(comm.b, d));
+  BigInt rhs =
+      grp.mul(grp.exp(grp.g1(), resp.r1), grp.exp(grp.g2(), resp.r2));
+  return lhs == rhs;
+}
+
+std::optional<ExtractedSecrets> extract(const group::SchnorrGroup& grp,
+                                        const ChallengeResponse& first,
+                                        const ChallengeResponse& second) {
+  const BigInt& q = grp.q();
+  BigInt dd = bn::mod_sub(second.d, first.d, q);
+  if (dd.is_zero()) return std::nullopt;
+  BigInt dd_inv = bn::mod_inverse(dd, q);
+  // y_i = (r_i' - r_i) / (d' - d)
+  BigInt y1 = bn::mod_mul(bn::mod_sub(second.resp.r1, first.resp.r1, q),
+                          dd_inv, q);
+  BigInt y2 = bn::mod_mul(bn::mod_sub(second.resp.r2, first.resp.r2, q),
+                          dd_inv, q);
+  // x_i = r_i - d * y_i
+  BigInt x1 = bn::mod_sub(first.resp.r1, bn::mod_mul(first.d, y1, q), q);
+  BigInt x2 = bn::mod_sub(first.resp.r2, bn::mod_mul(first.d, y2, q), q);
+  return ExtractedSecrets{Representation{std::move(x1), std::move(x2)},
+                          Representation{std::move(y1), std::move(y2)}};
+}
+
+bool verify_representation(const group::SchnorrGroup& grp,
+                           const BigInt& commitment, const Representation& rep) {
+  BigInt rhs = grp.mul(grp.exp(grp.g1(), rep.e1), grp.exp(grp.g2(), rep.e2));
+  return commitment == rhs;
+}
+
+}  // namespace p2pcash::nizk

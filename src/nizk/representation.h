@@ -1,0 +1,98 @@
+// representation.h — Okamoto/Brands representation commitments, the payment
+// NIZK, and double-spend extraction.
+//
+// During withdrawal the client picks x1, x2, y1, y2 in Z_q and commits
+//   A = g1^x1 g2^x2,   B = g1^y1 g2^y2
+// which the broker blind-signs into the coin.  Paying at merchant I_M at a
+// given time yields the challenge d = H0(C, I_M, date/time) and the response
+//   r1 = x1 + d*y1,  r2 = x2 + d*y2   (mod q)
+// verified by  A * B^d == g1^r1 * g2^r2.
+//
+// Spending the same coin twice produces two transcripts with d != d', from
+// which anyone can solve for the representations (paper §6 footnote 4):
+//   y_i = (r_i' - r_i) / (d' - d),   x_i = r_i - d*y_i   (mod q).
+// The recovered (x1, x2) / (y1, y2) are a self-authenticating, publicly
+// verifiable proof of double-spending: producing a representation of a
+// random A is as hard as computing discrete logs, so only a double-spend
+// can reveal one.
+
+#pragma once
+
+#include <optional>
+
+#include "bn/bigint.h"
+#include "bn/rng.h"
+#include "group/schnorr_group.h"
+
+namespace p2pcash::nizk {
+
+/// The client's private coin randomness.
+struct CoinSecret {
+  bn::BigInt x1, x2, y1, y2;
+
+  static CoinSecret random(const group::SchnorrGroup& grp, bn::Rng& rng);
+
+  friend bool operator==(const CoinSecret&, const CoinSecret&) = default;
+};
+
+/// The public commitments embedded in the bare coin.
+struct Commitments {
+  bn::BigInt a;  // A = g1^x1 g2^x2
+  bn::BigInt b;  // B = g1^y1 g2^y2
+
+  friend bool operator==(const Commitments&, const Commitments&) = default;
+};
+
+/// Computes (A, B) from the secret. Costs 4 Exp.
+Commitments commit(const group::SchnorrGroup& grp, const CoinSecret& secret);
+
+/// The NIZK response revealed in a payment transcript.
+struct Response {
+  bn::BigInt r1, r2;
+
+  friend bool operator==(const Response&, const Response&) = default;
+};
+
+/// r_i = x_i + d*y_i mod q. Pure scalar arithmetic — 0 Exp (this is why the
+/// paying client's Exp column in Table 1 is zero).
+Response respond(const group::SchnorrGroup& grp, const CoinSecret& secret,
+                 const bn::BigInt& d);
+
+/// Checks A * B^d == g1^r1 * g2^r2. Costs 3 Exp.
+bool verify_response(const group::SchnorrGroup& grp, const Commitments& comm,
+                     const bn::BigInt& d, const Response& resp);
+
+/// A single (challenge, response) pair from a payment transcript.
+struct ChallengeResponse {
+  bn::BigInt d;
+  Response resp;
+};
+
+/// Representation of one commitment with respect to (g1, g2).
+struct Representation {
+  bn::BigInt e1, e2;  // commitment == g1^e1 * g2^e2
+
+  friend bool operator==(const Representation&, const Representation&) = default;
+};
+
+/// Both recovered representations.
+struct ExtractedSecrets {
+  Representation of_a;  // (x1, x2)
+  Representation of_b;  // (y1, y2)
+};
+
+/// Recovers the coin secrets from two transcripts with distinct challenges.
+/// Returns nullopt if d == d' (nothing can be extracted) — that case can
+/// only arise from the *same* merchant/time, which the broker's deposit
+/// database already de-duplicates.
+std::optional<ExtractedSecrets> extract(const group::SchnorrGroup& grp,
+                                        const ChallengeResponse& first,
+                                        const ChallengeResponse& second);
+
+/// Checks commitment == g1^e1 g2^e2 — the public double-spend proof check.
+/// Costs 2 Exp.
+bool verify_representation(const group::SchnorrGroup& grp,
+                           const bn::BigInt& commitment,
+                           const Representation& rep);
+
+}  // namespace p2pcash::nizk

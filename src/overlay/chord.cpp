@@ -1,0 +1,94 @@
+#include "overlay/chord.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace p2pcash::overlay {
+
+using bn::BigInt;
+
+bool in_interval_oc(const ChordId& x, const ChordId& from, const ChordId& to) {
+  if (from < to) return from < x && x <= to;
+  // Wrapped interval (from >= to): (from, 2^160) ∪ [0, to].
+  return x > from || x <= to;
+}
+
+ChordRing::ChordRing(std::size_t n_nodes, bn::Rng& rng) {
+  if (n_nodes == 0) throw std::invalid_argument("ChordRing: empty ring");
+  std::set<BigInt> ids;
+  while (ids.size() < n_nodes) ids.insert(bn::random_bits(rng, kIdBits));
+  nodes_.assign(ids.begin(), ids.end());
+
+  // Finger tables: finger[i] = successor(node + 2^i mod 2^160).
+  const BigInt space = BigInt{1} << kIdBits;
+  fingers_.resize(nodes_.size());
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    fingers_[n].resize(kIdBits);
+    for (std::size_t i = 0; i < kIdBits; ++i) {
+      BigInt target = nodes_[n] + (BigInt{1} << i);
+      if (target >= space) target -= space;
+      fingers_[n][i] = successor_index(target);
+    }
+  }
+}
+
+std::size_t ChordRing::successor_index(const ChordId& key) const {
+  // First node id >= key, wrapping to node 0.
+  auto it = std::lower_bound(nodes_.begin(), nodes_.end(), key);
+  if (it == nodes_.end()) return 0;
+  return static_cast<std::size_t>(it - nodes_.begin());
+}
+
+std::vector<std::size_t> ChordRing::replica_set(const ChordId& key,
+                                                std::size_t count) const {
+  count = std::min(count, nodes_.size());
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  std::size_t idx = successor_index(key);
+  for (std::size_t i = 0; i < count; ++i)
+    out.push_back((idx + i) % nodes_.size());
+  return out;
+}
+
+std::size_t ChordRing::finger(std::size_t node, std::size_t i) const {
+  return fingers_.at(node).at(i);
+}
+
+std::vector<std::size_t> ChordRing::route(std::size_t start,
+                                          const ChordId& key) const {
+  const std::size_t target = successor_index(key);
+  std::vector<std::size_t> path{start};
+  std::size_t current = start;
+  // Iterative closest-preceding-finger routing.
+  while (current != target) {
+    // If the target is our immediate successor region, jump there.
+    if (in_interval_oc(key, nodes_[current],
+                       nodes_[(current + 1) % nodes_.size()]) ||
+        (current + 1) % nodes_.size() == target) {
+      current = target;
+      path.push_back(current);
+      break;
+    }
+    // Closest finger preceding the key.
+    std::size_t next = current;
+    for (std::size_t i = kIdBits; i-- > 0;) {
+      std::size_t f = fingers_[current][i];
+      if (f != current && in_interval_oc(nodes_[f], nodes_[current], key)) {
+        next = f;
+        break;
+      }
+    }
+    if (next == current) {
+      // No finger strictly progresses: fall back to the successor.
+      next = (current + 1) % nodes_.size();
+    }
+    current = next;
+    path.push_back(current);
+    if (path.size() > nodes_.size() + 2)
+      throw std::logic_error("ChordRing::route: routing loop");
+  }
+  return path;
+}
+
+}  // namespace p2pcash::overlay

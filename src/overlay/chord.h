@@ -1,0 +1,65 @@
+// chord.h — a Chord ring (Stoica et al., SIGCOMM 2001).
+//
+// The paper's related work (§2) contrasts its witness scheme with
+// DHT-based spent-coin databases (WhoPay, Hoepman): "the distributed
+// database cannot be fully trusted unless secure routing and honesty of
+// peers are guaranteed and can only support probabilistic guarantees."
+// To make that comparison quantitative (bench A2) we implement the Chord
+// substrate those schemes assume: 160-bit identifier ring, finger tables,
+// iterative greedy routing, successor-list replication.
+//
+// This is a structural simulation: finger tables are computed from the
+// (static) membership, and lookups return the true route a Chord iterative
+// lookup would take, including per-hop traversal so faulty/adversarial
+// nodes can interfere with routing.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bn/bigint.h"
+#include "bn/rng.h"
+
+namespace p2pcash::overlay {
+
+/// Chord identifier: a point on the 2^160 ring.
+using ChordId = bn::BigInt;
+
+inline constexpr std::size_t kIdBits = 160;
+
+/// True iff `x` lies in the half-open ring interval (from, to].
+bool in_interval_oc(const ChordId& x, const ChordId& from, const ChordId& to);
+
+/// A Chord ring over a static membership.
+class ChordRing {
+ public:
+  /// Node ids are derived uniformly (hash of index + seed); distinct.
+  ChordRing(std::size_t n_nodes, bn::Rng& rng);
+
+  std::size_t size() const { return nodes_.size(); }
+  /// Ring-ordered node ids.
+  const std::vector<ChordId>& node_ids() const { return nodes_; }
+  /// Index (into node_ids) of the successor node of `key`.
+  std::size_t successor_index(const ChordId& key) const;
+
+  /// The `count` successive nodes responsible for `key` (successor list) —
+  /// the replica set for DHT storage.
+  std::vector<std::size_t> replica_set(const ChordId& key,
+                                       std::size_t count) const;
+
+  /// The iterative finger-table route from `start` (node index) towards
+  /// the successor of `key`, including the final node. Hop count is
+  /// route.size() - 1; O(log n) with high probability.
+  std::vector<std::size_t> route(std::size_t start, const ChordId& key) const;
+
+  /// finger[i] of a node: successor(node_id + 2^i).
+  std::size_t finger(std::size_t node, std::size_t i) const;
+
+ private:
+  std::vector<ChordId> nodes_;                   // sorted ascending
+  std::vector<std::vector<std::size_t>> fingers_;  // per node, kIdBits entries
+};
+
+}  // namespace p2pcash::overlay

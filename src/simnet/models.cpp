@@ -1,0 +1,64 @@
+#include "simnet/models.h"
+
+#include "wire/uri_form.h"
+
+namespace p2pcash::simnet {
+
+SimTime UniformLatency::one_way_ms(NodeId from, NodeId to, bn::Rng& rng) {
+  if (from == to) return 0;
+  // 53-bit uniform double in [0, 1).
+  double u = static_cast<double>(rng.next_u64() >> 11) * 0x1.0p-53;
+  return lo_ + (hi_ - lo_) * u;
+}
+
+UniformLatency planetlab_wan() { return UniformLatency(25.0, 50.0); }
+UniformLatency lan() { return UniformLatency(0.2, 0.5); }
+
+CostModel python2007_cost() {
+  // Calibrated to the paper's observations: a plain signature costs 250 ms;
+  // other operations scale with their exponentiation content relative to
+  // OpenSSL (factor ~52 = 250 / 4.8).
+  return CostModel{"python2007", /*exp=*/45.0, /*hash=*/0.5, /*sig=*/250.0,
+                   /*ver=*/95.0, /*jitter=*/0.35};
+}
+
+CostModel openssl_cost() {
+  // ~4.8 ms per signature on the paper's P4 3.2 GHz; a bare 1024-bit
+  // exponentiation with a 160-bit exponent is ~0.8 ms; verification is two
+  // exponentiations.
+  return CostModel{"openssl", /*exp=*/0.8, /*hash=*/0.01, /*sig=*/4.8,
+                   /*ver=*/1.8, /*jitter=*/0.10};
+}
+
+CostModel free_cost() { return CostModel{"free", 0, 0, 0, 0, 0}; }
+
+std::size_t encoded_size(WireFormat format, std::size_t type_len,
+                         std::size_t payload_len) {
+  switch (format) {
+    case WireFormat::kBinary:
+      // type string + 4-byte length prefix + payload.
+      return type_len + 4 + payload_len;
+    case WireFormat::kUri: {
+      // Estimate for "op=<type>&data=<base64(payload)>" with
+      // percent-escaping; exact sizes come from encoded_size_exact.
+      std::size_t b64 = (payload_len + 2) / 3 * 4;
+      std::size_t escapes = b64 * 2 / 32 + 2;
+      return 3 + type_len + 6 + b64 + 2 * escapes;
+    }
+  }
+  return payload_len;
+}
+
+std::size_t encoded_size_exact(WireFormat format, std::string_view type,
+                               std::span<const std::uint8_t> payload) {
+  if (format == WireFormat::kBinary)
+    return encoded_size(format, type.size(), payload.size());
+  // Render the paper's actual REST form: op=<type>&data=<base64(payload)>,
+  // both sides percent-escaped — and measure it.
+  wire::UriForm form;
+  form.add("op", std::string(type));
+  form.add_bytes("data", payload);
+  return form.rendered_size();
+}
+
+}  // namespace p2pcash::simnet

@@ -1,0 +1,113 @@
+// models.h — latency and compute-cost models for the simulated testbed.
+//
+// Latency reproduces the paper's environment: "round-trip time on WAN is
+// expected to be at least 50-100 ms (observed on PlanetLab nodes in the
+// US)".  Compute cost reproduces the paper's two implementation points:
+// Python-native bignum crypto (~250 ms per signature — what Table 2
+// actually measured) and OpenSSL (~4.8 ms per signature — what §7 projects
+// real deployments would see).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bn/rng.h"
+#include "metrics/counters.h"
+#include "simnet/sim.h"
+
+namespace p2pcash::simnet {
+
+using NodeId = std::uint32_t;
+
+/// One-way message latency model.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  virtual SimTime one_way_ms(NodeId from, NodeId to, bn::Rng& rng) = 0;
+};
+
+/// Fixed one-way latency (e.g. 0 for co-located processes).
+class ConstantLatency final : public LatencyModel {
+ public:
+  explicit ConstantLatency(SimTime ms) : ms_(ms) {}
+  SimTime one_way_ms(NodeId, NodeId, bn::Rng&) override { return ms_; }
+
+ private:
+  SimTime ms_;
+};
+
+/// Uniform one-way latency in [lo, hi) ms; self-messages are free.
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(SimTime lo_ms, SimTime hi_ms) : lo_(lo_ms), hi_(hi_ms) {}
+  SimTime one_way_ms(NodeId from, NodeId to, bn::Rng& rng) override;
+
+ private:
+  SimTime lo_, hi_;
+};
+
+/// The paper's PlanetLab WAN: 50–100 ms RTT -> 25–50 ms one way.
+UniformLatency planetlab_wan();
+/// A LAN: 0.2–0.5 ms one way.
+UniformLatency lan();
+
+/// Charges virtual time for cryptographic work, given the op counts the
+/// metrics layer recorded around a protocol step.
+struct CostModel {
+  std::string name;
+  double exp_ms = 0;   ///< per modular exponentiation
+  double hash_ms = 0;  ///< per protocol-level hash
+  double sig_ms = 0;   ///< per plain signature
+  double ver_ms = 0;   ///< per signature verification
+  /// Host-noise factor: each charge is scaled by a uniform sample from
+  /// [1-jitter, 1+jitter].  Models scheduling/GC variance on shared
+  /// hardware — the paper's PlanetLab trials show an 18% latency stddev
+  /// that is far above pure propagation-delay variance.
+  double jitter = 0;
+
+  SimTime cost_ms(const metrics::OpCounters& ops) const {
+    return static_cast<double>(ops.exp) * exp_ms +
+           static_cast<double>(ops.hash) * hash_ms +
+           static_cast<double>(ops.sig) * sig_ms +
+           static_cast<double>(ops.ver) * ver_ms;
+  }
+
+  /// cost_ms with the jitter factor applied (rng unused when jitter == 0).
+  SimTime sample_cost_ms(const metrics::OpCounters& ops, bn::Rng& rng) const {
+    SimTime base = cost_ms(ops);
+    if (jitter <= 0 || base <= 0) return base;
+    double u = static_cast<double>(rng.next_u64() >> 11) * 0x1.0p-53;
+    return base * (1.0 - jitter + 2.0 * jitter * u);
+  }
+};
+
+/// Python 2.4-era native bignums on a P4 (the paper's prototype: "average
+/// wall-clock time for an RSA signature is 250ms").
+CostModel python2007_cost();
+/// OpenSSL on the same hardware ("compared to 4.8ms using OpenSSL").
+CostModel openssl_cost();
+/// Zero compute cost (isolates pure network effects).
+CostModel free_cost();
+
+/// Wire format for message-size accounting.
+enum class WireFormat {
+  kBinary,  ///< length-prefixed binary (the compact option of §7)
+  kUri,     ///< URL-encoded with base64 payloads (what the prototype used)
+};
+
+/// Bytes on the wire for a message with `type_len` header characters and a
+/// `payload_len`-byte body under the given format.  The URI form models the
+/// paper's REST encoding: base64 expansion plus percent-escaping of the
+/// '+', '/' and '=' characters (~5.3% of base64 output each, 3 bytes per
+/// escape) plus key/value framing.
+std::size_t encoded_size(WireFormat format, std::size_t type_len,
+                         std::size_t payload_len);
+
+/// Exact wire size: for kUri this renders the actual
+/// "op=<type>&data=<base64(payload)>" form (what the paper's prototype put
+/// on the wire) and measures it; for kBinary it equals encoded_size.
+std::size_t encoded_size_exact(WireFormat format, std::string_view type,
+                               std::span<const std::uint8_t> payload);
+
+}  // namespace p2pcash::simnet

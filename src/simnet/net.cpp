@@ -1,0 +1,64 @@
+#include "simnet/net.h"
+
+#include <stdexcept>
+
+namespace p2pcash::simnet {
+
+Network::Network(Simulator& sim, std::unique_ptr<LatencyModel> latency,
+                 bn::Rng& rng, WireFormat format)
+    : sim_(sim), latency_(std::move(latency)), rng_(rng), format_(format) {
+  if (!latency_)
+    throw std::invalid_argument("Network: latency model required");
+}
+
+NodeId Network::attach(Node& node) {
+  node.id_ = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(&node);
+  return node.id_;
+}
+
+void Network::send(Message msg) {
+  if (msg.to >= nodes_.size())
+    throw std::invalid_argument("Network::send: unknown destination");
+  const std::size_t wire_bytes =
+      encoded_size_exact(format_, msg.type, msg.payload);
+  traffic_[msg.from].sent.add(wire_bytes);
+
+  if (down_.contains(msg.from) || down_.contains(msg.to)) return;
+  if (drop_rate_ > 0) {
+    double u = static_cast<double>(rng_.next_u64() >> 11) * 0x1.0p-53;
+    if (u < drop_rate_) return;
+  }
+  const SimTime delay = latency_->one_way_ms(msg.from, msg.to, rng_);
+  sim_.schedule(delay, [this, msg = std::move(msg), wire_bytes]() {
+    if (down_.contains(msg.to)) return;  // went down in flight
+    traffic_[msg.to].received.add(wire_bytes);
+    nodes_[msg.to]->on_message(msg);
+  });
+}
+
+void Network::set_down(NodeId node, bool down) {
+  if (down)
+    down_.insert(node);
+  else
+    down_.erase(node);
+}
+
+std::uint64_t Network::bytes_sent(NodeId node) const {
+  auto it = traffic_.find(node);
+  return it == traffic_.end() ? 0 : it->second.sent.total();
+}
+
+std::uint64_t Network::bytes_received(NodeId node) const {
+  auto it = traffic_.find(node);
+  return it == traffic_.end() ? 0 : it->second.received.total();
+}
+
+std::uint64_t Network::messages_sent(NodeId node) const {
+  auto it = traffic_.find(node);
+  return it == traffic_.end() ? 0 : it->second.sent.messages();
+}
+
+void Network::reset_byte_counts() { traffic_.clear(); }
+
+}  // namespace p2pcash::simnet

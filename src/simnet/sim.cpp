@@ -1,0 +1,37 @@
+#include "simnet/sim.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace p2pcash::simnet {
+
+void Simulator::schedule(SimTime delay_ms, std::function<void()> fn) {
+  if (delay_ms < 0)
+    throw std::invalid_argument("Simulator::schedule: negative delay");
+  queue_.push(Event{now_ + delay_ms, next_seq_++, std::move(fn)});
+}
+
+SimTime Simulator::run() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    ++executed_;
+    event.fn();
+  }
+  return now_;
+}
+
+SimTime Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    ++executed_;
+    event.fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace p2pcash::simnet

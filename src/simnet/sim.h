@@ -1,0 +1,56 @@
+// sim.h — a minimal discrete-event simulator.
+//
+// The paper's Table 2 measures the payment protocol over PlanetLab (WAN
+// RTTs of 50–100 ms) with Python-speed crypto.  We reproduce that testbed
+// as a discrete-event simulation: virtual time advances only through
+// scheduled events, so runs are deterministic, reproducible and as fast as
+// the host allows while still exhibiting real latency/compute structure.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace p2pcash::simnet {
+
+/// Virtual time in milliseconds (fractional for sub-ms compute costs).
+using SimTime = double;
+
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at now() + delay_ms (delay must be >= 0).
+  /// Events at equal times run in scheduling order (stable).
+  void schedule(SimTime delay_ms, std::function<void()> fn);
+
+  /// Runs events until the queue empties. Returns the final time.
+  SimTime run();
+  /// Runs events with time <= deadline; pending later events remain queued.
+  SimTime run_until(SimTime deadline);
+
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // tiebreaker: FIFO among same-time events
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace p2pcash::simnet

@@ -1,0 +1,84 @@
+#include "wire/codec.h"
+
+namespace p2pcash::wire {
+
+void Writer::put_u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::put_u64(std::uint64_t v) {
+  put_u32(static_cast<std::uint32_t>(v >> 32));
+  put_u32(static_cast<std::uint32_t>(v));
+}
+
+void Writer::put_bytes(std::span<const std::uint8_t> bytes) {
+  put_u32(static_cast<std::uint32_t>(bytes.size()));
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void Writer::put_string(std::string_view s) {
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Writer::put_bigint(const bn::BigInt& v) {
+  if (v.is_negative())
+    throw std::domain_error("Writer::put_bigint: negative value");
+  put_bytes(v.to_bytes_be());
+}
+
+void Reader::need(std::size_t n) const {
+  if (pos_ + n > data_.size()) throw DecodeError("Reader: truncated input");
+}
+
+std::uint8_t Reader::get_u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint32_t Reader::get_u32() {
+  need(4);
+  std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+                    static_cast<std::uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::get_u64() {
+  std::uint64_t hi = get_u32();
+  std::uint64_t lo = get_u32();
+  return (hi << 32) | lo;
+}
+
+std::vector<std::uint8_t> Reader::get_bytes() {
+  std::uint32_t n = get_u32();
+  need(n);
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string Reader::get_string() {
+  std::uint32_t n = get_u32();
+  need(n);
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return out;
+}
+
+bn::BigInt Reader::get_bigint() {
+  auto bytes = get_bytes();
+  return bn::BigInt::from_bytes_be(bytes);
+}
+
+void Reader::expect_end() const {
+  if (!at_end()) throw DecodeError("Reader: trailing bytes");
+}
+
+}  // namespace p2pcash::wire

@@ -1,0 +1,96 @@
+// codec.h — canonical binary serialization.
+//
+// Every protocol structure has exactly one canonical byte encoding, used
+// both on the (simulated) wire and as the preimage of every hash and
+// signature — so "sign the payment transcript" is unambiguous and
+// non-malleable.  Format: length-prefixed fields, big-endian integers.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bn/bigint.h"
+
+namespace p2pcash::wire {
+
+/// Thrown by Reader on malformed or truncated input.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends fields to a byte buffer.
+class Writer {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+  /// Length-prefixed raw bytes.
+  void put_bytes(std::span<const std::uint8_t> bytes);
+  /// Length-prefixed UTF-8 string.
+  void put_string(std::string_view s);
+  /// Length-prefixed magnitude bytes; non-negative values only (protocol
+  /// scalars/elements are all in [0, p)). Throws std::domain_error otherwise.
+  void put_bigint(const bn::BigInt& v);
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Consumes fields from a byte buffer; throws DecodeError on any underflow.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+  std::vector<std::uint8_t> get_bytes();
+  std::string get_string();
+  bn::BigInt get_bigint();
+
+  bool at_end() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  /// Throws DecodeError unless the input was fully consumed.
+  void expect_end() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Anything with `void encode(Writer&) const`.
+template <typename T>
+concept Encodable = requires(const T& t, Writer& w) { t.encode(w); };
+
+/// Canonical encoding of a single encodable value.
+template <Encodable T>
+std::vector<std::uint8_t> encode(const T& value) {
+  Writer w;
+  value.encode(w);
+  return w.take();
+}
+
+/// Decodes a whole buffer into T (requires static T::decode(Reader&)).
+template <typename T>
+T decode(std::span<const std::uint8_t> data) {
+  Reader r(data);
+  T value = T::decode(r);
+  r.expect_end();
+  return value;
+}
+
+}  // namespace p2pcash::wire

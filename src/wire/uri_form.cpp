@@ -1,0 +1,99 @@
+#include "wire/uri_form.h"
+
+#include <charconv>
+
+#include "crypto/encoding.h"
+#include "wire/codec.h"
+
+namespace p2pcash::wire {
+
+UriForm& UriForm::add(std::string key, std::string value) {
+  entries_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+UriForm& UriForm::add_bytes(std::string key,
+                            std::span<const std::uint8_t> bytes) {
+  return add(std::move(key), crypto::to_base64(bytes));
+}
+
+UriForm& UriForm::add_bigint(std::string key, const bn::BigInt& v) {
+  return add(std::move(key), v.to_hex());
+}
+
+UriForm& UriForm::add_u64(std::string key, std::uint64_t v) {
+  return add(std::move(key), std::to_string(v));
+}
+
+std::string UriForm::render() const {
+  std::string out;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i) out.push_back('&');
+    out += crypto::uri_escape(entries_[i].first);
+    out.push_back('=');
+    out += crypto::uri_escape(entries_[i].second);
+  }
+  return out;
+}
+
+UriForm UriForm::parse(std::string_view s) {
+  UriForm form;
+  if (s.empty()) return form;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t amp = s.find('&', start);
+    std::string_view pair =
+        s.substr(start, amp == std::string_view::npos ? amp : amp - start);
+    std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos)
+      throw DecodeError("UriForm::parse: missing '='");
+    try {
+      form.entries_.emplace_back(crypto::uri_unescape(pair.substr(0, eq)),
+                                 crypto::uri_unescape(pair.substr(eq + 1)));
+    } catch (const std::invalid_argument& e) {
+      throw DecodeError(std::string("UriForm::parse: ") + e.what());
+    }
+    if (amp == std::string_view::npos) break;
+    start = amp + 1;
+  }
+  return form;
+}
+
+std::optional<std::string> UriForm::get(std::string_view key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<std::uint8_t>> UriForm::get_bytes(
+    std::string_view key) const {
+  auto v = get(key);
+  if (!v) return std::nullopt;
+  try {
+    return crypto::from_base64(*v);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<bn::BigInt> UriForm::get_bigint(std::string_view key) const {
+  auto v = get(key);
+  if (!v) return std::nullopt;
+  try {
+    return bn::BigInt::from_hex(*v);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::uint64_t> UriForm::get_u64(std::string_view key) const {
+  auto v = get(key);
+  if (!v) return std::nullopt;
+  std::uint64_t out = 0;
+  auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (ec != std::errc{} || ptr != v->data() + v->size()) return std::nullopt;
+  return out;
+}
+
+}  // namespace p2pcash::wire

@@ -1,0 +1,53 @@
+// uri_form.h — the paper's REST/URL-encoded message representation.
+//
+// The prototype in §7 transfers all protocol state URL-encoded ("all state
+// is encoded as universal resource identifiers"), which is what Table 2's
+// byte counts measure.  UriForm renders an ordered key/value form as
+// "k1=v1&k2=v2" with percent-escaping; binary values are carried base64.
+// The binary codec (codec.h) is the compact alternative the paper suggests
+// ("compression and/or base64 data encoding can be used").
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "bn/bigint.h"
+
+namespace p2pcash::wire {
+
+/// Ordered key/value form with URI rendering.
+class UriForm {
+ public:
+  UriForm& add(std::string key, std::string value);
+  UriForm& add_bytes(std::string key, std::span<const std::uint8_t> bytes);
+  UriForm& add_bigint(std::string key, const bn::BigInt& v);
+  UriForm& add_u64(std::string key, std::uint64_t v);
+
+  /// "k1=v1&k2=v2" with both sides percent-escaped.
+  std::string render() const;
+  /// Parses a rendered form. Throws wire::DecodeError on malformed input.
+  static UriForm parse(std::string_view s);
+
+  /// First value for `key`, if present.
+  std::optional<std::string> get(std::string_view key) const;
+  std::optional<std::vector<std::uint8_t>> get_bytes(std::string_view key) const;
+  std::optional<bn::BigInt> get_bigint(std::string_view key) const;
+  std::optional<std::uint64_t> get_u64(std::string_view key) const;
+
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+  /// Rendered size in bytes — the quantity Table 2 reports.
+  std::size_t rendered_size() const { return render().size(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace p2pcash::wire

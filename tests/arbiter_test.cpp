@@ -1,0 +1,158 @@
+// Conflict resolution: the arbiter's verdicts (paper §5/§6).
+
+#include "ecash/arbiter.h"
+
+#include <gtest/gtest.h>
+
+#include "ecash_fixture.h"
+
+namespace p2pcash::ecash {
+namespace {
+
+using testing::EcashTest;
+
+class ArbiterTest : public EcashTest {
+ protected:
+  /// Produces a genuine double-spend situation and returns the pieces the
+  /// dispute involves: the second transcript, the commitment the witness
+  /// issued for it, the proof the witness answered with, and the revealed
+  /// committed value.
+  struct Dispute {
+    PaymentTranscript transcript;
+    WitnessCommitment commitment;
+    DoubleSpendProof proof;
+    CommittedValue revealed;
+  };
+  Dispute make_double_spend_dispute() {
+    Dispute d;
+    auto coin = withdraw();
+    auto ids = dep_.merchant_ids();
+    auto& witness = *dep_.node(coin.coin.witnesses[0].merchant).witness;
+    // First spend at ids[0].
+    EXPECT_TRUE(dep_.pay(*wallet_, coin, ids[0], 2000).accepted);
+    // Second spend attempt at ids[1], driven manually so we keep all the
+    // intermediate artifacts.
+    Timestamp later = 2000 + witness.commitment_ttl() + 100;
+    auto intent = wallet_->prepare_payment(coin, ids[1]);
+    auto commitment =
+        witness.request_commitment(intent.coin_hash, intent.nonce, later);
+    EXPECT_TRUE(commitment.ok());
+    d.commitment = commitment.value();
+    auto transcript = wallet_->build_transcript(coin, intent, {d.commitment},
+                                                later + 50);
+    EXPECT_TRUE(transcript.ok());
+    d.transcript = transcript.value();
+    auto sign = witness.sign_transcript(d.transcript, later + 100);
+    EXPECT_TRUE(sign.ok());
+    d.proof = std::get<DoubleSpendProof>(sign.value());
+    auto revealed = witness.reveal_committed_value(intent.coin_hash);
+    EXPECT_TRUE(revealed.ok());
+    d.revealed = revealed.value();
+    return d;
+  }
+};
+
+TEST_F(ArbiterTest, JustifiedRefusalBlamesClient) {
+  auto d = make_double_spend_dispute();
+  auto verdict = dep_.arbiter().judge_refusal(d.transcript, d.commitment,
+                                              d.revealed, d.proof);
+  EXPECT_EQ(verdict, Verdict::kClientDoubleSpent);
+}
+
+TEST_F(ArbiterTest, WitnessSilenceIsViolation) {
+  auto d = make_double_spend_dispute();
+  auto verdict = dep_.arbiter().judge_refusal(d.transcript, d.commitment,
+                                              std::nullopt, d.proof);
+  EXPECT_EQ(verdict, Verdict::kWitnessViolated);
+}
+
+TEST_F(ArbiterTest, FreshCommitmentPlusRefusalIsViolation) {
+  // The §5 race audit: if the revealed v is fresh randomness, the witness
+  // knew of no prior spend when it committed, so refusing was cheating.
+  // A witness whose revealed v does not hash to the committed value_hash
+  // (here: it claims fresh randomness unrelated to its commitment) is
+  // hiding something — violation.  The true kFresh-under-matching-hash
+  // case can only be produced by a cheating witness implementation; the
+  // hash-mismatch path covers the same audit rule.
+  auto d = make_double_spend_dispute();
+  crypto::ChaChaRng rng("fresh-v");
+  auto fresh = CommittedValue::fresh(rng);
+  auto verdict = dep_.arbiter().judge_refusal(d.transcript, d.commitment,
+                                              fresh, d.proof);
+  EXPECT_EQ(verdict, Verdict::kWitnessViolated);
+}
+
+TEST_F(ArbiterTest, BogusProofIsWitnessViolation) {
+  auto d = make_double_spend_dispute();
+  crypto::ChaChaRng rng("bogus");
+  auto bogus = d.proof;
+  bogus.secrets.of_a.e1 = dep_.grp().random_scalar(rng);
+  auto verdict = dep_.arbiter().judge_refusal(d.transcript, d.commitment,
+                                              d.revealed, bogus);
+  EXPECT_EQ(verdict, Verdict::kWitnessViolated);
+}
+
+TEST_F(ArbiterTest, MerchantNonceMismatchBlamesMerchant) {
+  auto d = make_double_spend_dispute();
+  auto tampered = d.transcript;
+  tampered.merchant = "m007";  // claims a different victim
+  auto verdict = dep_.arbiter().judge_refusal(tampered, d.commitment,
+                                              d.revealed, d.proof);
+  EXPECT_EQ(verdict, Verdict::kMerchantViolated);
+}
+
+TEST_F(ArbiterTest, CommitmentForDifferentCoinIsInvalidEvidence) {
+  auto d = make_double_spend_dispute();
+  auto other_coin = withdraw();
+  auto intent = wallet_->prepare_payment(other_coin, "m002");
+  auto& witness = *dep_.node(other_coin.coin.witnesses[0].merchant).witness;
+  auto unrelated =
+      witness.request_commitment(intent.coin_hash, intent.nonce, 9000);
+  ASSERT_TRUE(unrelated.ok());
+  auto verdict = dep_.arbiter().judge_refusal(d.transcript, unrelated.value(),
+                                              d.revealed, d.proof);
+  EXPECT_EQ(verdict, Verdict::kInvalidEvidence);
+}
+
+TEST_F(ArbiterTest, DoubleSigningJudged) {
+  // Reuse the faulty-witness flow to obtain two signed transcripts.
+  auto coin = withdraw();
+  auto witness_id = coin.coin.witnesses[0].merchant;
+  dep_.node(witness_id).witness->set_faulty(true);
+  std::vector<MerchantId> victims;
+  for (const auto& id : dep_.merchant_ids()) {
+    if (id != witness_id && victims.size() < 2) victims.push_back(id);
+  }
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, victims[0], 2000).accepted);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, victims[1], 3000).accepted);
+  auto q1 = dep_.node(victims[0]).merchant->drain_deposit_queue();
+  auto q2 = dep_.node(victims[1]).merchant->drain_deposit_queue();
+  ASSERT_EQ(q1.size(), 1u);
+  ASSERT_EQ(q2.size(), 1u);
+  EXPECT_EQ(dep_.arbiter().judge_double_signing(q1[0], q2[0], witness_id),
+            Verdict::kWitnessViolated);
+  // Same transcript twice proves nothing.
+  EXPECT_EQ(dep_.arbiter().judge_double_signing(q1[0], q1[0], witness_id),
+            Verdict::kNoFault);
+  // A witness that signed neither cannot be blamed.
+  EXPECT_EQ(dep_.arbiter().judge_double_signing(q1[0], q2[0], victims[0]),
+            Verdict::kInvalidEvidence);
+}
+
+TEST_F(ArbiterTest, ProofValidation) {
+  auto d = make_double_spend_dispute();
+  EXPECT_TRUE(
+      dep_.arbiter().verify_double_spend_proof(d.transcript.coin, d.proof));
+  auto other = withdraw();
+  EXPECT_FALSE(
+      dep_.arbiter().verify_double_spend_proof(other.coin, d.proof));
+}
+
+TEST_F(ArbiterTest, VerdictNames) {
+  EXPECT_STREQ(to_string(Verdict::kWitnessViolated), "witness-violated");
+  EXPECT_STREQ(to_string(Verdict::kClientDoubleSpent), "client-double-spent");
+  EXPECT_STREQ(to_string(Verdict::kNoFault), "no-fault");
+}
+
+}  // namespace
+}  // namespace p2pcash::ecash

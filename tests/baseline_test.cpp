@@ -1,0 +1,170 @@
+// Baselines: the DHT spent-coin registry's probabilistic guarantees, the
+// online-clearing broker's load/outage behaviour, and offline detection's
+// fraud exposure — each contrasted with the witness scheme's hard
+// guarantee (which the doublespend tests pin at exactly zero).
+
+#include <gtest/gtest.h>
+
+#include "baseline/dht_registry.h"
+#include "baseline/offline_detection.h"
+#include "baseline/online_clearing.h"
+#include "crypto/chacha.h"
+
+namespace p2pcash::baseline {
+namespace {
+
+TEST(DhtRegistry, HonestNetworkDetectsEverything) {
+  crypto::ChaChaRng rng("dht-honest");
+  DhtSpentRegistry dht({.nodes = 64, .replicas = 3, .malicious_fraction = 0},
+                       rng);
+  int missed = 0;
+  for (int i = 0; i < 50; ++i) {
+    auto coin = bn::random_bits(rng, overlay::kIdBits);
+    auto first = dht.check_and_record(coin);
+    EXPECT_FALSE(first.seen_before);
+    auto second = dht.check_and_record(coin);
+    if (!second.seen_before) ++missed;
+  }
+  EXPECT_EQ(missed, 0);
+}
+
+TEST(DhtRegistry, MaliciousReplicasLetDoubleSpendsThrough) {
+  crypto::ChaChaRng rng("dht-evil");
+  DhtSpentRegistry dht(
+      {.nodes = 64, .replicas = 2, .malicious_fraction = 0.4}, rng);
+  EXPECT_GT(dht.malicious_count(), 0u);
+  int missed = 0;
+  const int kCoins = 200;
+  for (int i = 0; i < kCoins; ++i) {
+    auto coin = bn::random_bits(rng, overlay::kIdBits);
+    (void)dht.check_and_record(coin);
+    if (!dht.check_and_record(coin).seen_before) ++missed;
+  }
+  // Expected miss rate ~ f^r = 0.16; must be clearly nonzero (the paper's
+  // point: "can only support probabilistic guarantees").
+  EXPECT_GT(missed, kCoins / 20);
+  EXPECT_LT(missed, kCoins / 2);
+}
+
+TEST(DhtRegistry, MoreReplicasShrinkTheHole) {
+  crypto::ChaChaRng rng("dht-replicas");
+  auto miss_rate = [&](std::size_t replicas) {
+    crypto::ChaChaRng local("dht-replicas-" + std::to_string(replicas));
+    DhtSpentRegistry dht({.nodes = 128,
+                          .replicas = replicas,
+                          .malicious_fraction = 0.3},
+                         local);
+    int missed = 0;
+    for (int i = 0; i < 300; ++i) {
+      auto coin = bn::random_bits(local, overlay::kIdBits);
+      (void)dht.check_and_record(coin);
+      if (!dht.check_and_record(coin).seen_before) ++missed;
+    }
+    return missed;
+  };
+  EXPECT_GT(miss_rate(1), miss_rate(4));
+  (void)rng;
+}
+
+TEST(DhtRegistry, MisroutingMakesItWorse) {
+  auto missed_with = [&](bool misroute) {
+    crypto::ChaChaRng local(misroute ? "dht-mis-1" : "dht-mis-0");
+    DhtSpentRegistry dht({.nodes = 128,
+                          .replicas = 3,
+                          .malicious_fraction = 0.25,
+                          .malicious_misroute = misroute},
+                         local);
+    int missed = 0;
+    for (int i = 0; i < 300; ++i) {
+      auto coin = bn::random_bits(local, overlay::kIdBits);
+      (void)dht.check_and_record(coin);
+      if (!dht.check_and_record(coin).seen_before) ++missed;
+    }
+    return missed;
+  };
+  EXPECT_GT(missed_with(true), missed_with(false));
+}
+
+TEST(OnlineClearing, LatencyDegradesWithLoad) {
+  crypto::ChaChaRng rng("oc-load");
+  OnlineClearingBroker::Options opt;
+  opt.service_ms = 10;
+  auto light = OnlineClearingBroker::simulate(opt, 2000, 10.0, rng);
+  auto heavy = OnlineClearingBroker::simulate(opt, 2000, 95.0, rng);
+  // At 95/s against a 100/s server the queue dominates.
+  EXPECT_GT(heavy.latency_ms.mean(), 2 * light.latency_ms.mean());
+  EXPECT_GT(heavy.broker_utilization, 0.8);
+  EXPECT_LT(light.broker_utilization, 0.2);
+  EXPECT_EQ(light.cleared, 2000u);
+}
+
+TEST(OnlineClearing, LightLoadLatencyIsRttPlusService) {
+  crypto::ChaChaRng rng("oc-light");
+  OnlineClearingBroker::Options opt;
+  opt.service_ms = 10;
+  auto stats = OnlineClearingBroker::simulate(opt, 1000, 1.0, rng);
+  // RTT in [50, 100] + 10 service (+ occasional brief queueing when two
+  // Poisson arrivals cluster).
+  EXPECT_GE(stats.latency_ms.min(), 60.0);
+  EXPECT_LE(stats.latency_ms.max(), 140.0);
+  EXPECT_LE(stats.latency_ms.percentile(90), 110.0);
+}
+
+TEST(OnlineClearing, OutageFailsPayments) {
+  // The single-point-of-failure argument: take the broker down for a
+  // window and every payment in it dies.  The witness scheme has no such
+  // global choke point.
+  crypto::ChaChaRng rng("oc-outage");
+  OnlineClearingBroker::Options opt;
+  auto stats = OnlineClearingBroker::simulate(opt, 2000, 20.0, rng,
+                                              /*outage_start=*/10'000,
+                                              /*outage_end=*/40'000);
+  EXPECT_GT(stats.failed_outage, 0u);
+  EXPECT_EQ(stats.cleared + stats.failed_outage, 2000u);
+  // Roughly 30s of a ~100s run -> ~30% of arrivals fail.
+  double fail_rate = static_cast<double>(stats.failed_outage) / 2000.0;
+  EXPECT_GT(fail_rate, 0.15);
+  EXPECT_LT(fail_rate, 0.45);
+}
+
+TEST(OfflineDetection, SlowDepositsMeanLargeExposure) {
+  crypto::ChaChaRng rng("off-slow");
+  OfflineDetection::Options opt;
+  opt.deposit_interval_ms = 3600'000;  // hourly batch deposits
+  opt.spend_rate_per_s = 1.0;
+  opt.merchants = 120;
+  auto stats = OfflineDetection::simulate(group::SchnorrGroup::test_256(),
+                                          opt, rng);
+  // The attacker hits every merchant before the first deposit lands.
+  EXPECT_EQ(stats.fraudulent_spends, 120u);
+  EXPECT_TRUE(stats.secrets_extracted);
+}
+
+TEST(OfflineDetection, FastDepositsShrinkExposure) {
+  crypto::ChaChaRng rng("off-fast");
+  OfflineDetection::Options opt;
+  opt.deposit_interval_ms = 10'000;  // deposits 10s after sale
+  opt.spend_rate_per_s = 1.0;
+  opt.merchants = 120;
+  auto stats = OfflineDetection::simulate(group::SchnorrGroup::test_256(),
+                                          opt, rng);
+  EXPECT_GT(stats.fraudulent_spends, 1u);
+  EXPECT_LT(stats.fraudulent_spends, 20u);
+  EXPECT_EQ(stats.detected_at_deposit, 1u);
+  EXPECT_GT(stats.detection_delay_ms, 0.0);
+}
+
+TEST(OfflineDetection, DetectionStillNeedsTwoTranscripts) {
+  crypto::ChaChaRng rng("off-two");
+  OfflineDetection::Options opt;
+  opt.deposit_interval_ms = 1000;
+  opt.spend_rate_per_s = 0.1;  // slow attacker
+  opt.merchants = 5;
+  auto stats = OfflineDetection::simulate(group::SchnorrGroup::test_256(),
+                                          opt, rng);
+  EXPECT_GE(stats.fraudulent_spends, 2u);
+  EXPECT_TRUE(stats.secrets_extracted);
+}
+
+}  // namespace
+}  // namespace p2pcash::baseline

@@ -1,0 +1,247 @@
+// Abe–Okamoto partially blind signatures: correctness, tampering,
+// info binding, and the blindness game of paper §6.
+
+#include "blindsig/abe_okamoto.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha.h"
+#include "metrics/counters.h"
+
+namespace p2pcash::blindsig {
+namespace {
+
+using bn::BigInt;
+
+const group::SchnorrGroup& grp() { return group::SchnorrGroup::test_256(); }
+
+std::vector<std::uint8_t> bytes(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+struct Issued {
+  PartialBlindSignature sig;
+  std::vector<std::uint8_t> info;
+  std::vector<std::uint8_t> msg;
+};
+
+Issued issue(const BlindSigner& signer, std::string_view info,
+             std::string_view msg, bn::Rng& rng) {
+  BlindRequester requester(grp(), signer.public_y(), bytes(info), bytes(msg));
+  auto session = signer.start(bytes(info), rng);
+  BigInt e = requester.challenge(session.first, rng);
+  auto response = signer.respond(session, e);
+  return Issued{requester.unblind(response), bytes(info), bytes(msg)};
+}
+
+TEST(BlindSig, IssueAndVerify) {
+  crypto::ChaChaRng rng("bs-basic");
+  BlindSigner signer(grp(), grp().random_scalar(rng));
+  auto issued = issue(signer, "denom=100", "commitments", rng);
+  EXPECT_TRUE(
+      verify(grp(), signer.public_y(), issued.info, issued.msg, issued.sig));
+}
+
+TEST(BlindSig, SecretVerifierAgreesWithPublic) {
+  crypto::ChaChaRng rng("bs-secret");
+  BigInt x = grp().random_scalar(rng);
+  BlindSigner signer(grp(), x);
+  auto issued = issue(signer, "denom=25", "msg", rng);
+  EXPECT_TRUE(
+      verify_with_secret(grp(), x, issued.info, issued.msg, issued.sig));
+  // And rejects what the public verifier rejects.
+  auto bad = issued.sig;
+  bad.rho = bn::mod(bad.rho + BigInt{1}, grp().q());
+  EXPECT_FALSE(verify(grp(), signer.public_y(), issued.info, issued.msg, bad));
+  EXPECT_FALSE(verify_with_secret(grp(), x, issued.info, issued.msg, bad));
+}
+
+TEST(BlindSig, EveryComponentTamperDetected) {
+  crypto::ChaChaRng rng("bs-tamper");
+  BlindSigner signer(grp(), grp().random_scalar(rng));
+  auto issued = issue(signer, "info", "msg", rng);
+  for (int field = 0; field < 4; ++field) {
+    auto bad = issued.sig;
+    BigInt* target = field == 0   ? &bad.rho
+                     : field == 1 ? &bad.omega
+                     : field == 2 ? &bad.sigma
+                                  : &bad.delta;
+    *target = bn::mod(*target + BigInt{1}, grp().q());
+    EXPECT_FALSE(
+        verify(grp(), signer.public_y(), issued.info, issued.msg, bad))
+        << "field " << field;
+  }
+}
+
+TEST(BlindSig, InfoIsBound) {
+  crypto::ChaChaRng rng("bs-info");
+  BlindSigner signer(grp(), grp().random_scalar(rng));
+  auto issued = issue(signer, "denom=100", "msg", rng);
+  // The same signature under different info must fail: z = F(info) differs.
+  EXPECT_FALSE(verify(grp(), signer.public_y(), bytes("denom=10000"),
+                      issued.msg, issued.sig));
+}
+
+TEST(BlindSig, MessageIsBound) {
+  crypto::ChaChaRng rng("bs-msg");
+  BlindSigner signer(grp(), grp().random_scalar(rng));
+  auto issued = issue(signer, "info", "commitments-A-B", rng);
+  EXPECT_FALSE(verify(grp(), signer.public_y(), issued.info,
+                      bytes("other-commitments"), issued.sig));
+}
+
+TEST(BlindSig, WrongSignerKeyFails) {
+  crypto::ChaChaRng rng("bs-key");
+  BlindSigner signer(grp(), grp().random_scalar(rng));
+  BlindSigner other(grp(), grp().random_scalar(rng));
+  auto issued = issue(signer, "info", "msg", rng);
+  EXPECT_FALSE(
+      verify(grp(), other.public_y(), issued.info, issued.msg, issued.sig));
+}
+
+TEST(BlindSig, OutOfRangeComponentsRejected) {
+  crypto::ChaChaRng rng("bs-range");
+  BlindSigner signer(grp(), grp().random_scalar(rng));
+  auto issued = issue(signer, "info", "msg", rng);
+  auto oversized = issued.sig;
+  oversized.omega = oversized.omega + grp().q();
+  EXPECT_FALSE(verify(grp(), signer.public_y(), issued.info, issued.msg,
+                      oversized));
+}
+
+TEST(BlindSig, RequesterRejectsBadResponse) {
+  crypto::ChaChaRng rng("bs-badresp");
+  BlindSigner signer(grp(), grp().random_scalar(rng));
+  BlindRequester requester(grp(), signer.public_y(), bytes("info"),
+                           bytes("msg"));
+  auto session = signer.start(bytes("info"), rng);
+  BigInt e = requester.challenge(session.first, rng);
+  auto response = signer.respond(session, e);
+  response.r = bn::mod(response.r + BigInt{1}, grp().q());
+  EXPECT_THROW((void)requester.unblind(response), std::runtime_error);
+}
+
+TEST(BlindSig, ProtocolStateMachineEnforced) {
+  crypto::ChaChaRng rng("bs-state");
+  BlindSigner signer(grp(), grp().random_scalar(rng));
+  BlindRequester requester(grp(), signer.public_y(), bytes("info"),
+                           bytes("msg"));
+  auto session = signer.start(bytes("info"), rng);
+  // unblind before challenge: logic error.
+  EXPECT_THROW((void)requester.unblind(SignerResponse{}), std::logic_error);
+  (void)requester.challenge(session.first, rng);
+  EXPECT_THROW((void)requester.challenge(session.first, rng),
+               std::logic_error);
+}
+
+TEST(BlindSig, SignaturesAreUnlinkableAcrossRuns) {
+  // The §6 blindness game, verified algebraically: given the signer's view
+  // of two issuing sessions and the two unblinded signatures in unknown
+  // order, BOTH pairings are consistent — for every (view, signature) pair
+  // there exist blinding factors t1..t4 connecting them.  We reconstruct
+  // the t_i for each pairing and check the defining equations, so a signer
+  // cannot tell which session produced which coin.
+  crypto::ChaChaRng rng("bs-blind");
+  BigInt x = grp().random_scalar(rng);
+  BlindSigner signer(grp(), x);
+  // The paper's game: same info (all the broker may learn), but each coin
+  // hides *different* commitments A, B — the realistic case.
+  const auto info = bytes("same-info");
+  const auto msg1 = bytes("coin-1-commitments");
+  const auto msg2 = bytes("coin-2-commitments");
+  BigInt z = grp().hash_to_group(info);
+
+  struct View {
+    BlindSigner::Session session;
+    BigInt e;
+    SignerResponse response;
+  };
+  auto run = [&](View& view, PartialBlindSignature& out,
+                 const std::vector<std::uint8_t>& msg) {
+    BlindRequester requester(grp(), signer.public_y(), info, msg);
+    view.session = signer.start(info, rng);
+    view.e = requester.challenge(view.session.first, rng);
+    view.response = signer.respond(view.session, view.e);
+    out = requester.unblind(view.response);
+  };
+  View v1, v2;
+  PartialBlindSignature s1, s2;
+  run(v1, s1, msg1);
+  run(v2, s2, msg2);
+
+  auto consistent = [&](const View& v, const PartialBlindSignature& s) {
+    const BigInt& q = grp().q();
+    BigInt t1 = bn::mod_sub(s.rho, v.response.r, q);
+    BigInt t2 = bn::mod_sub(s.omega, v.response.c, q);
+    BigInt t3 = bn::mod_sub(s.sigma, v.response.s, q);
+    BigInt t4 = bn::mod_sub(s.delta, bn::mod_sub(v.e, v.response.c, q), q);
+    // alpha = a * g^t1 * y^t2 must equal g^rho y^omega; beta likewise.
+    BigInt alpha = grp().mul(grp().mul(v.session.first.a, grp().exp_g(t1)),
+                             grp().exp(signer.public_y(), t2));
+    BigInt beta = grp().mul(grp().mul(v.session.first.b, grp().exp_g(t3)),
+                            grp().exp(z, t4));
+    BigInt lhs = grp().mul(grp().exp_g(s.rho),
+                           grp().exp(signer.public_y(), s.omega));
+    BigInt rhs = grp().mul(grp().exp_g(s.sigma), grp().exp(z, s.delta));
+    return alpha == lhs && beta == rhs &&
+           bn::mod_add(t2, t4, q) ==
+               bn::mod_sub(bn::mod_add(s.omega, s.delta, q), v.e, q);
+  };
+  // Both true pairings AND both crossed pairings are consistent: perfect
+  // blindness.
+  EXPECT_TRUE(consistent(v1, s1));
+  EXPECT_TRUE(consistent(v2, s2));
+  EXPECT_TRUE(consistent(v1, s2));
+  EXPECT_TRUE(consistent(v2, s1));
+}
+
+TEST(BlindSig, WithdrawalOpCountsMatchTable1) {
+  // Broker side of Algorithm 1: 3 Exp + 1 Hash (the F(info) for z).
+  crypto::ChaChaRng rng("bs-ops");
+  BigInt x = grp().random_scalar(rng);
+  BlindSigner signer(grp(), x);
+  metrics::OpCounters broker_ops;
+  BlindSigner::Session session;
+  {
+    metrics::ScopedOpCounting guard(broker_ops);
+    session = signer.start(bytes("info"), rng);
+  }
+  EXPECT_EQ(broker_ops.exp, 3u);
+  EXPECT_EQ(broker_ops.hash, 1u);
+
+  BlindRequester requester(grp(), signer.public_y(), bytes("info"),
+                           bytes("msg"));
+  // Client challenge: alpha (2 Exp) + beta (2 Exp) + epsilon (1 Hash).
+  metrics::OpCounters challenge_ops;
+  BigInt e;
+  {
+    metrics::ScopedOpCounting guard(challenge_ops);
+    e = requester.challenge(session.first, rng);
+  }
+  EXPECT_EQ(challenge_ops.exp, 4u);
+  EXPECT_EQ(challenge_ops.hash, 1u);
+
+  // Broker respond: pure Z_q arithmetic, zero crypto ops.
+  metrics::OpCounters respond_ops;
+  SignerResponse response;
+  {
+    metrics::ScopedOpCounting guard(respond_ops);
+    response = signer.respond(session, e);
+  }
+  EXPECT_EQ(respond_ops, metrics::OpCounters{});
+
+  // Client unblind + step-4 check: 4 Exp + 1 Hash.
+  metrics::OpCounters unblind_ops;
+  PartialBlindSignature sig;
+  {
+    metrics::ScopedOpCounting guard(unblind_ops);
+    sig = requester.unblind(response);
+  }
+  EXPECT_EQ(unblind_ops.exp, 4u);
+  EXPECT_EQ(unblind_ops.hash, 1u);
+  EXPECT_TRUE(verify(grp(), signer.public_y(), bytes("info"), bytes("msg"),
+                     sig));
+}
+
+}  // namespace
+}  // namespace p2pcash::blindsig

@@ -1,0 +1,322 @@
+// Unit and property tests for the arbitrary-precision integer core.
+
+#include "bn/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha.h"
+
+namespace p2pcash::bn {
+namespace {
+
+TEST(BigIntConstruct, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_negative());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_dec(), "0");
+  EXPECT_EQ(z.to_hex(), "0");
+}
+
+TEST(BigIntConstruct, SmallValues) {
+  EXPECT_EQ(BigInt{42}.to_dec(), "42");
+  EXPECT_EQ(BigInt{-42}.to_dec(), "-42");
+  EXPECT_EQ(BigInt{0}.to_dec(), "0");
+  EXPECT_EQ(BigInt{1}.to_hex(), "1");
+  EXPECT_EQ(BigInt{255}.to_hex(), "ff");
+}
+
+TEST(BigIntConstruct, Int64Extremes) {
+  BigInt max_val{std::int64_t{0x7fffffffffffffff}};
+  EXPECT_EQ(max_val.to_hex(), "7fffffffffffffff");
+  BigInt min_val{std::numeric_limits<std::int64_t>::min()};
+  EXPECT_EQ(min_val.to_hex(), "-8000000000000000");
+  EXPECT_EQ(min_val.to_int64(), std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(BigIntConstruct, Uint64Full) {
+  BigInt v{std::uint64_t{0xffffffffffffffffull}};
+  EXPECT_EQ(v.to_hex(), "ffffffffffffffff");
+  EXPECT_EQ(v.bit_length(), 64u);
+}
+
+TEST(BigIntParse, DecimalRoundTrip) {
+  const char* cases[] = {"0", "1", "9", "10", "999999999", "1000000000",
+                         "123456789012345678901234567890",
+                         "-123456789012345678901234567890"};
+  for (const char* s : cases) {
+    EXPECT_EQ(BigInt::from_dec(s).to_dec(), s) << s;
+  }
+}
+
+TEST(BigIntParse, HexRoundTrip) {
+  const char* cases[] = {"1", "f", "10", "deadbeef",
+                         "ffffffffffffffffffffffffffffffff",
+                         "123456789abcdef0123456789abcdef"};
+  for (const char* s : cases) {
+    EXPECT_EQ(BigInt::from_hex(s).to_hex(), s) << s;
+  }
+}
+
+TEST(BigIntParse, FromStringDispatches) {
+  EXPECT_EQ(BigInt::from_string("0xff").to_dec(), "255");
+  EXPECT_EQ(BigInt::from_string("-0xff").to_dec(), "-255");
+  EXPECT_EQ(BigInt::from_string("255").to_dec(), "255");
+  EXPECT_EQ(BigInt::from_string("-255").to_dec(), "-255");
+  EXPECT_EQ(BigInt::from_string("+7").to_dec(), "7");
+}
+
+TEST(BigIntParse, RejectsGarbage) {
+  EXPECT_THROW(BigInt::from_dec(""), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_dec("12a"), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_dec("-"), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_hex(""), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_hex("xyz"), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_hex("-"), std::invalid_argument);
+}
+
+TEST(BigIntParse, NegativeZeroNormalizes) {
+  EXPECT_FALSE(BigInt::from_dec("-0").is_negative());
+  EXPECT_TRUE(BigInt::from_dec("-0").is_zero());
+  EXPECT_FALSE(BigInt::from_string("-0x0").is_negative());
+}
+
+TEST(BigIntBytes, RoundTrip) {
+  std::vector<std::uint8_t> bytes = {0x01, 0x02, 0x03, 0xff, 0x00, 0x80};
+  BigInt v = BigInt::from_bytes_be(bytes);
+  EXPECT_EQ(v.to_hex(), "10203ff0080");
+  EXPECT_EQ(v.to_bytes_be(), bytes);
+}
+
+TEST(BigIntBytes, LeadingZerosDropped) {
+  std::vector<std::uint8_t> bytes = {0x00, 0x00, 0x12};
+  BigInt v = BigInt::from_bytes_be(bytes);
+  EXPECT_EQ(v.to_bytes_be(), (std::vector<std::uint8_t>{0x12}));
+}
+
+TEST(BigIntBytes, PaddedWidth) {
+  BigInt v{0x1234};
+  auto padded = v.to_bytes_be_padded(4);
+  EXPECT_EQ(padded, (std::vector<std::uint8_t>{0, 0, 0x12, 0x34}));
+  EXPECT_THROW(v.to_bytes_be_padded(1), std::length_error);
+}
+
+TEST(BigIntBytes, ZeroEncodesEmpty) {
+  EXPECT_TRUE(BigInt{}.to_bytes_be().empty());
+  EXPECT_EQ(BigInt{}.to_bytes_be_padded(3),
+            (std::vector<std::uint8_t>{0, 0, 0}));
+}
+
+TEST(BigIntArith, AdditionBasics) {
+  EXPECT_EQ((BigInt{2} + BigInt{3}).to_dec(), "5");
+  EXPECT_EQ((BigInt{-2} + BigInt{3}).to_dec(), "1");
+  EXPECT_EQ((BigInt{2} + BigInt{-3}).to_dec(), "-1");
+  EXPECT_EQ((BigInt{-2} + BigInt{-3}).to_dec(), "-5");
+  EXPECT_EQ((BigInt{5} + BigInt{-5}).to_dec(), "0");
+}
+
+TEST(BigIntArith, CarryPropagation) {
+  BigInt v = BigInt::from_hex("ffffffffffffffffffffffff");
+  EXPECT_EQ((v + BigInt{1}).to_hex(), "1000000000000000000000000");
+  EXPECT_EQ((v + BigInt{1} - BigInt{1}).to_hex(), v.to_hex());
+}
+
+TEST(BigIntArith, MultiplicationKnown) {
+  BigInt a = BigInt::from_dec("123456789012345678901234567890");
+  BigInt b = BigInt::from_dec("987654321098765432109876543210");
+  EXPECT_EQ((a * b).to_dec(),
+            "121932631137021795226185032733622923332237463801111263526900");
+  EXPECT_EQ((a * BigInt{0}).to_dec(), "0");
+  EXPECT_EQ((a * BigInt{1}).to_dec(), a.to_dec());
+  EXPECT_EQ((a * BigInt{-1}).to_dec(), "-" + a.to_dec());
+}
+
+TEST(BigIntArith, KaratsubaAgreesWithSchoolbook) {
+  // Build operands big enough to trigger the Karatsuba path (>=24 limbs)
+  // and check an algebraic identity instead of a second multiplier:
+  // (x + 1) * (x - 1) == x^2 - 1.
+  crypto::ChaChaRng rng("karatsuba");
+  for (int i = 0; i < 10; ++i) {
+    BigInt x = random_bits(rng, 2000 + 64 * i);
+    EXPECT_EQ((x + BigInt{1}) * (x - BigInt{1}), x * x - BigInt{1});
+  }
+}
+
+TEST(BigIntDiv, KnownQuotients) {
+  BigInt a = BigInt::from_dec("1000000000000000000000");
+  EXPECT_EQ((a / BigInt{7}).to_dec(), "142857142857142857142");
+  EXPECT_EQ((a % BigInt{7}).to_dec(), "6");
+}
+
+TEST(BigIntDiv, TruncationSemantics) {
+  // C++ semantics: quotient toward zero, remainder has dividend's sign.
+  EXPECT_EQ((BigInt{7} / BigInt{2}).to_dec(), "3");
+  EXPECT_EQ((BigInt{-7} / BigInt{2}).to_dec(), "-3");
+  EXPECT_EQ((BigInt{7} / BigInt{-2}).to_dec(), "-3");
+  EXPECT_EQ((BigInt{-7} / BigInt{-2}).to_dec(), "3");
+  EXPECT_EQ((BigInt{7} % BigInt{2}).to_dec(), "1");
+  EXPECT_EQ((BigInt{-7} % BigInt{2}).to_dec(), "-1");
+  EXPECT_EQ((BigInt{7} % BigInt{-2}).to_dec(), "1");
+  EXPECT_EQ((BigInt{-7} % BigInt{-2}).to_dec(), "-1");
+}
+
+TEST(BigIntDiv, ByZeroThrows) {
+  EXPECT_THROW(BigInt{1} / BigInt{0}, std::domain_error);
+  EXPECT_THROW(BigInt{1} % BigInt{0}, std::domain_error);
+}
+
+TEST(BigIntDiv, DividendSmallerThanDivisor) {
+  EXPECT_EQ((BigInt{3} / BigInt{10}).to_dec(), "0");
+  EXPECT_EQ((BigInt{3} % BigInt{10}).to_dec(), "3");
+}
+
+TEST(BigIntDiv, KnuthAddBackCase) {
+  // A divisor crafted so the q-hat estimate overshoots (the rare D6
+  // "add back" branch of Algorithm D).
+  BigInt num = BigInt::from_hex("7fffffff800000010000000000000000");
+  BigInt den = BigInt::from_hex("800000008000000200000005");
+  auto [q, r] = BigInt::divmod(num, den);
+  EXPECT_EQ(q * den + r, num);
+  EXPECT_TRUE(r >= BigInt{0} && r < den);
+}
+
+TEST(BigIntShift, LeftRight) {
+  BigInt one{1};
+  EXPECT_EQ((one << 100).bit_length(), 101u);
+  EXPECT_EQ(((one << 100) >> 100).to_dec(), "1");
+  EXPECT_EQ((BigInt{0xff} << 4).to_hex(), "ff0");
+  EXPECT_EQ((BigInt{0xff} >> 4).to_hex(), "f");
+  EXPECT_EQ((BigInt{0xff} >> 9).to_dec(), "0");
+  EXPECT_EQ((BigInt{5} << 0).to_dec(), "5");
+}
+
+TEST(BigIntBits, BitAccess) {
+  BigInt v = BigInt::from_hex("a0");  // 1010 0000
+  EXPECT_TRUE(v.bit(7));
+  EXPECT_FALSE(v.bit(6));
+  EXPECT_TRUE(v.bit(5));
+  EXPECT_FALSE(v.bit(100));
+  v.set_bit(100);
+  EXPECT_TRUE(v.bit(100));
+  EXPECT_EQ(v.bit_length(), 101u);
+}
+
+TEST(BigIntBits, TrailingZeros) {
+  EXPECT_EQ(BigInt{}.count_trailing_zeros(), 0u);
+  EXPECT_EQ(BigInt{1}.count_trailing_zeros(), 0u);
+  EXPECT_EQ(BigInt{8}.count_trailing_zeros(), 3u);
+  EXPECT_EQ((BigInt{1} << 130).count_trailing_zeros(), 130u);
+}
+
+TEST(BigIntCompare, TotalOrder) {
+  BigInt a{-5}, b{-1}, c{0}, d{1}, e{5};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(c, d);
+  EXPECT_LT(d, e);
+  EXPECT_GT(e, a);
+  EXPECT_LE(c, c);
+  EXPECT_GE(c, c);
+  EXPECT_EQ(BigInt::cmp(a, e), -1);
+  EXPECT_EQ(BigInt::cmp(e, a), 1);
+  EXPECT_EQ(BigInt::cmp(c, c), 0);
+}
+
+TEST(BigIntCompare, MagnitudeIgnoresSign) {
+  EXPECT_EQ(BigInt::cmp_magnitude(BigInt{-7}, BigInt{5}), 1);
+  EXPECT_EQ(BigInt::cmp_magnitude(BigInt{-7}, BigInt{7}), 0);
+}
+
+TEST(BigIntConvert, ToInt64) {
+  EXPECT_EQ(BigInt{-12345}.to_int64(), -12345);
+  EXPECT_EQ((BigInt{1} << 62).to_int64(), std::int64_t{1} << 62);
+  EXPECT_THROW((BigInt{1} << 64).to_int64(), std::overflow_error);
+}
+
+TEST(BigIntGcd, Basics) {
+  EXPECT_EQ(gcd(BigInt{12}, BigInt{18}).to_dec(), "6");
+  EXPECT_EQ(gcd(BigInt{-12}, BigInt{18}).to_dec(), "6");
+  EXPECT_EQ(gcd(BigInt{0}, BigInt{5}).to_dec(), "5");
+  EXPECT_EQ(gcd(BigInt{17}, BigInt{13}).to_dec(), "1");
+}
+
+TEST(BigIntGcd, BezoutIdentity) {
+  crypto::ChaChaRng rng("egcd");
+  for (int i = 0; i < 20; ++i) {
+    BigInt a = random_bits(rng, 200);
+    BigInt b = random_bits(rng, 180);
+    auto [g, x, y] = egcd(a, b);
+    EXPECT_EQ(a * x + b * y, g);
+    EXPECT_EQ(g, gcd(a, b));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: algebraic identities on random operands of many widths.
+// ---------------------------------------------------------------------------
+
+class BigIntPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BigIntPropertyTest, RingIdentities) {
+  const std::size_t bits = GetParam();
+  crypto::ChaChaRng rng("bigint-prop-" + std::to_string(bits));
+  for (int iter = 0; iter < 25; ++iter) {
+    BigInt a = random_bits(rng, bits);
+    BigInt b = random_bits(rng, bits / 2 + 1);
+    BigInt c = random_bits(rng, bits / 3 + 1);
+    // Commutativity / associativity / distributivity.
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    // Subtraction inverts addition.
+    EXPECT_EQ(a + b - b, a);
+    EXPECT_EQ(a - a, BigInt{0});
+  }
+}
+
+TEST_P(BigIntPropertyTest, DivModInvariant) {
+  const std::size_t bits = GetParam();
+  crypto::ChaChaRng rng("divmod-prop-" + std::to_string(bits));
+  for (int iter = 0; iter < 25; ++iter) {
+    BigInt a = random_bits(rng, bits);
+    BigInt b = random_bits(rng, bits / 2 + 1) + BigInt{1};
+    auto [q, r] = BigInt::divmod(a, b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_TRUE(r >= BigInt{0});
+    EXPECT_TRUE(r < b);
+    // Consistency with operators.
+    EXPECT_EQ(a / b, q);
+    EXPECT_EQ(a % b, r);
+  }
+}
+
+TEST_P(BigIntPropertyTest, ShiftsMatchMultiplication) {
+  const std::size_t bits = GetParam();
+  crypto::ChaChaRng rng("shift-prop-" + std::to_string(bits));
+  for (int iter = 0; iter < 10; ++iter) {
+    BigInt a = random_bits(rng, bits);
+    std::size_t s = rng.next_u64() % 130;
+    EXPECT_EQ(a << s, a * (BigInt{1} << s));
+    EXPECT_EQ(a >> s, a / (BigInt{1} << s));
+  }
+}
+
+TEST_P(BigIntPropertyTest, SerializationRoundTrips) {
+  const std::size_t bits = GetParam();
+  crypto::ChaChaRng rng("serial-prop-" + std::to_string(bits));
+  for (int iter = 0; iter < 10; ++iter) {
+    BigInt a = random_bits(rng, bits);
+    EXPECT_EQ(BigInt::from_hex(a.to_hex()), a);
+    EXPECT_EQ(BigInt::from_dec(a.to_dec()), a);
+    EXPECT_EQ(BigInt::from_bytes_be(a.to_bytes_be()), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BigIntPropertyTest,
+                         ::testing::Values(8, 31, 32, 33, 64, 100, 160, 512,
+                                           1024, 2048));
+
+}  // namespace
+}  // namespace p2pcash::bn

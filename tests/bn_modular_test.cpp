@@ -1,0 +1,176 @@
+// Modular arithmetic: mod/modexp/modinv and the Montgomery context.
+
+#include <gtest/gtest.h>
+
+#include "bn/bigint.h"
+#include "bn/montgomery.h"
+#include "bn/prime.h"
+#include "crypto/chacha.h"
+
+namespace p2pcash::bn {
+namespace {
+
+TEST(Mod, CanonicalRange) {
+  BigInt m{7};
+  EXPECT_EQ(mod(BigInt{10}, m).to_dec(), "3");
+  EXPECT_EQ(mod(BigInt{-10}, m).to_dec(), "4");
+  EXPECT_EQ(mod(BigInt{-7}, m).to_dec(), "0");
+  EXPECT_EQ(mod(BigInt{0}, m).to_dec(), "0");
+  EXPECT_THROW(mod(BigInt{1}, BigInt{0}), std::domain_error);
+  EXPECT_THROW(mod(BigInt{1}, BigInt{-3}), std::domain_error);
+}
+
+TEST(Mod, AddSubMul) {
+  BigInt m{11};
+  EXPECT_EQ(mod_add(BigInt{9}, BigInt{5}, m).to_dec(), "3");
+  EXPECT_EQ(mod_sub(BigInt{3}, BigInt{5}, m).to_dec(), "9");
+  EXPECT_EQ(mod_mul(BigInt{7}, BigInt{8}, m).to_dec(), "1");
+}
+
+TEST(ModExp, SmallKnown) {
+  EXPECT_EQ(mod_exp(BigInt{2}, BigInt{10}, BigInt{1000}).to_dec(), "24");
+  EXPECT_EQ(mod_exp(BigInt{3}, BigInt{0}, BigInt{7}).to_dec(), "1");
+  EXPECT_EQ(mod_exp(BigInt{0}, BigInt{5}, BigInt{7}).to_dec(), "0");
+  EXPECT_EQ(mod_exp(BigInt{5}, BigInt{1}, BigInt{7}).to_dec(), "5");
+  EXPECT_EQ(mod_exp(BigInt{5}, BigInt{3}, BigInt{1}).to_dec(), "0");
+}
+
+TEST(ModExp, NegativeExponentThrows) {
+  EXPECT_THROW(mod_exp(BigInt{2}, BigInt{-1}, BigInt{7}), std::domain_error);
+}
+
+TEST(ModExp, EvenModulusPath) {
+  // Montgomery requires odd moduli; the even path must still be correct.
+  EXPECT_EQ(mod_exp(BigInt{3}, BigInt{4}, BigInt{100}).to_dec(), "81");
+  EXPECT_EQ(mod_exp(BigInt{7}, BigInt{13}, BigInt{2048}).to_dec(),
+            mod_exp(BigInt{7}, BigInt{13}, BigInt{2048}).to_dec());
+  // Cross-check vs naive square-and-multiply on random inputs.
+  crypto::ChaChaRng rng("even-mod");
+  for (int i = 0; i < 10; ++i) {
+    BigInt base = random_bits(rng, 64);
+    BigInt m = random_bits(rng, 40) * BigInt{2} + BigInt{2};
+    BigInt e = random_bits(rng, 16);
+    BigInt naive{1};
+    for (BigInt k{0}; k < e; k += BigInt{1}) naive = mod_mul(naive, base, m);
+    EXPECT_EQ(mod_exp(base, e, m), naive);
+  }
+}
+
+TEST(ModExp, FermatLittleTheorem) {
+  // a^(p-1) = 1 mod p for primes p and gcd(a, p) = 1.
+  const char* primes[] = {"65537", "2147483647",
+                          "170141183460469231731687303715884105727"};
+  crypto::ChaChaRng rng("fermat");
+  for (const char* ps : primes) {
+    BigInt p = BigInt::from_dec(ps);
+    for (int i = 0; i < 5; ++i) {
+      BigInt a = random_below(rng, p - BigInt{1}) + BigInt{1};
+      EXPECT_EQ(mod_exp(a, p - BigInt{1}, p), BigInt{1}) << ps;
+    }
+  }
+}
+
+TEST(ModInverse, Basics) {
+  BigInt m{17};
+  for (int a = 1; a < 17; ++a) {
+    BigInt inv = mod_inverse(BigInt{a}, m);
+    EXPECT_EQ(mod_mul(BigInt{a}, inv, m), BigInt{1}) << a;
+  }
+  EXPECT_THROW(mod_inverse(BigInt{6}, BigInt{9}), std::domain_error);
+  EXPECT_THROW(mod_inverse(BigInt{0}, BigInt{7}), std::domain_error);
+}
+
+TEST(ModInverse, NegativeInput) {
+  BigInt m{17};
+  BigInt inv = mod_inverse(BigInt{-3}, m);
+  EXPECT_EQ(mod_mul(mod(BigInt{-3}, m), inv, m), BigInt{1});
+}
+
+TEST(Montgomery, RejectsBadModulus) {
+  EXPECT_THROW(MontgomeryCtx(BigInt{8}), std::domain_error);   // even
+  EXPECT_THROW(MontgomeryCtx(BigInt{1}), std::domain_error);   // too small
+  EXPECT_THROW(MontgomeryCtx(BigInt{-7}), std::domain_error);  // negative
+}
+
+TEST(Montgomery, MulMatchesPlain) {
+  crypto::ChaChaRng rng("mont-mul");
+  for (int i = 0; i < 20; ++i) {
+    BigInt m = random_bits(rng, 256);
+    m.set_bit(0);
+    m.set_bit(255);
+    MontgomeryCtx ctx(m);
+    BigInt a = random_below(rng, m);
+    BigInt b = random_below(rng, m);
+    EXPECT_EQ(ctx.mul(a, b), mod_mul(a, b, m));
+  }
+}
+
+TEST(Montgomery, ExpMatchesPlainSquareMultiply) {
+  crypto::ChaChaRng rng("mont-exp");
+  for (int i = 0; i < 10; ++i) {
+    BigInt m = random_bits(rng, 192);
+    m.set_bit(0);
+    m.set_bit(191);
+    MontgomeryCtx ctx(m);
+    BigInt base = random_below(rng, m);
+    BigInt e = random_bits(rng, 64);
+    // Naive reference.
+    BigInt ref{1};
+    for (std::size_t bit = e.bit_length(); bit-- > 0;) {
+      ref = mod_mul(ref, ref, m);
+      if (e.bit(bit)) ref = mod_mul(ref, base, m);
+    }
+    EXPECT_EQ(ctx.exp(base, e), ref);
+  }
+}
+
+TEST(Montgomery, ExpEdgeCases) {
+  MontgomeryCtx ctx(BigInt{101});
+  EXPECT_EQ(ctx.exp(BigInt{5}, BigInt{0}), BigInt{1});
+  EXPECT_EQ(ctx.exp(BigInt{5}, BigInt{1}), BigInt{5});
+  EXPECT_EQ(ctx.exp(BigInt{0}, BigInt{3}), BigInt{0});
+  EXPECT_EQ(ctx.exp(BigInt{100}, BigInt{2}), BigInt{1});  // (-1)^2
+  EXPECT_THROW(ctx.exp(BigInt{2}, BigInt{-3}), std::domain_error);
+}
+
+TEST(Montgomery, BaseLargerThanModulusReduced) {
+  MontgomeryCtx ctx(BigInt{101});
+  EXPECT_EQ(ctx.exp(BigInt{205}, BigInt{2}), BigInt{9});  // 205 = 3 mod 101
+  EXPECT_EQ(ctx.mul(BigInt{102}, BigInt{102}), BigInt{1});
+}
+
+TEST(Montgomery, ExponentLaws) {
+  crypto::ChaChaRng rng("exp-laws");
+  BigInt m = generate_prime(rng, 128);
+  MontgomeryCtx ctx(m);
+  for (int i = 0; i < 10; ++i) {
+    BigInt g = random_below(rng, m - BigInt{1}) + BigInt{1};
+    BigInt a = random_bits(rng, 96);
+    BigInt b = random_bits(rng, 96);
+    // g^(a+b) = g^a * g^b  and  (g^a)^b = g^(ab)
+    EXPECT_EQ(ctx.exp(g, a + b), ctx.mul(ctx.exp(g, a), ctx.exp(g, b)));
+    EXPECT_EQ(ctx.exp(ctx.exp(g, a), b), ctx.exp(g, a * b));
+  }
+}
+
+class ModExpWidthTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ModExpWidthTest, MontgomeryConsistentAcrossWidths) {
+  const std::size_t bits = GetParam();
+  crypto::ChaChaRng rng("width-" + std::to_string(bits));
+  BigInt m = random_bits(rng, bits);
+  m.set_bit(0);
+  m.set_bit(bits - 1);
+  MontgomeryCtx ctx(m);
+  BigInt a = random_below(rng, m);
+  BigInt x = random_bits(rng, 160);
+  BigInt y = random_bits(rng, 160);
+  EXPECT_EQ(ctx.mul(ctx.exp(a, x), ctx.exp(a, y)), ctx.exp(a, x + y));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ModExpWidthTest,
+                         ::testing::Values(33, 64, 65, 96, 160, 512, 1024,
+                                           2048));
+
+}  // namespace
+}  // namespace p2pcash::bn

@@ -1,0 +1,104 @@
+// Primality testing and DSA-style (p, q) parameter generation.
+
+#include "bn/prime.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha.h"
+
+namespace p2pcash::bn {
+namespace {
+
+TEST(MillerRabin, SmallPrimes) {
+  crypto::ChaChaRng rng("mr-small");
+  for (std::uint32_t p : {2u, 3u, 5u, 7u, 11u, 97u, 541u, 7919u}) {
+    EXPECT_TRUE(is_probable_prime(BigInt{p}, rng)) << p;
+  }
+}
+
+TEST(MillerRabin, SmallComposites) {
+  crypto::ChaChaRng rng("mr-comp");
+  for (std::uint32_t c : {0u, 1u, 4u, 6u, 9u, 100u, 561u, 7917u, 1000001u}) {
+    EXPECT_FALSE(is_probable_prime(BigInt{c}, rng)) << c;
+  }
+}
+
+TEST(MillerRabin, CarmichaelNumbers) {
+  // Fermat pseudoprimes to every base — Miller–Rabin must reject them.
+  crypto::ChaChaRng rng("carmichael");
+  for (const char* c : {"561", "1105", "1729", "2465", "2821", "6601",
+                        "8911", "41041", "825265", "321197185"}) {
+    EXPECT_FALSE(is_probable_prime(BigInt::from_dec(c), rng)) << c;
+  }
+}
+
+TEST(MillerRabin, KnownLargePrimes) {
+  crypto::ChaChaRng rng("mr-large");
+  // 2^127 - 1 (Mersenne), 2^255 - 19.
+  BigInt m127 = (BigInt{1} << 127) - BigInt{1};
+  EXPECT_TRUE(is_probable_prime(m127, rng));
+  BigInt ed = (BigInt{1} << 255) - BigInt{19};
+  EXPECT_TRUE(is_probable_prime(ed, rng));
+  // 2^128 - 1 factors (it is 3 * 5 * 17 * ...).
+  EXPECT_FALSE(is_probable_prime((BigInt{1} << 128) - BigInt{1}, rng));
+}
+
+TEST(MillerRabin, NegativeNeverPrime) {
+  crypto::ChaChaRng rng("mr-neg");
+  EXPECT_FALSE(is_probable_prime(BigInt{-7}, rng));
+}
+
+TEST(GeneratePrime, ExactBitLength) {
+  crypto::ChaChaRng rng("genprime");
+  for (std::size_t bits : {16u, 64u, 128u, 256u}) {
+    BigInt p = generate_prime(rng, bits, 20);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(p.is_odd());
+    EXPECT_TRUE(is_probable_prime(p, rng, 20));
+  }
+  EXPECT_THROW(generate_prime(rng, 1), std::domain_error);
+}
+
+TEST(GeneratePrime, Deterministic) {
+  crypto::ChaChaRng rng1("same-seed");
+  crypto::ChaChaRng rng2("same-seed");
+  EXPECT_EQ(generate_prime(rng1, 96), generate_prime(rng2, 96));
+}
+
+TEST(GeneratePq, StructuralProperties) {
+  crypto::ChaChaRng rng("genpq");
+  auto [p, q] = generate_pq(rng, 512, 160, 20);
+  EXPECT_EQ(p.bit_length(), 512u);
+  EXPECT_EQ(q.bit_length(), 160u);
+  EXPECT_TRUE(is_probable_prime(p, rng, 20));
+  EXPECT_TRUE(is_probable_prime(q, rng, 20));
+  EXPECT_EQ(mod(p - BigInt{1}, q), BigInt{0}) << "q must divide p-1";
+}
+
+TEST(GeneratePq, RejectsDegenerateSizes) {
+  crypto::ChaChaRng rng("genpq-bad");
+  EXPECT_THROW(generate_pq(rng, 160, 160), std::domain_error);
+  EXPECT_THROW(generate_pq(rng, 100, 160), std::domain_error);
+}
+
+class PqSizeTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(PqSizeTest, GeneratesValidParameters) {
+  auto [p_bits, q_bits] = GetParam();
+  crypto::ChaChaRng rng("pq-" + std::to_string(p_bits));
+  auto [p, q] = generate_pq(rng, p_bits, q_bits, 12);
+  EXPECT_EQ(p.bit_length(), p_bits);
+  EXPECT_EQ(q.bit_length(), q_bits);
+  EXPECT_EQ(mod(p - BigInt{1}, q), BigInt{0});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PqSizeTest,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{256, 160},
+                      std::pair<std::size_t, std::size_t>{384, 160},
+                      std::pair<std::size_t, std::size_t>{512, 160},
+                      std::pair<std::size_t, std::size_t>{512, 256}));
+
+}  // namespace
+}  // namespace p2pcash::bn

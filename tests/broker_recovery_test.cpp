@@ -1,0 +1,130 @@
+// Broker crash recovery: the deposit database, merchant ledgers and table
+// history must survive restarts — a forgetful broker pays every coin twice.
+
+#include <gtest/gtest.h>
+
+#include "ecash_fixture.h"
+
+namespace p2pcash::ecash {
+namespace {
+
+using testing::EcashTest;
+
+class BrokerRecoveryTest : public EcashTest {
+ protected:
+  void crash_and_restore() {
+    auto snapshot = dep_.broker().snapshot_state();
+    // Simulate a process restart: wipe in-memory state by restoring onto
+    // the same object (the ctor-fresh state is what a reboot would give).
+    dep_.broker().restore_state(snapshot);
+  }
+};
+
+TEST_F(BrokerRecoveryTest, SnapshotRoundTripsExactly) {
+  auto coin = withdraw(100);
+  auto merchant = non_witness_merchant(coin);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, merchant, 2000).accepted);
+  ASSERT_EQ(dep_.deposit_all(merchant, 3000).accepted, 1u);
+  auto snapshot = dep_.broker().snapshot_state();
+  dep_.broker().restore_state(snapshot);
+  EXPECT_EQ(dep_.broker().snapshot_state(), snapshot);
+}
+
+TEST_F(BrokerRecoveryTest, KeysSurviveSoOldCoinsStillVerify) {
+  auto coin = withdraw(100);
+  crash_and_restore();
+  // Coins issued before the crash still verify under the restored key...
+  EXPECT_TRUE(
+      verify_coin(dep_.grp(), dep_.broker().coin_key(), coin.coin, 2000).ok());
+  // ...and spend + deposit normally.
+  auto merchant = non_witness_merchant(coin);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, merchant, 2000).accepted);
+  EXPECT_EQ(dep_.deposit_all(merchant, 3000).credited, 100u);
+}
+
+TEST_F(BrokerRecoveryTest, DepositDatabaseSurvives) {
+  auto coin = withdraw(100);
+  auto merchant = non_witness_merchant(coin);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, merchant, 2000).accepted);
+  auto queue = dep_.node(merchant).merchant->drain_deposit_queue();
+  ASSERT_EQ(queue.size(), 1u);
+  ASSERT_TRUE(dep_.broker().deposit(merchant, queue[0], 3000).ok());
+
+  crash_and_restore();
+
+  // Re-depositing after the restart must still be refused.
+  auto again = dep_.broker().deposit(merchant, queue[0], 4000);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.refusal().reason, RefusalReason::kAlreadyDeposited);
+  EXPECT_EQ(dep_.broker().account(merchant)->balance, 100);
+}
+
+TEST_F(BrokerRecoveryTest, RenewalDatabaseSurvives) {
+  auto coin = withdraw(100, 1000);
+  Timestamp when = coin.coin.bare.info.soft_expiry +
+                   dep_.broker().config().deposit_grace_ms + 1000;
+  ASSERT_TRUE(dep_.renew(*wallet_, coin, when).ok());
+  crash_and_restore();
+  auto second = dep_.renew(*wallet_, coin, when + 100);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.refusal().reason, RefusalReason::kDoubleSpent);
+}
+
+TEST_F(BrokerRecoveryTest, OpenSessionsAreDroppedSafely) {
+  // A withdrawal in flight across the crash: the signer nonces are gone,
+  // so the session must be refused — never answered from scratch (which
+  // could let a blinded challenge be answered twice).
+  auto offer = dep_.broker().start_withdrawal(100, 1000);
+  ASSERT_TRUE(offer.ok());
+  auto state = wallet_->begin_withdrawal(offer.value());
+  crash_and_restore();
+  auto response = dep_.broker().finish_withdrawal(state.session, state.e);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.refusal().reason, RefusalReason::kStaleRequest);
+  // The client simply retries with a fresh session.
+  auto coin = withdraw(100, 2000);
+  EXPECT_EQ(coin.coin.bare.info.denomination, 100u);
+}
+
+TEST_F(BrokerRecoveryTest, FlagsAndFaultsSurvive) {
+  auto coin = withdraw(100);
+  auto witness_id = coin.coin.witnesses[0].merchant;
+  dep_.node(witness_id).witness->set_faulty(true);
+  std::vector<MerchantId> victims;
+  for (const auto& id : dep_.merchant_ids())
+    if (id != witness_id && victims.size() < 2) victims.push_back(id);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, victims[0], 2000).accepted);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, victims[1], 3000).accepted);
+  dep_.deposit_all(victims[0], 4000);
+  dep_.deposit_all(victims[1], 4000);
+  ASSERT_TRUE(dep_.broker().account(witness_id)->flagged);
+
+  crash_and_restore();
+  EXPECT_TRUE(dep_.broker().account(witness_id)->flagged);
+  ASSERT_EQ(dep_.broker().witness_faults().size(), 1u);
+  // The flagged witness stays out of post-restart tables.
+  const auto& table = dep_.broker().publish_witness_table(5000);
+  EXPECT_FALSE(table.find(witness_id).has_value());
+}
+
+TEST_F(BrokerRecoveryTest, CorruptSnapshotsRejectedAtomically) {
+  auto coin = withdraw(100);
+  auto merchant = non_witness_merchant(coin);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, merchant, 2000).accepted);
+  dep_.deposit_all(merchant, 3000);
+  auto snapshot = dep_.broker().snapshot_state();
+  auto before = dep_.broker().snapshot_state();
+
+  auto garbled = snapshot;
+  garbled[5] ^= 0xff;  // inside the magic string
+  EXPECT_THROW(dep_.broker().restore_state(garbled), wire::DecodeError);
+  for (std::size_t cut : {0u, 10u, 60u}) {
+    std::span<const std::uint8_t> prefix(snapshot.data(), cut);
+    EXPECT_THROW(dep_.broker().restore_state(prefix), wire::DecodeError);
+  }
+  // Failed restores left the broker untouched.
+  EXPECT_EQ(dep_.broker().snapshot_state(), before);
+}
+
+}  // namespace
+}  // namespace p2pcash::ecash

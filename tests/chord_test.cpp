@@ -1,0 +1,143 @@
+// Chord ring: intervals, successors, replica sets, finger routing.
+
+#include "overlay/chord.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crypto/chacha.h"
+
+namespace p2pcash::overlay {
+namespace {
+
+using bn::BigInt;
+
+TEST(ChordInterval, PlainAndWrapped) {
+  // (2, 5]: 3,4,5 in; 2,6 out.
+  EXPECT_TRUE(in_interval_oc(BigInt{3}, BigInt{2}, BigInt{5}));
+  EXPECT_TRUE(in_interval_oc(BigInt{5}, BigInt{2}, BigInt{5}));
+  EXPECT_FALSE(in_interval_oc(BigInt{2}, BigInt{2}, BigInt{5}));
+  EXPECT_FALSE(in_interval_oc(BigInt{6}, BigInt{2}, BigInt{5}));
+  // Wrapped (5, 2]: 6, 0, 1, 2 in; 3, 5 out.
+  EXPECT_TRUE(in_interval_oc(BigInt{6}, BigInt{5}, BigInt{2}));
+  EXPECT_TRUE(in_interval_oc(BigInt{0}, BigInt{5}, BigInt{2}));
+  EXPECT_TRUE(in_interval_oc(BigInt{2}, BigInt{5}, BigInt{2}));
+  EXPECT_FALSE(in_interval_oc(BigInt{3}, BigInt{5}, BigInt{2}));
+  EXPECT_FALSE(in_interval_oc(BigInt{5}, BigInt{5}, BigInt{2}));
+}
+
+TEST(ChordRing, NodesSortedAndDistinct) {
+  crypto::ChaChaRng rng("ring");
+  ChordRing ring(64, rng);
+  EXPECT_EQ(ring.size(), 64u);
+  const auto& ids = ring.node_ids();
+  for (std::size_t i = 1; i < ids.size(); ++i) EXPECT_LT(ids[i - 1], ids[i]);
+}
+
+TEST(ChordRing, SuccessorSemantics) {
+  crypto::ChaChaRng rng("succ");
+  ChordRing ring(16, rng);
+  const auto& ids = ring.node_ids();
+  // The successor of a node id is the node itself.
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    EXPECT_EQ(ring.successor_index(ids[i]), i);
+  // Just above a node id -> next node (wrapping).
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    BigInt just_above = ids[i] + BigInt{1};
+    std::size_t expected = (i + 1) % ids.size();
+    if (just_above == ids[expected])  // adjacent ids (unlikely)
+      continue;
+    // If just_above exceeds the last id, wraps to 0.
+    EXPECT_EQ(ring.successor_index(just_above), expected);
+  }
+  // Keys beyond the largest node wrap to node 0.
+  EXPECT_EQ(ring.successor_index(ids.back() + BigInt{1}), 0u);
+}
+
+TEST(ChordRing, ReplicaSetsAreSuccessiveNodes) {
+  crypto::ChaChaRng rng("replicas");
+  ChordRing ring(10, rng);
+  auto key = bn::random_bits(rng, kIdBits);
+  auto replicas = ring.replica_set(key, 3);
+  ASSERT_EQ(replicas.size(), 3u);
+  EXPECT_EQ(replicas[1], (replicas[0] + 1) % ring.size());
+  EXPECT_EQ(replicas[2], (replicas[0] + 2) % ring.size());
+  // Requesting more replicas than nodes clamps.
+  EXPECT_EQ(ring.replica_set(key, 99).size(), ring.size());
+}
+
+TEST(ChordRing, RoutesReachTheSuccessor) {
+  crypto::ChaChaRng rng("route");
+  ChordRing ring(64, rng);
+  for (int i = 0; i < 50; ++i) {
+    auto key = bn::random_bits(rng, kIdBits);
+    std::size_t start = static_cast<std::size_t>(rng.next_u64() % ring.size());
+    auto path = ring.route(start, key);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), start);
+    EXPECT_EQ(path.back(), ring.successor_index(key));
+  }
+}
+
+TEST(ChordRing, HopCountIsLogarithmic) {
+  crypto::ChaChaRng rng("hops");
+  ChordRing ring(256, rng);
+  double total_hops = 0;
+  const int kLookups = 100;
+  for (int i = 0; i < kLookups; ++i) {
+    auto key = bn::random_bits(rng, kIdBits);
+    std::size_t start = static_cast<std::size_t>(rng.next_u64() % ring.size());
+    auto path = ring.route(start, key);
+    total_hops += static_cast<double>(path.size() - 1);
+  }
+  double avg = total_hops / kLookups;
+  // Chord: ~(1/2) log2 N = 4 expected; generous bounds.
+  EXPECT_LT(avg, 2.0 * std::log2(256));
+  EXPECT_GT(avg, 1.0);
+}
+
+TEST(ChordRing, FingersPointAtSuccessors) {
+  crypto::ChaChaRng rng("fingers");
+  ChordRing ring(32, rng);
+  const BigInt space = BigInt{1} << kIdBits;
+  for (std::size_t n = 0; n < ring.size(); n += 7) {
+    for (std::size_t i = 0; i < kIdBits; i += 20) {
+      BigInt target = ring.node_ids()[n] + (BigInt{1} << i);
+      if (target >= space) target -= space;
+      EXPECT_EQ(ring.finger(n, i), ring.successor_index(target));
+    }
+  }
+}
+
+TEST(ChordRing, SingleNodeOwnsEverything) {
+  crypto::ChaChaRng rng("single");
+  ChordRing ring(1, rng);
+  auto key = bn::random_bits(rng, kIdBits);
+  EXPECT_EQ(ring.successor_index(key), 0u);
+  auto path = ring.route(0, key);
+  EXPECT_EQ(path.back(), 0u);
+}
+
+TEST(ChordRing, EmptyRingRejected) {
+  crypto::ChaChaRng rng("empty");
+  EXPECT_THROW(ChordRing(0, rng), std::invalid_argument);
+}
+
+class ChordSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChordSizeSweep, RoutingCorrectAtEveryScale) {
+  crypto::ChaChaRng rng("sweep-" + std::to_string(GetParam()));
+  ChordRing ring(GetParam(), rng);
+  for (int i = 0; i < 20; ++i) {
+    auto key = bn::random_bits(rng, kIdBits);
+    std::size_t start = static_cast<std::size_t>(rng.next_u64() % ring.size());
+    EXPECT_EQ(ring.route(start, key).back(), ring.successor_index(key));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChordSizeSweep,
+                         ::testing::Values(2, 3, 5, 8, 16, 33, 100, 128));
+
+}  // namespace
+}  // namespace p2pcash::overlay

@@ -1,0 +1,154 @@
+// Coin structure: serialization, verification paths, expiry, tampering.
+
+#include "ecash/coin.h"
+
+#include <gtest/gtest.h>
+
+#include "ecash_fixture.h"
+
+namespace p2pcash::ecash {
+namespace {
+
+using bn::BigInt;
+using testing::EcashTest;
+
+class CoinTest : public EcashTest {};
+
+TEST_F(CoinTest, InfoSerializationRoundTrip) {
+  CoinInfo info{100, 3, 5000, 9000, 3, 2};
+  auto bytes = wire::encode(info);
+  auto decoded = wire::decode<CoinInfo>(bytes);
+  EXPECT_EQ(decoded, info);
+}
+
+TEST_F(CoinTest, CoinSerializationRoundTrip) {
+  auto wc = withdraw();
+  auto bytes = wire::encode(wc.coin);
+  auto decoded = wire::decode<Coin>(bytes);
+  EXPECT_EQ(decoded, wc.coin);
+  EXPECT_EQ(decoded.bare.coin_hash(), wc.coin.bare.coin_hash());
+}
+
+TEST_F(CoinTest, FreshCoinVerifies) {
+  auto wc = withdraw();
+  auto ok = verify_coin(dep_.grp(), dep_.broker().coin_key(), wc.coin, 2000);
+  EXPECT_TRUE(ok.ok()) << (ok.ok() ? "" : ok.refusal().detail);
+}
+
+TEST_F(CoinTest, ExpiredCoinRefused) {
+  auto wc = withdraw(100, /*now=*/1000);
+  Timestamp past_soft = wc.coin.bare.info.soft_expiry + 1;
+  auto ok = verify_coin(dep_.grp(), dep_.broker().coin_key(), wc.coin,
+                        past_soft);
+  ASSERT_FALSE(ok.ok());
+  EXPECT_EQ(ok.refusal().reason, RefusalReason::kExpired);
+}
+
+TEST_F(CoinTest, TamperedInfoBreaksSignature) {
+  auto wc = withdraw();
+  auto tampered = wc.coin;
+  tampered.bare.info.denomination = 1'000'000;  // give myself a raise
+  auto ok = verify_coin(dep_.grp(), dep_.broker().coin_key(), tampered, 2000);
+  ASSERT_FALSE(ok.ok());
+  EXPECT_EQ(ok.refusal().reason, RefusalReason::kInvalidCoin);
+}
+
+TEST_F(CoinTest, TamperedCommitmentsBreakSignature) {
+  auto wc = withdraw();
+  auto tampered = wc.coin;
+  tampered.bare.a = dep_.grp().exp_g(BigInt{777});
+  auto ok = verify_coin(dep_.grp(), dep_.broker().coin_key(), tampered, 2000);
+  ASSERT_FALSE(ok.ok());
+}
+
+TEST_F(CoinTest, SwappedWitnessEntryDetected) {
+  // Attach a different merchant's (validly signed) entry: the witness
+  // point check must catch the steering attempt.
+  auto wc = withdraw();
+  const auto& table = dep_.broker().current_table();
+  const auto& honest = wc.coin.witnesses[0];
+  SignedWitnessEntry other;
+  bool found = false;
+  for (const auto& e : table.entries()) {
+    if (e.merchant != honest.merchant) {
+      other = e;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  auto tampered = wc.coin;
+  tampered.witnesses[0] = other;
+  auto ok = verify_coin(dep_.grp(), dep_.broker().coin_key(), tampered, 2000);
+  ASSERT_FALSE(ok.ok());
+  EXPECT_EQ(ok.refusal().reason, RefusalReason::kWrongWitness);
+}
+
+TEST_F(CoinTest, ForgedWitnessEntrySignatureDetected) {
+  auto wc = withdraw();
+  auto tampered = wc.coin;
+  // Widen my own range to cover the coin (forged bounds, stale signature).
+  tampered.witnesses[0].lo = BigInt{0};
+  tampered.witnesses[0].hi = BigInt{1} << kRangeBits;
+  auto ok = verify_coin(dep_.grp(), dep_.broker().coin_key(), tampered, 2000);
+  ASSERT_FALSE(ok.ok());
+  EXPECT_EQ(ok.refusal().reason, RefusalReason::kBadSignature);
+}
+
+TEST_F(CoinTest, WitnessCountMismatchDetected) {
+  auto wc = withdraw();
+  auto tampered = wc.coin;
+  tampered.witnesses.push_back(tampered.witnesses[0]);
+  auto ok = verify_coin(dep_.grp(), dep_.broker().coin_key(), tampered, 2000);
+  ASSERT_FALSE(ok.ok());
+}
+
+TEST_F(CoinTest, BadWitnessPolicyDetected) {
+  auto wc = withdraw();
+  auto tampered = wc.coin;
+  tampered.bare.info.witness_k = 0;
+  auto ok = verify_coin(dep_.grp(), dep_.broker().coin_key(), tampered, 2000);
+  ASSERT_FALSE(ok.ok());
+}
+
+TEST_F(CoinTest, SecretPathVerifierAgrees) {
+  auto wc = withdraw();
+  // The broker's cheap self-check accepts genuine bare coins…
+  EXPECT_TRUE(verify_bare_coin_with_secret(
+                  dep_.grp(), BigInt{0} /* wrong secret */, wc.coin.bare)
+                  .ok() == false);
+  // (wrong secret fails; the genuine-path equivalence is covered in
+  // blindsig_test and implicitly by every deposit in the suite).
+}
+
+TEST_F(CoinTest, CoinHashUniquePerCoin) {
+  auto c1 = withdraw();
+  auto c2 = withdraw();
+  EXPECT_NE(c1.coin.bare.coin_hash(), c2.coin.bare.coin_hash());
+  EXPECT_NE(c1.coin.bare.a, c2.coin.bare.a);
+}
+
+TEST_F(CoinTest, WitnessPointMatchesAssignedEntry) {
+  for (int i = 0; i < 5; ++i) {
+    auto wc = withdraw();
+    auto point = witness_point(wc.coin.bare.coin_hash(), 0);
+    EXPECT_TRUE(wc.coin.witnesses[0].contains(point));
+    // And the entry is the one the broker's table prescribes.
+    auto expected = dep_.broker().current_table().lookup(point);
+    ASSERT_TRUE(expected.has_value());
+    EXPECT_EQ(expected->merchant, wc.coin.witnesses[0].merchant);
+  }
+}
+
+TEST_F(CoinTest, ClientCannotSteerWitness) {
+  // The witness distribution over many withdrawals must touch multiple
+  // merchants (the client has no control over h(bare coin)).
+  std::set<MerchantId> seen;
+  for (int i = 0; i < 24 && seen.size() < 3; ++i) {
+    seen.insert(withdraw().coin.witnesses[0].merchant);
+  }
+  EXPECT_GE(seen.size(), 3u);
+}
+
+}  // namespace
+}  // namespace p2pcash::ecash

@@ -1,0 +1,209 @@
+// Witness commitments (Algorithm 2 steps 1-2): single-flight rule, nonce
+// binding, expiry, value reveal.
+
+#include <gtest/gtest.h>
+
+#include "ecash_fixture.h"
+
+namespace p2pcash::ecash {
+namespace {
+
+using testing::EcashTest;
+
+class CommitmentTest : public EcashTest {
+ protected:
+  WitnessService& witness_of(const WalletCoin& coin) {
+    return *dep_.node(coin.coin.witnesses[0].merchant).witness;
+  }
+};
+
+TEST_F(CommitmentTest, CommitmentIssuedAndWellFormed) {
+  auto coin = withdraw();
+  auto intent = wallet_->prepare_payment(coin, "m002");
+  auto& witness = witness_of(coin);
+  auto outcome =
+      witness.request_commitment(intent.coin_hash, intent.nonce, 2000);
+  ASSERT_TRUE(outcome.ok());
+  const auto& commitment = outcome.value();
+  EXPECT_EQ(commitment.coin_hash, intent.coin_hash);
+  EXPECT_EQ(commitment.nonce, intent.nonce);
+  EXPECT_EQ(commitment.expires, 2000 + witness.commitment_ttl());
+  EXPECT_EQ(commitment.witness, coin.coin.witnesses[0].merchant);
+  EXPECT_TRUE(sig::verify(dep_.grp(), coin.coin.witnesses[0].witness_key,
+                          commitment.signed_payload(),
+                          commitment.witness_sig));
+}
+
+TEST_F(CommitmentTest, OutstandingCommitmentBlocksOtherTransactions) {
+  auto coin = withdraw();
+  auto& witness = witness_of(coin);
+  auto i1 = wallet_->prepare_payment(coin, "m002");
+  auto i2 = wallet_->prepare_payment(coin, "m003");
+  ASSERT_TRUE(witness.request_commitment(i1.coin_hash, i1.nonce, 2000).ok());
+  // A different nonce (different merchant/salt) is refused while live.
+  auto blocked = witness.request_commitment(i2.coin_hash, i2.nonce, 2500);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.refusal().reason, RefusalReason::kCommitmentOutstanding);
+}
+
+TEST_F(CommitmentTest, SameNonceMayReRequest) {
+  auto coin = withdraw();
+  auto& witness = witness_of(coin);
+  auto intent = wallet_->prepare_payment(coin, "m002");
+  ASSERT_TRUE(
+      witness.request_commitment(intent.coin_hash, intent.nonce, 2000).ok());
+  // Client retry with the same nonce: allowed (fresh t_e).
+  auto retry =
+      witness.request_commitment(intent.coin_hash, intent.nonce, 2500);
+  EXPECT_TRUE(retry.ok());
+  EXPECT_EQ(retry.value().expires, 2500 + witness.commitment_ttl());
+}
+
+TEST_F(CommitmentTest, ExpiryFreesTheCoin) {
+  auto coin = withdraw();
+  auto& witness = witness_of(coin);
+  auto i1 = wallet_->prepare_payment(coin, "m002");
+  auto i2 = wallet_->prepare_payment(coin, "m003");
+  ASSERT_TRUE(witness.request_commitment(i1.coin_hash, i1.nonce, 2000).ok());
+  Timestamp after_expiry = 2000 + witness.commitment_ttl() + 1;
+  EXPECT_TRUE(
+      witness.request_commitment(i2.coin_hash, i2.nonce, after_expiry).ok());
+}
+
+TEST_F(CommitmentTest, TranscriptWithoutCommitmentRefused) {
+  auto coin = withdraw();
+  auto& witness = witness_of(coin);
+  auto intent = wallet_->prepare_payment(coin, "m002");
+  // Build a transcript with a forged commitment (never issued).
+  PaymentTranscript t;
+  t.coin = coin.coin;
+  t.merchant = "m002";
+  t.datetime = 2100;
+  t.salt = intent.salt;
+  auto d = payment_challenge(dep_.grp(), t.coin, t.merchant, t.datetime);
+  t.resp = nizk::respond(dep_.grp(), coin.secret, d);
+  auto outcome = witness.sign_transcript(t, 2200);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.refusal().reason, RefusalReason::kStaleRequest);
+}
+
+TEST_F(CommitmentTest, NonceMismatchRefused) {
+  // Commit for merchant A, then submit a transcript claiming merchant B:
+  // nonce = h(salt || I_M) cannot match.
+  auto coin = withdraw();
+  auto& witness = witness_of(coin);
+  auto intent = wallet_->prepare_payment(coin, "m002");
+  ASSERT_TRUE(
+      witness.request_commitment(intent.coin_hash, intent.nonce, 2000).ok());
+  PaymentTranscript t;
+  t.coin = coin.coin;
+  t.merchant = "m003";  // not the committed merchant
+  t.datetime = 2100;
+  t.salt = intent.salt;
+  auto d = payment_challenge(dep_.grp(), t.coin, t.merchant, t.datetime);
+  t.resp = nizk::respond(dep_.grp(), coin.secret, d);
+  auto outcome = witness.sign_transcript(t, 2200);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.refusal().reason, RefusalReason::kBadNonce);
+}
+
+TEST_F(CommitmentTest, ExpiredCommitmentRefusedAtSigning) {
+  auto coin = withdraw();
+  auto& witness = witness_of(coin);
+  auto intent = wallet_->prepare_payment(coin, "m002");
+  ASSERT_TRUE(
+      witness.request_commitment(intent.coin_hash, intent.nonce, 2000).ok());
+  PaymentTranscript t;
+  t.coin = coin.coin;
+  t.merchant = "m002";
+  t.datetime = 2100;
+  t.salt = intent.salt;
+  auto d = payment_challenge(dep_.grp(), t.coin, t.merchant, t.datetime);
+  t.resp = nizk::respond(dep_.grp(), coin.secret, d);
+  Timestamp late = 2000 + witness.commitment_ttl() + 1;
+  auto outcome = witness.sign_transcript(t, late);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.refusal().reason, RefusalReason::kStaleRequest);
+}
+
+TEST_F(CommitmentTest, FreshCoinCommitsToRandomValue) {
+  auto coin = withdraw();
+  auto& witness = witness_of(coin);
+  auto intent = wallet_->prepare_payment(coin, "m002");
+  auto commitment =
+      witness.request_commitment(intent.coin_hash, intent.nonce, 2000);
+  ASSERT_TRUE(commitment.ok());
+  auto revealed = witness.reveal_committed_value(intent.coin_hash);
+  ASSERT_TRUE(revealed.ok());
+  EXPECT_EQ(revealed.value().kind, CommittedValue::Kind::kFresh);
+  EXPECT_EQ(revealed.value().hash(), commitment.value().value_hash);
+}
+
+TEST_F(CommitmentTest, SpentCoinCommitsToPriorTranscript) {
+  auto coin = withdraw();
+  auto m1 = non_witness_merchant(coin);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, m1, 2000).accepted);
+  auto& witness = witness_of(coin);
+  // After expiry of the consumed commitment, a new transaction's request
+  // commits to evidence of the prior spend.
+  Timestamp later = 2000 + witness.commitment_ttl() + 100;
+  auto intent = wallet_->prepare_payment(coin, "m003");
+  auto commitment =
+      witness.request_commitment(intent.coin_hash, intent.nonce, later);
+  ASSERT_TRUE(commitment.ok());
+  auto revealed = witness.reveal_committed_value(intent.coin_hash);
+  ASSERT_TRUE(revealed.ok());
+  EXPECT_EQ(revealed.value().kind, CommittedValue::Kind::kPriorTranscript);
+}
+
+TEST_F(CommitmentTest, DoubleSpentCoinCommitsToExtractedSecrets) {
+  auto coin = withdraw();
+  auto ids = dep_.merchant_ids();
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, ids[0], 2000).accepted);
+  EXPECT_FALSE(dep_.pay(*wallet_, coin, ids[1], 3000).accepted);
+  auto& witness = witness_of(coin);
+  Timestamp later = 3000 + witness.commitment_ttl() + 100;
+  auto intent = wallet_->prepare_payment(coin, "m004");
+  auto commitment =
+      witness.request_commitment(intent.coin_hash, intent.nonce, later);
+  ASSERT_TRUE(commitment.ok());
+  auto revealed = witness.reveal_committed_value(intent.coin_hash);
+  ASSERT_TRUE(revealed.ok());
+  EXPECT_EQ(revealed.value().kind, CommittedValue::Kind::kExtracted);
+}
+
+TEST_F(CommitmentTest, CommittedValueSerializationRoundTrip) {
+  crypto::ChaChaRng rng("cv-serial");
+  auto fresh = CommittedValue::fresh(rng);
+  auto bytes = wire::encode(fresh);
+  EXPECT_EQ(wire::decode<CommittedValue>(bytes), fresh);
+  wire::Writer w;
+  w.put_u8(9);  // invalid kind
+  w.put_bytes({});
+  auto bad = w.take();
+  wire::Reader r(bad);
+  EXPECT_THROW((void)CommittedValue::decode(r), wire::DecodeError);
+}
+
+TEST_F(CommitmentTest, RetryOfIdenticalTranscriptReEndorsed) {
+  // Network retries must be idempotent: the same transcript gets the
+  // endorsement again instead of being treated as a double-spend.
+  auto coin = withdraw();
+  auto& witness = witness_of(coin);
+  auto intent = wallet_->prepare_payment(coin, "m002");
+  auto commitment =
+      witness.request_commitment(intent.coin_hash, intent.nonce, 2000);
+  ASSERT_TRUE(commitment.ok());
+  auto transcript =
+      wallet_->build_transcript(coin, intent, {commitment.value()}, 2100);
+  ASSERT_TRUE(transcript.ok());
+  auto first = witness.sign_transcript(transcript.value(), 2200);
+  ASSERT_TRUE(first.ok());
+  auto second = witness.sign_transcript(transcript.value(), 2300);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(std::get<WitnessEndorsement>(first.value()),
+            std::get<WitnessEndorsement>(second.value()));
+}
+
+}  // namespace
+}  // namespace p2pcash::ecash

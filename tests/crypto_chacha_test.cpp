@@ -1,0 +1,111 @@
+// ChaCha20 block function (RFC 8439 §2.3.2) and the deterministic RNG.
+
+#include "crypto/chacha.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "crypto/encoding.h"
+
+namespace p2pcash::crypto {
+namespace {
+
+TEST(ChaChaBlock, Rfc8439Vector) {
+  std::array<std::uint32_t, 8> key;
+  for (int i = 0; i < 8; ++i) {
+    key[i] = static_cast<std::uint32_t>(4 * i) |
+             (static_cast<std::uint32_t>(4 * i + 1) << 8) |
+             (static_cast<std::uint32_t>(4 * i + 2) << 16) |
+             (static_cast<std::uint32_t>(4 * i + 3) << 24);
+  }
+  std::array<std::uint32_t, 3> nonce = {0x09000000, 0x4a000000, 0x00000000};
+  std::array<std::uint8_t, 64> out;
+  chacha20_block(key, 1, nonce, out);
+  EXPECT_EQ(to_hex(out),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaChaRng, DeterministicFromSeed) {
+  ChaChaRng a("seed");
+  ChaChaRng b("seed");
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(ChaChaRng, DifferentSeedsDiverge) {
+  ChaChaRng a("seed-1");
+  ChaChaRng b("seed-2");
+  bool differ = false;
+  for (int i = 0; i < 4 && !differ; ++i) differ = a.next_u64() != b.next_u64();
+  EXPECT_TRUE(differ);
+}
+
+TEST(ChaChaRng, IntegerSeedDeterministic) {
+  ChaChaRng a(std::uint64_t{42});
+  ChaChaRng b(std::uint64_t{42});
+  ChaChaRng c(std::uint64_t{43});
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(ChaChaRng, FillSpansBlockBoundaries) {
+  ChaChaRng whole("boundary");
+  std::vector<std::uint8_t> big(200);
+  whole.fill(big);
+
+  ChaChaRng pieces("boundary");
+  std::vector<std::uint8_t> assembled;
+  for (std::size_t taken = 0; taken < 200;) {
+    std::size_t n = std::min<std::size_t>(33, 200 - taken);
+    std::vector<std::uint8_t> chunk(n);
+    pieces.fill(chunk);
+    assembled.insert(assembled.end(), chunk.begin(), chunk.end());
+    taken += n;
+  }
+  EXPECT_EQ(big, assembled);
+}
+
+TEST(ChaChaRng, ForkIsIndependent) {
+  ChaChaRng parent("fork-base");
+  ChaChaRng child = parent.fork("wallet");
+  // Child does not replay parent output.
+  ChaChaRng parent2("fork-base");
+  ChaChaRng child2 = parent2.fork("wallet");
+  EXPECT_EQ(child.next_u64(), child2.next_u64());  // deterministic fork
+  ChaChaRng other = parent2.fork("merchant");
+  // Different labels after identical state → different streams... but note
+  // the parent consumed bytes for the first fork, so re-fork from a fresh
+  // parent for a fair label comparison.
+  ChaChaRng parent3("fork-base");
+  ChaChaRng child3 = parent3.fork("merchant");
+  EXPECT_NE(child2.next_u64(), child3.next_u64());
+  (void)other;
+}
+
+TEST(ChaChaRng, ByteDistributionSanity) {
+  // Chi-square-ish smoke: each of 256 byte values should appear roughly
+  // uniformly over 256 KiB of output.
+  ChaChaRng rng("distribution");
+  std::vector<std::uint8_t> buf(256 * 1024);
+  rng.fill(buf);
+  std::map<std::uint8_t, std::size_t> counts;
+  for (auto b : buf) counts[b]++;
+  const double expected = static_cast<double>(buf.size()) / 256.0;
+  for (const auto& [value, count] : counts) {
+    EXPECT_GT(count, expected * 0.8) << int(value);
+    EXPECT_LT(count, expected * 1.2) << int(value);
+  }
+  EXPECT_EQ(counts.size(), 256u);
+}
+
+TEST(SystemRng, ProducesBytes) {
+  SystemRng rng;
+  std::vector<std::uint8_t> a(32), b(32);
+  rng.fill(a);
+  rng.fill(b);
+  EXPECT_NE(a, b);  // 2^-256 false-failure probability
+}
+
+}  // namespace
+}  // namespace p2pcash::crypto

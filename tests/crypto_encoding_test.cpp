@@ -1,0 +1,88 @@
+// Hex, base64 and percent-encoding codecs.
+
+#include "crypto/encoding.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha.h"
+
+namespace p2pcash::crypto {
+namespace {
+
+std::vector<std::uint8_t> str_bytes(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Hex, KnownValues) {
+  EXPECT_EQ(to_hex(str_bytes("\x00\xff\x10")), "");  // careful: \x00 ends C-string
+  EXPECT_EQ(to_hex(std::vector<std::uint8_t>{0x00, 0xff, 0x10}), "00ff10");
+  EXPECT_EQ(from_hex("00ff10"), (std::vector<std::uint8_t>{0x00, 0xff, 0x10}));
+  EXPECT_EQ(from_hex("DEADbeef"),
+            (std::vector<std::uint8_t>{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Hex, Errors) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);   // odd length
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);    // bad digit
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Base64, Rfc4648Vectors) {
+  EXPECT_EQ(to_base64(str_bytes("")), "");
+  EXPECT_EQ(to_base64(str_bytes("f")), "Zg==");
+  EXPECT_EQ(to_base64(str_bytes("fo")), "Zm8=");
+  EXPECT_EQ(to_base64(str_bytes("foo")), "Zm9v");
+  EXPECT_EQ(to_base64(str_bytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(to_base64(str_bytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(to_base64(str_bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeVectors) {
+  EXPECT_EQ(from_base64("Zm9vYmFy"), str_bytes("foobar"));
+  EXPECT_EQ(from_base64("Zg=="), str_bytes("f"));
+  EXPECT_EQ(from_base64(""), std::vector<std::uint8_t>{});
+}
+
+TEST(Base64, Errors) {
+  EXPECT_THROW(from_base64("Zg"), std::invalid_argument);    // not mult of 4
+  EXPECT_THROW(from_base64("Zg=a"), std::invalid_argument);  // data after pad
+  EXPECT_THROW(from_base64("Z==="), std::invalid_argument);  // 3 pads
+  EXPECT_THROW(from_base64("Zg!!"), std::invalid_argument);  // bad digit
+  EXPECT_THROW(from_base64("Zg==Zg=="), std::invalid_argument);  // pad inside
+}
+
+TEST(Base64, RandomRoundTrip) {
+  ChaChaRng rng("b64");
+  for (std::size_t len = 0; len < 100; ++len) {
+    std::vector<std::uint8_t> data(len);
+    rng.fill(data);
+    EXPECT_EQ(from_base64(to_base64(data)), data) << len;
+  }
+}
+
+TEST(UriEscape, Unreserved) {
+  EXPECT_EQ(uri_escape("AZaz09-._~"), "AZaz09-._~");
+  EXPECT_EQ(uri_escape("a b"), "a%20b");
+  EXPECT_EQ(uri_escape("x=y&z"), "x%3dy%26z");
+  EXPECT_EQ(uri_escape("+/"), "%2b%2f");
+}
+
+TEST(UriEscape, RoundTrip) {
+  ChaChaRng rng("uri");
+  for (int i = 0; i < 50; ++i) {
+    std::vector<std::uint8_t> raw(40);
+    rng.fill(raw);
+    std::string s(raw.begin(), raw.end());
+    EXPECT_EQ(uri_unescape(uri_escape(s)), s);
+  }
+}
+
+TEST(UriEscape, UnescapeErrors) {
+  EXPECT_THROW(uri_unescape("%"), std::invalid_argument);
+  EXPECT_THROW(uri_unescape("%2"), std::invalid_argument);
+  EXPECT_THROW(uri_unescape("%zz"), std::invalid_argument);
+  EXPECT_EQ(uri_unescape("ok%20ok"), "ok ok");
+}
+
+}  // namespace
+}  // namespace p2pcash::crypto

@@ -1,0 +1,94 @@
+// HMAC-SHA256 (RFC 4231) and HKDF (RFC 5869) test vectors.
+
+#include "crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/encoding.h"
+
+namespace p2pcash::crypto {
+namespace {
+
+std::vector<std::uint8_t> str_bytes(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Hmac, Rfc4231Case1) {
+  std::vector<std::uint8_t> key(20, 0x0b);
+  auto mac = hmac_sha256(key, str_bytes("Hi There"));
+  EXPECT_EQ(digest_to_hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  auto mac = hmac_sha256(str_bytes("Jefe"),
+                         str_bytes("what do ya want for nothing?"));
+  EXPECT_EQ(digest_to_hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  std::vector<std::uint8_t> key(20, 0xaa);
+  std::vector<std::uint8_t> data(50, 0xdd);
+  auto mac = hmac_sha256(key, data);
+  EXPECT_EQ(digest_to_hex(mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  std::vector<std::uint8_t> key(131, 0xaa);
+  auto mac = hmac_sha256(
+      key, str_bytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(digest_to_hex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hkdf, Rfc5869Case1) {
+  std::vector<std::uint8_t> ikm(22, 0x0b);
+  auto salt = from_hex("000102030405060708090a0b0c");
+  auto info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  auto prk = hkdf_extract(salt, ikm);
+  EXPECT_EQ(digest_to_hex(prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+  auto okm = hkdf_expand(prk, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, Rfc5869Case3EmptySaltInfo) {
+  std::vector<std::uint8_t> ikm(22, 0x0b);
+  auto prk = hkdf_extract({}, ikm);
+  auto okm = hkdf_expand(prk, {}, 42);
+  EXPECT_EQ(to_hex(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, LengthLimits) {
+  Sha256::Digest prk{};
+  EXPECT_EQ(hkdf_expand(prk, {}, 0).size(), 0u);
+  EXPECT_EQ(hkdf_expand(prk, {}, 255 * 32).size(), 255u * 32);
+  EXPECT_THROW(hkdf_expand(prk, {}, 255 * 32 + 1), std::length_error);
+}
+
+TEST(Hkdf, DistinctInfoDistinctKeys) {
+  Sha256::Digest prk = Sha256::hash(std::string_view("master"));
+  auto k1 = hkdf_expand(prk, str_bytes("coin-signing"), 32);
+  auto k2 = hkdf_expand(prk, str_bytes("range-signing"), 32);
+  EXPECT_NE(k1, k2);
+}
+
+TEST(ConstantTimeEqual, Behaviour) {
+  std::vector<std::uint8_t> a = {1, 2, 3};
+  std::vector<std::uint8_t> b = {1, 2, 3};
+  std::vector<std::uint8_t> c = {1, 2, 4};
+  std::vector<std::uint8_t> d = {1, 2};
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+  EXPECT_FALSE(constant_time_equal(a, d));
+  EXPECT_TRUE(constant_time_equal({}, {}));
+}
+
+}  // namespace
+}  // namespace p2pcash::crypto

@@ -1,0 +1,89 @@
+// SHA-256 against FIPS 180-4 / NIST CAVP vectors, plus streaming behaviour.
+
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace p2pcash::crypto {
+namespace {
+
+std::string hex_of(std::string_view s) {
+  return digest_to_hex(Sha256::hash(s));
+}
+
+TEST(Sha256, FipsVectors) {
+  EXPECT_EQ(hex_of(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(hex_of("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(hex_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  EXPECT_EQ(hex_of("The quick brown fox jumps over the lazy dog"),
+            "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(digest_to_hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  std::string data = "the witness approach provides hard guarantees";
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    Sha256 h;
+    h.update(std::string_view(data).substr(0, split));
+    h.update(std::string_view(data).substr(split));
+    EXPECT_EQ(h.finalize(), Sha256::hash(data)) << "split=" << split;
+  }
+}
+
+TEST(Sha256, BlockBoundaryLengths) {
+  // Lengths around the 64-byte block and 56-byte padding boundary.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 127u,
+                          128u, 129u}) {
+    std::string a(len, 'x');
+    Sha256 h;
+    for (char c : a) h.update(std::string_view(&c, 1));
+    EXPECT_EQ(h.finalize(), Sha256::hash(a)) << "len=" << len;
+  }
+}
+
+TEST(Sha256, ResetReuses) {
+  Sha256 h;
+  h.update(std::string_view("garbage"));
+  (void)h.finalize();
+  h.reset();
+  h.update(std::string_view("abc"));
+  EXPECT_EQ(digest_to_hex(h.finalize()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(HashFields, OrderAndBoundariesMatter) {
+  std::vector<std::vector<std::uint8_t>> ab = {{0x61}, {0x62}};  // "a","b"
+  std::vector<std::vector<std::uint8_t>> ba = {{0x62}, {0x61}};
+  std::vector<std::vector<std::uint8_t>> joined = {{0x61, 0x62}};  // "ab"
+  std::vector<std::vector<std::uint8_t>> padded = {{0x61}, {}, {0x62}};
+  auto h1 = hash_fields(ab);
+  EXPECT_NE(h1, hash_fields(ba));
+  EXPECT_NE(h1, hash_fields(joined));
+  EXPECT_NE(h1, hash_fields(padded));
+  EXPECT_EQ(h1, hash_fields(ab));  // deterministic
+}
+
+TEST(DigestToHex, Format) {
+  auto d = Sha256::hash(std::string_view("abc"));
+  auto hex = digest_to_hex(d);
+  EXPECT_EQ(hex.size(), 64u);
+  for (char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+  }
+}
+
+}  // namespace
+}  // namespace p2pcash::crypto

@@ -1,0 +1,174 @@
+// Double-spending: real-time prevention, proof extraction, faulty
+// witnesses, and the broker's deposit-time dedup (Algorithm 3 cases).
+
+#include <gtest/gtest.h>
+
+#include "ecash_fixture.h"
+
+namespace p2pcash::ecash {
+namespace {
+
+using testing::EcashTest;
+
+class DoubleSpendTest : public EcashTest {};
+
+TEST_F(DoubleSpendTest, SecondSpendBlockedInRealTime) {
+  auto coin = withdraw(100);
+  auto m1 = non_witness_merchant(coin);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, m1, 2000).accepted);
+
+  // Pick a second, different merchant.
+  MerchantId m2;
+  for (const auto& id : dep_.merchant_ids()) {
+    if (id != m1) {
+      m2 = id;
+      break;
+    }
+  }
+  auto result = dep_.pay(*wallet_, coin, m2, 3000);
+  EXPECT_FALSE(result.accepted);
+  ASSERT_TRUE(result.double_spend_proof.has_value());
+  // The proof is publicly verifiable and opens this coin's commitments.
+  EXPECT_TRUE(result.double_spend_proof->verify(dep_.grp()));
+  EXPECT_EQ(result.double_spend_proof->coin_hash, coin.coin.bare.coin_hash());
+  // The second merchant delivered nothing and blocked the fraud.
+  EXPECT_EQ(dep_.node(m2).merchant->services_delivered(), 0u);
+  EXPECT_EQ(dep_.node(m2).merchant->double_spends_blocked(), 1u);
+}
+
+TEST_F(DoubleSpendTest, ExtractedSecretsAreTheCoinSecrets) {
+  auto coin = withdraw(100);
+  auto m1 = non_witness_merchant(coin);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, m1, 2000).accepted);
+  MerchantId m2 = m1 == "m000" ? "m001" : "m000";
+  auto result = dep_.pay(*wallet_, coin, m2, 3000);
+  ASSERT_TRUE(result.double_spend_proof.has_value());
+  const auto& secrets = result.double_spend_proof->secrets;
+  EXPECT_EQ(secrets.of_a.e1, coin.secret.x1);
+  EXPECT_EQ(secrets.of_a.e2, coin.secret.x2);
+  EXPECT_EQ(secrets.of_b.e1, coin.secret.y1);
+  EXPECT_EQ(secrets.of_b.e2, coin.secret.y2);
+}
+
+TEST_F(DoubleSpendTest, WitnessDropsTranscriptsAfterDetection) {
+  auto coin = withdraw(100);
+  auto m1 = non_witness_merchant(coin);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, m1, 2000).accepted);
+  MerchantId m2 = m1 == "m000" ? "m001" : "m000";
+  (void)dep_.pay(*wallet_, coin, m2, 3000);
+  auto& witness = *dep_.node(coin.coin.witnesses[0].merchant).witness;
+  EXPECT_TRUE(witness.has_double_spend_record(coin.coin.bare.coin_hash()));
+}
+
+TEST_F(DoubleSpendTest, ThirdSpendAnsweredFromStoredProof) {
+  auto coin = withdraw(100);
+  auto ids = dep_.merchant_ids();
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, ids[0], 2000).accepted);
+  EXPECT_FALSE(dep_.pay(*wallet_, coin, ids[1], 3000).accepted);
+  auto third = dep_.pay(*wallet_, coin, ids[2], 4000);
+  EXPECT_FALSE(third.accepted);
+  ASSERT_TRUE(third.double_spend_proof.has_value());
+  EXPECT_TRUE(third.double_spend_proof->verify(dep_.grp()));
+}
+
+TEST_F(DoubleSpendTest, SameMerchantSameCoinRejectedLocally) {
+  auto coin = withdraw(100);
+  auto m1 = non_witness_merchant(coin);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, m1, 2000).accepted);
+  // The merchant itself refuses a coin it has already accepted — no
+  // witness round needed.
+  auto result = dep_.pay(*wallet_, coin, m1, 3000);
+  EXPECT_FALSE(result.accepted);
+  ASSERT_TRUE(result.refusal.has_value());
+  EXPECT_EQ(result.refusal->reason, RefusalReason::kDoubleSpent);
+}
+
+TEST_F(DoubleSpendTest, FaultyWitnessCaughtAtDeposit) {
+  auto coin = withdraw(100);
+  auto witness_id = coin.coin.witnesses[0].merchant;
+  dep_.node(witness_id).witness->set_faulty(true);  // signs everything
+
+  // Two different merchants both accept the double-spent coin.
+  std::vector<MerchantId> victims;
+  for (const auto& id : dep_.merchant_ids()) {
+    if (id != witness_id && victims.size() < 2) victims.push_back(id);
+  }
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, victims[0], 2000).accepted);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, victims[1], 3000).accepted);
+
+  // Both deposit. The first clears normally; the second is paid from the
+  // witness's security deposit and the witness is flagged.
+  auto s1 = dep_.deposit_all(victims[0], 5000);
+  EXPECT_EQ(s1.credited, 100u);
+  auto deposit_before =
+      dep_.broker().account(witness_id)->deposit_remaining;
+  auto s2 = dep_.deposit_all(victims[1], 6000);
+  EXPECT_EQ(s2.credited, 100u);  // merchant is made whole
+  const auto* witness_account = dep_.broker().account(witness_id);
+  EXPECT_TRUE(witness_account->flagged);
+  EXPECT_EQ(witness_account->deposit_remaining, deposit_before - 100u);
+  ASSERT_EQ(dep_.broker().witness_faults().size(), 1u);
+  EXPECT_EQ(dep_.broker().witness_faults()[0].witness, witness_id);
+}
+
+TEST_F(DoubleSpendTest, FlaggedWitnessExcludedFromNextTable) {
+  auto coin = withdraw(100);
+  auto witness_id = coin.coin.witnesses[0].merchant;
+  dep_.node(witness_id).witness->set_faulty(true);
+  std::vector<MerchantId> victims;
+  for (const auto& id : dep_.merchant_ids()) {
+    if (id != witness_id && victims.size() < 2) victims.push_back(id);
+  }
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, victims[0], 2000).accepted);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, victims[1], 3000).accepted);
+  dep_.deposit_all(victims[0], 5000);
+  dep_.deposit_all(victims[1], 5000);
+  const auto& table2 = dep_.broker().publish_witness_table(6000);
+  EXPECT_EQ(table2.version(), 2u);
+  EXPECT_FALSE(table2.find(witness_id).has_value());
+}
+
+TEST_F(DoubleSpendTest, SameMerchantCannotDepositTwice) {
+  auto coin = withdraw(100);
+  auto m1 = non_witness_merchant(coin);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, m1, 2000).accepted);
+  auto queue = dep_.node(m1).merchant->drain_deposit_queue();
+  ASSERT_EQ(queue.size(), 1u);
+  auto r1 = dep_.broker().deposit(m1, queue[0], 5000);
+  EXPECT_TRUE(r1.ok());
+  auto r2 = dep_.broker().deposit(m1, queue[0], 6000);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.refusal().reason, RefusalReason::kAlreadyDeposited);
+  EXPECT_EQ(dep_.broker().account(m1)->balance, 100);
+}
+
+TEST_F(DoubleSpendTest, HonestWitnessMeansNoWitnessFaults) {
+  for (int i = 0; i < 5; ++i) {
+    auto coin = withdraw(100);
+    auto merchant = non_witness_merchant(coin);
+    ASSERT_TRUE(dep_.pay(*wallet_, coin, merchant, 2000 + i).accepted);
+    dep_.deposit_all(merchant, 5000);
+  }
+  EXPECT_TRUE(dep_.broker().witness_faults().empty());
+}
+
+class MassDoubleSpendTest : public EcashTest {};
+
+TEST_F(MassDoubleSpendTest, NoDoubleSpendEverSucceedsWithHonestWitnesses) {
+  // Property: across many attempts, exactly one spend per coin succeeds.
+  crypto::ChaChaRng rng("mass");
+  auto ids = dep_.merchant_ids();
+  for (int round = 0; round < 6; ++round) {
+    auto coin = withdraw(100, 1000 + round);
+    int successes = 0;
+    for (std::size_t attempt = 0; attempt < 4; ++attempt) {
+      const auto& merchant = ids[(round + attempt * 3) % ids.size()];
+      if (dep_.pay(*wallet_, coin, merchant, 2000 + attempt).accepted)
+        ++successes;
+    }
+    EXPECT_EQ(successes, 1) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace p2pcash::ecash

@@ -1,0 +1,141 @@
+// Economy-level property test: a randomized mix of withdrawals, payments,
+// double-spend attempts, exchanges, renewals and deposits, after which the
+// system's books must balance exactly — no party can mint or destroy value
+// (the "unexpandability" property, economically stated).
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha.h"
+#include "ecash_fixture.h"
+
+namespace p2pcash::ecash {
+namespace {
+
+class EconomyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EconomyTest, MoneyIsConserved) {
+  const auto& grp = group::SchnorrGroup::test_256();
+  Broker::Config config;
+  config.soft_lifetime_ms = 1'000'000;
+  Deployment dep(grp, 10, /*seed=*/GetParam(), config);
+  auto wallet = dep.make_wallet();
+  crypto::ChaChaRng dice("economy-" + std::to_string(GetParam()));
+  auto ids = dep.merchant_ids();
+
+  auto peer_wallet = dep.make_wallet();
+  std::vector<WalletCoin> live_coins;  // unspent, still valid
+  Cents live_value = 0;
+  Timestamp now = 1'000;
+  int double_spend_attempts = 0;
+  int payments = 0;
+
+  for (int step = 0; step < 60; ++step) {
+    now += 100;
+    switch (dice.next_u64() % 6) {
+      case 0: {  // withdraw a coin of random denomination
+        Cents denom = static_cast<Cents>(1 + dice.next_u64() % 50);
+        auto coin = dep.withdraw(*wallet, denom, now);
+        ASSERT_TRUE(coin.ok());
+        live_value += denom;
+        live_coins.push_back(std::move(coin).value());
+        break;
+      }
+      case 1: {  // spend a live coin
+        if (live_coins.empty()) break;
+        auto idx = dice.next_u64() % live_coins.size();
+        auto coin = live_coins[idx];
+        live_coins.erase(live_coins.begin() +
+                         static_cast<std::ptrdiff_t>(idx));
+        const auto& merchant = ids[dice.next_u64() % ids.size()];
+        auto result = dep.pay(*wallet, coin, merchant, now);
+        if (result.accepted) {
+          live_value -= coin.coin.bare.info.denomination;
+          ++payments;
+        } else {
+          live_coins.push_back(coin);  // e.g. paid at itself twice; retry
+        }
+        break;
+      }
+      case 2: {  // attempt a double spend with a coin we already spent
+        if (live_coins.empty()) break;
+        auto coin = live_coins[dice.next_u64() % live_coins.size()];
+        const auto& m1 = ids[dice.next_u64() % ids.size()];
+        const auto& m2 = ids[dice.next_u64() % ids.size()];
+        auto r1 = dep.pay(*wallet, coin, m1, now);
+        auto r2 = dep.pay(*wallet, coin, m2, now + 1);
+        ++double_spend_attempts;
+        EXPECT_FALSE(r1.accepted && r2.accepted)
+            << "double spend succeeded with honest witnesses";
+        if (r1.accepted || r2.accepted) {
+          live_value -= coin.coin.bare.info.denomination;
+          ++payments;
+        }
+        // Either way the coin is burned from the wallet's view.
+        for (auto it = live_coins.begin(); it != live_coins.end(); ++it) {
+          if (it->coin.bare == coin.coin.bare) {
+            live_coins.erase(it);
+            break;
+          }
+        }
+        break;
+      }
+      case 3: {  // make change
+        if (live_coins.empty()) break;
+        auto idx = dice.next_u64() % live_coins.size();
+        auto coin = live_coins[idx];
+        Cents value = coin.coin.bare.info.denomination;
+        if (value < 2) break;
+        live_coins.erase(live_coins.begin() +
+                         static_cast<std::ptrdiff_t>(idx));
+        Cents a = static_cast<Cents>(1 + dice.next_u64() % (value - 1));
+        auto change = dep.exchange(*wallet, coin, {a, value - a}, now);
+        ASSERT_TRUE(change.ok()) << change.refusal().detail;
+        for (auto& c : change.value()) live_coins.push_back(std::move(c));
+        break;
+      }
+      case 4: {  // deposit everything queued somewhere
+        const auto& merchant = ids[dice.next_u64() % ids.size()];
+        (void)dep.deposit_all(merchant, now);
+        break;
+      }
+      case 5: {  // transfer a coin to a peer (who hands it back to the pool)
+        if (live_coins.empty()) break;
+        auto idx = dice.next_u64() % live_coins.size();
+        auto coin = live_coins[idx];
+        live_coins.erase(live_coins.begin() +
+                         static_cast<std::ptrdiff_t>(idx));
+        auto result = dep.transfer(*wallet, coin, *peer_wallet, now);
+        ASSERT_TRUE(result.received.has_value())
+            << (result.refusal ? result.refusal->detail : "double spend?");
+        // The peer's coin joins the same spendable pool (same face value).
+        live_coins.push_back(std::move(*result.received));
+        break;
+      }
+    }
+  }
+  // Flush all deposit queues.
+  now += 1000;
+  for (const auto& id : ids) (void)dep.deposit_all(id, now);
+
+  // The books: everything the broker collected equals merchant credit plus
+  // the face value of coins still in the wallet. Honest run — the witness
+  // security deposits are untouched and no witness is flagged.
+  std::int64_t merchant_credit = 0;
+  for (const auto& id : ids) {
+    const auto* account = dep.broker().account(id);
+    merchant_credit += account->balance;
+    EXPECT_FALSE(account->flagged) << id;
+  }
+  EXPECT_EQ(dep.broker().fiat_collected(),
+            merchant_credit + static_cast<std::int64_t>(live_value));
+  EXPECT_EQ(dep.broker().fiat_paid_out(), merchant_credit);
+  EXPECT_TRUE(dep.broker().witness_faults().empty());
+  // Sanity: the run actually exercised the interesting paths.
+  EXPECT_GT(payments + double_spend_attempts, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EconomyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace p2pcash::ecash

@@ -1,0 +1,178 @@
+// The escrow extension: ElGamal hybrid encryption and traceable coins.
+
+#include "escrow/escrow.h"
+
+#include <gtest/gtest.h>
+
+#include "ecash_fixture.h"
+
+namespace p2pcash::escrow {
+namespace {
+
+using bn::BigInt;
+
+const group::SchnorrGroup& grp() { return group::SchnorrGroup::test_256(); }
+
+std::vector<std::uint8_t> bytes(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(ElGamal, EncryptDecryptRoundTrip) {
+  crypto::ChaChaRng rng("eg-rt");
+  auto keys = ElGamalKeyPair::generate(grp(), rng);
+  const std::vector<std::string> messages = {"", "x", "alice@example.org",
+                                             std::string(500, 'z')};
+  for (const std::string& msg : messages) {
+    auto ct = encrypt(grp(), keys.y, bytes(msg), rng);
+    auto pt = decrypt(grp(), keys.x, ct);
+    ASSERT_TRUE(pt.has_value()) << msg.size();
+    EXPECT_EQ(*pt, bytes(msg));
+  }
+}
+
+TEST(ElGamal, WrongKeyFails) {
+  crypto::ChaChaRng rng("eg-wrong");
+  auto keys = ElGamalKeyPair::generate(grp(), rng);
+  auto other = ElGamalKeyPair::generate(grp(), rng);
+  auto ct = encrypt(grp(), keys.y, bytes("secret"), rng);
+  EXPECT_FALSE(decrypt(grp(), other.x, ct).has_value());
+}
+
+TEST(ElGamal, TamperDetected) {
+  crypto::ChaChaRng rng("eg-tamper");
+  auto keys = ElGamalKeyPair::generate(grp(), rng);
+  auto ct = encrypt(grp(), keys.y, bytes("secret"), rng);
+  auto bad_body = ct;
+  bad_body.body[0] ^= 1;
+  EXPECT_FALSE(decrypt(grp(), keys.x, bad_body).has_value());
+  auto bad_mac = ct;
+  bad_mac.mac[0] ^= 1;
+  EXPECT_FALSE(decrypt(grp(), keys.x, bad_mac).has_value());
+  auto bad_eph = ct;
+  bad_eph.ephemeral = grp().exp_g(BigInt{5});
+  EXPECT_FALSE(decrypt(grp(), keys.x, bad_eph).has_value());
+}
+
+TEST(ElGamal, CiphertextsAreRandomized) {
+  crypto::ChaChaRng rng("eg-rand");
+  auto keys = ElGamalKeyPair::generate(grp(), rng);
+  auto c1 = encrypt(grp(), keys.y, bytes("same"), rng);
+  auto c2 = encrypt(grp(), keys.y, bytes("same"), rng);
+  EXPECT_NE(c1, c2);  // fresh ephemeral per encryption (IND-CPA requirement)
+  EXPECT_NE(c1.body, c2.body);
+}
+
+TEST(ElGamal, EncodingRoundTrip) {
+  crypto::ChaChaRng rng("eg-codec");
+  auto keys = ElGamalKeyPair::generate(grp(), rng);
+  auto ct = encrypt(grp(), keys.y, bytes("payload"), rng);
+  auto encoded = encode_ciphertext(ct);
+  auto decoded = decode_ciphertext(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, ct);
+  // Truncated / garbage encodings return nullopt, never throw.
+  for (std::size_t cut = 0; cut < encoded.size(); cut += 7) {
+    EXPECT_FALSE(decode_ciphertext(
+                     std::span<const std::uint8_t>(encoded.data(), cut))
+                     .has_value());
+  }
+}
+
+class EscrowCoinTest : public ecash::testing::EcashTest {
+ protected:
+  EscrowCoinTest() : authority_(EscrowAuthority::create(dep_.grp(), rng_)) {}
+
+  ecash::WalletCoin withdraw_escrowed(const std::string& identity) {
+    auto offer = dep_.broker().start_withdrawal_escrowed(
+        100, identity, authority_.public_y(), 1000);
+    EXPECT_TRUE(offer.ok());
+    auto state = wallet_->begin_withdrawal(offer.value());
+    auto response =
+        dep_.broker().finish_withdrawal(state.session, state.e);
+    EXPECT_TRUE(response.ok());
+    auto coin = wallet_->complete_withdrawal(state, response.value(),
+                                             dep_.broker().current_table());
+    EXPECT_TRUE(coin.ok());
+    return std::move(coin).value();
+  }
+
+  crypto::ChaChaRng rng_{"escrow-authority"};
+  EscrowAuthority authority_;
+};
+
+TEST_F(EscrowCoinTest, AuthorityTracesTheOwner) {
+  auto coin = withdraw_escrowed("alice@example.org");
+  EXPECT_FALSE(coin.coin.bare.info.escrow_tag.empty());
+  auto traced = authority_.trace(coin.coin);
+  ASSERT_TRUE(traced.ok());
+  EXPECT_EQ(traced.value(), "alice@example.org");
+}
+
+TEST_F(EscrowCoinTest, EscrowedCoinSpendsNormally) {
+  auto coin = withdraw_escrowed("bob@example.org");
+  auto merchant = non_witness_merchant(coin);
+  EXPECT_TRUE(dep_.pay(*wallet_, coin, merchant, 2000).accepted);
+  EXPECT_EQ(dep_.deposit_all(merchant, 3000).credited, 100u);
+  // Even after circulation the authority can still trace it (from the
+  // deposited transcript's coin, which carries the same info).
+  EXPECT_TRUE(authority_.trace(coin.coin).ok());
+}
+
+TEST_F(EscrowCoinTest, BareCoinsAreUntraceable) {
+  auto coin = withdraw();  // regular withdrawal: empty tag
+  EXPECT_TRUE(coin.coin.bare.info.escrow_tag.empty());
+  auto traced = authority_.trace(coin.coin);
+  EXPECT_FALSE(traced.ok());
+}
+
+TEST_F(EscrowCoinTest, OnlyTheAuthorityCanTrace) {
+  auto coin = withdraw_escrowed("carol@example.org");
+  auto impostor = EscrowAuthority::create(dep_.grp(), rng_);
+  EXPECT_FALSE(impostor.trace(coin.coin).ok());
+}
+
+TEST_F(EscrowCoinTest, TagCannotBeStrippedOrSwapped) {
+  auto coin = withdraw_escrowed("dave@example.org");
+  // Strip the tag: the blind signature covers info, so the coin dies.
+  auto stripped = coin.coin;
+  stripped.bare.info.escrow_tag.clear();
+  EXPECT_FALSE(
+      ecash::verify_coin(dep_.grp(), dep_.broker().coin_key(), stripped, 2000)
+          .ok());
+  // Swap in another coin's tag: same.
+  auto other = withdraw_escrowed("eve@example.org");
+  auto swapped = coin.coin;
+  swapped.bare.info.escrow_tag = other.coin.bare.info.escrow_tag;
+  EXPECT_FALSE(
+      ecash::verify_coin(dep_.grp(), dep_.broker().coin_key(), swapped, 2000)
+          .ok());
+}
+
+TEST_F(EscrowCoinTest, DistinctCoinsDistinctTags) {
+  // Same client, two coins: tags must differ (randomized encryption), so
+  // merchants cannot link two escrowed coins to one another — only the
+  // authority (and the issuing broker) can.
+  auto c1 = withdraw_escrowed("frank@example.org");
+  auto c2 = withdraw_escrowed("frank@example.org");
+  EXPECT_NE(c1.coin.bare.info.escrow_tag, c2.coin.bare.info.escrow_tag);
+  EXPECT_EQ(authority_.trace(c1.coin).value(), "frank@example.org");
+  EXPECT_EQ(authority_.trace(c2.coin).value(), "frank@example.org");
+}
+
+TEST_F(EscrowCoinTest, DoubleSpendOfEscrowedCoinTraceable) {
+  // The full escrow story: a double-spender of an escrowed coin is blocked
+  // in real time AND identifiable via the authority.
+  auto coin = withdraw_escrowed("mallory@example.org");
+  auto ids = dep_.merchant_ids();
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, ids[0], 2000).accepted);
+  auto fraud = dep_.pay(*wallet_, coin, ids[1], 3000);
+  ASSERT_FALSE(fraud.accepted);
+  ASSERT_TRUE(fraud.double_spend_proof.has_value());
+  // The merchant hands coin + proof to the authority:
+  auto who = authority_.trace(coin.coin);
+  ASSERT_TRUE(who.ok());
+  EXPECT_EQ(who.value(), "mallory@example.org");
+}
+
+}  // namespace
+}  // namespace p2pcash::escrow

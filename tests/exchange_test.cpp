@@ -1,0 +1,135 @@
+// Denomination exchange (the change-making extension, §8 divisibility
+// direction): a coin is paid to the broker under witness protection and
+// swapped for smaller coins.
+
+#include <gtest/gtest.h>
+
+#include "ecash_fixture.h"
+
+namespace p2pcash::ecash {
+namespace {
+
+using testing::EcashTest;
+
+class ExchangeTest : public EcashTest {};
+
+TEST_F(ExchangeTest, CoinSplitsIntoChange) {
+  auto coin = withdraw(100);
+  auto change = dep_.exchange(*wallet_, coin, {50, 25, 25}, 2000);
+  ASSERT_TRUE(change.ok()) << (change.ok() ? "" : change.refusal().detail);
+  ASSERT_EQ(change.value().size(), 3u);
+  EXPECT_EQ(change.value()[0].coin.bare.info.denomination, 50u);
+  EXPECT_EQ(change.value()[1].coin.bare.info.denomination, 25u);
+  EXPECT_EQ(change.value()[2].coin.bare.info.denomination, 25u);
+  // The change coins are fresh, unlinkable, and independently spendable.
+  for (const auto& c : change.value()) {
+    EXPECT_NE(c.coin.bare.coin_hash(), coin.coin.bare.coin_hash());
+    auto merchant = non_witness_merchant(c);
+    EXPECT_TRUE(dep_.pay(*wallet_, c, merchant, 3000).accepted);
+  }
+}
+
+TEST_F(ExchangeTest, ChangeMustSumToValue) {
+  auto coin = withdraw(100);
+  auto bad = dep_.exchange(*wallet_, coin, {50, 25}, 2000);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.refusal().reason, RefusalReason::kBadProof);
+  auto zero = dep_.exchange(*wallet_, coin, {100, 0}, 2000);
+  EXPECT_FALSE(zero.ok());
+  auto empty = dep_.exchange(*wallet_, coin, {}, 2000);
+  EXPECT_FALSE(empty.ok());
+  // The bad splits were rejected client-side, before any witness was
+  // contacted — so the coin is still fresh and a correct split succeeds.
+  // (Had the witness signed first, a retried split would read as a double
+  // spend; the driver therefore validates sums up front.)
+  auto good = dep_.exchange(*wallet_, coin, {60, 40}, 2000);
+  EXPECT_TRUE(good.ok()) << (good.ok() ? "" : good.refusal().detail);
+}
+
+TEST_F(ExchangeTest, SpentCoinCannotBeExchanged) {
+  auto coin = withdraw(100);
+  auto merchant = non_witness_merchant(coin);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, merchant, 2000).accepted);
+  auto& witness = *dep_.node(coin.coin.witnesses[0].merchant).witness;
+  Timestamp later = 2000 + witness.commitment_ttl() + 100;
+  auto outcome = dep_.exchange(*wallet_, coin, {50, 50}, later);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.refusal().reason, RefusalReason::kDoubleSpent);
+}
+
+TEST_F(ExchangeTest, ExchangedCoinCannotBeSpent) {
+  auto coin = withdraw(100);
+  auto change = dep_.exchange(*wallet_, coin, {100}, 2000);
+  ASSERT_TRUE(change.ok());
+  auto& witness = *dep_.node(coin.coin.witnesses[0].merchant).witness;
+  Timestamp later = 2000 + witness.commitment_ttl() + 100;
+  auto merchant = non_witness_merchant(coin);
+  auto result = dep_.pay(*wallet_, coin, merchant, later);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_TRUE(result.double_spend_proof.has_value());  // witness extracts
+}
+
+TEST_F(ExchangeTest, ExchangedCoinCannotBeExchangedAgain) {
+  auto coin = withdraw(100);
+  ASSERT_TRUE(dep_.exchange(*wallet_, coin, {50, 50}, 2000).ok());
+  auto& witness = *dep_.node(coin.coin.witnesses[0].merchant).witness;
+  Timestamp later = 2000 + witness.commitment_ttl() + 100;
+  auto again = dep_.exchange(*wallet_, coin, {50, 50}, later);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.refusal().reason, RefusalReason::kDoubleSpent);
+}
+
+TEST_F(ExchangeTest, FaultyWitnessDoubleUseCaughtAtDeposit) {
+  // Exchange the coin, then (with a faulty witness) also spend it at a
+  // merchant.  The merchant's deposit collides with the exchange record;
+  // the merchant is paid from the witness's security deposit.
+  auto coin = withdraw(100);
+  auto witness_id = coin.coin.witnesses[0].merchant;
+  ASSERT_TRUE(dep_.exchange(*wallet_, coin, {100}, 2000).ok());
+  dep_.node(witness_id).witness->set_faulty(true);
+  Timestamp later =
+      2000 + dep_.node(witness_id).witness->commitment_ttl() + 100;
+  MerchantId victim;
+  for (const auto& id : dep_.merchant_ids())
+    if (id != witness_id) {
+      victim = id;
+      break;
+    }
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, victim, later).accepted);
+  auto summary = dep_.deposit_all(victim, later + 1000);
+  EXPECT_EQ(summary.credited, 100u);  // merchant made whole
+  EXPECT_TRUE(dep_.broker().account(witness_id)->flagged);
+  ASSERT_EQ(dep_.broker().witness_faults().size(), 1u);
+}
+
+TEST_F(ExchangeTest, TranscriptMustNameTheBroker) {
+  // A merchant-bound transcript cannot be replayed into an exchange.
+  auto coin = withdraw(100);
+  auto merchant = non_witness_merchant(coin);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, merchant, 2000).accepted);
+  auto queue = dep_.node(merchant).merchant->drain_deposit_queue();
+  ASSERT_EQ(queue.size(), 1u);
+  auto outcome = dep_.broker().exchange(queue[0], {50, 50}, 3000);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.refusal().reason, RefusalReason::kBadProof);
+}
+
+TEST_F(ExchangeTest, ValueIsConservedAcrossExchanges) {
+  auto coin = withdraw(100);
+  auto fiat_before = dep_.broker().fiat_collected();
+  auto change = dep_.exchange(*wallet_, coin, {40, 30, 30}, 2000);
+  ASSERT_TRUE(change.ok());
+  // No new fiat entered the system.
+  EXPECT_EQ(dep_.broker().fiat_collected(), fiat_before);
+  // Spending + depositing all change pays out exactly the original value.
+  Cents credited = 0;
+  for (const auto& c : change.value()) {
+    auto merchant = non_witness_merchant(c);
+    ASSERT_TRUE(dep_.pay(*wallet_, c, merchant, 3000).accepted);
+    credited += dep_.deposit_all(merchant, 4000).credited;
+  }
+  EXPECT_EQ(credited, 100u);
+}
+
+}  // namespace
+}  // namespace p2pcash::ecash

@@ -1,0 +1,167 @@
+// Schnorr group: generation, validation, group laws, hash-to-structures.
+
+#include "group/schnorr_group.h"
+
+#include <gtest/gtest.h>
+
+#include "bn/prime.h"
+#include "crypto/chacha.h"
+#include "metrics/counters.h"
+
+namespace p2pcash::group {
+namespace {
+
+using bn::BigInt;
+
+const SchnorrGroup& grp() { return SchnorrGroup::test_256(); }
+
+TEST(GroupGenerate, StructureHolds) {
+  crypto::ChaChaRng rng("group-gen");
+  auto g = SchnorrGroup::generate(rng, 256, 160);
+  EXPECT_EQ(g.p().bit_length(), 256u);
+  EXPECT_EQ(g.q().bit_length(), 160u);
+  EXPECT_TRUE(bn::is_probable_prime(g.p(), rng));
+  EXPECT_TRUE(bn::is_probable_prime(g.q(), rng));
+  EXPECT_EQ(bn::mod(g.p() - BigInt{1}, g.q()), BigInt{0});
+  EXPECT_TRUE(g.is_generator(g.g()));
+  EXPECT_TRUE(g.is_generator(g.g1()));
+  EXPECT_TRUE(g.is_generator(g.g2()));
+  EXPECT_NE(g.g1(), g.g2());
+  EXPECT_NE(g.g(), g.g1());
+}
+
+TEST(GroupGenerate, CachedGroupsAreStable) {
+  // Same object on repeated access (generated once per process).
+  EXPECT_EQ(&SchnorrGroup::test_256(), &SchnorrGroup::test_256());
+  EXPECT_EQ(SchnorrGroup::test_512().p().bit_length(), 512u);
+}
+
+TEST(GroupFromParams, ValidatesInputs) {
+  crypto::ChaChaRng rng("from-params");
+  const auto& g = grp();
+  // Round-trip through from_params succeeds.
+  auto rebuilt =
+      SchnorrGroup::from_params(g.p(), g.q(), g.g(), g.g1(), g.g2(), rng);
+  EXPECT_EQ(rebuilt, g);
+  // Composite p rejected.
+  EXPECT_THROW(SchnorrGroup::from_params(g.p() + BigInt{2}, g.q(), g.g(),
+                                         g.g1(), g.g2(), rng),
+               std::invalid_argument);
+  // q not dividing p-1 rejected (use another prime q').
+  BigInt q2 = bn::generate_prime(rng, 160);
+  EXPECT_THROW(
+      SchnorrGroup::from_params(g.p(), q2, g.g(), g.g1(), g.g2(), rng),
+      std::invalid_argument);
+  // Non-subgroup generator rejected: 1 has order 1; p-1 has order 2.
+  EXPECT_THROW(SchnorrGroup::from_params(g.p(), g.q(), BigInt{1}, g.g1(),
+                                         g.g2(), rng),
+               std::invalid_argument);
+  EXPECT_THROW(SchnorrGroup::from_params(g.p(), g.q(), g.p() - BigInt{1},
+                                         g.g1(), g.g2(), rng),
+               std::invalid_argument);
+}
+
+TEST(GroupOps, ExponentLaws) {
+  crypto::ChaChaRng rng("laws");
+  const auto& g = grp();
+  for (int i = 0; i < 10; ++i) {
+    BigInt x = g.random_scalar(rng);
+    BigInt y = g.random_scalar(rng);
+    EXPECT_EQ(g.mul(g.exp_g(x), g.exp_g(y)),
+              g.exp_g(bn::mod(x + y, g.q())));
+    EXPECT_EQ(g.exp(g.exp_g(x), y), g.exp_g(bn::mod_mul(x, y, g.q())));
+  }
+}
+
+TEST(GroupOps, ExponentsReducedModQ) {
+  crypto::ChaChaRng rng("reduce");
+  const auto& g = grp();
+  BigInt x = g.random_scalar(rng);
+  EXPECT_EQ(g.exp_g(x), g.exp_g(x + g.q()));
+  EXPECT_EQ(g.exp_g(BigInt{0}), BigInt{1});
+  EXPECT_EQ(g.exp_g(g.q()), BigInt{1});
+}
+
+TEST(GroupOps, InverseMultiplies) {
+  crypto::ChaChaRng rng("inv");
+  const auto& g = grp();
+  BigInt x = g.exp_g(g.random_scalar(rng));
+  EXPECT_EQ(g.mul(x, g.inv(x)), BigInt{1});
+}
+
+TEST(GroupMembership, Detection) {
+  const auto& g = grp();
+  EXPECT_FALSE(g.is_element(BigInt{0}));
+  EXPECT_FALSE(g.is_element(g.p()));
+  EXPECT_FALSE(g.is_element(g.p() + BigInt{5}));
+  EXPECT_FALSE(g.is_element(BigInt{-3}));
+  EXPECT_TRUE(g.is_element(BigInt{1}));
+  EXPECT_FALSE(g.is_generator(BigInt{1}));
+  // p-1 has order 2 (not q) since q is odd.
+  EXPECT_FALSE(g.is_element(g.p() - BigInt{1}));
+  EXPECT_TRUE(g.is_generator(g.exp_g(BigInt{12345})));
+}
+
+TEST(HashToGroup, LandsInSubgroup) {
+  const auto& g = grp();
+  for (int i = 0; i < 10; ++i) {
+    std::vector<std::uint8_t> data = {static_cast<std::uint8_t>(i)};
+    BigInt element = g.hash_to_group(data);
+    EXPECT_TRUE(g.is_element(element));
+    EXPECT_NE(element, BigInt{1});
+  }
+}
+
+TEST(HashToGroup, DeterministicAndSpread) {
+  const auto& g = grp();
+  std::vector<std::uint8_t> a = {1, 2, 3};
+  std::vector<std::uint8_t> b = {1, 2, 4};
+  EXPECT_EQ(g.hash_to_group(a), g.hash_to_group(a));
+  EXPECT_NE(g.hash_to_group(a), g.hash_to_group(b));
+}
+
+TEST(HashToZq, RangeAndDeterminism) {
+  const auto& g = grp();
+  for (int i = 0; i < 20; ++i) {
+    std::vector<std::uint8_t> data = {static_cast<std::uint8_t>(i), 99};
+    BigInt v = g.hash_to_zq(data);
+    EXPECT_TRUE(v >= BigInt{0} && v < g.q());
+  }
+  EXPECT_EQ(g.hash_to_zq({5}), g.hash_to_zq({5}));
+  EXPECT_NE(g.hash_to_zq({5}), g.hash_to_zq({6}));
+}
+
+TEST(GroupMetrics, ExpAndHashCounted) {
+  const auto& g = grp();
+  metrics::OpCounters ops;
+  {
+    metrics::ScopedOpCounting guard(ops);
+    (void)g.exp_g(BigInt{3});
+    (void)g.exp(g.g1(), BigInt{4});
+    (void)g.hash_to_zq({1});
+    (void)g.hash_to_group({2});
+    (void)g.mul(g.g1(), g.g2());  // not counted: multiplication is cheap
+  }
+  EXPECT_EQ(ops.exp, 2u);
+  EXPECT_EQ(ops.hash, 2u);
+  EXPECT_EQ(ops.sig, 0u);
+  EXPECT_EQ(ops.ver, 0u);
+}
+
+TEST(GroupSizes, ByteWidths) {
+  const auto& g = grp();
+  EXPECT_EQ(g.element_bytes(), 32u);  // 256-bit p
+  EXPECT_EQ(g.scalar_bytes(), 20u);   // 160-bit q
+}
+
+TEST(RandomScalar, InRange) {
+  crypto::ChaChaRng rng("scalar");
+  const auto& g = grp();
+  for (int i = 0; i < 50; ++i) {
+    BigInt s = g.random_scalar(rng);
+    EXPECT_TRUE(s >= BigInt{1} && s < g.q());
+  }
+}
+
+}  // namespace
+}  // namespace p2pcash::group

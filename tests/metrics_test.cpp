@@ -1,0 +1,123 @@
+// Op counters (Table-1 infrastructure) and running statistics (Table-2).
+
+#include <gtest/gtest.h>
+
+#include "metrics/counters.h"
+#include "metrics/stats.h"
+
+namespace p2pcash::metrics {
+namespace {
+
+TEST(Counters, NoopWithoutScope) {
+  count_exp();
+  count_hash(5);
+  EXPECT_EQ(active_counters(), nullptr);
+}
+
+TEST(Counters, ScopedCollection) {
+  OpCounters ops;
+  {
+    ScopedOpCounting guard(ops);
+    count_exp(3);
+    count_hash();
+    count_sig(2);
+    count_ver();
+  }
+  EXPECT_EQ(ops.exp, 3u);
+  EXPECT_EQ(ops.hash, 1u);
+  EXPECT_EQ(ops.sig, 2u);
+  EXPECT_EQ(ops.ver, 1u);
+  count_exp();  // outside scope: ignored
+  EXPECT_EQ(ops.exp, 3u);
+}
+
+TEST(Counters, ScopesNest) {
+  OpCounters outer, inner;
+  {
+    ScopedOpCounting g1(outer);
+    count_exp();
+    {
+      ScopedOpCounting g2(inner);
+      count_exp(10);
+    }
+    count_exp();
+  }
+  EXPECT_EQ(outer.exp, 2u);
+  EXPECT_EQ(inner.exp, 10u);
+}
+
+TEST(Counters, SuspendStopsCounting) {
+  OpCounters ops;
+  {
+    ScopedOpCounting guard(ops);
+    count_exp();
+    {
+      ScopedSuspendOpCounting suspend;
+      count_exp(100);
+      count_sig(100);
+    }
+    count_sig();
+  }
+  EXPECT_EQ(ops.exp, 1u);
+  EXPECT_EQ(ops.sig, 1u);
+}
+
+TEST(Counters, ArithmeticAndFormatting) {
+  OpCounters a{5, 4, 3, 2};
+  OpCounters b{1, 1, 1, 1};
+  a += b;
+  EXPECT_EQ(a, (OpCounters{6, 5, 4, 3}));
+  EXPECT_EQ(a - b, (OpCounters{5, 4, 3, 2}));
+  EXPECT_EQ(a.to_string(), "exp=6 hash=5 sig=4 ver=3");
+}
+
+TEST(Stats, MeanAndStddev) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev, n-1
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 3.5);
+}
+
+TEST(Stats, Percentiles) {
+  RunningStats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.01);
+  EXPECT_THROW((void)s.percentile(101), std::invalid_argument);
+}
+
+TEST(Stats, PercentileCacheInvalidatedByAdd) {
+  RunningStats s;
+  s.add(1);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 1.0);
+  s.add(10);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 10.0);
+}
+
+TEST(ByteCounter, Accumulates) {
+  ByteCounter c;
+  c.add(100);
+  c.add(50);
+  EXPECT_EQ(c.total(), 150u);
+  EXPECT_EQ(c.messages(), 2u);
+  c.reset();
+  EXPECT_EQ(c.total(), 0u);
+}
+
+}  // namespace
+}  // namespace p2pcash::metrics

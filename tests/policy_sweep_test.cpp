@@ -1,0 +1,125 @@
+// Parameterized sweep over witness policies (k-of-n) and group sizes: the
+// full lifecycle must hold for every supported configuration.
+
+#include <gtest/gtest.h>
+
+#include "ecash_fixture.h"
+
+namespace p2pcash::ecash {
+namespace {
+
+struct PolicyCase {
+  std::uint8_t n;
+  std::uint8_t k;
+  int group_bits;  // 256 or 512
+};
+
+class PolicySweepTest : public ::testing::TestWithParam<PolicyCase> {
+ protected:
+  static const group::SchnorrGroup& group_for(int bits) {
+    return bits == 512 ? group::SchnorrGroup::test_512()
+                       : group::SchnorrGroup::test_256();
+  }
+};
+
+TEST_P(PolicySweepTest, FullLifecycleHolds) {
+  const auto& param = GetParam();
+  Broker::Config config;
+  config.witness_n = param.n;
+  config.witness_k = param.k;
+  Deployment dep(group_for(param.group_bits), /*n_merchants=*/12,
+                 /*seed=*/1000 + param.n * 10 + param.k, config);
+  auto wallet = dep.make_wallet();
+
+  // Withdraw: the coin carries exactly n distinct witnesses.
+  auto coin = dep.withdraw(*wallet, 100, 1000);
+  ASSERT_TRUE(coin.ok()) << coin.refusal().detail;
+  ASSERT_EQ(coin.value().coin.witnesses.size(), param.n);
+  std::set<MerchantId> distinct;
+  for (const auto& w : coin.value().coin.witnesses)
+    distinct.insert(w.merchant);
+  EXPECT_EQ(distinct.size(), param.n) << "witnesses must be distinct";
+
+  // Spend at a non-witness merchant.
+  MerchantId target;
+  for (const auto& id : dep.merchant_ids()) {
+    if (!distinct.contains(id)) {
+      target = id;
+      break;
+    }
+  }
+  ASSERT_FALSE(target.empty());
+  auto payment = dep.pay(*wallet, coin.value(), target, 2000);
+  ASSERT_TRUE(payment.accepted)
+      << (payment.refusal ? payment.refusal->detail : "");
+
+  // Double spend blocked under every policy.
+  MerchantId other;
+  for (const auto& id : dep.merchant_ids()) {
+    if (!distinct.contains(id) && id != target) {
+      other = id;
+      break;
+    }
+  }
+  auto fraud = dep.pay(*wallet, coin.value(), other, 3000);
+  EXPECT_FALSE(fraud.accepted);
+
+  // Deposit clears with >= k endorsements.
+  auto summary = dep.deposit_all(target, 5000);
+  EXPECT_EQ(summary.accepted, 1u);
+  EXPECT_EQ(summary.credited, 100u);
+}
+
+TEST_P(PolicySweepTest, DepositNeedsKDistinctEndorsements) {
+  const auto& param = GetParam();
+  if (param.k < 2) return;  // only meaningful for multi-witness policies
+  Broker::Config config;
+  config.witness_n = param.n;
+  config.witness_k = param.k;
+  Deployment dep(group_for(param.group_bits), 12,
+                 /*seed=*/2000 + param.n, config);
+  auto wallet = dep.make_wallet();
+  auto coin = dep.withdraw(*wallet, 100, 1000);
+  ASSERT_TRUE(coin.ok());
+  MerchantId target;
+  std::set<MerchantId> witnesses;
+  for (const auto& w : coin.value().coin.witnesses)
+    witnesses.insert(w.merchant);
+  for (const auto& id : dep.merchant_ids()) {
+    if (!witnesses.contains(id)) {
+      target = id;
+      break;
+    }
+  }
+  ASSERT_TRUE(dep.pay(*wallet, coin.value(), target, 2000).accepted);
+  auto queue = dep.node(target).merchant->drain_deposit_queue();
+  ASSERT_EQ(queue.size(), 1u);
+  // Strip endorsements below the threshold: refusal.
+  auto understaffed = queue[0];
+  understaffed.endorsements.resize(param.k - 1);
+  auto refused = dep.broker().deposit(target, understaffed, 3000);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.refusal().reason, RefusalReason::kBadSignature);
+  // Duplicating one endorsement does not fake the quorum either.
+  auto padded = understaffed;
+  while (padded.endorsements.size() < param.k)
+    padded.endorsements.push_back(padded.endorsements.front());
+  EXPECT_FALSE(dep.broker().deposit(target, padded, 3500).ok());
+  // The genuine transcript clears.
+  EXPECT_TRUE(dep.broker().deposit(target, queue[0], 4000).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PolicySweepTest,
+    ::testing::Values(PolicyCase{1, 1, 256}, PolicyCase{2, 1, 256},
+                      PolicyCase{2, 2, 256}, PolicyCase{3, 2, 256},
+                      PolicyCase{3, 3, 256}, PolicyCase{5, 3, 256},
+                      PolicyCase{1, 1, 512}, PolicyCase{3, 2, 512}),
+    [](const ::testing::TestParamInfo<PolicyCase>& info) {
+      return "n" + std::to_string(info.param.n) + "k" +
+             std::to_string(info.param.k) + "g" +
+             std::to_string(info.param.group_bits);
+    });
+
+}  // namespace
+}  // namespace p2pcash::ecash

@@ -1,0 +1,157 @@
+// Coin renewal (Algorithm 4): windows, exchange semantics, fraud paths.
+
+#include <gtest/gtest.h>
+
+#include "ecash_fixture.h"
+
+namespace p2pcash::ecash {
+namespace {
+
+using testing::EcashTest;
+
+class RenewalTest : public EcashTest {
+ protected:
+  /// A time inside the renewal window of `coin`.
+  Timestamp renewal_time(const WalletCoin& coin) {
+    return coin.coin.bare.info.soft_expiry +
+           dep_.broker().config().deposit_grace_ms + 1000;
+  }
+};
+
+TEST_F(RenewalTest, ExpiredCoinRenewsIntoFreshCoin) {
+  auto coin = withdraw(100, 1000);
+  Timestamp when = renewal_time(coin);
+  auto renewed = dep_.renew(*wallet_, coin, when);
+  ASSERT_TRUE(renewed.ok()) << (renewed.ok() ? "" : renewed.refusal().detail);
+  EXPECT_EQ(renewed.value().coin.bare.info.denomination, 100u);
+  EXPECT_GT(renewed.value().coin.bare.info.soft_expiry, when);
+  EXPECT_NE(renewed.value().coin.bare.coin_hash(),
+            coin.coin.bare.coin_hash());
+  // The new coin spends normally.
+  auto merchant = non_witness_merchant(renewed.value());
+  EXPECT_TRUE(dep_.pay(*wallet_, renewed.value(), merchant, when + 10).accepted);
+}
+
+TEST_F(RenewalTest, RenewalRefusedBeforeWindowOpens) {
+  auto coin = withdraw(100, 1000);
+  // Too early: still inside the deposit grace period.
+  Timestamp early = coin.coin.bare.info.soft_expiry + 10;
+  auto outcome = dep_.renew(*wallet_, coin, early);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.refusal().reason, RefusalReason::kStaleRequest);
+}
+
+TEST_F(RenewalTest, RenewalRefusedAfterHardExpiry) {
+  auto coin = withdraw(100, 1000);
+  Timestamp too_late = coin.coin.bare.info.hard_expiry + 1;
+  auto outcome = dep_.renew(*wallet_, coin, too_late);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.refusal().reason, RefusalReason::kExpired);
+}
+
+TEST_F(RenewalTest, SpentCoinCannotRenew) {
+  auto coin = withdraw(100, 1000);
+  auto merchant = non_witness_merchant(coin);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, merchant, 2000).accepted);
+  ASSERT_EQ(dep_.deposit_all(merchant, 3000).accepted, 1u);
+  auto outcome = dep_.renew(*wallet_, coin, renewal_time(coin));
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.refusal().reason, RefusalReason::kDoubleSpent);
+  // The broker extracted a publicly verifiable fraud proof.
+  ASSERT_EQ(dep_.broker().renewal_fraud_proofs().size(), 1u);
+  EXPECT_TRUE(dep_.broker().renewal_fraud_proofs()[0].verify(dep_.grp()));
+}
+
+TEST_F(RenewalTest, DoubleRenewalRefusedWithExtraction) {
+  auto coin = withdraw(100, 1000);
+  Timestamp when = renewal_time(coin);
+  ASSERT_TRUE(dep_.renew(*wallet_, coin, when).ok());
+  auto second = dep_.renew(*wallet_, coin, when + 50);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.refusal().reason, RefusalReason::kDoubleSpent);
+  ASSERT_EQ(dep_.broker().renewal_fraud_proofs().size(), 1u);
+  const auto& proof = dep_.broker().renewal_fraud_proofs()[0];
+  EXPECT_TRUE(proof.verify(dep_.grp()));
+  EXPECT_EQ(proof.secrets.of_a.e1, coin.secret.x1);
+}
+
+TEST_F(RenewalTest, RenewedCoinCannotBeDeposited) {
+  // A witness-signed transcript that somehow arrives after renewal is
+  // refused (the disjoint windows make this an attack, not an accident).
+  auto coin = withdraw(100, 1000);
+  auto merchant = non_witness_merchant(coin);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, merchant, 2000).accepted);
+  // Renew first (the merchant sat on its deposit past the grace window).
+  Timestamp when = renewal_time(coin);
+  ASSERT_TRUE(dep_.renew(*wallet_, coin, when).ok());
+  auto queue = dep_.node(merchant).merchant->drain_deposit_queue();
+  ASSERT_EQ(queue.size(), 1u);
+  auto receipt = dep_.broker().deposit(merchant, queue[0], when + 100);
+  EXPECT_FALSE(receipt.ok());
+}
+
+TEST_F(RenewalTest, OwnershipProofRequired) {
+  // A thief holding only the public coin (no representation secrets)
+  // cannot renew it.
+  auto coin = withdraw(100, 1000);
+  Timestamp when = renewal_time(coin);
+  auto offer = dep_.broker().start_renewal(100, when);
+  ASSERT_TRUE(offer.ok());
+  crypto::ChaChaRng thief_rng("thief");
+  nizk::Response forged{dep_.grp().random_scalar(thief_rng),
+                        dep_.grp().random_scalar(thief_rng)};
+  auto outcome = dep_.broker().finish_renewal(
+      offer.value().session, dep_.grp().random_scalar(thief_rng),
+      coin.coin, forged, when, when);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.refusal().reason, RefusalReason::kBadProof);
+}
+
+TEST_F(RenewalTest, DenominationMustMatch) {
+  auto coin = withdraw(100, 1000);
+  Timestamp when = renewal_time(coin);
+  auto offer = dep_.broker().start_renewal(500, when);  // upgrade attempt
+  ASSERT_TRUE(offer.ok());
+  auto challenge = dep_.broker().renewal_challenge(coin.coin, when);
+  auto state = wallet_->begin_renewal(coin, offer.value(), challenge, when);
+  auto outcome = dep_.broker().finish_renewal(
+      state.session, state.e, coin.coin, state.old_proof, when, when);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.refusal().reason, RefusalReason::kBadProof);
+}
+
+TEST_F(RenewalTest, TamperedOldCoinRefused) {
+  auto coin = withdraw(100, 1000);
+  Timestamp when = renewal_time(coin);
+  auto offer = dep_.broker().start_renewal(100, when);
+  ASSERT_TRUE(offer.ok());
+  auto tampered = coin.coin;
+  tampered.bare.info.list_version = 99;  // breaks the blind signature
+  auto challenge = dep_.broker().renewal_challenge(tampered, when);
+  auto state = wallet_->begin_renewal(coin, offer.value(), challenge, when);
+  auto outcome = dep_.broker().finish_renewal(state.session, state.e,
+                                              tampered, state.old_proof,
+                                              when, when);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.refusal().reason, RefusalReason::kInvalidCoin);
+}
+
+TEST_F(RenewalTest, RenewalChainSurvivesGenerations) {
+  // Renew a coin through three generations; each renewed coin is fresh,
+  // unlinkable to the previous, and finally spendable.
+  auto coin = withdraw(100, 1000);
+  for (int generation = 0; generation < 3; ++generation) {
+    Timestamp when = renewal_time(coin);
+    auto renewed = dep_.renew(*wallet_, coin, when);
+    ASSERT_TRUE(renewed.ok()) << "generation " << generation;
+    EXPECT_NE(renewed.value().coin.bare.coin_hash(),
+              coin.coin.bare.coin_hash());
+    coin = std::move(renewed).value();
+  }
+  auto merchant = non_witness_merchant(coin);
+  Timestamp spend_at = coin.coin.bare.info.soft_expiry - 1000;
+  EXPECT_TRUE(dep_.pay(*wallet_, coin, merchant, spend_at).accepted);
+}
+
+}  // namespace
+}  // namespace p2pcash::ecash

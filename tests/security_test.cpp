@@ -1,0 +1,280 @@
+// Adversarial tests: forgery, theft, replay, malleability, steering —
+// the generic e-cash attacks of paper §6.
+
+#include <gtest/gtest.h>
+
+#include "ecash_fixture.h"
+
+namespace p2pcash::ecash {
+namespace {
+
+using bn::BigInt;
+using testing::EcashTest;
+
+class SecurityTest : public EcashTest {
+ protected:
+  /// Runs steps 1-3 of a payment and returns the transcript + commitment
+  /// without submitting to the merchant.
+  struct PreparedPayment {
+    Wallet::PaymentIntent intent;
+    WitnessCommitment commitment;
+    PaymentTranscript transcript;
+  };
+  PreparedPayment prepare(const WalletCoin& coin, const MerchantId& merchant,
+                          Timestamp now) {
+    PreparedPayment p;
+    p.intent = wallet_->prepare_payment(coin, merchant);
+    auto& witness = *dep_.node(coin.coin.witnesses[0].merchant).witness;
+    auto commitment =
+        witness.request_commitment(p.intent.coin_hash, p.intent.nonce, now);
+    EXPECT_TRUE(commitment.ok());
+    p.commitment = commitment.value();
+    auto transcript =
+        wallet_->build_transcript(coin, p.intent, {p.commitment}, now + 50);
+    EXPECT_TRUE(transcript.ok());
+    p.transcript = transcript.value();
+    return p;
+  }
+};
+
+TEST_F(SecurityTest, ForgedCoinWithoutBrokerRejected) {
+  // An attacker fabricates a coin from whole cloth with self-chosen
+  // signature values.
+  crypto::ChaChaRng rng("forger");
+  Coin forged;
+  forged.bare.info = CoinInfo{100, 1, 1'000'000'000, 2'000'000'000, 1, 1};
+  forged.bare.a = dep_.grp().exp_g(dep_.grp().random_scalar(rng));
+  forged.bare.b = dep_.grp().exp_g(dep_.grp().random_scalar(rng));
+  forged.bare.sig.rho = dep_.grp().random_scalar(rng);
+  forged.bare.sig.omega = dep_.grp().random_scalar(rng);
+  forged.bare.sig.sigma = dep_.grp().random_scalar(rng);
+  forged.bare.sig.delta = dep_.grp().random_scalar(rng);
+  auto entry = dep_.broker().current_table().lookup(
+      witness_point(forged.bare.coin_hash(), 0));
+  ASSERT_TRUE(entry.has_value());
+  forged.witnesses.push_back(*entry);
+  auto ok = verify_coin(dep_.grp(), dep_.broker().coin_key(), forged, 2000);
+  EXPECT_FALSE(ok.ok());
+}
+
+TEST_F(SecurityTest, StolenCoinWithoutSecretsUnspendable) {
+  // A thief copies the public Coin bytes but not the wallet secrets.  It
+  // cannot produce a valid NIZK response.
+  auto coin = withdraw();
+  crypto::ChaChaRng thief_rng("thief");
+  WalletCoin stolen;
+  stolen.coin = coin.coin;  // bytes on the wire
+  stolen.secret = nizk::CoinSecret::random(dep_.grp(), thief_rng);
+  auto merchant = non_witness_merchant(coin);
+  auto result = dep_.pay(*wallet_, stolen, merchant, 2000);
+  EXPECT_FALSE(result.accepted);
+}
+
+TEST_F(SecurityTest, TranscriptReplayAtAnotherMerchantFails) {
+  // Paper: "anyone that sees the transcript should not be able to ... cash
+  // the coin."  A transcript is bound to (merchant, time) through d.
+  auto coin = withdraw();
+  auto m1 = non_witness_merchant(coin);
+  auto prepared = prepare(coin, m1, 2000);
+
+  // The eavesdropper redirects the transcript to itself.
+  MerchantId thief = m1 == "m000" ? "m001" : "m000";
+  auto replayed = prepared.transcript;
+  replayed.merchant = thief;
+  auto& storefront = *dep_.node(thief).merchant;
+  auto outcome =
+      storefront.receive_payment(replayed, {prepared.commitment}, 2100);
+  EXPECT_FALSE(outcome.ok());  // NIZK fails: d changed, response didn't
+}
+
+TEST_F(SecurityTest, TranscriptTimestampMalleabilityFails) {
+  auto coin = withdraw();
+  auto m1 = non_witness_merchant(coin);
+  auto prepared = prepare(coin, m1, 2000);
+  auto tampered = prepared.transcript;
+  tampered.datetime += 1;  // replaying "later"
+  auto& storefront = *dep_.node(m1).merchant;
+  auto outcome =
+      storefront.receive_payment(tampered, {prepared.commitment}, 2100);
+  EXPECT_FALSE(outcome.ok());
+}
+
+TEST_F(SecurityTest, ResponseTamperingFails) {
+  auto coin = withdraw();
+  auto m1 = non_witness_merchant(coin);
+  auto prepared = prepare(coin, m1, 2000);
+  auto tampered = prepared.transcript;
+  tampered.resp.r1 = bn::mod(tampered.resp.r1 + BigInt{1}, dep_.grp().q());
+  EXPECT_FALSE(verify_transcript_proof(dep_.grp(), tampered));
+}
+
+TEST_F(SecurityTest, WrongWitnessCannotEndorse) {
+  // A merchant colluding with a non-assigned "witness" gains nothing: the
+  // endorsement is checked against the coin's assigned witness keys.
+  auto coin = withdraw();
+  auto m1 = non_witness_merchant(coin);
+  auto prepared = prepare(coin, m1, 2000);
+  auto& storefront = *dep_.node(m1).merchant;
+  ASSERT_TRUE(
+      storefront.receive_payment(prepared.transcript, {prepared.commitment},
+                                 2100)
+          .ok());
+  // Forge an endorsement from a non-witness merchant.
+  MerchantId impostor;
+  for (const auto& id : dep_.merchant_ids()) {
+    if (id != coin.coin.witnesses[0].merchant && id != m1) {
+      impostor = id;
+      break;
+    }
+  }
+  crypto::ChaChaRng rng("impostor");
+  auto impostor_key = sig::KeyPair::generate(dep_.grp(), rng);
+  WitnessEndorsement forged{
+      impostor, impostor_key.sign(prepared.transcript.signed_payload(), rng)};
+  auto outcome =
+      storefront.add_endorsement(prepared.transcript.coin.bare.coin_hash(),
+                                 forged);
+  EXPECT_FALSE(outcome.ok());
+}
+
+TEST_F(SecurityTest, EndorsementSignatureForgeRejected) {
+  // Right witness id, wrong key.
+  auto coin = withdraw();
+  auto m1 = non_witness_merchant(coin);
+  auto prepared = prepare(coin, m1, 2000);
+  auto& storefront = *dep_.node(m1).merchant;
+  ASSERT_TRUE(
+      storefront.receive_payment(prepared.transcript, {prepared.commitment},
+                                 2100)
+          .ok());
+  crypto::ChaChaRng rng("forger2");
+  auto fake_key = sig::KeyPair::generate(dep_.grp(), rng);
+  WitnessEndorsement forged{
+      coin.coin.witnesses[0].merchant,
+      fake_key.sign(prepared.transcript.signed_payload(), rng)};
+  auto outcome = storefront.add_endorsement(
+      prepared.transcript.coin.bare.coin_hash(), forged);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.refusal().reason, RefusalReason::kBadSignature);
+}
+
+TEST_F(SecurityTest, UnregisteredMerchantCannotDeposit) {
+  auto coin = withdraw();
+  auto m1 = non_witness_merchant(coin);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, m1, 2000).accepted);
+  auto queue = dep_.node(m1).merchant->drain_deposit_queue();
+  ASSERT_EQ(queue.size(), 1u);
+  auto outcome = dep_.broker().deposit("outsider", queue[0], 3000);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.refusal().reason, RefusalReason::kUnknownMerchant);
+}
+
+TEST_F(SecurityTest, DepositOfAnotherMerchantsTranscriptFails) {
+  // A registered but dishonest merchant cannot cash a transcript made out
+  // to a competitor.
+  auto coin = withdraw();
+  auto m1 = non_witness_merchant(coin);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, m1, 2000).accepted);
+  auto queue = dep_.node(m1).merchant->drain_deposit_queue();
+  MerchantId thief = m1 == "m000" ? "m001" : "m000";
+  auto outcome = dep_.broker().deposit(thief, queue[0], 3000);
+  EXPECT_FALSE(outcome.ok());
+}
+
+TEST_F(SecurityTest, CommitmentFromNonAssignedWitnessRejected) {
+  // A colluding merchant "witness-shops": gets a commitment from a witness
+  // that is not assigned to the coin.
+  auto coin = withdraw();
+  auto m1 = non_witness_merchant(coin);
+  auto intent = wallet_->prepare_payment(coin, m1);
+  MerchantId other;
+  for (const auto& id : dep_.merchant_ids()) {
+    if (id != coin.coin.witnesses[0].merchant) {
+      other = id;
+      break;
+    }
+  }
+  auto rogue =
+      dep_.node(other).witness->request_commitment(intent.coin_hash,
+                                                   intent.nonce, 2000);
+  ASSERT_TRUE(rogue.ok());  // the rogue witness will happily commit…
+  auto transcript =
+      wallet_->build_transcript(coin, intent, {rogue.value()}, 2100);
+  EXPECT_FALSE(transcript.ok());  // …but the wallet rejects it
+  // And even if the client colluded too, the merchant rejects it.
+  PaymentTranscript t;
+  t.coin = coin.coin;
+  t.merchant = m1;
+  t.datetime = 2100;
+  t.salt = intent.salt;
+  auto d = payment_challenge(dep_.grp(), t.coin, t.merchant, t.datetime);
+  t.resp = nizk::respond(dep_.grp(), coin.secret, d);
+  auto outcome =
+      dep_.node(m1).merchant->receive_payment(t, {rogue.value()}, 2200);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.refusal().reason, RefusalReason::kWrongWitness);
+}
+
+TEST_F(SecurityTest, WitnessRefusesCoinsNotAssignedToIt) {
+  auto coin = withdraw();
+  auto m1 = non_witness_merchant(coin);
+  auto prepared = prepare(coin, m1, 2000);
+  // Send the transcript to a witness that does not own the coin's range.
+  MerchantId other;
+  for (const auto& id : dep_.merchant_ids()) {
+    if (id != coin.coin.witnesses[0].merchant) {
+      other = id;
+      break;
+    }
+  }
+  auto outcome =
+      dep_.node(other).witness->sign_transcript(prepared.transcript, 2200);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.refusal().reason, RefusalReason::kWrongWitness);
+}
+
+TEST_F(SecurityTest, SaltTamperingBreaksNonceBinding) {
+  auto coin = withdraw();
+  auto m1 = non_witness_merchant(coin);
+  auto prepared = prepare(coin, m1, 2000);
+  auto tampered = prepared.transcript;
+  tampered.salt[0] ^= 0xff;
+  auto outcome = dep_.node(m1).merchant->receive_payment(
+      tampered, {prepared.commitment}, 2100);
+  EXPECT_FALSE(outcome.ok());
+}
+
+TEST_F(SecurityTest, DoubleSpendProofCannotBeFabricated) {
+  // Without two genuine transcripts, a random "proof" does not verify
+  // against the coin's commitments (it would break dlog otherwise).
+  auto coin = withdraw();
+  crypto::ChaChaRng rng("fabricate");
+  DoubleSpendProof fake;
+  fake.coin_hash = coin.coin.bare.coin_hash();
+  fake.a = coin.coin.bare.a;
+  fake.b = coin.coin.bare.b;
+  fake.secrets.of_a = {dep_.grp().random_scalar(rng),
+                       dep_.grp().random_scalar(rng)};
+  fake.secrets.of_b = {dep_.grp().random_scalar(rng),
+                       dep_.grp().random_scalar(rng)};
+  EXPECT_FALSE(fake.verify(dep_.grp()));
+}
+
+TEST_F(SecurityTest, InfoBindsWitnessPolicy) {
+  // Downgrading the k-of-n policy inside info invalidates the broker's
+  // blind signature.
+  auto coin = withdraw();
+  auto tampered = coin.coin;
+  tampered.bare.info.witness_n = 1;
+  tampered.bare.info.witness_k = 1;
+  tampered.witnesses.resize(1);
+  if (coin.coin.bare.info.witness_n == 1) {
+    // Policy already 1/1 in this deployment: tamper differently.
+    tampered.bare.info.soft_expiry += 1;
+  }
+  auto ok = verify_coin(dep_.grp(), dep_.broker().coin_key(), tampered, 2000);
+  EXPECT_FALSE(ok.ok());
+}
+
+}  // namespace
+}  // namespace p2pcash::ecash

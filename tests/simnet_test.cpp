@@ -1,0 +1,178 @@
+// Discrete-event simulator, latency/cost models, network fault injection.
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha.h"
+#include "simnet/net.h"
+
+namespace p2pcash::simnet {
+namespace {
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 30);
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(Simulator, SameTimeIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) sim.schedule(5, [&, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, EventsMaySpawnEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule(1, recurse);
+  };
+  sim.schedule(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 4);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(10, [&] { ++fired; });
+  sim.schedule(100, [&] { ++fired; });
+  sim.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 50);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, NegativeDelayRejected) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(-1, [] {}), std::invalid_argument);
+}
+
+TEST(LatencyModels, UniformStaysInBounds) {
+  crypto::ChaChaRng rng("lat");
+  UniformLatency model(25, 50);
+  for (int i = 0; i < 200; ++i) {
+    SimTime t = model.one_way_ms(0, 1, rng);
+    EXPECT_GE(t, 25);
+    EXPECT_LT(t, 50);
+  }
+  EXPECT_DOUBLE_EQ(model.one_way_ms(3, 3, rng), 0);  // self-message free
+}
+
+TEST(CostModels, PaperCalibration) {
+  // The python model must price a signature at 250 ms (paper §7 footnote),
+  // openssl at 4.8 ms, with the ~52x ratio carrying over to exponentiation.
+  auto python = python2007_cost();
+  auto openssl = openssl_cost();
+  metrics::OpCounters one_sig{0, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(python.cost_ms(one_sig), 250.0);
+  EXPECT_DOUBLE_EQ(openssl.cost_ms(one_sig), 4.8);
+  metrics::OpCounters mixed{7, 6, 2, 1};
+  EXPECT_GT(python.cost_ms(mixed), 40 * openssl.cost_ms(mixed));
+  EXPECT_DOUBLE_EQ(free_cost().cost_ms(mixed), 0.0);
+}
+
+TEST(EncodedSize, UriCostsMoreThanBinary) {
+  for (std::size_t payload : {10u, 100u, 1000u}) {
+    EXPECT_GT(encoded_size(WireFormat::kUri, 8, payload),
+              encoded_size(WireFormat::kBinary, 8, payload));
+  }
+  // base64 expansion factor ~4/3 plus escapes.
+  std::size_t uri = encoded_size(WireFormat::kUri, 0, 900);
+  EXPECT_GT(uri, 1200u);
+  EXPECT_LT(uri, 1500u);
+}
+
+class NetFixture : public ::testing::Test {
+ protected:
+  struct Recorder : Node {
+    std::vector<Message> received;
+    void on_message(const Message& msg) override { received.push_back(msg); }
+  };
+
+  NetFixture()
+      : rng_("net"),
+        net_(sim_, std::make_unique<ConstantLatency>(10), rng_) {
+    net_.attach(a_);
+    net_.attach(b_);
+  }
+
+  Simulator sim_;
+  crypto::ChaChaRng rng_;
+  Network net_;
+  Recorder a_, b_;
+};
+
+TEST_F(NetFixture, DeliversWithLatency) {
+  net_.send(Message{a_.id(), b_.id(), "ping", {1, 2, 3}});
+  sim_.run();
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(b_.received[0].type, "ping");
+  EXPECT_EQ(b_.received[0].payload, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim_.now(), 10);
+}
+
+TEST_F(NetFixture, DownNodeDropsSilently) {
+  net_.set_down(b_.id(), true);
+  net_.send(Message{a_.id(), b_.id(), "ping", {}});
+  sim_.run();
+  EXPECT_TRUE(b_.received.empty());
+  net_.set_down(b_.id(), false);
+  net_.send(Message{a_.id(), b_.id(), "ping", {}});
+  sim_.run();
+  EXPECT_EQ(b_.received.size(), 1u);
+}
+
+TEST_F(NetFixture, NodeGoingDownInFlightLosesMessage) {
+  net_.send(Message{a_.id(), b_.id(), "ping", {}});
+  sim_.schedule(5, [&] { net_.set_down(b_.id(), true); });
+  sim_.run();
+  EXPECT_TRUE(b_.received.empty());
+}
+
+TEST_F(NetFixture, DropRateLosesSomeMessages) {
+  net_.set_drop_rate(0.5);
+  for (int i = 0; i < 100; ++i)
+    net_.send(Message{a_.id(), b_.id(), "ping", {}});
+  sim_.run();
+  EXPECT_GT(b_.received.size(), 20u);
+  EXPECT_LT(b_.received.size(), 80u);
+}
+
+TEST_F(NetFixture, ByteAccountingBothEnds) {
+  net_.send(Message{a_.id(), b_.id(), "ping", std::vector<std::uint8_t>(96)});
+  sim_.run();
+  const std::size_t expected = encoded_size(WireFormat::kBinary, 4, 96);
+  EXPECT_EQ(net_.bytes_sent(a_.id()), expected);
+  EXPECT_EQ(net_.bytes_received(b_.id()), expected);
+  EXPECT_EQ(net_.messages_sent(a_.id()), 1u);
+  net_.reset_byte_counts();
+  EXPECT_EQ(net_.bytes_sent(a_.id()), 0u);
+}
+
+TEST_F(NetFixture, SenderBytesCountedEvenWhenDropped) {
+  // The sender pays for bytes it puts on the wire, delivered or not.
+  net_.set_down(b_.id(), true);
+  net_.send(Message{a_.id(), b_.id(), "ping", std::vector<std::uint8_t>(10)});
+  sim_.run();
+  EXPECT_GT(net_.bytes_sent(a_.id()), 0u);
+  EXPECT_EQ(net_.bytes_received(b_.id()), 0u);
+}
+
+TEST_F(NetFixture, UnknownDestinationThrows) {
+  EXPECT_THROW(net_.send(Message{a_.id(), 99, "x", {}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2pcash::simnet

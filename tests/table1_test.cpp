@@ -1,0 +1,278 @@
+// Table-1 regression: the measured crypto-op counts of each protocol, per
+// role, pinned against the paper's reported numbers (with the documented
+// ±1 hash deviations — see EXPERIMENTS.md).
+//
+// These tests make the cost model auditable: if a refactor adds or removes
+// an exponentiation anywhere on the protocol path, a number here moves.
+
+#include <gtest/gtest.h>
+
+#include "ecash_fixture.h"
+#include "metrics/counters.h"
+
+namespace p2pcash::ecash {
+namespace {
+
+using metrics::OpCounters;
+using metrics::ScopedOpCounting;
+using testing::EcashTest;
+
+class Table1Test : public EcashTest {};
+
+TEST_F(Table1Test, WithdrawalClient12Exp4Hash1Ver) {
+  auto offer = dep_.broker().start_withdrawal(100, 1000);
+  ASSERT_TRUE(offer.ok());
+  OpCounters ops;
+  Wallet::Withdrawal state = [&] {
+    ScopedOpCounting guard(ops);
+    return wallet_->begin_withdrawal(offer.value());
+  }();
+  auto response = dep_.broker().finish_withdrawal(state.session, state.e);
+  ASSERT_TRUE(response.ok());
+  {
+    ScopedOpCounting guard(ops);
+    auto coin = wallet_->complete_withdrawal(state, response.value(),
+                                             dep_.broker().current_table());
+    ASSERT_TRUE(coin.ok());
+  }
+  EXPECT_EQ(ops.exp, 12u);   // paper: 12
+  EXPECT_EQ(ops.hash, 4u);   // paper: 4
+  EXPECT_EQ(ops.sig, 0u);    // paper: 0
+  EXPECT_EQ(ops.ver, 1u);    // paper: 1
+}
+
+TEST_F(Table1Test, WithdrawalBroker3Exp1Hash) {
+  OpCounters ops;
+  std::uint64_t session = 0;
+  bn::BigInt e;
+  {
+    ScopedOpCounting guard(ops);
+    auto offer = dep_.broker().start_withdrawal(100, 1000);
+    ASSERT_TRUE(offer.ok());
+    session = offer.value().session;
+    auto state = [&] {
+      metrics::ScopedSuspendOpCounting suspend;  // client work not broker's
+      return wallet_->begin_withdrawal(offer.value());
+    }();
+    e = state.e;
+  }
+  {
+    ScopedOpCounting guard(ops);
+    auto response = dep_.broker().finish_withdrawal(session, e);
+    ASSERT_TRUE(response.ok());
+  }
+  EXPECT_EQ(ops.exp, 3u);   // paper: 3
+  EXPECT_EQ(ops.hash, 1u);  // paper: 1
+  EXPECT_EQ(ops.sig, 0u);
+  EXPECT_EQ(ops.ver, 0u);
+}
+
+struct PaymentOps {
+  OpCounters client, witness, merchant;
+};
+
+class PaymentOpsFixture : public EcashTest {
+ protected:
+  /// Runs one full payment, attributing ops to each role.
+  PaymentOps run_payment(const WalletCoin& coin, const MerchantId& mid,
+                         Timestamp now) {
+    PaymentOps ops;
+    auto& witness = *dep_.node(coin.coin.witnesses[0].merchant).witness;
+    auto& storefront = *dep_.node(mid).merchant;
+
+    Wallet::PaymentIntent intent;
+    {
+      ScopedOpCounting guard(ops.client);
+      intent = wallet_->prepare_payment(coin, mid);
+    }
+    Outcome<WitnessCommitment> commitment =
+        Refusal{RefusalReason::kInternal, ""};
+    {
+      ScopedOpCounting guard(ops.witness);
+      commitment =
+          witness.request_commitment(intent.coin_hash, intent.nonce, now);
+    }
+    EXPECT_TRUE(commitment.ok());
+    Outcome<PaymentTranscript> transcript =
+        Refusal{RefusalReason::kInternal, ""};
+    {
+      ScopedOpCounting guard(ops.client);
+      transcript = wallet_->build_transcript(coin, intent,
+                                             {commitment.value()}, now + 10);
+    }
+    EXPECT_TRUE(transcript.ok());
+    {
+      ScopedOpCounting guard(ops.merchant);
+      auto ok = storefront.receive_payment(transcript.value(),
+                                           {commitment.value()}, now + 20);
+      EXPECT_TRUE(ok.ok()) << (ok.ok() ? "" : ok.refusal().detail);
+    }
+    Outcome<SignResult> sign = Refusal{RefusalReason::kInternal, ""};
+    {
+      ScopedOpCounting guard(ops.witness);
+      sign = witness.sign_transcript(transcript.value(), now + 30);
+    }
+    EXPECT_TRUE(sign.ok());
+    {
+      ScopedOpCounting guard(ops.merchant);
+      auto done = storefront.add_endorsement(
+          intent.coin_hash, std::get<WitnessEndorsement>(sign.value()));
+      EXPECT_TRUE(done.ok());
+    }
+    return ops;
+  }
+};
+
+TEST_F(PaymentOpsFixture, PaymentMatchesTable1) {
+  auto coin = withdraw();
+  auto mid = non_witness_merchant(coin);
+  auto ops = run_payment(coin, mid, 2000);
+
+  // Client row — paper: 0 Exp, 3 Hash, 0 Sig, 1 Ver.
+  EXPECT_EQ(ops.client.exp, 0u);
+  EXPECT_EQ(ops.client.hash, 3u);
+  EXPECT_EQ(ops.client.sig, 0u);
+  EXPECT_EQ(ops.client.ver, 1u);
+
+  // Witness row — paper: 7 Exp, 6 Hash, 2 Sig, 1 Ver. Exact match.
+  EXPECT_EQ(ops.witness.exp, 7u);
+  EXPECT_EQ(ops.witness.hash, 6u);
+  EXPECT_EQ(ops.witness.sig, 2u);
+  EXPECT_EQ(ops.witness.ver, 1u);
+
+  // Merchant row — paper: 7 Exp, 6 Hash, 0 Sig, 3 Ver. Exact match.
+  EXPECT_EQ(ops.merchant.exp, 7u);
+  EXPECT_EQ(ops.merchant.hash, 6u);
+  EXPECT_EQ(ops.merchant.sig, 0u);
+  EXPECT_EQ(ops.merchant.ver, 3u);
+}
+
+TEST_F(Table1Test, DepositMerchant0Broker6Exp4Hash1Ver) {
+  auto coin = withdraw();
+  auto mid = non_witness_merchant(coin);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, mid, 2000).accepted);
+  auto queue = dep_.node(mid).merchant->drain_deposit_queue();
+  ASSERT_EQ(queue.size(), 1u);
+
+  // Merchant side of deposit: just sends the stored transcript — 0 ops.
+  OpCounters merchant_ops;
+  {
+    ScopedOpCounting guard(merchant_ops);
+    auto bytes = wire::encode(queue[0]);
+    (void)bytes;
+  }
+  EXPECT_EQ(merchant_ops, OpCounters{});  // paper: 0/0/0/0
+
+  OpCounters broker_ops;
+  {
+    ScopedOpCounting guard(broker_ops);
+    auto receipt = dep_.broker().deposit(mid, queue[0], 5000);
+    ASSERT_TRUE(receipt.ok());
+  }
+  EXPECT_EQ(broker_ops.exp, 6u);   // paper: 6 (3 own-sig fast path + 3 NIZK)
+  EXPECT_EQ(broker_ops.hash, 4u);  // paper: 4
+  EXPECT_EQ(broker_ops.sig, 0u);
+  EXPECT_EQ(broker_ops.ver, 1u);   // paper: 1 (witness endorsement)
+}
+
+TEST_F(Table1Test, RenewalClient12Exp5Hash1VerBroker9Exp4Hash) {
+  auto coin = withdraw(100, 1000);
+  Timestamp when = coin.coin.bare.info.soft_expiry +
+                   dep_.broker().config().deposit_grace_ms + 1000;
+
+  OpCounters client_ops, broker_ops;
+  Broker::RenewalOffer offer;
+  {
+    ScopedOpCounting guard(broker_ops);
+    auto outcome = dep_.broker().start_renewal(100, when);
+    ASSERT_TRUE(outcome.ok());
+    offer = outcome.value();
+  }
+  // The client computes the renewal challenge d* itself (the paper's 5th
+  // client Hash); the broker recomputes it inside finish_renewal.
+  bn::BigInt challenge;
+  {
+    ScopedOpCounting guard(client_ops);
+    challenge = dep_.broker().renewal_challenge(coin.coin, when);
+  }
+  Wallet::Renewal state = [&] {
+    ScopedOpCounting guard(client_ops);
+    return wallet_->begin_renewal(coin, offer, challenge, when);
+  }();
+  Outcome<blindsig::SignerResponse> response =
+      Refusal{RefusalReason::kInternal, ""};
+  {
+    ScopedOpCounting guard(broker_ops);
+    response = dep_.broker().finish_renewal(
+        state.session, state.e, coin.coin, state.old_proof,
+        state.datetime, when);
+  }
+  ASSERT_TRUE(response.ok());
+  {
+    ScopedOpCounting guard(client_ops);
+    auto renewed = wallet_->complete_renewal(state, response.value(),
+                                             dep_.broker().current_table());
+    ASSERT_TRUE(renewed.ok());
+  }
+  // Client — paper: 12 Exp, 5 Hash, 0 Sig, 1 Ver. Exact match.
+  EXPECT_EQ(client_ops.exp, 12u);
+  EXPECT_EQ(client_ops.hash, 5u);
+  EXPECT_EQ(client_ops.sig, 0u);
+  EXPECT_EQ(client_ops.ver, 1u);
+  // Broker — paper: 9 Exp, 4 Hash. We measure 5 Hash: +1 for h(bare coin)
+  // keying the renewal database (see EXPERIMENTS.md).
+  EXPECT_EQ(broker_ops.exp, 9u);
+  EXPECT_EQ(broker_ops.hash, 5u);
+  EXPECT_EQ(broker_ops.sig, 0u);
+  EXPECT_EQ(broker_ops.ver, 0u);
+}
+
+TEST_F(PaymentOpsFixture, DoubleSpendDeltasMatchPaper) {
+  // §7: on a double spend the merchant does 2 extra Exp (verify the
+  // revealed representation) and one Ver less (no transcript signature to
+  // check).
+  auto coin = withdraw();
+  auto ids = dep_.merchant_ids();
+  MerchantId m1, m2;
+  for (const auto& id : ids) {
+    if (id == coin.coin.witnesses[0].merchant) continue;
+    if (m1.empty())
+      m1 = id;
+    else if (m2.empty())
+      m2 = id;
+  }
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, m1, 2000).accepted);
+
+  auto& witness = *dep_.node(coin.coin.witnesses[0].merchant).witness;
+  auto& storefront = *dep_.node(m2).merchant;
+  Timestamp later = 2000 + witness.commitment_ttl() + 100;
+  auto intent = wallet_->prepare_payment(coin, m2);
+  auto commitment =
+      witness.request_commitment(intent.coin_hash, intent.nonce, later);
+  ASSERT_TRUE(commitment.ok());
+  auto transcript = wallet_->build_transcript(coin, intent,
+                                              {commitment.value()}, later + 10);
+  ASSERT_TRUE(transcript.ok());
+  ASSERT_TRUE(storefront
+                  .receive_payment(transcript.value(), {commitment.value()},
+                                   later + 20)
+                  .ok());
+  auto sign = witness.sign_transcript(transcript.value(), later + 30);
+  ASSERT_TRUE(sign.ok());
+  const auto* proof = std::get_if<DoubleSpendProof>(&sign.value());
+  ASSERT_NE(proof, nullptr);
+
+  OpCounters merchant_ops;
+  {
+    ScopedOpCounting guard(merchant_ops);
+    auto judged = storefront.handle_double_spend(intent.coin_hash, *proof);
+    EXPECT_TRUE(judged.ok());
+  }
+  // Verifying the double-spend proof costs 4 Exp (both representations; the
+  // paper's "2 additional exponentiations" verifies one of them), 0 Ver.
+  EXPECT_EQ(merchant_ops.exp, 4u);
+  EXPECT_EQ(merchant_ops.ver, 0u);
+}
+
+}  // namespace
+}  // namespace p2pcash::ecash

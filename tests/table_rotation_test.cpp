@@ -1,0 +1,115 @@
+// Witness-table rotation: "assigned witness ranges may change over time,
+// since merchants may join or leave the network ... from time to time, B
+// may publish a new version of the witness range assignments" (§4).
+// Coins are pinned to the version in their info, so in-flight coins must
+// keep working across publications.
+
+#include <gtest/gtest.h>
+
+#include "ecash_fixture.h"
+
+namespace p2pcash::ecash {
+namespace {
+
+using testing::EcashTest;
+
+class TableRotationTest : public EcashTest {};
+
+TEST_F(TableRotationTest, OldCoinsSpendAfterNewPublication) {
+  auto old_coin = withdraw(100, 1000);
+  EXPECT_EQ(old_coin.coin.bare.info.list_version, 1u);
+
+  // Rebalance and publish v2 (and v3, for good measure).
+  dep_.broker().set_weight("m000", 5);
+  dep_.broker().publish_witness_table(2000);
+  dep_.broker().publish_witness_table(3000);
+  EXPECT_EQ(dep_.broker().current_table().version(), 3u);
+
+  // The v1 coin still spends: its carried entries verify against the
+  // broker key; the witness recognizes its own (v1) range.
+  auto merchant = non_witness_merchant(old_coin);
+  EXPECT_TRUE(dep_.pay(*wallet_, old_coin, merchant, 4000).accepted);
+  // And deposits: the broker checks against its *stored* v1 table.
+  EXPECT_EQ(dep_.deposit_all(merchant, 5000).credited, 100u);
+}
+
+TEST_F(TableRotationTest, NewCoinsUseTheNewVersion) {
+  dep_.broker().publish_witness_table(2000);
+  auto coin = withdraw(100, 3000);
+  EXPECT_EQ(coin.coin.bare.info.list_version, 2u);
+  for (const auto& entry : coin.coin.witnesses)
+    EXPECT_EQ(entry.version, 2u);
+  auto merchant = non_witness_merchant(coin);
+  EXPECT_TRUE(dep_.pay(*wallet_, coin, merchant, 4000).accepted);
+}
+
+TEST_F(TableRotationTest, VersionsCannotBeMixed) {
+  // A coin claiming v1 info but carrying v2 entries must be rejected —
+  // version pinning is what makes the static assignment non-malleable.
+  auto coin = withdraw(100, 1000);
+  dep_.broker().publish_witness_table(2000);
+  const auto& v2 = dep_.broker().current_table();
+  auto tampered = coin.coin;
+  auto v2_entry = v2.lookup(witness_point(tampered.bare.coin_hash(), 0));
+  ASSERT_TRUE(v2_entry.has_value());
+  tampered.witnesses[0] = *v2_entry;
+  auto verdict =
+      verify_coin(dep_.grp(), dep_.broker().coin_key(), tampered, 3000);
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.refusal().reason, RefusalReason::kInvalidCoin);
+}
+
+TEST_F(TableRotationTest, RenewalMigratesToTheCurrentVersion) {
+  auto coin = withdraw(100, 1000);
+  dep_.broker().set_weight("m001", 7);
+  dep_.broker().publish_witness_table(2000);
+  Timestamp when = coin.coin.bare.info.soft_expiry +
+                   dep_.broker().config().deposit_grace_ms + 1000;
+  auto renewed = dep_.renew(*wallet_, coin, when);
+  ASSERT_TRUE(renewed.ok()) << renewed.refusal().detail;
+  EXPECT_EQ(renewed.value().coin.bare.info.list_version, 2u);
+}
+
+TEST_F(TableRotationTest, DepositOfUnknownVersionRefused) {
+  // A forged coin claiming a future table version dies at the merchant
+  // (no valid entries can exist) and at the broker (unknown version).
+  auto coin = withdraw(100, 1000);
+  auto merchant = non_witness_merchant(coin);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, merchant, 2000).accepted);
+  auto queue = dep_.node(merchant).merchant->drain_deposit_queue();
+  ASSERT_EQ(queue.size(), 1u);
+  auto tampered = queue[0];
+  tampered.transcript.coin.bare.info.list_version = 42;
+  auto outcome = dep_.broker().deposit(merchant, tampered, 3000);
+  EXPECT_FALSE(outcome.ok());
+}
+
+TEST_F(TableRotationTest, WeightsChangeNewAssignmentsOnly) {
+  // Publish a heavily skewed v2; verify new coins track it while the old
+  // coin's witness stays fixed ("static witness assignment", §4).
+  auto old_coin = withdraw(100, 1000);
+  auto old_witness = old_coin.coin.witnesses[0].merchant;
+  dep_.broker().set_weight("m002", 1000);  // m002 takes ~99% of v2 space
+  dep_.broker().publish_witness_table(2000);
+  int m002_hits = 0;
+  for (int i = 0; i < 12; ++i) {
+    auto coin = withdraw(100, 3000 + i);
+    if (coin.coin.witnesses[0].merchant == "m002") ++m002_hits;
+  }
+  EXPECT_GE(m002_hits, 10);  // overwhelmingly m002 under the new weights
+  EXPECT_EQ(old_coin.coin.witnesses[0].merchant, old_witness);
+}
+
+TEST_F(TableRotationTest, HistoricalTablesRemainQueryable) {
+  dep_.broker().publish_witness_table(2000);
+  dep_.broker().publish_witness_table(3000);
+  ASSERT_NE(dep_.broker().table(1), nullptr);
+  ASSERT_NE(dep_.broker().table(2), nullptr);
+  ASSERT_NE(dep_.broker().table(3), nullptr);
+  EXPECT_EQ(dep_.broker().table(4), nullptr);
+  EXPECT_EQ(dep_.broker().table(0), nullptr);
+  EXPECT_EQ(dep_.broker().table(1)->version(), 1u);
+}
+
+}  // namespace
+}  // namespace p2pcash::ecash

@@ -1,0 +1,190 @@
+// Coin transferability (the PPay-style extension): witness-endorsed
+// ownership hand-offs, chains, and every way a transfer can go wrong.
+
+#include <gtest/gtest.h>
+
+#include "ecash_fixture.h"
+
+namespace p2pcash::ecash {
+namespace {
+
+using testing::EcashTest;
+
+class TransferTest : public EcashTest {
+ protected:
+  std::unique_ptr<Wallet> bob_ = dep_.make_wallet();
+  std::unique_ptr<Wallet> carol_ = dep_.make_wallet();
+};
+
+TEST_F(TransferTest, HandOffAndSpendByRecipient) {
+  auto coin = withdraw(100);
+  auto result = dep_.transfer(*wallet_, coin, *bob_, 2000);
+  ASSERT_TRUE(result.received.has_value())
+      << (result.refusal ? result.refusal->detail : "");
+  const auto& received = *result.received;
+  EXPECT_EQ(received.coin.transfers.size(), 1u);
+  EXPECT_EQ(received.coin.bare.coin_hash(), coin.coin.bare.coin_hash());
+  // Bob spends it like any coin.
+  auto merchant = non_witness_merchant(received);
+  EXPECT_TRUE(dep_.pay(*bob_, received, merchant, 3000).accepted);
+  // And the merchant can cash it.
+  EXPECT_EQ(dep_.deposit_all(merchant, 4000).credited, 100u);
+}
+
+TEST_F(TransferTest, MultiHopChain) {
+  auto coin = withdraw(100);
+  auto to_bob = dep_.transfer(*wallet_, coin, *bob_, 2000);
+  ASSERT_TRUE(to_bob.received.has_value());
+  auto to_carol = dep_.transfer(*bob_, *to_bob.received, *carol_, 2100);
+  ASSERT_TRUE(to_carol.received.has_value())
+      << (to_carol.refusal ? to_carol.refusal->detail : "");
+  EXPECT_EQ(to_carol.received->coin.transfers.size(), 2u);
+  auto merchant = non_witness_merchant(*to_carol.received);
+  EXPECT_TRUE(dep_.pay(*carol_, *to_carol.received, merchant, 2200).accepted);
+  EXPECT_EQ(dep_.deposit_all(merchant, 3000).credited, 100u);
+}
+
+TEST_F(TransferTest, OldOwnerCannotSpendAfterTransfer) {
+  auto coin = withdraw(100);
+  auto result = dep_.transfer(*wallet_, coin, *bob_, 2000);
+  ASSERT_TRUE(result.received.has_value());
+  // Alice still holds the original (chain-less) coin bytes and secrets.
+  auto merchant = non_witness_merchant(coin);
+  auto spend = dep_.pay(*wallet_, coin, merchant, 3000);
+  EXPECT_FALSE(spend.accepted);
+  // The witness extracted Alice's secrets from her own two responses
+  // (transfer link + stale payment).
+  ASSERT_TRUE(spend.double_spend_proof.has_value());
+  EXPECT_TRUE(spend.double_spend_proof->verify(dep_.grp()));
+  EXPECT_EQ(spend.double_spend_proof->secrets.of_a.e1, coin.secret.x1);
+}
+
+TEST_F(TransferTest, OldOwnerCannotDoubleTransfer) {
+  auto coin = withdraw(100);
+  auto to_bob = dep_.transfer(*wallet_, coin, *bob_, 2000);
+  ASSERT_TRUE(to_bob.received.has_value());
+  auto to_carol = dep_.transfer(*wallet_, coin, *carol_, 2100);
+  EXPECT_FALSE(to_carol.received.has_value());
+  ASSERT_TRUE(to_carol.double_spend_proof.has_value());
+  EXPECT_TRUE(to_carol.double_spend_proof->verify(dep_.grp()));
+}
+
+TEST_F(TransferTest, SpentCoinCannotBeTransferred) {
+  auto coin = withdraw(100);
+  auto merchant = non_witness_merchant(coin);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, merchant, 2000).accepted);
+  auto result = dep_.transfer(*wallet_, coin, *bob_, 3000);
+  EXPECT_FALSE(result.received.has_value());
+  ASSERT_TRUE(result.double_spend_proof.has_value());
+  EXPECT_TRUE(result.double_spend_proof->verify(dep_.grp()));
+}
+
+TEST_F(TransferTest, RecipientCannotBeDefraudedByForgedLink) {
+  // A "seller" who skips the witness and forges the link signature cannot
+  // hand over anything spendable: the recipient's accept_transfer and
+  // every verifier reject the chain.
+  auto coin = withdraw(100);
+  auto intent = bob_->prepare_receive();
+  auto response =
+      wallet_->respond_transfer(coin, intent.comm.a, intent.comm.b, 2000);
+  crypto::ChaChaRng rng("forger");
+  auto fake_key = sig::KeyPair::generate(dep_.grp(), rng);
+  TransferLink forged;
+  forged.new_a = intent.comm.a;
+  forged.new_b = intent.comm.b;
+  forged.r1 = response.r1;
+  forged.r2 = response.r2;
+  forged.datetime = 2000;
+  forged.witness = coin.coin.witnesses[0].merchant;
+  auto signature = fake_key.sign(
+      forged.signed_payload(coin.coin.bare.coin_hash(), 0), rng);
+  forged.sig_e = signature.e;
+  forged.sig_s = signature.s;
+  auto accepted = bob_->accept_transfer(coin.coin, forged, intent);
+  ASSERT_FALSE(accepted.ok());
+  EXPECT_EQ(accepted.refusal().reason, RefusalReason::kBadSignature);
+}
+
+TEST_F(TransferTest, ChainTamperingDetectedEverywhere) {
+  auto coin = withdraw(100);
+  auto to_bob = dep_.transfer(*wallet_, coin, *bob_, 2000);
+  ASSERT_TRUE(to_bob.received.has_value());
+  auto tampered = to_bob.received->coin;
+  // Redirect the link to the attacker's commitments.
+  crypto::ChaChaRng rng("redirect");
+  tampered.transfers[0].new_a = dep_.grp().exp_g(dep_.grp().random_scalar(rng));
+  EXPECT_FALSE(
+      verify_coin(dep_.grp(), dep_.broker().coin_key(), tampered, 3000).ok());
+  // Dropping the chain reverts to the original commitments — but the
+  // witness remembers, so it cannot be spent (covered above); chain
+  // *truncation of a 2-link chain to 1 link* must also fail verification
+  // downstream at the witness.
+  auto to_carol = dep_.transfer(*bob_, *to_bob.received, *carol_, 2100);
+  ASSERT_TRUE(to_carol.received.has_value());
+  auto stale = *to_bob.received;  // bob's stale 1-link copy
+  auto merchant = non_witness_merchant(stale);
+  auto spend = dep_.pay(*bob_, stale, merchant, 2200);
+  EXPECT_FALSE(spend.accepted);
+}
+
+TEST_F(TransferTest, TransferredCoinSerializationRoundTrip) {
+  auto coin = withdraw(100);
+  auto to_bob = dep_.transfer(*wallet_, coin, *bob_, 2000);
+  ASSERT_TRUE(to_bob.received.has_value());
+  auto bytes = wire::encode(to_bob.received->coin);
+  auto decoded = wire::decode<Coin>(bytes);
+  EXPECT_EQ(decoded, to_bob.received->coin);
+  EXPECT_TRUE(verify_transfer_chain(dep_.grp(), decoded).ok());
+}
+
+TEST_F(TransferTest, TransferredCoinRenewableByNewOwnerOnly) {
+  auto coin = withdraw(100, 1000);
+  auto to_bob = dep_.transfer(*wallet_, coin, *bob_, 2000);
+  ASSERT_TRUE(to_bob.received.has_value());
+  Timestamp when = coin.coin.bare.info.soft_expiry +
+                   dep_.broker().config().deposit_grace_ms + 1000;
+  // Alice tries to renew the coin she gave away, with her old secrets and
+  // the original (chain-less) coin: the broker must refuse — her proof
+  // opens the bare commitments, but the renewal... (the chain-less coin
+  // still verifies at the broker, which has no chain knowledge; what stops
+  // her is that the renewed coin's value was already handed to Bob, whose
+  // renewal uses the chained coin).  Renew as Bob first:
+  auto renewed = dep_.renew(*bob_, *to_bob.received, when);
+  ASSERT_TRUE(renewed.ok()) << renewed.refusal().detail;
+  // Now Alice's attempt collides with the recorded renewal and is refused.
+  auto alice_attempt = dep_.renew(*wallet_, coin, when + 10);
+  EXPECT_FALSE(alice_attempt.ok());
+  EXPECT_EQ(alice_attempt.refusal().reason, RefusalReason::kDoubleSpent);
+}
+
+TEST_F(TransferTest, OfflineWitnessBlocksTransfer) {
+  auto coin = withdraw(100);
+  dep_.set_offline(coin.coin.witnesses[0].merchant, true);
+  auto result = dep_.transfer(*wallet_, coin, *bob_, 2000);
+  EXPECT_FALSE(result.received.has_value());
+  ASSERT_TRUE(result.refusal.has_value());
+}
+
+TEST_F(TransferTest, WitnessSnapshotCoversChains) {
+  auto coin = withdraw(100);
+  auto witness_id = coin.coin.witnesses[0].merchant;
+  auto to_bob = dep_.transfer(*wallet_, coin, *bob_, 2000);
+  ASSERT_TRUE(to_bob.received.has_value());
+  // Crash/restore the witness; the chain record must survive so Alice's
+  // stale copy still cannot spend.
+  auto& node = dep_.node(witness_id);
+  auto snapshot = node.witness->snapshot_state();
+  auto key = sig::KeyPair::from_secret(dep_.grp(),
+                                       node.merchant->key_pair().secret());
+  node.witness = std::make_unique<WitnessService>(
+      dep_.grp(), dep_.broker().coin_key(), witness_id, key, dep_.rng());
+  node.witness->restore_state(snapshot);
+  auto merchant = non_witness_merchant(coin);
+  EXPECT_FALSE(dep_.pay(*wallet_, coin, merchant, 3000).accepted);
+  // Bob's genuine copy still works.
+  auto merchant2 = non_witness_merchant(*to_bob.received);
+  EXPECT_TRUE(dep_.pay(*bob_, *to_bob.received, merchant2, 4000).accepted);
+}
+
+}  // namespace
+}  // namespace p2pcash::ecash

@@ -1,0 +1,130 @@
+// Binary codec and URI form.
+
+#include "wire/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "wire/uri_form.h"
+
+namespace p2pcash::wire {
+namespace {
+
+using bn::BigInt;
+
+TEST(Codec, ScalarRoundTrip) {
+  Writer w;
+  w.put_u8(0xab);
+  w.put_u32(0xdeadbeef);
+  w.put_u64(0x0123456789abcdefull);
+  w.put_i64(-42);
+  auto buf = w.take();
+  Reader r(buf);
+  EXPECT_EQ(r.get_u8(), 0xab);
+  EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.get_i64(), -42);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Codec, BytesStringBigIntRoundTrip) {
+  Writer w;
+  w.put_bytes(std::vector<std::uint8_t>{1, 2, 3});
+  w.put_string("hello");
+  w.put_bigint(BigInt::from_hex("deadbeefcafe"));
+  w.put_bytes({});
+  auto buf = w.take();
+  Reader r(buf);
+  EXPECT_EQ(r.get_bytes(), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_EQ(r.get_bigint().to_hex(), "deadbeefcafe");
+  EXPECT_TRUE(r.get_bytes().empty());
+  r.expect_end();
+}
+
+TEST(Codec, NegativeBigIntRejected) {
+  Writer w;
+  EXPECT_THROW(w.put_bigint(BigInt{-1}), std::domain_error);
+}
+
+TEST(Codec, TruncationDetected) {
+  Writer w;
+  w.put_u32(7);
+  w.put_bytes(std::vector<std::uint8_t>{1, 2, 3, 4, 5});
+  auto buf = w.take();
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    std::span<const std::uint8_t> prefix(buf.data(), cut);
+    Reader r(prefix);
+    EXPECT_THROW(
+        {
+          (void)r.get_u32();
+          (void)r.get_bytes();
+        },
+        DecodeError)
+        << "cut=" << cut;
+  }
+}
+
+TEST(Codec, TrailingBytesDetected) {
+  Writer w;
+  w.put_u8(1);
+  w.put_u8(2);
+  auto buf = w.take();
+  Reader r(buf);
+  (void)r.get_u8();
+  EXPECT_THROW(r.expect_end(), DecodeError);
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+TEST(Codec, LengthLiesDetected) {
+  // A length prefix exceeding the buffer must throw, not over-read.
+  std::vector<std::uint8_t> evil = {0xff, 0xff, 0xff, 0xff, 0x01};
+  Reader r(evil);
+  EXPECT_THROW((void)r.get_bytes(), DecodeError);
+}
+
+TEST(UriForm, RenderKnown) {
+  UriForm form;
+  form.add("op", "pay").add("coin", "a b&c");
+  EXPECT_EQ(form.render(), "op=pay&coin=a%20b%26c");
+}
+
+TEST(UriForm, ParseRoundTrip) {
+  UriForm form;
+  form.add("op", "withdraw")
+      .add_u64("denom", 100)
+      .add_bigint("e", BigInt::from_hex("1234abcd"))
+      .add_bytes("salt", std::vector<std::uint8_t>{0xff, 0x00, 0x10});
+  auto parsed = UriForm::parse(form.render());
+  EXPECT_EQ(parsed.get("op"), "withdraw");
+  EXPECT_EQ(parsed.get_u64("denom"), 100u);
+  EXPECT_EQ(parsed.get_bigint("e"), BigInt::from_hex("1234abcd"));
+  EXPECT_EQ(parsed.get_bytes("salt"),
+            (std::vector<std::uint8_t>{0xff, 0x00, 0x10}));
+  EXPECT_FALSE(parsed.get("missing").has_value());
+}
+
+TEST(UriForm, ParseErrors) {
+  EXPECT_THROW(UriForm::parse("novalue"), DecodeError);
+  EXPECT_THROW(UriForm::parse("a=%2"), DecodeError);
+  EXPECT_TRUE(UriForm::parse("").entries().empty());
+}
+
+TEST(UriForm, BadTypedValuesReturnNullopt) {
+  auto form = UriForm::parse("n=notanumber&b=---");
+  EXPECT_FALSE(form.get_u64("n").has_value());
+  EXPECT_FALSE(form.get_bytes("b").has_value());
+}
+
+TEST(UriForm, RenderedSizeIsTextOverhead) {
+  // The URI rendering must be strictly larger than the binary payload it
+  // carries — this is the overhead Table 2's byte counts include.
+  std::vector<std::uint8_t> payload(300);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::uint8_t>(i);
+  UriForm form;
+  form.add_bytes("data", payload);
+  EXPECT_GT(form.rendered_size(), payload.size());
+}
+
+}  // namespace
+}  // namespace p2pcash::wire

@@ -1,0 +1,123 @@
+// Witness crash recovery: the spent-coin state must survive restarts or a
+// crashed-and-wiped witness would double-sign (and pay for it).
+
+#include <gtest/gtest.h>
+
+#include "ecash_fixture.h"
+
+namespace p2pcash::ecash {
+namespace {
+
+using testing::EcashTest;
+
+class WitnessRecoveryTest : public EcashTest {
+ protected:
+  /// Simulates a crash/restart of the given witness: snapshot, destroy,
+  /// rebuild with the same key, restore.
+  void crash_and_restore(const MerchantId& id, bool with_snapshot) {
+    auto& node = dep_.node(id);
+    std::vector<std::uint8_t> snapshot;
+    if (with_snapshot) snapshot = node.witness->snapshot_state();
+    // Rebuild the service from scratch (same identity/key).
+    auto key = sig::KeyPair::from_secret(dep_.grp(),
+                                         node.merchant->key_pair().secret());
+    node.witness = std::make_unique<WitnessService>(
+        dep_.grp(), dep_.broker().coin_key(), id, key, dep_.rng());
+    if (with_snapshot) node.witness->restore_state(snapshot);
+  }
+};
+
+TEST_F(WitnessRecoveryTest, SnapshotRoundTripsExactly) {
+  auto coin = withdraw(100);
+  auto witness_id = coin.coin.witnesses[0].merchant;
+  auto m1 = non_witness_merchant(coin);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, m1, 2000).accepted);
+  auto& witness = *dep_.node(witness_id).witness;
+  auto snapshot = witness.snapshot_state();
+  WitnessService clone(dep_.grp(), dep_.broker().coin_key(), witness_id,
+                       sig::KeyPair::from_secret(
+                           dep_.grp(),
+                           dep_.node(witness_id).merchant->key_pair().secret()),
+                       dep_.rng());
+  clone.restore_state(snapshot);
+  EXPECT_EQ(clone.snapshot_state(), snapshot);
+  EXPECT_EQ(clone.coins_signed(), witness.coins_signed());
+}
+
+TEST_F(WitnessRecoveryTest, RestoredWitnessStillBlocksDoubleSpend) {
+  auto coin = withdraw(100);
+  auto witness_id = coin.coin.witnesses[0].merchant;
+  auto m1 = non_witness_merchant(coin);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, m1, 2000).accepted);
+
+  crash_and_restore(witness_id, /*with_snapshot=*/true);
+
+  MerchantId m2 = m1 == "m000" ? "m001" : "m000";
+  Timestamp later =
+      2000 + dep_.node(witness_id).witness->commitment_ttl() + 100;
+  auto result = dep_.pay(*wallet_, coin, m2, later);
+  EXPECT_FALSE(result.accepted);
+  ASSERT_TRUE(result.double_spend_proof.has_value());
+  EXPECT_TRUE(result.double_spend_proof->verify(dep_.grp()));
+}
+
+TEST_F(WitnessRecoveryTest, AmnesiaIsExactlyTheFaultyWitnessCase) {
+  // Without the snapshot, the restarted witness forgets the first spend,
+  // signs again — and the broker's deposit protocol charges it, just like
+  // a deliberately faulty witness.  This is why durability matters.
+  auto coin = withdraw(100);
+  auto witness_id = coin.coin.witnesses[0].merchant;
+  auto m1 = non_witness_merchant(coin);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, m1, 2000).accepted);
+
+  crash_and_restore(witness_id, /*with_snapshot=*/false);
+
+  MerchantId m2 = m1 == "m000" ? "m001" : "m000";
+  auto result = dep_.pay(*wallet_, coin, m2, 3000);
+  EXPECT_TRUE(result.accepted);  // the amnesiac witness signed again
+
+  ASSERT_EQ(dep_.deposit_all(m1, 5000).credited, 100u);
+  auto s2 = dep_.deposit_all(m2, 6000);
+  EXPECT_EQ(s2.credited, 100u);  // merchant paid from the witness deposit
+  EXPECT_TRUE(dep_.broker().account(witness_id)->flagged);
+}
+
+TEST_F(WitnessRecoveryTest, RestoredDoubleSpendProofStillServed) {
+  auto coin = withdraw(100);
+  auto witness_id = coin.coin.witnesses[0].merchant;
+  auto ids = dep_.merchant_ids();
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, ids[0], 2000).accepted);
+  EXPECT_FALSE(dep_.pay(*wallet_, coin, ids[1], 3000).accepted);
+
+  crash_and_restore(witness_id, /*with_snapshot=*/true);
+  EXPECT_TRUE(dep_.node(witness_id)
+                  .witness->has_double_spend_record(coin.coin.bare.coin_hash()));
+  auto third = dep_.pay(*wallet_, coin, ids[2], 4000);
+  EXPECT_FALSE(third.accepted);
+  ASSERT_TRUE(third.double_spend_proof.has_value());
+}
+
+TEST_F(WitnessRecoveryTest, CorruptSnapshotsRejected) {
+  auto coin = withdraw(100);
+  auto witness_id = coin.coin.witnesses[0].merchant;
+  auto m1 = non_witness_merchant(coin);
+  ASSERT_TRUE(dep_.pay(*wallet_, coin, m1, 2000).accepted);
+  auto& witness = *dep_.node(witness_id).witness;
+  auto snapshot = witness.snapshot_state();
+
+  // Truncations at every prefix either throw or are rejected; never UB.
+  for (std::size_t cut : {0u, 1u, 8u, 32u}) {
+    if (cut >= snapshot.size()) continue;
+    std::span<const std::uint8_t> prefix(snapshot.data(), cut);
+    EXPECT_THROW(witness.restore_state(prefix), wire::DecodeError);
+  }
+  // Bad magic.
+  auto garbled = snapshot;
+  garbled[10] ^= 0xff;
+  EXPECT_THROW(witness.restore_state(garbled), wire::DecodeError);
+  // A failed restore must not have clobbered the state.
+  EXPECT_EQ(witness.snapshot_state(), snapshot);
+}
+
+}  // namespace
+}  // namespace p2pcash::ecash

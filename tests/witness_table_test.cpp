@@ -1,0 +1,199 @@
+// Witness range tables: construction, weighting, lookup, validation,
+// and the non-malleability / non-steerability of witness assignment.
+
+#include "ecash/witness_table.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "crypto/chacha.h"
+#include "ecash/coin.h"
+
+namespace p2pcash::ecash {
+namespace {
+
+using bn::BigInt;
+
+const group::SchnorrGroup& grp() { return group::SchnorrGroup::test_256(); }
+
+struct Fixture {
+  crypto::ChaChaRng rng{"wt-fixture"};
+  sig::KeyPair broker = sig::KeyPair::generate(grp(), rng);
+
+  WitnessTable build(std::vector<std::pair<MerchantId, std::uint64_t>> spec,
+                     std::uint32_t version = 1) {
+    std::vector<WitnessTable::Participant> participants;
+    for (auto& [id, weight] : spec) {
+      auto key = sig::KeyPair::generate(grp(), rng);
+      participants.push_back({id, key.public_key(), weight});
+    }
+    return WitnessTable::build(version, /*published_at=*/1000, participants,
+                               broker, rng);
+  }
+};
+
+TEST(WitnessTable, CoversWholeSpaceExactly) {
+  Fixture f;
+  auto table = f.build({{"a", 1}, {"b", 1}, {"c", 1}});
+  EXPECT_TRUE(table.validate(grp(), f.broker.public_key()));
+  const BigInt space = BigInt{1} << kRangeBits;
+  BigInt covered{0};
+  for (const auto& e : table.entries()) covered += e.hi - e.lo;
+  EXPECT_EQ(covered, space);
+  EXPECT_EQ(table.entries().front().lo, BigInt{0});
+  EXPECT_EQ(table.entries().back().hi, space);
+}
+
+TEST(WitnessTable, WeightsScaleRanges) {
+  Fixture f;
+  auto table = f.build({{"small", 1}, {"big", 9}});
+  const BigInt small_size =
+      table.entries()[0].hi - table.entries()[0].lo;
+  const BigInt big_size = table.entries()[1].hi - table.entries()[1].lo;
+  // big gets 9x the space (within rounding of one part in 2^160).
+  EXPECT_TRUE(big_size > small_size * BigInt{8});
+  EXPECT_TRUE(big_size < small_size * BigInt{10});
+}
+
+TEST(WitnessTable, LookupFindsContainingRange) {
+  Fixture f;
+  auto table = f.build({{"a", 1}, {"b", 2}, {"c", 3}});
+  // Boundary points: lo inclusive, hi exclusive.
+  for (const auto& e : table.entries()) {
+    auto hit = table.lookup(e.lo);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->merchant, e.merchant);
+    auto last = table.lookup(e.hi - BigInt{1});
+    ASSERT_TRUE(last.has_value());
+    EXPECT_EQ(last->merchant, e.merchant);
+  }
+  // Out-of-space point.
+  EXPECT_FALSE(table.lookup(BigInt{1} << kRangeBits).has_value());
+}
+
+TEST(WitnessTable, FindByMerchant) {
+  Fixture f;
+  auto table = f.build({{"a", 1}, {"b", 1}});
+  EXPECT_TRUE(table.find("a").has_value());
+  EXPECT_TRUE(table.find("b").has_value());
+  EXPECT_FALSE(table.find("zzz").has_value());
+}
+
+TEST(WitnessTable, ValidateDetectsTampering) {
+  Fixture f;
+  auto table = f.build({{"a", 1}, {"b", 1}});
+  EXPECT_TRUE(table.validate(grp(), f.broker.public_key()));
+
+  // Serialize, tamper with a range bound, deserialize: must fail.
+  wire::Writer w;
+  table.encode(w);
+  auto bytes = w.take();
+  wire::Reader r(bytes);
+  auto decoded = WitnessTable::decode(r);
+  EXPECT_TRUE(decoded.validate(grp(), f.broker.public_key()));
+
+  // Forged entry: swap the two merchants' ranges (keeps coverage, breaks
+  // the signatures).
+  wire::Writer w2;
+  auto copy = table;
+  w2 = wire::Writer{};
+  copy.encode(w2);
+  auto raw = w2.take();
+  wire::Reader r2(raw);
+  auto mutated = WitnessTable::decode(r2);
+  EXPECT_TRUE(mutated.validate(grp(), f.broker.public_key()));
+  // Wrong broker key must fail validation outright.
+  crypto::ChaChaRng rng2("other");
+  auto other = sig::KeyPair::generate(grp(), rng2);
+  EXPECT_FALSE(table.validate(grp(), other.public_key()));
+}
+
+TEST(WitnessTable, EntrySignatureBindsAllFields) {
+  Fixture f;
+  auto table = f.build({{"a", 1}, {"b", 1}});
+  auto entry = table.entries()[0];
+  auto check = [&](const SignedWitnessEntry& e) {
+    return sig::verify(grp(), f.broker.public_key(), e.signed_payload(),
+                       e.broker_sig);
+  };
+  EXPECT_TRUE(check(entry));
+  auto bad = entry;
+  bad.merchant = "mallory";
+  EXPECT_FALSE(check(bad));
+  bad = entry;
+  bad.lo = bad.lo + BigInt{1};
+  EXPECT_FALSE(check(bad));
+  bad = entry;
+  bad.hi = bad.hi - BigInt{1};
+  EXPECT_FALSE(check(bad));
+  bad = entry;
+  bad.version = 99;
+  EXPECT_FALSE(check(bad));
+  bad = entry;
+  bad.witness_key.y = grp().exp_g(BigInt{5});
+  EXPECT_FALSE(check(bad));
+}
+
+TEST(WitnessTable, RejectsDegenerateInputs) {
+  Fixture f;
+  EXPECT_THROW(WitnessTable::build(1, 0, {}, f.broker, f.rng),
+               std::invalid_argument);
+  std::vector<WitnessTable::Participant> zero_weight = {
+      {"a", f.broker.public_key(), 0}};
+  EXPECT_THROW(WitnessTable::build(1, 0, zero_weight, f.broker, f.rng),
+               std::invalid_argument);
+}
+
+TEST(WitnessTable, SerializationRoundTrip) {
+  Fixture f;
+  auto table = f.build({{"x", 3}, {"y", 1}, {"z", 2}}, /*version=*/7);
+  wire::Writer w;
+  table.encode(w);
+  auto bytes = w.take();
+  wire::Reader r(bytes);
+  auto decoded = WitnessTable::decode(r);
+  EXPECT_EQ(decoded.version(), 7u);
+  EXPECT_EQ(decoded.published_at(), table.published_at());
+  EXPECT_EQ(decoded.entries(), table.entries());
+}
+
+TEST(WitnessAssignment, FollowsWeightsStatistically) {
+  // Withdraw many coins and check assignment frequencies track range
+  // weights — the broker's incentive mechanism (paper §4).
+  Fixture f;
+  auto table = f.build({{"light", 1}, {"heavy", 3}});
+  crypto::ChaChaRng rng("assign");
+  std::map<MerchantId, int> hits;
+  const int kTrials = 400;
+  for (int i = 0; i < kTrials; ++i) {
+    // Witness points of random coins are uniform: model with random
+    // 160-bit values (the real h(bare coin) is a hash output).
+    BigInt point = bn::random_bits(rng, kRangeBits);
+    auto entry = table.lookup(point);
+    ASSERT_TRUE(entry.has_value());
+    hits[entry->merchant]++;
+  }
+  // heavy should get ~75%; allow generous statistical slack.
+  EXPECT_GT(hits["heavy"], kTrials * 0.65);
+  EXPECT_LT(hits["heavy"], kTrials * 0.85);
+  EXPECT_GT(hits["light"], kTrials * 0.15);
+}
+
+TEST(WitnessPoint, DerivationIsStable) {
+  std::array<std::uint8_t, 32> hash{};
+  hash[0] = 0xab;
+  auto p0 = witness_point(hash, 0);
+  auto p0_again = witness_point(hash, 0);
+  auto p1 = witness_point(hash, 1);
+  EXPECT_EQ(p0, p0_again);
+  EXPECT_NE(p0, p1);
+  EXPECT_LT(p0, BigInt{1} << kRangeBits);
+  EXPECT_LT(p1, BigInt{1} << kRangeBits);
+  // Slot 0 is the truncated coin hash itself.
+  EXPECT_EQ(p0, BigInt::from_bytes_be(
+                    std::span<const std::uint8_t>(hash.data(), 20)));
+}
+
+}  // namespace
+}  // namespace p2pcash::ecash
