@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dht_baseline.dir/bench_dht_baseline.cpp.o"
+  "CMakeFiles/bench_dht_baseline.dir/bench_dht_baseline.cpp.o.d"
+  "bench_dht_baseline"
+  "bench_dht_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dht_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_offline_baseline.dir/bench_offline_baseline.cpp.o"
+  "CMakeFiles/bench_offline_baseline.dir/bench_offline_baseline.cpp.o.d"
+  "bench_offline_baseline"
+  "bench_offline_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_offline_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_online_baseline.dir/bench_online_baseline.cpp.o"
+  "CMakeFiles/bench_online_baseline.dir/bench_online_baseline.cpp.o.d"
+  "bench_online_baseline"
+  "bench_online_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

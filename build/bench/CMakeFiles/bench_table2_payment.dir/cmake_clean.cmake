@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_payment.dir/bench_table2_payment.cpp.o"
+  "CMakeFiles/bench_table2_payment.dir/bench_table2_payment.cpp.o.d"
+  "bench_table2_payment"
+  "bench_table2_payment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_payment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

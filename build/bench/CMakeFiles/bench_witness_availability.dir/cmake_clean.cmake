@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_witness_availability.dir/bench_witness_availability.cpp.o"
+  "CMakeFiles/bench_witness_availability.dir/bench_witness_availability.cpp.o.d"
+  "bench_witness_availability"
+  "bench_witness_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_witness_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

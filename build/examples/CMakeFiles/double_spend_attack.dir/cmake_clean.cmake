@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/double_spend_attack.dir/double_spend_attack.cpp.o"
+  "CMakeFiles/double_spend_attack.dir/double_spend_attack.cpp.o.d"
+  "double_spend_attack"
+  "double_spend_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/double_spend_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

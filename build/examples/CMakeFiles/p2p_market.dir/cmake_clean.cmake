@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_market.dir/p2p_market.cpp.o"
+  "CMakeFiles/p2p_market.dir/p2p_market.cpp.o.d"
+  "p2p_market"
+  "p2p_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

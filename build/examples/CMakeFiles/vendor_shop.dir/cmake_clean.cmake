@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vendor_shop.dir/vendor_shop.cpp.o"
+  "CMakeFiles/vendor_shop.dir/vendor_shop.cpp.o.d"
+  "vendor_shop"
+  "vendor_shop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vendor_shop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/witness_failover.cpp" "examples/CMakeFiles/witness_failover.dir/witness_failover.cpp.o" "gcc" "examples/CMakeFiles/witness_failover.dir/witness_failover.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/actors/CMakeFiles/p2pcash_actors.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/p2pcash_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/p2pcash_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecash/CMakeFiles/p2pcash_ecash.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/p2pcash_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/blindsig/CMakeFiles/p2pcash_blindsig.dir/DependInfo.cmake"
+  "/root/repo/build/src/nizk/CMakeFiles/p2pcash_nizk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sig/CMakeFiles/p2pcash_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/p2pcash_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/group/CMakeFiles/p2pcash_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/p2pcash_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/p2pcash_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/bn/CMakeFiles/p2pcash_bn.dir/DependInfo.cmake"
+  "/root/repo/build/src/escrow/CMakeFiles/p2pcash_elgamal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

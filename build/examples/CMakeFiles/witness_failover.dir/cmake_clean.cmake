@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witness_failover.dir/witness_failover.cpp.o"
+  "CMakeFiles/witness_failover.dir/witness_failover.cpp.o.d"
+  "witness_failover"
+  "witness_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witness_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

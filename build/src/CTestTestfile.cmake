@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("bn")
+subdirs("crypto")
+subdirs("metrics")
+subdirs("group")
+subdirs("sig")
+subdirs("blindsig")
+subdirs("nizk")
+subdirs("wire")
+subdirs("ecash")
+subdirs("simnet")
+subdirs("actors")
+subdirs("overlay")
+subdirs("baseline")
+subdirs("escrow")

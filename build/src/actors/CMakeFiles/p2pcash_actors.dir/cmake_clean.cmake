@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pcash_actors.dir/actors.cpp.o"
+  "CMakeFiles/p2pcash_actors.dir/actors.cpp.o.d"
+  "CMakeFiles/p2pcash_actors.dir/world.cpp.o"
+  "CMakeFiles/p2pcash_actors.dir/world.cpp.o.d"
+  "libp2pcash_actors.a"
+  "libp2pcash_actors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pcash_actors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pcash_baseline.dir/dht_registry.cpp.o"
+  "CMakeFiles/p2pcash_baseline.dir/dht_registry.cpp.o.d"
+  "CMakeFiles/p2pcash_baseline.dir/offline_detection.cpp.o"
+  "CMakeFiles/p2pcash_baseline.dir/offline_detection.cpp.o.d"
+  "CMakeFiles/p2pcash_baseline.dir/online_clearing.cpp.o"
+  "CMakeFiles/p2pcash_baseline.dir/online_clearing.cpp.o.d"
+  "libp2pcash_baseline.a"
+  "libp2pcash_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pcash_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

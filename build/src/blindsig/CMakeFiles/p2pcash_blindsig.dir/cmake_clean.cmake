@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pcash_blindsig.dir/abe_okamoto.cpp.o"
+  "CMakeFiles/p2pcash_blindsig.dir/abe_okamoto.cpp.o.d"
+  "libp2pcash_blindsig.a"
+  "libp2pcash_blindsig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pcash_blindsig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

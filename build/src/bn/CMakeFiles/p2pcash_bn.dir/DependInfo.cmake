@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bn/bigint.cpp" "src/bn/CMakeFiles/p2pcash_bn.dir/bigint.cpp.o" "gcc" "src/bn/CMakeFiles/p2pcash_bn.dir/bigint.cpp.o.d"
+  "/root/repo/src/bn/montgomery.cpp" "src/bn/CMakeFiles/p2pcash_bn.dir/montgomery.cpp.o" "gcc" "src/bn/CMakeFiles/p2pcash_bn.dir/montgomery.cpp.o.d"
+  "/root/repo/src/bn/prime.cpp" "src/bn/CMakeFiles/p2pcash_bn.dir/prime.cpp.o" "gcc" "src/bn/CMakeFiles/p2pcash_bn.dir/prime.cpp.o.d"
+  "/root/repo/src/bn/rng.cpp" "src/bn/CMakeFiles/p2pcash_bn.dir/rng.cpp.o" "gcc" "src/bn/CMakeFiles/p2pcash_bn.dir/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

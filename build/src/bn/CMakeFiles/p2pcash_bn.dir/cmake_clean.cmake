@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pcash_bn.dir/bigint.cpp.o"
+  "CMakeFiles/p2pcash_bn.dir/bigint.cpp.o.d"
+  "CMakeFiles/p2pcash_bn.dir/montgomery.cpp.o"
+  "CMakeFiles/p2pcash_bn.dir/montgomery.cpp.o.d"
+  "CMakeFiles/p2pcash_bn.dir/prime.cpp.o"
+  "CMakeFiles/p2pcash_bn.dir/prime.cpp.o.d"
+  "CMakeFiles/p2pcash_bn.dir/rng.cpp.o"
+  "CMakeFiles/p2pcash_bn.dir/rng.cpp.o.d"
+  "libp2pcash_bn.a"
+  "libp2pcash_bn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pcash_bn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for p2pcash_bn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pcash_crypto.dir/chacha.cpp.o"
+  "CMakeFiles/p2pcash_crypto.dir/chacha.cpp.o.d"
+  "CMakeFiles/p2pcash_crypto.dir/encoding.cpp.o"
+  "CMakeFiles/p2pcash_crypto.dir/encoding.cpp.o.d"
+  "CMakeFiles/p2pcash_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/p2pcash_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/p2pcash_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/p2pcash_crypto.dir/sha256.cpp.o.d"
+  "libp2pcash_crypto.a"
+  "libp2pcash_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pcash_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pcash_ecash.dir/arbiter.cpp.o"
+  "CMakeFiles/p2pcash_ecash.dir/arbiter.cpp.o.d"
+  "CMakeFiles/p2pcash_ecash.dir/broker.cpp.o"
+  "CMakeFiles/p2pcash_ecash.dir/broker.cpp.o.d"
+  "CMakeFiles/p2pcash_ecash.dir/coin.cpp.o"
+  "CMakeFiles/p2pcash_ecash.dir/coin.cpp.o.d"
+  "CMakeFiles/p2pcash_ecash.dir/common.cpp.o"
+  "CMakeFiles/p2pcash_ecash.dir/common.cpp.o.d"
+  "CMakeFiles/p2pcash_ecash.dir/deployment.cpp.o"
+  "CMakeFiles/p2pcash_ecash.dir/deployment.cpp.o.d"
+  "CMakeFiles/p2pcash_ecash.dir/merchant.cpp.o"
+  "CMakeFiles/p2pcash_ecash.dir/merchant.cpp.o.d"
+  "CMakeFiles/p2pcash_ecash.dir/transcript.cpp.o"
+  "CMakeFiles/p2pcash_ecash.dir/transcript.cpp.o.d"
+  "CMakeFiles/p2pcash_ecash.dir/wallet.cpp.o"
+  "CMakeFiles/p2pcash_ecash.dir/wallet.cpp.o.d"
+  "CMakeFiles/p2pcash_ecash.dir/witness.cpp.o"
+  "CMakeFiles/p2pcash_ecash.dir/witness.cpp.o.d"
+  "CMakeFiles/p2pcash_ecash.dir/witness_table.cpp.o"
+  "CMakeFiles/p2pcash_ecash.dir/witness_table.cpp.o.d"
+  "libp2pcash_ecash.a"
+  "libp2pcash_ecash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pcash_ecash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

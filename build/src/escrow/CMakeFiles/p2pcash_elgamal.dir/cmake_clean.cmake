@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pcash_elgamal.dir/elgamal.cpp.o"
+  "CMakeFiles/p2pcash_elgamal.dir/elgamal.cpp.o.d"
+  "libp2pcash_elgamal.a"
+  "libp2pcash_elgamal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pcash_elgamal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pcash_escrow.dir/escrow.cpp.o"
+  "CMakeFiles/p2pcash_escrow.dir/escrow.cpp.o.d"
+  "libp2pcash_escrow.a"
+  "libp2pcash_escrow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pcash_escrow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

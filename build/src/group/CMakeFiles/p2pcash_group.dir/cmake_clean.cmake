@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pcash_group.dir/schnorr_group.cpp.o"
+  "CMakeFiles/p2pcash_group.dir/schnorr_group.cpp.o.d"
+  "libp2pcash_group.a"
+  "libp2pcash_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pcash_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

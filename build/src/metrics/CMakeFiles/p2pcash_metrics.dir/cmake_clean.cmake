@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pcash_metrics.dir/counters.cpp.o"
+  "CMakeFiles/p2pcash_metrics.dir/counters.cpp.o.d"
+  "CMakeFiles/p2pcash_metrics.dir/stats.cpp.o"
+  "CMakeFiles/p2pcash_metrics.dir/stats.cpp.o.d"
+  "libp2pcash_metrics.a"
+  "libp2pcash_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pcash_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

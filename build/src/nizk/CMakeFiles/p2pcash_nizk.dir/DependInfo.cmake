@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nizk/representation.cpp" "src/nizk/CMakeFiles/p2pcash_nizk.dir/representation.cpp.o" "gcc" "src/nizk/CMakeFiles/p2pcash_nizk.dir/representation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/group/CMakeFiles/p2pcash_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/p2pcash_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bn/CMakeFiles/p2pcash_bn.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/p2pcash_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pcash_nizk.dir/representation.cpp.o"
+  "CMakeFiles/p2pcash_nizk.dir/representation.cpp.o.d"
+  "libp2pcash_nizk.a"
+  "libp2pcash_nizk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pcash_nizk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pcash_overlay.dir/chord.cpp.o"
+  "CMakeFiles/p2pcash_overlay.dir/chord.cpp.o.d"
+  "libp2pcash_overlay.a"
+  "libp2pcash_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pcash_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

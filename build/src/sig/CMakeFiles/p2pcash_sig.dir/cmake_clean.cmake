@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pcash_sig.dir/schnorr_sig.cpp.o"
+  "CMakeFiles/p2pcash_sig.dir/schnorr_sig.cpp.o.d"
+  "libp2pcash_sig.a"
+  "libp2pcash_sig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pcash_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/models.cpp" "src/simnet/CMakeFiles/p2pcash_simnet.dir/models.cpp.o" "gcc" "src/simnet/CMakeFiles/p2pcash_simnet.dir/models.cpp.o.d"
+  "/root/repo/src/simnet/net.cpp" "src/simnet/CMakeFiles/p2pcash_simnet.dir/net.cpp.o" "gcc" "src/simnet/CMakeFiles/p2pcash_simnet.dir/net.cpp.o.d"
+  "/root/repo/src/simnet/sim.cpp" "src/simnet/CMakeFiles/p2pcash_simnet.dir/sim.cpp.o" "gcc" "src/simnet/CMakeFiles/p2pcash_simnet.dir/sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bn/CMakeFiles/p2pcash_bn.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/p2pcash_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/p2pcash_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/p2pcash_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

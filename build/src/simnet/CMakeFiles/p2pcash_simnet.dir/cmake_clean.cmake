@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pcash_simnet.dir/models.cpp.o"
+  "CMakeFiles/p2pcash_simnet.dir/models.cpp.o.d"
+  "CMakeFiles/p2pcash_simnet.dir/net.cpp.o"
+  "CMakeFiles/p2pcash_simnet.dir/net.cpp.o.d"
+  "CMakeFiles/p2pcash_simnet.dir/sim.cpp.o"
+  "CMakeFiles/p2pcash_simnet.dir/sim.cpp.o.d"
+  "libp2pcash_simnet.a"
+  "libp2pcash_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pcash_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pcash_wire.dir/codec.cpp.o"
+  "CMakeFiles/p2pcash_wire.dir/codec.cpp.o.d"
+  "CMakeFiles/p2pcash_wire.dir/uri_form.cpp.o"
+  "CMakeFiles/p2pcash_wire.dir/uri_form.cpp.o.d"
+  "libp2pcash_wire.a"
+  "libp2pcash_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pcash_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blindsig_test.dir/blindsig_test.cpp.o"
+  "CMakeFiles/blindsig_test.dir/blindsig_test.cpp.o.d"
+  "blindsig_test"
+  "blindsig_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blindsig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

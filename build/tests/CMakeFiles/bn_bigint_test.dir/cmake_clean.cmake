@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bn_bigint_test.dir/bn_bigint_test.cpp.o"
+  "CMakeFiles/bn_bigint_test.dir/bn_bigint_test.cpp.o.d"
+  "bn_bigint_test"
+  "bn_bigint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bn_bigint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

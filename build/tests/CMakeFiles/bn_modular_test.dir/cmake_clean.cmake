@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bn_modular_test.dir/bn_modular_test.cpp.o"
+  "CMakeFiles/bn_modular_test.dir/bn_modular_test.cpp.o.d"
+  "bn_modular_test"
+  "bn_modular_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bn_modular_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bn_prime_test.dir/bn_prime_test.cpp.o"
+  "CMakeFiles/bn_prime_test.dir/bn_prime_test.cpp.o.d"
+  "bn_prime_test"
+  "bn_prime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bn_prime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

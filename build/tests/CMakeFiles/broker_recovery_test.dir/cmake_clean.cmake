@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broker_recovery_test.dir/broker_recovery_test.cpp.o"
+  "CMakeFiles/broker_recovery_test.dir/broker_recovery_test.cpp.o.d"
+  "broker_recovery_test"
+  "broker_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broker_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commitment_test.dir/commitment_test.cpp.o"
+  "CMakeFiles/commitment_test.dir/commitment_test.cpp.o.d"
+  "commitment_test"
+  "commitment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commitment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_chacha_test.dir/crypto_chacha_test.cpp.o"
+  "CMakeFiles/crypto_chacha_test.dir/crypto_chacha_test.cpp.o.d"
+  "crypto_chacha_test"
+  "crypto_chacha_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_chacha_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_encoding_test.dir/crypto_encoding_test.cpp.o"
+  "CMakeFiles/crypto_encoding_test.dir/crypto_encoding_test.cpp.o.d"
+  "crypto_encoding_test"
+  "crypto_encoding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_encoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doublespend_test.dir/doublespend_test.cpp.o"
+  "CMakeFiles/doublespend_test.dir/doublespend_test.cpp.o.d"
+  "doublespend_test"
+  "doublespend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doublespend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

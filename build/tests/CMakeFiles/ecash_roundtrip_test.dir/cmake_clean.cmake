@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecash_roundtrip_test.dir/ecash_roundtrip_test.cpp.o"
+  "CMakeFiles/ecash_roundtrip_test.dir/ecash_roundtrip_test.cpp.o.d"
+  "ecash_roundtrip_test"
+  "ecash_roundtrip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecash_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/economy_test.dir/economy_test.cpp.o"
+  "CMakeFiles/economy_test.dir/economy_test.cpp.o.d"
+  "economy_test"
+  "economy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/economy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

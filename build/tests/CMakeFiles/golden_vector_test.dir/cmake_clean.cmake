@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_vector_test.dir/golden_vector_test.cpp.o"
+  "CMakeFiles/golden_vector_test.dir/golden_vector_test.cpp.o.d"
+  "golden_vector_test"
+  "golden_vector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renewal_test.dir/renewal_test.cpp.o"
+  "CMakeFiles/renewal_test.dir/renewal_test.cpp.o.d"
+  "renewal_test"
+  "renewal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renewal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_rotation_test.dir/table_rotation_test.cpp.o"
+  "CMakeFiles/table_rotation_test.dir/table_rotation_test.cpp.o.d"
+  "table_rotation_test"
+  "table_rotation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_rotation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

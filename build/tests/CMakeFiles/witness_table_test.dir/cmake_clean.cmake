@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witness_table_test.dir/witness_table_test.cpp.o"
+  "CMakeFiles/witness_table_test.dir/witness_table_test.cpp.o.d"
+  "witness_table_test"
+  "witness_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witness_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
