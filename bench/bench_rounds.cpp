@@ -20,7 +20,7 @@ int main() {
   opt.cost = simnet::free_cost();
   SimWorld world(grp, opt);
   auto& client = world.add_client();
-  const simnet::NodeId client_node = 1 + opt.merchants;
+  const auto client_node = static_cast<simnet::NodeId>(1 + opt.merchants);
 
   bench::header("R", "message rounds per protocol (measured on the wire)");
 
@@ -42,8 +42,8 @@ int main() {
     });
   });
   std::printf("  withdrawal : %2llu messages = %llu round trips (paper: 2 rounds)\n",
-              (unsigned long long)withdrawal_msgs,
-              (unsigned long long)withdrawal_msgs / 2);
+              static_cast<unsigned long long>(withdrawal_msgs),
+              static_cast<unsigned long long>(withdrawal_msgs) / 2);
 
   ecash::MerchantId target;
   for (const auto& id : world.merchant_ids()) {
@@ -57,8 +57,8 @@ int main() {
   });
   std::printf("  payment    : %2llu messages = %llu round trips (paper: 3 rounds:"
               " 1 commit + 2 payment)\n",
-              (unsigned long long)payment_msgs,
-              (unsigned long long)payment_msgs / 2);
+              static_cast<unsigned long long>(payment_msgs),
+              static_cast<unsigned long long>(payment_msgs) / 2);
 
   auto deposit_msgs = total_messages([&] {
     auto queue = world.merchant(target).drain_deposit_queue();
@@ -70,7 +70,7 @@ int main() {
   });
   std::printf("  deposit    : %2llu message(s) one-way + receipt (paper: "
               "one-sided, 1 message)\n",
-              (unsigned long long)deposit_msgs - 1);
+              static_cast<unsigned long long>(deposit_msgs) - 1);
   bench::note("");
   bench::note("note: our broker acks deposits with a receipt; the paper's");
   bench::note("deposit is fire-and-forget. The merchant-side cost is 1 send.");

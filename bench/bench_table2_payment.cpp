@@ -38,7 +38,7 @@ TrialResults run_trials(const group::SchnorrGroup& grp,
   opt.latency_hi = 50;
   SimWorld world(grp, opt);
   auto& client = world.add_client();
-  const simnet::NodeId client_node = 1 + opt.merchants;
+  const auto client_node = static_cast<simnet::NodeId>(1 + opt.merchants);
 
   TrialResults results;
   for (int trial = 0; trial < trials; ++trial) {

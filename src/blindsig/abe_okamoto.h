@@ -50,13 +50,32 @@ class BlindSigner {
  public:
   BlindSigner(group::SchnorrGroup grp, bn::BigInt secret_x);
 
+  /// Wipes the signing key x.
+  ~BlindSigner() { x_.wipe(); }
+  BlindSigner(const BlindSigner&) = default;
+  BlindSigner& operator=(const BlindSigner&) = default;
+  BlindSigner(BlindSigner&&) noexcept = default;
+  BlindSigner& operator=(BlindSigner&&) noexcept = default;
+
   /// Per-run signer state. Holds the secrets (u, s, d); must be used for
-  /// exactly one respond().
+  /// exactly one respond().  The nonces are zeroized on destruction: a
+  /// leaked u recovers the signing key from (c, r) via x = (u - r) / c.
   struct Session {
     std::vector<std::uint8_t> info;
     bn::BigInt z;        // F(info)
-    bn::BigInt u, s, d;  // signer nonces
+    bn::BigInt u, s, d;  // signer nonces  // ct-secret: u, s, d
     SignerFirstMessage first;
+
+    Session() = default;
+    ~Session() {
+      u.wipe();
+      s.wipe();
+      d.wipe();
+    }
+    Session(const Session&) = default;
+    Session& operator=(const Session&) = default;
+    Session(Session&&) noexcept = default;
+    Session& operator=(Session&&) noexcept = default;
   };
 
   /// Step 1: commits to nonces for a signature on `info`.
@@ -70,7 +89,7 @@ class BlindSigner {
 
  private:
   group::SchnorrGroup grp_;
-  bn::BigInt x_;
+  bn::BigInt x_;  // ct-secret: x_
   bn::BigInt y_;
 };
 
@@ -81,6 +100,19 @@ class BlindRequester {
   /// attachment the signer must also know.
   BlindRequester(group::SchnorrGroup grp, bn::BigInt signer_y,
                  std::vector<std::uint8_t> info, std::vector<std::uint8_t> msg);
+
+  /// Wipes the blinding factors t1..t4 — they link the blinded session to
+  /// the unblinded coin, so their lifetime bounds the unlinkability window.
+  ~BlindRequester() {
+    t1_.wipe();
+    t2_.wipe();
+    t3_.wipe();
+    t4_.wipe();
+  }
+  BlindRequester(const BlindRequester&) = default;
+  BlindRequester& operator=(const BlindRequester&) = default;
+  BlindRequester(BlindRequester&&) noexcept = default;
+  BlindRequester& operator=(BlindRequester&&) noexcept = default;
 
   /// Step 2: blinds the signer's commitment into challenge e.
   bn::BigInt challenge(const SignerFirstMessage& first, bn::Rng& rng);
@@ -95,7 +127,7 @@ class BlindRequester {
   std::vector<std::uint8_t> info_;
   std::vector<std::uint8_t> msg_;
   bn::BigInt z_;
-  bn::BigInt t1_, t2_, t3_, t4_;
+  bn::BigInt t1_, t2_, t3_, t4_;  // ct-secret: t1_, t2_, t3_, t4_
   bn::BigInt e_;
   bool challenged_ = false;
 };

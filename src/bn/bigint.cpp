@@ -59,6 +59,18 @@ void BigInt::normalize() {
   if (limbs_.empty()) negative_ = false;
 }
 
+void BigInt::wipe() noexcept {
+  if (!limbs_.empty()) {
+    volatile Limb* p = limbs_.data();
+    for (std::size_t i = 0; i < limbs_.size(); ++i) p[i] = 0;
+#if defined(__GNUC__) || defined(__clang__)
+    __asm__ __volatile__("" : : "r"(limbs_.data()) : "memory");
+#endif
+  }
+  limbs_.clear();
+  negative_ = false;
+}
+
 BigInt BigInt::from_string(std::string_view s) {
   bool neg = false;
   if (!s.empty() && (s[0] == '-' || s[0] == '+')) {

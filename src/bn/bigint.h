@@ -123,6 +123,12 @@ class BigInt {
   /// Read-only access to limbs (little-endian), for codec/Montgomery layers.
   std::span<const Limb> limbs() const { return limbs_; }
 
+  /// Zeroizes the value (volatile stores, not elidable) and resets it to
+  /// zero.  Call on secret scalars — keys, nonces, blinding factors —
+  /// before they go out of scope.  Note: only the *current* limb buffer is
+  /// wiped; intermediate buffers from earlier arithmetic are not tracked.
+  void wipe() noexcept;
+
  private:
   static BigInt from_limbs(std::vector<Limb> limbs, bool negative);
   void normalize();

@@ -12,7 +12,10 @@ BigInt random_bits(Rng& rng, std::size_t bits) {
   // Mask off excess high bits so the value is uniform in [0, 2^bits).
   unsigned excess = static_cast<unsigned>(buf.size() * 8 - bits);
   buf[0] &= static_cast<std::uint8_t>(0xffu >> excess);
-  return BigInt::from_bytes_be(buf);
+  BigInt result = BigInt::from_bytes_be(buf);
+  // The staging bytes are the secret-to-be; don't leave them on the heap.
+  crypto::secure_wipe(buf);
+  return result;
 }
 
 BigInt random_below(Rng& rng, const BigInt& bound) {
@@ -23,6 +26,7 @@ BigInt random_below(Rng& rng, const BigInt& bound) {
   for (;;) {
     BigInt candidate = random_bits(rng, bits);
     if (candidate < bound) return candidate;
+    candidate.wipe();  // rejected draws are still secret material
   }
 }
 

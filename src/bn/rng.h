@@ -11,6 +11,7 @@
 #include <span>
 
 #include "bn/bigint.h"
+#include "crypto/secret.h"  // header-only; no link dependency on crypto
 
 namespace p2pcash::bn {
 
@@ -26,6 +27,7 @@ class Rng {
     fill(buf);
     std::uint64_t v = 0;
     for (auto b : buf) v = (v << 8) | b;
+    crypto::secure_wipe(buf);  // raw RNG output may seed secret scalars
     return v;
   }
 };

@@ -13,6 +13,7 @@
 #include <string_view>
 
 #include "bn/rng.h"
+#include "crypto/secret.h"
 
 namespace p2pcash::crypto {
 
@@ -38,10 +39,21 @@ class ChaChaRng final : public bn::Rng {
   /// independent of the parent's future output.
   ChaChaRng fork(std::string_view label);
 
+  /// Wipes the key and any buffered keystream: the internal state predicts
+  /// every secret scalar this RNG ever produced.
+  ~ChaChaRng() override {
+    secure_wipe(key_);
+    secure_wipe(block_);
+  }
+  ChaChaRng(const ChaChaRng&) = default;
+  ChaChaRng& operator=(const ChaChaRng&) = default;
+  ChaChaRng(ChaChaRng&&) noexcept = default;
+  ChaChaRng& operator=(ChaChaRng&&) noexcept = default;
+
  private:
   void refill();
 
-  std::array<std::uint32_t, 8> key_{};
+  std::array<std::uint32_t, 8> key_{};  // ct-secret: key_
   std::array<std::uint32_t, 3> nonce_{};
   std::uint32_t counter_ = 0;
   std::array<std::uint8_t, 64> block_{};

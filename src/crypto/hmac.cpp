@@ -12,7 +12,7 @@ Sha256::Digest hmac_sha256(std::span<const std::uint8_t> key,
   if (key.size() > 64) {
     auto d = Sha256::hash(key);
     std::memcpy(k_block.data(), d.data(), d.size());
-  } else {
+  } else if (!key.empty()) {  // empty key: null data() is UB for memcpy
     std::memcpy(k_block.data(), key.data(), key.size());
   }
   std::array<std::uint8_t, 64> ipad{};
@@ -61,7 +61,8 @@ bool constant_time_equal(std::span<const std::uint8_t> a,
                          std::span<const std::uint8_t> b) {
   if (a.size() != b.size()) return false;
   std::uint8_t acc = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
   return acc == 0;
 }
 

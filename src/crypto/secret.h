@@ -1,0 +1,116 @@
+// secret.h — secret-hygiene primitives: guaranteed zeroization.
+//
+// The protocols in this library are only as private as the handling of
+// their secret scalars: the wallet's representation secrets (x1, x2, y1,
+// y2), the requester's blinding factors (t1..t4), the signer's per-session
+// nonces (u, s, d) and long-term keys.  A copy of any of these left in
+// freed heap memory defeats the unlinkability argument against a local
+// adversary (core dumps, swap, reuse of allocations).
+//
+// `secure_wipe` zeroizes memory through a volatile pointer followed by a
+// compiler barrier, so the store cannot be elided as a dead write the way
+// a plain memset before free routinely is.  `SecretBuffer` is an owning
+// byte buffer that wipes itself on destruction and cannot be copied or
+// compared with `==` (use `constant_time_equal` from crypto/hmac.h).
+//
+// This header is intentionally header-only: the bn layer (below crypto in
+// the link graph) includes it for wiping randomness staging buffers
+// without creating a library cycle.
+//
+// Secret-hygiene rules are enforced by tools/ct_lint.py; see
+// docs/STATIC_ANALYSIS.md for what counts as a secret and how to annotate.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace p2pcash::crypto {
+
+/// Zeroizes `n` bytes at `p`. Never elided: writes go through a volatile
+/// pointer and are followed by a compiler barrier.
+inline void secure_wipe(void* p, std::size_t n) noexcept {
+  if (p == nullptr || n == 0) return;
+  volatile auto* vp = static_cast<volatile std::uint8_t*>(p);
+  for (std::size_t i = 0; i < n; ++i) vp[i] = 0;
+#if defined(__GNUC__) || defined(__clang__)
+  __asm__ __volatile__("" : : "r"(p) : "memory");
+#endif
+}
+
+/// Zeroizes a contiguous range of trivially-copyable objects in place
+/// (vector, array, C array, span).  The range keeps its size; only the
+/// contents are cleared.
+template <typename C>
+  requires requires(C& c) { std::span(c); } &&
+           std::is_trivially_copyable_v<typename decltype(std::span(
+               std::declval<C&>()))::element_type>
+inline void secure_wipe(C& container) noexcept {
+  auto s = std::span(container);
+  secure_wipe(static_cast<void*>(s.data()), s.size_bytes());
+}
+
+/// An owning byte buffer that zeroizes its contents on destruction.
+///
+/// Move-only: copying a secret multiplies the surfaces that must be wiped,
+/// so copies are explicit via `clone()`.  Equality comparison is deleted —
+/// comparing secrets byte-by-byte is a timing oracle; callers must use
+/// `crypto::constant_time_equal` on the spans instead.
+class SecretBuffer {
+ public:
+  SecretBuffer() = default;
+  explicit SecretBuffer(std::size_t size) : bytes_(size) {}
+  explicit SecretBuffer(std::span<const std::uint8_t> data)
+      : bytes_(data.begin(), data.end()) {}
+  explicit SecretBuffer(std::vector<std::uint8_t>&& data) noexcept
+      : bytes_(std::move(data)) {}
+
+  ~SecretBuffer() { wipe(); }
+
+  SecretBuffer(const SecretBuffer&) = delete;
+  SecretBuffer& operator=(const SecretBuffer&) = delete;
+
+  SecretBuffer(SecretBuffer&& other) noexcept : bytes_(std::move(other.bytes_)) {
+    other.bytes_.clear();  // moved-from must own nothing left to wipe
+  }
+  SecretBuffer& operator=(SecretBuffer&& other) noexcept {
+    if (this != &other) {
+      wipe();
+      bytes_ = std::move(other.bytes_);
+      other.bytes_.clear();
+    }
+    return *this;
+  }
+
+  /// Deliberate, explicit duplication of the secret.
+  SecretBuffer clone() const { return SecretBuffer(std::span(bytes_)); }
+
+  std::uint8_t* data() noexcept { return bytes_.data(); }
+  const std::uint8_t* data() const noexcept { return bytes_.data(); }
+  std::size_t size() const noexcept { return bytes_.size(); }
+  bool empty() const noexcept { return bytes_.empty(); }
+
+  std::span<std::uint8_t> span() noexcept { return bytes_; }
+  std::span<const std::uint8_t> span() const noexcept { return bytes_; }
+
+  /// Implicit view conversions so SecretBuffer can be passed directly to
+  /// span-taking crypto APIs (hmac_sha256, hkdf_*).
+  operator std::span<const std::uint8_t>() const noexcept { return bytes_; }
+
+  /// Zeroizes and empties the buffer now.
+  void wipe() noexcept {
+    secure_wipe(bytes_);
+    bytes_.clear();
+  }
+
+  friend bool operator==(const SecretBuffer&, const SecretBuffer&) = delete;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace p2pcash::crypto

@@ -78,6 +78,9 @@ void Sha256::process_block(const std::uint8_t* block) {
 }
 
 Sha256& Sha256::update(std::span<const std::uint8_t> data) {
+  // Empty spans may carry a null data() — passing that to memcpy is UB
+  // even with a zero length.
+  if (data.empty()) return *this;
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {

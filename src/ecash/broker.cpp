@@ -27,21 +27,25 @@ Broker::Broker(group::SchnorrGroup grp, bn::Rng& rng, Config config)
 
 void Broker::register_merchant(const MerchantId& id, const sig::PublicKey& key,
                                Cents security_deposit) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& account = accounts_[id];
   account.key = key;
   account.deposit_remaining = security_deposit;
 }
 
 bool Broker::is_registered(const MerchantId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return accounts_.contains(id);
 }
 
 const Broker::MerchantAccount* Broker::account(const MerchantId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = accounts_.find(id);
   return it == accounts_.end() ? nullptr : &it->second;
 }
 
 void Broker::set_weight(const MerchantId& id, std::uint64_t weight) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = accounts_.find(id);
   if (it == accounts_.end())
     throw std::invalid_argument("Broker::set_weight: unknown merchant");
@@ -51,6 +55,7 @@ void Broker::set_weight(const MerchantId& id, std::uint64_t weight) {
 }
 
 const WitnessTable& Broker::publish_witness_table(Timestamp now) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<WitnessTable::Participant> participants;
   for (const auto& [id, account] : accounts_) {
     if (account.flagged) continue;  // caught cheating: out of the rotation
@@ -65,12 +70,18 @@ const WitnessTable& Broker::publish_witness_table(Timestamp now) {
 }
 
 const WitnessTable& Broker::current_table() const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (tables_.empty())
     throw std::logic_error("Broker: no witness table published yet");
   return tables_.back();
 }
 
 const WitnessTable* Broker::table(std::uint32_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_unlocked(version);
+}
+
+const WitnessTable* Broker::table_unlocked(std::uint32_t version) const {
   if (version == 0 || version > tables_.size()) return nullptr;
   return &tables_[version - 1];
 }
@@ -78,7 +89,8 @@ const WitnessTable* Broker::table(std::uint32_t version) const {
 CoinInfo Broker::make_info(Cents denomination, Timestamp now) const {
   CoinInfo info;
   info.denomination = denomination;
-  info.list_version = current_table().version();
+  // Callers hold mu_ and have checked tables_ is non-empty.
+  info.list_version = tables_.back().version();
   info.soft_expiry = now + config_.soft_lifetime_ms;
   info.hard_expiry = info.soft_expiry + config_.renewal_window_ms;
   info.witness_n = config_.witness_n;
@@ -88,6 +100,7 @@ CoinInfo Broker::make_info(Cents denomination, Timestamp now) const {
 
 Outcome<Broker::WithdrawalOffer> Broker::start_withdrawal(Cents denomination,
                                                           Timestamp now) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (tables_.empty())
     return Refusal{RefusalReason::kInternal, "no witness table published"};
   if (denomination == 0)
@@ -105,6 +118,7 @@ Outcome<Broker::WithdrawalOffer> Broker::start_withdrawal(Cents denomination,
 Outcome<Broker::WithdrawalOffer> Broker::start_withdrawal_escrowed(
     Cents denomination, const std::string& client_identity,
     const bn::BigInt& escrow_authority_y, Timestamp now) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (tables_.empty())
     return Refusal{RefusalReason::kInternal, "no witness table published"};
   if (denomination == 0)
@@ -125,6 +139,7 @@ Outcome<Broker::WithdrawalOffer> Broker::start_withdrawal_escrowed(
 
 Outcome<blindsig::SignerResponse> Broker::finish_withdrawal(
     std::uint64_t session, const BigInt& e) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = withdrawal_sessions_.find(session);
   if (it == withdrawal_sessions_.end())
     return Refusal{RefusalReason::kStaleRequest, "unknown withdrawal session"};
@@ -136,7 +151,7 @@ Outcome<blindsig::SignerResponse> Broker::finish_withdrawal(
 
 Outcome<std::monostate> Broker::check_witness_assignment(
     const Coin& coin, const Hash256& coin_hash) const {
-  const WitnessTable* tbl = table(coin.bare.info.list_version);
+  const WitnessTable* tbl = table_unlocked(coin.bare.info.list_version);
   if (!tbl)
     return Refusal{RefusalReason::kInvalidCoin, "unknown table version"};
   if (coin.witnesses.size() != coin.bare.info.witness_n)
@@ -222,6 +237,7 @@ Outcome<std::vector<MerchantId>> Broker::validate_signed_transcript(
 Outcome<Broker::DepositReceipt> Broker::deposit(const MerchantId& depositor,
                                                 const SignedTranscript& st,
                                                 Timestamp now) {
+  std::lock_guard<std::mutex> lock(mu_);
   const PaymentTranscript& t = st.transcript;
   const CoinInfo& info = t.coin.bare.info;
 
@@ -299,6 +315,7 @@ Outcome<Broker::DepositReceipt> Broker::deposit(const MerchantId& depositor,
 Outcome<std::vector<Broker::WithdrawalOffer>> Broker::exchange(
     const SignedTranscript& st, const std::vector<Cents>& denominations,
     Timestamp now) {
+  std::lock_guard<std::mutex> lock(mu_);
   const PaymentTranscript& t = st.transcript;
   const CoinInfo& info = t.coin.bare.info;
   if (t.merchant != kBrokerCounterparty)
@@ -359,6 +376,7 @@ BigInt Broker::renewal_challenge(const Coin& coin,
 
 Outcome<Broker::RenewalOffer> Broker::start_renewal(Cents denomination,
                                                     Timestamp now) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (tables_.empty())
     return Refusal{RefusalReason::kInternal, "no witness table published"};
   RenewalOffer offer;
@@ -373,6 +391,7 @@ Outcome<Broker::RenewalOffer> Broker::start_renewal(Cents denomination,
 Outcome<blindsig::SignerResponse> Broker::finish_renewal(
     std::uint64_t session, const BigInt& e, const Coin& old_coin,
     const nizk::Response& proof, Timestamp datetime, Timestamp now) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = renewal_sessions_.find(session);
   if (it == renewal_sessions_.end())
     return Refusal{RefusalReason::kStaleRequest, "unknown renewal session"};
@@ -455,6 +474,7 @@ Outcome<blindsig::SignerResponse> Broker::finish_renewal(
 
 
 std::vector<std::uint8_t> Broker::snapshot_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
   wire::Writer w;
   w.put_string("p2pcash/broker-snapshot/v1");
   w.put_bigint(signer_.secret_x());
@@ -511,6 +531,7 @@ Hash256 snapshot_hash(wire::Reader& r) {
 }  // namespace
 
 void Broker::restore_state(std::span<const std::uint8_t> snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
   wire::Reader r(snapshot);
   if (r.get_string() != "p2pcash/broker-snapshot/v1")
     throw wire::DecodeError("broker snapshot: bad magic");
@@ -530,7 +551,7 @@ void Broker::restore_state(std::span<const std::uint8_t> snapshot) {
     account.flagged = r.get_u8() != 0;
     accounts.emplace(std::move(id), std::move(account));
   }
-  std::vector<WitnessTable> tables;
+  std::deque<WitnessTable> tables;
   for (std::uint32_t i = 0, n = r.get_u32(); i < n; ++i)
     tables.push_back(WitnessTable::decode(r));
   std::map<Hash256, DepositRecord> deposits;

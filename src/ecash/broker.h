@@ -16,11 +16,22 @@
 // race with a grace window: deposits are accepted until soft_expiry +
 // grace, renewals only after it, so a coin can never be both deposited and
 // renewed legitimately.
+//
+// Thread safety: a real broker serves many clients at once, so every
+// public entry point takes an internal mutex — concurrent withdrawals,
+// deposits, renewals and table publications are serialized and the
+// check-then-record sequences (deposit dedup, one-response-per-session)
+// stay atomic.  Published tables live in a deque so references returned by
+// current_table()/table() stay valid across later publications.  Accessors
+// that return references into live state (witness_faults(),
+// renewal_fraud_proofs()) require the broker to be quiescent.
 
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -58,8 +69,14 @@ class Broker {
   Broker(group::SchnorrGroup grp, bn::Rng& rng)
       : Broker(std::move(grp), rng, Config{}) {}
 
-  const Config& config() const { return config_; }
-  void set_config(const Config& config) { config_ = config; }
+  Config config() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return config_;
+  }
+  void set_config(const Config& config) {
+    std::lock_guard<std::mutex> lock(mu_);
+    config_ = config;
+  }
 
   /// The broker's public key y = g^x — verifies both coin blind signatures
   /// and Sig_B on witness-range entries (one broker identity, as in the
@@ -189,10 +206,22 @@ class Broker {
   const std::vector<DoubleSpendProof>& renewal_fraud_proofs() const {
     return renewal_fraud_proofs_;
   }
-  std::uint64_t coins_issued() const { return coins_issued_; }
-  std::uint64_t coins_deposited() const { return deposits_.size(); }
-  std::int64_t fiat_collected() const { return fiat_collected_; }
-  std::int64_t fiat_paid_out() const { return fiat_paid_out_; }
+  std::uint64_t coins_issued() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return coins_issued_;
+  }
+  std::uint64_t coins_deposited() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return deposits_.size();
+  }
+  std::int64_t fiat_collected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fiat_collected_;
+  }
+  std::int64_t fiat_paid_out() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fiat_paid_out_;
+  }
 
   // ---- crash recovery --------------------------------------------------
   //
@@ -220,6 +249,8 @@ class Broker {
   };
 
   CoinInfo make_info(Cents denomination, Timestamp now) const;
+  /// Lock-free table lookup for use inside already-locked entry points.
+  const WitnessTable* table_unlocked(std::uint32_t version) const;
   /// Validates witness entries against the broker's own published table.
   Outcome<std::monostate> check_witness_assignment(
       const Coin& coin, const Hash256& coin_hash) const;
@@ -236,8 +267,14 @@ class Broker {
   blindsig::BlindSigner signer_;  // coin key (x, y)
   sig::KeyPair identity_;        // table/entry signing key
 
+  /// Serializes every public entry point (see the thread-safety note in
+  /// the header comment).  Private helpers assume it is already held.
+  mutable std::mutex mu_;
+
   std::map<MerchantId, MerchantAccount> accounts_;
-  std::vector<WitnessTable> tables_;  // index i holds version i+1
+  /// Deque, not vector: publish_witness_table appends while clients hold
+  /// references from current_table()/table(), which must stay valid.
+  std::deque<WitnessTable> tables_;  // index i holds version i+1
 
   std::uint64_t next_session_ = 1;
   std::map<std::uint64_t, blindsig::BlindSigner::Session> withdrawal_sessions_;

@@ -7,7 +7,7 @@ namespace p2pcash::ecash {
 
 namespace {
 MerchantId merchant_name(std::size_t i) {
-  char buf[16];
+  char buf[32];  // large enough for "m" + any 64-bit index
   std::snprintf(buf, sizeof buf, "m%03zu", i);
   return buf;
 }

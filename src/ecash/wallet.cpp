@@ -81,8 +81,12 @@ Outcome<WalletCoin> Wallet::finish(const CoinInfo& info,
 Outcome<WalletCoin> Wallet::complete_withdrawal(
     Withdrawal& state, const blindsig::SignerResponse& resp,
     const WitnessTable& table) {
-  return finish(state.info, state.secret, state.comm, state.requester, resp,
-                table);
+  auto out = finish(state.info, state.secret, state.comm, state.requester,
+                    resp, table);
+  // On success the coin owns the only live copy; the in-flight state must
+  // not keep a second one (the caller may hold `state` indefinitely).
+  if (out) state.secret.wipe();
+  return out;
 }
 
 Wallet::PaymentIntent Wallet::prepare_payment(const WalletCoin& coin,
@@ -175,8 +179,10 @@ Wallet::Renewal Wallet::begin_renewal(const WalletCoin& old_coin,
 Outcome<WalletCoin> Wallet::complete_renewal(
     Renewal& state, const blindsig::SignerResponse& resp,
     const WitnessTable& table) {
-  return finish(state.info, state.secret, state.comm, state.requester, resp,
-                table);
+  auto out = finish(state.info, state.secret, state.comm, state.requester,
+                    resp, table);
+  if (out) state.secret.wipe();
+  return out;
 }
 
 Wallet::ReceiveIntent Wallet::prepare_receive() {

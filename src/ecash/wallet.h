@@ -19,7 +19,9 @@
 
 namespace p2pcash::ecash {
 
-/// A coin plus the secrets that let its owner spend it.
+/// A coin plus the secrets that let its owner spend it.  The secrets are
+/// zeroized when the WalletCoin is destroyed (see nizk::CoinSecret), so
+/// spent or dropped coins leave no recoverable ownership material.
 struct WalletCoin {
   Coin coin;
   nizk::CoinSecret secret;
@@ -30,6 +32,10 @@ class Wallet {
   /// `rng` must outlive the wallet.
   Wallet(group::SchnorrGroup grp, sig::PublicKey broker_coin_key,
          sig::PublicKey broker_identity_key, bn::Rng& rng);
+
+  /// Deployment::make_wallet returns a subclass through unique_ptr<Wallet>,
+  /// so deletion must dispatch virtually.
+  virtual ~Wallet() = default;
 
   // ---- withdrawal (Algorithm 1, client side) ----
 

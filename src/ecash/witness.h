@@ -17,10 +17,18 @@
 // After detecting a double spend the witness keeps only the extracted
 // representations and the coin hash, "dropping all transcripts", so it can
 // prove double-spending without revealing where the coin was first spent.
+//
+// Thread safety: a witness serves commitment/sign requests from many
+// payers at once, and its whole purpose is an atomic check-then-sign —
+// two racing spends of one coin must yield exactly one endorsement.  Every
+// public entry point therefore takes an internal mutex.  The shared `rng`
+// is only used under that mutex, but must not be used concurrently by
+// other components.
 
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <variant>
 
 #include "ecash/transcript.h"
@@ -41,8 +49,14 @@ class WitnessService {
   const sig::PublicKey& public_key() const { return key_.public_key(); }
 
   /// How long a commitment stays live (t_e - now). Default 30 s.
-  void set_commitment_ttl(Timestamp ttl_ms) { commitment_ttl_ = ttl_ms; }
-  Timestamp commitment_ttl() const { return commitment_ttl_; }
+  void set_commitment_ttl(Timestamp ttl_ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    commitment_ttl_ = ttl_ms;
+  }
+  Timestamp commitment_ttl() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return commitment_ttl_;
+  }
 
   /// Step 1 -> 2.  Refuses with kCommitmentOutstanding while an unexpired
   /// commitment for the same coin exists ("the witness must not issue new
@@ -83,12 +97,18 @@ class WitnessService {
   }
   /// Number of coins this witness has countersigned (its "performance",
   /// which the broker feeds back into range sizes).
-  std::uint64_t coins_signed() const { return coins_signed_; }
+  std::uint64_t coins_signed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return coins_signed_;
+  }
 
   /// Fault injection for tests/benches: a faulty witness signs transcripts
   /// unconditionally, never reporting double-spends (the misbehaviour the
   /// broker's deposit protocol must catch and charge).
-  void set_faulty(bool faulty) { faulty_ = faulty; }
+  void set_faulty(bool faulty) {
+    std::lock_guard<std::mutex> lock(mu_);
+    faulty_ = faulty;
+  }
 
   // ---- crash recovery -------------------------------------------------
   //
@@ -133,6 +153,8 @@ class WitnessService {
   MerchantId id_;
   sig::KeyPair key_;
   bn::Rng& rng_;
+  /// Serializes every public entry point; private helpers assume held.
+  mutable std::mutex mu_;
   Timestamp commitment_ttl_ = 30'000;
   bool faulty_ = false;
   std::uint64_t coins_signed_ = 0;

@@ -3,6 +3,7 @@
 #include "crypto/chacha.h"
 #include "metrics/counters.h"
 #include "crypto/hmac.h"
+#include "crypto/secret.h"
 #include "wire/codec.h"
 
 namespace p2pcash::escrow {
@@ -11,9 +12,18 @@ using bn::BigInt;
 
 namespace {
 
+// Session keys derived from the KEM shared secret. Both halves are wiped
+// when the struct leaves scope (SecretBuffer wipes itself).
 struct DerivedKeys {
-  std::array<std::uint32_t, 8> stream_key;
-  std::vector<std::uint8_t> mac_key;
+  std::array<std::uint32_t, 8> stream_key;  // ct-secret: stream_key
+  crypto::SecretBuffer mac_key;
+
+  DerivedKeys() = default;
+  ~DerivedKeys() { crypto::secure_wipe(stream_key); }
+  DerivedKeys(const DerivedKeys&) = delete;
+  DerivedKeys& operator=(const DerivedKeys&) = delete;
+  DerivedKeys(DerivedKeys&&) noexcept = default;
+  DerivedKeys& operator=(DerivedKeys&&) noexcept = default;
 };
 
 // Derives independent stream/MAC keys from the shared group element.
@@ -22,6 +32,7 @@ DerivedKeys derive_keys(const group::SchnorrGroup& grp,
   auto shared_bytes = shared.to_bytes_be_padded(grp.element_bytes());
   std::vector<std::uint8_t> salt = {'p', '2', 'p', 'c', 'a', 's', 'h'};
   auto prk = crypto::hkdf_extract(salt, shared_bytes);
+  crypto::secure_wipe(shared_bytes);  // encodes the KEM shared secret
   std::vector<std::uint8_t> info_stream = {'s', 't', 'r', 'e', 'a', 'm'};
   std::vector<std::uint8_t> info_mac = {'m', 'a', 'c'};
   auto stream = crypto::hkdf_expand(prk, info_stream, 32);
@@ -32,7 +43,9 @@ DerivedKeys derive_keys(const group::SchnorrGroup& grp,
                          (static_cast<std::uint32_t>(stream[4 * i + 2]) << 16) |
                          (static_cast<std::uint32_t>(stream[4 * i + 3]) << 24);
   }
-  keys.mac_key = crypto::hkdf_expand(prk, info_mac, 32);
+  keys.mac_key = crypto::SecretBuffer(crypto::hkdf_expand(prk, info_mac, 32));
+  crypto::secure_wipe(stream);
+  crypto::secure_wipe(prk);
   return keys;
 }
 
@@ -48,7 +61,7 @@ void apply_keystream(const std::array<std::uint32_t, 8>& key,
   }
 }
 
-std::array<std::uint8_t, 32> compute_mac(const std::vector<std::uint8_t>& key,
+std::array<std::uint8_t, 32> compute_mac(std::span<const std::uint8_t> key,
                                          const BigInt& ephemeral,
                                          std::span<const std::uint8_t> body) {
   wire::Writer w;
@@ -74,6 +87,7 @@ Ciphertext encrypt(const group::SchnorrGroup& grp, const BigInt& public_y,
   Ciphertext ct;
   ct.ephemeral = grp.exp_g(r);
   auto keys = derive_keys(grp, grp.exp(public_y, r));
+  r.wipe();  // the KEM ephemeral exponent decrypts this ciphertext
   ct.body.assign(plaintext.begin(), plaintext.end());
   apply_keystream(keys.stream_key, ct.body);
   ct.mac = compute_mac(keys.mac_key, ct.ephemeral, ct.body);

@@ -29,12 +29,20 @@ struct Ciphertext {
 };
 
 /// Encryption key pair: secret x in Z_q, public y = g^x in ⟨g⟩.
+/// The decryption key is zeroized on destruction.
 struct ElGamalKeyPair {
-  bn::BigInt x;
+  bn::BigInt x;  // ct-secret: x
   bn::BigInt y;
 
   static ElGamalKeyPair generate(const group::SchnorrGroup& grp,
                                  bn::Rng& rng);
+
+  ElGamalKeyPair() = default;
+  ~ElGamalKeyPair() { x.wipe(); }
+  ElGamalKeyPair(const ElGamalKeyPair&) = default;
+  ElGamalKeyPair& operator=(const ElGamalKeyPair&) = default;
+  ElGamalKeyPair(ElGamalKeyPair&&) noexcept = default;
+  ElGamalKeyPair& operator=(ElGamalKeyPair&&) noexcept = default;
 };
 
 /// Encrypts arbitrary bytes to the holder of `public_y`.

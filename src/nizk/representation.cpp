@@ -5,8 +5,14 @@ namespace p2pcash::nizk {
 using bn::BigInt;
 
 CoinSecret CoinSecret::random(const group::SchnorrGroup& grp, bn::Rng& rng) {
-  return CoinSecret{grp.random_scalar(rng), grp.random_scalar(rng),
-                    grp.random_scalar(rng), grp.random_scalar(rng)};
+  // Member-wise assignment: CoinSecret is no longer an aggregate now that
+  // it has a wiping destructor.
+  CoinSecret s;
+  s.x1 = grp.random_scalar(rng);
+  s.x2 = grp.random_scalar(rng);
+  s.y1 = grp.random_scalar(rng);
+  s.y2 = grp.random_scalar(rng);
+  return s;
 }
 
 Commitments commit(const group::SchnorrGroup& grp, const CoinSecret& secret) {

@@ -26,11 +26,29 @@
 
 namespace p2pcash::nizk {
 
-/// The client's private coin randomness.
+/// The client's private coin randomness.  The four scalars ARE coin
+/// ownership: anyone holding them can spend (and a double-spend reveals
+/// them — that is the paper's deterrent).  They are zeroized on
+/// destruction so spent/expired coins leave no recoverable secrets.
 struct CoinSecret {
-  bn::BigInt x1, x2, y1, y2;
+  bn::BigInt x1, x2, y1, y2;  // ct-secret: x1, x2, y1, y2
 
   static CoinSecret random(const group::SchnorrGroup& grp, bn::Rng& rng);
+
+  /// Zeroizes all four scalars now (also runs on destruction).
+  void wipe() noexcept {
+    x1.wipe();
+    x2.wipe();
+    y1.wipe();
+    y2.wipe();
+  }
+
+  CoinSecret() = default;
+  ~CoinSecret() { wipe(); }
+  CoinSecret(const CoinSecret&) = default;
+  CoinSecret& operator=(const CoinSecret&) = default;
+  CoinSecret(CoinSecret&&) noexcept = default;
+  CoinSecret& operator=(CoinSecret&&) noexcept = default;
 
   friend bool operator==(const CoinSecret&, const CoinSecret&) = default;
 };

@@ -56,6 +56,7 @@ Signature KeyPair::sign(const std::vector<std::uint8_t>& message,
   BigInt r_point = grp_.exp_g(k);
   BigInt e = challenge_hash(grp_, r_point, pub_.y, message);
   BigInt s = bn::mod(k + e * x_, grp_.q());
+  k.wipe();  // a leaked nonce recovers x from s = k + e*x
   return Signature{std::move(e), std::move(s)};
 }
 

@@ -52,6 +52,13 @@ class KeyPair {
   static KeyPair from_secret(const group::SchnorrGroup& grp,
                              const bn::BigInt& x);
 
+  /// Wipes the signing key x.
+  ~KeyPair() { x_.wipe(); }
+  KeyPair(const KeyPair&) = default;
+  KeyPair& operator=(const KeyPair&) = default;
+  KeyPair(KeyPair&&) noexcept = default;
+  KeyPair& operator=(KeyPair&&) noexcept = default;
+
   const PublicKey& public_key() const { return pub_; }
   const bn::BigInt& secret() const { return x_; }
 
@@ -64,7 +71,7 @@ class KeyPair {
       : grp_(std::move(grp)), x_(std::move(x)), pub_(std::move(pub)) {}
 
   group::SchnorrGroup grp_;
-  bn::BigInt x_;
+  bn::BigInt x_;  // ct-secret: x_
   PublicKey pub_;
 };
 

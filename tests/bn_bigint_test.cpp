@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "crypto/chacha.h"
 
 namespace p2pcash::bn {
@@ -190,6 +192,23 @@ TEST(BigIntShift, LeftRight) {
   EXPECT_EQ((BigInt{5} << 0).to_dec(), "5");
 }
 
+// Regression block for the sanitizer lanes: shift amounts at and across
+// limb boundaries, where an off-by-one in the limb/bit split would index
+// out of bounds or shift a 32-bit limb by 32 (UB).
+TEST(BigIntShift, LimbBoundaryAmounts) {
+  const BigInt v = BigInt::from_hex("123456789abcdef0fedcba9876543210");
+  for (std::size_t bits : {31u, 32u, 33u, 63u, 64u, 65u, 95u, 96u, 97u}) {
+    BigInt left = v << bits;
+    EXPECT_EQ(left >> bits, v) << "shift " << bits;
+    EXPECT_EQ(left.bit_length(), v.bit_length() + bits);
+  }
+  // Shifting zero by anything stays zero (empty limb vector path).
+  EXPECT_TRUE((BigInt{} << 96).is_zero());
+  EXPECT_TRUE((BigInt{} >> 96).is_zero());
+  // Right shift past the top bit collapses to zero, not an OOB read.
+  EXPECT_TRUE((v >> 4096).is_zero());
+}
+
 TEST(BigIntBits, BitAccess) {
   BigInt v = BigInt::from_hex("a0");  // 1010 0000
   EXPECT_TRUE(v.bit(7));
@@ -231,6 +250,28 @@ TEST(BigIntConvert, ToInt64) {
   EXPECT_EQ(BigInt{-12345}.to_int64(), -12345);
   EXPECT_EQ((BigInt{1} << 62).to_int64(), std::int64_t{1} << 62);
   EXPECT_THROW((BigInt{1} << 64).to_int64(), std::overflow_error);
+}
+
+TEST(BigIntConvert, ToInt64Boundaries) {
+  const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+  const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+  EXPECT_EQ(BigInt{max}.to_int64(), max);
+  // INT64_MIN's magnitude is 2^63, one past INT64_MAX: negating it in
+  // int64 arithmetic would overflow (UB), so this exercises the careful
+  // path on both construction and extraction.
+  EXPECT_EQ(BigInt{min}.to_int64(), min);
+  EXPECT_THROW((BigInt{max} + BigInt{1}).to_int64(), std::overflow_error);
+  EXPECT_THROW((BigInt{min} - BigInt{1}).to_int64(), std::overflow_error);
+}
+
+TEST(BigIntWipe, MultiLimbValueZeroizesAndStaysUsable) {
+  BigInt v = BigInt::from_hex("ffeeddccbbaa99887766554433221100");
+  v.wipe();
+  EXPECT_TRUE(v.is_zero());
+  EXPECT_FALSE(v.is_negative());
+  EXPECT_EQ(v.bit_length(), 0u);
+  v += BigInt{42};  // wiped values remain ordinary zeros
+  EXPECT_EQ(v.to_dec(), "42");
 }
 
 TEST(BigIntGcd, Basics) {

@@ -86,6 +86,37 @@ TEST(ModInverse, NegativeInput) {
   EXPECT_EQ(mod_mul(mod(BigInt{-3}, m), inv, m), BigInt{1});
 }
 
+TEST(ModExp, DegenerateInputs) {
+  BigInt m{13};
+  EXPECT_EQ(mod_exp(BigInt{5}, BigInt{0}, m).to_dec(), "1");
+  EXPECT_EQ(mod_exp(BigInt{0}, BigInt{5}, m).to_dec(), "0");
+  EXPECT_EQ(mod_exp(BigInt{0}, BigInt{0}, m).to_dec(), "1");
+  // Modulus one: every result is the canonical zero.
+  EXPECT_EQ(mod_exp(BigInt{5}, BigInt{3}, BigInt{1}).to_dec(), "0");
+}
+
+TEST(ModInverse, NonInvertibleThrows) {
+  EXPECT_THROW(mod_inverse(BigInt{6}, BigInt{9}), std::domain_error);
+  EXPECT_THROW(mod_inverse(BigInt{0}, BigInt{7}), std::domain_error);
+}
+
+// Moduli whose limbs saturate 32 bits stress the Montgomery reduction's
+// carry chains and neg_inverse_32's wrap-around arithmetic — exactly the
+// places where a missed carry or a signed overflow would hide.  UBSan's
+// signed-integer-overflow/shift checks cover the arithmetic; the equality
+// against plain mod_exp covers the carries.
+TEST(Montgomery, SaturatedLimbModulus) {
+  // 2^96 - 17 is odd and every stored limb is near-saturated.
+  const BigInt m = (BigInt{1} << 96) - BigInt{17};
+  crypto::ChaChaRng rng("saturated-limb");
+  for (int iter = 0; iter < 10; ++iter) {
+    BigInt base = mod(random_bits(rng, 200), m);
+    BigInt e = random_bits(rng, 96);
+    MontgomeryCtx mont(m);
+    EXPECT_EQ(mont.exp(base, e), mod_exp(base, e, m));
+  }
+}
+
 TEST(Montgomery, RejectsBadModulus) {
   EXPECT_THROW(MontgomeryCtx(BigInt{8}), std::domain_error);   // even
   EXPECT_THROW(MontgomeryCtx(BigInt{1}), std::domain_error);   // too small

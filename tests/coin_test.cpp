@@ -15,7 +15,7 @@ using testing::EcashTest;
 class CoinTest : public EcashTest {};
 
 TEST_F(CoinTest, InfoSerializationRoundTrip) {
-  CoinInfo info{100, 3, 5000, 9000, 3, 2};
+  CoinInfo info{100, 3, 5000, 9000, 3, 2, {}};
   auto bytes = wire::encode(info);
   auto decoded = wire::decode<CoinInfo>(bytes);
   EXPECT_EQ(decoded, info);

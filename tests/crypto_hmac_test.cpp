@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "crypto/encoding.h"
 
 namespace p2pcash::crypto {
@@ -41,6 +44,21 @@ TEST(Hmac, Rfc4231Case6LongKey) {
       key, str_bytes("Test Using Larger Than Block-Size Key - Hash Key First"));
   EXPECT_EQ(digest_to_hex(mac),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, EmptyKeyAndEmptyData) {
+  // Regression: an empty key vector has a null data() pointer, and
+  // memcpy from it is undefined behaviour even for zero bytes (caught by
+  // UBSan).  RFC 4868-style vector for HMAC-SHA256("", "").
+  auto mac = hmac_sha256(std::vector<std::uint8_t>{},
+                         std::vector<std::uint8_t>{});
+  EXPECT_EQ(digest_to_hex(mac),
+            "b613679a0814d9ec772f95d778c35fc5ff1697c493715653c6c712144292c5ad");
+  // An empty key must behave exactly like a zero block (HMAC pads with
+  // zeros), which a 64-byte zero key makes explicit.
+  std::vector<std::uint8_t> zero_key(64, 0x00);
+  EXPECT_EQ(hmac_sha256(zero_key, str_bytes("msg")),
+            hmac_sha256(std::vector<std::uint8_t>{}, str_bytes("msg")));
 }
 
 TEST(Hkdf, Rfc5869Case1) {

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -41,6 +43,26 @@ TEST(Sha256, StreamingMatchesOneShot) {
     h.update(std::string_view(data).substr(split));
     EXPECT_EQ(h.finalize(), Sha256::hash(data)) << "split=" << split;
   }
+}
+
+TEST(Sha256, EmptyUpdatesAreNoOps) {
+  // Regression: an empty span may carry a null data() pointer, and
+  // memcpy(dst, nullptr, 0) is undefined behaviour (caught by UBSan).
+  // Interleaved empty updates must not disturb the stream.
+  std::string data = "abc";
+  Sha256 h;
+  h.update(std::span<const std::uint8_t>{});
+  h.update(std::string_view(data).substr(0, 1));
+  h.update(std::span<const std::uint8_t>{});
+  h.update(std::string_view(data).substr(1));
+  h.update(std::span<const std::uint8_t>{});
+  EXPECT_EQ(digest_to_hex(h.finalize()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+
+  Sha256 only_empty;
+  only_empty.update(std::span<const std::uint8_t>{});
+  EXPECT_EQ(digest_to_hex(only_empty.finalize()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
 }
 
 TEST(Sha256, BlockBoundaryLengths) {

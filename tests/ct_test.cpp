@@ -1,0 +1,156 @@
+// Secret-hygiene primitives: constant-time comparison, secure_wipe,
+// SecretBuffer ownership semantics, and the wipe() hooks on the protocol's
+// secret-bearing types (BigInt, CoinSecret).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "bn/bigint.h"
+#include "crypto/hmac.h"
+#include "crypto/secret.h"
+#include "nizk/representation.h"
+
+namespace p2pcash {
+namespace {
+
+using bn::BigInt;
+
+std::vector<std::uint8_t> bytes(std::initializer_list<std::uint8_t> v) {
+  return std::vector<std::uint8_t>(v);
+}
+
+TEST(ConstantTimeEqualTest, EqualBuffers) {
+  auto a = bytes({1, 2, 3, 4});
+  auto b = bytes({1, 2, 3, 4});
+  EXPECT_TRUE(crypto::constant_time_equal(a, b));
+}
+
+TEST(ConstantTimeEqualTest, EmptyBuffersAreEqual) {
+  std::vector<std::uint8_t> a, b;
+  EXPECT_TRUE(crypto::constant_time_equal(a, b));
+}
+
+TEST(ConstantTimeEqualTest, DifferenceInAnyPositionDetected) {
+  const auto a = bytes({10, 20, 30, 40, 50});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    auto b = a;
+    b[i] ^= 0x80;
+    EXPECT_FALSE(crypto::constant_time_equal(a, b)) << "position " << i;
+  }
+}
+
+TEST(ConstantTimeEqualTest, LengthMismatchIsUnequal) {
+  auto a = bytes({1, 2, 3});
+  auto b = bytes({1, 2, 3, 0});
+  EXPECT_FALSE(crypto::constant_time_equal(a, b));
+  EXPECT_FALSE(crypto::constant_time_equal(b, a));
+}
+
+TEST(SecureWipeTest, WipesRawRange) {
+  std::array<std::uint8_t, 32> buf;
+  buf.fill(0xAB);
+  crypto::secure_wipe(buf.data(), buf.size());
+  for (auto byte : buf) EXPECT_EQ(byte, 0);
+}
+
+TEST(SecureWipeTest, WipesContainersOfTriviallyCopyableElements) {
+  std::array<std::uint32_t, 8> words;
+  words.fill(0xDEADBEEF);
+  crypto::secure_wipe(words);
+  for (auto w : words) EXPECT_EQ(w, 0u);
+
+  std::vector<std::uint8_t> vec(64, 0x5A);
+  crypto::secure_wipe(vec);
+  for (auto byte : vec) EXPECT_EQ(byte, 0);
+  EXPECT_EQ(vec.size(), 64u);  // wiping a container keeps its size
+}
+
+TEST(SecureWipeTest, NullAndEmptyAreNoOps) {
+  crypto::secure_wipe(nullptr, 0);
+  crypto::secure_wipe(nullptr, 16);  // null pointer: must not dereference
+  std::vector<std::uint8_t> empty;
+  crypto::secure_wipe(empty);
+}
+
+TEST(SecretBufferTest, WipeZeroizesAndEmpties) {
+  crypto::SecretBuffer buf(bytes({9, 8, 7, 6}));
+  ASSERT_EQ(buf.size(), 4u);
+  buf.wipe();
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(SecretBufferTest, MoveTransfersOwnershipAndClearsSource) {
+  crypto::SecretBuffer a(bytes({1, 2, 3}));
+  crypto::SecretBuffer b(std::move(a));
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move) — spec'd state
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.data()[0], 1);
+
+  crypto::SecretBuffer c(bytes({42}));
+  c = std::move(b);
+  EXPECT_TRUE(b.empty());  // NOLINT(bugprone-use-after-move)
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.data()[2], 3);
+}
+
+TEST(SecretBufferTest, CloneIsAnIndependentCopy) {
+  crypto::SecretBuffer a(bytes({5, 6, 7}));
+  crypto::SecretBuffer b = a.clone();
+  a.wipe();
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.data()[1], 6);
+}
+
+TEST(SecretBufferTest, ConvertsToSpanForCryptoApis) {
+  crypto::SecretBuffer key(bytes({1, 2, 3, 4}));
+  std::span<const std::uint8_t> view = key;
+  EXPECT_EQ(view.size(), 4u);
+  EXPECT_EQ(view[3], 4);
+}
+
+TEST(BigIntWipeTest, WipedValueIsZero) {
+  BigInt x(std::int64_t{0x123456789ABCDEF});
+  x.wipe();
+  EXPECT_EQ(x, BigInt(0));
+}
+
+TEST(BigIntWipeTest, WipedNegativeValueIsZero) {
+  BigInt x(-987654321);
+  x.wipe();
+  EXPECT_EQ(x, BigInt(0));
+  EXPECT_FALSE(x.is_negative());
+}
+
+TEST(BigIntWipeTest, WipedValueIsReusable) {
+  BigInt x(77);
+  x.wipe();
+  x = BigInt(5) + BigInt(6);
+  EXPECT_EQ(x, BigInt(11));
+}
+
+TEST(CoinSecretWipeTest, WipeZeroizesAllFourScalars) {
+  nizk::CoinSecret s;
+  s.x1 = BigInt(11);
+  s.x2 = BigInt(22);
+  s.y1 = BigInt(33);
+  s.y2 = BigInt(44);
+  s.wipe();
+  EXPECT_EQ(s.x1, BigInt(0));
+  EXPECT_EQ(s.x2, BigInt(0));
+  EXPECT_EQ(s.y1, BigInt(0));
+  EXPECT_EQ(s.y2, BigInt(0));
+}
+
+TEST(CoinSecretWipeTest, CopyIsIndependentOfWipedOriginal) {
+  nizk::CoinSecret s;
+  s.x1 = BigInt(123);
+  nizk::CoinSecret copy = s;
+  s.wipe();
+  EXPECT_EQ(copy.x1, BigInt(123));
+}
+
+}  // namespace
+}  // namespace p2pcash

@@ -115,10 +115,14 @@ INSTANTIATE_TEST_SUITE_P(
                       PolicyCase{2, 2, 256}, PolicyCase{3, 2, 256},
                       PolicyCase{3, 3, 256}, PolicyCase{5, 3, 256},
                       PolicyCase{1, 1, 512}, PolicyCase{3, 2, 512}),
-    [](const ::testing::TestParamInfo<PolicyCase>& info) {
-      return "n" + std::to_string(info.param.n) + "k" +
-             std::to_string(info.param.k) + "g" +
-             std::to_string(info.param.group_bits);
+    [](const ::testing::TestParamInfo<PolicyCase>& param_info) {
+      std::string name = "n";
+      name += std::to_string(param_info.param.n);
+      name += 'k';
+      name += std::to_string(param_info.param.k);
+      name += 'g';
+      name += std::to_string(param_info.param.group_bits);
+      return name;
     });
 
 }  // namespace

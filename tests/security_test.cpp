@@ -42,7 +42,7 @@ TEST_F(SecurityTest, ForgedCoinWithoutBrokerRejected) {
   // signature values.
   crypto::ChaChaRng rng("forger");
   Coin forged;
-  forged.bare.info = CoinInfo{100, 1, 1'000'000'000, 2'000'000'000, 1, 1};
+  forged.bare.info = CoinInfo{100, 1, 1'000'000'000, 2'000'000'000, 1, 1, {}};
   forged.bare.a = dep_.grp().exp_g(dep_.grp().random_scalar(rng));
   forged.bare.b = dep_.grp().exp_g(dep_.grp().random_scalar(rng));
   forged.bare.sig.rho = dep_.grp().random_scalar(rng);

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""ct_lint.py — secret-hygiene static check for the crypto core.
+
+Declarations of secret material are annotated in-source:
+
+    bn::BigInt x_;  // ct-secret: x_
+
+The annotation puts the named tokens in scope for the annotating file and
+its paired header/source (foo.h <-> foo.cpp).  Within that scope this
+checker flags patterns that leak secrets through timing:
+
+  * a secret token inside an if/while/for/switch condition or ternary
+    (secret-dependent branching),
+  * a secret token on either side of == or != (variable-time comparison),
+  * in designated crypto directories, any call to memcmp/strcmp/strncmp
+    (use crypto::constant_time_equal) — regardless of annotations.
+
+A finding on a line ending in `// ct-ok` (optionally with a reason:
+`// ct-ok: public after reveal`) is suppressed; suppressions are for
+reviewed lines where the compared value is public by protocol design.
+
+Only src/ is linted: tests deliberately compare extracted secrets
+field-wise (double-spend extraction IS the paper's point).
+
+Exit status: 0 = clean, 1 = findings, 2 = usage/internal error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Directories whose code handles secret scalars / keys; memcmp-style calls
+# are banned here outright.
+CRYPTO_DIRS = ("src/crypto", "src/bn", "src/blindsig", "src/nizk",
+               "src/sig", "src/escrow")
+
+ANNOTATION_RE = re.compile(r"//\s*ct-secret:\s*(?P<names>[A-Za-z0-9_,\s]+)")
+CT_OK_RE = re.compile(r"//\s*ct-ok(?::|\b)")
+BANNED_CALL_RE = re.compile(r"\b(memcmp|strcmp|strncmp)\s*\(")
+CONDITION_RE = re.compile(r"\b(?:if|while|switch)\s*\((?P<cond>.*)")
+FOR_RE = re.compile(r"\bfor\s*\((?P<init>[^;]*);(?P<cond>[^;]*);")
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Removes // comments and string/char literal contents (crude but
+    sufficient for this codebase's formatting)."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"'(?:[^'\\]|\\.)*'", "''", line)
+    return line.split("//")[0]
+
+
+def token_re(name: str) -> re.Pattern[str]:
+    return re.compile(rf"\b{re.escape(name)}\b")
+
+
+def collect_annotations(files: list[Path]) -> dict[Path, set[str]]:
+    """Maps each file to the secret tokens in scope for it (its own
+    annotations plus its paired header/source's)."""
+    own: dict[Path, set[str]] = {}
+    for path in files:
+        names: set[str] = set()
+        for line in path.read_text(encoding="utf-8").splitlines():
+            m = ANNOTATION_RE.search(line)
+            if m:
+                names.update(n.strip() for n in m.group("names").split(",")
+                             if n.strip())
+        own[path] = names
+
+    scoped: dict[Path, set[str]] = {}
+    for path in files:
+        names = set(own[path])
+        partner_suffix = {".h": ".cpp", ".cpp": ".h"}.get(path.suffix)
+        if partner_suffix:
+            partner = path.with_suffix(partner_suffix)
+            names.update(own.get(partner, set()))
+        scoped[path] = names
+    return scoped
+
+
+def check_file(path: Path, secrets: set[str], repo_root: Path) -> list[str]:
+    findings: list[str] = []
+    rel = path.relative_to(repo_root).as_posix()
+    in_crypto_dir = rel.startswith(CRYPTO_DIRS)
+    secret_res = [(name, token_re(name)) for name in sorted(secrets)]
+
+    for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(),
+                                 start=1):
+        if CT_OK_RE.search(raw):
+            continue
+        code = strip_comments_and_strings(raw)
+        if not code.strip():
+            continue
+
+        if in_crypto_dir:
+            m = BANNED_CALL_RE.search(code)
+            if m:
+                findings.append(
+                    f"{rel}:{lineno}: {m.group(1)}() is variable-time; "
+                    f"use crypto::constant_time_equal")
+
+        for name, pattern in secret_res:
+            if not pattern.search(code):
+                continue
+            # Secret in a branch condition.
+            cond = CONDITION_RE.search(code)
+            if cond and pattern.search(cond.group("cond")):
+                findings.append(
+                    f"{rel}:{lineno}: secret '{name}' used in a branch "
+                    f"condition (timing leak); mark '// ct-ok: <reason>' "
+                    f"if the value is public here")
+                continue
+            forcond = FOR_RE.search(code)
+            if forcond and pattern.search(forcond.group("cond")):
+                findings.append(
+                    f"{rel}:{lineno}: secret '{name}' bounds a loop "
+                    f"(timing leak)")
+                continue
+            # Secret compared with == / !=.
+            for cmp in re.finditer(r"[^=!<>]==[^=]|!=[^=]", code):
+                window = code[max(0, cmp.start() - 40):cmp.end() + 40]
+                if pattern.search(window):
+                    findings.append(
+                        f"{rel}:{lineno}: secret '{name}' in a "
+                        f"variable-time ==/!= comparison; use "
+                        f"crypto::constant_time_equal or mark "
+                        f"'// ct-ok: <reason>'")
+                    break
+    return findings
+
+
+def main() -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    src = repo_root / "src"
+    if not src.is_dir():
+        print("ct_lint.py: no src/ directory found", file=sys.stderr)
+        return 2
+    files = sorted(p for p in src.rglob("*") if p.suffix in (".h", ".cpp"))
+    scoped = collect_annotations(files)
+
+    all_findings: list[str] = []
+    for path in files:
+        all_findings.extend(check_file(path, scoped[path], repo_root))
+
+    n_annotated = sum(1 for names in scoped.values() if names)
+    if all_findings:
+        for f in all_findings:
+            print(f)
+        print(f"\nct_lint.py: {len(all_findings)} finding(s) in "
+              f"{len(files)} files", file=sys.stderr)
+        return 1
+    print(f"ct_lint.py: clean ({len(files)} files, "
+          f"{n_annotated} with secrets in scope)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# lint.sh — static-analysis gate for the p2pcash tree.
+#
+# Runs clang-tidy over first-party sources when it is available; otherwise
+# falls back to a strict-warning build (-DP2PCASH_WERROR=ON), which promotes
+# the escalated warning set (-Wconversion -Wshadow -Wold-style-cast ...) to
+# errors under plain GCC/Clang.  Either path failing fails the script.
+#
+# Usage: tools/lint.sh [build-dir]
+#   build-dir: compile-commands / fallback-build directory
+#              (default: build-lint)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-lint}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cd "$repo_root"
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== lint.sh: clang-tidy $(clang-tidy --version | grep -o 'version [0-9.]*') over src/ tests/ bench/ examples/"
+  cmake -B "$build_dir" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  mapfile -t sources < <(git ls-files 'src/*.cpp' 'tests/*.cpp' 'bench/*.cpp' 'examples/*.cpp')
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -quiet -p "$build_dir" -j "$jobs" "${sources[@]}"
+  else
+    clang-tidy -quiet -p "$build_dir" "${sources[@]}"
+  fi
+  echo "== lint.sh: clang-tidy clean"
+else
+  echo "== lint.sh: clang-tidy not found; falling back to -Werror build with the escalated warning set"
+  cmake -B "$build_dir" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DP2PCASH_WERROR=ON >/dev/null
+  cmake --build "$build_dir" -j "$jobs" >/dev/null
+  echo "== lint.sh: strict-warning build clean"
+fi
+
+echo "== lint.sh: OK"
