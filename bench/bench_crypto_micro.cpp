@@ -5,8 +5,18 @@
 // OpenSSL (on a P4 3.2 GHz)" and "aggregated computational complexity per
 // transaction ... 30 ms or less when implemented in OpenSSL".
 
+// Custom main: `--quick` runs a short manual timing pass only (CI smoke);
+// without it the full google-benchmark suite runs too.  Either way the
+// manual pass writes a machine-readable baseline (default BENCH_crypto.json,
+// override with --json=PATH — schema in EXPERIMENTS.md).
+
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <functional>
+
+#include "bench_util.h"
+#include "group/schnorr_group.h"
 #include "blindsig/abe_okamoto.h"
 #include "crypto/chacha.h"
 #include "crypto/sha256.h"
@@ -32,6 +42,7 @@ void BM_Sha256_1KiB(benchmark::State& state) {
 BENCHMARK(BM_Sha256_1KiB);
 
 void BM_ModExp_1024p_160e(benchmark::State& state) {
+  // Fixed-base path: g is a generator, served from its precomputed table.
   crypto::ChaChaRng rng("bm-exp");
   const auto& g = grp1024();
   auto e = g.random_scalar(rng);
@@ -40,6 +51,47 @@ void BM_ModExp_1024p_160e(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ModExp_1024p_160e);
+
+void BM_ModExp_1024p_160e_PlainLadder(benchmark::State& state) {
+  // The pre-fast-path cost: same exponentiation, tables disabled.
+  crypto::ChaChaRng rng("bm-exp");
+  const auto& g = grp1024();
+  auto e = g.random_scalar(rng);
+  group::ScopedDisableFastExp off;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.exp_g(e));
+  }
+}
+BENCHMARK(BM_ModExp_1024p_160e_PlainLadder);
+
+void BM_Exp2_FixedBases_1024p(benchmark::State& state) {
+  // g1^a * g2^b with both bases precomputed (NIZK verifier shape).
+  crypto::ChaChaRng rng("bm-exp2");
+  const auto& g = grp1024();
+  auto a = g.random_scalar(rng);
+  auto b = g.random_scalar(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.exp2(g.g1(), a, g.g2(), b));
+  }
+}
+BENCHMARK(BM_Exp2_FixedBases_1024p);
+
+void BM_Exp2_StrausLoose_1024p(benchmark::State& state) {
+  // u^a * v^b with one-shot bases, straight at the Montgomery layer so the
+  // group's recurring-base cache cannot promote them mid-benchmark:
+  // pure Straus interleaving, shared squarings.
+  crypto::ChaChaRng rng("bm-straus");
+  const auto& g = grp1024();
+  bn::MontgomeryCtx ctx(g.p());
+  std::vector<bn::BigInt> exps = {g.random_scalar(rng), g.random_scalar(rng)};
+  std::vector<bn::BigInt> bases = {
+      bn::random_below(rng, g.p() - bn::BigInt{1}) + bn::BigInt{1},
+      bn::random_below(rng, g.p() - bn::BigInt{1}) + bn::BigInt{1}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.multi_exp(bases, exps));
+  }
+}
+BENCHMARK(BM_Exp2_StrausLoose_1024p);
 
 void BM_ModExp_512p_160e(benchmark::State& state) {
   crypto::ChaChaRng rng("bm-exp512");
@@ -140,6 +192,106 @@ void BM_DoubleSpendExtract(benchmark::State& state) {
 }
 BENCHMARK(BM_DoubleSpendExtract);
 
+// --- manual timing pass for the JSON baseline ---------------------------
+
+double time_op_us(int iters, const std::function<void()>& op) {
+  op();  // warm-up: builds lazy tables, touches caches
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) op();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count() / iters;
+}
+
+void write_baseline(const std::string& path, bool quick) {
+  const int iters = quick ? 20 : 200;
+  const auto& g = grp1024();
+  crypto::ChaChaRng rng("bench-crypto-json");
+  auto e1 = g.random_scalar(rng);
+  auto e2 = g.random_scalar(rng);
+
+  double exp_fixed_us =
+      time_op_us(iters, [&] { benchmark::DoNotOptimize(g.exp_g(e1)); });
+  double exp_plain_us = time_op_us(iters, [&] {
+    group::ScopedDisableFastExp off;
+    benchmark::DoNotOptimize(g.exp_g(e1));
+  });
+  double exp2_fixed_us = time_op_us(iters, [&] {
+    benchmark::DoNotOptimize(g.exp2(g.g1(), e1, g.g2(), e2));
+  });
+  double exp2_plain_us = time_op_us(iters, [&] {
+    group::ScopedDisableFastExp off;
+    benchmark::DoNotOptimize(g.exp2(g.g1(), e1, g.g2(), e2));
+  });
+
+  auto key = sig::KeyPair::generate(g, rng);
+  std::vector<std::uint8_t> msg(256, 0x42);
+  auto signature = key.sign(msg, rng);
+  double sig_verify_fast_us = time_op_us(iters / 2 + 1, [&] {
+    benchmark::DoNotOptimize(sig::verify(g, key.public_key(), msg, signature));
+  });
+  double sig_verify_plain_us = time_op_us(iters / 2 + 1, [&] {
+    group::ScopedDisableFastExp off;
+    benchmark::DoNotOptimize(sig::verify(g, key.public_key(), msg, signature));
+  });
+
+  auto secret = nizk::CoinSecret::random(g, rng);
+  auto comm = nizk::commit(g, secret);
+  auto d = g.random_scalar(rng);
+  auto resp = nizk::respond(g, secret, d);
+  double nizk_verify_fast_us = time_op_us(iters / 2 + 1, [&] {
+    benchmark::DoNotOptimize(nizk::verify_response(g, comm, d, resp));
+  });
+  double nizk_verify_plain_us = time_op_us(iters / 2 + 1, [&] {
+    group::ScopedDisableFastExp off;
+    benchmark::DoNotOptimize(nizk::verify_response(g, comm, d, resp));
+  });
+
+  std::printf("\nmanual baseline pass (%d iters, production_1024):\n", iters);
+  std::printf("  exp g^e        fast %8.1f us   plain %8.1f us   %.2fx\n",
+              exp_fixed_us, exp_plain_us, exp_plain_us / exp_fixed_us);
+  std::printf("  exp2 g1,g2     fast %8.1f us   plain %8.1f us   %.2fx\n",
+              exp2_fixed_us, exp2_plain_us, exp2_plain_us / exp2_fixed_us);
+  std::printf("  sig verify     fast %8.1f us   plain %8.1f us   %.2fx\n",
+              sig_verify_fast_us, sig_verify_plain_us,
+              sig_verify_plain_us / sig_verify_fast_us);
+  std::printf("  nizk verify    fast %8.1f us   plain %8.1f us   %.2fx\n",
+              nizk_verify_fast_us, nizk_verify_plain_us,
+              nizk_verify_plain_us / nizk_verify_fast_us);
+
+  bench::JsonWriter json;
+  json.field("bench", std::string("crypto"))
+      .field("schema_version", 1)
+      .field("group", std::string("production_1024"))
+      .field("quick", std::string(quick ? "true" : "false"))
+      .field("iterations", iters);
+  auto pair = [&json](const std::string& name, double fast, double plain) {
+    json.begin_object(name)
+        .field("fast_us", fast)
+        .field("plain_us", plain)
+        .field("speedup", plain / fast)
+        .end_object();
+  };
+  pair("exp_fixed_base", exp_fixed_us, exp_plain_us);
+  pair("exp2_fixed_bases", exp2_fixed_us, exp2_plain_us);
+  pair("schnorr_verify", sig_verify_fast_us, sig_verify_plain_us);
+  pair("nizk_verify", nizk_verify_fast_us, nizk_verify_plain_us);
+  json.field("fixed_base_table_bytes",
+             static_cast<std::uint64_t>(g.fixed_base_memory_bytes()));
+  json.write_file(path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  auto args = bench::BenchArgs::parse(argc - 1, argv + 1, "BENCH_crypto.json");
+  write_baseline(args.json_path, args.quick);
+  if (args.quick) return 0;  // CI smoke: skip the full google-benchmark run
+  std::vector<char*> gb_argv;
+  gb_argv.push_back(argv[0]);
+  for (char* a : args.passthrough) gb_argv.push_back(a);
+  int gb_argc = static_cast<int>(gb_argv.size());
+  benchmark::Initialize(&gb_argc, gb_argv.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

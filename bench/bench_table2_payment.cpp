@@ -8,10 +8,17 @@
 // binary wire format — the deployment the paper projects in §7.
 // AD prints the paper's advertisement-page comparison.
 
+// Run with --quick for CI smoke iteration counts; the measured numbers are
+// also written as a machine-readable baseline (default BENCH_payment.json,
+// override with --json=PATH — schema in EXPERIMENTS.md).
+
+#include <chrono>
 #include <cstdio>
 
 #include "actors/world.h"
 #include "bench_util.h"
+#include "ecash/deployment.h"
+#include "ecash/transcript.h"
 #include "metrics/stats.h"
 
 using namespace p2pcash;
@@ -90,23 +97,102 @@ void print_results(const TrialResults& r) {
               r.latency_ms.percentile(50), r.latency_ms.percentile(99));
 }
 
+/// Wall-clock of the merchant's payment-verify hot path (full coin check
+/// plus the transcript NIZK) with the fixed-base/multi-exp fast paths on
+/// vs. forced off.  This is the number the fast-exp layer exists for.
+struct PaymentVerifyMicro {
+  double fast_us = 0;
+  double plain_us = 0;
+  int iterations = 0;
+
+  double speedup() const { return plain_us > 0 ? plain_us / fast_us : 0; }
+};
+
+PaymentVerifyMicro run_payment_verify_micro(const group::SchnorrGroup& grp,
+                                            int iterations) {
+  ecash::Deployment dep(grp, 4, /*seed=*/7);
+  auto wallet = dep.make_wallet();
+  auto coin = dep.withdraw(*wallet, 100, 1000).value();
+  // Build a real transcript the way the payment protocol does.
+  ecash::MerchantId target;
+  for (const auto& id : dep.merchant_ids()) {
+    if (id != coin.coin.witnesses[0].merchant) {
+      target = id;
+      break;
+    }
+  }
+  auto intent = wallet->prepare_payment(coin, target);
+  auto commitment = dep.node(coin.coin.witnesses[0].merchant)
+                        .witness->request_commitment(intent.coin_hash,
+                                                     intent.nonce, 2000);
+  auto transcript =
+      wallet->build_transcript(coin, intent, {commitment.value()}, 2100)
+          .value();
+  const auto broker_key = dep.broker().coin_key();
+
+  auto verify_once = [&] {
+    bool ok = ecash::verify_coin(grp, broker_key, coin.coin, 2000).ok() &&
+              ecash::verify_transcript_proof(grp, transcript);
+    if (!ok) std::abort();  // a broken verify would invalidate the timing
+  };
+  auto time_us = [&](int iters) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) verify_once();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(t1 - t0).count() /
+           iters;
+  };
+
+  PaymentVerifyMicro r;
+  r.iterations = iterations;
+  // Warm-up builds the generator tables and promotes the recurring bases
+  // (broker key y, z = F(info)) — steady-state merchant behaviour.
+  verify_once();
+  verify_once();
+  verify_once();
+  r.fast_us = time_us(iterations);
+  {
+    group::ScopedDisableFastExp off;
+    r.plain_us = time_us(iterations);
+  }
+  return r;
+}
+
+void add_trial_results(bench::JsonWriter& json, const std::string& key,
+                       const TrialResults& r) {
+  json.begin_object(key)
+      .field("trials", static_cast<std::uint64_t>(r.latency_ms.count()))
+      .field("latency_ms_mean", r.latency_ms.mean())
+      .field("latency_ms_stddev", r.latency_ms.stddev())
+      .field("latency_ms_p50", r.latency_ms.percentile(50))
+      .field("latency_ms_p99", r.latency_ms.percentile(99))
+      .field("client_bytes_mean", r.client_bytes.mean())
+      .field("merchant_bytes_mean", r.merchant_bytes.mean())
+      .field("witness_bytes_mean", r.witness_bytes.mean())
+      .end_object();
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto args = bench::BenchArgs::parse(argc - 1, argv + 1,
+                                      "BENCH_payment.json");
+  const int trials = args.quick ? 10 : 100;
+  const int micro_iters = args.quick ? 10 : 50;
   const auto& grp = group::SchnorrGroup::production_1024();
 
   bench::header("T2",
                 "Table 2: payment wall-clock & bandwidth, 100 trials "
                 "(PlanetLab WAN, Python-2007 crypto, URL encoding)");
   auto python = run_trials(grp, simnet::python2007_cost(),
-                           simnet::WireFormat::kUri, 100);
+                           simnet::WireFormat::kUri, trials);
   print_results(python);
 
   bench::header("T2b",
                 "same 100 trials, OpenSSL-speed crypto + binary wire "
                 "(the deployment §7 projects)");
   auto openssl = run_trials(grp, simnet::openssl_cost(),
-                            simnet::WireFormat::kBinary, 100);
+                            simnet::WireFormat::kBinary, trials);
   print_results(openssl);
   std::printf("  compute share dropped from ~%.0f%% to ~%.0f%% of latency\n",
               100.0 * (python.latency_ms.mean() - 6 * 37.5) /
@@ -127,5 +213,34 @@ int main() {
   bench::note("is far cheaper than the advertising it replaces; wall-clock");
   bench::note("is ~2x a bare text page with Python crypto and well under it");
   bench::note("with OpenSSL-speed crypto.");
+
+  bench::header("PV",
+                "payment-verify micro: merchant coin+NIZK verification, "
+                "fast exponentiation paths vs plain ladder");
+  auto micro = run_payment_verify_micro(grp, micro_iters);
+  std::printf("  fast paths  (tables + Straus) : %8.0f us/verify\n",
+              micro.fast_us);
+  std::printf("  plain ladder (pre-PR cost)    : %8.0f us/verify\n",
+              micro.plain_us);
+  std::printf("  speedup                       : %8.2fx\n", micro.speedup());
+  std::printf("  fixed-base table memory       : %8zu bytes\n",
+              grp.fixed_base_memory_bytes());
+
+  bench::JsonWriter json;
+  json.field("bench", std::string("payment"))
+      .field("schema_version", 1)
+      .field("group", std::string("production_1024"))
+      .field("quick", std::string(args.quick ? "true" : "false"));
+  add_trial_results(json, "table2_python2007_uri", python);
+  add_trial_results(json, "table2_openssl_binary", openssl);
+  json.begin_object("payment_verify")
+      .field("iterations", micro.iterations)
+      .field("fast_us", micro.fast_us)
+      .field("plain_us", micro.plain_us)
+      .field("speedup", micro.speedup())
+      .field("table_memory_bytes",
+             static_cast<std::uint64_t>(grp.fixed_base_memory_bytes()))
+      .end_object();
+  json.write_file(args.json_path);
   return 0;
 }

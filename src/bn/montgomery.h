@@ -8,11 +8,14 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "bn/bigint.h"
 
 namespace p2pcash::bn {
+
+class FixedBaseTable;  // multi_exp.h
 
 /// Precomputed context for arithmetic modulo a fixed odd modulus.
 /// Thread-compatible: const methods are safe to call concurrently.
@@ -28,6 +31,25 @@ class MontgomeryCtx {
 
   /// (a * b) mod modulus.
   BigInt mul(const BigInt& a, const BigInt& b) const;
+
+  // --- fixed-base / multi-exponentiation fast paths (multi_exp.cpp) ------
+
+  /// Builds a fixed-base windowing table covering exponents up to
+  /// `max_exp_bits` bits.  One-time cost ~(2^w/w)·max_exp_bits Montgomery
+  /// multiplications; see FixedBaseTable::memory_bytes for the footprint.
+  FixedBaseTable precompute_base(const BigInt& base, std::size_t max_exp_bits,
+                                 std::size_t window_bits = 4) const;
+
+  /// base^exp via the table: ceil(bits/w) multiplications, no squarings.
+  /// Falls back to exp() when the exponent exceeds the table's coverage.
+  /// exp >= 0 (throws std::domain_error if negative).
+  BigInt exp_fixed(const FixedBaseTable& table, const BigInt& exponent) const;
+
+  /// prod_i bases[i]^exponents[i] via Straus interleaving: one shared
+  /// squaring ladder for all bases instead of one ladder each.
+  /// Requires bases.size() == exponents.size(), all exponents >= 0.
+  BigInt multi_exp(std::span<const BigInt> bases,
+                   std::span<const BigInt> exponents) const;
 
  private:
   using Limb = BigInt::Limb;

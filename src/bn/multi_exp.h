@@ -1,0 +1,62 @@
+// multi_exp.h — fixed-base precomputation tables and simultaneous
+// (Straus/Shamir) multi-exponentiation on top of MontgomeryCtx.
+//
+// The protocol's cost is dominated by modular exponentiations whose bases
+// are *fixed* for the lifetime of a group (the generators g, g1, g2, a
+// broker public key, the per-info element z = F(info)).  For those bases a
+// one-time table of small-digit powers turns a 160-bit exponentiation from
+// ~200 Montgomery multiplications (square-and-multiply ladder) into ~40
+// multiplications with no squarings at all (Brickell–Gordon–McCurley–Wilson
+// fixed-base windowing).  Products of the form g1^a · g2^b with bases that
+// are NOT precomputed still save all shared squarings via Straus
+// interleaving.
+//
+// Neither path changes the mathematical result: callers observe the same
+// group element as MontgomeryCtx::exp, only faster.  Cost accounting (the
+// paper's Table 1 Exp counts) is the caller's business — see
+// group::SchnorrGroup, which counts one Exp per *logical* exponentiation
+// regardless of which implementation serves it.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bn/bigint.h"
+#include "bn/montgomery.h"
+
+namespace p2pcash::bn {
+
+/// Precomputed powers of one fixed base under one MontgomeryCtx.
+///
+/// For window width w and exponent capacity of `windows` base-2^w digits,
+/// entry (i, d) holds base^(d · 2^(w·i)) in Montgomery form, d = 1..2^w-1.
+/// An exponentiation is then the product of one table entry per nonzero
+/// digit of the exponent: ceil(bits/w) multiplications, zero squarings.
+///
+/// Immutable after construction; safe to share across threads.
+class FixedBaseTable {
+ public:
+  FixedBaseTable() = default;
+
+  /// The base this table serves (not in Montgomery form).
+  const BigInt& base() const { return base_; }
+  /// True iff exponents of `exp_bits` bits are covered by the table.
+  bool covers(std::size_t exp_bits) const {
+    return exp_bits <= window_bits_ * windows_;
+  }
+  std::size_t window_bits() const { return window_bits_; }
+  /// Table footprint in bytes (the precompute memory cost per base).
+  std::size_t memory_bytes() const;
+
+ private:
+  friend class MontgomeryCtx;
+
+  BigInt base_;
+  std::size_t window_bits_ = 0;
+  std::size_t windows_ = 0;
+  // entries_[i * ((1<<w) - 1) + (d - 1)] = base^(d << (w*i)), Montgomery form.
+  std::vector<std::vector<BigInt::Limb>> entries_;
+};
+
+}  // namespace p2pcash::bn

@@ -13,6 +13,33 @@ using bn::BigInt;
 
 namespace {
 
+// Fast-path tuning.  A 4-bit window over 160-bit exponents costs
+// ceil(160/4) = 40 table entries per digit slot * 15 digits = 600
+// Montgomery multiplications to build and ~77 KB per base at 1024-bit p,
+// and serves an exponentiation in ~40 multiplications (vs ~200 for the
+// plain ladder).  Recurring non-generator bases (broker keys, z = F(info))
+// are promoted to a table only after kPromoteHits sightings so one-shot
+// bases never pay the build cost.
+constexpr std::size_t kFixedWindowBits = 4;
+constexpr std::uint32_t kPromoteHits = 3;
+constexpr std::size_t kBaseCacheMax = 64;
+constexpr std::size_t kHashCacheMax = 128;
+
+thread_local bool g_fast_exp_disabled = false;
+
+}  // namespace
+
+ScopedDisableFastExp::ScopedDisableFastExp()
+    : previous_(g_fast_exp_disabled) {
+  g_fast_exp_disabled = true;
+}
+
+ScopedDisableFastExp::~ScopedDisableFastExp() {
+  g_fast_exp_disabled = previous_;
+}
+
+namespace {
+
 // Domain-separated hash of `data` to a big integer of the digest width.
 BigInt hash_to_int(std::string_view domain, std::uint32_t counter,
                    const std::vector<std::uint8_t>& data) {
@@ -81,10 +108,114 @@ SchnorrGroup SchnorrGroup::from_params(const BigInt& p, const BigInt& q,
   return grp;
 }
 
+BigInt SchnorrGroup::reduce_exponent(const BigInt& e) const {
+  return e.is_negative() || e >= data_->q ? bn::mod(e, data_->q) : e;
+}
+
+std::shared_ptr<const bn::FixedBaseTable> SchnorrGroup::fixed_table_for(
+    const BigInt& base) const {
+  if (g_fast_exp_disabled) return nullptr;
+  const Data& d = *data_;
+  if (base == d.g || base == d.g1 || base == d.g2) {
+    std::call_once(d.fast.generators_once, [&d] {
+      // Tables cover exponents up to |q| bits: every protocol exponent is
+      // reduced mod q first, and the subgroup-membership check uses q
+      // itself, which has exactly |q| bits.
+      const std::size_t bits = d.q.bit_length();
+      auto build = [&](const BigInt& b) {
+        return std::make_shared<const bn::FixedBaseTable>(
+            d.ctx_p->precompute_base(b, bits, kFixedWindowBits));
+      };
+      auto g_t = build(d.g);
+      auto g1_t = build(d.g1);
+      auto g2_t = build(d.g2);
+      // Publish under the cache mutex so fixed_base_memory_bytes (which
+      // does not pass the once_flag) reads a consistent snapshot; readers
+      // below are already synchronized by call_once itself.
+      std::lock_guard<std::mutex> lock(d.fast.mu);
+      d.fast.g_table = std::move(g_t);
+      d.fast.g1_table = std::move(g1_t);
+      d.fast.g2_table = std::move(g2_t);
+    });
+    if (base == d.g) return d.fast.g_table;
+    return base == d.g1 ? d.fast.g1_table : d.fast.g2_table;
+  }
+  std::lock_guard<std::mutex> lock(d.fast.mu);
+  auto it = d.fast.cache.find(base);
+  if (it == d.fast.cache.end()) {
+    if (d.fast.cache.size() >= kBaseCacheMax) {
+      // Evict the least-seen base; promoted hot bases have high counts
+      // and survive streams of one-shot lookups.
+      auto victim = d.fast.cache.begin();
+      for (auto i = d.fast.cache.begin(); i != d.fast.cache.end(); ++i) {
+        if (i->second.hits < victim->second.hits) victim = i;
+      }
+      d.fast.cache.erase(victim);
+    }
+    d.fast.cache.emplace(base, FastExpState::CacheEntry{1, nullptr});
+    return nullptr;
+  }
+  FastExpState::CacheEntry& entry = it->second;
+  ++entry.hits;
+  if (!entry.table && entry.hits >= kPromoteHits) {
+    entry.table = std::make_shared<const bn::FixedBaseTable>(
+        data_->ctx_p->precompute_base(base, d.q.bit_length(),
+                                      kFixedWindowBits));
+  }
+  return entry.table;
+}
+
 BigInt SchnorrGroup::exp(const BigInt& base, const BigInt& e) const {
   metrics::count_exp();
-  BigInt reduced = e.is_negative() || e >= data_->q ? bn::mod(e, data_->q) : e;
+  BigInt reduced = reduce_exponent(e);
+  if (auto table = fixed_table_for(base))
+    return data_->ctx_p->exp_fixed(*table, reduced);
   return data_->ctx_p->exp(base, reduced);
+}
+
+BigInt SchnorrGroup::exp2(const BigInt& b1, const BigInt& e1,
+                          const BigInt& b2, const BigInt& e2) const {
+  const BigInt bases[2] = {b1, b2};
+  const BigInt exps[2] = {e1, e2};
+  return multi_exp(std::span<const BigInt>(bases, 2),
+                   std::span<const BigInt>(exps, 2));
+}
+
+BigInt SchnorrGroup::multi_exp(std::span<const BigInt> bases,
+                               std::span<const BigInt> exps) const {
+  if (bases.size() != exps.size())
+    throw std::invalid_argument("SchnorrGroup::multi_exp: size mismatch");
+  metrics::count_exp(bases.size());
+  if (bases.empty()) return bn::mod(BigInt{1}, data_->p);
+  std::vector<BigInt> reduced(exps.size());
+  for (std::size_t i = 0; i < exps.size(); ++i)
+    reduced[i] = reduce_exponent(exps[i]);
+
+  BigInt acc;
+  bool have = false;
+  auto fold = [&](BigInt value) {
+    acc = have ? data_->ctx_p->mul(acc, value) : std::move(value);
+    have = true;
+  };
+  if (g_fast_exp_disabled) {
+    // Baseline path: one plain ladder per base (the pre-fast-path cost).
+    for (std::size_t i = 0; i < bases.size(); ++i)
+      fold(data_->ctx_p->exp(bases[i], reduced[i]));
+    return acc;
+  }
+  // Bases with tables are served digit-by-digit with no squarings; the
+  // rest share one Straus squaring ladder.
+  std::vector<BigInt> loose_bases, loose_exps;
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    if (auto table = fixed_table_for(bases[i])) {
+      fold(data_->ctx_p->exp_fixed(*table, reduced[i]));
+    } else {
+      loose_bases.push_back(bases[i]);
+      loose_exps.push_back(std::move(reduced[i]));
+    }
+  }
+  if (!loose_bases.empty()) fold(data_->ctx_p->multi_exp(loose_bases, loose_exps));
+  return acc;
 }
 
 BigInt SchnorrGroup::mul(const BigInt& a, const BigInt& b) const {
@@ -95,9 +226,22 @@ BigInt SchnorrGroup::inv(const BigInt& a) const {
   return bn::mod_inverse(a, data_->p);
 }
 
+std::size_t SchnorrGroup::fixed_base_memory_bytes() const {
+  const Data& d = *data_;
+  std::size_t total = 0;
+  std::lock_guard<std::mutex> lock(d.fast.mu);
+  for (const auto& table : {d.fast.g_table, d.fast.g1_table, d.fast.g2_table})
+    if (table) total += table->memory_bytes();
+  for (const auto& [base, entry] : d.fast.cache)
+    if (entry.table) total += entry.table->memory_bytes();
+  return total;
+}
+
 bool SchnorrGroup::is_element(const BigInt& x) const {
   if (x.is_negative() || x.is_zero() || x >= data_->p) return false;
   metrics::count_exp();
+  if (auto table = fixed_table_for(x))
+    return data_->ctx_p->exp_fixed(*table, data_->q) == BigInt{1};
   return data_->ctx_p->exp(x, data_->q) == BigInt{1};
 }
 
@@ -107,13 +251,37 @@ bool SchnorrGroup::is_generator(const BigInt& x) const {
 
 BigInt SchnorrGroup::hash_to_group(const std::vector<std::uint8_t>& data) const {
   metrics::count_hash();
+  FastExpState& fast = data_->fast;
+  std::array<std::uint8_t, 32> memo_key{};
+  if (!g_fast_exp_disabled) {
+    memo_key = crypto::Sha256::hash(data);
+    std::lock_guard<std::mutex> lock(fast.hash_mu);
+    auto it = fast.hash_cache.find(memo_key);
+    if (it != fast.hash_cache.end()) {
+      ++it->second.hits;
+      return it->second.value;
+    }
+  }
   const BigInt cofactor = (data_->p - BigInt{1}) / data_->q;
   std::uint32_t counter = 0;
+  BigInt cand;
   for (;;) {
     BigInt u = bn::mod(hash_to_int("p2pcash/F", counter++, data), data_->p);
-    BigInt cand = data_->ctx_p->exp(u, cofactor);
-    if (cand != BigInt{1} && !cand.is_zero()) return cand;
+    cand = data_->ctx_p->exp(u, cofactor);
+    if (cand != BigInt{1} && !cand.is_zero()) break;
   }
+  if (!g_fast_exp_disabled) {
+    std::lock_guard<std::mutex> lock(fast.hash_mu);
+    if (fast.hash_cache.size() >= kHashCacheMax) {
+      auto victim = fast.hash_cache.begin();
+      for (auto i = fast.hash_cache.begin(); i != fast.hash_cache.end(); ++i) {
+        if (i->second.hits < victim->second.hits) victim = i;
+      }
+      fast.hash_cache.erase(victim);
+    }
+    fast.hash_cache.emplace(memo_key, FastExpState::HashCacheEntry{0, cand});
+  }
+  return cand;
 }
 
 BigInt SchnorrGroup::hash_to_zq(const std::vector<std::uint8_t>& data) const {

@@ -11,15 +11,36 @@
 
 #pragma once
 
+#include <array>
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "bn/bigint.h"
 #include "bn/montgomery.h"
+#include "bn/multi_exp.h"
 #include "bn/rng.h"
 
 namespace p2pcash::group {
+
+/// Disables the fixed-base/multi-exp fast paths on this thread for its
+/// lifetime (exponentiations fall back to the plain Montgomery ladder).
+/// Used by tests and benches to show the fast paths change wall-clock
+/// only — never results, never Table 1 op counts.
+class ScopedDisableFastExp {
+ public:
+  ScopedDisableFastExp();
+  ~ScopedDisableFastExp();
+  ScopedDisableFastExp(const ScopedDisableFastExp&) = delete;
+  ScopedDisableFastExp& operator=(const ScopedDisableFastExp&) = delete;
+
+ private:
+  bool previous_;
+};
 
 /// Immutable group parameters plus precomputed Montgomery contexts.
 /// Cheap to copy (shared_ptr internals); thread-compatible.
@@ -52,9 +73,22 @@ class SchnorrGroup {
   const bn::BigInt& g2() const { return data_->g2; }
 
   /// base^e mod p. Counts one Exp in the active metrics counter.
+  /// Exponentiations of the fixed generators g, g1, g2 are served from
+  /// lazily built fixed-base tables; other bases that recur (a broker
+  /// public key, z = F(info)) are promoted into a bounded per-group table
+  /// cache after a few sightings.  Same result either way.
   bn::BigInt exp(const bn::BigInt& base, const bn::BigInt& e) const;
   /// g^e mod p (same cost accounting as exp).
   bn::BigInt exp_g(const bn::BigInt& e) const { return exp(data_->g, e); }
+  /// b1^e1 · b2^e2 mod p in one pass (Straus interleaving, or two
+  /// fixed-base lookups when both bases have tables).  Counts TWO Exp:
+  /// the fusion is an implementation detail, not a protocol-cost change.
+  bn::BigInt exp2(const bn::BigInt& b1, const bn::BigInt& e1,
+                  const bn::BigInt& b2, const bn::BigInt& e2) const;
+  /// prod_i bases[i]^exps[i] mod p. Counts bases.size() Exp (one per
+  /// logical exponentiation, as in Table 1).
+  bn::BigInt multi_exp(std::span<const bn::BigInt> bases,
+                       std::span<const bn::BigInt> exps) const;
   /// (a * b) mod p.
   bn::BigInt mul(const bn::BigInt& a, const bn::BigInt& b) const;
   /// a^{-1} mod p.
@@ -72,6 +106,8 @@ class SchnorrGroup {
   /// Counts one Hash (the inner exponentiation is bookkept separately by
   /// the caller-visible exp count only when the paper's Table 1 counts it —
   /// the paper treats F as a hash, so we do not add an Exp here).
+  /// Recurring inputs (z = F(info) for a coin under repeated verification)
+  /// are served from a bounded memo cache; each call still counts one Hash.
   bn::BigInt hash_to_group(const std::vector<std::uint8_t>& data) const;
   /// H / H0: hash arbitrary bytes to an exponent in Z_q. Counts one Hash.
   bn::BigInt hash_to_zq(const std::vector<std::uint8_t>& data) const;
@@ -86,20 +122,59 @@ class SchnorrGroup {
     return bn::random_nonzero_below(rng, data_->q);
   }
 
+  /// Bytes currently held by this group's fixed-base tables (generators
+  /// plus promoted cache entries).  Diagnostic; see DESIGN.md §6.
+  std::size_t fixed_base_memory_bytes() const;
+
   friend bool operator==(const SchnorrGroup& a, const SchnorrGroup& b) {
     return a.p() == b.p() && a.q() == b.q() && a.g() == b.g() &&
            a.g1() == b.g1() && a.g2() == b.g2();
   }
 
  private:
+  /// Lazily built fixed-base machinery, shared (with the rest of Data)
+  /// by every copy of the group.  All members are guarded: the generator
+  /// tables by once_flag, the recurring-base cache by its mutex.
+  struct FastExpState {
+    std::once_flag generators_once;
+    std::shared_ptr<const bn::FixedBaseTable> g_table, g1_table, g2_table;
+
+    struct CacheEntry {
+      std::uint32_t hits = 0;
+      std::shared_ptr<const bn::FixedBaseTable> table;  // set once promoted
+    };
+    std::mutex mu;
+    std::map<bn::BigInt, CacheEntry> cache;
+
+    // Memo for F = hash_to_group: its cofactor exponentiation uses an
+    // |p|-|q|-bit exponent (~5x the cost of a protocol exp) and the same
+    // info bytes recur on every verification of the same coin, so z =
+    // F(info) is cached, keyed by the SHA-256 of the input (fixed-size
+    // keys, bounded entries).  Pure memoization: results and Hash counts
+    // are unchanged.
+    struct HashCacheEntry {
+      std::uint32_t hits = 0;
+      bn::BigInt value;
+    };
+    std::mutex hash_mu;
+    std::map<std::array<std::uint8_t, 32>, HashCacheEntry> hash_cache;
+  };
+
   struct Data {
     bn::BigInt p, q, g, g1, g2;
     std::unique_ptr<bn::MontgomeryCtx> ctx_p;
+    mutable FastExpState fast;
   };
   explicit SchnorrGroup(std::shared_ptr<const Data> data)
       : data_(std::move(data)) {}
   static SchnorrGroup make(bn::BigInt p, bn::BigInt q, bn::BigInt g,
                            bn::BigInt g1, bn::BigInt g2);
+
+  /// Table for `base` if it is a generator or a promoted recurring base;
+  /// nullptr otherwise (or when fast paths are disabled on this thread).
+  std::shared_ptr<const bn::FixedBaseTable> fixed_table_for(
+      const bn::BigInt& base) const;
+  bn::BigInt reduce_exponent(const bn::BigInt& e) const;
 
   std::shared_ptr<const Data> data_;
 };

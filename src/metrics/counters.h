@@ -6,6 +6,12 @@
 // than hand-counting, the primitive layers report into a thread-local
 // OpCounters that a ScopedOpCounting RAII guard installs, so the benchmark
 // regenerates the table from the code that actually runs.
+//
+// Counting convention: Exp counts *logical* exponentiations, independent
+// of implementation.  A fused product like SchnorrGroup::exp2 (Straus
+// interleaving or fixed-base tables) still counts one Exp per base —
+// count_exp(2) — so Table 1 is invariant under the fast-path machinery
+// (pinned by multi_exp_test).
 
 #pragma once
 

@@ -17,8 +17,8 @@ CoinSecret CoinSecret::random(const group::SchnorrGroup& grp, bn::Rng& rng) {
 
 Commitments commit(const group::SchnorrGroup& grp, const CoinSecret& secret) {
   Commitments c;
-  c.a = grp.mul(grp.exp(grp.g1(), secret.x1), grp.exp(grp.g2(), secret.x2));
-  c.b = grp.mul(grp.exp(grp.g1(), secret.y1), grp.exp(grp.g2(), secret.y2));
+  c.a = grp.exp2(grp.g1(), secret.x1, grp.g2(), secret.x2);
+  c.b = grp.exp2(grp.g1(), secret.y1, grp.g2(), secret.y2);
   return c;
 }
 
@@ -35,8 +35,7 @@ bool verify_response(const group::SchnorrGroup& grp, const Commitments& comm,
   if (resp.r1.is_negative() || resp.r1 >= grp.q()) return false;
   if (resp.r2.is_negative() || resp.r2 >= grp.q()) return false;
   BigInt lhs = grp.mul(comm.a, grp.exp(comm.b, d));
-  BigInt rhs =
-      grp.mul(grp.exp(grp.g1(), resp.r1), grp.exp(grp.g2(), resp.r2));
+  BigInt rhs = grp.exp2(grp.g1(), resp.r1, grp.g2(), resp.r2);
   return lhs == rhs;
 }
 
@@ -61,7 +60,7 @@ std::optional<ExtractedSecrets> extract(const group::SchnorrGroup& grp,
 
 bool verify_representation(const group::SchnorrGroup& grp,
                            const BigInt& commitment, const Representation& rep) {
-  BigInt rhs = grp.mul(grp.exp(grp.g1(), rep.e1), grp.exp(grp.g2(), rep.e2));
+  BigInt rhs = grp.exp2(grp.g1(), rep.e1, grp.g2(), rep.e2);
   return commitment == rhs;
 }
 

@@ -42,6 +42,8 @@ std::size_t ChordRing::successor_index(const ChordId& key) const {
 
 std::vector<std::size_t> ChordRing::replica_set(const ChordId& key,
                                                 std::size_t count) const {
+  // Clamp before walking: with count >= nodes_.size() the (idx + i) walk
+  // would wrap all the way around and hand out duplicate replica indices.
   count = std::min(count, nodes_.size());
   std::vector<std::size_t> out;
   out.reserve(count);

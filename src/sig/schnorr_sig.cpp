@@ -68,8 +68,8 @@ bool verify(const group::SchnorrGroup& grp, const PublicKey& pk,
   if (sig.s.is_negative() || sig.s >= grp.q()) return false;
   if (!grp.is_element(pk.y)) return false;
   // R' = g^s * y^{-e} = g^s * y^{q-e}
-  BigInt y_neg_e = grp.exp(pk.y, bn::mod_sub(BigInt{0}, sig.e, grp.q()));
-  BigInt r_point = grp.mul(grp.exp_g(sig.s), y_neg_e);
+  BigInt r_point = grp.exp2(grp.g(), sig.s, pk.y,
+                            bn::mod_sub(BigInt{0}, sig.e, grp.q()));
   return challenge_hash(grp, r_point, pk.y, message) == sig.e;
 }
 

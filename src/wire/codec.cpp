@@ -31,7 +31,11 @@ void Writer::put_bigint(const bn::BigInt& v) {
 }
 
 void Reader::need(std::size_t n) const {
-  if (pos_ + n > data_.size()) throw DecodeError("Reader: truncated input");
+  // Compare against the remaining bytes rather than computing pos_ + n:
+  // an attacker-supplied length near SIZE_MAX would wrap the sum and slip
+  // past the bound.  pos_ <= data_.size() always holds, so the subtraction
+  // cannot underflow.
+  if (n > data_.size() - pos_) throw DecodeError("Reader: truncated input");
 }
 
 std::uint8_t Reader::get_u8() {

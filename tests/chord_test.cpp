@@ -67,6 +67,42 @@ TEST(ChordRing, ReplicaSetsAreSuccessiveNodes) {
   EXPECT_EQ(ring.replica_set(key, 99).size(), ring.size());
 }
 
+TEST(ChordRing, ReplicaSetOnSingleNodeRing) {
+  // A 1-node ring must return exactly {0} for any count — the wrap-around
+  // walk (idx + i) % n must not emit node 0 repeatedly.
+  crypto::ChaChaRng rng("replica-single");
+  ChordRing ring(1, rng);
+  auto key = bn::random_bits(rng, kIdBits);
+  for (std::size_t count : {std::size_t{0}, std::size_t{1}, std::size_t{7}}) {
+    auto replicas = ring.replica_set(key, count);
+    if (count == 0) {
+      EXPECT_TRUE(replicas.empty());
+    } else {
+      ASSERT_EQ(replicas.size(), 1u) << "count=" << count;
+      EXPECT_EQ(replicas[0], 0u);
+    }
+  }
+}
+
+TEST(ChordRing, OversizedReplicaSetIsDistinctAndClamped) {
+  // count > n: clamp to the ring size and cover every node exactly once,
+  // for every possible successor start position.
+  crypto::ChaChaRng rng("replica-clamp");
+  ChordRing ring(5, rng);
+  for (std::size_t n = 0; n < ring.size(); ++n) {
+    // Each node id keys to itself, so the walk starts at every index.
+    auto replicas = ring.replica_set(ring.node_ids()[n], ring.size() + 3);
+    ASSERT_EQ(replicas.size(), ring.size());
+    std::vector<bool> seen(ring.size(), false);
+    for (std::size_t idx : replicas) {
+      ASSERT_LT(idx, ring.size());
+      EXPECT_FALSE(seen[idx]) << "duplicate replica index " << idx;
+      seen[idx] = true;
+    }
+    EXPECT_EQ(replicas.front(), n);
+  }
+}
+
 TEST(ChordRing, RoutesReachTheSuccessor) {
   crypto::ChaChaRng rng("route");
   ChordRing ring(64, rng);

@@ -153,6 +153,55 @@ TEST_F(FuzzFixture, FuzzedDepositsAreRefusedNotFatal) {
   EXPECT_TRUE(dep_.broker().deposit(merchant, queue[0], 4000).ok());
 }
 
+TEST_F(FuzzFixture, AdversarialLengthPrefixCorpusNeverOverReads) {
+  // Hand-built corpus of hostile length prefixes: values that would wrap
+  // a naive `pos + n` bounds check, maximal u32 lengths, lengths one past
+  // the end, and nested length fields inside otherwise-plausible buffers.
+  // Reader::need compares against remaining bytes, so every case must
+  // throw DecodeError (or decode cleanly) — never over-read.
+  const std::vector<std::vector<std::uint8_t>> corpus = {
+      {0xff, 0xff, 0xff, 0xff},                          // SIZE_MAX-ish len, no payload
+      {0xff, 0xff, 0xff, 0xff, 0xaa},                    // ... with 1 stray byte
+      {0xff, 0xff, 0xff, 0xfc},                          // wraps pos+n at pos=4
+      {0x80, 0x00, 0x00, 0x00, 0x01, 0x02},              // 2^31 payload claim
+      {0x00, 0x00, 0x00, 0x05, 0x01, 0x02, 0x03, 0x04},  // one byte short
+      {0x00, 0x00, 0x00, 0x00},                          // empty payload (valid)
+      {0x00, 0x00, 0x00, 0x02, 0x00, 0x00,               // valid outer...
+       0xff, 0xff, 0xff, 0xf0},                          // ...hostile inner
+  };
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const auto& bytes = corpus[i];
+    // Raw Reader primitives.
+    for (int mode = 0; mode < 3; ++mode) {
+      wire::Reader r(bytes);
+      try {
+        if (mode == 0) (void)r.get_bytes();
+        if (mode == 1) (void)r.get_string();
+        if (mode == 2) (void)r.get_bigint();
+        EXPECT_LE(r.remaining(), bytes.size()) << "corpus " << i;
+      } catch (const wire::DecodeError&) {
+        // expected for the hostile entries
+      }
+    }
+    // Typed decoders built on Reader.
+    EXPECT_FALSE(try_decode<Coin>(bytes).has_value()) << "corpus " << i;
+    EXPECT_FALSE(try_decode<SignedTranscript>(bytes).has_value())
+        << "corpus " << i;
+  }
+  // The same prefixes injected mid-stream: splice each corpus entry into a
+  // genuine coin encoding at a few offsets and require decode-or-throw.
+  auto wc = withdraw();
+  auto genuine = wire::encode(wc.coin);
+  for (const auto& evil : corpus) {
+    for (std::size_t off = 0; off < genuine.size(); off += 97) {
+      std::vector<std::uint8_t> spliced(genuine.begin(),
+                                        genuine.begin() + static_cast<std::ptrdiff_t>(off));
+      spliced.insert(spliced.end(), evil.begin(), evil.end());
+      (void)try_decode<Coin>(spliced);  // must not crash or over-read
+    }
+  }
+}
+
 TEST_F(FuzzFixture, FuzzedUriFormsParseOrThrow) {
   crypto::ChaChaRng rng("uri-fuzz");
   for (int trial = 0; trial < 200; ++trial) {

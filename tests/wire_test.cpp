@@ -82,6 +82,55 @@ TEST(Codec, LengthLiesDetected) {
   EXPECT_THROW((void)r.get_bytes(), DecodeError);
 }
 
+TEST(Codec, AdversarialLengthPrefixesCannotWrapBoundsCheck) {
+  // Reader::need must compare the request against the bytes *remaining*,
+  // never compute pos_ + n: with n near SIZE_MAX the sum wraps and an
+  // overflowing check would accept the read.  Exercise every u32 length
+  // the wire format can express, at both a fresh and an advanced cursor.
+  for (std::uint32_t len : {0xffffffffu, 0x80000000u, 0x7fffffffu, 0x100u}) {
+    std::vector<std::uint8_t> evil = {
+        0xaa,  // consumed first so pos_ > 0
+        static_cast<std::uint8_t>(len >> 24), static_cast<std::uint8_t>(len >> 16),
+        static_cast<std::uint8_t>(len >> 8),  static_cast<std::uint8_t>(len),
+        0x01, 0x02};
+    Reader r(evil);
+    EXPECT_EQ(r.get_u8(), 0xaa);
+    EXPECT_THROW((void)r.get_bytes(), DecodeError) << "len=" << len;
+    // The failed read must not have advanced the cursor past the buffer.
+    EXPECT_LE(r.remaining(), evil.size());
+  }
+  // Same lengths against string and bigint payload readers.
+  std::vector<std::uint8_t> evil = {0xff, 0xff, 0xff, 0xfe};
+  {
+    Reader r(evil);
+    EXPECT_THROW((void)r.get_string(), DecodeError);
+  }
+  {
+    Reader r(evil);
+    EXPECT_THROW((void)r.get_bigint(), DecodeError);
+  }
+}
+
+TEST(Codec, ZeroBigIntRoundTripsCanonically) {
+  // BigInt zero serializes as a zero-length magnitude — the only accepted
+  // encoding.  Golden bytes: just the u32 length prefix 0.
+  Writer w;
+  w.put_bigint(BigInt{0});
+  auto buf = w.take();
+  EXPECT_EQ(buf, (std::vector<std::uint8_t>{0, 0, 0, 0}));
+  Reader r(buf);
+  BigInt back = r.get_bigint();
+  EXPECT_TRUE(back.is_zero());
+  EXPECT_EQ(back, BigInt{0});
+  r.expect_end();
+  // from_bytes_be normalizes: an empty magnitude and explicit 0x00 bytes
+  // both decode to canonical zero (empty limb vector).
+  EXPECT_TRUE(BigInt::from_bytes_be({}).is_zero());
+  EXPECT_TRUE(
+      BigInt::from_bytes_be(std::vector<std::uint8_t>{0x00, 0x00}).is_zero());
+  EXPECT_TRUE(BigInt::from_bytes_be({}).to_bytes_be().empty());
+}
+
 TEST(UriForm, RenderKnown) {
   UriForm form;
   form.add("op", "pay").add("coin", "a b&c");
