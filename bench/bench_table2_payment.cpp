@@ -20,6 +20,7 @@
 #include "ecash/deployment.h"
 #include "ecash/transcript.h"
 #include "metrics/stats.h"
+#include "overlay/chord.h"
 
 using namespace p2pcash;
 using namespace p2pcash::actors;
@@ -158,6 +159,87 @@ PaymentVerifyMicro run_payment_verify_micro(const group::SchnorrGroup& grp,
   return r;
 }
 
+// CH — payments on a lossy WAN (2% ambient loss on every link) where every
+// third trial also crashes the coin's primary witness mid-payment.  The
+// resilient pipeline (retry with decorrelated-jitter backoff + chord-order
+// witness failover) must carry every payment through; the cost shows up as
+// a latency tail, not as failures.
+struct ChaosBenchResults {
+  metrics::RunningStats latency_ms;
+  int attempted = 0;
+  int accepted = 0;
+  metrics::ResilienceCounters totals;
+};
+
+ChaosBenchResults run_chaos_trials(const group::SchnorrGroup& grp,
+                                   int trials) {
+  SimWorld::Options opt;
+  opt.merchants = 8;
+  opt.seed = 4242;
+  opt.cost = simnet::openssl_cost();
+  opt.wire = simnet::WireFormat::kBinary;
+  opt.latency_lo = 25;
+  opt.latency_hi = 50;
+  opt.broker.witness_n = 2;  // a replica to fail over to
+  opt.broker.witness_k = 1;
+  SimWorld world(grp, opt);
+  auto& client = world.add_client();
+  world.net().set_drop_rate(0.02);
+
+  ChaosBenchResults results;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::optional<ecash::WalletCoin> coin;
+    client.withdraw(100,
+                    [&](ecash::Outcome<ecash::WalletCoin> c) {
+                      if (c) coin = std::move(c).value();
+                    },
+                    /*deadline_ms=*/60'000);
+    world.sim().run();
+    if (!coin) continue;
+    ecash::MerchantId target;
+    for (const auto& id : world.merchant_ids()) {
+      bool is_witness = false;
+      for (const auto& w : coin->coin.witnesses)
+        if (w.merchant == id) is_witness = true;
+      if (!is_witness) {
+        target = id;
+        break;
+      }
+    }
+    if (trial % 3 == 0) {
+      // Flap the primary witness (first in the client's chord-order engage
+      // sequence) across the payment window; it recovers after 8 s.
+      const bn::BigInt key = coin->coin.bare.witness_point(0);
+      std::vector<bn::BigInt> points;
+      for (const auto& entry : coin->coin.witnesses)
+        points.push_back(entry.lo);
+      const auto order = overlay::failover_order(key, points);
+      world.crash_merchant(coin->coin.witnesses[order.front()].merchant,
+                           /*at=*/10, /*restart_at=*/8'000);
+    }
+    ++results.attempted;
+    std::optional<ClientActor::PayResult> result;
+    world.sim().schedule(50, [&] {
+      client.pay(*coin, target,
+                 [&](ClientActor::PayResult r) { result = r; },
+                 /*timeout_ms=*/60'000);
+    });
+    world.sim().run();
+    if (!result || !result->accepted) continue;
+    ++results.accepted;
+    results.latency_ms.add(result->elapsed_ms);
+  }
+  results.totals = world.resilience_totals();
+  return results;
+}
+
+/// BENCH_chaos.json lands next to the main baseline file.
+std::string chaos_json_path(const std::string& json_path) {
+  auto slash = json_path.find_last_of('/');
+  if (slash == std::string::npos) return "BENCH_chaos.json";
+  return json_path.substr(0, slash + 1) + "BENCH_chaos.json";
+}
+
 void add_trial_results(bench::JsonWriter& json, const std::string& key,
                        const TrialResults& r) {
   json.begin_object(key)
@@ -226,6 +308,20 @@ int main(int argc, char** argv) {
   std::printf("  fixed-base table memory       : %8zu bytes\n",
               grp.fixed_base_memory_bytes());
 
+  bench::header("CH",
+                "lossy WAN chaos: 2% drop on every link, primary-witness "
+                "crash every 3rd trial, retries + failover enabled");
+  auto chaos = run_chaos_trials(grp, trials);
+  std::printf("  payments attempted / accepted : %d / %d\n", chaos.attempted,
+              chaos.accepted);
+  std::printf("  latency p50 / p99             : %.0f / %.0f ms\n",
+              chaos.latency_ms.percentile(50),
+              chaos.latency_ms.percentile(99));
+  std::printf("  resilience                    : %s\n",
+              chaos.totals.to_string().c_str());
+  bench::note("loss and witness crashes cost a latency tail (backoff is");
+  bench::note("250 ms-based), never a failed payment.");
+
   bench::JsonWriter json;
   json.field("bench", std::string("payment"))
       .field("schema_version", 1)
@@ -242,5 +338,30 @@ int main(int argc, char** argv) {
              static_cast<std::uint64_t>(grp.fixed_base_memory_bytes()))
       .end_object();
   json.write_file(args.json_path);
+
+  bench::JsonWriter chaos_json;
+  chaos_json.field("bench", std::string("payment_chaos"))
+      .field("schema_version", 1)
+      .field("group", std::string("production_1024"))
+      .field("quick", std::string(args.quick ? "true" : "false"));
+  chaos_json.begin_object("lossy_wan")
+      .field("drop_rate", 0.02)
+      .field("witness_n", 2)
+      .field("witness_k", 1)
+      .field("attempted", chaos.attempted)
+      .field("accepted", chaos.accepted)
+      .field("latency_ms_p50", chaos.latency_ms.percentile(50))
+      .field("latency_ms_p99", chaos.latency_ms.percentile(99))
+      .field("retries", static_cast<std::uint64_t>(chaos.totals.retries))
+      .field("failovers", static_cast<std::uint64_t>(chaos.totals.failovers))
+      .field("duplicates_suppressed",
+             static_cast<std::uint64_t>(chaos.totals.duplicates_suppressed))
+      .field("breaker_trips",
+             static_cast<std::uint64_t>(chaos.totals.breaker_trips))
+      .field("timeouts", static_cast<std::uint64_t>(chaos.totals.timeouts))
+      .field("late_replies_ignored",
+             static_cast<std::uint64_t>(chaos.totals.late_replies_ignored))
+      .end_object();
+  chaos_json.write_file(chaos_json_path(args.json_path));
   return 0;
 }

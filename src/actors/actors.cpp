@@ -1,5 +1,8 @@
 #include "actors/actors.h"
 
+#include <algorithm>
+
+#include "overlay/chord.h"
 #include "wire/codec.h"
 
 namespace p2pcash::actors {
@@ -82,6 +85,8 @@ void BrokerActor::on_message(const Message& msg) {
     Message reply{id(), msg.from, "", {}};
     {
       ScopedOpCounting guard(ops);
+      // finish_withdrawal is idempotent for a retransmitted identical
+      // challenge, so client retries after a lost response are safe.
       auto response = broker_.finish_withdrawal(session, e);
       Writer w;
       w.put_u64(session);
@@ -115,6 +120,10 @@ void BrokerActor::on_message(const Message& msg) {
         w.put_u8(receipt.value().paid_from_witness_deposit ? 1 : 0);
       } else {
         reply.type = "deposit.refused";
+        // Machine-readable reason first: kAlreadyDeposited tells a retrying
+        // depositor that an earlier copy landed and only the receipt was
+        // lost, which is an ack rather than an error.
+        w.put_u8(static_cast<std::uint8_t>(receipt.refusal().reason));
         w.put_string(receipt.refusal().detail);
       }
       reply.payload = w.take();
@@ -175,6 +184,41 @@ void MerchantActor::handle_transcript(const Message& msg) {
     commitments.push_back(ecash::WitnessCommitment::decode(r));
 
   const Hash256 coin_hash = transcript.coin.bare.coin_hash();
+
+  // Idempotent retransmission handling: the client resends the same bytes
+  // until it hears back, so a duplicate must converge on the same outcome
+  // instead of a "coin already presented" refusal.
+  if (merchant_.already_serviced(coin_hash)) {
+    // Service was already delivered and the pay.service ack was lost in
+    // transit; re-acknowledge.  The transcript only completes once — the
+    // deposit queue and service counters are untouched.
+    ++resilience_.duplicates_suppressed;
+    Writer w;
+    put_hash(w, coin_hash);
+    send_now(Message{id(), msg.from, "pay.service", w.take()});
+    return;
+  }
+  if (auto it = in_flight_.find(coin_hash); it != in_flight_.end()) {
+    if (it->second.client == msg.from) {
+      // Same client retransmitted while witnesses are still being gathered:
+      // re-drive the sign requests.  Witnesses re-issue endorsements for an
+      // identical transcript idempotently, and duplicate endorsements are
+      // suppressed in handle_sign_reply.
+      ++resilience_.duplicates_suppressed;
+      Writer w;
+      transcript.encode(w);
+      auto payload = w.take();
+      for (const auto& witness : it->second.witnesses) {
+        auto node = directory_.merchants.find(witness);
+        if (node == directory_.merchants.end()) continue;
+        send_now(Message{id(), node->second, "pay.sign_req", payload});
+      }
+      return;
+    }
+    // A different client presenting the same coin is a concurrent spend
+    // attempt; fall through and let receive_payment refuse it.
+  }
+
   OpCounters ops;
   std::optional<Refusal> refusal;
   {
@@ -189,7 +233,12 @@ void MerchantActor::handle_transcript(const Message& msg) {
     send_after_cost(ops, Message{id(), msg.from, "pay.refused", w.take()});
     return;
   }
-  in_flight_[coin_hash] = msg.from;
+  InFlight record;
+  record.client = msg.from;
+  record.witnesses.reserve(commitments.size());
+  for (const auto& commitment : commitments)
+    record.witnesses.push_back(commitment.witness);
+  in_flight_[coin_hash] = std::move(record);
   // Forward the transcript to every committing witness for countersigning.
   Writer w;
   transcript.encode(w);
@@ -236,9 +285,12 @@ void MerchantActor::handle_sign_reply(const Message& msg) {
   if (msg.type == "pay.double_spend") {
     auto proof = ecash::DoubleSpendProof::decode(r);
     auto client = in_flight_.find(proof.coin_hash);
-    if (client == in_flight_.end()) return;
+    if (client == in_flight_.end()) {
+      ++resilience_.late_replies_ignored;
+      return;
+    }
     OpCounters ops;
-    Message reply{id(), client->second, "", {}};
+    Message reply{id(), client->second.client, "", {}};
     {
       ScopedOpCounting guard(ops);
       auto verified = merchant_.handle_double_spend(proof.coin_hash, proof);
@@ -262,7 +314,10 @@ void MerchantActor::handle_sign_reply(const Message& msg) {
 
   const Hash256 coin_hash = get_hash(r);
   auto client = in_flight_.find(coin_hash);
-  if (client == in_flight_.end()) return;
+  if (client == in_flight_.end()) {
+    ++resilience_.late_replies_ignored;
+    return;
+  }
 
   if (msg.type == "pay.sign_refused") {
     const std::string detail = r.get_string();
@@ -270,7 +325,7 @@ void MerchantActor::handle_sign_reply(const Message& msg) {
     Writer w;
     put_hash(w, coin_hash);
     w.put_string("witness refused: " + detail);
-    send_now(Message{id(), client->second, "pay.refused", w.take()});
+    send_now(Message{id(), client->second.client, "pay.refused", w.take()});
     in_flight_.erase(client);
     return;
   }
@@ -284,12 +339,18 @@ void MerchantActor::handle_sign_reply(const Message& msg) {
     auto done = merchant_.add_endorsement(coin_hash, endorsement);
     Writer w;
     if (!done) {
+      if (done.refusal().reason == RefusalReason::kDuplicate) {
+        // A re-driven sign request produced a second identical endorsement;
+        // not a protocol failure, just a duplicate delivery.
+        ++resilience_.duplicates_suppressed;
+        return;
+      }
       put_hash(w, coin_hash);
       w.put_string(done.refusal().detail);
-      reply = Message{id(), client->second, "pay.refused", w.take()};
+      reply = Message{id(), client->second.client, "pay.refused", w.take()};
     } else if (done.value()) {
       put_hash(w, coin_hash);
-      reply = Message{id(), client->second, "pay.service", w.take()};
+      reply = Message{id(), client->second.client, "pay.service", w.take()};
     }
     // else: keep waiting for more endorsements (k-of-n).
   }
@@ -299,9 +360,97 @@ void MerchantActor::handle_sign_reply(const Message& msg) {
   }
 }
 
-void MerchantActor::handle_deposit_receipt(const Message&) {
-  // Deposits are fire-and-forget for the storefront; receipts are counted
-  // by the benchmarks via the broker's ledgers.
+void MerchantActor::flush_deposits() {
+  for (auto& st : merchant_.drain_deposit_queue()) {
+    Writer w;
+    st.encode(w);
+    const Hash256 coin_hash = st.transcript.coin.bare.coin_hash();
+    pending_deposits_[coin_hash] = PendingDeposit{w.take(), 0, 0, false};
+  }
+  // Collect keys first: send_deposit arms timers but never mutates the map,
+  // still, iterate defensively over a stable key list.
+  std::vector<Hash256> to_send;
+  for (auto& [coin_hash, pd] : pending_deposits_) {
+    if (pd.attempts > 0 && !pd.exhausted) continue;  // retry loop is running
+    pd.exhausted = false;
+    pd.attempts = 0;
+    pd.prev_backoff = 0;
+    to_send.push_back(coin_hash);
+  }
+  for (const auto& coin_hash : to_send) send_deposit(coin_hash);
+}
+
+void MerchantActor::send_deposit(const Hash256& coin_hash) {
+  auto it = pending_deposits_.find(coin_hash);
+  if (it == pending_deposits_.end()) return;
+  PendingDeposit& pd = it->second;
+  ++pd.attempts;
+  send_now(Message{id(), directory_.broker, "deposit.submit", pd.payload});
+  arm_deposit_timer(coin_hash, pd.attempts);
+}
+
+void MerchantActor::arm_deposit_timer(const Hash256& coin_hash,
+                                      std::size_t attempts_when_armed) {
+  const std::uint64_t restart_gen = restart_generation_;
+  net_.sim().schedule(
+      retry_.attempt_timeout_ms,
+      [this, coin_hash, attempts_when_armed, restart_gen]() {
+        if (restart_gen != restart_generation_) return;
+        auto it = pending_deposits_.find(coin_hash);
+        if (it == pending_deposits_.end()) return;  // acknowledged
+        PendingDeposit& pd = it->second;
+        if (pd.exhausted || pd.attempts != attempts_when_armed) return;
+        if (pd.attempts >= retry_.max_attempts) {
+          // Keep the transcript; a later flush_deposits() re-submits it.
+          pd.exhausted = true;
+          ++resilience_.timeouts;
+          return;
+        }
+        const SimTime backoff = retry_.next_backoff(pd.prev_backoff, net_.rng());
+        pd.prev_backoff = backoff;
+        net_.sim().schedule(
+            backoff, [this, coin_hash, attempts_when_armed, restart_gen]() {
+              if (restart_gen != restart_generation_) return;
+              auto it2 = pending_deposits_.find(coin_hash);
+              if (it2 == pending_deposits_.end()) return;
+              if (it2->second.exhausted ||
+                  it2->second.attempts != attempts_when_armed)
+                return;
+              ++resilience_.retries;
+              send_deposit(coin_hash);
+            });
+      });
+}
+
+void MerchantActor::handle_deposit_receipt(const Message& msg) {
+  Reader r(msg.payload);
+  const Hash256 coin_hash = get_hash(r);
+  auto it = pending_deposits_.find(coin_hash);
+  if (it == pending_deposits_.end()) return;  // manual submission or dup ack
+  if (msg.type == "deposit.refused") {
+    const auto reason = static_cast<RefusalReason>(r.get_u8());
+    if (reason == RefusalReason::kAlreadyDeposited) {
+      // An earlier retry landed and only the receipt was lost: that is an
+      // ack, not an error.
+      ++resilience_.duplicates_suppressed;
+    }
+    // Any other refusal is definitive (the broker validated and said no);
+    // retrying the same bytes cannot change it.
+  }
+  pending_deposits_.erase(it);
+}
+
+void MerchantActor::on_restart() {
+  // Volatile per-payment state is gone — clients re-drive or time out.
+  in_flight_.clear();
+  ++restart_generation_;  // orphan all armed timers
+  // Deposit submissions are journaled with the durable storefront state.
+  // The node is still down while this hook runs, so mark them for
+  // re-submission by the next flush_deposits() instead of resending here.
+  for (auto& [coin_hash, pd] : pending_deposits_) {
+    pd.exhausted = true;
+    pd.prev_backoff = 0;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -321,21 +470,99 @@ ClientActor::ClientActor(simnet::Network& net, simnet::CostModel cost,
       rng_(seed),
       wallet_(grp, broker_key, broker_key, rng_) {}
 
-void ClientActor::withdraw(Cents denomination, WithdrawCallback done) {
+void ClientActor::withdraw(Cents denomination, WithdrawCallback done,
+                           SimTime deadline_ms) {
   const std::uint64_t req_id = next_request_++;
-  withdrawal_requests_[req_id] =
-      PendingWithdrawal{std::nullopt, std::move(done)};
+  PendingWithdrawal pending;
+  pending.done = std::move(done);
+  pending.generation = ++withdraw_generation_;
   Writer w;
   w.put_u64(req_id);
   w.put_u32(denomination);
-  send_now(Message{id(), directory_.broker, "withdraw.start", w.take()});
+  pending.last_type = "withdraw.start";
+  pending.last_payload = w.take();
+  const std::uint64_t generation = pending.generation;
+  if (deadline_ms > 0) {
+    pending.deadline = net_.sim().now() + deadline_ms;
+    // Overall deadline: fail with a clean refusal if still unresolved.
+    net_.sim().schedule(deadline_ms, [this, generation]() {
+      auto fail_in = [&](std::map<std::uint64_t, PendingWithdrawal>& m) {
+        for (auto it = m.begin(); it != m.end(); ++it) {
+          if (it->second.generation != generation) continue;
+          auto cb = std::move(it->second.done);
+          m.erase(it);
+          ++resilience_.timeouts;
+          cb(Refusal{RefusalReason::kInternal, "timeout"});
+          return true;
+        }
+        return false;
+      };
+      if (!fail_in(withdrawal_requests_)) fail_in(withdrawal_sessions_);
+    });
+  }
+  auto payload = pending.last_payload;
+  withdrawal_requests_[req_id] = std::move(pending);
+  send_now(Message{id(), directory_.broker, "withdraw.start",
+                   std::move(payload)});
+  if (deadline_ms > 0) arm_withdraw_timer(false, req_id, generation, 1);
+}
+
+ClientActor::PendingWithdrawal* ClientActor::find_withdrawal(
+    bool by_session, std::uint64_t key, std::uint64_t generation) {
+  auto& map = by_session ? withdrawal_sessions_ : withdrawal_requests_;
+  auto it = map.find(key);
+  if (it == map.end() || it->second.generation != generation) return nullptr;
+  return &it->second;
+}
+
+void ClientActor::arm_withdraw_timer(bool by_session, std::uint64_t key,
+                                     std::uint64_t generation,
+                                     std::size_t attempts) {
+  net_.sim().schedule(retry_.attempt_timeout_ms,
+                      [this, by_session, key, generation, attempts]() {
+                        on_withdraw_silence(by_session, key, generation,
+                                            attempts);
+                      });
+}
+
+void ClientActor::on_withdraw_silence(bool by_session, std::uint64_t key,
+                                      std::uint64_t generation,
+                                      std::size_t attempts) {
+  PendingWithdrawal* pending = find_withdrawal(by_session, key, generation);
+  if (!pending || pending->deadline <= 0) return;
+  if (pending->attempts != attempts) return;  // a newer attempt is in flight
+  if (health_.record_failure(directory_.broker, net_.sim().now()))
+    ++resilience_.breaker_trips;
+  if (pending->attempts >= retry_.max_attempts) return;  // deadline decides
+  const SimTime backoff = retry_.next_backoff(pending->prev_backoff,
+                                              net_.rng());
+  pending->prev_backoff = backoff;
+  net_.sim().schedule(backoff, [this, by_session, key, generation,
+                                attempts]() {
+    PendingWithdrawal* p = find_withdrawal(by_session, key, generation);
+    if (!p || p->attempts != attempts) return;
+    if (!health_.allow(directory_.broker, net_.sim().now())) {
+      // Breaker open: re-arm so the retry loop resumes with the probe.
+      arm_withdraw_timer(by_session, key, generation, attempts);
+      return;
+    }
+    ++p->attempts;
+    ++resilience_.retries;
+    send_now(Message{id(), directory_.broker, p->last_type, p->last_payload});
+    arm_withdraw_timer(by_session, key, generation, p->attempts);
+  });
 }
 
 void ClientActor::handle_withdraw_offer(const Message& msg) {
   Reader r(msg.payload);
   const std::uint64_t req_id = r.get_u64();
   auto it = withdrawal_requests_.find(req_id);
-  if (it == withdrawal_requests_.end()) return;
+  if (it == withdrawal_requests_.end()) {
+    // Duplicate offer (retransmitted start, duplicated delivery) — the
+    // first copy won and this request id is gone.
+    ++resilience_.late_replies_ignored;
+    return;
+  }
 
   ecash::Broker::WithdrawalOffer offer;
   offer.session = r.get_u64();
@@ -343,6 +570,7 @@ void ClientActor::handle_withdraw_offer(const Message& msg) {
   offer.first.a = r.get_bigint();
   offer.first.b = r.get_bigint();
 
+  health_.record_success(directory_.broker);
   OpCounters ops;
   Message reply{id(), directory_.broker, "withdraw.challenge", {}};
   {
@@ -356,8 +584,16 @@ void ClientActor::handle_withdraw_offer(const Message& msg) {
   // Move the pending record to the by-session map for the response phase.
   auto pending = std::move(it->second);
   withdrawal_requests_.erase(it);
-  withdrawal_sessions_[pending.state->session] = std::move(pending);
+  const std::uint64_t session = pending.state->session;
+  const std::uint64_t generation = pending.generation;
+  const bool retries = pending.deadline > 0;
+  pending.last_type = "withdraw.challenge";
+  pending.last_payload = reply.payload;
+  pending.attempts = 1;
+  pending.prev_backoff = 0;
+  withdrawal_sessions_[session] = std::move(pending);
   send_after_cost(ops, std::move(reply));
+  if (retries) arm_withdraw_timer(true, session, generation, 1);
 }
 
 void ClientActor::handle_withdraw_response(const Message& msg) {
@@ -367,13 +603,19 @@ void ClientActor::handle_withdraw_response(const Message& msg) {
   if (it == withdrawal_sessions_.end() && msg.type == "withdraw.refused") {
     // A refusal straight after withdraw.start carries our request id.
     it = withdrawal_requests_.find(id);
-    if (it == withdrawal_requests_.end()) return;
+    if (it == withdrawal_requests_.end()) {
+      ++resilience_.late_replies_ignored;
+      return;
+    }
     auto pending = std::move(it->second);
     withdrawal_requests_.erase(it);
     pending.done(Refusal{RefusalReason::kInternal, r.get_string()});
     return;
   }
-  if (it == withdrawal_sessions_.end()) return;
+  if (it == withdrawal_sessions_.end()) {
+    ++resilience_.late_replies_ignored;
+    return;
+  }
   auto pending = std::move(it->second);
   withdrawal_sessions_.erase(it);
 
@@ -381,6 +623,7 @@ void ClientActor::handle_withdraw_response(const Message& msg) {
     pending.done(Refusal{RefusalReason::kInternal, r.get_string()});
     return;
   }
+  health_.record_success(directory_.broker);
   blindsig::SignerResponse response;
   response.r = r.get_bigint();
   response.c = r.get_bigint();
@@ -416,10 +659,19 @@ void ClientActor::pay(const ecash::WalletCoin& coin,
       return;
     }
   }
+  auto merchant_node = directory_.merchants.find(merchant);
+  if (merchant_node == directory_.merchants.end()) {
+    PayResult result;
+    result.error = "unknown merchant";
+    done(std::move(result));
+    return;
+  }
   PendingPayment p;
   p.coin = coin;
   p.merchant = merchant;
+  p.merchant_node = merchant_node->second;
   p.started = net_.sim().now();
+  p.deadline = p.started + timeout_ms;
   p.generation = ++pay_generation_;
   p.done = std::move(done);
 
@@ -428,23 +680,57 @@ void ClientActor::pay(const ecash::WalletCoin& coin,
     ScopedOpCounting guard(ops);
     p.intent = wallet_.prepare_payment(coin, merchant);
   }
-  const Hash256 coin_hash = p.intent.coin_hash;
-  const std::uint64_t generation = p.generation;
-
-  // Step 1: request commitments from every assigned witness in parallel.
+  {
+    // The coin's n witness entries are its replica set.  Order them the way
+    // a chord successor-list lookup would try replicas from the coin's
+    // primary witness point: nearest clockwise range first, then onward
+    // around the ring.  (Suspended counting: witness_point re-hashes the
+    // coin, which is bookkeeping, not protocol work.)
+    metrics::ScopedSuspendOpCounting suspend;
+    const bn::BigInt key = coin.coin.bare.witness_point(0);
+    std::vector<bn::BigInt> points;
+    points.reserve(coin.coin.witnesses.size());
+    for (const auto& entry : coin.coin.witnesses) points.push_back(entry.lo);
+    for (std::size_t idx : overlay::failover_order(key, points)) {
+      const auto& entry = coin.coin.witnesses[idx];
+      auto node = directory_.merchants.find(entry.merchant);
+      if (node == directory_.merchants.end()) continue;
+      WitnessAttempt attempt;
+      attempt.witness = entry.merchant;
+      attempt.node = node->second;
+      p.plan.push_back(std::move(attempt));
+    }
+  }
   Writer w;
   put_hash(w, p.intent.coin_hash);
   put_hash(w, p.intent.nonce);
-  auto payload = w.take();
-  for (const auto& entry : coin.coin.witnesses) {
-    auto node = directory_.merchants.find(entry.merchant);
-    if (node == directory_.merchants.end()) continue;
-    p.witnesses_asked.push_back(entry.merchant);
-    send_after_cost(ops, Message{id(), node->second, "pay.commit_req",
-                                 payload});
-    ops = OpCounters{};  // charge preparation once
-  }
+  p.commit_payload = w.take();
+
+  const Hash256 coin_hash = p.intent.coin_hash;
+  const std::uint64_t generation = p.generation;
   payments_[coin_hash] = std::move(p);
+
+  // Step 1: engage the first witness_k admissible witnesses in failover
+  // order, after charging the preparation cost once.  The rest of the plan
+  // is spare capacity for failover.
+  auto engage = [this, coin_hash, generation]() {
+    auto it = payments_.find(coin_hash);
+    if (it == payments_.end() || it->second.generation != generation) return;
+    PendingPayment& payment = it->second;
+    const std::size_t need = payment.coin.coin.bare.info.witness_k;
+    std::size_t engaged = 0;
+    for (std::size_t i = 0; i < payment.plan.size() && engaged < need; ++i) {
+      if (!health_.allow(payment.plan[i].node, net_.sim().now())) continue;
+      send_commit_req(payment, i);
+      ++engaged;
+    }
+  };
+  const SimTime prep_cost = cost_.sample_cost_ms(ops, net_.rng());
+  if (prep_cost > 0) {
+    net_.sim().schedule(prep_cost, engage);
+  } else {
+    engage();
+  }
 
   net_.sim().schedule(timeout_ms, [this, coin_hash, generation]() {
     auto it = payments_.find(coin_hash);
@@ -453,21 +739,123 @@ void ClientActor::pay(const ecash::WalletCoin& coin,
     result.accepted = false;
     result.elapsed_ms = net_.sim().now() - it->second.started;
     result.error = "timeout";
+    ++resilience_.timeouts;
     finish_payment(it->second, std::move(result));
   });
+}
+
+void ClientActor::send_commit_req(PendingPayment& p, std::size_t index) {
+  WitnessAttempt& attempt = p.plan[index];
+  ++attempt.attempts;
+  send_now(Message{id(), attempt.node, "pay.commit_req", p.commit_payload});
+  arm_commit_timer(p.intent.coin_hash, p.generation, index, attempt.attempts);
+}
+
+void ClientActor::arm_commit_timer(const Hash256& coin_hash,
+                                   std::uint64_t generation, std::size_t index,
+                                   std::size_t attempts) {
+  net_.sim().schedule(retry_.attempt_timeout_ms,
+                      [this, coin_hash, generation, index, attempts]() {
+                        on_commit_silence(coin_hash, generation, index,
+                                          attempts);
+                      });
+}
+
+void ClientActor::on_commit_silence(const Hash256& coin_hash,
+                                    std::uint64_t generation,
+                                    std::size_t index, std::size_t attempts) {
+  auto it = payments_.find(coin_hash);
+  if (it == payments_.end() || it->second.generation != generation) return;
+  PendingPayment& p = it->second;
+  if (!p.transcript_payload.empty()) return;  // commit stage already done
+  WitnessAttempt& attempt = p.plan[index];
+  if (attempt.committed || attempt.refused || attempt.exhausted ||
+      attempt.attempts != attempts)
+    return;
+  // Silence: the witness (or the path to it) is failing.  Hedge with the
+  // next replica immediately, and retry this one with backoff until its
+  // attempt budget runs out.
+  if (health_.record_failure(attempt.node, net_.sim().now()))
+    ++resilience_.breaker_trips;
+  engage_next_witness(p);
+  if (attempt.attempts >= retry_.max_attempts) {
+    attempt.exhausted = true;
+    check_commit_possibility(p, "witness unreachable");
+    return;
+  }
+  const SimTime backoff = retry_.next_backoff(attempt.prev_backoff, net_.rng());
+  attempt.prev_backoff = backoff;
+  net_.sim().schedule(backoff, [this, coin_hash, generation, index,
+                                attempts]() {
+    auto it2 = payments_.find(coin_hash);
+    if (it2 == payments_.end() || it2->second.generation != generation) return;
+    PendingPayment& p2 = it2->second;
+    if (!p2.transcript_payload.empty()) return;
+    WitnessAttempt& a2 = p2.plan[index];
+    if (a2.committed || a2.refused || a2.exhausted || a2.attempts != attempts)
+      return;
+    ++resilience_.retries;
+    send_commit_req(p2, index);
+  });
+}
+
+void ClientActor::engage_next_witness(PendingPayment& p) {
+  for (std::size_t i = 0; i < p.plan.size(); ++i) {
+    WitnessAttempt& attempt = p.plan[i];
+    if (attempt.attempts > 0 || attempt.refused || attempt.exhausted) continue;
+    if (!health_.allow(attempt.node, net_.sim().now())) continue;
+    ++resilience_.failovers;
+    send_commit_req(p, i);
+    return;
+  }
+}
+
+void ClientActor::check_commit_possibility(PendingPayment& p,
+                                           const std::string& detail) {
+  const std::size_t need = p.coin.coin.bare.info.witness_k;
+  if (p.commitments.size() >= need) return;
+  std::size_t possible = 0;
+  for (const auto& attempt : p.plan) {
+    if (!attempt.refused && !attempt.exhausted) ++possible;
+  }
+  if (possible >= need) return;
+  PayResult result;
+  result.elapsed_ms = net_.sim().now() - p.started;
+  result.error = detail;
+  finish_payment(p, std::move(result));
 }
 
 void ClientActor::handle_commit(const Message& msg) {
   Reader r(msg.payload);
   auto commitment = ecash::WitnessCommitment::decode(r);
   auto it = payments_.find(commitment.coin_hash);
-  if (it == payments_.end()) return;
-  PendingPayment& p = it->second;
-  const std::uint8_t need = p.coin.coin.bare.info.witness_k;
-  if (p.commitments.size() >= need) return;  // already proceeding
-  for (const auto& c : p.commitments) {
-    if (c.witness == commitment.witness) return;  // duplicate slot owner
+  if (it == payments_.end()) {
+    ++resilience_.late_replies_ignored;
+    return;
   }
+  PendingPayment& p = it->second;
+  if (commitment.nonce != p.intent.nonce) {
+    // A commitment from an earlier, abandoned payment of this coin — its
+    // nonce binds a different (salt, merchant) pair.
+    ++resilience_.late_replies_ignored;
+    return;
+  }
+  auto plan_it = std::find_if(p.plan.begin(), p.plan.end(),
+                              [&](const WitnessAttempt& a) {
+                                return a.witness == commitment.witness;
+                              });
+  if (plan_it == p.plan.end()) {
+    ++resilience_.late_replies_ignored;
+    return;
+  }
+  if (plan_it->committed) {
+    ++resilience_.duplicates_suppressed;  // duplicated delivery / resend echo
+    return;
+  }
+  plan_it->committed = true;
+  health_.record_success(plan_it->node);
+  const std::uint8_t need = p.coin.coin.bare.info.witness_k;
+  if (p.commitments.size() >= need) return;  // hedged extra; already moving on
   p.commitments.push_back(std::move(commitment));
   if (p.commitments.size() < need) return;
 
@@ -488,19 +876,72 @@ void ClientActor::handle_commit(const Message& msg) {
     finish_payment(p, std::move(result));
     return;
   }
-  auto node = directory_.merchants.find(p.merchant);
-  if (node == directory_.merchants.end()) {
-    PayResult result;
-    result.error = "unknown merchant";
-    finish_payment(p, std::move(result));
-    return;
-  }
   Writer w;
   transcript.value().encode(w);
   w.put_u8(static_cast<std::uint8_t>(p.commitments.size()));
   for (const auto& c : p.commitments) c.encode(w);
-  send_after_cost(ops,
-                  Message{id(), node->second, "pay.transcript", w.take()});
+  p.transcript_payload = w.take();
+
+  const Hash256 coin_hash = p.intent.coin_hash;
+  const std::uint64_t generation = p.generation;
+  const SimTime build_cost = cost_.sample_cost_ms(ops, net_.rng());
+  auto deliver = [this, coin_hash, generation]() {
+    auto it2 = payments_.find(coin_hash);
+    if (it2 == payments_.end() || it2->second.generation != generation) return;
+    send_transcript(it2->second);
+  };
+  if (build_cost > 0) {
+    net_.sim().schedule(build_cost, deliver);
+  } else {
+    deliver();
+  }
+}
+
+void ClientActor::send_transcript(PendingPayment& p) {
+  ++p.transcript_attempts;
+  send_now(Message{id(), p.merchant_node, "pay.transcript",
+                   p.transcript_payload});
+  arm_transcript_timer(p.intent.coin_hash, p.generation,
+                       p.transcript_attempts);
+}
+
+void ClientActor::arm_transcript_timer(const Hash256& coin_hash,
+                                       std::uint64_t generation,
+                                       std::size_t attempts) {
+  net_.sim().schedule(retry_.attempt_timeout_ms,
+                      [this, coin_hash, generation, attempts]() {
+                        on_transcript_silence(coin_hash, generation, attempts);
+                      });
+}
+
+void ClientActor::on_transcript_silence(const Hash256& coin_hash,
+                                        std::uint64_t generation,
+                                        std::size_t attempts) {
+  auto it = payments_.find(coin_hash);
+  if (it == payments_.end() || it->second.generation != generation) return;
+  PendingPayment& p = it->second;
+  if (p.transcript_attempts != attempts) return;  // a resend superseded this
+  if (health_.record_failure(p.merchant_node, net_.sim().now()))
+    ++resilience_.breaker_trips;
+  if (p.transcript_attempts >= retry_.max_attempts) {
+    // The merchant is the one fixed counterparty — no failover target.
+    PayResult result;
+    result.elapsed_ms = net_.sim().now() - p.started;
+    result.error = "merchant unreachable";
+    finish_payment(p, std::move(result));
+    return;
+  }
+  const SimTime backoff =
+      retry_.next_backoff(p.transcript_prev_backoff, net_.rng());
+  p.transcript_prev_backoff = backoff;
+  net_.sim().schedule(backoff, [this, coin_hash, generation, attempts]() {
+    auto it2 = payments_.find(coin_hash);
+    if (it2 == payments_.end() || it2->second.generation != generation) return;
+    PendingPayment& p2 = it2->second;
+    if (p2.transcript_attempts != attempts) return;
+    ++resilience_.retries;
+    send_transcript(p2);
+  });
 }
 
 void ClientActor::handle_pay_reply(const Message& msg) {
@@ -508,7 +949,14 @@ void ClientActor::handle_pay_reply(const Message& msg) {
   if (msg.type == "pay.refused_double_spend") {
     auto proof = ecash::DoubleSpendProof::decode(r);
     auto it = payments_.find(proof.coin_hash);
-    if (it == payments_.end()) return;
+    if (it == payments_.end()) {
+      ++resilience_.late_replies_ignored;
+      return;
+    }
+    if (msg.from != it->second.merchant_node) {
+      ++resilience_.late_replies_ignored;
+      return;
+    }
     PayResult result;
     result.elapsed_ms = net_.sim().now() - it->second.started;
     result.double_spend_proof = std::move(proof);
@@ -518,27 +966,45 @@ void ClientActor::handle_pay_reply(const Message& msg) {
   }
   const Hash256 coin_hash = get_hash(r);
   auto it = payments_.find(coin_hash);
-  if (it == payments_.end()) return;
-  PayResult result;
-  result.elapsed_ms = net_.sim().now() - it->second.started;
-  if (msg.type == "pay.service") {
-    result.accepted = true;
-  } else if (msg.type == "pay.commit_refused") {
-    // One witness refused to commit; under k-of-n others may still carry
-    // the payment. Fail only when k successes are no longer reachable.
-    PendingPayment& p = it->second;
-    ++p.commit_refusals;
-    const std::size_t possible = p.witnesses_asked.size() - p.commit_refusals;
-    if (p.commitments.size() < p.coin.coin.bare.info.witness_k &&
-        possible < p.coin.coin.bare.info.witness_k) {
-      result.error = "commitment refused: " + r.get_string();
-      finish_payment(p, std::move(result));
-    }
+  if (it == payments_.end()) {
+    ++resilience_.late_replies_ignored;
     return;
+  }
+  PendingPayment& p = it->second;
+
+  if (msg.type == "pay.commit_refused") {
+    // One witness refused to commit; under k-of-n others may still carry
+    // the payment.  Fail only when k successes are no longer reachable.
+    auto plan_it = std::find_if(p.plan.begin(), p.plan.end(),
+                                [&](const WitnessAttempt& a) {
+                                  return a.node == msg.from;
+                                });
+    if (plan_it == p.plan.end()) {
+      ++resilience_.late_replies_ignored;
+      return;
+    }
+    plan_it->refused = true;
+    health_.record_success(plan_it->node);  // it answered; it is alive
+    engage_next_witness(p);
+    check_commit_possibility(p, "commitment refused: " + r.get_string());
+    return;
+  }
+
+  // pay.service / pay.refused come from the payment's merchant; anything
+  // else is a stray or stale delivery.
+  if (msg.from != p.merchant_node) {
+    ++resilience_.late_replies_ignored;
+    return;
+  }
+  PayResult result;
+  result.elapsed_ms = net_.sim().now() - p.started;
+  if (msg.type == "pay.service") {
+    health_.record_success(p.merchant_node);
+    result.accepted = true;
   } else {
     result.error = r.get_string();
   }
-  finish_payment(it->second, std::move(result));
+  finish_payment(p, std::move(result));
 }
 
 void ClientActor::finish_payment(PendingPayment& p, PayResult result) {

@@ -23,6 +23,7 @@
 #include <map>
 #include <optional>
 
+#include "actors/retry.h"
 #include "crypto/chacha.h"
 #include "ecash/broker.h"
 #include "ecash/merchant.h"
@@ -97,6 +98,25 @@ class MerchantActor final : public ProtocolActor {
   ecash::Merchant& merchant() { return merchant_; }
   ecash::WitnessService& witness() { return witness_; }
 
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+
+  /// Drains the storefront's deposit queue and submits every transcript to
+  /// the broker, retrying with backoff until a receipt (or a definitive
+  /// refusal) arrives.  kAlreadyDeposited counts as an ack — it means an
+  /// earlier retry landed and only the receipt was lost.  Transcripts whose
+  /// retries are exhausted stay queued here; a later call re-submits them.
+  void flush_deposits();
+  /// Deposits submitted but not yet acknowledged by the broker.
+  std::size_t deposits_outstanding() const { return pending_deposits_.size(); }
+
+  /// Crash recovery: volatile per-payment actor state is gone; the durable
+  /// Merchant/WitnessService state was restored by the owner.  Clients
+  /// retry or time out cleanly.
+  void on_restart();
+
+  /// Retry/duplicate accounting for this actor.
+  const metrics::ResilienceCounters& resilience() const { return resilience_; }
+
  private:
   void handle_commit_request(const Message& msg);
   void handle_transcript(const Message& msg);
@@ -104,15 +124,40 @@ class MerchantActor final : public ProtocolActor {
   void handle_sign_reply(const Message& msg);
   void handle_deposit_receipt(const Message& msg);
 
+  void send_deposit(const ecash::Hash256& coin_hash);
+  void arm_deposit_timer(const ecash::Hash256& coin_hash,
+                         std::size_t attempts_when_armed);
+
   ecash::Merchant& merchant_;
   ecash::WitnessService& witness_;
   const Directory& directory_;
-  /// Payments awaiting witness replies: coin_hash -> paying client node.
-  std::map<ecash::Hash256, NodeId> in_flight_;
+  RetryPolicy retry_;
+  metrics::ResilienceCounters resilience_;
+
+  /// Payments awaiting witness replies, with enough context to re-drive the
+  /// witnesses when the client retransmits the transcript.
+  struct InFlight {
+    NodeId client = 0;
+    std::vector<MerchantId> witnesses;  ///< committing witnesses (sign_req targets)
+  };
+  std::map<ecash::Hash256, InFlight> in_flight_;
+
+  /// Deposit submissions awaiting broker receipts.
+  struct PendingDeposit {
+    std::vector<std::uint8_t> payload;  ///< encoded SignedTranscript
+    std::size_t attempts = 0;
+    SimTime prev_backoff = 0;
+    bool exhausted = false;  ///< retries used up; re-armed by flush_deposits
+  };
+  std::map<ecash::Hash256, PendingDeposit> pending_deposits_;
+  std::uint64_t restart_generation_ = 0;  ///< invalidates timers on restart
 };
 
 /// The client as an actor: asynchronous withdraw/pay with completion
-/// callbacks and timeouts.
+/// callbacks, timeouts, and a resilient RPC discipline — per-attempt
+/// timeouts with decorrelated-jitter backoff, idempotent resends of the
+/// same bytes, failover along the coin's witness replica set (chord
+/// successor order), and a per-peer circuit breaker.
 class ClientActor final : public ProtocolActor {
  public:
   ClientActor(simnet::Network& net, simnet::CostModel cost,
@@ -124,10 +169,23 @@ class ClientActor final : public ProtocolActor {
 
   ecash::Wallet& wallet() { return wallet_; }
 
-  /// Starts a withdrawal; `done` fires with the coin or a refusal.
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+  void set_breaker_config(const PeerHealth::Config& config) {
+    health_ = PeerHealth(config);
+  }
+  PeerHealth& health() { return health_; }
+  /// Retry/failover/duplicate accounting for this client.
+  const metrics::ResilienceCounters& resilience() const { return resilience_; }
+
+  /// Starts a withdrawal; `done` fires with the coin or a refusal.  With
+  /// deadline_ms > 0 the two broker RPCs are retried with backoff until the
+  /// deadline; the default 0 sends each message exactly once and never
+  /// schedules a timer (a silent broker leaves the callback unfired).
   using WithdrawCallback =
       std::function<void(ecash::Outcome<ecash::WalletCoin>)>;
-  void withdraw(Cents denomination, WithdrawCallback done);
+  void withdraw(Cents denomination, WithdrawCallback done,
+                SimTime deadline_ms = 0);
 
   struct PayResult {
     bool accepted = false;
@@ -136,9 +194,11 @@ class ClientActor final : public ProtocolActor {
     std::optional<std::string> error;
   };
   using PayCallback = std::function<void(PayResult)>;
-  /// Runs the full payment protocol for `coin` at `merchant`. Fails with
-  /// "timeout" if not completed within timeout_ms (dead witness, lost
-  /// messages).
+  /// Runs the full payment protocol for `coin` at `merchant`.  Engages the
+  /// coin's witnesses in replica (failover) order, retries silent peers and
+  /// fails over to the next assigned witness; fails with "timeout" at
+  /// timeout_ms, or earlier with a specific diagnostic when no k-subset of
+  /// witnesses can still commit.
   void pay(const ecash::WalletCoin& coin, const MerchantId& merchant,
            PayCallback done, SimTime timeout_ms = 60'000);
 
@@ -146,16 +206,39 @@ class ClientActor final : public ProtocolActor {
   struct PendingWithdrawal {
     std::optional<ecash::Wallet::Withdrawal> state;
     WithdrawCallback done;
+    SimTime deadline = 0;  ///< absolute; 0 = retries disabled
+    std::uint64_t generation = 0;
+    std::size_t attempts = 1;
+    SimTime prev_backoff = 0;
+    /// The exact bytes/type of the last request, for idempotent resends.
+    std::string last_type;
+    std::vector<std::uint8_t> last_payload;
+  };
+  /// One witness in the payment's failover plan.
+  struct WitnessAttempt {
+    MerchantId witness;
+    NodeId node = 0;
+    std::size_t attempts = 0;  ///< commit_req sends so far (0 = not engaged)
+    SimTime prev_backoff = 0;
+    bool committed = false;
+    bool refused = false;
+    bool exhausted = false;  ///< max_attempts spent without an answer
   };
   struct PendingPayment {
     ecash::WalletCoin coin;
     MerchantId merchant;
+    NodeId merchant_node = 0;
     ecash::Wallet::PaymentIntent intent;
     std::vector<ecash::WitnessCommitment> commitments;
-    std::vector<MerchantId> witnesses_asked;
-    std::size_t commit_refusals = 0;
+    /// The coin's witnesses in chord failover order (see overlay::failover_order).
+    std::vector<WitnessAttempt> plan;
+    std::vector<std::uint8_t> commit_payload;      ///< resent verbatim
+    std::vector<std::uint8_t> transcript_payload;  ///< non-empty once built
+    std::size_t transcript_attempts = 0;
+    SimTime transcript_prev_backoff = 0;
     SimTime started = 0;
-    std::uint64_t generation = 0;  // guards the timeout event
+    SimTime deadline = 0;
+    std::uint64_t generation = 0;  // guards timeout/retry events
     PayCallback done;
   };
 
@@ -165,12 +248,41 @@ class ClientActor final : public ProtocolActor {
   void handle_pay_reply(const Message& msg);
   void finish_payment(PendingPayment& p, PayResult result);
 
+  // -- resilient RPC machinery --
+  void arm_withdraw_timer(bool by_session, std::uint64_t key,
+                          std::uint64_t generation, std::size_t attempts);
+  void on_withdraw_silence(bool by_session, std::uint64_t key,
+                           std::uint64_t generation, std::size_t attempts);
+  PendingWithdrawal* find_withdrawal(bool by_session, std::uint64_t key,
+                                     std::uint64_t generation);
+  /// Sends commit_req to plan[index] (first engagement or resend).
+  void send_commit_req(PendingPayment& p, std::size_t index);
+  void arm_commit_timer(const ecash::Hash256& coin_hash,
+                        std::uint64_t generation, std::size_t index,
+                        std::size_t attempts);
+  void on_commit_silence(const ecash::Hash256& coin_hash,
+                         std::uint64_t generation, std::size_t index,
+                         std::size_t attempts);
+  /// Engages the next never-engaged witness in the plan, if any.
+  void engage_next_witness(PendingPayment& p);
+  /// Fails the payment early when fewer than witness_k commitments remain
+  /// reachable; `detail` explains the last straw.
+  void check_commit_possibility(PendingPayment& p, const std::string& detail);
+  void send_transcript(PendingPayment& p);
+  void arm_transcript_timer(const ecash::Hash256& coin_hash,
+                            std::uint64_t generation, std::size_t attempts);
+  void on_transcript_silence(const ecash::Hash256& coin_hash,
+                             std::uint64_t generation, std::size_t attempts);
+
   const group::SchnorrGroup& grp_;
   sig::PublicKey broker_key_;
   const ecash::WitnessTable& table_;
   const Directory& directory_;
   crypto::ChaChaRng rng_;
   ecash::Wallet wallet_;
+  RetryPolicy retry_;
+  PeerHealth health_;
+  metrics::ResilienceCounters resilience_;
 
   std::uint64_t next_request_ = 1;
   /// Withdrawals awaiting the broker's offer, keyed by our request id.
@@ -180,6 +292,7 @@ class ClientActor final : public ProtocolActor {
   std::map<std::uint64_t, PendingWithdrawal> withdrawal_sessions_;
   std::map<ecash::Hash256, PendingPayment> payments_;  // by coin hash
   std::uint64_t pay_generation_ = 0;
+  std::uint64_t withdraw_generation_ = 0;
 };
 
 }  // namespace p2pcash::actors

@@ -25,6 +25,18 @@ SimWorld::SimWorld(const group::SchnorrGroup& grp, Options options)
   broker_actor_ =
       std::make_unique<BrokerActor>(*net_, options_.cost, *broker_);
   directory_.broker = net_->attach(*broker_actor_);
+  faults_ = std::make_unique<simnet::FaultPlan>(*net_);
+  // Broker crash model: ledgers, account table and open sessions are
+  // snapshotted synchronously at crash time and restored at restart
+  // (restore_state itself discards half-open withdrawal sessions).
+  faults_->set_recovery_hooks(
+      directory_.broker,
+      /*on_crash=*/[this](simnet::NodeId) {
+        broker_durable_ = broker_->snapshot_state();
+      },
+      /*on_restart=*/[this](simnet::NodeId) {
+        if (!broker_durable_.empty()) broker_->restore_state(broker_durable_);
+      });
 
   if (options_.merchants == 0)
     throw std::invalid_argument("SimWorld: need at least one merchant");
@@ -41,7 +53,28 @@ SimWorld::SimWorld(const group::SchnorrGroup& grp, Options options)
         grp_, broker_->coin_key(), slot.id, key, *rng_);
     slot.actor = std::make_unique<MerchantActor>(
         *net_, options_.cost, *slot.merchant, *slot.witness, directory_);
+    slot.actor->set_retry_policy(options_.retry);
     directory_.merchants[slot.id] = net_->attach(*slot.actor);
+    // Hooks capture the slot INDEX: merchants_ may still reallocate while
+    // this constructor loop pushes more slots.
+    faults_->set_recovery_hooks(
+        directory_.merchants[slot.id],
+        /*on_crash=*/
+        [this, i](simnet::NodeId) {
+          // Synchronous WAL: the witness's commitments, spent records and
+          // proofs are on disk at the moment of the crash.
+          merchants_[i].durable = merchants_[i].witness->snapshot_state();
+        },
+        /*on_restart=*/
+        [this, i](simnet::NodeId) {
+          MerchantSlot& s = merchants_[i];
+          if (!s.durable.empty()) s.witness->restore_state(s.durable);
+          // Storefront's half-done payments were in memory only; clients
+          // re-drive or time out.  Endorsed deposits survive (queue +
+          // pending submissions are journaled with the witness WAL).
+          s.merchant->drop_pending();
+          s.actor->on_restart();
+        });
     merchants_.push_back(std::move(slot));
   }
   broker_->publish_witness_table(/*now=*/0);
@@ -82,11 +115,38 @@ ClientActor& SimWorld::add_client() {
       broker_->current_table(), directory_,
       options_.seed * 1000003 + (++next_client_seed_)));
   net_->attach(*clients_.back());
+  clients_.back()->set_retry_policy(options_.retry);
+  clients_.back()->set_breaker_config(options_.breaker);
   return *clients_.back();
 }
 
 void SimWorld::set_merchant_down(const MerchantId& id, bool down) {
   net_->set_down(merchant_node(id), down);
+}
+
+void SimWorld::crash_merchant(const MerchantId& id, simnet::SimTime at,
+                              simnet::SimTime restart_at) {
+  faults_->schedule_crash(merchant_node(id), at, restart_at);
+}
+
+void SimWorld::crash_broker(simnet::SimTime at, simnet::SimTime restart_at) {
+  faults_->schedule_crash(directory_.broker, at, restart_at);
+}
+
+std::vector<NodeId> SimWorld::all_nodes() const {
+  std::vector<NodeId> out;
+  out.push_back(directory_.broker);
+  for (const auto& [id, node] : directory_.merchants) out.push_back(node);
+  for (std::size_t i = 0; i < clients_.size(); ++i)
+    out.push_back(clients_[i]->id());
+  return out;
+}
+
+metrics::ResilienceCounters SimWorld::resilience_totals() const {
+  metrics::ResilienceCounters total;
+  for (const auto& client : clients_) total += client->resilience();
+  for (const auto& slot : merchants_) total += slot.actor->resilience();
+  return total;
 }
 
 }  // namespace p2pcash::actors

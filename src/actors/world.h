@@ -2,6 +2,12 @@
 // merchant nodes (storefront + witness) and client nodes on one simnet
 // Network.  The construction mirrors the paper's PlanetLab setup: every
 // party on a different WAN host.
+//
+// The world owns a FaultPlan wired to each node's crash-recovery hooks:
+// crashing a merchant snapshots its witness state (the synchronous-WAL
+// model — commitments and spent records survive), and restarting restores
+// that snapshot, drops the storefront's half-done payments and resets the
+// actor's volatile RPC state.  The broker likewise snapshots its ledgers.
 
 #pragma once
 
@@ -9,6 +15,7 @@
 #include <vector>
 
 #include "actors/actors.h"
+#include "simnet/fault.h"
 #include "simnet/sim.h"
 
 namespace p2pcash::actors {
@@ -25,6 +32,10 @@ class SimWorld {
     simnet::SimTime latency_hi = 50.0;
     ecash::Broker::Config broker;
     ecash::Cents security_deposit = 10'000;
+    /// RPC retry discipline applied to every client and merchant actor.
+    RetryPolicy retry;
+    /// Circuit-breaker configuration applied to every client.
+    PeerHealth::Config breaker;
   };
 
   explicit SimWorld(const group::SchnorrGroup& grp, Options options);
@@ -47,12 +58,29 @@ class SimWorld {
   /// Takes a merchant machine down / up (storefront and witness together).
   void set_merchant_down(const MerchantId& id, bool down);
 
+  /// The chaos engine, with crash-recovery hooks for every protocol node
+  /// already registered (see the header comment).
+  simnet::FaultPlan& faults() { return *faults_; }
+
+  /// Convenience wrappers over faults(): crash with recovery semantics.
+  void crash_merchant(const MerchantId& id, simnet::SimTime at,
+                      simnet::SimTime restart_at);
+  void crash_broker(simnet::SimTime at, simnet::SimTime restart_at);
+
+  /// Every attached node id (broker, merchants, clients created so far).
+  std::vector<NodeId> all_nodes() const;
+
+  /// Sum of the resilience counters across all clients and merchant actors.
+  metrics::ResilienceCounters resilience_totals() const;
+
  private:
   struct MerchantSlot {
     MerchantId id;
     std::unique_ptr<ecash::Merchant> merchant;
     std::unique_ptr<ecash::WitnessService> witness;
     std::unique_ptr<MerchantActor> actor;
+    /// Witness snapshot taken by the crash hook (synchronous WAL).
+    std::vector<std::uint8_t> durable;
   };
 
   group::SchnorrGroup grp_;
@@ -62,9 +90,11 @@ class SimWorld {
   std::unique_ptr<simnet::Network> net_;
   std::unique_ptr<ecash::Broker> broker_;
   std::unique_ptr<BrokerActor> broker_actor_;
+  std::unique_ptr<simnet::FaultPlan> faults_;
   Directory directory_;
   std::vector<MerchantSlot> merchants_;
   std::vector<std::unique_ptr<ClientActor>> clients_;
+  std::vector<std::uint8_t> broker_durable_;
   std::uint64_t next_client_seed_ = 0;
 };
 

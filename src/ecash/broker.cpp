@@ -141,10 +141,22 @@ Outcome<blindsig::SignerResponse> Broker::finish_withdrawal(
     std::uint64_t session, const BigInt& e) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = withdrawal_sessions_.find(session);
-  if (it == withdrawal_sessions_.end())
-    return Refusal{RefusalReason::kStaleRequest, "unknown withdrawal session"};
+  if (it == withdrawal_sessions_.end()) {
+    // Idempotent retry: the same challenge on an answered session re-issues
+    // the recorded response (the client's copy was lost in transit).  A
+    // *different* challenge is a bid for a second signature — refused.
+    auto done = completed_withdrawals_.find(session);
+    if (done == completed_withdrawals_.end())
+      return Refusal{RefusalReason::kStaleRequest,
+                     "unknown withdrawal session"};
+    if (done->second.e != e)
+      return Refusal{RefusalReason::kStaleRequest,
+                     "session already answered a different challenge"};
+    return done->second.response;
+  }
   auto response = signer_.respond(it->second, e);
-  withdrawal_sessions_.erase(it);  // one response per session, ever
+  withdrawal_sessions_.erase(it);  // one signature per session, ever
+  completed_withdrawals_.emplace(session, CompletedWithdrawal{e, response});
   ++coins_issued_;
   return response;
 }
@@ -600,6 +612,7 @@ void Broker::restore_state(std::span<const std::uint8_t> snapshot) {
   witness_faults_ = std::move(faults);
   renewal_fraud_proofs_ = std::move(fraud);
   withdrawal_sessions_.clear();
+  completed_withdrawals_.clear();
   renewal_sessions_.clear();
 }
 

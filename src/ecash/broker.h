@@ -136,7 +136,11 @@ class Broker {
   Outcome<WithdrawalOffer> start_withdrawal_escrowed(
       Cents denomination, const std::string& client_identity,
       const bn::BigInt& escrow_authority_y, Timestamp now);
-  /// Step 3: answers the blinded challenge. Each session answers once.
+  /// Step 3: answers the blinded challenge.  Each session is signed at most
+  /// once, but the call is idempotent: retransmitting the *same* challenge
+  /// (a client retry after a lost response) re-issues the recorded response;
+  /// only a *different* challenge — an attempt at a second signature — is
+  /// refused.
   Outcome<blindsig::SignerResponse> finish_withdrawal(std::uint64_t session,
                                                       const bn::BigInt& e);
 
@@ -279,6 +283,15 @@ class Broker {
   std::uint64_t next_session_ = 1;
   std::map<std::uint64_t, blindsig::BlindSigner::Session> withdrawal_sessions_;
   std::map<std::uint64_t, blindsig::BlindSigner::Session> renewal_sessions_;
+  /// Answered withdrawal sessions, kept so a retried identical challenge is
+  /// answered idempotently (exactly one signature per session either way).
+  /// Like open sessions, not persisted across crashes: after a restart the
+  /// client's retry gets kStaleRequest and simply withdraws afresh.
+  struct CompletedWithdrawal {
+    bn::BigInt e;
+    blindsig::SignerResponse response;
+  };
+  std::map<std::uint64_t, CompletedWithdrawal> completed_withdrawals_;
 
   std::map<Hash256, DepositRecord> deposits_;   // keyed by h(bare coin)
   std::map<Hash256, RenewalRecord> renewals_;   // keyed by h(bare coin)

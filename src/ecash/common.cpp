@@ -15,6 +15,7 @@ const char* to_string(RefusalReason reason) {
     case RefusalReason::kBadSignature: return "bad-signature";
     case RefusalReason::kUnknownMerchant: return "unknown-merchant";
     case RefusalReason::kStaleRequest: return "stale-request";
+    case RefusalReason::kDuplicate: return "duplicate";
     case RefusalReason::kInternal: return "internal";
   }
   return "unknown";

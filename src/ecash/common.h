@@ -35,6 +35,7 @@ enum class RefusalReason : std::uint8_t {
   kBadSignature,           ///< a required plain signature failed
   kUnknownMerchant,        ///< depositor/witness not registered at the broker
   kStaleRequest,           ///< commitment expired or timestamp out of window
+  kDuplicate,              ///< redundant delivery of an already-recorded item
   kInternal,               ///< unexpected condition
 };
 

@@ -97,8 +97,11 @@ Outcome<bool> Merchant::add_endorsement(const Hash256& coin_hash,
                              [&](const WitnessEndorsement& e) {
                                return e.witness == endorsement.witness;
                              });
+  // A duplicated network delivery, not an attack: the witness re-issued an
+  // identical endorsement on a retried sign request.  kDuplicate lets the
+  // actor layer suppress it instead of refusing the whole payment.
   if (already)
-    return Refusal{RefusalReason::kBadProof, "duplicate endorsement"};
+    return Refusal{RefusalReason::kDuplicate, "duplicate endorsement"};
   if (!sig::verify(grp_, entry->witness_key,
                    payment.transcript.signed_payload(),
                    endorsement.signature))
@@ -143,6 +146,12 @@ const PaymentTranscript* Merchant::pending(const Hash256& coin_hash) const {
 }
 
 void Merchant::abandon(const Hash256& coin_hash) { pending_.erase(coin_hash); }
+
+std::size_t Merchant::drop_pending() {
+  const std::size_t dropped = pending_.size();
+  pending_.clear();
+  return dropped;
+}
 
 std::vector<SignedTranscript> Merchant::drain_deposit_queue() {
   return std::exchange(deposit_queue_, {});

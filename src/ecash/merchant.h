@@ -54,6 +54,17 @@ class Merchant {
   const PaymentTranscript* pending(const Hash256& coin_hash) const;
   /// Drops a pending payment (client abandoned / witness unreachable).
   void abandon(const Hash256& coin_hash);
+  /// Drops every pending (not yet fully endorsed) payment — crash recovery
+  /// and mass-abandon path: the client retries from scratch, and a payment
+  /// without witness_k endorsements is worth nothing at deposit time.
+  /// Returns how many were dropped.  Endorsed transcripts in the deposit
+  /// queue and the seen-coin set are untouched.
+  std::size_t drop_pending();
+  /// True once this coin completed a payment here (service was delivered),
+  /// so a retransmitted transcript can be re-acknowledged idempotently.
+  bool already_serviced(const Hash256& coin_hash) const {
+    return seen_coins_.contains(coin_hash);
+  }
 
   /// Completed, endorsed transcripts awaiting deposit; drained by caller.
   std::vector<SignedTranscript> drain_deposit_queue();

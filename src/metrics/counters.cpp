@@ -14,6 +14,15 @@ std::string OpCounters::to_string() const {
   return os.str();
 }
 
+std::string ResilienceCounters::to_string() const {
+  std::ostringstream os;
+  os << "retries=" << retries << " failovers=" << failovers
+     << " dup_suppressed=" << duplicates_suppressed
+     << " breaker_trips=" << breaker_trips << " timeouts=" << timeouts
+     << " late_ignored=" << late_replies_ignored;
+  return os.str();
+}
+
 ScopedOpCounting::ScopedOpCounting(OpCounters& target) : previous_(g_active) {
   g_active = &target;
 }

@@ -46,6 +46,33 @@ struct OpCounters {
   std::string to_string() const;
 };
 
+/// Fault-handling accounting for the resilient RPC layer: how often the
+/// actors retried, failed over to another replica, suppressed a duplicate
+/// delivery, tripped a circuit breaker, gave up at the deadline, or ignored
+/// a reply that arrived after its request had been abandoned.
+struct ResilienceCounters {
+  std::uint64_t retries = 0;      ///< same-peer resends after silence
+  std::uint64_t failovers = 0;    ///< engagements of the next replica
+  std::uint64_t duplicates_suppressed = 0;  ///< redundant deliveries ignored
+  std::uint64_t breaker_trips = 0;  ///< closed/half-open -> open transitions
+  std::uint64_t timeouts = 0;     ///< RPCs failed at the overall deadline
+  std::uint64_t late_replies_ignored = 0;  ///< replies past their request
+
+  ResilienceCounters& operator+=(const ResilienceCounters& o) {
+    retries += o.retries;
+    failovers += o.failovers;
+    duplicates_suppressed += o.duplicates_suppressed;
+    breaker_trips += o.breaker_trips;
+    timeouts += o.timeouts;
+    late_replies_ignored += o.late_replies_ignored;
+    return *this;
+  }
+  friend bool operator==(const ResilienceCounters&,
+                         const ResilienceCounters&) = default;
+
+  std::string to_string() const;
+};
+
 /// Installs `target` as the thread's active counter for its lifetime;
 /// restores the previous target on destruction (guards nest).
 class ScopedOpCounting {

@@ -14,6 +14,23 @@ bool in_interval_oc(const ChordId& x, const ChordId& from, const ChordId& to) {
   return x > from || x <= to;
 }
 
+ChordId ring_distance(const ChordId& from, const ChordId& to) {
+  if (from <= to) return to - from;
+  return (BigInt{1} << kIdBits) - from + to;
+}
+
+std::vector<std::size_t> failover_order(
+    const ChordId& key, const std::vector<ChordId>& candidates) {
+  std::vector<std::size_t> order(candidates.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return ring_distance(key, candidates[a]) <
+                            ring_distance(key, candidates[b]);
+                   });
+  return order;
+}
+
 ChordRing::ChordRing(std::size_t n_nodes, bn::Rng& rng) {
   if (n_nodes == 0) throw std::invalid_argument("ChordRing: empty ring");
   std::set<BigInt> ids;

@@ -32,6 +32,17 @@ inline constexpr std::size_t kIdBits = 160;
 /// True iff `x` lies in the half-open ring interval (from, to].
 bool in_interval_oc(const ChordId& x, const ChordId& from, const ChordId& to);
 
+/// Clockwise ring distance from `from` to `to` in the 2^160 space.
+ChordId ring_distance(const ChordId& from, const ChordId& to);
+
+/// Indices of `candidates` ordered by clockwise ring distance from `key` —
+/// the order a Chord successor-list lookup would try replicas in.  Used by
+/// the resilient payment pipeline to pick which of a coin's witnesses to
+/// engage first and where to fail over when one stays silent; ties (equal
+/// points) keep input order.
+std::vector<std::size_t> failover_order(const ChordId& key,
+                                        const std::vector<ChordId>& candidates);
+
 /// A Chord ring over a static membership.
 class ChordRing {
  public:

@@ -1,0 +1,135 @@
+#include "simnet/fault.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+namespace p2pcash::simnet {
+
+namespace {
+
+double uniform(bn::Rng& rng) {
+  return static_cast<double>(rng.next_u64() >> 11) * 0x1.0p-53;
+}
+
+SimTime uniform_in(bn::Rng& rng, SimTime lo, SimTime hi) {
+  return hi <= lo ? lo : lo + uniform(rng) * (hi - lo);
+}
+
+std::string fmt(const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof buf, format, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace
+
+void FaultPlan::set_recovery_hooks(NodeId node, RecoveryHook on_crash,
+                                   RecoveryHook on_restart) {
+  hooks_[node] = Hooks{std::move(on_crash), std::move(on_restart)};
+}
+
+void FaultPlan::schedule_crash(NodeId node, SimTime at, SimTime restart_at) {
+  note(restart_at >= at
+           ? fmt("t=%.0f crash node %u, restart t=%.0f", at, node, restart_at)
+           : fmt("t=%.0f crash node %u, no restart", at, node));
+  net_.sim().schedule(at, [this, node]() {
+    auto it = hooks_.find(node);
+    if (it != hooks_.end() && it->second.on_crash) it->second.on_crash(node);
+    net_.set_down(node, true);
+  });
+  if (restart_at < at) return;
+  net_.sim().schedule(restart_at, [this, node]() {
+    // Recovery runs while the node is still dark, then it comes back up.
+    auto it = hooks_.find(node);
+    if (it != hooks_.end() && it->second.on_restart)
+      it->second.on_restart(node);
+    net_.set_down(node, false);
+  });
+}
+
+void FaultPlan::schedule_link_fault(NodeId from, NodeId to,
+                                    const LinkFault& fault, SimTime at,
+                                    SimTime clear_at) {
+  note(fmt("t=%.0f link %u->%u drop=%.2f lat+=%.0f dup=%.2f reord=%.2f "
+           "until t=%.0f",
+           at, from, to, fault.drop, fault.extra_latency_ms, fault.duplicate,
+           fault.reorder, clear_at));
+  net_.sim().schedule(at, [this, from, to, fault]() {
+    net_.set_link_fault(from, to, fault);
+  });
+  if (clear_at >= at) {
+    net_.sim().schedule(clear_at, [this, from, to]() {
+      net_.clear_link_fault(from, to);
+    });
+  }
+}
+
+void FaultPlan::schedule_partition(std::string name,
+                                   std::vector<std::vector<NodeId>> groups,
+                                   SimTime at, SimTime heal_at) {
+  note(fmt("t=%.0f partition '%s' (%zu groups), heal t=%.0f", at,
+           name.c_str(), groups.size(), heal_at));
+  net_.sim().schedule(at, [this, groups = std::move(groups)]() {
+    net_.set_partition(groups);
+  });
+  if (heal_at >= at) {
+    net_.sim().schedule(heal_at, [this]() { net_.heal_partition(); });
+  }
+}
+
+void FaultPlan::randomize(const ChaosOptions& opt, bn::Rng& rng) {
+  const SimTime window = std::max<SimTime>(0, opt.horizon_ms - opt.start_ms);
+
+  for (std::size_t i = 0; i < opt.crashes && !opt.crashable.empty(); ++i) {
+    NodeId node = opt.crashable[static_cast<std::size_t>(
+        rng.next_u64() % opt.crashable.size())];
+    SimTime at = opt.start_ms + uniform(rng) * window * 0.7;
+    SimTime outage = uniform_in(rng, opt.min_outage_ms, opt.max_outage_ms);
+    SimTime restart = std::min(at + outage, opt.horizon_ms);
+    schedule_crash(node, at, restart);
+  }
+
+  for (std::size_t i = 0; i < opt.link_faults && opt.nodes.size() >= 2; ++i) {
+    NodeId from = opt.nodes[static_cast<std::size_t>(rng.next_u64() %
+                                                     opt.nodes.size())];
+    NodeId to = from;
+    while (to == from) {
+      to = opt.nodes[static_cast<std::size_t>(rng.next_u64() %
+                                              opt.nodes.size())];
+    }
+    LinkFault fault;
+    fault.drop = uniform(rng) * opt.max_drop;
+    fault.extra_latency_ms = uniform(rng) * opt.max_extra_latency_ms;
+    fault.duplicate = uniform(rng) * opt.max_duplicate;
+    fault.reorder = uniform(rng) * opt.max_reorder;
+    fault.reorder_hold_ms = uniform(rng) * opt.max_reorder_hold_ms;
+    SimTime at = opt.start_ms + uniform(rng) * window * 0.8;
+    SimTime clear_at =
+        std::min(at + uniform_in(rng, 1'000, window * 0.5), opt.horizon_ms);
+    schedule_link_fault(from, to, fault, at, clear_at);
+  }
+
+  for (std::size_t i = 0; i < opt.partitions && opt.nodes.size() >= 2; ++i) {
+    // Random two-way split; re-flip until both sides are non-empty.
+    std::vector<NodeId> side_a, side_b;
+    do {
+      side_a.clear();
+      side_b.clear();
+      for (NodeId node : opt.nodes) {
+        (rng.next_u64() & 1 ? side_a : side_b).push_back(node);
+      }
+    } while (side_a.empty() || side_b.empty());
+    SimTime at = opt.start_ms + uniform(rng) * window * 0.6;
+    SimTime heal = std::min(
+        at + uniform_in(rng, opt.min_partition_ms, opt.max_partition_ms),
+        opt.horizon_ms);
+    schedule_partition(fmt("p%zu", i), {std::move(side_a), std::move(side_b)},
+                       at, heal);
+  }
+}
+
+}  // namespace p2pcash::simnet

@@ -2,8 +2,15 @@
 //
 // Nodes exchange typed, byte-counted messages through a Network that
 // charges latency from a LatencyModel and supports fault injection (node
-// down, message drop).  Per-node byte counters provide the Table-2
-// "bytes transmitted" numbers under either wire format.
+// down, message drop, directed per-link faults, named partitions).
+// Per-node byte counters provide the Table-2 "bytes transmitted" numbers
+// under either wire format.
+//
+// Byte-accounting contract (pinned by simnet_test): `bytes_sent` /
+// `messages_sent` count exactly one wire-encoded message per send() call —
+// the sender pays for what it puts on the wire whether the network drops,
+// delays or duplicates it.  `bytes_received` counts every copy actually
+// delivered, so a duplicated message is received twice but sent once.
 
 #pragma once
 
@@ -12,6 +19,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bn/rng.h"
@@ -43,6 +51,21 @@ class Node {
   NodeId id_ = 0;
 };
 
+/// A directed per-link fault model (WAN pathologies on one from->to edge).
+/// All probabilities are independent per message; sampling is driven by the
+/// network's seeded RNG, so schedules replay exactly.
+struct LinkFault {
+  double drop = 0;             ///< extra loss probability on this link
+  SimTime extra_latency_ms = 0;  ///< added to every sampled one-way latency
+  double duplicate = 0;        ///< probability a second copy is delivered
+  double reorder = 0;          ///< probability a message is held back…
+  SimTime reorder_hold_ms = 0;  ///< …by up to this much (later sends overtake)
+
+  bool active() const {
+    return drop > 0 || extra_latency_ms > 0 || duplicate > 0 || reorder > 0;
+  }
+};
+
 class Network {
  public:
   /// `rng` drives latency sampling and drop decisions; must outlive the
@@ -69,6 +92,23 @@ class Network {
   /// Probability in [0,1] that any message is silently lost.
   void set_drop_rate(double rate) { drop_rate_ = rate; }
 
+  /// Installs (or replaces) a directed per-link fault; an inactive fault
+  /// clears the link.
+  void set_link_fault(NodeId from, NodeId to, const LinkFault& fault);
+  void clear_link_fault(NodeId from, NodeId to);
+  void clear_link_faults() { link_faults_.clear(); }
+  const LinkFault* link_fault(NodeId from, NodeId to) const;
+
+  /// Partitions the node set: nodes in different groups cannot exchange
+  /// messages (sends across the cut vanish like drops).  Nodes not listed
+  /// in any group join group 0.  Replaces any previous partition.
+  void set_partition(const std::vector<std::vector<NodeId>>& groups);
+  /// Heals the partition: full connectivity again.
+  void heal_partition() { partition_group_.clear(); partitioned_ = false; }
+  bool partitioned() const { return partitioned_; }
+  /// True iff a and b are currently on opposite sides of a partition.
+  bool partition_separates(NodeId a, NodeId b) const;
+
   /// Bytes sent by a node since attach (wire-format encoded sizes).
   std::uint64_t bytes_sent(NodeId node) const;
   std::uint64_t bytes_received(NodeId node) const;
@@ -81,6 +121,11 @@ class Network {
     metrics::ByteCounter received;
   };
 
+  /// Uniform double in [0, 1) from the network RNG.
+  double sample_uniform();
+  /// Schedules one delivered copy of msg after `delay`.
+  void deliver_copy(Message msg, SimTime delay, std::size_t wire_bytes);
+
   Simulator& sim_;
   std::unique_ptr<LatencyModel> latency_;
   bn::Rng& rng_;
@@ -88,6 +133,9 @@ class Network {
   std::vector<Node*> nodes_;
   std::set<NodeId> down_;
   double drop_rate_ = 0;
+  std::map<std::pair<NodeId, NodeId>, LinkFault> link_faults_;
+  std::map<NodeId, std::size_t> partition_group_;
+  bool partitioned_ = false;
   std::map<NodeId, Traffic> traffic_;
 };
 

@@ -152,6 +152,42 @@ TEST(Actors, DeadWitnessTimesOutPayment) {
   EXPECT_NEAR(result->elapsed_ms, 5000, 1);
 }
 
+TEST(Actors, LateServiceAfterClientTimeoutIsIgnored) {
+  // Regression for the resilient pipeline: a pay.service that limps in
+  // after the client's overall deadline must not resurrect the completed
+  // (failed) payment — the pending record is gone and the reply is counted
+  // as late, not dispatched.
+  auto& grp = group::SchnorrGroup::test_256();
+  SimWorld world(grp, fast_options());
+  auto& client = world.add_client();
+  auto coin = must_withdraw(world, client);
+  auto witness_id = coin.coin.witnesses[0].merchant;
+  ecash::MerchantId target;
+  for (const auto& id : world.merchant_ids()) {
+    if (id != witness_id) {
+      target = id;
+      break;
+    }
+  }
+  // Delay only the merchant -> client direction so the payment completes on
+  // the merchant's side but the service ack arrives long after the deadline.
+  world.net().set_link_fault(world.merchant_node(target), client.id(),
+                             simnet::LinkFault{.extra_latency_ms = 5'000});
+  std::optional<ClientActor::PayResult> result;
+  client.pay(coin, target, [&](ClientActor::PayResult r) { result = r; },
+             /*timeout_ms=*/3'000);
+  world.sim().run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->accepted);
+  ASSERT_TRUE(result->error.has_value());
+  EXPECT_EQ(*result->error, "timeout");
+  // The merchant did deliver (its side finished); the late ack was dropped
+  // on the floor by the client instead of firing a dead callback.
+  EXPECT_EQ(world.merchant(target).services_delivered(), 1u);
+  EXPECT_GE(client.resilience().late_replies_ignored, 1u);
+  EXPECT_EQ(client.resilience().timeouts, 1u);
+}
+
 TEST(Actors, DepositOverNetwork) {
   auto& grp = group::SchnorrGroup::test_256();
   SimWorld world(grp, fast_options());

@@ -175,5 +175,45 @@ TEST_P(ChordSizeSweep, RoutingCorrectAtEveryScale) {
 INSTANTIATE_TEST_SUITE_P(Sizes, ChordSizeSweep,
                          ::testing::Values(2, 3, 5, 8, 16, 33, 100, 128));
 
+TEST(RingDistance, ClockwiseWithWraparound) {
+  EXPECT_EQ(ring_distance(5, 9), bn::BigInt(4));
+  EXPECT_EQ(ring_distance(5, 5), bn::BigInt(0));
+  // Counter-clockwise pairs wrap the long way around the 2^160 ring.
+  const bn::BigInt ring_size = bn::BigInt(1) << kIdBits;
+  EXPECT_EQ(ring_distance(9, 5), ring_size - 4);
+}
+
+TEST(FailoverOrder, SortsByClockwiseDistanceFromKey) {
+  // key=10; candidates at 50, 12, 7 → clockwise distances 40, 2, 2^160-3.
+  const std::vector<ChordId> candidates{50, 12, 7};
+  EXPECT_EQ(failover_order(10, candidates),
+            (std::vector<std::size_t>{1, 0, 2}));
+}
+
+TEST(FailoverOrder, TiesKeepInputOrderAndEmptyIsEmpty) {
+  const std::vector<ChordId> candidates{20, 20, 15};
+  EXPECT_EQ(failover_order(10, candidates),
+            (std::vector<std::size_t>{2, 0, 1}));
+  EXPECT_TRUE(failover_order(10, {}).empty());
+}
+
+TEST(FailoverOrder, AgreesWithChordReplicaSetOrder) {
+  // On a real ring, trying candidates in failover_order must match the
+  // successor-list order Chord itself would use for the same key.
+  crypto::ChaChaRng rng("failover");
+  ChordRing ring(16, rng);
+  for (int i = 0; i < 10; ++i) {
+    auto key = bn::random_bits(rng, kIdBits);
+    auto replicas = ring.replica_set(key, ring.size());
+    std::vector<ChordId> candidates;
+    for (std::size_t idx : replicas)
+      candidates.push_back(ring.node_ids()[idx]);
+    // candidates are already in successor order, so failover_order must be
+    // the identity permutation.
+    auto order = failover_order(key, candidates);
+    for (std::size_t j = 0; j < order.size(); ++j) EXPECT_EQ(order[j], j);
+  }
+}
+
 }  // namespace
 }  // namespace p2pcash::overlay

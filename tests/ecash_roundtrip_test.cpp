@@ -80,16 +80,25 @@ TEST_F(RoundTripTest, ZeroDenominationRefused) {
   EXPECT_FALSE(outcome.ok());
 }
 
-TEST_F(RoundTripTest, WithdrawalSessionSingleUse) {
+TEST_F(RoundTripTest, WithdrawalSessionSingleSignature) {
   auto offer = dep_.broker().start_withdrawal(100, 1000);
   ASSERT_TRUE(offer.ok());
   auto state = wallet_->begin_withdrawal(offer.value());
   auto r1 = dep_.broker().finish_withdrawal(state.session, state.e);
-  EXPECT_TRUE(r1.ok());
-  // Replaying the session (e.g. to get a second signature) must fail.
+  ASSERT_TRUE(r1.ok());
+  // Retransmitting the same challenge (lost response, client retry) is
+  // idempotent: the recorded response comes back, no new signature.
   auto r2 = dep_.broker().finish_withdrawal(state.session, state.e);
-  EXPECT_FALSE(r2.ok());
-  EXPECT_EQ(r2.refusal().reason, RefusalReason::kStaleRequest);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().r, r1.value().r);
+  EXPECT_EQ(r2.value().c, r1.value().c);
+  EXPECT_EQ(r2.value().s, r1.value().s);
+  EXPECT_EQ(dep_.broker().coins_issued(), 1u);
+  // A *different* challenge on the answered session (a bid for a second
+  // signature) must still fail.
+  auto r3 = dep_.broker().finish_withdrawal(state.session, state.e + 1);
+  ASSERT_FALSE(r3.ok());
+  EXPECT_EQ(r3.refusal().reason, RefusalReason::kStaleRequest);
 }
 
 TEST_F(RoundTripTest, CoinsCarryBrokerConfiguredExpiry) {

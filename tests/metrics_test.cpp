@@ -119,5 +119,28 @@ TEST(ByteCounter, Accumulates) {
   EXPECT_EQ(c.total(), 0u);
 }
 
+TEST(ResilienceCounters, AccumulatesAndFormats) {
+  ResilienceCounters a;
+  EXPECT_EQ(a, ResilienceCounters{});
+  a.retries = 3;
+  a.failovers = 1;
+  a.timeouts = 2;
+  ResilienceCounters b;
+  b.retries = 1;
+  b.duplicates_suppressed = 4;
+  b.breaker_trips = 1;
+  b.late_replies_ignored = 5;
+  a += b;
+  EXPECT_EQ(a.retries, 4u);
+  EXPECT_EQ(a.failovers, 1u);
+  EXPECT_EQ(a.duplicates_suppressed, 4u);
+  EXPECT_EQ(a.breaker_trips, 1u);
+  EXPECT_EQ(a.timeouts, 2u);
+  EXPECT_EQ(a.late_replies_ignored, 5u);
+  EXPECT_EQ(a.to_string(),
+            "retries=4 failovers=1 dup_suppressed=4 breaker_trips=1 "
+            "timeouts=2 late_ignored=5");
+}
+
 }  // namespace
 }  // namespace p2pcash::metrics

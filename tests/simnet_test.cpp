@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "crypto/chacha.h"
+#include "simnet/fault.h"
 #include "simnet/net.h"
 
 namespace p2pcash::simnet {
@@ -172,6 +173,184 @@ TEST_F(NetFixture, SenderBytesCountedEvenWhenDropped) {
 TEST_F(NetFixture, UnknownDestinationThrows) {
   EXPECT_THROW(net_.send(Message{a_.id(), 99, "x", {}}),
                std::invalid_argument);
+}
+
+TEST_F(NetFixture, LinkFaultDropLosesOnlyThatDirection) {
+  net_.set_link_fault(a_.id(), b_.id(), LinkFault{.drop = 1.0});
+  for (int i = 0; i < 10; ++i) {
+    net_.send(Message{a_.id(), b_.id(), "ping", {}});
+    net_.send(Message{b_.id(), a_.id(), "pong", {}});
+  }
+  sim_.run();
+  EXPECT_TRUE(b_.received.empty());       // faulted direction
+  EXPECT_EQ(a_.received.size(), 10u);     // reverse direction untouched
+  net_.clear_link_fault(a_.id(), b_.id());
+  net_.send(Message{a_.id(), b_.id(), "ping", {}});
+  sim_.run();
+  EXPECT_EQ(b_.received.size(), 1u);
+}
+
+TEST_F(NetFixture, LinkFaultExtraLatencyDelaysDelivery) {
+  net_.set_link_fault(a_.id(), b_.id(), LinkFault{.extra_latency_ms = 90});
+  net_.send(Message{a_.id(), b_.id(), "ping", {}});
+  sim_.run();
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_DOUBLE_EQ(sim_.now(), 100);  // 10 base + 90 extra
+}
+
+TEST_F(NetFixture, LinkFaultDuplicateDeliversTwoCopies) {
+  net_.set_link_fault(a_.id(), b_.id(), LinkFault{.duplicate = 1.0});
+  net_.send(Message{a_.id(), b_.id(), "ping", {7}});
+  sim_.run();
+  ASSERT_EQ(b_.received.size(), 2u);
+  EXPECT_EQ(b_.received[0].payload, b_.received[1].payload);
+}
+
+TEST_F(NetFixture, LinkFaultReorderLetsLaterSendOvertake) {
+  // First message held back by 50 ms; second sent right after overtakes it
+  // (constant 10 ms base latency makes the schedule deterministic).
+  net_.set_link_fault(a_.id(), b_.id(),
+                      LinkFault{.reorder = 1.0, .reorder_hold_ms = 50});
+  net_.send(Message{a_.id(), b_.id(), "first", {}});
+  net_.clear_link_fault(a_.id(), b_.id());
+  net_.send(Message{a_.id(), b_.id(), "second", {}});
+  sim_.run();
+  ASSERT_EQ(b_.received.size(), 2u);
+  EXPECT_EQ(b_.received[0].type, "second");
+  EXPECT_EQ(b_.received[1].type, "first");
+}
+
+// Satellite of the chaos PR: the byte-accounting contract must hold exactly
+// under drops and duplication — one sent message per send() call no matter
+// what the network does to it, one received count per delivered copy.
+TEST_F(NetFixture, ByteCountersExactUnderDropsAndDuplicates) {
+  const std::size_t wire = encoded_size(WireFormat::kBinary, 4, 32);
+  // 5 sends on a link that drops everything.
+  net_.set_link_fault(a_.id(), b_.id(), LinkFault{.drop = 1.0});
+  for (int i = 0; i < 5; ++i)
+    net_.send(Message{a_.id(), b_.id(), "ping", std::vector<std::uint8_t>(32)});
+  // 3 sends on a link that duplicates everything.
+  net_.set_link_fault(a_.id(), b_.id(), LinkFault{.duplicate = 1.0});
+  for (int i = 0; i < 3; ++i)
+    net_.send(Message{a_.id(), b_.id(), "ping", std::vector<std::uint8_t>(32)});
+  sim_.run();
+  EXPECT_EQ(net_.messages_sent(a_.id()), 8u);      // one per send() call
+  EXPECT_EQ(net_.bytes_sent(a_.id()), 8 * wire);   // sender pays once each
+  ASSERT_EQ(b_.received.size(), 6u);               // 3 doubled, 5 lost
+  EXPECT_EQ(net_.bytes_received(b_.id()), 6 * wire);
+}
+
+TEST_F(NetFixture, PartitionCutsCrossTrafficAndHeals) {
+  net_.set_partition({{a_.id()}, {b_.id()}});
+  EXPECT_TRUE(net_.partitioned());
+  EXPECT_TRUE(net_.partition_separates(a_.id(), b_.id()));
+  net_.send(Message{a_.id(), b_.id(), "ping", {}});
+  net_.send(Message{b_.id(), a_.id(), "pong", {}});
+  sim_.run();
+  EXPECT_TRUE(a_.received.empty());
+  EXPECT_TRUE(b_.received.empty());
+  net_.heal_partition();
+  EXPECT_FALSE(net_.partition_separates(a_.id(), b_.id()));
+  net_.send(Message{a_.id(), b_.id(), "ping", {}});
+  sim_.run();
+  EXPECT_EQ(b_.received.size(), 1u);
+}
+
+TEST_F(NetFixture, FaultPlanCrashRunsHooksInOrder) {
+  FaultPlan plan(net_);
+  std::vector<std::string> events;
+  plan.set_recovery_hooks(
+      b_.id(),
+      [&](NodeId) {
+        events.push_back("crash");
+        EXPECT_FALSE(net_.is_down(b_.id()));  // snapshot while still up
+      },
+      [&](NodeId) {
+        events.push_back("restart");
+        EXPECT_TRUE(net_.is_down(b_.id()));  // restore while still down
+      });
+  plan.schedule_crash(b_.id(), 100, 300);
+  // Message during the outage vanishes; after restart traffic flows.
+  sim_.schedule(150, [&] { net_.send(Message{a_.id(), b_.id(), "lost", {}}); });
+  sim_.schedule(350, [&] { net_.send(Message{a_.id(), b_.id(), "ok", {}}); });
+  sim_.run();
+  EXPECT_EQ(events, (std::vector<std::string>{"crash", "restart"}));
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(b_.received[0].type, "ok");
+  EXPECT_FALSE(net_.is_down(b_.id()));
+  EXPECT_EQ(plan.log().size(), 1u);
+}
+
+TEST_F(NetFixture, FaultPlanCrashWithoutRestartStaysDown) {
+  FaultPlan plan(net_);
+  plan.schedule_crash(b_.id(), 100, /*restart_at=*/50);  // restart < crash
+  sim_.run();
+  EXPECT_TRUE(net_.is_down(b_.id()));
+}
+
+TEST_F(NetFixture, FaultPlanSchedulesLinkFaultWindow) {
+  FaultPlan plan(net_);
+  plan.schedule_link_fault(a_.id(), b_.id(), LinkFault{.drop = 1.0}, 100, 200);
+  EXPECT_EQ(net_.link_fault(a_.id(), b_.id()), nullptr);  // not yet active
+  sim_.schedule(150, [&] {
+    ASSERT_NE(net_.link_fault(a_.id(), b_.id()), nullptr);
+    net_.send(Message{a_.id(), b_.id(), "during", {}});
+  });
+  sim_.schedule(250, [&] {
+    EXPECT_EQ(net_.link_fault(a_.id(), b_.id()), nullptr);  // cleared
+    net_.send(Message{a_.id(), b_.id(), "after", {}});
+  });
+  sim_.run();
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(b_.received[0].type, "after");
+}
+
+TEST_F(NetFixture, FaultPlanSchedulesPartitionWithHeal) {
+  FaultPlan plan(net_);
+  plan.schedule_partition("split", {{a_.id()}, {b_.id()}}, 100, 200);
+  sim_.schedule(150, [&] {
+    EXPECT_TRUE(net_.partition_separates(a_.id(), b_.id()));
+    net_.send(Message{a_.id(), b_.id(), "during", {}});
+  });
+  sim_.schedule(250, [&] {
+    EXPECT_FALSE(net_.partitioned());
+    net_.send(Message{a_.id(), b_.id(), "after", {}});
+  });
+  sim_.run();
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(b_.received[0].type, "after");
+}
+
+TEST(FaultPlanRandom, SameSeedSameSchedule) {
+  // randomize() must be a pure function of (options, rng seed): two plans
+  // built from the same seed produce identical logs, a different seed a
+  // different schedule.  This is what makes chaos failures reproducible
+  // from the printed seed alone.
+  auto build = [](std::uint64_t seed) {
+    Simulator sim;
+    crypto::ChaChaRng net_rng("fixed");
+    Network net(sim, std::make_unique<ConstantLatency>(10), net_rng);
+    struct Sink : Node {
+      void on_message(const Message&) override {}
+    };
+    Sink nodes[4];
+    FaultPlan::ChaosOptions opt;
+    for (auto& n : nodes) {
+      NodeId id = net.attach(n);
+      opt.nodes.push_back(id);
+      opt.crashable.push_back(id);
+    }
+    FaultPlan plan(net);
+    crypto::ChaChaRng rng(seed);
+    plan.randomize(opt, rng);
+    return plan.log();
+  };
+  const auto log1 = build(42);
+  const auto log2 = build(42);
+  const auto log3 = build(43);
+  EXPECT_FALSE(log1.empty());
+  EXPECT_EQ(log1, log2);
+  EXPECT_NE(log1, log3);
 }
 
 }  // namespace
