@@ -66,7 +66,7 @@ int main() {
     queue.front().encode(w);
     world.net().send(simnet::Message{world.merchant_node(target),
                                      world.directory().broker,
-                                     "deposit.submit", w.take()});
+                                     "deposit.submit", w.take(), {}});
   });
   std::printf("  deposit    : %2llu message(s) one-way + receipt (paper: "
               "one-sided, 1 message)\n",

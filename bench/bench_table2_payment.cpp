@@ -233,11 +233,104 @@ ChaosBenchResults run_chaos_trials(const group::SchnorrGroup& grp,
   return results;
 }
 
-/// BENCH_chaos.json lands next to the main baseline file.
-std::string chaos_json_path(const std::string& json_path) {
+/// Places a sibling artifact (BENCH_chaos.json, TRACE_payment.jsonl, …)
+/// next to the main baseline file.
+std::string sibling_path(const std::string& json_path,
+                         const std::string& name) {
   auto slash = json_path.find_last_of('/');
-  if (slash == std::string::npos) return "BENCH_chaos.json";
-  return json_path.substr(0, slash + 1) + "BENCH_chaos.json";
+  if (slash == std::string::npos) return name;
+  return json_path.substr(0, slash + 1) + name;
+}
+
+// TR — the T2b deployment re-run with the tracer on: every protocol phase
+// of every payment is spanned (withdraw → assign_witness → payment_commit
+// → witness_sign → deposit → reconcile), per-phase latency histograms are
+// accumulated in the world's metrics registry, and three artifacts are
+// written next to the JSON baseline:
+//   TRACE_payment.jsonl   — the raw span/event records (tools/trace_lint.py
+//                           validates, tools/trace2timeline.py renders);
+//   METRICS_payment.prom  — Prometheus text exposition dump;
+//   METRICS_payment.json  — the same registry as JSON.
+// The trace layer consumes no RNG and adds no wire bytes, so these trials
+// replay the exact schedule T2b measured.  Two runs of the same seed
+// produce byte-identical JSONL (the determinism check in CI).
+void run_traced_section(const group::SchnorrGroup& grp, int trials,
+                        const std::string& json_path) {
+  SimWorld::Options opt;
+  opt.merchants = 8;
+  opt.seed = 42;
+  opt.cost = simnet::openssl_cost();
+  opt.wire = simnet::WireFormat::kBinary;
+  opt.latency_lo = 25;
+  opt.latency_hi = 50;
+  opt.trace = true;
+  SimWorld world(grp, opt);
+  auto& client = world.add_client();
+
+  int accepted = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::optional<ecash::WalletCoin> coin;
+    client.withdraw(100, [&](ecash::Outcome<ecash::WalletCoin> c) {
+      if (c) coin = std::move(c).value();
+    });
+    world.sim().run();
+    if (!coin) continue;
+    ecash::MerchantId target;
+    for (const auto& id : world.merchant_ids()) {
+      if (id != coin->coin.witnesses[0].merchant) {
+        target = id;
+        break;
+      }
+    }
+    std::optional<ClientActor::PayResult> result;
+    client.pay(*coin, target, [&](ClientActor::PayResult r) { result = r; });
+    world.sim().run();
+    // Settle the merchant's endorsed transcript so each trace also covers
+    // the deposit leg and the broker's reconcile handler.
+    world.merchant_actor(target).flush_deposits();
+    world.sim().run();
+    if (result && result->accepted) ++accepted;
+  }
+
+  std::printf("  traced trials accepted        : %d / %d\n", accepted,
+              trials);
+  std::printf("  spans / events recorded       : %llu / %llu\n",
+              static_cast<unsigned long long>(world.trace_sink().span_count()),
+              static_cast<unsigned long long>(
+                  world.trace_sink().event_count()));
+  std::printf("  per-phase latency (ms)        :   count    p50    p95    p99\n");
+  for (const auto& name : world.metrics().histogram_names()) {
+    if (name.rfind("span_", 0) != 0) continue;
+    const auto* h = world.metrics().find_histogram(name);
+    const std::string phase =
+        name.substr(5, name.size() - 5 - 3);  // strip span_ / _ms
+    std::printf("    %-26s  : %7llu %6.0f %6.0f %6.0f\n", phase.c_str(),
+                static_cast<unsigned long long>(h->count()),
+                h->percentile(50), h->percentile(95), h->percentile(99));
+  }
+
+  world.trace_sink().write_jsonl(
+      sibling_path(json_path, "TRACE_payment.jsonl"));
+  const std::string prom = world.metrics().prometheus_text();
+  const std::string prom_path =
+      sibling_path(json_path, "METRICS_payment.prom");
+  if (std::FILE* f = std::fopen(prom_path.c_str(), "wb")) {
+    std::fwrite(prom.data(), 1, prom.size(), f);
+    std::fclose(f);
+    std::printf("  wrote %s (%zu bytes)\n", prom_path.c_str(), prom.size());
+  } else {
+    std::fprintf(stderr, "bench: cannot write %s\n", prom_path.c_str());
+  }
+  const std::string mjson = world.metrics().json_text();
+  const std::string mjson_path =
+      sibling_path(json_path, "METRICS_payment.json");
+  if (std::FILE* f = std::fopen(mjson_path.c_str(), "wb")) {
+    std::fwrite(mjson.data(), 1, mjson.size(), f);
+    std::fclose(f);
+    std::printf("  wrote %s (%zu bytes)\n", mjson_path.c_str(), mjson.size());
+  } else {
+    std::fprintf(stderr, "bench: cannot write %s\n", mjson_path.c_str());
+  }
 }
 
 void add_trial_results(bench::JsonWriter& json, const std::string& key,
@@ -362,6 +455,13 @@ int main(int argc, char** argv) {
       .field("late_replies_ignored",
              static_cast<std::uint64_t>(chaos.totals.late_replies_ignored))
       .end_object();
-  chaos_json.write_file(chaos_json_path(args.json_path));
+  chaos_json.write_file(sibling_path(args.json_path, "BENCH_chaos.json"));
+
+  if (args.trace) {
+    bench::header("TR",
+                  "per-payment tracing: T2b deployment with spans on every "
+                  "protocol phase (exports TRACE_/METRICS_ artifacts)");
+    run_traced_section(grp, trials, args.json_path);
+  }
   return 0;
 }

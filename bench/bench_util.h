@@ -1,6 +1,6 @@
 // Shared helpers for the benchmark/reproduction harnesses: console
-// headers plus a dependency-free JSON writer for machine-readable
-// baselines (BENCH_*.json — schema documented in EXPERIMENTS.md).
+// headers plus the shared JSON writer for machine-readable baselines
+// (BENCH_*.json — schema documented in EXPERIMENTS.md).
 
 #pragma once
 
@@ -8,6 +8,8 @@
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#include "obs/json_writer.h"
 
 namespace p2pcash::bench {
 
@@ -21,121 +23,21 @@ inline void note(const std::string& text) {
   std::printf("  %s\n", text.c_str());
 }
 
-/// Minimal ordered-key JSON emitter.  Supports exactly what the bench
-/// baselines need: nested objects, string/number fields.  Keys are
-/// emitted in insertion order so diffs between runs stay readable.
-class JsonWriter {
- public:
-  JsonWriter() { open_scope('{'); }
-
-  JsonWriter& field(const std::string& key, const std::string& value) {
-    emit_key(key);
-    out_ += '"';
-    escape_into(value);
-    out_ += '"';
-    return *this;
-  }
-
-  JsonWriter& field(const std::string& key, double value) {
-    emit_key(key);
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.6g", value);
-    out_ += buf;
-    return *this;
-  }
-
-  JsonWriter& field(const std::string& key, std::uint64_t value) {
-    emit_key(key);
-    out_ += std::to_string(value);
-    return *this;
-  }
-
-  JsonWriter& field(const std::string& key, int value) {
-    emit_key(key);
-    out_ += std::to_string(value);
-    return *this;
-  }
-
-  JsonWriter& begin_object(const std::string& key) {
-    emit_key(key);
-    open_scope('{');
-    return *this;
-  }
-
-  JsonWriter& end_object() {
-    indent_.resize(indent_.size() - 2);
-    out_ += '\n';
-    out_ += indent_;
-    out_ += '}';
-    comma_.pop_back();
-    return *this;
-  }
-
-  /// Closes the root object and returns the document.  The writer is
-  /// spent afterwards.
-  std::string finish() {
-    while (!comma_.empty()) end_object();
-    out_ += '\n';
-    return std::move(out_);
-  }
-
-  /// Writes `finish()` to `path`; returns false (and prints) on failure.
-  bool write_file(const std::string& path) {
-    std::string doc = finish();
-    std::FILE* f = std::fopen(path.c_str(), "wb");
-    if (!f) {
-      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
-      return false;
-    }
-    std::fwrite(doc.data(), 1, doc.size(), f);
-    std::fclose(f);
-    std::printf("  wrote %s (%zu bytes)\n", path.c_str(), doc.size());
-    return true;
-  }
-
- private:
-  void open_scope(char brace) {
-    out_ += brace;
-    comma_.push_back(false);
-    indent_ += "  ";
-  }
-
-  void emit_key(const std::string& key) {
-    if (comma_.back()) out_ += ',';
-    comma_.back() = true;
-    out_ += '\n';
-    out_ += indent_;
-    out_ += '"';
-    escape_into(key);
-    out_ += "\": ";
-  }
-
-  void escape_into(const std::string& s) {
-    for (char c : s) {
-      if (c == '"' || c == '\\') {
-        out_ += '\\';
-        out_ += c;
-      } else if (static_cast<unsigned char>(c) < 0x20) {
-        char buf[8];
-        std::snprintf(buf, sizeof buf, "\\u%04x", c);
-        out_ += buf;
-      } else {
-        out_ += c;
-      }
-    }
-  }
-
-  std::string out_;
-  std::string indent_;
-  std::vector<bool> comma_;
-};
+/// The bench baselines use the shared observability JSON emitter — one
+/// serializer so every machine-readable artifact (BENCH_*.json,
+/// METRICS_*.json) has the same shape, escaping and "%.6g" number
+/// formatting.
+using JsonWriter = obs::JsonWriter;
 
 /// Parses the flags shared by the bench binaries: `--quick` (smoke-test
-/// iteration counts for CI) and `--json=PATH` (override the default
-/// baseline output path).  Unrecognized arguments are left for the
-/// caller (bench_crypto_micro forwards them to google-benchmark).
+/// iteration counts for CI), `--json=PATH` (override the default
+/// baseline output path) and `--trace` (record per-payment traces and
+/// export TRACE_/METRICS_ artifacts).  Unrecognized arguments are left
+/// for the caller (bench_crypto_micro forwards them to
+/// google-benchmark).
 struct BenchArgs {
   bool quick = false;
+  bool trace = false;
   std::string json_path;
   std::vector<char*> passthrough;
 
@@ -146,6 +48,8 @@ struct BenchArgs {
       std::string a = argv[i];
       if (a == "--quick") {
         args.quick = true;
+      } else if (a == "--trace") {
+        args.trace = true;
       } else if (a.rfind("--json=", 0) == 0) {
         args.json_path = a.substr(7);
       } else {

@@ -114,7 +114,7 @@ int main() {
       st.encode(w);
       world.net().send(simnet::Message{world.merchant_node(id),
                                        world.directory().broker,
-                                       "deposit.submit", w.take()});
+                                       "deposit.submit", w.take(), {}});
     }
   }
   world.sim().run();

@@ -36,18 +36,37 @@ Hash256 get_hash(Reader& r) {
 // ---------------------------------------------------------------------------
 
 void ProtocolActor::send_after_cost(const OpCounters& ops, Message msg) {
+  send_after_cost(ops, std::move(msg), obs::TraceContext{});
+}
+
+void ProtocolActor::send_after_cost(const OpCounters& ops, Message msg,
+                                    obs::TraceContext span) {
   const SimTime cost = cost_.sample_cost_ms(ops, net_.rng());
   if (cost <= 0) {
+    if (auto* tr = tracer()) tr->end_span(span);
     net_.send(std::move(msg));
     return;
   }
   net_.sim().schedule(cost,
-                      [this, msg = std::move(msg)]() mutable {
+                      [this, span, msg = std::move(msg)]() mutable {
+                        if (auto* tr = tracer()) tr->end_span(span);
                         net_.send(std::move(msg));
                       });
 }
 
 void ProtocolActor::send_now(Message msg) { net_.send(std::move(msg)); }
+
+obs::TraceContext ProtocolActor::start_span(const obs::TraceContext& parent,
+                                            std::string_view name) {
+  auto* tr = tracer();
+  return tr ? tr->start_child(parent, name, id()) : obs::TraceContext{};
+}
+
+void ProtocolActor::trace_note(const obs::TraceContext& ctx,
+                               std::string_view name,
+                               std::string_view detail) {
+  if (auto* tr = tracer()) tr->event(ctx, name, detail);
+}
 
 // ---------------------------------------------------------------------------
 // BrokerActor
@@ -58,8 +77,9 @@ void BrokerActor::on_message(const Message& msg) {
   if (msg.type == "withdraw.start") {
     const std::uint64_t req_id = r.get_u64();
     const Cents denomination = r.get_u32();
+    const auto span = start_span(msg.trace, "broker_withdraw_offer");
     OpCounters ops;
-    Message reply{id(), msg.from, "", {}};
+    Message reply{id(), msg.from, "", {}, msg.trace};
     {
       ScopedOpCounting guard(ops);
       auto offer = broker_.start_withdrawal(denomination, now());
@@ -77,12 +97,13 @@ void BrokerActor::on_message(const Message& msg) {
       }
       reply.payload = w.take();
     }
-    send_after_cost(ops, std::move(reply));
+    send_after_cost(ops, std::move(reply), span);
   } else if (msg.type == "withdraw.challenge") {
     const std::uint64_t session = r.get_u64();
     const BigInt e = r.get_bigint();
+    const auto span = start_span(msg.trace, "broker_withdraw_finish");
     OpCounters ops;
-    Message reply{id(), msg.from, "", {}};
+    Message reply{id(), msg.from, "", {}, msg.trace};
     {
       ScopedOpCounting guard(ops);
       // finish_withdrawal is idempotent for a retransmitted identical
@@ -101,11 +122,14 @@ void BrokerActor::on_message(const Message& msg) {
       }
       reply.payload = w.take();
     }
-    send_after_cost(ops, std::move(reply));
+    send_after_cost(ops, std::move(reply), span);
   } else if (msg.type == "deposit.submit") {
     auto st = ecash::SignedTranscript::decode(r);
+    // The paper's final phase: the broker reconciles the deposit against
+    // its spent-coin ledger and credits the merchant.
+    const auto span = start_span(msg.trace, "reconcile");
     OpCounters ops;
-    Message reply{id(), msg.from, "", {}};
+    Message reply{id(), msg.from, "", {}, msg.trace};
     {
       ScopedOpCounting guard(ops);
       // The depositor is authenticated by its network endpoint here; a real
@@ -128,7 +152,7 @@ void BrokerActor::on_message(const Message& msg) {
       }
       reply.payload = w.take();
     }
-    send_after_cost(ops, std::move(reply));
+    send_after_cost(ops, std::move(reply), span);
   }
 }
 
@@ -155,8 +179,9 @@ void MerchantActor::handle_commit_request(const Message& msg) {
   Reader r(msg.payload);
   const Hash256 coin_hash = get_hash(r);
   const Hash256 nonce = get_hash(r);
+  const auto span = start_span(msg.trace, "witness_commit");
   OpCounters ops;
-  Message reply{id(), msg.from, "", {}};
+  Message reply{id(), msg.from, "", {}, msg.trace};
   {
     ScopedOpCounting guard(ops);
     auto commitment = witness_.request_commitment(coin_hash, nonce, now());
@@ -171,7 +196,7 @@ void MerchantActor::handle_commit_request(const Message& msg) {
     }
     reply.payload = w.take();
   }
-  send_after_cost(ops, std::move(reply));
+  send_after_cost(ops, std::move(reply), span);
 }
 
 void MerchantActor::handle_transcript(const Message& msg) {
@@ -193,9 +218,10 @@ void MerchantActor::handle_transcript(const Message& msg) {
     // transit; re-acknowledge.  The transcript only completes once — the
     // deposit queue and service counters are untouched.
     ++resilience_.duplicates_suppressed;
+    trace_note(msg.trace, "dup.suppressed", "transcript for serviced coin");
     Writer w;
     put_hash(w, coin_hash);
-    send_now(Message{id(), msg.from, "pay.service", w.take()});
+    send_now(Message{id(), msg.from, "pay.service", w.take(), msg.trace});
     return;
   }
   if (auto it = in_flight_.find(coin_hash); it != in_flight_.end()) {
@@ -205,13 +231,16 @@ void MerchantActor::handle_transcript(const Message& msg) {
       // identical transcript idempotently, and duplicate endorsements are
       // suppressed in handle_sign_reply.
       ++resilience_.duplicates_suppressed;
+      trace_note(msg.trace, "dup.suppressed", "transcript re-drive");
+      it->second.trace = msg.trace;  // latest retransmission owns the phase
       Writer w;
       transcript.encode(w);
       auto payload = w.take();
       for (const auto& witness : it->second.witnesses) {
         auto node = directory_.merchants.find(witness);
         if (node == directory_.merchants.end()) continue;
-        send_now(Message{id(), node->second, "pay.sign_req", payload});
+        send_now(
+            Message{id(), node->second, "pay.sign_req", payload, msg.trace});
       }
       return;
     }
@@ -219,6 +248,7 @@ void MerchantActor::handle_transcript(const Message& msg) {
     // attempt; fall through and let receive_payment refuse it.
   }
 
+  const auto span = start_span(msg.trace, "merchant_validate");
   OpCounters ops;
   std::optional<Refusal> refusal;
   {
@@ -230,11 +260,14 @@ void MerchantActor::handle_transcript(const Message& msg) {
     Writer w;
     put_hash(w, coin_hash);
     w.put_string(refusal->detail);
-    send_after_cost(ops, Message{id(), msg.from, "pay.refused", w.take()});
+    send_after_cost(
+        ops, Message{id(), msg.from, "pay.refused", w.take(), msg.trace},
+        span);
     return;
   }
   InFlight record;
   record.client = msg.from;
+  record.trace = msg.trace;
   record.witnesses.reserve(commitments.size());
   for (const auto& commitment : commitments)
     record.witnesses.push_back(commitment.witness);
@@ -243,21 +276,29 @@ void MerchantActor::handle_transcript(const Message& msg) {
   Writer w;
   transcript.encode(w);
   auto payload = w.take();
+  bool first = true;
   for (const auto& commitment : commitments) {
     auto node = directory_.merchants.find(commitment.witness);
     if (node == directory_.merchants.end()) continue;
-    send_after_cost(ops,
-                    Message{id(), node->second, "pay.sign_req", payload});
+    Message sign_req{id(), node->second, "pay.sign_req", payload, msg.trace};
+    if (first)
+      send_after_cost(ops, std::move(sign_req), span);
+    else
+      send_after_cost(ops, std::move(sign_req));
+    first = false;
     ops = OpCounters{};  // charge validation cost only once
   }
+  // No reachable witness at all: the span would otherwise never close.
+  if (first && tracer()) tracer()->end_span(span, "no reachable witness");
 }
 
 void MerchantActor::handle_sign_request(const Message& msg) {
   Reader r(msg.payload);
   auto transcript = ecash::PaymentTranscript::decode(r);
   const Hash256 coin_hash = transcript.coin.bare.coin_hash();
+  const auto span = start_span(msg.trace, "witness_countersign");
   OpCounters ops;
-  Message reply{id(), msg.from, "", {}};
+  Message reply{id(), msg.from, "", {}, msg.trace};
   {
     ScopedOpCounting guard(ops);
     auto result = witness_.sign_transcript(transcript, now());
@@ -277,7 +318,7 @@ void MerchantActor::handle_sign_request(const Message& msg) {
     }
     reply.payload = w.take();
   }
-  send_after_cost(ops, std::move(reply));
+  send_after_cost(ops, std::move(reply), span);
 }
 
 void MerchantActor::handle_sign_reply(const Message& msg) {
@@ -287,10 +328,12 @@ void MerchantActor::handle_sign_reply(const Message& msg) {
     auto client = in_flight_.find(proof.coin_hash);
     if (client == in_flight_.end()) {
       ++resilience_.late_replies_ignored;
+      trace_note(msg.trace, "late_reply.ignored", "double-spend proof");
       return;
     }
     OpCounters ops;
-    Message reply{id(), client->second.client, "", {}};
+    Message reply{id(), client->second.client, "", {},
+                  client->second.trace};
     {
       ScopedOpCounting guard(ops);
       auto verified = merchant_.handle_double_spend(proof.coin_hash, proof);
@@ -316,6 +359,7 @@ void MerchantActor::handle_sign_reply(const Message& msg) {
   auto client = in_flight_.find(coin_hash);
   if (client == in_flight_.end()) {
     ++resilience_.late_replies_ignored;
+    trace_note(msg.trace, "late_reply.ignored", msg.type);
     return;
   }
 
@@ -325,15 +369,18 @@ void MerchantActor::handle_sign_reply(const Message& msg) {
     Writer w;
     put_hash(w, coin_hash);
     w.put_string("witness refused: " + detail);
-    send_now(Message{id(), client->second.client, "pay.refused", w.take()});
+    send_now(Message{id(), client->second.client, "pay.refused", w.take(),
+                     client->second.trace});
     in_flight_.erase(client);
     return;
   }
 
   // pay.endorse
   auto endorsement = ecash::WitnessEndorsement::decode(r);
+  const obs::TraceContext payment_trace = client->second.trace;
   OpCounters ops;
   std::optional<Message> reply;
+  bool serviced = false;
   {
     ScopedOpCounting guard(ops);
     auto done = merchant_.add_endorsement(coin_hash, endorsement);
@@ -343,18 +390,27 @@ void MerchantActor::handle_sign_reply(const Message& msg) {
         // A re-driven sign request produced a second identical endorsement;
         // not a protocol failure, just a duplicate delivery.
         ++resilience_.duplicates_suppressed;
+        trace_note(payment_trace, "dup.suppressed", "duplicate endorsement");
         return;
       }
       put_hash(w, coin_hash);
       w.put_string(done.refusal().detail);
-      reply = Message{id(), client->second.client, "pay.refused", w.take()};
+      reply = Message{id(), client->second.client, "pay.refused", w.take(),
+                      payment_trace};
     } else if (done.value()) {
       put_hash(w, coin_hash);
-      reply = Message{id(), client->second.client, "pay.service", w.take()};
+      reply = Message{id(), client->second.client, "pay.service", w.take(),
+                      payment_trace};
+      serviced = true;
     }
     // else: keep waiting for more endorsements (k-of-n).
   }
   if (reply) {
+    if (serviced) {
+      // Remember the payment's trace so the eventual deposit of this coin
+      // (driven by flush_deposits, possibly much later) joins the same trace.
+      deposit_trace_[coin_hash] = payment_trace;
+    }
     in_flight_.erase(client);
     send_after_cost(ops, std::move(*reply));
   }
@@ -365,7 +421,14 @@ void MerchantActor::flush_deposits() {
     Writer w;
     st.encode(w);
     const Hash256 coin_hash = st.transcript.coin.bare.coin_hash();
-    pending_deposits_[coin_hash] = PendingDeposit{w.take(), 0, 0, false};
+    PendingDeposit pd;
+    pd.payload = w.take();
+    if (auto it = deposit_trace_.find(coin_hash);
+        it != deposit_trace_.end()) {
+      pd.parent = it->second;
+      deposit_trace_.erase(it);
+    }
+    pending_deposits_[coin_hash] = std::move(pd);
   }
   // Collect keys first: send_deposit arms timers but never mutates the map,
   // still, iterate defensively over a stable key list.
@@ -384,8 +447,10 @@ void MerchantActor::send_deposit(const Hash256& coin_hash) {
   auto it = pending_deposits_.find(coin_hash);
   if (it == pending_deposits_.end()) return;
   PendingDeposit& pd = it->second;
+  if (!pd.span.valid()) pd.span = start_span(pd.parent, "deposit");
   ++pd.attempts;
-  send_now(Message{id(), directory_.broker, "deposit.submit", pd.payload});
+  send_now(Message{id(), directory_.broker, "deposit.submit", pd.payload,
+                   pd.span});
   arm_deposit_timer(coin_hash, pd.attempts);
 }
 
@@ -404,6 +469,10 @@ void MerchantActor::arm_deposit_timer(const Hash256& coin_hash,
           // Keep the transcript; a later flush_deposits() re-submits it.
           pd.exhausted = true;
           ++resilience_.timeouts;
+          trace_note(pd.span, "rpc.exhausted",
+                     "deposit retries exhausted; parked for next flush");
+          if (auto* tr = tracer()) tr->end_span(pd.span, "exhausted");
+          pd.span = obs::TraceContext{};
           return;
         }
         const SimTime backoff = retry_.next_backoff(pd.prev_backoff, net_.rng());
@@ -417,6 +486,8 @@ void MerchantActor::arm_deposit_timer(const Hash256& coin_hash,
                   it2->second.attempts != attempts_when_armed)
                 return;
               ++resilience_.retries;
+              trace_note(it2->second.span, "rpc.retry",
+                         "deposit attempt timed out; resending");
               send_deposit(coin_hash);
             });
       });
@@ -427,16 +498,22 @@ void MerchantActor::handle_deposit_receipt(const Message& msg) {
   const Hash256 coin_hash = get_hash(r);
   auto it = pending_deposits_.find(coin_hash);
   if (it == pending_deposits_.end()) return;  // manual submission or dup ack
+  std::string status = "ok";
   if (msg.type == "deposit.refused") {
     const auto reason = static_cast<RefusalReason>(r.get_u8());
     if (reason == RefusalReason::kAlreadyDeposited) {
       // An earlier retry landed and only the receipt was lost: that is an
       // ack, not an error.
       ++resilience_.duplicates_suppressed;
+      trace_note(it->second.span, "dup.suppressed",
+                 "already deposited: lost receipt, not an error");
+    } else {
+      status = "refused";
     }
     // Any other refusal is definitive (the broker validated and said no);
     // retrying the same bytes cannot change it.
   }
+  if (auto* tr = tracer()) tr->end_span(it->second.span, status);
   pending_deposits_.erase(it);
 }
 
@@ -450,6 +527,9 @@ void MerchantActor::on_restart() {
   for (auto& [coin_hash, pd] : pending_deposits_) {
     pd.exhausted = true;
     pd.prev_backoff = 0;
+    trace_note(pd.span, "node.restart", "merchant restarted mid-deposit");
+    if (auto* tr = tracer()) tr->end_span(pd.span, "restart");
+    pd.span = obs::TraceContext{};
   }
 }
 
@@ -476,6 +556,7 @@ void ClientActor::withdraw(Cents denomination, WithdrawCallback done,
   PendingWithdrawal pending;
   pending.done = std::move(done);
   pending.generation = ++withdraw_generation_;
+  if (auto* tr = tracer()) pending.span = tr->start_root("withdraw", id());
   Writer w;
   w.put_u64(req_id);
   w.put_u32(denomination);
@@ -490,8 +571,11 @@ void ClientActor::withdraw(Cents denomination, WithdrawCallback done,
         for (auto it = m.begin(); it != m.end(); ++it) {
           if (it->second.generation != generation) continue;
           auto cb = std::move(it->second.done);
+          const auto span = it->second.span;
           m.erase(it);
           ++resilience_.timeouts;
+          trace_note(span, "rpc.timeout", "withdrawal deadline expired");
+          if (auto* tr = tracer()) tr->end_span(span, "timeout");
           cb(Refusal{RefusalReason::kInternal, "timeout"});
           return true;
         }
@@ -501,9 +585,10 @@ void ClientActor::withdraw(Cents denomination, WithdrawCallback done,
     });
   }
   auto payload = pending.last_payload;
+  const obs::TraceContext span = pending.span;
   withdrawal_requests_[req_id] = std::move(pending);
   send_now(Message{id(), directory_.broker, "withdraw.start",
-                   std::move(payload)});
+                   std::move(payload), span});
   if (deadline_ms > 0) arm_withdraw_timer(false, req_id, generation, 1);
 }
 
@@ -531,8 +616,11 @@ void ClientActor::on_withdraw_silence(bool by_session, std::uint64_t key,
   PendingWithdrawal* pending = find_withdrawal(by_session, key, generation);
   if (!pending || pending->deadline <= 0) return;
   if (pending->attempts != attempts) return;  // a newer attempt is in flight
-  if (health_.record_failure(directory_.broker, net_.sim().now()))
+  trace_note(pending->span, "rpc.silence", "no broker reply before timeout");
+  if (health_.record_failure(directory_.broker, net_.sim().now())) {
     ++resilience_.breaker_trips;
+    trace_note(pending->span, "breaker.trip", "broker circuit opened");
+  }
   if (pending->attempts >= retry_.max_attempts) return;  // deadline decides
   const SimTime backoff = retry_.next_backoff(pending->prev_backoff,
                                               net_.rng());
@@ -548,7 +636,9 @@ void ClientActor::on_withdraw_silence(bool by_session, std::uint64_t key,
     }
     ++p->attempts;
     ++resilience_.retries;
-    send_now(Message{id(), directory_.broker, p->last_type, p->last_payload});
+    trace_note(p->span, "rpc.retry", "resending " + p->last_type);
+    send_now(Message{id(), directory_.broker, p->last_type, p->last_payload,
+                     p->span});
     arm_withdraw_timer(by_session, key, generation, p->attempts);
   });
 }
@@ -561,6 +651,7 @@ void ClientActor::handle_withdraw_offer(const Message& msg) {
     // Duplicate offer (retransmitted start, duplicated delivery) — the
     // first copy won and this request id is gone.
     ++resilience_.late_replies_ignored;
+    trace_note(msg.trace, "late_reply.ignored", "withdraw.offer");
     return;
   }
 
@@ -572,7 +663,8 @@ void ClientActor::handle_withdraw_offer(const Message& msg) {
 
   health_.record_success(directory_.broker);
   OpCounters ops;
-  Message reply{id(), directory_.broker, "withdraw.challenge", {}};
+  Message reply{id(), directory_.broker, "withdraw.challenge", {},
+                it->second.span};
   {
     ScopedOpCounting guard(ops);
     it->second.state = wallet_.begin_withdrawal(offer);
@@ -605,21 +697,25 @@ void ClientActor::handle_withdraw_response(const Message& msg) {
     it = withdrawal_requests_.find(id);
     if (it == withdrawal_requests_.end()) {
       ++resilience_.late_replies_ignored;
+      trace_note(msg.trace, "late_reply.ignored", "withdraw.refused");
       return;
     }
     auto pending = std::move(it->second);
     withdrawal_requests_.erase(it);
+    if (auto* tr = tracer()) tr->end_span(pending.span, "refused");
     pending.done(Refusal{RefusalReason::kInternal, r.get_string()});
     return;
   }
   if (it == withdrawal_sessions_.end()) {
     ++resilience_.late_replies_ignored;
+    trace_note(msg.trace, "late_reply.ignored", msg.type);
     return;
   }
   auto pending = std::move(it->second);
   withdrawal_sessions_.erase(it);
 
   if (msg.type == "withdraw.refused") {
+    if (auto* tr = tracer()) tr->end_span(pending.span, "refused");
     pending.done(Refusal{RefusalReason::kInternal, r.get_string()});
     return;
   }
@@ -637,8 +733,11 @@ void ClientActor::handle_withdraw_response(const Message& msg) {
   }
   // Charge the unblinding cost before reporting completion.
   net_.sim().schedule(cost_.sample_cost_ms(ops, net_.rng()),
-                      [done = std::move(pending.done),
+                      [this, span = pending.span,
+                       done = std::move(pending.done),
                        coin = std::move(coin)]() mutable {
+                        if (auto* tr = tracer())
+                          tr->end_span(span, coin ? "ok" : "refused");
                         done(std::move(coin));
                       });
 }
@@ -674,6 +773,10 @@ void ClientActor::pay(const ecash::WalletCoin& coin,
   p.deadline = p.started + timeout_ms;
   p.generation = ++pay_generation_;
   p.done = std::move(done);
+  if (auto* tr = tracer()) {
+    p.trace_root = tr->start_root("payment", id());
+    p.phase = tr->start_child(p.trace_root, "assign_witness", id());
+  }
 
   OpCounters ops;
   {
@@ -717,6 +820,12 @@ void ClientActor::pay(const ecash::WalletCoin& coin,
     auto it = payments_.find(coin_hash);
     if (it == payments_.end() || it->second.generation != generation) return;
     PendingPayment& payment = it->second;
+    // Witness selection done: move the trace into the commit phase.
+    if (auto* tr = tracer()) {
+      tr->end_span(payment.phase);
+      payment.phase = tr->start_child(payment.trace_root, "payment_commit",
+                                      id());
+    }
     const std::size_t need = payment.coin.coin.bare.info.witness_k;
     std::size_t engaged = 0;
     for (std::size_t i = 0; i < payment.plan.size() && engaged < need; ++i) {
@@ -740,6 +849,7 @@ void ClientActor::pay(const ecash::WalletCoin& coin,
     result.elapsed_ms = net_.sim().now() - it->second.started;
     result.error = "timeout";
     ++resilience_.timeouts;
+    trace_note(it->second.phase, "rpc.timeout", "payment deadline expired");
     finish_payment(it->second, std::move(result));
   });
 }
@@ -747,7 +857,8 @@ void ClientActor::pay(const ecash::WalletCoin& coin,
 void ClientActor::send_commit_req(PendingPayment& p, std::size_t index) {
   WitnessAttempt& attempt = p.plan[index];
   ++attempt.attempts;
-  send_now(Message{id(), attempt.node, "pay.commit_req", p.commit_payload});
+  send_now(Message{id(), attempt.node, "pay.commit_req", p.commit_payload,
+                   p.phase});
   arm_commit_timer(p.intent.coin_hash, p.generation, index, attempt.attempts);
 }
 
@@ -775,11 +886,20 @@ void ClientActor::on_commit_silence(const Hash256& coin_hash,
   // Silence: the witness (or the path to it) is failing.  Hedge with the
   // next replica immediately, and retry this one with backoff until its
   // attempt budget runs out.
-  if (health_.record_failure(attempt.node, net_.sim().now()))
+  trace_note(p.phase, "rpc.silence",
+             "no commit from witness node " + std::to_string(attempt.node));
+  if (health_.record_failure(attempt.node, net_.sim().now())) {
     ++resilience_.breaker_trips;
+    trace_note(p.phase, "breaker.trip",
+               "witness node " + std::to_string(attempt.node) +
+                   " circuit opened");
+  }
   engage_next_witness(p);
   if (attempt.attempts >= retry_.max_attempts) {
     attempt.exhausted = true;
+    trace_note(p.phase, "rpc.exhausted",
+               "witness node " + std::to_string(attempt.node) +
+                   " attempt budget spent");
     check_commit_possibility(p, "witness unreachable");
     return;
   }
@@ -795,6 +915,9 @@ void ClientActor::on_commit_silence(const Hash256& coin_hash,
     if (a2.committed || a2.refused || a2.exhausted || a2.attempts != attempts)
       return;
     ++resilience_.retries;
+    trace_note(p2.phase, "rpc.retry",
+               "re-requesting commitment from witness node " +
+                   std::to_string(a2.node));
     send_commit_req(p2, index);
   });
 }
@@ -805,6 +928,8 @@ void ClientActor::engage_next_witness(PendingPayment& p) {
     if (attempt.attempts > 0 || attempt.refused || attempt.exhausted) continue;
     if (!health_.allow(attempt.node, net_.sim().now())) continue;
     ++resilience_.failovers;
+    trace_note(p.phase, "rpc.failover",
+               "engaging spare witness node " + std::to_string(attempt.node));
     send_commit_req(p, i);
     return;
   }
@@ -831,6 +956,7 @@ void ClientActor::handle_commit(const Message& msg) {
   auto it = payments_.find(commitment.coin_hash);
   if (it == payments_.end()) {
     ++resilience_.late_replies_ignored;
+    trace_note(msg.trace, "late_reply.ignored", "pay.commit");
     return;
   }
   PendingPayment& p = it->second;
@@ -838,6 +964,7 @@ void ClientActor::handle_commit(const Message& msg) {
     // A commitment from an earlier, abandoned payment of this coin — its
     // nonce binds a different (salt, merchant) pair.
     ++resilience_.late_replies_ignored;
+    trace_note(msg.trace, "late_reply.ignored", "stale-nonce commitment");
     return;
   }
   auto plan_it = std::find_if(p.plan.begin(), p.plan.end(),
@@ -846,10 +973,12 @@ void ClientActor::handle_commit(const Message& msg) {
                               });
   if (plan_it == p.plan.end()) {
     ++resilience_.late_replies_ignored;
+    trace_note(msg.trace, "late_reply.ignored", "unknown witness");
     return;
   }
   if (plan_it->committed) {
     ++resilience_.duplicates_suppressed;  // duplicated delivery / resend echo
+    trace_note(p.phase, "dup.suppressed", "duplicate commitment");
     return;
   }
   plan_it->committed = true;
@@ -858,6 +987,13 @@ void ClientActor::handle_commit(const Message& msg) {
   if (p.commitments.size() >= need) return;  // hedged extra; already moving on
   p.commitments.push_back(std::move(commitment));
   if (p.commitments.size() < need) return;
+
+  // k commitments gathered: the commit phase is over, the witness-sign
+  // phase (transcript build, merchant validation, countersignatures) opens.
+  if (auto* tr = tracer()) {
+    tr->end_span(p.phase);
+    p.phase = tr->start_child(p.trace_root, "witness_sign", id());
+  }
 
   // Step 3: build and send the transcript (this is where the client's Ver
   // of the commitment signature and the NIZK response happen).
@@ -900,7 +1036,7 @@ void ClientActor::handle_commit(const Message& msg) {
 void ClientActor::send_transcript(PendingPayment& p) {
   ++p.transcript_attempts;
   send_now(Message{id(), p.merchant_node, "pay.transcript",
-                   p.transcript_payload});
+                   p.transcript_payload, p.phase});
   arm_transcript_timer(p.intent.coin_hash, p.generation,
                        p.transcript_attempts);
 }
@@ -921,8 +1057,11 @@ void ClientActor::on_transcript_silence(const Hash256& coin_hash,
   if (it == payments_.end() || it->second.generation != generation) return;
   PendingPayment& p = it->second;
   if (p.transcript_attempts != attempts) return;  // a resend superseded this
-  if (health_.record_failure(p.merchant_node, net_.sim().now()))
+  trace_note(p.phase, "rpc.silence", "no merchant reply to transcript");
+  if (health_.record_failure(p.merchant_node, net_.sim().now())) {
     ++resilience_.breaker_trips;
+    trace_note(p.phase, "breaker.trip", "merchant circuit opened");
+  }
   if (p.transcript_attempts >= retry_.max_attempts) {
     // The merchant is the one fixed counterparty — no failover target.
     PayResult result;
@@ -940,6 +1079,7 @@ void ClientActor::on_transcript_silence(const Hash256& coin_hash,
     PendingPayment& p2 = it2->second;
     if (p2.transcript_attempts != attempts) return;
     ++resilience_.retries;
+    trace_note(p2.phase, "rpc.retry", "resending transcript");
     send_transcript(p2);
   });
 }
@@ -951,12 +1091,16 @@ void ClientActor::handle_pay_reply(const Message& msg) {
     auto it = payments_.find(proof.coin_hash);
     if (it == payments_.end()) {
       ++resilience_.late_replies_ignored;
+      trace_note(msg.trace, "late_reply.ignored", "double-spend refusal");
       return;
     }
     if (msg.from != it->second.merchant_node) {
       ++resilience_.late_replies_ignored;
+      trace_note(msg.trace, "late_reply.ignored", "wrong merchant");
       return;
     }
+    trace_note(it->second.phase, "pay.double_spend",
+               "merchant returned a double-spend proof");
     PayResult result;
     result.elapsed_ms = net_.sim().now() - it->second.started;
     result.double_spend_proof = std::move(proof);
@@ -968,6 +1112,7 @@ void ClientActor::handle_pay_reply(const Message& msg) {
   auto it = payments_.find(coin_hash);
   if (it == payments_.end()) {
     ++resilience_.late_replies_ignored;
+    trace_note(msg.trace, "late_reply.ignored", msg.type);
     return;
   }
   PendingPayment& p = it->second;
@@ -981,10 +1126,13 @@ void ClientActor::handle_pay_reply(const Message& msg) {
                                 });
     if (plan_it == p.plan.end()) {
       ++resilience_.late_replies_ignored;
+      trace_note(msg.trace, "late_reply.ignored", "refusal from non-plan node");
       return;
     }
     plan_it->refused = true;
     health_.record_success(plan_it->node);  // it answered; it is alive
+    trace_note(p.phase, "commit.refused",
+               "witness node " + std::to_string(plan_it->node) + " refused");
     engage_next_witness(p);
     check_commit_possibility(p, "commitment refused: " + r.get_string());
     return;
@@ -994,6 +1142,7 @@ void ClientActor::handle_pay_reply(const Message& msg) {
   // else is a stray or stale delivery.
   if (msg.from != p.merchant_node) {
     ++resilience_.late_replies_ignored;
+    trace_note(msg.trace, "late_reply.ignored", "reply from wrong node");
     return;
   }
   PayResult result;
@@ -1008,6 +1157,13 @@ void ClientActor::handle_pay_reply(const Message& msg) {
 }
 
 void ClientActor::finish_payment(PendingPayment& p, PayResult result) {
+  result.trace_id = p.trace_root.trace;
+  if (auto* tr = tracer()) {
+    const std::string status =
+        result.accepted ? "ok" : result.error.value_or("failed");
+    tr->end_span(p.phase, status);
+    tr->end_span(p.trace_root, status);
+  }
   auto done = std::move(p.done);
   payments_.erase(p.intent.coin_hash);
   done(std::move(result));

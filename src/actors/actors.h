@@ -60,8 +60,24 @@ class ProtocolActor : public simnet::Node {
  protected:
   /// Sends `msg` after charging the compute time for `ops`.
   void send_after_cost(const metrics::OpCounters& ops, Message msg);
+  /// Same, but also closes `span` at the moment the message actually
+  /// leaves, so the handler span's duration covers the compute charge.
+  void send_after_cost(const metrics::OpCounters& ops, Message msg,
+                       obs::TraceContext span);
   /// Sends with no compute charge.
   void send_now(Message msg);
+
+  /// The network's tracer, or nullptr when tracing is off.  All span
+  /// state in the actors is plain TraceContext values; with no tracer
+  /// attached they stay invalid and every call on them no-ops.
+  obs::Tracer* tracer() const { return net_.tracer(); }
+  /// Opens a child span of `parent` on this node (invalid when tracing is
+  /// off or the parent is untraced).
+  obs::TraceContext start_span(const obs::TraceContext& parent,
+                               std::string_view name);
+  /// Records a point-in-time annotation on `ctx`'s span.
+  void trace_note(const obs::TraceContext& ctx, std::string_view name,
+                  std::string_view detail = {});
 
   simnet::Network& net_;
   simnet::CostModel cost_;
@@ -139,6 +155,7 @@ class MerchantActor final : public ProtocolActor {
   struct InFlight {
     NodeId client = 0;
     std::vector<MerchantId> witnesses;  ///< committing witnesses (sign_req targets)
+    obs::TraceContext trace;  ///< the payment's causal context
   };
   std::map<ecash::Hash256, InFlight> in_flight_;
 
@@ -148,8 +165,13 @@ class MerchantActor final : public ProtocolActor {
     std::size_t attempts = 0;
     SimTime prev_backoff = 0;
     bool exhausted = false;  ///< retries used up; re-armed by flush_deposits
+    obs::TraceContext parent;  ///< the originating payment's context
+    obs::TraceContext span;    ///< open "deposit" span (invalid = none yet)
   };
   std::map<ecash::Hash256, PendingDeposit> pending_deposits_;
+  /// Payment contexts remembered at service time so the (later, batched)
+  /// deposit submission continues the same trace.
+  std::map<ecash::Hash256, obs::TraceContext> deposit_trace_;
   std::uint64_t restart_generation_ = 0;  ///< invalidates timers on restart
 };
 
@@ -192,6 +214,9 @@ class ClientActor final : public ProtocolActor {
     SimTime elapsed_ms = 0;
     std::optional<ecash::DoubleSpendProof> double_spend_proof;
     std::optional<std::string> error;
+    /// The payment's trace id when tracing was on (0 otherwise); the key
+    /// into TraceSink::trace_jsonl for this payment's full causal history.
+    obs::TraceId trace_id = 0;
   };
   using PayCallback = std::function<void(PayResult)>;
   /// Runs the full payment protocol for `coin` at `merchant`.  Engages the
@@ -213,6 +238,7 @@ class ClientActor final : public ProtocolActor {
     /// The exact bytes/type of the last request, for idempotent resends.
     std::string last_type;
     std::vector<std::uint8_t> last_payload;
+    obs::TraceContext span;  ///< root "withdraw" span
   };
   /// One witness in the payment's failover plan.
   struct WitnessAttempt {
@@ -240,6 +266,10 @@ class ClientActor final : public ProtocolActor {
     SimTime deadline = 0;
     std::uint64_t generation = 0;  // guards timeout/retry events
     PayCallback done;
+    obs::TraceContext trace_root;  ///< root "payment" span
+    /// Currently open phase span (assign_witness -> payment_commit ->
+    /// witness_sign); outgoing messages carry this context.
+    obs::TraceContext phase;
   };
 
   void handle_withdraw_offer(const Message& msg);

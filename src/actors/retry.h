@@ -9,6 +9,11 @@
 // per-peer circuit breaker so a dead witness stops eating attempts while
 // its replicas carry the payment.  All randomness comes from the caller's
 // bn::Rng, keeping chaos runs seed-reproducible.
+//
+// Observability: the actors annotate every retry, failover, timeout and
+// breaker trip onto the enclosing payment span (rpc.retry, rpc.failover,
+// rpc.silence, rpc.exhausted, breaker.trip — see src/obs/trace.h), so a
+// trace shows exactly which resilience machinery fired and when.
 
 #pragma once
 

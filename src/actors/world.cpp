@@ -14,13 +14,19 @@ MerchantId merchant_name(std::size_t i) {
 }  // namespace
 
 SimWorld::SimWorld(const group::SchnorrGroup& grp, Options options)
-    : grp_(grp), options_(options) {
+    : grp_(grp), options_(options), sink_(options_.trace_capacity) {
   rng_ = std::make_unique<crypto::ChaChaRng>(options_.seed);
   net_ = std::make_unique<simnet::Network>(
       sim_,
       std::make_unique<simnet::UniformLatency>(options_.latency_lo,
                                                options_.latency_hi),
       *rng_, options_.wire);
+  // The tracer reads the simulator clock directly: spans carry sim-time,
+  // so the same seed replays a byte-identical trace.
+  tracer_ = std::make_unique<obs::Tracer>([this]() { return sim_.now(); },
+                                          &sink_, &registry_);
+  set_tracing(options_.trace);
+  register_collectors();
   broker_ = std::make_unique<ecash::Broker>(grp_, *rng_, options_.broker);
   broker_actor_ =
       std::make_unique<BrokerActor>(*net_, options_.cost, *broker_);
@@ -147,6 +153,49 @@ metrics::ResilienceCounters SimWorld::resilience_totals() const {
   for (const auto& client : clients_) total += client->resilience();
   for (const auto& slot : merchants_) total += slot.actor->resilience();
   return total;
+}
+
+void SimWorld::set_tracing(bool on) {
+  trace_on_ = on;
+  net_->set_tracer(on ? tracer_.get() : nullptr);
+}
+
+void SimWorld::register_collectors() {
+  registry_.register_collector([this]() {
+    auto samples = obs::resilience_samples("world", resilience_totals());
+    auto ops = obs::op_counter_samples("world", metrics::thread_op_totals());
+    samples.insert(samples.end(), ops.begin(), ops.end());
+    return samples;
+  });
+  registry_.register_collector([this]() {
+    std::uint64_t sent = 0, received = 0, messages = 0;
+    for (NodeId node : all_nodes()) {
+      sent += net_->bytes_sent(node);
+      received += net_->bytes_received(node);
+      messages += net_->messages_sent(node);
+    }
+    using obs::Sample;
+    return std::vector<Sample>{
+        {"world_net_bytes_sent_total", static_cast<double>(sent),
+         Sample::Type::kCounter},
+        {"world_net_bytes_received_total", static_cast<double>(received),
+         Sample::Type::kCounter},
+        {"world_net_messages_sent_total", static_cast<double>(messages),
+         Sample::Type::kCounter},
+        {"world_sim_now_ms", sim_.now(), Sample::Type::kGauge},
+        {"world_sim_events_executed_total",
+         static_cast<double>(sim_.events_executed()), Sample::Type::kCounter},
+        {"world_fixed_base_table_bytes",
+         static_cast<double>(grp_.fixed_base_memory_bytes()),
+         Sample::Type::kGauge},
+        {"world_trace_spans", static_cast<double>(sink_.span_count()),
+         Sample::Type::kGauge},
+        {"world_trace_events", static_cast<double>(sink_.event_count()),
+         Sample::Type::kGauge},
+        {"world_trace_dropped_total", static_cast<double>(sink_.dropped()),
+         Sample::Type::kCounter},
+    };
+  });
 }
 
 }  // namespace p2pcash::actors

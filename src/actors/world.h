@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "actors/actors.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "simnet/fault.h"
 #include "simnet/sim.h"
 
@@ -36,6 +38,13 @@ class SimWorld {
     RetryPolicy retry;
     /// Circuit-breaker configuration applied to every client.
     PeerHealth::Config breaker;
+    /// When true, a Tracer is attached to the network before any node
+    /// exists, so every protocol phase of every payment is spanned.  The
+    /// trace layer consumes no RNG and adds no wire bytes: enabling it
+    /// cannot perturb a chaos schedule or the Table-2 byte accounting.
+    bool trace = false;
+    /// Ring-buffer capacity of the trace sink (records, spans + events).
+    std::size_t trace_capacity = std::size_t{1} << 16;
   };
 
   explicit SimWorld(const group::SchnorrGroup& grp, Options options);
@@ -73,6 +82,19 @@ class SimWorld {
   /// Sum of the resilience counters across all clients and merchant actors.
   metrics::ResilienceCounters resilience_totals() const;
 
+  /// The world's metrics registry.  Collectors for the resilience totals,
+  /// the thread's op totals, simulator progress and per-world network
+  /// traffic are pre-registered; benches add their own histograms.
+  obs::MetricsRegistry& metrics() { return registry_; }
+  /// The trace sink (empty unless tracing is enabled).
+  obs::TraceSink& trace_sink() { return sink_; }
+  /// The tracer, or nullptr when tracing is off.
+  obs::Tracer* tracer() { return trace_on_ ? tracer_.get() : nullptr; }
+  /// Turns span/event recording on or off at runtime (Options.trace sets
+  /// the initial state).  Existing records are kept.
+  void set_tracing(bool on);
+  bool tracing() const { return trace_on_; }
+
  private:
   struct MerchantSlot {
     MerchantId id;
@@ -83,9 +105,15 @@ class SimWorld {
     std::vector<std::uint8_t> durable;
   };
 
+  void register_collectors();
+
   group::SchnorrGroup grp_;
   Options options_;
   simnet::Simulator sim_;
+  obs::MetricsRegistry registry_;
+  obs::TraceSink sink_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  bool trace_on_ = false;
   std::unique_ptr<crypto::ChaChaRng> rng_;
   std::unique_ptr<simnet::Network> net_;
   std::unique_ptr<ecash::Broker> broker_;

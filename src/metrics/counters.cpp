@@ -6,6 +6,7 @@ namespace p2pcash::metrics {
 
 namespace {
 thread_local OpCounters* g_active = nullptr;
+thread_local OpCounters g_totals;
 }  // namespace
 
 std::string OpCounters::to_string() const {
@@ -36,18 +37,26 @@ ScopedSuspendOpCounting::ScopedSuspendOpCounting() : previous_(g_active) {
 ScopedSuspendOpCounting::~ScopedSuspendOpCounting() { g_active = previous_; }
 
 void count_exp(std::uint64_t n) {
+  g_totals.exp += n;
   if (g_active) g_active->exp += n;
 }
 void count_hash(std::uint64_t n) {
+  g_totals.hash += n;
   if (g_active) g_active->hash += n;
 }
 void count_sig(std::uint64_t n) {
+  g_totals.sig += n;
   if (g_active) g_active->sig += n;
 }
 void count_ver(std::uint64_t n) {
+  g_totals.ver += n;
   if (g_active) g_active->ver += n;
 }
 
 OpCounters* active_counters() { return g_active; }
+
+const OpCounters& thread_op_totals() { return g_totals; }
+
+void reset_thread_op_totals() { g_totals = OpCounters{}; }
 
 }  // namespace p2pcash::metrics

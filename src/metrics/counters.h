@@ -67,6 +67,20 @@ struct ResilienceCounters {
     late_replies_ignored += o.late_replies_ignored;
     return *this;
   }
+  /// Snapshot diff: `after - before` is what happened in between.  Chaos
+  /// tests snapshot totals before a run and diff afterwards instead of
+  /// re-reading cumulative totals by hand.
+  friend ResilienceCounters operator-(ResilienceCounters a,
+                                      const ResilienceCounters& b) {
+    a.retries -= b.retries;
+    a.failovers -= b.failovers;
+    a.duplicates_suppressed -= b.duplicates_suppressed;
+    a.breaker_trips -= b.breaker_trips;
+    a.timeouts -= b.timeouts;
+    a.late_replies_ignored -= b.late_replies_ignored;
+    return a;
+  }
+  void reset() { *this = ResilienceCounters{}; }
   friend bool operator==(const ResilienceCounters&,
                          const ResilienceCounters&) = default;
 
@@ -109,5 +123,13 @@ void count_ver(std::uint64_t n = 1);
 
 /// The thread's active counter, or nullptr.
 OpCounters* active_counters();
+
+/// Cumulative per-thread totals of every op the count_* hooks ever saw on
+/// this thread, including work done while a ScopedSuspendOpCounting guard
+/// was active (the totals answer "how much crypto ran", not "what does
+/// Table 1 charge").  This is the feed the obs::MetricsRegistry exports;
+/// the scoped Table-1 mechanism above is untouched by it.
+const OpCounters& thread_op_totals();
+void reset_thread_op_totals();
 
 }  // namespace p2pcash::metrics

@@ -1,0 +1,244 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "metrics/counters.h"
+#include "obs/json_writer.h"
+
+namespace p2pcash::obs {
+
+namespace {
+
+/// Fixed double formatting shared by both dumps (byte-determinism).
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; map everything else to '_'.
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+std::size_t Histogram::bucket_index(double value_ms) {
+  if (!(value_ms > 1.0)) return 0;  // <= 1 ms, zero, negative, NaN
+  // Anything past the last finite boundary (including +Inf, whose log2
+  // would overflow the int cast below) lands in the overflow bucket.
+  if (value_ms > bucket_upper(kBuckets - 2)) return kBuckets - 1;
+  // Bucket i covers (2^(i-1), 2^i]: i = ceil(log2(v)) for v > 1.
+  const int exp2_ceil =
+      static_cast<int>(std::ceil(std::log2(value_ms) - 1e-12));
+  const std::size_t idx = exp2_ceil < 1 ? 1 : static_cast<std::size_t>(exp2_ceil);
+  return std::min(idx, kBuckets - 1);
+}
+
+double Histogram::bucket_upper(std::size_t i) {
+  if (i + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, static_cast<int>(i));  // 2^i
+}
+
+void Histogram::record(double value_ms) {
+  ++buckets_[bucket_index(value_ms)];
+  if (count_ == 0) {
+    min_ = value_ms;
+    max_ = value_ms;
+  } else {
+    min_ = std::min(min_, value_ms);
+    max_ = std::max(max_, value_ms);
+  }
+  ++count_;
+  sum_ += value_ms;
+}
+
+double Histogram::percentile(double pct) const {
+  if (count_ == 0) return 0;
+  const double clamped = std::clamp(pct, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // Linear interpolation inside bucket i between its bounds; the
+    // overflow bucket has no finite upper bound, so report the observed
+    // max for any rank landing there.
+    if (i + 1 >= kBuckets) return max_;
+    const double lower = i == 0 ? 0.0 : bucket_upper(i - 1);
+    const double upper = bucket_upper(i);
+    const double frac =
+        (rank - before) / static_cast<double>(buckets_[i]);
+    const double estimate = lower + (upper - lower) * std::clamp(frac, 0.0, 1.0);
+    return std::clamp(estimate, min(), max());
+  }
+  return max_;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) names.push_back(name);
+  return names;
+}
+
+std::vector<Sample> MetricsRegistry::collect() const {
+  std::vector<Sample> samples;
+  for (const auto& fn : collectors_) {
+    auto batch = fn();
+    samples.insert(samples.end(), batch.begin(), batch.end());
+  }
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const Sample& a, const Sample& b) {
+                     return a.name < b.name;
+                   });
+  return samples;
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::string out;
+  auto line = [&out](const std::string& name, const std::string& value) {
+    out += name;
+    out += ' ';
+    out += value;
+    out += '\n';
+  };
+  auto type_line = [&out](const std::string& name, const char* type) {
+    out += "# TYPE " + name + ' ' + type + '\n';
+  };
+
+  for (const auto& [name, counter] : counters_) {
+    const std::string pname = sanitize(name);
+    type_line(pname, "counter");
+    line(pname, std::to_string(counter.value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string pname = sanitize(name);
+    type_line(pname, "gauge");
+    line(pname, fmt(gauge.value()));
+  }
+  for (const Sample& s : collect()) {
+    const std::string pname = sanitize(s.name);
+    type_line(pname, s.type == Sample::Type::kCounter ? "counter" : "gauge");
+    line(pname, fmt(s.value));
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const std::string pname = sanitize(name);
+    type_line(pname, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      cumulative += hist.buckets()[i];
+      if (hist.buckets()[i] == 0 && i + 1 < Histogram::kBuckets) continue;
+      const double upper = Histogram::bucket_upper(i);
+      const std::string le =
+          std::isinf(upper) ? std::string("+Inf") : fmt(upper);
+      line(pname + "_bucket{le=\"" + le + "\"}", std::to_string(cumulative));
+    }
+    line(pname + "_sum", fmt(hist.sum()));
+    line(pname + "_count", std::to_string(hist.count()));
+    // Summary gauges: the p50/p95/p99 the phase-latency accounting exists
+    // for, precomputed so a text diff shows regressions directly.
+    line(pname + "_p50", fmt(hist.percentile(50)));
+    line(pname + "_p95", fmt(hist.percentile(95)));
+    line(pname + "_p99", fmt(hist.percentile(99)));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::json_text() const {
+  JsonWriter json;
+  json.field("bench", std::string("metrics"))
+      .field("schema_version", 1);
+  json.begin_object("counters");
+  for (const auto& [name, counter] : counters_)
+    json.field(name, counter.value());
+  json.end_object();
+  json.begin_object("gauges");
+  for (const auto& [name, gauge] : gauges_) json.field(name, gauge.value());
+  json.end_object();
+  json.begin_object("collected");
+  for (const Sample& s : collect()) json.field(s.name, s.value);
+  json.end_object();
+  json.begin_object("histograms");
+  for (const auto& [name, hist] : histograms_) {
+    json.begin_object(name)
+        .field("count", hist.count())
+        .field("sum_ms", hist.sum())
+        .field("min_ms", hist.min())
+        .field("max_ms", hist.max())
+        .field("mean_ms", hist.mean())
+        .field("p50_ms", hist.percentile(50))
+        .field("p95_ms", hist.percentile(95))
+        .field("p99_ms", hist.percentile(99));
+    std::vector<std::uint64_t> buckets(hist.buckets().begin(),
+                                       hist.buckets().end());
+    json.array_u64("log2_buckets", buckets).end_object();
+  }
+  json.end_object();
+  return json.finish();
+}
+
+// ---------------------------------------------------------------------------
+// Adapters for the pre-existing counter structs
+// ---------------------------------------------------------------------------
+
+std::vector<Sample> op_counter_samples(const std::string& prefix,
+                                       const metrics::OpCounters& ops) {
+  auto sample = [&prefix](const char* name, std::uint64_t v) {
+    return Sample{prefix + "_ops_" + name + "_total",
+                  static_cast<double>(v), Sample::Type::kCounter};
+  };
+  return {sample("exp", ops.exp), sample("hash", ops.hash),
+          sample("sig", ops.sig), sample("ver", ops.ver)};
+}
+
+std::vector<Sample> resilience_samples(
+    const std::string& prefix, const metrics::ResilienceCounters& rc) {
+  auto sample = [&prefix](const char* name, std::uint64_t v) {
+    return Sample{prefix + "_" + name + "_total", static_cast<double>(v),
+                  Sample::Type::kCounter};
+  };
+  return {sample("retries", rc.retries),
+          sample("failovers", rc.failovers),
+          sample("duplicates_suppressed", rc.duplicates_suppressed),
+          sample("breaker_trips", rc.breaker_trips),
+          sample("timeouts", rc.timeouts),
+          sample("late_replies_ignored", rc.late_replies_ignored)};
+}
+
+}  // namespace p2pcash::obs

@@ -1,0 +1,161 @@
+// metrics_registry.h — the single metrics export surface.
+//
+// Every counter this repo already keeps (crypto OpCounters, the resilient
+// RPC layer's ResilienceCounters, simnet byte counters) plus the new
+// per-phase latency histograms register here, and the registry re-exports
+// all of them through two dumps:
+//
+//   * prometheus_text() — Prometheus text exposition format (counters,
+//     gauges, cumulative histogram buckets, and pXX summary gauges);
+//   * json_text()       — a JSON document in the BENCH_*.json house style
+//     (schema in EXPERIMENTS.md, "Metrics export" section).
+//
+// Histograms are log2-bucketed: bucket i holds samples in (2^(i-1), 2^i]
+// milliseconds, bucket 0 holds everything <= 1 ms (including 0 and
+// negative clamps), and the last bucket is the +Inf overflow.  Percentiles
+// are estimated by linear interpolation inside the covering bucket and
+// clamped to the observed [min, max] — exact min/max/count/sum are kept
+// alongside, so the estimate can never leave the observed range.
+//
+// Everything here is deterministic: registration order does not matter
+// (export order is sorted by name), no wall-clock time is read, and
+// doubles are printed with a fixed format — two identical sim runs produce
+// byte-identical dumps.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace p2pcash::metrics {
+struct OpCounters;
+struct ResilienceCounters;
+}  // namespace p2pcash::metrics
+
+namespace p2pcash::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time value (table memory, queue depth, sim clock).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Log2-bucketed latency histogram (milliseconds) with exact count/sum/
+/// min/max and interpolated percentile summaries.
+class Histogram {
+ public:
+  /// Bucket 0 covers (-inf, 1]; bucket i covers (2^(i-1), 2^i];
+  /// bucket kBuckets-1 is the +Inf overflow bucket.
+  static constexpr std::size_t kBuckets = 32;
+
+  void record(double value_ms);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  /// Smallest / largest recorded sample (0 when empty).
+  double min() const { return count_ ? min_ : 0; }
+  double max() const { return count_ ? max_ : 0; }
+  double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0;
+  }
+
+  /// Estimated percentile, pct in [0, 100]; 0 when empty.  Linear
+  /// interpolation within the covering bucket, clamped to [min, max].
+  double percentile(double pct) const;
+
+  const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return buckets_;
+  }
+
+  /// Bucket index a sample lands in (exposed for the edge-case tests).
+  static std::size_t bucket_index(double value_ms);
+  /// Inclusive upper bound of bucket i; +infinity for the overflow bucket.
+  static double bucket_upper(std::size_t i);
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// One exported reading from a collector (a metric owned elsewhere that
+/// the registry re-exports, e.g. an actor's ResilienceCounters).
+struct Sample {
+  enum class Type { kCounter, kGauge };
+  std::string name;
+  double value = 0;
+  Type type = Type::kCounter;
+};
+
+/// Central registry: owns counters/gauges/histograms created through it
+/// and pulls externally-owned metrics through registered collectors at
+/// export time.  Returned references stay valid for the registry's
+/// lifetime (std::map nodes are stable).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  /// nullptr when no such metric has been created.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  /// Registers a pull-style source evaluated at every export.  Collectors
+  /// snapshot metrics owned by live objects (actors, the network), so the
+  /// registry never holds dangling totals.
+  using Collector = std::function<std::vector<Sample>()>;
+  void register_collector(Collector fn) {
+    collectors_.push_back(std::move(fn));
+  }
+
+  /// Prometheus text exposition dump of everything known to the registry.
+  std::string prometheus_text() const;
+  /// JSON dump in the BENCH_*.json house style.
+  std::string json_text() const;
+
+  /// All histogram names currently registered, sorted.
+  std::vector<std::string> histogram_names() const;
+
+ private:
+  std::vector<Sample> collect() const;
+
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::vector<Collector> collectors_;
+};
+
+/// Flattens an OpCounters snapshot into registry samples
+/// ("<prefix>_ops_exp_total", …) — the Table-1 counters behind the one
+/// export surface, without touching the thread-local counting mechanism
+/// table1_test pins.
+std::vector<Sample> op_counter_samples(const std::string& prefix,
+                                       const metrics::OpCounters& ops);
+
+/// Flattens a ResilienceCounters snapshot ("<prefix>_retries_total", …).
+std::vector<Sample> resilience_samples(
+    const std::string& prefix, const metrics::ResilienceCounters& rc);
+
+}  // namespace p2pcash::obs

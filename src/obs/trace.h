@@ -1,0 +1,159 @@
+// trace.h — causal tracing for the simulated deployment.
+//
+// A payment is a causal chain across four machines (client, witness,
+// merchant, broker); when one is slow or fails, aggregate numbers cannot
+// say where the time went.  The trace layer gives every protocol run a
+// TraceId, opens a span per protocol phase (withdraw → assign_witness →
+// payment_commit → witness_sign → deposit → reconcile, plus the
+// server-side handler spans), and records every retry / failover /
+// circuit-breaker event as a point-in-time annotation on the span it
+// belongs to.
+//
+// Context propagation: simnet::Message carries a TraceContext alongside
+// its payload.  The context is simulator metadata, NOT wire bytes — it is
+// never encoded and never counted by the byte-accounting contract, so
+// enabling tracing cannot perturb the Table-2 numbers it exists to
+// explain.  Duplicated or reordered deliveries carry the same context as
+// the original send, which is what lets a trace show a duplicate arriving
+// late.
+//
+// Determinism: span/trace ids come from plain sequential counters and
+// every record is stamped with sim-time (never wall-clock), so a chaos
+// seed replays to a byte-identical JSONL trace.  No RNG is ever consumed
+// by the trace layer.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p2pcash::obs {
+
+class MetricsRegistry;
+
+using TraceId = std::uint64_t;
+using SpanId = std::uint64_t;
+/// Sim-time in milliseconds (simnet::SimTime without the dependency).
+using TimeMs = double;
+
+/// The causal context a message carries: which trace it belongs to and
+/// which span caused it.  {0, 0} means "untraced".
+struct TraceContext {
+  TraceId trace = 0;
+  SpanId span = 0;
+
+  bool valid() const { return trace != 0; }
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+/// A finished span: one named phase of work on one node.
+struct SpanRecord {
+  TraceId trace = 0;
+  SpanId span = 0;
+  SpanId parent = 0;  ///< 0 = root of its trace
+  std::string name;
+  std::uint32_t node = 0;  ///< simnet NodeId the work ran on
+  TimeMs start_ms = 0;
+  TimeMs end_ms = 0;
+  std::string status;  ///< "ok" or a diagnostic
+};
+
+/// A point-in-time annotation attached to a span (retry fired, breaker
+/// tripped, message dropped, …).
+struct EventRecord {
+  TraceId trace = 0;
+  SpanId span = 0;
+  TimeMs at_ms = 0;
+  std::string name;
+  std::string detail;
+};
+
+/// Bounded ring-buffer sink: keeps the most recent `capacity` records
+/// (spans and events interleaved in completion order) and counts what it
+/// had to drop.  Export is JSONL — one record per line, schema checked by
+/// tools/trace_lint.py.
+class TraceSink {
+ public:
+  explicit TraceSink(std::size_t capacity = 1 << 16)
+      : capacity_(capacity ? capacity : 1) {}
+
+  void add_span(SpanRecord span);
+  void add_event(EventRecord event);
+
+  std::size_t size() const { return records_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t span_count() const { return span_count_; }
+  std::uint64_t event_count() const { return event_count_; }
+  void clear();
+
+  /// All retained records as JSONL, in completion order.
+  std::string to_jsonl() const;
+  /// Only the records of one trace (a single payment's causal history).
+  std::string trace_jsonl(TraceId trace) const;
+  /// Writes to_jsonl() to `path`; returns false (and prints) on failure.
+  bool write_jsonl(const std::string& path) const;
+
+  /// Retained span records of one trace, in completion order (pointers
+  /// valid until the next add/clear).
+  std::vector<const SpanRecord*> spans_for(TraceId trace) const;
+
+ private:
+  struct Record {
+    bool is_span = false;
+    SpanRecord span;
+    EventRecord event;
+  };
+  void push(Record record);
+
+  std::size_t capacity_;
+  std::deque<Record> records_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t span_count_ = 0;
+  std::uint64_t event_count_ = 0;
+};
+
+/// Issues trace/span ids, stamps records with the sim clock, forwards
+/// finished spans to the sink, and feeds each span's duration into the
+/// registry's per-phase histogram ("span_<name>_ms") so the latency
+/// accounting falls out of the tracing for free.
+class Tracer {
+ public:
+  /// `clock` supplies current sim-time; `sink` receives finished records;
+  /// `registry` (optional) receives per-phase duration histograms.
+  Tracer(std::function<TimeMs()> clock, TraceSink* sink,
+         MetricsRegistry* registry = nullptr);
+
+  /// Opens a root span in a fresh trace.
+  TraceContext start_root(std::string_view name, std::uint32_t node);
+  /// Opens a child span under `parent` (same trace).  An invalid parent
+  /// yields an invalid context (all subsequent calls no-op on it), so
+  /// call sites never need to branch on "is tracing on".
+  TraceContext start_child(const TraceContext& parent, std::string_view name,
+                           std::uint32_t node);
+  /// Closes the span: stamps end time, records the duration histogram,
+  /// hands the record to the sink.  No-op on invalid/unknown contexts
+  /// (spans close exactly once; late duplicates are ignored).
+  void end_span(const TraceContext& ctx, std::string_view status = "ok");
+  /// Attaches a point-in-time annotation to the span.
+  void event(const TraceContext& ctx, std::string_view name,
+             std::string_view detail = {});
+
+  /// True if `ctx` names a span that is open (started, not yet ended).
+  bool is_open(const TraceContext& ctx) const;
+  std::size_t open_spans() const { return open_.size(); }
+
+ private:
+  std::function<TimeMs()> clock_;
+  TraceSink* sink_;
+  MetricsRegistry* registry_;
+  TraceId next_trace_ = 1;
+  SpanId next_span_ = 1;
+  std::map<SpanId, SpanRecord> open_;
+};
+
+}  // namespace p2pcash::obs

@@ -21,10 +21,23 @@ double Network::sample_uniform() {
   return static_cast<double>(rng_.next_u64() >> 11) * 0x1.0p-53;
 }
 
+void Network::trace_event(const Message& msg, std::string_view name,
+                          std::string_view detail) {
+  if (!tracer_ || !msg.trace.valid()) return;
+  std::string text(detail);
+  text += " type=";
+  text += msg.type;
+  text += " " + std::to_string(msg.from) + "->" + std::to_string(msg.to);
+  tracer_->event(msg.trace, name, text);
+}
+
 void Network::deliver_copy(Message msg, SimTime delay,
                            std::size_t wire_bytes) {
   sim_.schedule(delay, [this, msg = std::move(msg), wire_bytes]() {
-    if (down_.contains(msg.to)) return;  // went down in flight
+    if (down_.contains(msg.to)) {  // went down in flight
+      trace_event(msg, "net.lost", "receiver went down in flight");
+      return;
+    }
     traffic_[msg.to].received.add(wire_bytes);
     nodes_[msg.to]->on_message(msg);
   });
@@ -39,11 +52,23 @@ void Network::send(Message msg) {
   // to the message (see the byte-accounting contract in net.h).
   traffic_[msg.from].sent.add(wire_bytes);
 
-  if (down_.contains(msg.from) || down_.contains(msg.to)) return;
-  if (partition_separates(msg.from, msg.to)) return;
+  if (down_.contains(msg.from) || down_.contains(msg.to)) {
+    trace_event(msg, "net.drop", "endpoint down");
+    return;
+  }
+  if (partition_separates(msg.from, msg.to)) {
+    trace_event(msg, "net.drop", "partitioned");
+    return;
+  }
   const LinkFault* fault = link_fault(msg.from, msg.to);
-  if (drop_rate_ > 0 && sample_uniform() < drop_rate_) return;
-  if (fault && fault->drop > 0 && sample_uniform() < fault->drop) return;
+  if (drop_rate_ > 0 && sample_uniform() < drop_rate_) {
+    trace_event(msg, "net.drop", "ambient loss");
+    return;
+  }
+  if (fault && fault->drop > 0 && sample_uniform() < fault->drop) {
+    trace_event(msg, "net.drop", "link fault loss");
+    return;
+  }
 
   SimTime delay = latency_->one_way_ms(msg.from, msg.to, rng_);
   if (fault) {
@@ -51,6 +76,7 @@ void Network::send(Message msg) {
     if (fault->reorder > 0 && sample_uniform() < fault->reorder) {
       // Hold this message back so later sends on the link overtake it.
       delay += sample_uniform() * fault->reorder_hold_ms;
+      trace_event(msg, "net.reorder", "held back");
     }
   }
   const bool duplicate =
@@ -58,6 +84,7 @@ void Network::send(Message msg) {
   if (duplicate) {
     SimTime dup_delay = latency_->one_way_ms(msg.from, msg.to, rng_) +
                         fault->extra_latency_ms;
+    trace_event(msg, "net.dup", "spurious extra copy");
     deliver_copy(msg, dup_delay, wire_bytes);  // the spurious extra copy
   }
   deliver_copy(std::move(msg), delay, wire_bytes);

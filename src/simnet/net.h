@@ -24,6 +24,7 @@
 
 #include "bn/rng.h"
 #include "metrics/stats.h"
+#include "obs/trace.h"
 #include "simnet/models.h"
 #include "simnet/sim.h"
 
@@ -31,11 +32,17 @@ namespace p2pcash::simnet {
 
 /// A typed message. The payload is an opaque canonical encoding; `type`
 /// selects the handler on the receiving actor.
+///
+/// `trace` is the causal trace context the message propagates (simulator
+/// metadata, not wire bytes: it is never encoded and never counted, so
+/// tracing cannot perturb the byte accounting).  Duplicated and reordered
+/// deliveries carry the same context as the original send.
 struct Message {
   NodeId from = 0;
   NodeId to = 0;
   std::string type;
   std::vector<std::uint8_t> payload;
+  obs::TraceContext trace;
 };
 
 /// A network endpoint. Subclasses implement on_message.
@@ -77,6 +84,14 @@ class Network {
   WireFormat wire_format() const { return format_; }
   /// The network's RNG stream (latency/drops/compute jitter).
   bn::Rng& rng() { return rng_; }
+
+  /// Attaches (or detaches, with nullptr) a tracer.  While attached, every
+  /// network anomaly that touches a traced message — drop, duplicate,
+  /// reorder hold, loss to a down node — is recorded as an event on the
+  /// message's span, so a trace explains exactly why a retry fired.  The
+  /// tracer must outlive the network or be detached first.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
 
   /// Registers a node and assigns its id.
   NodeId attach(Node& node);
@@ -126,10 +141,15 @@ class Network {
   /// Schedules one delivered copy of msg after `delay`.
   void deliver_copy(Message msg, SimTime delay, std::size_t wire_bytes);
 
+  /// Records a net.* anomaly event for msg when tracing is on.
+  void trace_event(const Message& msg, std::string_view name,
+                   std::string_view detail);
+
   Simulator& sim_;
   std::unique_ptr<LatencyModel> latency_;
   bn::Rng& rng_;
   WireFormat format_;
+  obs::Tracer* tracer_ = nullptr;
   std::vector<Node*> nodes_;
   std::set<NodeId> down_;
   double drop_rate_ = 0;

@@ -205,7 +205,7 @@ TEST(Actors, DepositOverNetwork) {
   queue[0].encode(w);
   world.net().send(simnet::Message{world.merchant_node(target),
                                    world.directory().broker, "deposit.submit",
-                                   w.take()});
+                                   w.take(), {}});
   world.sim().run();
   EXPECT_EQ(world.broker().coins_deposited(), 1u);
   EXPECT_EQ(world.broker().account(target)->balance, 100);

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "actors/world.h"
+#include "obs/trace.h"
 #include "overlay/chord.h"
 
 namespace p2pcash::actors {
@@ -44,6 +45,9 @@ struct ChaosRun {
   std::vector<std::string> plan_log;
   std::vector<std::string> violations;
   metrics::ResilienceCounters totals;
+  /// JSONL trace of the offending payments (meta record + spans/events),
+  /// captured only when the run violated an invariant.
+  std::string trace_jsonl;
 };
 
 void report_failure(const ChaosRun& run) {
@@ -52,9 +56,18 @@ void report_failure(const ChaosRun& run) {
   text += "fault schedule:\n";
   for (const auto& line : run.plan_log) text += "  " + line + "\n";
   text += "counters: " + run.totals.to_string() + "\n";
-  const char* path = std::getenv("P2PCASH_CHAOS_ARTIFACT");
-  std::ofstream out(path ? path : "chaos_failures.txt", std::ios::app);
+  const char* env = std::getenv("P2PCASH_CHAOS_ARTIFACT");
+  const std::string path = env ? env : "chaos_failures.txt";
+  std::ofstream out(path, std::ios::app);
   out << text << "\n";
+  if (!run.trace_jsonl.empty()) {
+    // The payment's causal history rides along with the schedule so the
+    // seed can be diagnosed without re-running it.
+    const std::string trace_path = path + ".trace.jsonl";
+    std::ofstream trace_out(trace_path, std::ios::app);
+    trace_out << run.trace_jsonl;
+    text += "trace: " + trace_path + "\n";
+  }
   ADD_FAILURE() << text
                 << "reproduce: run_chaos_schedule(" << run.seed << ")";
 }
@@ -76,6 +89,7 @@ ChaosRun run_chaos_schedule(std::uint64_t seed) {
   opt.broker.witness_n = static_cast<std::uint8_t>(1 + seed % 3);
   opt.broker.witness_k = static_cast<std::uint8_t>(
       opt.broker.witness_n == 3 ? 2 : opt.broker.witness_n);
+  opt.trace = true;  // every payment's causal history, dumped on violation
   SimWorld world(grp, opt);
 
   // Three spender clients plus an accomplice that replays client 0's coin
@@ -120,6 +134,7 @@ ChaosRun run_chaos_schedule(std::uint64_t seed) {
     bool done = false;
     bool accepted = false;
     std::string error;
+    obs::TraceId trace_id = 0;
   };
   std::vector<PayOutcome> outcomes(clients.size() + 1);
   const SimTime pay_deadline = 20'000;
@@ -130,6 +145,7 @@ ChaosRun run_chaos_schedule(std::uint64_t seed) {
           [&outcomes, i](ClientActor::PayResult r) {
             outcomes[i].done = true;
             outcomes[i].accepted = r.accepted;
+            outcomes[i].trace_id = r.trace_id;
             if (r.error) outcomes[i].error = *r.error;
           },
           pay_deadline);
@@ -142,24 +158,34 @@ ChaosRun run_chaos_schedule(std::uint64_t seed) {
         [&outcomes, last](ClientActor::PayResult r) {
           outcomes[last].done = true;
           outcomes[last].accepted = r.accepted;
+          outcomes[last].trace_id = r.trace_id;
           if (r.error) outcomes[last].error = *r.error;
         },
         pay_deadline);
   });
   world.sim().run();
 
-  // CLEAN: every payment resolved, accepted or with a diagnostic.
+  // CLEAN: every payment resolved, accepted or with a diagnostic.  A
+  // payment implicated in a violation has its trace id remembered so the
+  // failure artifact can carry the causal history.
+  std::vector<obs::TraceId> offending;
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const std::size_t before = run.violations.size();
     check(outcomes[i].done,
           "payment " + std::to_string(i) + " never resolved");
     if (outcomes[i].done && !outcomes[i].accepted)
       check(!outcomes[i].error.empty(),
             "payment " + std::to_string(i) + " failed without diagnostic");
+    if (run.violations.size() != before && outcomes[i].trace_id)
+      offending.push_back(outcomes[i].trace_id);
   }
   // SAFETY: coin 0 was spent from two wallets at two merchants — at most
   // one may have been accepted.
-  check(!(outcomes[0].accepted && outcomes[last].accepted),
-        "double spend: coin 0 accepted at two merchants");
+  if (outcomes[0].accepted && outcomes[last].accepted) {
+    run.violations.push_back("double spend: coin 0 accepted at two merchants");
+    for (std::size_t i : {std::size_t{0}, last})
+      if (outcomes[i].trace_id) offending.push_back(outcomes[i].trace_id);
+  }
 
   // LIVENESS: all faults are cleared/healed by the horizon; a fresh client
   // must be able to withdraw and pay.
@@ -181,6 +207,8 @@ ChaosRun run_chaos_schedule(std::uint64_t seed) {
     check(result.has_value() && result->accepted,
           "post-heal payment failed: " +
               (result && result->error ? *result->error : "no result"));
+    if (result && !result->accepted && result->trace_id)
+      offending.push_back(result->trace_id);
   }
 
   // Deposits: every merchant flushes; the broker must credit each serviced
@@ -202,6 +230,17 @@ ChaosRun run_chaos_schedule(std::uint64_t seed) {
         "a witness signed two transcripts for one coin");
 
   run.totals = world.resilience_totals();
+  if (!run.violations.empty()) {
+    // Offending payments' traces if any were implicated directly; the
+    // whole retained window for world-level violations (lost deposit,
+    // undrained queue) where no single payment is to blame.
+    std::string traces;
+    for (obs::TraceId t : offending) traces += world.trace_sink().trace_jsonl(t);
+    if (traces.empty()) traces = world.trace_sink().to_jsonl();
+    run.trace_jsonl = "{\"kind\":\"meta\",\"seed\":" + std::to_string(seed) +
+                      ",\"source\":\"chaos_test\",\"offending_traces\":" +
+                      std::to_string(offending.size()) + "}\n" + traces;
+  }
   return run;
 }
 

@@ -119,6 +119,26 @@ TEST(ByteCounter, Accumulates) {
   EXPECT_EQ(c.total(), 0u);
 }
 
+TEST(Counters, ThreadTotalsAccumulateEvenWhenSuspended) {
+  reset_thread_op_totals();
+  count_exp(2);  // no scope active: totals still advance
+  {
+    OpCounters ops;
+    ScopedOpCounting guard(ops);
+    count_hash(3);
+    {
+      ScopedSuspendOpCounting suspend;
+      count_sig(5);  // invisible to the scope, visible to the totals
+    }
+  }
+  const OpCounters& totals = thread_op_totals();
+  EXPECT_EQ(totals.exp, 2u);
+  EXPECT_EQ(totals.hash, 3u);
+  EXPECT_EQ(totals.sig, 5u);
+  reset_thread_op_totals();
+  EXPECT_EQ(thread_op_totals(), OpCounters{});
+}
+
 TEST(ResilienceCounters, AccumulatesAndFormats) {
   ResilienceCounters a;
   EXPECT_EQ(a, ResilienceCounters{});
@@ -140,6 +160,22 @@ TEST(ResilienceCounters, AccumulatesAndFormats) {
   EXPECT_EQ(a.to_string(),
             "retries=4 failovers=1 dup_suppressed=4 breaker_trips=1 "
             "timeouts=2 late_ignored=5");
+}
+
+TEST(ResilienceCounters, SnapshotDiffAndReset) {
+  ResilienceCounters before;
+  before.retries = 2;
+  before.timeouts = 1;
+  ResilienceCounters after = before;
+  after.retries = 5;
+  after.failovers = 3;
+  after.timeouts = 1;
+  const ResilienceCounters delta = after - before;
+  EXPECT_EQ(delta.retries, 3u);
+  EXPECT_EQ(delta.failovers, 3u);
+  EXPECT_EQ(delta.timeouts, 0u);
+  after.reset();
+  EXPECT_EQ(after, ResilienceCounters{});
 }
 
 }  // namespace

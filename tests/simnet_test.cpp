@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "crypto/chacha.h"
+#include "obs/trace.h"
 #include "simnet/fault.h"
 #include "simnet/net.h"
 
@@ -115,7 +116,7 @@ class NetFixture : public ::testing::Test {
 };
 
 TEST_F(NetFixture, DeliversWithLatency) {
-  net_.send(Message{a_.id(), b_.id(), "ping", {1, 2, 3}});
+  net_.send(Message{a_.id(), b_.id(), "ping", {1, 2, 3}, {}});
   sim_.run();
   ASSERT_EQ(b_.received.size(), 1u);
   EXPECT_EQ(b_.received[0].type, "ping");
@@ -125,17 +126,17 @@ TEST_F(NetFixture, DeliversWithLatency) {
 
 TEST_F(NetFixture, DownNodeDropsSilently) {
   net_.set_down(b_.id(), true);
-  net_.send(Message{a_.id(), b_.id(), "ping", {}});
+  net_.send(Message{a_.id(), b_.id(), "ping", {}, {}});
   sim_.run();
   EXPECT_TRUE(b_.received.empty());
   net_.set_down(b_.id(), false);
-  net_.send(Message{a_.id(), b_.id(), "ping", {}});
+  net_.send(Message{a_.id(), b_.id(), "ping", {}, {}});
   sim_.run();
   EXPECT_EQ(b_.received.size(), 1u);
 }
 
 TEST_F(NetFixture, NodeGoingDownInFlightLosesMessage) {
-  net_.send(Message{a_.id(), b_.id(), "ping", {}});
+  net_.send(Message{a_.id(), b_.id(), "ping", {}, {}});
   sim_.schedule(5, [&] { net_.set_down(b_.id(), true); });
   sim_.run();
   EXPECT_TRUE(b_.received.empty());
@@ -144,14 +145,14 @@ TEST_F(NetFixture, NodeGoingDownInFlightLosesMessage) {
 TEST_F(NetFixture, DropRateLosesSomeMessages) {
   net_.set_drop_rate(0.5);
   for (int i = 0; i < 100; ++i)
-    net_.send(Message{a_.id(), b_.id(), "ping", {}});
+    net_.send(Message{a_.id(), b_.id(), "ping", {}, {}});
   sim_.run();
   EXPECT_GT(b_.received.size(), 20u);
   EXPECT_LT(b_.received.size(), 80u);
 }
 
 TEST_F(NetFixture, ByteAccountingBothEnds) {
-  net_.send(Message{a_.id(), b_.id(), "ping", std::vector<std::uint8_t>(96)});
+  net_.send(Message{a_.id(), b_.id(), "ping", std::vector<std::uint8_t>(96), {}});
   sim_.run();
   const std::size_t expected = encoded_size(WireFormat::kBinary, 4, 96);
   EXPECT_EQ(net_.bytes_sent(a_.id()), expected);
@@ -164,35 +165,35 @@ TEST_F(NetFixture, ByteAccountingBothEnds) {
 TEST_F(NetFixture, SenderBytesCountedEvenWhenDropped) {
   // The sender pays for bytes it puts on the wire, delivered or not.
   net_.set_down(b_.id(), true);
-  net_.send(Message{a_.id(), b_.id(), "ping", std::vector<std::uint8_t>(10)});
+  net_.send(Message{a_.id(), b_.id(), "ping", std::vector<std::uint8_t>(10), {}});
   sim_.run();
   EXPECT_GT(net_.bytes_sent(a_.id()), 0u);
   EXPECT_EQ(net_.bytes_received(b_.id()), 0u);
 }
 
 TEST_F(NetFixture, UnknownDestinationThrows) {
-  EXPECT_THROW(net_.send(Message{a_.id(), 99, "x", {}}),
+  EXPECT_THROW(net_.send(Message{a_.id(), 99, "x", {}, {}}),
                std::invalid_argument);
 }
 
 TEST_F(NetFixture, LinkFaultDropLosesOnlyThatDirection) {
   net_.set_link_fault(a_.id(), b_.id(), LinkFault{.drop = 1.0});
   for (int i = 0; i < 10; ++i) {
-    net_.send(Message{a_.id(), b_.id(), "ping", {}});
-    net_.send(Message{b_.id(), a_.id(), "pong", {}});
+    net_.send(Message{a_.id(), b_.id(), "ping", {}, {}});
+    net_.send(Message{b_.id(), a_.id(), "pong", {}, {}});
   }
   sim_.run();
   EXPECT_TRUE(b_.received.empty());       // faulted direction
   EXPECT_EQ(a_.received.size(), 10u);     // reverse direction untouched
   net_.clear_link_fault(a_.id(), b_.id());
-  net_.send(Message{a_.id(), b_.id(), "ping", {}});
+  net_.send(Message{a_.id(), b_.id(), "ping", {}, {}});
   sim_.run();
   EXPECT_EQ(b_.received.size(), 1u);
 }
 
 TEST_F(NetFixture, LinkFaultExtraLatencyDelaysDelivery) {
   net_.set_link_fault(a_.id(), b_.id(), LinkFault{.extra_latency_ms = 90});
-  net_.send(Message{a_.id(), b_.id(), "ping", {}});
+  net_.send(Message{a_.id(), b_.id(), "ping", {}, {}});
   sim_.run();
   ASSERT_EQ(b_.received.size(), 1u);
   EXPECT_DOUBLE_EQ(sim_.now(), 100);  // 10 base + 90 extra
@@ -200,7 +201,7 @@ TEST_F(NetFixture, LinkFaultExtraLatencyDelaysDelivery) {
 
 TEST_F(NetFixture, LinkFaultDuplicateDeliversTwoCopies) {
   net_.set_link_fault(a_.id(), b_.id(), LinkFault{.duplicate = 1.0});
-  net_.send(Message{a_.id(), b_.id(), "ping", {7}});
+  net_.send(Message{a_.id(), b_.id(), "ping", {7}, {}});
   sim_.run();
   ASSERT_EQ(b_.received.size(), 2u);
   EXPECT_EQ(b_.received[0].payload, b_.received[1].payload);
@@ -211,13 +212,72 @@ TEST_F(NetFixture, LinkFaultReorderLetsLaterSendOvertake) {
   // (constant 10 ms base latency makes the schedule deterministic).
   net_.set_link_fault(a_.id(), b_.id(),
                       LinkFault{.reorder = 1.0, .reorder_hold_ms = 50});
-  net_.send(Message{a_.id(), b_.id(), "first", {}});
+  net_.send(Message{a_.id(), b_.id(), "first", {}, {}});
   net_.clear_link_fault(a_.id(), b_.id());
-  net_.send(Message{a_.id(), b_.id(), "second", {}});
+  net_.send(Message{a_.id(), b_.id(), "second", {}, {}});
   sim_.run();
   ASSERT_EQ(b_.received.size(), 2u);
   EXPECT_EQ(b_.received[0].type, "second");
   EXPECT_EQ(b_.received[1].type, "first");
+}
+
+// Trace-context propagation: the context is simulator metadata attached to
+// the Message, so every delivered copy — including spurious duplicates and
+// reordered stragglers — must carry the ORIGINAL send's context unchanged.
+TEST_F(NetFixture, TraceContextSurvivesDuplication) {
+  const obs::TraceContext ctx{42, 7};
+  net_.set_link_fault(a_.id(), b_.id(), LinkFault{.duplicate = 1.0});
+  net_.send(Message{a_.id(), b_.id(), "ping", {1}, ctx});
+  sim_.run();
+  ASSERT_EQ(b_.received.size(), 2u);
+  EXPECT_EQ(b_.received[0].trace, ctx);
+  EXPECT_EQ(b_.received[1].trace, ctx);
+}
+
+TEST_F(NetFixture, TraceContextSurvivesReordering) {
+  const obs::TraceContext held{1, 10};
+  const obs::TraceContext fast{2, 20};
+  net_.set_link_fault(a_.id(), b_.id(),
+                      LinkFault{.reorder = 1.0, .reorder_hold_ms = 50});
+  net_.send(Message{a_.id(), b_.id(), "first", {}, held});
+  net_.clear_link_fault(a_.id(), b_.id());
+  net_.send(Message{a_.id(), b_.id(), "second", {}, fast});
+  sim_.run();
+  ASSERT_EQ(b_.received.size(), 2u);
+  // The overtaking message and the straggler each keep their own context.
+  EXPECT_EQ(b_.received[0].type, "second");
+  EXPECT_EQ(b_.received[0].trace, fast);
+  EXPECT_EQ(b_.received[1].type, "first");
+  EXPECT_EQ(b_.received[1].trace, held);
+}
+
+// With a tracer attached, network anomalies on traced messages become
+// events on the message's span — and tracing must not change what is
+// delivered or counted.
+TEST_F(NetFixture, TracerRecordsAnomalyEventsWithoutPerturbingDelivery) {
+  obs::TraceSink sink;
+  obs::Tracer tracer([this]() { return sim_.now(); }, &sink);
+  net_.set_tracer(&tracer);
+  const auto span = tracer.start_root("payment", a_.id());
+
+  net_.set_link_fault(a_.id(), b_.id(), LinkFault{.duplicate = 1.0});
+  net_.send(Message{a_.id(), b_.id(), "ping", {1}, span});
+  sim_.run();  // deliver both copies before the receiver goes down
+  net_.clear_link_fault(a_.id(), b_.id());
+  net_.set_down(b_.id(), true);
+  net_.send(Message{a_.id(), b_.id(), "ping", {2}, span});
+  // Untraced messages never generate events, even through faults.
+  net_.send(Message{a_.id(), b_.id(), "ping", {3}, {}});
+  sim_.run();
+
+  tracer.end_span(span);
+  const std::string jsonl = sink.to_jsonl();
+  EXPECT_NE(jsonl.find("net.dup"), std::string::npos);
+  EXPECT_NE(jsonl.find("net.drop"), std::string::npos);
+  EXPECT_EQ(sink.event_count(), 2u);  // one dup + one drop, nothing else
+  ASSERT_EQ(b_.received.size(), 2u);  // both copies of the traced send
+  EXPECT_EQ(net_.messages_sent(a_.id()), 3u);
+  net_.set_tracer(nullptr);
 }
 
 // Satellite of the chaos PR: the byte-accounting contract must hold exactly
@@ -228,11 +288,11 @@ TEST_F(NetFixture, ByteCountersExactUnderDropsAndDuplicates) {
   // 5 sends on a link that drops everything.
   net_.set_link_fault(a_.id(), b_.id(), LinkFault{.drop = 1.0});
   for (int i = 0; i < 5; ++i)
-    net_.send(Message{a_.id(), b_.id(), "ping", std::vector<std::uint8_t>(32)});
+    net_.send(Message{a_.id(), b_.id(), "ping", std::vector<std::uint8_t>(32), {}});
   // 3 sends on a link that duplicates everything.
   net_.set_link_fault(a_.id(), b_.id(), LinkFault{.duplicate = 1.0});
   for (int i = 0; i < 3; ++i)
-    net_.send(Message{a_.id(), b_.id(), "ping", std::vector<std::uint8_t>(32)});
+    net_.send(Message{a_.id(), b_.id(), "ping", std::vector<std::uint8_t>(32), {}});
   sim_.run();
   EXPECT_EQ(net_.messages_sent(a_.id()), 8u);      // one per send() call
   EXPECT_EQ(net_.bytes_sent(a_.id()), 8 * wire);   // sender pays once each
@@ -244,14 +304,14 @@ TEST_F(NetFixture, PartitionCutsCrossTrafficAndHeals) {
   net_.set_partition({{a_.id()}, {b_.id()}});
   EXPECT_TRUE(net_.partitioned());
   EXPECT_TRUE(net_.partition_separates(a_.id(), b_.id()));
-  net_.send(Message{a_.id(), b_.id(), "ping", {}});
-  net_.send(Message{b_.id(), a_.id(), "pong", {}});
+  net_.send(Message{a_.id(), b_.id(), "ping", {}, {}});
+  net_.send(Message{b_.id(), a_.id(), "pong", {}, {}});
   sim_.run();
   EXPECT_TRUE(a_.received.empty());
   EXPECT_TRUE(b_.received.empty());
   net_.heal_partition();
   EXPECT_FALSE(net_.partition_separates(a_.id(), b_.id()));
-  net_.send(Message{a_.id(), b_.id(), "ping", {}});
+  net_.send(Message{a_.id(), b_.id(), "ping", {}, {}});
   sim_.run();
   EXPECT_EQ(b_.received.size(), 1u);
 }
@@ -271,8 +331,8 @@ TEST_F(NetFixture, FaultPlanCrashRunsHooksInOrder) {
       });
   plan.schedule_crash(b_.id(), 100, 300);
   // Message during the outage vanishes; after restart traffic flows.
-  sim_.schedule(150, [&] { net_.send(Message{a_.id(), b_.id(), "lost", {}}); });
-  sim_.schedule(350, [&] { net_.send(Message{a_.id(), b_.id(), "ok", {}}); });
+  sim_.schedule(150, [&] { net_.send(Message{a_.id(), b_.id(), "lost", {}, {}}); });
+  sim_.schedule(350, [&] { net_.send(Message{a_.id(), b_.id(), "ok", {}, {}}); });
   sim_.run();
   EXPECT_EQ(events, (std::vector<std::string>{"crash", "restart"}));
   ASSERT_EQ(b_.received.size(), 1u);
@@ -294,11 +354,11 @@ TEST_F(NetFixture, FaultPlanSchedulesLinkFaultWindow) {
   EXPECT_EQ(net_.link_fault(a_.id(), b_.id()), nullptr);  // not yet active
   sim_.schedule(150, [&] {
     ASSERT_NE(net_.link_fault(a_.id(), b_.id()), nullptr);
-    net_.send(Message{a_.id(), b_.id(), "during", {}});
+    net_.send(Message{a_.id(), b_.id(), "during", {}, {}});
   });
   sim_.schedule(250, [&] {
     EXPECT_EQ(net_.link_fault(a_.id(), b_.id()), nullptr);  // cleared
-    net_.send(Message{a_.id(), b_.id(), "after", {}});
+    net_.send(Message{a_.id(), b_.id(), "after", {}, {}});
   });
   sim_.run();
   ASSERT_EQ(b_.received.size(), 1u);
@@ -310,11 +370,11 @@ TEST_F(NetFixture, FaultPlanSchedulesPartitionWithHeal) {
   plan.schedule_partition("split", {{a_.id()}, {b_.id()}}, 100, 200);
   sim_.schedule(150, [&] {
     EXPECT_TRUE(net_.partition_separates(a_.id(), b_.id()));
-    net_.send(Message{a_.id(), b_.id(), "during", {}});
+    net_.send(Message{a_.id(), b_.id(), "during", {}, {}});
   });
   sim_.schedule(250, [&] {
     EXPECT_FALSE(net_.partitioned());
-    net_.send(Message{a_.id(), b_.id(), "after", {}});
+    net_.send(Message{a_.id(), b_.id(), "after", {}, {}});
   });
   sim_.run();
   ASSERT_EQ(b_.received.size(), 1u);

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Renders a JSONL trace (see src/obs/trace.h) as per-payment timelines.
+
+Usage:
+  tools/trace2timeline.py TRACE_payment.jsonl [--out FILE] [--trace ID]
+
+For every trace id in the file, prints the span tree with start/duration
+and a proportional bar, interleaving events at their timestamps:
+
+  trace 2  (payment, 235.4 ms)
+    [  159.2 ms +   0.0 ms] assign_witness        node 9  |
+    [  159.3 ms +  88.3 ms] payment_commit        node 9  |#####     |
+      ev 190.1 ms rpc.retry  re-requesting commitment ...
+
+Spans whose parent span is missing from the file (ring-buffer eviction)
+are attached to the trace root and marked "(orphan)".
+"""
+
+import json
+import sys
+
+
+def load(path):
+    spans, events, metas = [], [], []
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("kind")
+            if kind == "span":
+                spans.append(record)
+            elif kind == "event":
+                events.append(record)
+            elif kind == "meta":
+                metas.append(record)
+    return spans, events, metas
+
+
+def render_trace(trace_id, spans, events, out):
+    by_id = {s["span"]: s for s in spans}
+    children = {}
+    roots = []
+    for s in spans:
+        parent = s.get("parent", 0)
+        if parent and parent in by_id:
+            children.setdefault(parent, []).append(s)
+        else:
+            roots.append(s)
+    roots.sort(key=lambda s: (s["start_ms"], s["span"]))
+    for kids in children.values():
+        kids.sort(key=lambda s: (s["start_ms"], s["span"]))
+    events_by_span = {}
+    for e in events:
+        events_by_span.setdefault(e["span"], []).append(e)
+    for evs in events_by_span.values():
+        evs.sort(key=lambda e: e["t_ms"])
+
+    t0 = min(s["start_ms"] for s in spans)
+    t1 = max(s["end_ms"] for s in spans)
+    total = max(t1 - t0, 1e-9)
+    root_names = ", ".join(r["name"] for r in roots) or "?"
+    out.write(f"trace {trace_id}  ({root_names}, {t1 - t0:.1f} ms)\n")
+
+    bar_width = 30
+
+    def bar(s):
+        lead = int(bar_width * (s["start_ms"] - t0) / total)
+        span_len = int(bar_width * (s["end_ms"] - s["start_ms"]) / total)
+        fill = max(span_len, 1) if s["end_ms"] > s["start_ms"] else 1
+        fill = min(fill, bar_width - lead) if lead < bar_width else 0
+        return "|" + " " * lead + "#" * fill + \
+               " " * (bar_width - lead - fill) + "|"
+
+    def emit(s, depth, orphan=False):
+        indent = "  " * (depth + 1)
+        dur = s["end_ms"] - s["start_ms"]
+        mark = " (orphan)" if orphan else ""
+        status = "" if s["status"] == "ok" else f"  !{s['status']}"
+        out.write(
+            f"{indent}[{s['start_ms']:9.1f} ms +{dur:8.1f} ms] "
+            f"{s['name']:<22} node {s['node']:<3} {bar(s)}{status}{mark}\n"
+        )
+        for e in events_by_span.get(s["span"], []):
+            detail = f"  {e['detail']}" if e.get("detail") else ""
+            out.write(
+                f"{indent}  ev {e['t_ms']:9.1f} ms {e['name']}{detail}\n"
+            )
+        for child in children.get(s["span"], []):
+            emit(child, depth + 1)
+
+    for root in roots:
+        orphan = bool(root.get("parent", 0)) and \
+            root["parent"] not in by_id
+        emit(root, 0, orphan=orphan)
+
+
+def main(argv):
+    path = None
+    out_path = None
+    only_trace = None
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--out":
+            i += 1
+            out_path = argv[i]
+        elif arg.startswith("--out="):
+            out_path = arg.split("=", 1)[1]
+        elif arg == "--trace":
+            i += 1
+            only_trace = int(argv[i])
+        elif arg.startswith("--trace="):
+            only_trace = int(arg.split("=", 1)[1])
+        elif arg.startswith("-"):
+            print(f"trace2timeline: unknown flag {arg}", file=sys.stderr)
+            return 2
+        elif path is None:
+            path = arg
+        else:
+            print("trace2timeline: exactly one input file", file=sys.stderr)
+            return 2
+        i += 1
+    if path is None:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    spans, events, metas = load(path)
+    out = open(out_path, "w", encoding="utf-8") if out_path else sys.stdout
+    try:
+        for meta in metas:
+            pairs = " ".join(
+                f"{k}={v}" for k, v in sorted(meta.items()) if k != "kind"
+            )
+            out.write(f"meta {pairs}\n")
+        trace_ids = sorted({s["trace"] for s in spans})
+        if only_trace is not None:
+            trace_ids = [t for t in trace_ids if t == only_trace]
+        for trace_id in trace_ids:
+            render_trace(
+                trace_id,
+                [s for s in spans if s["trace"] == trace_id],
+                [e for e in events if e["trace"] == trace_id],
+                out,
+            )
+        if not trace_ids:
+            out.write("(no spans)\n")
+    finally:
+        if out_path:
+            out.close()
+            print(f"trace2timeline: wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

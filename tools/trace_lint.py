@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Schema check for the JSONL traces written by the obs layer.
+
+Usage:
+  tools/trace_lint.py TRACE_payment.jsonl [--require-phases a,b,c]
+
+Validates every line against the record schemas emitted by
+src/obs/trace.cpp and enforces the cross-record invariants a consumer
+(trace2timeline.py, the chaos-artifact dump) relies on:
+
+  * every record is a JSON object with a known "kind" (span / event / meta);
+  * spans carry trace/span/parent ids, a name, a node, start_ms <= end_ms
+    and a non-empty status;
+  * events carry trace/span ids, a timestamp and a name;
+  * span ids are unique across the file;
+  * every record's trace id is positive (0 means "untraced" and must never
+    be exported).
+
+With --require-phases, additionally checks that at least one span exists
+for each named phase — the end-to-end "the trace covers every protocol
+phase" acceptance gate in CI.
+
+Exit status: 0 clean, 1 validation errors, 2 usage/IO errors.
+"""
+
+import json
+import sys
+
+SPAN_FIELDS = {
+    "kind": str,
+    "trace": int,
+    "span": int,
+    "parent": int,
+    "name": str,
+    "node": int,
+    "start_ms": (int, float),
+    "end_ms": (int, float),
+    "status": str,
+}
+EVENT_FIELDS = {
+    "kind": str,
+    "trace": int,
+    "span": int,
+    "t_ms": (int, float),
+    "name": str,
+    "detail": str,
+}
+
+
+def check_fields(record, schema, lineno, errors):
+    for key, types in schema.items():
+        if key not in record:
+            errors.append(f"line {lineno}: missing field '{key}'")
+            continue
+        if not isinstance(record[key], types):
+            errors.append(
+                f"line {lineno}: field '{key}' has type "
+                f"{type(record[key]).__name__}"
+            )
+    for key in record:
+        if key not in schema:
+            errors.append(f"line {lineno}: unknown field '{key}'")
+
+
+def lint(path, require_phases):
+    errors = []
+    seen_span_ids = set()
+    phases_seen = set()
+    spans = events = 0
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"trace_lint: {e}", file=sys.stderr)
+        return 2
+
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            errors.append(f"line {lineno}: blank line")
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as e:
+            errors.append(f"line {lineno}: invalid JSON ({e})")
+            continue
+        if not isinstance(record, dict):
+            errors.append(f"line {lineno}: not a JSON object")
+            continue
+        kind = record.get("kind")
+        if kind == "span":
+            spans += 1
+            check_fields(record, SPAN_FIELDS, lineno, errors)
+            if isinstance(record.get("span"), int):
+                if record["span"] in seen_span_ids:
+                    errors.append(
+                        f"line {lineno}: duplicate span id {record['span']}"
+                    )
+                seen_span_ids.add(record["span"])
+            if isinstance(record.get("start_ms"), (int, float)) and isinstance(
+                record.get("end_ms"), (int, float)
+            ):
+                if record["end_ms"] < record["start_ms"]:
+                    errors.append(f"line {lineno}: end_ms < start_ms")
+            if record.get("status") == "":
+                errors.append(f"line {lineno}: empty status")
+            if isinstance(record.get("name"), str):
+                phases_seen.add(record["name"])
+        elif kind == "event":
+            events += 1
+            check_fields(record, EVENT_FIELDS, lineno, errors)
+        elif kind == "meta":
+            # Free-form context record (seed, schedule name) prepended by
+            # the chaos-artifact dump; only the kind tag is mandatory.
+            pass
+        else:
+            errors.append(f"line {lineno}: unknown kind {kind!r}")
+            continue
+        trace = record.get("trace")
+        if kind != "meta" and isinstance(trace, int) and trace <= 0:
+            errors.append(f"line {lineno}: non-positive trace id {trace}")
+
+    for phase in require_phases:
+        if phase not in phases_seen:
+            errors.append(f"required phase '{phase}' has no span")
+
+    for err in errors[:50]:
+        print(f"trace_lint: {path}: {err}", file=sys.stderr)
+    if len(errors) > 50:
+        print(
+            f"trace_lint: {path}: ... and {len(errors) - 50} more",
+            file=sys.stderr,
+        )
+    status = "FAIL" if errors else "ok"
+    print(
+        f"trace_lint: {path}: {spans} spans, {events} events, "
+        f"{len(errors)} error(s) [{status}]"
+    )
+    return 1 if errors else 0
+
+
+def main(argv):
+    path = None
+    require_phases = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--require-phases":
+            i += 1
+            if i >= len(argv):
+                print("trace_lint: --require-phases needs a value",
+                      file=sys.stderr)
+                return 2
+            require_phases += [p for p in argv[i].split(",") if p]
+        elif arg.startswith("--require-phases="):
+            require_phases += [
+                p for p in arg.split("=", 1)[1].split(",") if p
+            ]
+        elif arg.startswith("-"):
+            print(f"trace_lint: unknown flag {arg}", file=sys.stderr)
+            return 2
+        elif path is None:
+            path = arg
+        else:
+            print("trace_lint: exactly one input file", file=sys.stderr)
+            return 2
+        i += 1
+    if path is None:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    return lint(path, require_phases)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
