@@ -194,7 +194,7 @@ class ClientActor final : public ProtocolActor {
   void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
   const RetryPolicy& retry_policy() const { return retry_; }
   void set_breaker_config(const PeerHealth::Config& config) {
-    health_ = PeerHealth(config);
+    health_.configure(config);
   }
   PeerHealth& health() { return health_; }
   /// Retry/failover/duplicate accounting for this client.

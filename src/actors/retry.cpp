@@ -14,7 +14,15 @@ simnet::SimTime RetryPolicy::next_backoff(simnet::SimTime prev_ms,
   return lo + u * (hi - lo);
 }
 
+void PeerHealth::configure(Config config) {
+  sync::MutexLock lock(mu_);
+  config_ = config;
+  peers_.clear();
+  trips_ = 0;
+}
+
 bool PeerHealth::allow(simnet::NodeId peer, simnet::SimTime now) {
+  sync::MutexLock lock(mu_);
   auto it = peers_.find(peer);
   if (it == peers_.end() || !it->second.open) return true;
   State& s = it->second;
@@ -25,9 +33,13 @@ bool PeerHealth::allow(simnet::NodeId peer, simnet::SimTime now) {
   return false;
 }
 
-void PeerHealth::record_success(simnet::NodeId peer) { peers_.erase(peer); }
+void PeerHealth::record_success(simnet::NodeId peer) {
+  sync::MutexLock lock(mu_);
+  peers_.erase(peer);
+}
 
 bool PeerHealth::record_failure(simnet::NodeId peer, simnet::SimTime now) {
+  sync::MutexLock lock(mu_);
   State& s = peers_[peer];
   if (s.open) {
     if (!s.probing) return false;  // failure of a pre-open attempt
@@ -46,6 +58,7 @@ bool PeerHealth::record_failure(simnet::NodeId peer, simnet::SimTime now) {
 }
 
 bool PeerHealth::is_open(simnet::NodeId peer, simnet::SimTime now) const {
+  sync::MutexLock lock(mu_);
   auto it = peers_.find(peer);
   return it != peers_.end() && it->second.open && now < it->second.open_until;
 }

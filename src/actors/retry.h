@@ -23,6 +23,7 @@
 #include "bn/rng.h"
 #include "simnet/models.h"
 #include "simnet/sim.h"
+#include "sync/annotated.h"
 
 namespace p2pcash::actors {
 
@@ -51,6 +52,10 @@ struct RetryPolicy {
 /// half-open --success--> closed;  --failure--> open again (re-trip)
 ///
 /// Any success fully closes the breaker and resets the failure count.
+///
+/// Internally locked: breaker state is check-then-update (allow() admits
+/// exactly one half-open probe), so concurrent RPC completions must not
+/// interleave inside a transition.
 class PeerHealth {
  public:
   struct Config {
@@ -60,6 +65,10 @@ class PeerHealth {
 
   PeerHealth() = default;
   explicit PeerHealth(Config config) : config_(config) {}
+
+  /// Replaces the config and resets all breaker state (same semantics as
+  /// constructing a fresh PeerHealth with `config`).
+  void configure(Config config);
 
   /// True if a request to `peer` may be sent now.  While open, admits a
   /// single half-open probe once open_ms has elapsed.
@@ -71,7 +80,10 @@ class PeerHealth {
   bool record_failure(simnet::NodeId peer, simnet::SimTime now);
 
   bool is_open(simnet::NodeId peer, simnet::SimTime now) const;
-  std::uint64_t trips() const { return trips_; }
+  std::uint64_t trips() const {
+    sync::MutexLock lock(mu_);
+    return trips_;
+  }
 
  private:
   struct State {
@@ -81,9 +93,10 @@ class PeerHealth {
     simnet::SimTime open_until = 0;
   };
 
-  Config config_;
-  std::map<simnet::NodeId, State> peers_;
-  std::uint64_t trips_ = 0;
+  mutable sync::Mutex mu_{"actors.peer_health", sync::level::kActors};
+  Config config_ P2P_GUARDED_BY(mu_);
+  std::map<simnet::NodeId, State> peers_ P2P_GUARDED_BY(mu_);
+  std::uint64_t trips_ P2P_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace p2pcash::actors

@@ -27,25 +27,25 @@ Broker::Broker(group::SchnorrGroup grp, bn::Rng& rng, Config config)
 
 void Broker::register_merchant(const MerchantId& id, const sig::PublicKey& key,
                                Cents security_deposit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   auto& account = accounts_[id];
   account.key = key;
   account.deposit_remaining = security_deposit;
 }
 
 bool Broker::is_registered(const MerchantId& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   return accounts_.contains(id);
 }
 
 const Broker::MerchantAccount* Broker::account(const MerchantId& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   auto it = accounts_.find(id);
   return it == accounts_.end() ? nullptr : &it->second;
 }
 
 void Broker::set_weight(const MerchantId& id, std::uint64_t weight) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   auto it = accounts_.find(id);
   if (it == accounts_.end())
     throw std::invalid_argument("Broker::set_weight: unknown merchant");
@@ -55,7 +55,7 @@ void Broker::set_weight(const MerchantId& id, std::uint64_t weight) {
 }
 
 const WitnessTable& Broker::publish_witness_table(Timestamp now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   std::vector<WitnessTable::Participant> participants;
   for (const auto& [id, account] : accounts_) {
     if (account.flagged) continue;  // caught cheating: out of the rotation
@@ -70,14 +70,14 @@ const WitnessTable& Broker::publish_witness_table(Timestamp now) {
 }
 
 const WitnessTable& Broker::current_table() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   if (tables_.empty())
     throw std::logic_error("Broker: no witness table published yet");
   return tables_.back();
 }
 
 const WitnessTable* Broker::table(std::uint32_t version) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   return table_unlocked(version);
 }
 
@@ -100,7 +100,7 @@ CoinInfo Broker::make_info(Cents denomination, Timestamp now) const {
 
 Outcome<Broker::WithdrawalOffer> Broker::start_withdrawal(Cents denomination,
                                                           Timestamp now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   if (tables_.empty())
     return Refusal{RefusalReason::kInternal, "no witness table published"};
   if (denomination == 0)
@@ -118,7 +118,7 @@ Outcome<Broker::WithdrawalOffer> Broker::start_withdrawal(Cents denomination,
 Outcome<Broker::WithdrawalOffer> Broker::start_withdrawal_escrowed(
     Cents denomination, const std::string& client_identity,
     const bn::BigInt& escrow_authority_y, Timestamp now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   if (tables_.empty())
     return Refusal{RefusalReason::kInternal, "no witness table published"};
   if (denomination == 0)
@@ -139,7 +139,7 @@ Outcome<Broker::WithdrawalOffer> Broker::start_withdrawal_escrowed(
 
 Outcome<blindsig::SignerResponse> Broker::finish_withdrawal(
     std::uint64_t session, const BigInt& e) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   auto it = withdrawal_sessions_.find(session);
   if (it == withdrawal_sessions_.end()) {
     // Idempotent retry: the same challenge on an answered session re-issues
@@ -249,7 +249,7 @@ Outcome<std::vector<MerchantId>> Broker::validate_signed_transcript(
 Outcome<Broker::DepositReceipt> Broker::deposit(const MerchantId& depositor,
                                                 const SignedTranscript& st,
                                                 Timestamp now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   const PaymentTranscript& t = st.transcript;
   const CoinInfo& info = t.coin.bare.info;
 
@@ -327,7 +327,7 @@ Outcome<Broker::DepositReceipt> Broker::deposit(const MerchantId& depositor,
 Outcome<std::vector<Broker::WithdrawalOffer>> Broker::exchange(
     const SignedTranscript& st, const std::vector<Cents>& denominations,
     Timestamp now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   const PaymentTranscript& t = st.transcript;
   const CoinInfo& info = t.coin.bare.info;
   if (t.merchant != kBrokerCounterparty)
@@ -388,7 +388,7 @@ BigInt Broker::renewal_challenge(const Coin& coin,
 
 Outcome<Broker::RenewalOffer> Broker::start_renewal(Cents denomination,
                                                     Timestamp now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   if (tables_.empty())
     return Refusal{RefusalReason::kInternal, "no witness table published"};
   RenewalOffer offer;
@@ -403,7 +403,7 @@ Outcome<Broker::RenewalOffer> Broker::start_renewal(Cents denomination,
 Outcome<blindsig::SignerResponse> Broker::finish_renewal(
     std::uint64_t session, const BigInt& e, const Coin& old_coin,
     const nizk::Response& proof, Timestamp datetime, Timestamp now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   auto it = renewal_sessions_.find(session);
   if (it == renewal_sessions_.end())
     return Refusal{RefusalReason::kStaleRequest, "unknown renewal session"};
@@ -486,7 +486,7 @@ Outcome<blindsig::SignerResponse> Broker::finish_renewal(
 
 
 std::vector<std::uint8_t> Broker::snapshot_state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   wire::Writer w;
   w.put_string("p2pcash/broker-snapshot/v1");
   w.put_bigint(signer_.secret_x());
@@ -543,7 +543,7 @@ Hash256 snapshot_hash(wire::Reader& r) {
 }  // namespace
 
 void Broker::restore_state(std::span<const std::uint8_t> snapshot) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   wire::Reader r(snapshot);
   if (r.get_string() != "p2pcash/broker-snapshot/v1")
     throw wire::DecodeError("broker snapshot: bad magic");

@@ -31,14 +31,13 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "blindsig/abe_okamoto.h"
 #include "ecash/coin.h"
 #include "ecash/transcript.h"
 #include "ecash/witness_table.h"
+#include "sync/annotated.h"
 
 namespace p2pcash::ecash {
 
@@ -70,20 +69,28 @@ class Broker {
       : Broker(std::move(grp), rng, Config{}) {}
 
   Config config() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     return config_;
   }
   void set_config(const Config& config) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     config_ = config;
   }
 
   /// The broker's public key y = g^x — verifies both coin blind signatures
   /// and Sig_B on witness-range entries (one broker identity, as in the
   /// paper; the two uses are domain-separated in the hash).
-  const sig::PublicKey& public_key() const { return identity_.public_key(); }
-  sig::PublicKey coin_key() const { return identity_.public_key(); }
-  const sig::PublicKey& identity_key() const {
+  ///
+  /// Unlocked on purpose: the key pair changes only in restore_state(),
+  /// which requires the broker to be quiescent (no concurrent callers), so
+  /// these reads never race with the write.
+  const sig::PublicKey& public_key() const P2P_NO_THREAD_SAFETY_ANALYSIS {
+    return identity_.public_key();
+  }
+  sig::PublicKey coin_key() const P2P_NO_THREAD_SAFETY_ANALYSIS {
+    return identity_.public_key();
+  }
+  const sig::PublicKey& identity_key() const P2P_NO_THREAD_SAFETY_ANALYSIS {
     return identity_.public_key();
   }
 
@@ -202,28 +209,33 @@ class Broker {
 
   // ---- accounting / audit queries ----
 
-  /// Witness-fault proofs collected from double deposits.
-  const std::vector<WitnessFaultProof>& witness_faults() const {
+  /// Witness-fault proofs collected from double deposits.  Returns a
+  /// reference into live state: callers must hold no concurrent writers
+  /// (quiescent audit reads only), hence the analysis opt-out.
+  const std::vector<WitnessFaultProof>& witness_faults() const
+      P2P_NO_THREAD_SAFETY_ANALYSIS {
     return witness_faults_;
   }
-  /// Double-spend proofs extracted during renewal refusals.
-  const std::vector<DoubleSpendProof>& renewal_fraud_proofs() const {
+  /// Double-spend proofs extracted during renewal refusals.  Same
+  /// quiescence contract as witness_faults().
+  const std::vector<DoubleSpendProof>& renewal_fraud_proofs() const
+      P2P_NO_THREAD_SAFETY_ANALYSIS {
     return renewal_fraud_proofs_;
   }
   std::uint64_t coins_issued() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     return coins_issued_;
   }
   std::uint64_t coins_deposited() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     return deposits_.size();
   }
   std::int64_t fiat_collected() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     return fiat_collected_;
   }
   std::int64_t fiat_paid_out() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     return fiat_paid_out_;
   }
 
@@ -252,37 +264,41 @@ class Broker {
     Timestamp datetime;
   };
 
-  CoinInfo make_info(Cents denomination, Timestamp now) const;
+  CoinInfo make_info(Cents denomination, Timestamp now) const
+      P2P_REQUIRES(mu_);
   /// Lock-free table lookup for use inside already-locked entry points.
-  const WitnessTable* table_unlocked(std::uint32_t version) const;
+  const WitnessTable* table_unlocked(std::uint32_t version) const
+      P2P_REQUIRES(mu_);
   /// Validates witness entries against the broker's own published table.
   Outcome<std::monostate> check_witness_assignment(
-      const Coin& coin, const Hash256& coin_hash) const;
+      const Coin& coin, const Hash256& coin_hash) const P2P_REQUIRES(mu_);
   /// Deposit-grade validation of a signed transcript (windows, own blind
   /// signature, witness assignment, NIZK, >= witness_k valid endorsements).
   /// Returns the endorsing witnesses on success.
   Outcome<std::vector<MerchantId>> validate_signed_transcript(
       const SignedTranscript& st, const Hash256& coin_hash,
-      Timestamp now) const;
+      Timestamp now) const P2P_REQUIRES(mu_);
 
-  group::SchnorrGroup grp_;
-  bn::Rng& rng_;
-  Config config_;
-  blindsig::BlindSigner signer_;  // coin key (x, y)
-  sig::KeyPair identity_;        // table/entry signing key
-
+  group::SchnorrGroup grp_;  // immutable shared parameters: no guard
+  bn::Rng& rng_;             // external; only drawn from under mu_
   /// Serializes every public entry point (see the thread-safety note in
   /// the header comment).  Private helpers assume it is already held.
-  mutable std::mutex mu_;
+  mutable sync::Mutex mu_{"ecash.broker", sync::level::kService};
 
-  std::map<MerchantId, MerchantAccount> accounts_;
+  Config config_ P2P_GUARDED_BY(mu_);
+  blindsig::BlindSigner signer_ P2P_GUARDED_BY(mu_);  // coin key (x, y)
+  sig::KeyPair identity_ P2P_GUARDED_BY(mu_);  // table/entry signing key
+
+  std::map<MerchantId, MerchantAccount> accounts_ P2P_GUARDED_BY(mu_);
   /// Deque, not vector: publish_witness_table appends while clients hold
   /// references from current_table()/table(), which must stay valid.
-  std::deque<WitnessTable> tables_;  // index i holds version i+1
+  std::deque<WitnessTable> tables_ P2P_GUARDED_BY(mu_);  // index i = v i+1
 
-  std::uint64_t next_session_ = 1;
-  std::map<std::uint64_t, blindsig::BlindSigner::Session> withdrawal_sessions_;
-  std::map<std::uint64_t, blindsig::BlindSigner::Session> renewal_sessions_;
+  std::uint64_t next_session_ P2P_GUARDED_BY(mu_) = 1;
+  std::map<std::uint64_t, blindsig::BlindSigner::Session> withdrawal_sessions_
+      P2P_GUARDED_BY(mu_);
+  std::map<std::uint64_t, blindsig::BlindSigner::Session> renewal_sessions_
+      P2P_GUARDED_BY(mu_);
   /// Answered withdrawal sessions, kept so a retried identical challenge is
   /// answered idempotently (exactly one signature per session either way).
   /// Like open sessions, not persisted across crashes: after a restart the
@@ -291,16 +307,18 @@ class Broker {
     bn::BigInt e;
     blindsig::SignerResponse response;
   };
-  std::map<std::uint64_t, CompletedWithdrawal> completed_withdrawals_;
+  std::map<std::uint64_t, CompletedWithdrawal> completed_withdrawals_
+      P2P_GUARDED_BY(mu_);
 
-  std::map<Hash256, DepositRecord> deposits_;   // keyed by h(bare coin)
-  std::map<Hash256, RenewalRecord> renewals_;   // keyed by h(bare coin)
+  // Keyed by h(bare coin).
+  std::map<Hash256, DepositRecord> deposits_ P2P_GUARDED_BY(mu_);
+  std::map<Hash256, RenewalRecord> renewals_ P2P_GUARDED_BY(mu_);
 
-  std::vector<WitnessFaultProof> witness_faults_;
-  std::vector<DoubleSpendProof> renewal_fraud_proofs_;
-  std::uint64_t coins_issued_ = 0;
-  std::int64_t fiat_collected_ = 0;
-  std::int64_t fiat_paid_out_ = 0;
+  std::vector<WitnessFaultProof> witness_faults_ P2P_GUARDED_BY(mu_);
+  std::vector<DoubleSpendProof> renewal_fraud_proofs_ P2P_GUARDED_BY(mu_);
+  std::uint64_t coins_issued_ P2P_GUARDED_BY(mu_) = 0;
+  std::int64_t fiat_collected_ P2P_GUARDED_BY(mu_) = 0;
+  std::int64_t fiat_paid_out_ P2P_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace p2pcash::ecash

@@ -15,7 +15,7 @@ WitnessService::WitnessService(group::SchnorrGroup grp,
 
 Outcome<WitnessCommitment> WitnessService::request_commitment(
     const Hash256& coin_hash, const Hash256& nonce, Timestamp now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   auto it = commitments_.find(coin_hash);
   if (it != commitments_.end() && now < it->second.commitment.expires &&
       !it->second.consumed && it->second.commitment.nonce != nonce &&
@@ -59,7 +59,7 @@ std::optional<std::size_t> WitnessService::own_entry_index(
 
 Outcome<SignResult> WitnessService::sign_transcript(
     const PaymentTranscript& transcript, Timestamp now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   const Coin& coin = transcript.coin;
   const Hash256 coin_hash = coin.bare.coin_hash();
 
@@ -224,7 +224,7 @@ WitnessService::sign_transfer(const Coin& coin, const bn::BigInt& new_a,
                               const bn::BigInt& new_b,
                               const nizk::Response& response,
                               Timestamp datetime, Timestamp now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   using TransferResult = std::variant<TransferLink, DoubleSpendProof>;
   const Hash256 coin_hash = coin.bare.coin_hash();
 
@@ -329,7 +329,7 @@ WitnessService::sign_transfer(const Coin& coin, const bn::BigInt& new_a,
 
 Outcome<CommittedValue> WitnessService::reveal_committed_value(
     const Hash256& coin_hash) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   auto it = commitments_.find(coin_hash);
   if (it == commitments_.end())
     return Refusal{RefusalReason::kStaleRequest,
@@ -338,7 +338,7 @@ Outcome<CommittedValue> WitnessService::reveal_committed_value(
 }
 
 bool WitnessService::has_double_spend_record(const Hash256& coin_hash) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   return double_spent_.contains(coin_hash);
 }
 
@@ -355,7 +355,7 @@ Hash256 get_hash256(wire::Reader& r) {
 }  // namespace
 
 std::vector<std::uint8_t> WitnessService::snapshot_state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   wire::Writer w;
   w.put_string("p2pcash/witness-snapshot/v1");
   w.put_u64(coins_signed_);
@@ -387,7 +387,7 @@ std::vector<std::uint8_t> WitnessService::snapshot_state() const {
 }
 
 void WitnessService::restore_state(std::span<const std::uint8_t> snapshot) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   wire::Reader r(snapshot);
   if (r.get_string() != "p2pcash/witness-snapshot/v1")
     throw wire::DecodeError("witness snapshot: bad magic");

@@ -28,10 +28,10 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <variant>
 
 #include "ecash/transcript.h"
+#include "sync/annotated.h"
 
 namespace p2pcash::ecash {
 
@@ -50,11 +50,11 @@ class WitnessService {
 
   /// How long a commitment stays live (t_e - now). Default 30 s.
   void set_commitment_ttl(Timestamp ttl_ms) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     commitment_ttl_ = ttl_ms;
   }
   Timestamp commitment_ttl() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     return commitment_ttl_;
   }
 
@@ -91,14 +91,17 @@ class WitnessService {
   bool has_double_spend_record(const Hash256& coin_hash) const;
   /// Proofs extracted against *stale* owners of transferred coins (their
   /// old commitments).  These incriminate the previous owner without
-  /// invalidating the coin for its rightful current holder.
-  const std::vector<DoubleSpendProof>& stale_owner_evidence() const {
+  /// invalidating the coin for its rightful current holder.  Returns a
+  /// reference into live state: quiescent audit reads only, hence the
+  /// analysis opt-out.
+  const std::vector<DoubleSpendProof>& stale_owner_evidence() const
+      P2P_NO_THREAD_SAFETY_ANALYSIS {
     return stale_owner_evidence_;
   }
   /// Number of coins this witness has countersigned (its "performance",
   /// which the broker feeds back into range sizes).
   std::uint64_t coins_signed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     return coins_signed_;
   }
 
@@ -106,7 +109,7 @@ class WitnessService {
   /// unconditionally, never reporting double-spends (the misbehaviour the
   /// broker's deposit protocol must catch and charge).
   void set_faulty(bool faulty) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     faulty_ = faulty;
   }
 
@@ -146,33 +149,35 @@ class WitnessService {
   /// Finds this witness's entry index in the coin, verifying the witness
   /// point; nullopt if the coin is not ours.
   std::optional<std::size_t> own_entry_index(const Coin& coin,
-                                             const Hash256& coin_hash) const;
+                                             const Hash256& coin_hash) const
+      P2P_REQUIRES(mu_);
 
-  group::SchnorrGroup grp_;
-  sig::PublicKey broker_key_;
-  MerchantId id_;
-  sig::KeyPair key_;
-  bn::Rng& rng_;
+  group::SchnorrGroup grp_;    // immutable shared parameters: no guard
+  sig::PublicKey broker_key_;  // fixed at construction
+  MerchantId id_;              // fixed at construction
+  sig::KeyPair key_;           // fixed at construction
+  bn::Rng& rng_;               // external; only drawn from under mu_
   /// Serializes every public entry point; private helpers assume held.
-  mutable std::mutex mu_;
-  Timestamp commitment_ttl_ = 30'000;
-  bool faulty_ = false;
-  std::uint64_t coins_signed_ = 0;
+  mutable sync::Mutex mu_{"ecash.witness", sync::level::kService};
+  Timestamp commitment_ttl_ P2P_GUARDED_BY(mu_) = 30'000;
+  bool faulty_ P2P_GUARDED_BY(mu_) = false;
+  std::uint64_t coins_signed_ P2P_GUARDED_BY(mu_) = 0;
 
   /// Verifies everything about a presented coin except spend state; on
   /// success returns the index of our witness entry.
   Outcome<std::size_t> check_presented_coin(const Coin& coin,
                                             const Hash256& coin_hash,
-                                            Timestamp now) const;
+                                            Timestamp now) const
+      P2P_REQUIRES(mu_);
   /// The chain we have accepted for this coin (empty if never transferred).
   const std::vector<TransferLink>& recorded_chain(
-      const Hash256& coin_hash) const;
+      const Hash256& coin_hash) const P2P_REQUIRES(mu_);
 
-  std::map<Hash256, CommitmentRecord> commitments_;
-  std::map<Hash256, SpentRecord> spent_;
-  std::map<Hash256, DoubleSpentRecord> double_spent_;
-  std::map<Hash256, std::vector<TransferLink>> chains_;
-  std::vector<DoubleSpendProof> stale_owner_evidence_;
+  std::map<Hash256, CommitmentRecord> commitments_ P2P_GUARDED_BY(mu_);
+  std::map<Hash256, SpentRecord> spent_ P2P_GUARDED_BY(mu_);
+  std::map<Hash256, DoubleSpentRecord> double_spent_ P2P_GUARDED_BY(mu_);
+  std::map<Hash256, std::vector<TransferLink>> chains_ P2P_GUARDED_BY(mu_);
+  std::vector<DoubleSpendProof> stale_owner_evidence_ P2P_GUARDED_BY(mu_);
 };
 
 }  // namespace p2pcash::ecash

@@ -112,6 +112,16 @@ BigInt SchnorrGroup::reduce_exponent(const BigInt& e) const {
   return e.is_negative() || e >= data_->q ? bn::mod(e, data_->q) : e;
 }
 
+std::shared_ptr<const bn::FixedBaseTable> SchnorrGroup::generator_table(
+    int which) const {
+  const FastExpState& fast = data_->fast;
+  switch (which) {
+    case 0: return fast.g_table;
+    case 1: return fast.g1_table;
+    default: return fast.g2_table;
+  }
+}
+
 std::shared_ptr<const bn::FixedBaseTable> SchnorrGroup::fixed_table_for(
     const BigInt& base) const {
   if (g_fast_exp_disabled) return nullptr;
@@ -132,37 +142,50 @@ std::shared_ptr<const bn::FixedBaseTable> SchnorrGroup::fixed_table_for(
       // Publish under the cache mutex so fixed_base_memory_bytes (which
       // does not pass the once_flag) reads a consistent snapshot; readers
       // below are already synchronized by call_once itself.
-      std::lock_guard<std::mutex> lock(d.fast.mu);
+      sync::MutexLock lock(d.fast.mu);
       d.fast.g_table = std::move(g_t);
       d.fast.g1_table = std::move(g1_t);
       d.fast.g2_table = std::move(g2_t);
     });
-    if (base == d.g) return d.fast.g_table;
-    return base == d.g1 ? d.fast.g1_table : d.fast.g2_table;
+    return generator_table(base == d.g ? 0 : (base == d.g1 ? 1 : 2));
   }
-  std::lock_guard<std::mutex> lock(d.fast.mu);
-  auto it = d.fast.cache.find(base);
-  if (it == d.fast.cache.end()) {
-    if (d.fast.cache.size() >= kBaseCacheMax) {
-      // Evict the least-seen base; promoted hot bases have high counts
-      // and survive streams of one-shot lookups.
-      auto victim = d.fast.cache.begin();
-      for (auto i = d.fast.cache.begin(); i != d.fast.cache.end(); ++i) {
-        if (i->second.hits < victim->second.hits) victim = i;
+
+  // Recurring-base cache.  The hit/miss bookkeeping is a short critical
+  // section; the expensive BGMW table build (~600 Montgomery muls) happens
+  // OUTSIDE the lock so a promotion never stalls concurrent
+  // exponentiations of unrelated bases.  Two threads promoting the same
+  // base may both build; the first install wins and the duplicate is
+  // dropped (identical contents either way).
+  {
+    sync::MutexLock lock(d.fast.mu);
+    auto it = d.fast.cache.find(base);
+    if (it == d.fast.cache.end()) {
+      if (d.fast.cache.size() >= kBaseCacheMax) {
+        // Evict the least-seen base; promoted hot bases have high counts
+        // and survive streams of one-shot lookups.
+        auto victim = d.fast.cache.begin();
+        for (auto i = d.fast.cache.begin(); i != d.fast.cache.end(); ++i) {
+          if (i->second.hits < victim->second.hits) victim = i;
+        }
+        d.fast.cache.erase(victim);
       }
-      d.fast.cache.erase(victim);
+      d.fast.cache.emplace(base, FastExpState::CacheEntry{1, nullptr});
+      return nullptr;
     }
-    d.fast.cache.emplace(base, FastExpState::CacheEntry{1, nullptr});
-    return nullptr;
+    FastExpState::CacheEntry& entry = it->second;
+    ++entry.hits;
+    if (entry.table) return entry.table;
+    if (entry.hits < kPromoteHits) return nullptr;
   }
-  FastExpState::CacheEntry& entry = it->second;
-  ++entry.hits;
-  if (!entry.table && entry.hits >= kPromoteHits) {
-    entry.table = std::make_shared<const bn::FixedBaseTable>(
-        data_->ctx_p->precompute_base(base, d.q.bit_length(),
-                                      kFixedWindowBits));
-  }
-  return entry.table;
+
+  auto table = std::make_shared<const bn::FixedBaseTable>(
+      data_->ctx_p->precompute_base(base, d.q.bit_length(), kFixedWindowBits));
+
+  sync::MutexLock lock(d.fast.mu);
+  auto [it, inserted] =
+      d.fast.cache.emplace(base, FastExpState::CacheEntry{kPromoteHits, table});
+  if (!inserted && !it->second.table) it->second.table = std::move(table);
+  return it->second.table;
 }
 
 BigInt SchnorrGroup::exp(const BigInt& base, const BigInt& e) const {
@@ -229,7 +252,7 @@ BigInt SchnorrGroup::inv(const BigInt& a) const {
 std::size_t SchnorrGroup::fixed_base_memory_bytes() const {
   const Data& d = *data_;
   std::size_t total = 0;
-  std::lock_guard<std::mutex> lock(d.fast.mu);
+  sync::MutexLock lock(d.fast.mu);
   for (const auto& table : {d.fast.g_table, d.fast.g1_table, d.fast.g2_table})
     if (table) total += table->memory_bytes();
   for (const auto& [base, entry] : d.fast.cache)
@@ -255,7 +278,7 @@ BigInt SchnorrGroup::hash_to_group(const std::vector<std::uint8_t>& data) const 
   std::array<std::uint8_t, 32> memo_key{};
   if (!g_fast_exp_disabled) {
     memo_key = crypto::Sha256::hash(data);
-    std::lock_guard<std::mutex> lock(fast.hash_mu);
+    sync::MutexLock lock(fast.hash_mu);
     auto it = fast.hash_cache.find(memo_key);
     if (it != fast.hash_cache.end()) {
       ++it->second.hits;
@@ -271,7 +294,7 @@ BigInt SchnorrGroup::hash_to_group(const std::vector<std::uint8_t>& data) const 
     if (cand != BigInt{1} && !cand.is_zero()) break;
   }
   if (!g_fast_exp_disabled) {
-    std::lock_guard<std::mutex> lock(fast.hash_mu);
+    sync::MutexLock lock(fast.hash_mu);
     if (fast.hash_cache.size() >= kHashCacheMax) {
       auto victim = fast.hash_cache.begin();
       for (auto i = fast.hash_cache.begin(); i != fast.hash_cache.end(); ++i) {

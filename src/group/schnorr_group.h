@@ -24,6 +24,7 @@
 #include "bn/montgomery.h"
 #include "bn/multi_exp.h"
 #include "bn/rng.h"
+#include "sync/annotated.h"
 
 namespace p2pcash::group {
 
@@ -134,17 +135,24 @@ class SchnorrGroup {
  private:
   /// Lazily built fixed-base machinery, shared (with the rest of Data)
   /// by every copy of the group.  All members are guarded: the generator
-  /// tables by once_flag, the recurring-base cache by its mutex.
+  /// tables by once_flag (writes also take `mu` so memory accounting sees
+  /// a consistent snapshot), the recurring-base cache by `mu`, the F-memo
+  /// by `hash_mu`.  Both mutexes are leaf-level (level::kGroupCache): any
+  /// exponentiation — including ones made under a service lock — may take
+  /// them, and no other lock is ever acquired while they are held.
   struct FastExpState {
     std::once_flag generators_once;
-    std::shared_ptr<const bn::FixedBaseTable> g_table, g1_table, g2_table;
 
     struct CacheEntry {
       std::uint32_t hits = 0;
       std::shared_ptr<const bn::FixedBaseTable> table;  // set once promoted
     };
-    std::mutex mu;
-    std::map<bn::BigInt, CacheEntry> cache;
+    sync::Mutex mu{"group.fast_base_cache", sync::level::kGroupCache};
+    /// Generator tables: written exactly once under call_once + mu; read
+    /// lock-free afterwards (call_once is the publication barrier).
+    std::shared_ptr<const bn::FixedBaseTable> g_table P2P_GUARDED_BY(mu),
+        g1_table P2P_GUARDED_BY(mu), g2_table P2P_GUARDED_BY(mu);
+    std::map<bn::BigInt, CacheEntry> cache P2P_GUARDED_BY(mu);
 
     // Memo for F = hash_to_group: its cofactor exponentiation uses an
     // |p|-|q|-bit exponent (~5x the cost of a protocol exp) and the same
@@ -156,8 +164,9 @@ class SchnorrGroup {
       std::uint32_t hits = 0;
       bn::BigInt value;
     };
-    std::mutex hash_mu;
-    std::map<std::array<std::uint8_t, 32>, HashCacheEntry> hash_cache;
+    sync::Mutex hash_mu{"group.hash_cache", sync::level::kGroupCache};
+    std::map<std::array<std::uint8_t, 32>, HashCacheEntry> hash_cache
+        P2P_GUARDED_BY(hash_mu);
   };
 
   struct Data {
@@ -174,6 +183,11 @@ class SchnorrGroup {
   /// nullptr otherwise (or when fast paths are disabled on this thread).
   std::shared_ptr<const bn::FixedBaseTable> fixed_table_for(
       const bn::BigInt& base) const;
+  /// Lock-free generator-table read (0 = g, 1 = g1, 2 = g2).  Only called
+  /// after std::call_once published the tables; the once_flag is the
+  /// synchronization, which the analysis cannot see — hence the opt-out.
+  std::shared_ptr<const bn::FixedBaseTable> generator_table(int which) const
+      P2P_NO_THREAD_SAFETY_ANALYSIS;
   bn::BigInt reduce_exponent(const bn::BigInt& e) const;
 
   std::shared_ptr<const Data> data_;

@@ -54,6 +54,7 @@ double Histogram::bucket_upper(std::size_t i) {
 }
 
 void Histogram::record(double value_ms) {
+  sync::MutexLock lock(mu_);
   ++buckets_[bucket_index(value_ms)];
   if (count_ == 0) {
     min_ = value_ms;
@@ -67,9 +68,16 @@ void Histogram::record(double value_ms) {
 }
 
 double Histogram::percentile(double pct) const {
+  sync::MutexLock lock(mu_);
+  return percentile_locked(pct);
+}
+
+double Histogram::percentile_locked(double pct) const {
   if (count_ == 0) return 0;
   const double clamped = std::clamp(pct, 0.0, 100.0);
   const double rank = clamped / 100.0 * static_cast<double>(count_);
+  const double observed_min = min_;
+  const double observed_max = max_;
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
     if (buckets_[i] == 0) continue;
@@ -85,7 +93,7 @@ double Histogram::percentile(double pct) const {
     const double frac =
         (rank - before) / static_cast<double>(buckets_[i]);
     const double estimate = lower + (upper - lower) * std::clamp(frac, 0.0, 1.0);
-    return std::clamp(estimate, min(), max());
+    return std::clamp(estimate, observed_min, observed_max);
   }
   return max_;
 }
@@ -95,22 +103,26 @@ double Histogram::percentile(double pct) const {
 // ---------------------------------------------------------------------------
 
 const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  sync::SharedLock lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;
 }
 
 const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  sync::SharedLock lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : &it->second;
 }
 
 const Histogram* MetricsRegistry::find_histogram(
     const std::string& name) const {
+  sync::SharedLock lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
 std::vector<std::string> MetricsRegistry::histogram_names() const {
+  sync::SharedLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) names.push_back(name);
@@ -131,6 +143,7 @@ std::vector<Sample> MetricsRegistry::collect() const {
 }
 
 std::string MetricsRegistry::prometheus_text() const {
+  sync::SharedLock lock(mu_);
   std::string out;
   auto line = [&out](const std::string& name, const std::string& value) {
     out += name;
@@ -160,10 +173,11 @@ std::string MetricsRegistry::prometheus_text() const {
   for (const auto& [name, hist] : histograms_) {
     const std::string pname = sanitize(name);
     type_line(pname, "histogram");
+    const auto buckets = hist.buckets();  // one consistent snapshot
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
-      cumulative += hist.buckets()[i];
-      if (hist.buckets()[i] == 0 && i + 1 < Histogram::kBuckets) continue;
+      cumulative += buckets[i];
+      if (buckets[i] == 0 && i + 1 < Histogram::kBuckets) continue;
       const double upper = Histogram::bucket_upper(i);
       const std::string le =
           std::isinf(upper) ? std::string("+Inf") : fmt(upper);
@@ -181,6 +195,7 @@ std::string MetricsRegistry::prometheus_text() const {
 }
 
 std::string MetricsRegistry::json_text() const {
+  sync::SharedLock lock(mu_);
   JsonWriter json;
   json.field("bench", std::string("metrics"))
       .field("schema_version", 1);
@@ -205,8 +220,8 @@ std::string MetricsRegistry::json_text() const {
         .field("p50_ms", hist.percentile(50))
         .field("p95_ms", hist.percentile(95))
         .field("p99_ms", hist.percentile(99));
-    std::vector<std::uint64_t> buckets(hist.buckets().begin(),
-                                       hist.buckets().end());
+    const auto snapshot = hist.buckets();
+    std::vector<std::uint64_t> buckets(snapshot.begin(), snapshot.end());
     json.array_u64("log2_buckets", buckets).end_object();
   }
   json.end_object();

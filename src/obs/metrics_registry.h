@@ -25,11 +25,14 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
 #include <vector>
+
+#include "sync/annotated.h"
 
 namespace p2pcash::metrics {
 struct OpCounters;
@@ -38,28 +41,38 @@ struct ResilienceCounters;
 
 namespace p2pcash::obs {
 
-/// Monotonically increasing event count.
+/// Monotonically increasing event count.  Lock-free: increments from many
+/// threads interleave without tearing (relaxed ordering — a counter value
+/// carries no happens-before obligations).
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
-/// Point-in-time value (table memory, queue depth, sim clock).
+/// Point-in-time value (table memory, queue depth, sim clock).  Lock-free
+/// last-writer-wins semantics.
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  double value() const { return value_; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0;
+  std::atomic<double> value_{0};
 };
 
 /// Log2-bucketed latency histogram (milliseconds) with exact count/sum/
-/// min/max and interpolated percentile summaries.
+/// min/max and interpolated percentile summaries.  Internally locked: a
+/// record() is a multi-field update (bucket + count + sum + min/max) that
+/// must stay consistent, so unlike Counter/Gauge it cannot be a bare
+/// atomic.
 class Histogram {
  public:
   /// Bucket 0 covers (-inf, 1]; bucket i covers (2^(i-1), 2^i];
@@ -68,12 +81,25 @@ class Histogram {
 
   void record(double value_ms);
 
-  std::uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
+  std::uint64_t count() const {
+    sync::MutexLock lock(mu_);
+    return count_;
+  }
+  double sum() const {
+    sync::MutexLock lock(mu_);
+    return sum_;
+  }
   /// Smallest / largest recorded sample (0 when empty).
-  double min() const { return count_ ? min_ : 0; }
-  double max() const { return count_ ? max_ : 0; }
+  double min() const {
+    sync::MutexLock lock(mu_);
+    return count_ ? min_ : 0;
+  }
+  double max() const {
+    sync::MutexLock lock(mu_);
+    return count_ ? max_ : 0;
+  }
   double mean() const {
+    sync::MutexLock lock(mu_);
     return count_ ? sum_ / static_cast<double>(count_) : 0;
   }
 
@@ -81,7 +107,9 @@ class Histogram {
   /// interpolation within the covering bucket, clamped to [min, max].
   double percentile(double pct) const;
 
-  const std::array<std::uint64_t, kBuckets>& buckets() const {
+  /// Snapshot of the bucket counts (by value: the live array is guarded).
+  std::array<std::uint64_t, kBuckets> buckets() const {
+    sync::MutexLock lock(mu_);
     return buckets_;
   }
 
@@ -91,11 +119,14 @@ class Histogram {
   static double bucket_upper(std::size_t i);
 
  private:
-  std::array<std::uint64_t, kBuckets> buckets_{};
-  std::uint64_t count_ = 0;
-  double sum_ = 0;
-  double min_ = 0;
-  double max_ = 0;
+  double percentile_locked(double pct) const P2P_REQUIRES(mu_);
+
+  mutable sync::Mutex mu_{"obs.histogram", sync::level::kSink};
+  std::array<std::uint64_t, kBuckets> buckets_ P2P_GUARDED_BY(mu_){};
+  std::uint64_t count_ P2P_GUARDED_BY(mu_) = 0;
+  double sum_ P2P_GUARDED_BY(mu_) = 0;
+  double min_ P2P_GUARDED_BY(mu_) = 0;
+  double max_ P2P_GUARDED_BY(mu_) = 0;
 };
 
 /// One exported reading from a collector (a metric owned elsewhere that
@@ -111,11 +142,27 @@ struct Sample {
 /// and pulls externally-owned metrics through registered collectors at
 /// export time.  Returned references stay valid for the registry's
 /// lifetime (std::map nodes are stable).
+///
+/// Locking: a reader/writer lock over the instrument maps.  Lookups and
+/// exports share; creating an instrument or registering a collector is
+/// exclusive.  The instruments themselves are individually thread-safe
+/// (atomic Counter/Gauge, internally locked Histogram), so a reference
+/// returned by counter()/gauge()/histogram() stays usable without the
+/// registry lock.
 class MetricsRegistry {
  public:
-  Counter& counter(const std::string& name) { return counters_[name]; }
-  Gauge& gauge(const std::string& name) { return gauges_[name]; }
-  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+  Counter& counter(const std::string& name) {
+    sync::MutexLock lock(mu_);
+    return counters_[name];
+  }
+  Gauge& gauge(const std::string& name) {
+    sync::MutexLock lock(mu_);
+    return gauges_[name];
+  }
+  Histogram& histogram(const std::string& name) {
+    sync::MutexLock lock(mu_);
+    return histograms_[name];
+  }
 
   /// nullptr when no such metric has been created.
   const Counter* find_counter(const std::string& name) const;
@@ -124,9 +171,13 @@ class MetricsRegistry {
 
   /// Registers a pull-style source evaluated at every export.  Collectors
   /// snapshot metrics owned by live objects (actors, the network), so the
-  /// registry never holds dangling totals.
+  /// registry never holds dangling totals.  Collectors run during exports
+  /// with the registry lock held shared: they may lock strictly
+  /// lower-level mutexes (trace sink, group caches) but must never call
+  /// back into counter()/gauge()/histogram()/register_collector.
   using Collector = std::function<std::vector<Sample>()>;
   void register_collector(Collector fn) {
+    sync::MutexLock lock(mu_);
     collectors_.push_back(std::move(fn));
   }
 
@@ -139,12 +190,17 @@ class MetricsRegistry {
   std::vector<std::string> histogram_names() const;
 
  private:
-  std::vector<Sample> collect() const;
+  /// Runs the collectors.  Callers hold mu_ (shared suffices); collect()
+  /// takes no lock itself so a collector can never recursively re-enter
+  /// the registry lock (recursive shared_mutex acquisition is UB).
+  std::vector<Sample> collect() const P2P_REQUIRES_SHARED(mu_);
 
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, Histogram> histograms_;
-  std::vector<Collector> collectors_;
+  mutable sync::SharedMutex mu_{"obs.metrics_registry",
+                                sync::level::kRegistry};
+  std::map<std::string, Counter> counters_ P2P_GUARDED_BY(mu_);
+  std::map<std::string, Gauge> gauges_ P2P_GUARDED_BY(mu_);
+  std::map<std::string, Histogram> histograms_ P2P_GUARDED_BY(mu_);
+  std::vector<Collector> collectors_ P2P_GUARDED_BY(mu_);
 };
 
 /// Flattens an OpCounters snapshot into registry samples

@@ -80,6 +80,7 @@ void TraceSink::push(Record record) {
 }
 
 void TraceSink::add_span(SpanRecord span) {
+  sync::MutexLock lock(mu_);
   ++span_count_;
   Record r;
   r.is_span = true;
@@ -88,6 +89,7 @@ void TraceSink::add_span(SpanRecord span) {
 }
 
 void TraceSink::add_event(EventRecord event) {
+  sync::MutexLock lock(mu_);
   ++event_count_;
   Record r;
   r.is_span = false;
@@ -96,6 +98,7 @@ void TraceSink::add_event(EventRecord event) {
 }
 
 void TraceSink::clear() {
+  sync::MutexLock lock(mu_);
   records_.clear();
   dropped_ = 0;
   span_count_ = 0;
@@ -103,6 +106,7 @@ void TraceSink::clear() {
 }
 
 std::string TraceSink::to_jsonl() const {
+  sync::MutexLock lock(mu_);
   std::string out;
   for (const Record& r : records_) {
     if (r.is_span)
@@ -114,6 +118,7 @@ std::string TraceSink::to_jsonl() const {
 }
 
 std::string TraceSink::trace_jsonl(TraceId trace) const {
+  sync::MutexLock lock(mu_);
   std::string out;
   for (const Record& r : records_) {
     if (r.is_span && r.span.trace == trace)
@@ -154,13 +159,15 @@ Tracer::Tracer(std::function<TimeMs()> clock, TraceSink* sink,
     : clock_(std::move(clock)), sink_(sink), registry_(registry) {}
 
 TraceContext Tracer::start_root(std::string_view name, std::uint32_t node) {
+  const TimeMs now = clock_();
+  sync::MutexLock lock(mu_);
   SpanRecord span;
   span.trace = next_trace_++;
   span.span = next_span_++;
   span.parent = 0;
   span.name = std::string(name);
   span.node = node;
-  span.start_ms = clock_();
+  span.start_ms = now;
   const TraceContext ctx{span.trace, span.span};
   open_.emplace(span.span, std::move(span));
   return ctx;
@@ -169,13 +176,15 @@ TraceContext Tracer::start_root(std::string_view name, std::uint32_t node) {
 TraceContext Tracer::start_child(const TraceContext& parent,
                                  std::string_view name, std::uint32_t node) {
   if (!parent.valid()) return {};
+  const TimeMs now = clock_();
+  sync::MutexLock lock(mu_);
   SpanRecord span;
   span.trace = parent.trace;
   span.span = next_span_++;
   span.parent = parent.span;
   span.name = std::string(name);
   span.node = node;
-  span.start_ms = clock_();
+  span.start_ms = now;
   const TraceContext ctx{span.trace, span.span};
   open_.emplace(span.span, std::move(span));
   return ctx;
@@ -183,10 +192,16 @@ TraceContext Tracer::start_child(const TraceContext& parent,
 
 void Tracer::end_span(const TraceContext& ctx, std::string_view status) {
   if (!ctx.valid()) return;
-  auto it = open_.find(ctx.span);
-  if (it == open_.end()) return;  // already closed (or never opened)
-  SpanRecord span = std::move(it->second);
-  open_.erase(it);
+  SpanRecord span;
+  {
+    sync::MutexLock lock(mu_);
+    auto it = open_.find(ctx.span);
+    if (it == open_.end()) return;  // already closed (or never opened)
+    span = std::move(it->second);
+    open_.erase(it);
+  }
+  // Downstream calls (registry histogram, sink append) run without the
+  // tracer lock held: both take their own lower-level locks.
   span.end_ms = clock_();
   span.status = std::string(status);
   if (registry_)
@@ -208,7 +223,9 @@ void Tracer::event(const TraceContext& ctx, std::string_view name,
 }
 
 bool Tracer::is_open(const TraceContext& ctx) const {
-  return ctx.valid() && open_.contains(ctx.span);
+  if (!ctx.valid()) return false;
+  sync::MutexLock lock(mu_);
+  return open_.contains(ctx.span);
 }
 
 }  // namespace p2pcash::obs

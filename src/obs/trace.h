@@ -32,6 +32,8 @@
 #include <string_view>
 #include <vector>
 
+#include "sync/annotated.h"
+
 namespace p2pcash::obs {
 
 class MetricsRegistry;
@@ -76,7 +78,8 @@ struct EventRecord {
 /// Bounded ring-buffer sink: keeps the most recent `capacity` records
 /// (spans and events interleaved in completion order) and counts what it
 /// had to drop.  Export is JSONL — one record per line, schema checked by
-/// tools/trace_lint.py.
+/// tools/trace_lint.py.  Internally locked (leaf-level): spans finish on
+/// whatever thread ran the work.
 class TraceSink {
  public:
   explicit TraceSink(std::size_t capacity = 1 << 16)
@@ -85,10 +88,22 @@ class TraceSink {
   void add_span(SpanRecord span);
   void add_event(EventRecord event);
 
-  std::size_t size() const { return records_.size(); }
-  std::uint64_t dropped() const { return dropped_; }
-  std::uint64_t span_count() const { return span_count_; }
-  std::uint64_t event_count() const { return event_count_; }
+  std::size_t size() const {
+    sync::MutexLock lock(mu_);
+    return records_.size();
+  }
+  std::uint64_t dropped() const {
+    sync::MutexLock lock(mu_);
+    return dropped_;
+  }
+  std::uint64_t span_count() const {
+    sync::MutexLock lock(mu_);
+    return span_count_;
+  }
+  std::uint64_t event_count() const {
+    sync::MutexLock lock(mu_);
+    return event_count_;
+  }
   void clear();
 
   /// All retained records as JSONL, in completion order.
@@ -96,11 +111,16 @@ class TraceSink {
   /// Only the records of one trace (a single payment's causal history).
   std::string trace_jsonl(TraceId trace) const;
   /// Writes to_jsonl() to `path`; returns false (and prints) on failure.
+  /// Serializes via to_jsonl() (its own lock scope), then writes with no
+  /// lock held.
   bool write_jsonl(const std::string& path) const;
 
-  /// Retained span records of one trace, in completion order (pointers
-  /// valid until the next add/clear).
-  std::vector<const SpanRecord*> spans_for(TraceId trace) const;
+  /// Retained span records of one trace, in completion order.  Returns
+  /// pointers into the live buffer, valid only until the next add/clear
+  /// AND only while no other thread mutates the sink — a quiescent-
+  /// inspection API, hence the analysis opt-out.
+  std::vector<const SpanRecord*> spans_for(TraceId trace) const
+      P2P_NO_THREAD_SAFETY_ANALYSIS;
 
  private:
   struct Record {
@@ -108,13 +128,14 @@ class TraceSink {
     SpanRecord span;
     EventRecord event;
   };
-  void push(Record record);
+  void push(Record record) P2P_REQUIRES(mu_);
 
-  std::size_t capacity_;
-  std::deque<Record> records_;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t span_count_ = 0;
-  std::uint64_t event_count_ = 0;
+  mutable sync::Mutex mu_{"obs.trace_sink", sync::level::kSink};
+  const std::size_t capacity_;  // immutable after construction: no guard
+  std::deque<Record> records_ P2P_GUARDED_BY(mu_);
+  std::uint64_t dropped_ P2P_GUARDED_BY(mu_) = 0;
+  std::uint64_t span_count_ P2P_GUARDED_BY(mu_) = 0;
+  std::uint64_t event_count_ P2P_GUARDED_BY(mu_) = 0;
 };
 
 /// Issues trace/span ids, stamps records with the sim clock, forwards
@@ -145,15 +166,23 @@ class Tracer {
 
   /// True if `ctx` names a span that is open (started, not yet ended).
   bool is_open(const TraceContext& ctx) const;
-  std::size_t open_spans() const { return open_.size(); }
+  std::size_t open_spans() const {
+    sync::MutexLock lock(mu_);
+    return open_.size();
+  }
 
  private:
-  std::function<TimeMs()> clock_;
-  TraceSink* sink_;
-  MetricsRegistry* registry_;
-  TraceId next_trace_ = 1;
-  SpanId next_span_ = 1;
-  std::map<SpanId, SpanRecord> open_;
+  std::function<TimeMs()> clock_;  // fixed at construction: no guard
+  TraceSink* sink_;                // fixed at construction: no guard
+  MetricsRegistry* registry_;      // fixed at construction: no guard
+  /// Guards id issuance and the open-span map.  end_span() extracts the
+  /// span under this lock, then RELEASES it before calling into the
+  /// registry/sink (their locks rank below kTracer; holding across the
+  /// calls would work but widens the critical section for no reason).
+  mutable sync::Mutex mu_{"obs.tracer", sync::level::kTracer};
+  TraceId next_trace_ P2P_GUARDED_BY(mu_) = 1;
+  SpanId next_span_ P2P_GUARDED_BY(mu_) = 1;
+  std::map<SpanId, SpanRecord> open_ P2P_GUARDED_BY(mu_);
 };
 
 }  // namespace p2pcash::obs

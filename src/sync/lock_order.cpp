@@ -1,0 +1,246 @@
+#include "sync/lock_order.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace p2pcash::sync::lock_order {
+namespace {
+
+std::atomic<bool> g_enabled{
+#ifdef P2PCASH_LOCK_ORDER_DEFAULT_ON
+    true
+#else
+    false
+#endif
+};
+std::atomic<uint64_t> g_violations{0};
+
+// Guards the order graph and the handler slot.  Deliberately a plain
+// std::mutex: the tracker cannot track itself, and every critical section
+// below is leaf-level (no tracked lock is ever acquired inside it).
+std::mutex& graph_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+// Held-before graph keyed by lock *name*: edges()[A] contains B iff some
+// thread acquired B while holding A.  std::map/std::set (not unordered_*)
+// so violation reports list cycle paths in a deterministic order.
+using EdgeMap = std::map<std::string, std::set<std::string>>;
+EdgeMap& edges() {
+  static EdgeMap* m = new EdgeMap();  // leaked: outlives static dtors
+  return *m;
+}
+
+ViolationHandler& handler_slot() {
+  static ViolationHandler* h = new ViolationHandler();
+  return *h;
+}
+
+// Per-thread stack of currently held lock instances, in acquisition order.
+std::vector<const LockNode*>& held_stack() {
+  static thread_local std::vector<const LockNode*> v;
+  return v;
+}
+
+/// DFS over edges() from `from` toward `to`; on success fills `path` with
+/// the node names from `from` to `to` inclusive.  Caller holds graph_mu().
+bool find_path(const EdgeMap& g, const std::string& from,
+               const std::string& to, std::set<std::string>& visited,
+               std::vector<std::string>& path) {
+  if (!visited.insert(from).second) return false;
+  path.push_back(from);
+  if (from == to) return true;
+  auto it = g.find(from);
+  if (it != g.end()) {
+    for (const std::string& next : it->second) {
+      if (find_path(g, next, to, visited, path)) return true;
+    }
+  }
+  path.pop_back();
+  return false;
+}
+
+void report(Violation v) {
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  ViolationHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(graph_mu());
+    handler = handler_slot();
+  }
+  if (handler) {
+    // Called without graph_mu() held so a test handler may inspect the
+    // tracker (but must not acquire tracked locks).
+    handler(v);
+    return;
+  }
+  std::fprintf(stderr, "p2pcash lock_order: FATAL %s\n", v.detail.c_str());
+  std::abort();
+}
+
+const char* kind_name(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::kInversion:
+      return "lock-order inversion";
+    case ViolationKind::kReentrancy:
+      return "re-entrant acquisition";
+    case ViolationKind::kHierarchy:
+      return "hierarchy violation";
+  }
+  return "?";
+}
+
+std::string held_names() {
+  std::ostringstream os;
+  const auto& held = held_stack();
+  for (size_t i = 0; i < held.size(); ++i) {
+    if (i) os << " -> ";
+    os << held[i]->name;
+  }
+  return os.str();
+}
+
+/// Shared body of on_acquire / on_try_acquire.  `blocking` selects whether
+/// inversion/hierarchy violations are reported: a try_lock cannot block,
+/// so it cannot deadlock and only contributes edges.
+void acquire_impl(const LockNode* node, bool blocking) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  auto& held = held_stack();
+
+  // Re-entrancy: same *instance* already held by this thread.  UB for
+  // std::mutex (self-deadlock in practice), so report even for try_lock —
+  // std::mutex::try_lock on an already-held mutex is UB too.
+  for (const LockNode* h : held) {
+    if (h == node) {
+      Violation v;
+      v.kind = ViolationKind::kReentrancy;
+      v.acquiring = node->name;
+      v.held = node->name;
+      std::ostringstream os;
+      os << kind_name(v.kind) << ": thread re-acquired '" << node->name
+         << "' it already holds (held: " << held_names() << ")";
+      v.detail = os.str();
+      report(std::move(v));
+      held.push_back(node);
+      return;
+    }
+  }
+
+  if (blocking) {
+    // Hierarchy: when both sides declare a non-zero level, acquisitions
+    // must be strictly descending.
+    for (const LockNode* h : held) {
+      if (node->level != 0 && h->level != 0 && node->level >= h->level) {
+        Violation v;
+        v.kind = ViolationKind::kHierarchy;
+        v.acquiring = node->name;
+        v.held = h->name;
+        std::ostringstream os;
+        os << kind_name(v.kind) << ": acquiring '" << node->name
+           << "' (level " << node->level << ") while holding '" << h->name
+           << "' (level " << h->level
+           << "); levels must strictly descend (held: " << held_names()
+           << ")";
+        v.detail = os.str();
+        report(std::move(v));
+        break;
+      }
+    }
+  }
+
+  // Record held-before edges and check for cycles.  Violations are built
+  // under graph_mu() but reported after releasing it, since report() takes
+  // graph_mu() again to read the handler (and a custom handler may want to
+  // call back into the tracker).
+  std::vector<Violation> deferred;
+  {
+    std::lock_guard<std::mutex> lock(graph_mu());
+    EdgeMap& g = edges();
+    for (const LockNode* h : held) {
+      const std::string from(h->name);
+      const std::string to(node->name);
+      if (from == to) continue;  // distinct instances of one role: no edge
+      if (g[from].count(to)) continue;
+      // Would from -> to close a cycle?  Only if `to` already reaches
+      // `from` in the graph.
+      std::set<std::string> visited;
+      std::vector<std::string> path;
+      if (find_path(g, to, from, visited, path)) {
+        // Do not record the cycle-closing edge: the graph stays acyclic,
+        // so later acquisitions keep reporting against the *first*
+        // learned order rather than a poisoned one.
+        if (blocking) {
+          Violation v;
+          v.kind = ViolationKind::kInversion;
+          v.acquiring = to;
+          v.held = from;
+          std::ostringstream os;
+          os << kind_name(v.kind) << ": acquiring '" << to
+             << "' while holding '" << from
+             << "', but the reverse order was already observed (";
+          for (size_t i = 0; i < path.size(); ++i) {
+            if (i) os << " -> ";
+            os << "'" << path[i] << "'";
+          }
+          os << " -> '" << to << "'); this thread holds: " << held_names();
+          v.detail = os.str();
+          deferred.push_back(std::move(v));
+        }
+        continue;
+      }
+      g[from].insert(to);
+    }
+  }
+  for (Violation& v : deferred) report(std::move(v));
+
+  held.push_back(node);
+}
+
+}  // namespace
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_violation_handler(ViolationHandler handler) {
+  std::lock_guard<std::mutex> lock(graph_mu());
+  handler_slot() = std::move(handler);
+}
+
+void reset() {
+  std::lock_guard<std::mutex> lock(graph_mu());
+  edges().clear();
+  g_violations.store(0, std::memory_order_relaxed);
+}
+
+uint64_t violation_count() {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+void on_acquire(const LockNode* node) { acquire_impl(node, /*blocking=*/true); }
+
+void on_try_acquire(const LockNode* node) {
+  acquire_impl(node, /*blocking=*/false);
+}
+
+void on_release(const LockNode* node) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  auto& held = held_stack();
+  // Search from the back: locks usually release in LIFO order, but the
+  // tracker tolerates any release order (std::unique_lock allows it).
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (*it == node) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Not found: the lock was acquired while tracking was disabled.  Ignore.
+}
+
+}  // namespace p2pcash::sync::lock_order

@@ -1,0 +1,100 @@
+// lock_order.h — runtime lock-order (deadlock-potential) checker.
+//
+// Every sync::Mutex / sync::SharedMutex carries a LockNode with a stable
+// name and an optional hierarchy level.  On each acquisition the tracker
+// records "held-before" edges from every lock the acquiring thread already
+// holds to the lock being acquired, keyed by lock *name* (so all instances
+// of e.g. "ecash.witness" share one node in the order graph, which is what
+// makes A→B in one thread + B→A in another detectable even across distinct
+// instances).  A new edge that creates a cycle in the held-before graph is
+// a lock-order inversion: some interleaving of the two call sites
+// deadlocks, even if this run did not.  TSan does not detect this class —
+// it needs the deadlock to actually *happen* — which is why the tracker
+// exists alongside the TSan CI lane.
+//
+// Violations detected:
+//   * kInversion  — acquiring B while holding A when the graph already has
+//                   a B→…→A path (cycle).  Report names both lock names
+//                   and the existing path.
+//   * kReentrancy — re-acquiring the exact same instance already held by
+//                   this thread (std::mutex UB; would self-deadlock).
+//   * kHierarchy  — acquiring a lock whose level is >= the level of a held
+//                   lock when both declare non-zero levels.  The hierarchy
+//                   (docs/STATIC_ANALYSIS.md) orders subsystems so this
+//                   catches inversions on the *first* bad acquisition,
+//                   before the reverse edge is ever observed.
+//
+// Overhead: when disabled (the Release default) each lock/unlock costs one
+// relaxed atomic load.  When enabled, acquisition takes a short critical
+// section on an internal std::mutex (deliberately a plain std::mutex — the
+// tracker cannot track itself).  Debug and sanitizer builds enable the
+// checker at startup via P2PCASH_LOCK_ORDER_DEFAULT_ON (see
+// src/sync/CMakeLists.txt); tests force it on with set_enabled(true).
+//
+// The default violation handler prints the report to stderr and aborts
+// (fail-fast, as a deadlock in production would be strictly worse).  Tests
+// install a capturing handler with set_violation_handler().
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace p2pcash::sync::lock_order {
+
+/// Per-mutex registration record.  Embedded by value in sync::Mutex /
+/// sync::SharedMutex; the tracker keys the order graph by `name`, so give
+/// every distinct lock *role* a distinct name ("ecash.broker",
+/// "obs.trace_sink", ...).  `level` is the optional hierarchy rank; 0 means
+/// "unranked" and opts out of hierarchy checking (cycle detection still
+/// applies).
+struct LockNode {
+  const char* name;
+  int level;
+};
+
+enum class ViolationKind : uint8_t {
+  kInversion,   // cycle in the held-before graph
+  kReentrancy,  // same instance acquired twice by one thread
+  kHierarchy,   // level ordering violated on first acquisition
+};
+
+struct Violation {
+  ViolationKind kind;
+  std::string acquiring;  // name of the lock being acquired
+  std::string held;       // name of the (most relevant) lock already held
+  std::string detail;     // human-readable report incl. the cycle path
+};
+
+using ViolationHandler = std::function<void(const Violation&)>;
+
+/// Enables/disables tracking process-wide.  Disabling does not clear the
+/// learned graph; use reset() for that.
+void set_enabled(bool on);
+bool enabled();
+
+/// Replaces the violation handler (nullptr restores the default
+/// print-and-abort handler).  Returns nothing; tests capture violations by
+/// closing over their own state.
+void set_violation_handler(ViolationHandler handler);
+
+/// Clears the learned held-before graph and this process's violation
+/// count.  Thread-local held stacks are untouched (they empty naturally as
+/// locks release).  Tests call this between cases so edges learned by one
+/// case don't leak into the next.
+void reset();
+
+/// Number of violations reported since start/reset (any kind).
+uint64_t violation_count();
+
+/// Hooks called by sync::Mutex / sync::SharedMutex.  on_acquire runs
+/// *before* the underlying lock is taken (so the report fires before a
+/// real deadlock can wedge the process); on_try_acquire runs after a
+/// successful try_lock (a trylock cannot deadlock, so it only records
+/// edges and the held stack, never reports inversions).
+void on_acquire(const LockNode* node);
+void on_try_acquire(const LockNode* node);
+void on_release(const LockNode* node);
+
+}  // namespace p2pcash::sync::lock_order

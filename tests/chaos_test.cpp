@@ -56,6 +56,8 @@ void report_failure(const ChaosRun& run) {
   text += "fault schedule:\n";
   for (const auto& line : run.plan_log) text += "  " + line + "\n";
   text += "counters: " + run.totals.to_string() + "\n";
+  // Single-threaded artifact path at test teardown; no setenv anywhere.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("P2PCASH_CHAOS_ARTIFACT");
   const std::string path = env ? env : "chaos_failures.txt";
   std::ofstream out(path, std::ios::app);

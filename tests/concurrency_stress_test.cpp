@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -13,6 +15,7 @@
 #include <vector>
 
 #include "crypto/chacha.h"
+#include "group/schnorr_group.h"
 #include "ecash/broker.h"
 #include "ecash/wallet.h"
 #include "ecash/witness.h"
@@ -274,6 +277,90 @@ TEST_F(EcashConcurrencyTest, TableReferencesSurviveConcurrentPublication) {
   publisher.join();
   reader.join();
   EXPECT_EQ(broker_.table(v1_version), &v1);
+}
+
+// ---------------------------------------------------------------------------
+// SchnorrGroup lazy-cache races (regression for the const-method caches)
+// ---------------------------------------------------------------------------
+
+// Threads hammer exp() with more recurring bases than the promotion cache
+// holds (forcing concurrent promote + evict churn) and hash_to_group()
+// with more inputs than the memo holds, while other threads read
+// fixed_base_memory_bytes().  Every result is checked against a reference
+// computed with the fast path disabled (the disable flag is thread-local,
+// so workers still exercise the cached path).  Under TSan this pins the
+// internal locking of the mutable caches behind the const API; under any
+// build it pins the promote-outside-the-lock rework: a lost or duplicated
+// table install returns a *wrong table* for a base, which the reference
+// comparison catches.
+TEST(GroupCacheConcurrencyTest, PromotionEvictionAndMemoChurnStayCorrect) {
+  // Fresh group instance (same parameters as test_256) so this test churns
+  // a private cache instead of polluting the shared singleton's.
+  const group::SchnorrGroup& shared = group::SchnorrGroup::test_256();
+  crypto::ChaChaRng rng("concurrency/group-cache");
+  const group::SchnorrGroup grp = group::SchnorrGroup::from_params(
+      shared.p(), shared.q(), shared.g(), shared.g1(), shared.g2(), rng);
+
+  // More recurring bases than the promotion cache bound (64) and more
+  // hash inputs than the memo bound (128), so eviction runs concurrently
+  // with promotion and lookup.
+  constexpr std::size_t kBases = 70;
+  constexpr std::size_t kHashInputs = 140;
+  constexpr std::size_t kExponents = 4;
+  constexpr int kThreads = 8;
+  constexpr std::size_t kIters = 400;
+
+  std::vector<BigInt> bases, exponents, base_refs;
+  bases.reserve(kBases);
+  exponents.reserve(kExponents);
+  for (std::size_t i = 0; i < kBases; ++i)
+    bases.push_back(grp.exp_g(grp.random_scalar(rng)));
+  for (std::size_t i = 0; i < kExponents; ++i)
+    exponents.push_back(grp.random_scalar(rng));
+
+  std::vector<std::vector<std::uint8_t>> hash_inputs(kHashInputs);
+  for (std::size_t i = 0; i < kHashInputs; ++i)
+    hash_inputs[i] = {static_cast<std::uint8_t>(i),
+                      static_cast<std::uint8_t>(i >> 8), 0xAB};
+
+  // References via the plain ladder / fresh hash (no caches involved).
+  base_refs.reserve(kBases * kExponents);
+  std::vector<BigInt> hash_refs;
+  hash_refs.reserve(kHashInputs);
+  {
+    group::ScopedDisableFastExp plain;
+    for (std::size_t b = 0; b < kBases; ++b)
+      for (std::size_t e = 0; e < kExponents; ++e)
+        base_refs.push_back(grp.exp(bases[b], exponents[e]));
+    for (const auto& in : hash_inputs) hash_refs.push_back(grp.hash_to_group(in));
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kIters; ++i) {
+        // Stagger starting offsets so threads collide on *different* bases
+        // simultaneously (promotion of one base races eviction of another).
+        const std::size_t b =
+            (static_cast<std::size_t>(t) * 17 + i) % kBases;
+        const std::size_t e = i % kExponents;
+        if (grp.exp(bases[b], exponents[e]) != base_refs[b * kExponents + e])
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        const std::size_t h =
+            (static_cast<std::size_t>(t) * 31 + i) % kHashInputs;
+        if (grp.hash_to_group(hash_inputs[h]) != hash_refs[h])
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        if (i % 64 == 0) (void)grp.fixed_base_memory_bytes();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  // The generator tables plus promoted entries must be accounted for.
+  EXPECT_GT(grp.fixed_base_memory_bytes(), 0u);
 }
 
 }  // namespace

@@ -20,9 +20,18 @@ A finding on a line ending in `// ct-ok` (optionally with a reason:
 reviewed lines where the compared value is public by protocol design.
 
 Only src/ is linted: tests deliberately compare extracted secrets
-field-wise (double-spend extraction IS the paper's point).
+field-wise (double-spend extraction IS the paper's point).  Every
+immediate subdirectory of src/ must appear in the module manifest below
+(CRYPTO_DIRS or NONCRYPTO_DIRS) — adding a module without classifying it
+is an error (exit 2), so new code cannot silently dodge the memcmp ban.
 
-Exit status: 0 = clean, 1 = findings, 2 = usage/internal error.
+Usage:
+  tools/ct_lint.py              lint the tree (exit 0 clean, 1 findings)
+  tools/ct_lint.py --self-test  verify the checker against the planted
+                                fixtures in tools/testdata/ct_lint/
+
+Exit status: 0 = clean / self-test pass, 1 = findings, 2 = usage/internal
+error (including an unclassified src/ module).
 """
 
 from __future__ import annotations
@@ -35,6 +44,14 @@ from pathlib import Path
 # are banned here outright.
 CRYPTO_DIRS = ("src/crypto", "src/bn", "src/blindsig", "src/nizk",
                "src/sig", "src/escrow")
+
+# Directories linted for annotated secrets only (no blanket memcmp ban):
+# they hold protocol/infrastructure code where byte comparisons are on
+# public data.  Listed explicitly so the manifest check below catches any
+# new src/ module that nobody classified.
+NONCRYPTO_DIRS = ("src/group", "src/ecash", "src/simnet", "src/actors",
+                  "src/overlay", "src/obs", "src/sync", "src/wire",
+                  "src/baseline", "src/metrics")
 
 ANNOTATION_RE = re.compile(r"//\s*ct-secret:\s*(?P<names>[A-Za-z0-9_,\s]+)")
 CT_OK_RE = re.compile(r"//\s*ct-ok(?::|\b)")
@@ -130,11 +147,69 @@ def check_file(path: Path, secrets: set[str], repo_root: Path) -> list[str]:
     return findings
 
 
+def check_manifest(src: Path) -> list[str]:
+    """Every immediate subdirectory of src/ must be classified as crypto or
+    non-crypto; an unclassified module means nobody decided whether the
+    memcmp ban applies to it."""
+    known = {Path(d).name for d in CRYPTO_DIRS + NONCRYPTO_DIRS}
+    return sorted(f"src/{p.name}" for p in src.iterdir()
+                  if p.is_dir() and p.name not in known)
+
+
+def self_test(repo_root: Path) -> int:
+    """Verifies the checker still catches what it claims to catch, against
+    planted fixtures.  Ctest runs this so a lint regression fails the
+    build, not a code review."""
+    fixture_dir = repo_root / "tools" / "testdata" / "ct_lint"
+    files = sorted(p for p in fixture_dir.glob("*")
+                   if p.suffix in (".h", ".cpp"))
+    scoped = collect_annotations(files)
+    cases = [
+        # (fixture, min_findings, must_mention)
+        ("bad_secret_branch.h", 2, "branch condition"),
+        ("suppressed.h", 0, None),
+    ]
+    failures: list[str] = []
+    for name, min_findings, must_mention in cases:
+        path = fixture_dir / name
+        if not path.is_file():
+            failures.append(f"fixture missing: {path}")
+            continue
+        findings = check_file(path, scoped[path], repo_root)
+        if len(findings) < min_findings:
+            failures.append(
+                f"{name}: expected >= {min_findings} finding(s), got "
+                f"{len(findings)}")
+        if min_findings == 0 and findings:
+            failures.append(f"{name}: expected clean, got: {findings}")
+        if must_mention and not any(must_mention in f for f in findings):
+            failures.append(
+                f"{name}: no finding mentions '{must_mention}': {findings}")
+    if failures:
+        for f in failures:
+            print(f"ct_lint.py self-test FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"ct_lint.py: self-test OK ({len(cases)} fixtures)")
+    return 0
+
+
 def main() -> int:
     repo_root = Path(__file__).resolve().parent.parent
+    if "--self-test" in sys.argv[1:]:
+        return self_test(repo_root)
+    if len(sys.argv) > 1:
+        print(f"usage: {sys.argv[0]} [--self-test]", file=sys.stderr)
+        return 2
     src = repo_root / "src"
     if not src.is_dir():
         print("ct_lint.py: no src/ directory found", file=sys.stderr)
+        return 2
+    unclassified = check_manifest(src)
+    if unclassified:
+        for d in unclassified:
+            print(f"ct_lint.py: {d} is not classified in CRYPTO_DIRS or "
+                  f"NONCRYPTO_DIRS; add it to the module manifest",
+                  file=sys.stderr)
         return 2
     files = sorted(p for p in src.rglob("*") if p.suffix in (".h", ".cpp"))
     scoped = collect_annotations(files)

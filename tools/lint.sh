@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
 # lint.sh — static-analysis gate for the p2pcash tree.
 #
-# Runs clang-tidy over first-party sources when it is available; otherwise
-# falls back to a strict-warning build (-DP2PCASH_WERROR=ON), which promotes
-# the escalated warning set (-Wconversion -Wshadow -Wold-style-cast ...) to
-# errors under plain GCC/Clang.  Either path failing fails the script.
+# Runs, in order (any failure fails the script):
+#   1. ct_lint.py  — secret-hygiene check (self-test, then the tree);
+#   2. det_lint.py — determinism check for simnet-reachable + obs/sync
+#                    code (self-test, then the tree);
+#   3. clang-tidy over first-party sources when it is available; otherwise
+#      a strict-warning build (-DP2PCASH_WERROR=ON), which promotes the
+#      escalated warning set (-Wconversion -Wshadow -Wold-style-cast ...)
+#      to errors under plain GCC/Clang.  When the compiler is clang, that
+#      build also runs the -Wthread-safety capability analysis
+#      (P2PCASH_THREAD_SAFETY, on by default for clang).
 #
 # Usage: tools/lint.sh [build-dir]
 #   build-dir: compile-commands / fallback-build directory
@@ -17,6 +23,14 @@ build_dir="${1:-$repo_root/build-lint}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 cd "$repo_root"
+
+echo "== lint.sh: ct_lint.py (secret hygiene)"
+python3 tools/ct_lint.py --self-test
+python3 tools/ct_lint.py
+
+echo "== lint.sh: det_lint.py (seed-replay determinism)"
+python3 tools/det_lint.py --self-test
+python3 tools/det_lint.py
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== lint.sh: clang-tidy $(clang-tidy --version | grep -o 'version [0-9.]*') over src/ tests/ bench/ examples/"

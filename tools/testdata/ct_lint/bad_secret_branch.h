@@ -1,0 +1,20 @@
+// ct_lint self-test fixture: MUST be flagged (secret-dependent branch and
+// a variable-time comparison).  Never compiled; never included from src/.
+#pragma once
+
+namespace ct_lint_fixture {
+
+struct BadSigner {
+  unsigned long long x_ = 0;  // ct-secret: x_
+
+  bool leaks_via_branch() const {
+    if (x_ > 100) return true;
+    return false;
+  }
+
+  bool leaks_via_compare(unsigned long long guess) const {
+    return x_ == guess;
+  }
+};
+
+}  // namespace ct_lint_fixture

@@ -1,0 +1,16 @@
+// ct_lint self-test fixture: same shapes as bad_secret_branch.h but every
+// finding carries a reviewed ct-ok annotation — MUST lint clean.
+// Never compiled; never included from src/.
+#pragma once
+
+namespace ct_lint_fixture {
+
+struct RevealedSigner {
+  unsigned long long k_ = 0;  // ct-secret: k_
+
+  bool public_after_reveal(unsigned long long published) const {
+    return k_ == published;  // ct-ok: k_ is published by the reveal phase
+  }
+};
+
+}  // namespace ct_lint_fixture

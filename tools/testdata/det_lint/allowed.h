@@ -1,0 +1,14 @@
+// det_lint self-test fixture: contains banned patterns, every one carries
+// an allow annotation — MUST lint clean.
+// Never compiled; never included from src/.
+#pragma once
+
+#include <cstdlib>
+
+namespace det_lint_fixture {
+
+inline const char* reviewed_env_read() {
+  return getenv("P2PCASH_FIXTURE");  // det_lint: allow: value never reaches replayed state
+}
+
+}  // namespace det_lint_fixture

@@ -1,0 +1,14 @@
+// det_lint self-test fixture: MUST be flagged (std::random_device).
+// Never compiled; never included from src/.
+#pragma once
+
+#include <random>
+
+namespace det_lint_fixture {
+
+inline unsigned bad_seed() {
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace det_lint_fixture

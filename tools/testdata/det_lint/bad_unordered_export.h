@@ -1,0 +1,21 @@
+// det_lint self-test fixture: MUST be flagged (unordered-container state
+// whose iteration order would leak into exported bytes).
+// Never compiled; never included from src/.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+namespace det_lint_fixture {
+
+struct BadExporter {
+  std::unordered_map<std::string, double> values;
+
+  std::string dump() const {
+    std::string out;
+    for (const auto& [k, v] : values) out += k + "=" + std::to_string(v) + "\n";
+    return out;
+  }
+};
+
+}  // namespace det_lint_fixture

@@ -1,0 +1,17 @@
+// det_lint self-test fixture: MUST be flagged twice (chrono clock + time()).
+// Never compiled; never included from src/.
+#pragma once
+
+#include <chrono>
+#include <ctime>
+
+namespace det_lint_fixture {
+
+inline long bad_now_ms() {
+  const auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+inline long bad_unix_time() { return static_cast<long>(time(nullptr)); }
+
+}  // namespace det_lint_fixture

@@ -1,0 +1,26 @@
+// det_lint self-test fixture: deterministic code in the house style —
+// MUST lint clean.  Mentions of banned names inside comments ("use the
+// seeded rng, not std::random_device") and strings must not trip the
+// checker.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace det_lint_fixture {
+
+// Good: seeded counter, ordered map, sim-time parameter.
+struct CleanExporter {
+  std::map<std::string, std::uint64_t> values;  // not std::unordered_map
+
+  void record(const std::string& key, std::uint64_t sim_time_ms) {
+    values[key] = sim_time_ms;
+  }
+
+  const char* describe() const {
+    return "deterministic (no rand(), no system_clock reads)";
+  }
+};
+
+}  // namespace det_lint_fixture
