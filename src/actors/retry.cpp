@@ -7,8 +7,14 @@ namespace p2pcash::actors {
 simnet::SimTime RetryPolicy::next_backoff(simnet::SimTime prev_ms,
                                           bn::Rng& rng) const {
   const simnet::SimTime lo = backoff_base_ms;
+  // Clamp BEFORE the 3x multiply: SimTime is a double, so a pathological
+  // prev_ms (a caller feeding accumulated sim time, DBL_MAX, or an inf
+  // from earlier arithmetic) would make 3 * prev_ms non-finite, and the
+  // bounds of the jitter draw below would no longer be guaranteed to be
+  // finite values inside [base, cap].
+  const simnet::SimTime prev = std::min(prev_ms, backoff_cap_ms);
   const simnet::SimTime hi =
-      std::min(backoff_cap_ms, std::max(lo, 3 * prev_ms));
+      std::min(backoff_cap_ms, std::max(lo, 3 * prev));
   if (hi <= lo) return lo;
   const double u = static_cast<double>(rng.next_u64() >> 11) * 0x1.0p-53;
   return lo + u * (hi - lo);

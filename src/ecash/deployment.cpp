@@ -29,8 +29,14 @@ Deployment::Deployment(const group::SchnorrGroup& grp, std::size_t n_merchants,
     MerchantNode node;
     node.merchant = std::make_unique<Merchant>(grp_, broker_.coin_key(), id,
                                                key, rng_);
-    node.witness = std::make_unique<WitnessService>(grp_, broker_.coin_key(),
-                                                    id, key, rng_);
+    // Fork a private stream per witness service: services at different nodes
+    // sign concurrently, and their per-service rng locks cannot protect a
+    // stream shared across nodes.  The fork label is the merchant id, so
+    // equal seeds still give bit-identical runs.
+    node.witness_rng =
+        std::make_unique<crypto::ChaChaRng>(rng_.fork("witness-" + id));
+    node.witness = std::make_unique<WitnessService>(
+        grp_, broker_.coin_key(), id, key, *node.witness_rng);
     nodes_.emplace(std::move(id), std::move(node));
   }
   broker_.publish_witness_table(/*now=*/0);

@@ -1,6 +1,10 @@
 #include "ecash/witness.h"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "nizk/batch_verify.h"
 
 namespace p2pcash::ecash {
 
@@ -15,11 +19,17 @@ WitnessService::WitnessService(group::SchnorrGroup grp,
 
 Outcome<WitnessCommitment> WitnessService::request_commitment(
     const Hash256& coin_hash, const Hash256& nonce, Timestamp now) {
-  sync::MutexLock lock(mu_);
-  auto it = commitments_.find(coin_hash);
-  if (it != commitments_.end() && now < it->second.commitment.expires &&
+  Timestamp ttl;
+  {
+    sync::MutexLock lock(mu_);
+    ttl = commitment_ttl_;
+  }
+  Stripe& s = stripe_for(coin_hash);
+  sync::MutexLock lock(s.mu);
+  auto it = s.commitments.find(coin_hash);
+  if (it != s.commitments.end() && now < it->second.commitment.expires &&
       !it->second.consumed && it->second.commitment.nonce != nonce &&
-      !spent_.contains(coin_hash) && !double_spent_.contains(coin_hash)) {
+      !s.spent.contains(coin_hash) && !s.double_spent.contains(coin_hash)) {
     // A different, still-pending transaction holds a live promise-to-sign
     // on this fresh coin ("must not issue new commitments ... until this
     // commitment expires").  Once the coin has a spend record the promise
@@ -29,21 +39,27 @@ Outcome<WitnessCommitment> WitnessService::request_commitment(
                    "live commitment exists until t_e"};
   }
   // Commit to what we currently know about the coin.
-  CommittedValue value = [&] {
-    if (auto ds = double_spent_.find(coin_hash); ds != double_spent_.end())
-      return CommittedValue::extracted(ds->second.proof.secrets);
-    if (auto sp = spent_.find(coin_hash); sp != spent_.end())
-      return CommittedValue::prior_transcript(sp->second.transcript, rng_);
-    return CommittedValue::fresh(rng_);
-  }();
+  CommittedValue value;
+  if (auto ds = s.double_spent.find(coin_hash); ds != s.double_spent.end()) {
+    value = CommittedValue::extracted(ds->second.proof.secrets);
+  } else if (auto sp = s.spent.find(coin_hash); sp != s.spent.end()) {
+    sync::MutexLock rng_lock(rng_mu_);
+    value = CommittedValue::prior_transcript(sp->second.transcript, rng_);
+  } else {
+    sync::MutexLock rng_lock(rng_mu_);
+    value = CommittedValue::fresh(rng_);
+  }
   WitnessCommitment commitment;
   commitment.coin_hash = coin_hash;
   commitment.nonce = nonce;
   commitment.value_hash = value.hash();
-  commitment.expires = now + commitment_ttl_;
+  commitment.expires = now + ttl;
   commitment.witness = id_;
-  commitment.witness_sig = key_.sign(commitment.signed_payload(), rng_);
-  commitments_[coin_hash] =
+  {
+    sync::MutexLock rng_lock(rng_mu_);
+    commitment.witness_sig = key_.sign(commitment.signed_payload(), rng_);
+  }
+  s.commitments[coin_hash] =
       CommitmentRecord{commitment, std::move(value), /*consumed=*/false};
   return commitment;
 }
@@ -57,135 +73,246 @@ std::optional<std::size_t> WitnessService::own_entry_index(
   return std::nullopt;
 }
 
-Outcome<SignResult> WitnessService::sign_transcript(
-    const PaymentTranscript& transcript, Timestamp now) {
-  sync::MutexLock lock(mu_);
-  const Coin& coin = transcript.coin;
-  const Hash256 coin_hash = coin.bare.coin_hash();
-
-  // Fast path: coin already known double-spent — return the stored proof
-  // ("the witness will either be spared all significant crypto operations").
-  if (auto ds = double_spent_.find(coin_hash); ds != double_spent_.end()) {
-    if (!faulty_) return SignResult{ds->second.proof};
+std::optional<Outcome<SignResult>> WitnessService::sign_fast_path(
+    const Hash256& coin_hash, const PaymentTranscript& transcript,
+    bool faulty) const {
+  const Stripe& s = stripe_for(coin_hash);
+  sync::MutexLock lock(s.mu);
+  // Coin already known double-spent — return the stored proof ("the
+  // witness will either be spared all significant crypto operations").
+  if (auto ds = s.double_spent.find(coin_hash); ds != s.double_spent.end()) {
+    if (!faulty) return Outcome<SignResult>{SignResult{ds->second.proof}};
   }
   // Idempotent retry of the very same transcript: re-issue the endorsement
   // rather than treating the retransmission as a second spend.
-  if (auto sp = spent_.find(coin_hash);
-      sp != spent_.end() && sp->second.transcript == transcript) {
-    return SignResult{sp->second.endorsement};
+  if (auto sp = s.spent.find(coin_hash);
+      sp != s.spent.end() && sp->second.transcript == transcript) {
+    return Outcome<SignResult>{SignResult{sp->second.endorsement}};
   }
+  return std::nullopt;
+}
 
-  // Full verification of the presented coin (ours? valid? unexpired?).
+Outcome<SignResult> WitnessService::sign_transcript(
+    const PaymentTranscript& transcript, Timestamp now) {
+  const Coin& coin = transcript.coin;
+  const Hash256 coin_hash = coin.bare.coin_hash();
+  const bool faulty = is_faulty();
+
+  if (auto fast = sign_fast_path(coin_hash, transcript, faulty)) return *fast;
+
+  // Full verification of the presented coin (ours? valid? unexpired?) and
+  // its payment NIZK (1 Hash for d + 3 Exp).  Both run on immutable inputs
+  // with no lock held; the spend state is re-checked in finish_sign.
   auto index = check_presented_coin(coin, coin_hash, now);
   if (!index) return index.refusal();
-
-  // Verify the payment NIZK (1 Hash for d + 3 Exp).
   if (!verify_transcript_proof(grp_, transcript))
     return Refusal{RefusalReason::kBadProof, "NIZK response invalid"};
 
-  // Transfer-chain consistency: the coin must answer to the commitments we
-  // currently hold it to.  A previous owner spending a stale copy after
-  // transferring the coin away incriminates itself: its payment response
-  // and the recorded transfer-link response open the same commitments
-  // under different challenges.
-  const auto& recorded = recorded_chain(coin_hash);
-  if (coin.transfers != recorded) {
-    const bool is_prefix =
-        coin.transfers.size() < recorded.size() &&
-        std::equal(coin.transfers.begin(), coin.transfers.end(),
-                   recorded.begin());
-    if (is_prefix && !faulty_) {
-      const TransferLink& next = recorded[coin.transfers.size()];
-      nizk::ChallengeResponse from_transfer{
-          transfer_challenge(grp_, coin, next.new_a, next.new_b,
-                             next.datetime),
-          nizk::Response{next.r1, next.r2}};
-      nizk::ChallengeResponse from_payment{
+  return finish_sign(transcript, coin_hash, now, faulty);
+}
+
+std::vector<Outcome<SignResult>> WitnessService::sign_transcript_batch(
+    std::span<const PaymentTranscript> transcripts, Timestamp now) {
+  const bool faulty = is_faulty();
+  std::vector<std::optional<Outcome<SignResult>>> results(transcripts.size());
+  std::vector<Hash256> hashes(transcripts.size());
+  // Per-coin checks and fast-path answers first; every survivor contributes
+  // its payment NIZK to one RLC-combined verification.
+  std::vector<std::size_t> pending;
+  std::vector<nizk::BatchItem> items;
+  for (std::size_t i = 0; i < transcripts.size(); ++i) {
+    const PaymentTranscript& t = transcripts[i];
+    hashes[i] = t.coin.bare.coin_hash();
+    if (auto fast = sign_fast_path(hashes[i], t, faulty)) {
+      results[i] = std::move(*fast);
+      continue;
+    }
+    auto index = check_presented_coin(t.coin, hashes[i], now);
+    if (!index) {
+      results[i] = index.refusal();
+      continue;
+    }
+    // Mirror verify_transcript_proof exactly: same commitments, same
+    // challenge, same response — the batch must accept iff it would.
+    auto cc = current_commitments(t.coin);
+    items.push_back(nizk::BatchItem{
+        nizk::Commitments{cc.a, cc.b},
+        payment_challenge(grp_, t.coin, t.merchant, t.datetime), t.resp});
+    pending.push_back(i);
+  }
+  if (!items.empty()) {
+    nizk::BatchResult verdict;
+    {
+      sync::MutexLock rng_lock(rng_mu_);
+      verdict = nizk::batch_verify_responses(grp_, items, rng_);
+    }
+    std::size_t bad_pos = 0;
+    for (std::size_t j = 0; j < pending.size(); ++j) {
+      const std::size_t i = pending[j];
+      if (bad_pos < verdict.bad_indices.size() &&
+          verdict.bad_indices[bad_pos] == j) {
+        ++bad_pos;
+        results[i] = Refusal{RefusalReason::kBadProof, "NIZK response invalid"};
+        continue;
+      }
+      // Index order here is what makes two same-coin transcripts in one
+      // batch resolve exactly as sequential sign_transcript calls would.
+      results[i] = finish_sign(transcripts[i], hashes[i], now, faulty);
+    }
+  }
+  std::vector<Outcome<SignResult>> out;
+  out.reserve(results.size());
+  for (auto& r : results) out.push_back(std::move(*r));
+  return out;
+}
+
+Outcome<SignResult> WitnessService::finish_sign(
+    const PaymentTranscript& transcript, const Hash256& coin_hash,
+    Timestamp now, bool faulty) {
+  (void)now;  // binding freshness is judged against the stored expiry
+  std::optional<DoubleSpendProof> stale_evidence;
+  bool signed_new = false;
+  // The state machine runs under the coin's stripe; the two mu_-guarded
+  // side effects (stale-owner evidence, the signing counter) are deferred
+  // until the stripe is released — mu_ sits above kShard and must never be
+  // acquired while a stripe is held.
+  Outcome<SignResult> result = [&]() -> Outcome<SignResult> {
+    const Coin& coin = transcript.coin;
+    Stripe& s = stripe_for(coin_hash);
+    sync::MutexLock lock(s.mu);
+
+    // Re-check the fast-path states: another payment of this coin may have
+    // raced us between the unlocked verification and this lock.
+    if (auto ds = s.double_spent.find(coin_hash);
+        ds != s.double_spent.end()) {
+      if (!faulty) return SignResult{ds->second.proof};
+    }
+    if (auto sp = s.spent.find(coin_hash);
+        sp != s.spent.end() && sp->second.transcript == transcript) {
+      return SignResult{sp->second.endorsement};
+    }
+
+    // Transfer-chain consistency: the coin must answer to the commitments
+    // we currently hold it to.  A previous owner spending a stale copy
+    // after transferring the coin away incriminates itself: its payment
+    // response and the recorded transfer-link response open the same
+    // commitments under different challenges.
+    static const std::vector<TransferLink> kEmptyChain;
+    auto chain_it = s.chains.find(coin_hash);
+    const auto& recorded =
+        chain_it == s.chains.end() ? kEmptyChain : chain_it->second;
+    if (coin.transfers != recorded) {
+      const bool is_prefix =
+          coin.transfers.size() < recorded.size() &&
+          std::equal(coin.transfers.begin(), coin.transfers.end(),
+                     recorded.begin());
+      if (is_prefix && !faulty) {
+        const TransferLink& next = recorded[coin.transfers.size()];
+        nizk::ChallengeResponse from_transfer{
+            transfer_challenge(grp_, coin, next.new_a, next.new_b,
+                               next.datetime),
+            nizk::Response{next.r1, next.r2}};
+        nizk::ChallengeResponse from_payment{
+            payment_challenge(grp_, coin, transcript.merchant,
+                              transcript.datetime),
+            transcript.resp};
+        if (auto extracted =
+                nizk::extract(grp_, from_transfer, from_payment)) {
+          // The proof opens the *stale* commitments: it incriminates the
+          // previous owner but must not invalidate the coin for its
+          // current holder — so it is kept as evidence, not as a
+          // double-spend record.
+          auto commitments = current_commitments(coin);
+          DoubleSpendProof proof;
+          proof.coin_hash = coin_hash;
+          proof.a = commitments.a;
+          proof.b = commitments.b;
+          proof.secrets = *extracted;
+          stale_evidence = proof;
+          // The stale owner's commitment (if it obtained one) is
+          // discharged by this refusal — it must not block the rightful
+          // current owner.
+          if (auto commit_it = s.commitments.find(coin_hash);
+              commit_it != s.commitments.end() &&
+              payment_nonce(transcript.salt, transcript.merchant) ==
+                  commit_it->second.commitment.nonce) {
+            commit_it->second.consumed = true;
+          }
+          return SignResult{std::move(proof)};
+        }
+      }
+      return Refusal{RefusalReason::kDoubleSpent,
+                     "stale or divergent transfer chain"};
+    }
+
+    // Enforce the commitment binding: nonce must equal h(salt || I_M)
+    // ("refusing transaction if this check fails").
+    auto commit_it = s.commitments.find(coin_hash);
+    if (commit_it == s.commitments.end())
+      return Refusal{RefusalReason::kStaleRequest,
+                     "no commitment requested for this coin"};
+    const WitnessCommitment& commitment = commit_it->second.commitment;
+    if (now >= commitment.expires)
+      return Refusal{RefusalReason::kStaleRequest, "commitment expired"};
+    if (payment_nonce(transcript.salt, transcript.merchant) !=
+        commitment.nonce)
+      return Refusal{RefusalReason::kBadNonce,
+                     "nonce does not bind this merchant"};
+
+    // Double-spend check: a prior transcript with a different challenge
+    // lets us extract the representations (paper §6 footnote 4).
+    if (auto sp = s.spent.find(coin_hash); sp != s.spent.end() && !faulty) {
+      const PaymentTranscript& prior = sp->second.transcript;
+      nizk::ChallengeResponse first{
+          payment_challenge(grp_, prior.coin, prior.merchant,
+                            prior.datetime),
+          prior.resp};
+      nizk::ChallengeResponse second{
           payment_challenge(grp_, coin, transcript.merchant,
                             transcript.datetime),
           transcript.resp};
-      if (auto extracted = nizk::extract(grp_, from_transfer, from_payment)) {
-        // The proof opens the *stale* commitments: it incriminates the
-        // previous owner but must not invalidate the coin for its current
-        // holder — so it is kept as evidence, not as a double-spend record.
-        auto commitments = current_commitments(coin);
-        DoubleSpendProof proof;
-        proof.coin_hash = coin_hash;
-        proof.a = commitments.a;
-        proof.b = commitments.b;
-        proof.secrets = *extracted;
-        stale_owner_evidence_.push_back(proof);
-        // The stale owner's commitment (if it obtained one) is discharged
-        // by this refusal — it must not block the rightful current owner.
-        if (auto commit_it = commitments_.find(coin_hash);
-            commit_it != commitments_.end() &&
-            payment_nonce(transcript.salt, transcript.merchant) ==
-                commit_it->second.commitment.nonce) {
-          commit_it->second.consumed = true;
-        }
-        return SignResult{std::move(proof)};
+      auto extracted = nizk::extract(grp_, first, second);
+      if (!extracted) {
+        // Identical challenge but different transcript bytes: a malformed
+        // replay; refuse without proof.
+        return Refusal{RefusalReason::kDoubleSpent,
+                       "coin already spent (identical challenge)"};
       }
+      auto commitments = current_commitments(coin);
+      DoubleSpendProof proof;
+      proof.coin_hash = coin_hash;
+      proof.a = commitments.a;
+      proof.b = commitments.b;
+      proof.secrets = *extracted;
+      // Keep only the proof; drop the transcripts (privacy: do not reveal
+      // where the coin was first spent).
+      s.double_spent[coin_hash] = DoubleSpentRecord{proof};
+      s.spent.erase(coin_hash);
+      commit_it->second.consumed = true;  // promise discharged by the proof
+      return SignResult{std::move(proof)};
     }
-    return Refusal{RefusalReason::kDoubleSpent,
-                   "stale or divergent transfer chain"};
-  }
 
-  // Enforce the commitment binding: nonce must equal h(salt || I_M)
-  // ("refusing transaction if this check fails").
-  auto commit_it = commitments_.find(coin_hash);
-  if (commit_it == commitments_.end())
-    return Refusal{RefusalReason::kStaleRequest,
-                   "no commitment requested for this coin"};
-  const WitnessCommitment& commitment = commit_it->second.commitment;
-  if (now >= commitment.expires)
-    return Refusal{RefusalReason::kStaleRequest, "commitment expired"};
-  if (payment_nonce(transcript.salt, transcript.merchant) != commitment.nonce)
-    return Refusal{RefusalReason::kBadNonce,
-                   "nonce does not bind this merchant"};
-
-  // Double-spend check: a prior transcript with a different challenge lets
-  // us extract the representations (paper §6 footnote 4).
-  if (auto sp = spent_.find(coin_hash);
-      sp != spent_.end() && !faulty_) {
-    const PaymentTranscript& prior = sp->second.transcript;
-    nizk::ChallengeResponse first{
-        payment_challenge(grp_, prior.coin, prior.merchant, prior.datetime),
-        prior.resp};
-    nizk::ChallengeResponse second{
-        payment_challenge(grp_, coin, transcript.merchant,
-                          transcript.datetime),
-        transcript.resp};
-    auto extracted = nizk::extract(grp_, first, second);
-    if (!extracted) {
-      // Identical challenge but different transcript bytes: a malformed
-      // replay; refuse without proof.
-      return Refusal{RefusalReason::kDoubleSpent,
-                     "coin already spent (identical challenge)"};
+    // First (or faulty-witness) spend: countersign the transcript.
+    WitnessEndorsement endorsement;
+    endorsement.witness = id_;
+    {
+      sync::MutexLock rng_lock(rng_mu_);
+      endorsement.signature = key_.sign(transcript.signed_payload(), rng_);
     }
-    auto commitments = current_commitments(coin);
-    DoubleSpendProof proof;
-    proof.coin_hash = coin_hash;
-    proof.a = commitments.a;
-    proof.b = commitments.b;
-    proof.secrets = *extracted;
-    // Keep only the proof; drop the transcripts (privacy: do not reveal
-    // where the coin was first spent).
-    double_spent_[coin_hash] = DoubleSpentRecord{proof};
-    spent_.erase(coin_hash);
-    commit_it->second.consumed = true;  // promise discharged by the proof
-    return SignResult{std::move(proof)};
+    s.spent[coin_hash] = SpentRecord{transcript, endorsement};
+    // The commitment is fulfilled; keep the record (the arbiter may ask us
+    // to reveal v during conflict resolution) but allow fresh commitments.
+    commit_it->second.consumed = true;
+    signed_new = true;
+    return SignResult{std::move(endorsement)};
+  }();
+  if (stale_evidence || signed_new) {
+    sync::MutexLock lock(mu_);
+    if (stale_evidence)
+      stale_owner_evidence_.push_back(std::move(*stale_evidence));
+    if (signed_new) ++coins_signed_;
   }
-
-  // First (or faulty-witness) spend: countersign the transcript.
-  WitnessEndorsement endorsement;
-  endorsement.witness = id_;
-  endorsement.signature = key_.sign(transcript.signed_payload(), rng_);
-  spent_[coin_hash] = SpentRecord{transcript, endorsement};
-  // The commitment is fulfilled; keep the record (the arbiter may ask us to
-  // reveal v during conflict resolution) but allow fresh commitments.
-  commit_it->second.consumed = true;
-  ++coins_signed_;
-  return SignResult{std::move(endorsement)};
+  return result;
 }
 
 Outcome<std::size_t> WitnessService::check_presented_coin(
@@ -212,35 +339,52 @@ Outcome<std::size_t> WitnessService::check_presented_coin(
   return *index;
 }
 
-const std::vector<TransferLink>& WitnessService::recorded_chain(
-    const Hash256& coin_hash) const {
-  static const std::vector<TransferLink> kEmpty;
-  auto it = chains_.find(coin_hash);
-  return it == chains_.end() ? kEmpty : it->second;
-}
-
 Outcome<std::variant<TransferLink, DoubleSpendProof>>
 WitnessService::sign_transfer(const Coin& coin, const bn::BigInt& new_a,
                               const bn::BigInt& new_b,
                               const nizk::Response& response,
                               Timestamp datetime, Timestamp now) {
-  sync::MutexLock lock(mu_);
   using TransferResult = std::variant<TransferLink, DoubleSpendProof>;
   const Hash256 coin_hash = coin.bare.coin_hash();
+  const bool faulty = is_faulty();
 
-  if (auto ds = double_spent_.find(coin_hash);
-      ds != double_spent_.end() && !faulty_) {
-    return TransferResult{ds->second.proof};
+  // Fast path without crypto: the coin is already known double-spent.
+  {
+    const Stripe& s = stripe_for(coin_hash);
+    sync::MutexLock lock(s.mu);
+    if (auto ds = s.double_spent.find(coin_hash);
+        ds != s.double_spent.end() && !faulty) {
+      return TransferResult{ds->second.proof};
+    }
   }
 
+  // Unlocked crypto on immutable inputs: the presented coin and the
+  // ownership proof.  The proof verdict is only consulted on the
+  // first-transfer branch, matching the original check order.
   auto index = check_presented_coin(coin, coin_hash, now);
   if (!index) return index.refusal();
   if (index.value() != 0)
     return Refusal{RefusalReason::kWrongWitness,
                    "transfers are endorsed by witness slot 0 only"};
+  const bn::BigInt d = transfer_challenge(grp_, coin, new_a, new_b, datetime);
+  const auto commitments = current_commitments(coin);
+  const bool ownership_ok = nizk::verify_response(
+      grp_, {commitments.a, commitments.b}, d, response);
+
+  Stripe& s = stripe_for(coin_hash);
+  sync::MutexLock lock(s.mu);
+
+  // Re-check under the stripe: a racing payment/transfer may have landed.
+  if (auto ds = s.double_spent.find(coin_hash);
+      ds != s.double_spent.end() && !faulty) {
+    return TransferResult{ds->second.proof};
+  }
 
   // Chain consistency with our records.
-  const auto& recorded = recorded_chain(coin_hash);
+  static const std::vector<TransferLink> kEmptyChain;
+  auto chain_it = s.chains.find(coin_hash);
+  const auto& recorded =
+      chain_it == s.chains.end() ? kEmptyChain : chain_it->second;
   if (coin.transfers != recorded) {
     const bool is_prefix =
         coin.transfers.size() < recorded.size() &&
@@ -256,22 +400,20 @@ WitnessService::sign_transfer(const Coin& coin, const bn::BigInt& new_a,
         nizk::Response{next.r1, next.r2} == response) {
       return TransferResult{next};
     }
-    if (faulty_) return Refusal{RefusalReason::kInternal, "faulty witness"};
+    if (faulty) return Refusal{RefusalReason::kInternal, "faulty witness"};
     // Double transfer: the recorded link and this request answer the same
     // commitments under different challenges — extract.
     nizk::ChallengeResponse first{
         transfer_challenge(grp_, coin, next.new_a, next.new_b, next.datetime),
         nizk::Response{next.r1, next.r2}};
-    nizk::ChallengeResponse second{
-        transfer_challenge(grp_, coin, new_a, new_b, datetime), response};
+    nizk::ChallengeResponse second{d, response};
     if (auto extracted = nizk::extract(grp_, first, second)) {
-      auto commitments = current_commitments(coin);
       DoubleSpendProof proof;
       proof.coin_hash = coin_hash;
       proof.a = commitments.a;
       proof.b = commitments.b;
       proof.secrets = *extracted;
-      double_spent_[coin_hash] = DoubleSpentRecord{proof};
+      s.double_spent[coin_hash] = DoubleSpentRecord{proof};
       return TransferResult{std::move(proof)};
     }
     return Refusal{RefusalReason::kDoubleSpent,
@@ -279,33 +421,27 @@ WitnessService::sign_transfer(const Coin& coin, const bn::BigInt& new_a,
   }
 
   // A spent coin cannot be transferred; the attempt incriminates the owner.
-  if (auto sp = spent_.find(coin_hash); sp != spent_.end() && !faulty_) {
+  if (auto sp = s.spent.find(coin_hash); sp != s.spent.end() && !faulty) {
     const PaymentTranscript& prior = sp->second.transcript;
     nizk::ChallengeResponse from_payment{
         payment_challenge(grp_, prior.coin, prior.merchant, prior.datetime),
         prior.resp};
-    nizk::ChallengeResponse from_transfer{
-        transfer_challenge(grp_, coin, new_a, new_b, datetime), response};
-    if (auto extracted =
-            nizk::extract(grp_, from_payment, from_transfer)) {
-      auto commitments = current_commitments(coin);
+    nizk::ChallengeResponse from_transfer{d, response};
+    if (auto extracted = nizk::extract(grp_, from_payment, from_transfer)) {
       DoubleSpendProof proof;
       proof.coin_hash = coin_hash;
       proof.a = commitments.a;
       proof.b = commitments.b;
       proof.secrets = *extracted;
-      double_spent_[coin_hash] = DoubleSpentRecord{proof};
-      spent_.erase(coin_hash);
+      s.double_spent[coin_hash] = DoubleSpentRecord{proof};
+      s.spent.erase(coin_hash);
       return TransferResult{std::move(proof)};
     }
     return Refusal{RefusalReason::kDoubleSpent, "coin already spent"};
   }
 
-  // Ownership proof for the hand-off.
-  bn::BigInt d = transfer_challenge(grp_, coin, new_a, new_b, datetime);
-  auto commitments = current_commitments(coin);
-  if (!nizk::verify_response(grp_, {commitments.a, commitments.b}, d,
-                             response))
+  // Ownership proof for the hand-off (verified above, outside the lock).
+  if (!ownership_ok)
     return Refusal{RefusalReason::kBadProof,
                    "transfer ownership proof invalid"};
 
@@ -317,11 +453,13 @@ WitnessService::sign_transfer(const Coin& coin, const bn::BigInt& new_a,
   link.datetime = datetime;
   link.witness = id_;
   auto position = static_cast<std::uint32_t>(coin.transfers.size());
-  auto signature =
-      key_.sign(link.signed_payload(coin_hash, position), rng_);
-  link.sig_e = signature.e;
-  link.sig_s = signature.s;
-  auto& chain = chains_[coin_hash];
+  {
+    sync::MutexLock rng_lock(rng_mu_);
+    auto signature = key_.sign(link.signed_payload(coin_hash, position), rng_);
+    link.sig_e = signature.e;
+    link.sig_s = signature.s;
+  }
+  auto& chain = s.chains[coin_hash];
   chain = coin.transfers;
   chain.push_back(link);
   return TransferResult{std::move(link)};
@@ -329,17 +467,19 @@ WitnessService::sign_transfer(const Coin& coin, const bn::BigInt& new_a,
 
 Outcome<CommittedValue> WitnessService::reveal_committed_value(
     const Hash256& coin_hash) {
-  sync::MutexLock lock(mu_);
-  auto it = commitments_.find(coin_hash);
-  if (it == commitments_.end())
+  Stripe& s = stripe_for(coin_hash);
+  sync::MutexLock lock(s.mu);
+  auto it = s.commitments.find(coin_hash);
+  if (it == s.commitments.end())
     return Refusal{RefusalReason::kStaleRequest,
                    "no commitment stored for this coin"};
   return it->second.value;
 }
 
 bool WitnessService::has_double_spend_record(const Hash256& coin_hash) const {
-  sync::MutexLock lock(mu_);
-  return double_spent_.contains(coin_hash);
+  const Stripe& s = stripe_for(coin_hash);
+  sync::MutexLock lock(s.mu);
+  return s.double_spent.contains(coin_hash);
 }
 
 namespace {
@@ -355,30 +495,51 @@ Hash256 get_hash256(wire::Reader& r) {
 }  // namespace
 
 std::vector<std::uint8_t> WitnessService::snapshot_state() const {
-  sync::MutexLock lock(mu_);
+  // Stripes are keyed by the hash's most-significant prefix, so merging
+  // them in stripe order reproduces the global Hash256 order — and thus
+  // the exact bytes — of the pre-sharding single-map snapshot.  Stripes
+  // are locked one at a time (holding two is a lock-order violation); a
+  // concurrent writer can interleave, so snapshots of a live service are
+  // per-stripe consistent, same as any point-in-time read would be.
+  std::uint64_t coins_signed;
+  {
+    sync::MutexLock lock(mu_);
+    coins_signed = coins_signed_;
+  }
+  std::map<Hash256, CommitmentRecord> commitments;
+  std::map<Hash256, SpentRecord> spent;
+  std::map<Hash256, DoubleSpentRecord> double_spent;
+  std::map<Hash256, std::vector<TransferLink>> chains;
+  for (const Stripe& s : stripes_) {
+    sync::MutexLock lock(s.mu);
+    commitments.insert(s.commitments.begin(), s.commitments.end());
+    spent.insert(s.spent.begin(), s.spent.end());
+    double_spent.insert(s.double_spent.begin(), s.double_spent.end());
+    chains.insert(s.chains.begin(), s.chains.end());
+  }
   wire::Writer w;
   w.put_string("p2pcash/witness-snapshot/v1");
-  w.put_u64(coins_signed_);
-  w.put_u32(static_cast<std::uint32_t>(commitments_.size()));
-  for (const auto& [hash, record] : commitments_) {
+  w.put_u64(coins_signed);
+  w.put_u32(static_cast<std::uint32_t>(commitments.size()));
+  for (const auto& [hash, record] : commitments) {
     put_hash256(w, hash);
     record.commitment.encode(w);
     record.value.encode(w);
     w.put_u8(record.consumed ? 1 : 0);
   }
-  w.put_u32(static_cast<std::uint32_t>(spent_.size()));
-  for (const auto& [hash, record] : spent_) {
+  w.put_u32(static_cast<std::uint32_t>(spent.size()));
+  for (const auto& [hash, record] : spent) {
     put_hash256(w, hash);
     record.transcript.encode(w);
     record.endorsement.encode(w);
   }
-  w.put_u32(static_cast<std::uint32_t>(double_spent_.size()));
-  for (const auto& [hash, record] : double_spent_) {
+  w.put_u32(static_cast<std::uint32_t>(double_spent.size()));
+  for (const auto& [hash, record] : double_spent) {
     put_hash256(w, hash);
     record.proof.encode(w);
   }
-  w.put_u32(static_cast<std::uint32_t>(chains_.size()));
-  for (const auto& [hash, chain] : chains_) {
+  w.put_u32(static_cast<std::uint32_t>(chains.size()));
+  for (const auto& [hash, chain] : chains) {
     put_hash256(w, hash);
     w.put_u32(static_cast<std::uint32_t>(chain.size()));
     for (const auto& link : chain) link.encode(w);
@@ -387,13 +548,19 @@ std::vector<std::uint8_t> WitnessService::snapshot_state() const {
 }
 
 void WitnessService::restore_state(std::span<const std::uint8_t> snapshot) {
-  sync::MutexLock lock(mu_);
   wire::Reader r(snapshot);
   if (r.get_string() != "p2pcash/witness-snapshot/v1")
     throw wire::DecodeError("witness snapshot: bad magic");
-  std::map<Hash256, CommitmentRecord> commitments;
-  std::map<Hash256, SpentRecord> spent;
-  std::map<Hash256, DoubleSpentRecord> double_spent;
+  // Parse the whole snapshot into per-stripe staging first (basic exception
+  // safety: nothing is installed unless everything decoded), then install
+  // stripe by stripe.
+  struct Staging {
+    std::map<Hash256, CommitmentRecord> commitments;
+    std::map<Hash256, SpentRecord> spent;
+    std::map<Hash256, DoubleSpentRecord> double_spent;
+    std::map<Hash256, std::vector<TransferLink>> chains;
+  };
+  std::array<Staging, kStripeCount> staging;
   const std::uint64_t coins_signed = r.get_u64();
   for (std::uint32_t i = 0, n = r.get_u32(); i < n; ++i) {
     Hash256 hash = get_hash256(r);
@@ -401,34 +568,38 @@ void WitnessService::restore_state(std::span<const std::uint8_t> snapshot) {
     record.commitment = WitnessCommitment::decode(r);
     record.value = CommittedValue::decode(r);
     record.consumed = r.get_u8() != 0;
-    commitments.emplace(hash, std::move(record));
+    staging[stripe_index(hash)].commitments.emplace(hash, std::move(record));
   }
   for (std::uint32_t i = 0, n = r.get_u32(); i < n; ++i) {
     Hash256 hash = get_hash256(r);
     SpentRecord record;
     record.transcript = PaymentTranscript::decode(r);
     record.endorsement = WitnessEndorsement::decode(r);
-    spent.emplace(hash, std::move(record));
+    staging[stripe_index(hash)].spent.emplace(hash, std::move(record));
   }
   for (std::uint32_t i = 0, n = r.get_u32(); i < n; ++i) {
     Hash256 hash = get_hash256(r);
-    double_spent.emplace(hash, DoubleSpentRecord{DoubleSpendProof::decode(r)});
+    staging[stripe_index(hash)].double_spent.emplace(
+        hash, DoubleSpentRecord{DoubleSpendProof::decode(r)});
   }
-  std::map<Hash256, std::vector<TransferLink>> chains;
   for (std::uint32_t i = 0, n = r.get_u32(); i < n; ++i) {
     Hash256 hash = get_hash256(r);
     std::vector<TransferLink> chain;
     for (std::uint32_t j = 0, m = r.get_u32(); j < m; ++j)
       chain.push_back(TransferLink::decode(r));
-    chains.emplace(hash, std::move(chain));
+    staging[stripe_index(hash)].chains.emplace(hash, std::move(chain));
   }
   r.expect_end();
-  // Commit only after the whole snapshot parsed (basic exception safety).
+  for (std::size_t i = 0; i < kStripeCount; ++i) {
+    Stripe& s = stripes_[i];
+    sync::MutexLock lock(s.mu);
+    s.commitments = std::move(staging[i].commitments);
+    s.spent = std::move(staging[i].spent);
+    s.double_spent = std::move(staging[i].double_spent);
+    s.chains = std::move(staging[i].chains);
+  }
+  sync::MutexLock lock(mu_);
   coins_signed_ = coins_signed;
-  commitments_ = std::move(commitments);
-  spent_ = std::move(spent);
-  double_spent_ = std::move(double_spent);
-  chains_ = std::move(chains);
 }
 
 }  // namespace p2pcash::ecash

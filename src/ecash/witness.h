@@ -20,14 +20,25 @@
 //
 // Thread safety: a witness serves commitment/sign requests from many
 // payers at once, and its whole purpose is an atomic check-then-sign —
-// two racing spends of one coin must yield exactly one endorsement.  Every
-// public entry point therefore takes an internal mutex.  The shared `rng`
-// is only used under that mutex, but must not be used concurrently by
-// other components.
+// two racing spends of one coin must yield exactly one endorsement.  The
+// coin-keyed state (commitments, spent records, double-spend proofs,
+// transfer chains) is sharded into stripes by coin-hash prefix, each with
+// its own mutex, so concurrent payments of DIFFERENT coins proceed in
+// parallel while two racing spends of ONE coin still serialize on that
+// coin's stripe.  The expensive cryptography (coin checks, NIZK/signature
+// verification) runs on immutable inputs with no lock held; only the
+// state transition itself happens under the stripe, with the spend state
+// re-checked there (check-outside / decide-under-lock).  A service-level
+// mutex guards the scalar config and accounting fields, and the shared
+// `rng` has a dedicated guard so countersignings on different stripes can
+// draw from it safely; it must not be used concurrently by other
+// components.
 
 #pragma once
 
+#include <array>
 #include <map>
+#include <span>
 #include <variant>
 
 #include "ecash/transcript.h"
@@ -70,6 +81,17 @@ class WitnessService {
   /// invalid coin/proof, missing or mismatched commitment (bad nonce).
   Outcome<SignResult> sign_transcript(const PaymentTranscript& transcript,
                                       Timestamp now);
+
+  /// Batch form of sign_transcript: the payment NIZKs of all transcripts
+  /// that pass the per-coin checks are verified with ONE random-linear-
+  /// combination multi-exp (nizk::batch_verify_responses), bisecting on
+  /// failure so each bad proof is refused individually while the rest
+  /// proceed.  Results are index-aligned with `transcripts` and
+  /// decision-compatible with calling sign_transcript per item (the batch
+  /// is one verification wave: two transcripts of the SAME coin in one
+  /// batch resolve in index order, exactly as sequential calls would).
+  std::vector<Outcome<SignResult>> sign_transcript_batch(
+      std::span<const PaymentTranscript> transcripts, Timestamp now);
 
   /// Conflict resolution (paper §5): reveal the value v committed under
   /// h(v) so an arbiter can decide whether the witness knew of a prior
@@ -146,37 +168,83 @@ class WitnessService {
     DoubleSpendProof proof;
   };
 
+  /// Coin-keyed state is sharded by coin-hash prefix: the top kStripeBits
+  /// of the hash's first byte pick the stripe.  Because the stripe index
+  /// is the most-significant prefix, visiting stripes in order and each
+  /// stripe's maps in order yields global Hash256 order — snapshot bytes
+  /// are identical to the pre-sharding single-map layout.
+  static constexpr std::size_t kStripeBits = 4;
+  static constexpr std::size_t kStripeCount = std::size_t{1} << kStripeBits;
+
+  struct Stripe {
+    /// Every stripe shares one name and level (sync::level::kShard), so
+    /// the runtime lock-order checker reports any attempt to hold two
+    /// stripes at once — stripes may only be visited sequentially.
+    mutable sync::Mutex mu{"ecash.witness_stripe", sync::level::kShard};
+    std::map<Hash256, CommitmentRecord> commitments P2P_GUARDED_BY(mu);
+    std::map<Hash256, SpentRecord> spent P2P_GUARDED_BY(mu);
+    std::map<Hash256, DoubleSpentRecord> double_spent P2P_GUARDED_BY(mu);
+    std::map<Hash256, std::vector<TransferLink>> chains P2P_GUARDED_BY(mu);
+  };
+
+  static std::size_t stripe_index(const Hash256& coin_hash) {
+    return coin_hash[0] >> (8 - kStripeBits);
+  }
+  Stripe& stripe_for(const Hash256& coin_hash) {
+    return stripes_[stripe_index(coin_hash)];
+  }
+  const Stripe& stripe_for(const Hash256& coin_hash) const {
+    return stripes_[stripe_index(coin_hash)];
+  }
+
   /// Finds this witness's entry index in the coin, verifying the witness
-  /// point; nullopt if the coin is not ours.
+  /// point; nullopt if the coin is not ours.  Immutable inputs only.
   std::optional<std::size_t> own_entry_index(const Coin& coin,
-                                             const Hash256& coin_hash) const
-      P2P_REQUIRES(mu_);
+                                             const Hash256& coin_hash) const;
+
+  /// Verifies everything about a presented coin except spend state; on
+  /// success returns the index of our witness entry.  Pure function of the
+  /// coin and the service's immutable keys — called with no lock held.
+  Outcome<std::size_t> check_presented_coin(const Coin& coin,
+                                            const Hash256& coin_hash,
+                                            Timestamp now) const;
+
+  /// Lock-free-crypto fast path: answers a known double-spent coin with
+  /// the stored proof and an identical retransmission with the stored
+  /// endorsement; nullopt means the caller must verify and finish.
+  std::optional<Outcome<SignResult>> sign_fast_path(
+      const Hash256& coin_hash, const PaymentTranscript& transcript,
+      bool faulty) const;
+
+  /// The stripe-locked state machine shared by sign_transcript and the
+  /// batch path: re-checks the spend state under the coin's stripe, then
+  /// extracts, refuses, or countersigns.  Caller has already verified the
+  /// coin and its NIZK.
+  Outcome<SignResult> finish_sign(const PaymentTranscript& transcript,
+                                  const Hash256& coin_hash, Timestamp now,
+                                  bool faulty);
+
+  bool is_faulty() const {
+    sync::MutexLock lock(mu_);
+    return faulty_;
+  }
 
   group::SchnorrGroup grp_;    // immutable shared parameters: no guard
   sig::PublicKey broker_key_;  // fixed at construction
   MerchantId id_;              // fixed at construction
   sig::KeyPair key_;           // fixed at construction
-  bn::Rng& rng_;               // external; only drawn from under mu_
-  /// Serializes every public entry point; private helpers assume held.
+  bn::Rng& rng_;               // external; only drawn from under rng_mu_
+  /// Guards the scalar config/accounting fields.  Never acquired while a
+  /// stripe is held (kService > kShard: service lock first or not at all).
   mutable sync::Mutex mu_{"ecash.witness", sync::level::kService};
+  /// Guards draws from the shared rng_; taken inside a stripe when a
+  /// countersignature needs a nonce (kShardRng < kShard).
+  mutable sync::Mutex rng_mu_{"ecash.witness_rng", sync::level::kShardRng};
   Timestamp commitment_ttl_ P2P_GUARDED_BY(mu_) = 30'000;
   bool faulty_ P2P_GUARDED_BY(mu_) = false;
   std::uint64_t coins_signed_ P2P_GUARDED_BY(mu_) = 0;
 
-  /// Verifies everything about a presented coin except spend state; on
-  /// success returns the index of our witness entry.
-  Outcome<std::size_t> check_presented_coin(const Coin& coin,
-                                            const Hash256& coin_hash,
-                                            Timestamp now) const
-      P2P_REQUIRES(mu_);
-  /// The chain we have accepted for this coin (empty if never transferred).
-  const std::vector<TransferLink>& recorded_chain(
-      const Hash256& coin_hash) const P2P_REQUIRES(mu_);
-
-  std::map<Hash256, CommitmentRecord> commitments_ P2P_GUARDED_BY(mu_);
-  std::map<Hash256, SpentRecord> spent_ P2P_GUARDED_BY(mu_);
-  std::map<Hash256, DoubleSpentRecord> double_spent_ P2P_GUARDED_BY(mu_);
-  std::map<Hash256, std::vector<TransferLink>> chains_ P2P_GUARDED_BY(mu_);
+  std::array<Stripe, kStripeCount> stripes_;
   std::vector<DoubleSpendProof> stale_owner_evidence_ P2P_GUARDED_BY(mu_);
 };
 

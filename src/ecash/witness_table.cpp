@@ -1,6 +1,7 @@
 #include "ecash/witness_table.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace p2pcash::ecash {
@@ -52,6 +53,8 @@ WitnessTable WitnessTable::build(std::uint32_t version, Timestamp published_at,
   for (const auto& p : participants) {
     if (p.weight == 0)
       throw std::invalid_argument("WitnessTable::build: zero weight");
+    if (p.weight > std::numeric_limits<std::uint64_t>::max() - total_weight)
+      throw std::overflow_error("WitnessTable::build: total weight overflow");
     total_weight += p.weight;
   }
   const BigInt space = BigInt{1} << kRangeBits;

@@ -1,0 +1,130 @@
+#include "nizk/batch_verify.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace p2pcash::nizk {
+
+using bn::BigInt;
+
+namespace {
+
+// Random-combiner width.  A batch with one bad proof survives the combined
+// check only if the z_i land in a proper subspace — probability 2^-64 per
+// attempt, and the submitter cannot grind against it because the z are
+// drawn after the proofs are fixed.
+const BigInt& z_bound() {
+  static const BigInt* bound = new BigInt(BigInt{1} << 64);
+  return *bound;
+}
+
+/// Recursive bisection driver shared by both batch forms.  `combined`
+/// tests a sub-batch with one multi-exp; `single` is the definitive
+/// per-item verifier run at the leaves.
+void bisect(std::span<const std::size_t> idxs,
+            const std::function<bool(std::span<const std::size_t>)>& combined,
+            const std::function<bool(std::size_t)>& single,
+            std::vector<std::size_t>& bad) {
+  if (idxs.size() == 1) {
+    if (!single(idxs[0])) bad.push_back(idxs[0]);
+    return;
+  }
+  if (combined(idxs)) return;
+  const std::size_t half = idxs.size() / 2;
+  bisect(idxs.first(half), combined, single, bad);
+  bisect(idxs.subspan(half), combined, single, bad);
+}
+
+BatchResult run_batch(
+    std::size_t n, const std::function<bool(std::size_t)>& pre_check,
+    const std::function<bool(std::span<const std::size_t>)>& combined,
+    const std::function<bool(std::size_t)>& single) {
+  BatchResult out;
+  std::vector<std::size_t> good;
+  good.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Scalar-range failures are named without any group arithmetic, just
+    // like the individual verifier rejects them before exponentiating.
+    if (pre_check(i)) {
+      good.push_back(i);
+    } else {
+      out.bad_indices.push_back(i);
+    }
+  }
+  if (!good.empty()) bisect(good, combined, single, out.bad_indices);
+  std::sort(out.bad_indices.begin(), out.bad_indices.end());
+  out.ok = out.bad_indices.empty();
+  return out;
+}
+
+}  // namespace
+
+BatchResult batch_verify_responses(const group::SchnorrGroup& grp,
+                                   std::span<const BatchItem> items,
+                                   bn::Rng& rng) {
+  const BigInt& q = grp.q();
+  auto pre_check = [&](std::size_t i) {
+    const Response& r = items[i].resp;
+    return !r.r1.is_negative() && r.r1 < q && !r.r2.is_negative() && r.r2 < q;
+  };
+  auto combined = [&](std::span<const std::size_t> idxs) {
+    std::vector<BigInt> bases, exps;
+    bases.reserve(2 * idxs.size() + 2);
+    exps.reserve(2 * idxs.size() + 2);
+    BigInt sum_r1{0}, sum_r2{0};
+    for (std::size_t i : idxs) {
+      const BatchItem& it = items[i];
+      BigInt z = bn::random_nonzero_below(rng, z_bound());
+      bases.push_back(it.comm.a);
+      exps.push_back(z);
+      bases.push_back(it.comm.b);
+      exps.push_back(bn::mod_mul(it.d, z, q));
+      sum_r1 = bn::mod_add(sum_r1, bn::mod_mul(it.resp.r1, z, q), q);
+      sum_r2 = bn::mod_add(sum_r2, bn::mod_mul(it.resp.r2, z, q), q);
+    }
+    // Move the g1/g2 side across: exponent negation mod q turns the
+    // equality into a product-equals-one test, and the two generator
+    // columns stay two fixed-base terms no matter how large the batch is.
+    bases.push_back(grp.g1());
+    exps.push_back(bn::mod_sub(BigInt{0}, sum_r1, q));
+    bases.push_back(grp.g2());
+    exps.push_back(bn::mod_sub(BigInt{0}, sum_r2, q));
+    return grp.multi_exp(bases, exps) == BigInt{1};
+  };
+  auto single = [&](std::size_t i) {
+    return verify_response(grp, items[i].comm, items[i].d, items[i].resp);
+  };
+  return run_batch(items.size(), pre_check, combined, single);
+}
+
+BatchResult batch_verify_representations(
+    const group::SchnorrGroup& grp, std::span<const RepresentationItem> items,
+    bn::Rng& rng) {
+  const BigInt& q = grp.q();
+  auto pre_check = [](std::size_t) { return true; };
+  auto combined = [&](std::span<const std::size_t> idxs) {
+    std::vector<BigInt> bases, exps;
+    bases.reserve(idxs.size() + 2);
+    exps.reserve(idxs.size() + 2);
+    BigInt sum_e1{0}, sum_e2{0};
+    for (std::size_t i : idxs) {
+      const RepresentationItem& it = items[i];
+      BigInt z = bn::random_nonzero_below(rng, z_bound());
+      bases.push_back(it.commitment);
+      exps.push_back(z);
+      sum_e1 = bn::mod_add(sum_e1, bn::mod_mul(it.rep.e1, z, q), q);
+      sum_e2 = bn::mod_add(sum_e2, bn::mod_mul(it.rep.e2, z, q), q);
+    }
+    bases.push_back(grp.g1());
+    exps.push_back(bn::mod_sub(BigInt{0}, sum_e1, q));
+    bases.push_back(grp.g2());
+    exps.push_back(bn::mod_sub(BigInt{0}, sum_e2, q));
+    return grp.multi_exp(bases, exps) == BigInt{1};
+  };
+  auto single = [&](std::size_t i) {
+    return verify_representation(grp, items[i].commitment, items[i].rep);
+  };
+  return run_batch(items.size(), pre_check, combined, single);
+}
+
+}  // namespace p2pcash::nizk

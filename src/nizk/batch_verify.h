@@ -1,0 +1,71 @@
+// batch_verify.h — random-linear-combination batch verification for the
+// payment NIZK and the double-spend representation check.
+//
+// Both checks are pure group equations over public values:
+//   response:        A · B^d  == g1^r1 · g2^r2
+//   representation:  C        == g1^e1 · g2^e2
+// so n of them can be collapsed into ONE multi-exponentiation: pick random
+// scalars z_i and test
+//   prod_i ( A_i^{z_i} · B_i^{d_i·z_i} ) · g1^{-Σ z_i·r1_i} · g2^{-Σ z_i·r2_i} == 1.
+// If every individual equation holds, the product is 1 for any z.  If some
+// equation fails, the product is 1 only when the z_i hit a proper subgroup
+// of Z_q^n — probability 2^-λ for λ-bit z — so a passing batch is correct
+// except with negligible probability, and it costs one (2n+2)-term
+// multi-exp (Pippenger buckets at larger n; see bn/multi_exp) instead of n
+// separate 3-term ones.  The two g1/g2 columns fold into two fixed-base
+// terms regardless of n — that is where the batch saving comes from.
+//
+// A failing batch is *bisected*: split in half, re-test each half, recurse
+// until single items, which are checked with the plain per-item verifier.
+// Every index the bisection names is therefore definitive (no false
+// accusations from unlucky randomness), and accept/reject decisions are
+// bit-compatible with running the individual verifier n times.
+//
+// The z_i come from the caller's Rng: they need only be unpredictable to
+// the proof *submitter*, not secret afterwards, so a deterministic seeded
+// Rng keeps chaos runs reproducible without weakening soundness against
+// adversaries who cannot predict the seed.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nizk/representation.h"
+
+namespace p2pcash::nizk {
+
+/// One payment NIZK to check: A · B^d == g1^r1 · g2^r2.
+struct BatchItem {
+  Commitments comm;
+  bn::BigInt d;
+  Response resp;
+};
+
+/// One representation to check: commitment == g1^e1 · g2^e2.
+struct RepresentationItem {
+  bn::BigInt commitment;
+  Representation rep;
+};
+
+/// Outcome of a batch check: `ok` iff every item verifies; otherwise
+/// `bad_indices` names every offending item (ascending), each confirmed by
+/// an individual re-verification during bisection.
+struct BatchResult {
+  bool ok = true;
+  std::vector<std::size_t> bad_indices;
+};
+
+/// Batch form of verify_response.  Accounting matches what is actually
+/// computed: 2n+2 Exp for the combined check, plus the bisection's re-runs
+/// on failure (an all-valid batch of n >= 2 always beats 3n).
+BatchResult batch_verify_responses(const group::SchnorrGroup& grp,
+                                   std::span<const BatchItem> items,
+                                   bn::Rng& rng);
+
+/// Batch form of verify_representation (double-spend proof sweeps).
+BatchResult batch_verify_representations(
+    const group::SchnorrGroup& grp, std::span<const RepresentationItem> items,
+    bn::Rng& rng);
+
+}  // namespace p2pcash::nizk

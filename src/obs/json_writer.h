@@ -4,12 +4,14 @@
 // exports (METRICS_*.json): one serializer so every machine-readable
 // artifact this repo writes has the same shape and escaping rules.  Keys
 // are emitted in insertion order so diffs between runs stay readable, and
-// doubles are formatted with a fixed "%.6g" so the same run always
-// produces byte-identical output (a property the trace layer's
-// replay-determinism check relies on).
+// doubles are formatted with a fixed "%.6g" (non-finite values as null —
+// bare inf/nan tokens are not JSON) so the same run always produces
+// byte-identical output (a property the trace layer's replay-determinism
+// check relies on).
 
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -135,6 +137,13 @@ class JsonWriter {
   }
 
   void emit_double(double value) {
+    // "%.6g" renders non-finite doubles as bare `inf` / `nan` tokens,
+    // which is not JSON (an empty histogram's min is +inf, a 0/0 rate is
+    // NaN) — emit `null` so every artifact stays machine-parseable.
+    if (!std::isfinite(value)) {
+      out_ += "null";
+      return;
+    }
     char buf[32];
     std::snprintf(buf, sizeof buf, "%.6g", value);
     out_ += buf;

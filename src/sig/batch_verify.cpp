@@ -1,0 +1,41 @@
+#include "sig/batch_verify.h"
+
+#include <map>
+
+#include "metrics/counters.h"
+
+namespace p2pcash::sig {
+
+using bn::BigInt;
+
+BatchResult batch_verify(const group::SchnorrGroup& grp,
+                         std::span<const BatchItem> items) {
+  metrics::count_ver(items.size());
+  metrics::ScopedSuspendOpCounting suspend;
+  BatchResult out;
+  // One subgroup-membership exponentiation per DISTINCT key, not per item.
+  std::map<BigInt, bool> member;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const BatchItem& it = items[i];
+    bool good = !it.sig.e.is_negative() && it.sig.e < grp.q() &&
+                !it.sig.s.is_negative() && it.sig.s < grp.q();
+    if (good) {
+      auto [cached, inserted] = member.try_emplace(it.pk.y, false);
+      if (inserted) cached->second = grp.is_element(it.pk.y);
+      good = cached->second;
+    }
+    if (good) {
+      // R' = g^s · y^{q-e}; the hash equation pins each item individually.
+      BigInt r_point =
+          grp.exp2(grp.g(), it.sig.s, it.pk.y,
+                   bn::mod_sub(BigInt{0}, it.sig.e, grp.q()));
+      good = detail::challenge_hash(grp, r_point, it.pk.y, it.message) ==
+             it.sig.e;
+    }
+    if (!good) out.bad_indices.push_back(i);
+  }
+  out.ok = out.bad_indices.empty();
+  return out;
+}
+
+}  // namespace p2pcash::sig

@@ -1,0 +1,53 @@
+// batch_verify.h — amortized batch verification for Schnorr signatures.
+//
+// The (e, s) hash-form Schnorr used here admits NO sound random-linear-
+// combination batch: the verifier must recompute R' = g^s · y^{-e} for
+// each signature *individually* to feed the challenge hash
+// e == H(R' || y || m), and a hash equation is not a group equation that
+// random combiners can collapse.  (Transmitting R instead of e would make
+// signatures RLC-batchable at the cost of one extra group element each —
+// see DESIGN.md §6 for why we keep the compact form.)
+//
+// What a batch CAN amortize:
+//   * the subgroup-membership check on the public key — a full |q|-bit
+//     exponentiation per verify — is deduplicated across items sharing a
+//     key (the common case: one broker key across a table of entries, one
+//     witness key across a batch of endorsements);
+//   * the per-key fixed-base machinery in group::SchnorrGroup warms once
+//     and serves every item.
+// Each signature still pays its own 2-term multi-exp and hash, and every
+// failure is named directly (items are independent, so "bisection" is
+// exact: the offending indices fall out of the per-item checks).
+//
+// Accept/reject is bit-compatible with calling sig::verify per item.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sig/schnorr_sig.h"
+
+namespace p2pcash::sig {
+
+/// One signature to check.
+struct BatchItem {
+  PublicKey pk;
+  std::vector<std::uint8_t> message;
+  Signature sig;
+};
+
+/// `ok` iff every signature verifies; otherwise `bad_indices` names every
+/// offending item (ascending).
+struct BatchResult {
+  bool ok = true;
+  std::vector<std::size_t> bad_indices;
+};
+
+/// Verifies all items, deduplicating the per-key subgroup-membership
+/// exponentiation.  Counts one Ver per item (Table-1 accounting is per
+/// logical verification, as with the fast-exp layer).
+BatchResult batch_verify(const group::SchnorrGroup& grp,
+                         std::span<const BatchItem> items);
+
+}  // namespace p2pcash::sig

@@ -7,7 +7,7 @@ namespace p2pcash::sig {
 
 using bn::BigInt;
 
-namespace {
+namespace detail {
 
 BigInt challenge_hash(const group::SchnorrGroup& grp, const BigInt& r_point,
                       const BigInt& y,
@@ -29,7 +29,9 @@ BigInt challenge_hash(const group::SchnorrGroup& grp, const BigInt& r_point,
   return bn::mod(BigInt::from_bytes_be(digest), grp.q());
 }
 
-}  // namespace
+}  // namespace detail
+
+using detail::challenge_hash;
 
 std::string PublicKey::fingerprint() const {
   auto digest = crypto::Sha256::hash(y.to_bytes_be());

@@ -31,6 +31,7 @@
 
 #pragma once
 
+#include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
 
@@ -74,9 +75,19 @@ namespace p2pcash::sync {
 /// level-L lock, only locks with level < L (or unranked, level 0) may be
 /// acquired.  Levels encode the call graph's legal nesting:
 ///
+///   kPool (55)       verify.worker_pool — task queue; tasks run with the
+///                    queue lock released, so no lock below is ever taken
+///                    under it (and submitting while holding a service
+///                    lock is flagged as the liveness hazard it is).
 ///   kService (50)    ecash.broker, ecash.witness — service entry points;
 ///                    outermost, may call into group caches below.
+///   kShard (45)      ecash.witness_stripe — per-stripe coin-state locks.
+///                    All stripes share the level, so holding two stripes
+///                    at once is reported (stripes must be visited
+///                    sequentially, never nested).
 ///   kActors (40)     actors.peer_health — breaker bookkeeping.
+///   kShardRng (35)   ecash.witness_rng — shared-RNG draw guard, taken
+///                    inside a stripe for countersigning.
 ///   kTracer (30)     obs.tracer — open-span map; calls into registry/sink.
 ///   kRegistry (20)   obs.metrics_registry — instrument maps; exports call
 ///                    into histograms/sink/group collectors below.
@@ -84,8 +95,11 @@ namespace p2pcash::sync {
 ///   kGroupCache (5)  group.fast_base_cache, group.hash_cache — leaf-level
 ///                    lazy caches reachable from any exponentiation.
 namespace level {
+inline constexpr int kPool = 55;
 inline constexpr int kService = 50;
+inline constexpr int kShard = 45;
 inline constexpr int kActors = 40;
+inline constexpr int kShardRng = 35;
 inline constexpr int kTracer = 30;
 inline constexpr int kRegistry = 20;
 inline constexpr int kSink = 10;
@@ -180,6 +194,35 @@ class P2P_SCOPED_CAPABILITY MutexLock {
  private:
   Mutex* mu_;
   SharedMutex* shared_;
+};
+
+/// Condition variable usable with sync::Mutex.  Built on
+/// std::condition_variable_any, which releases/reacquires through the
+/// annotated lock()/unlock(), so the lock-order tracker sees a wait as a
+/// release followed by a fresh acquisition — re-waking inside a wait can
+/// never corrupt the held-locks stack.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified.  The caller must hold `mu`; it is released
+  /// while blocked and re-held on return (spurious wakeups possible — use
+  /// the predicate overload unless the loop is explicit at the call site).
+  void wait(Mutex& mu) P2P_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Blocks until `pred()` holds (checked with `mu` held).
+  template <typename Predicate>
+  void wait(Mutex& mu, Predicate pred) P2P_REQUIRES(mu) {
+    while (!pred()) cv_.wait(mu);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
 };
 
 /// RAII shared (reader) lock.

@@ -1,0 +1,59 @@
+#include "verify/worker_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace p2pcash::verify {
+
+WorkerPool::WorkerPool(std::size_t threads) {
+  const std::size_t n = std::max<std::size_t>(1, threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    sync::MutexLock lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void WorkerPool::submit(Task task) {
+  {
+    sync::MutexLock lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void WorkerPool::drain() {
+  sync::MutexLock lock(mu_);
+  while (!queue_.empty() || in_flight_ != 0) idle_cv_.wait(mu_);
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      sync::MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) work_cv_.wait(mu_);
+      if (queue_.empty()) return;  // stopping_ and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();  // queue lock released: the task may take service locks freely
+    bool now_idle;
+    {
+      sync::MutexLock lock(mu_);
+      --in_flight_;
+      now_idle = queue_.empty() && in_flight_ == 0;
+    }
+    if (now_idle) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace p2pcash::verify

@@ -1,0 +1,63 @@
+// worker_pool.h — a fixed-size verification worker pool.
+//
+// The witness hot path is embarrassingly parallel: independent payments
+// touch disjoint coins, and the striped WitnessService (src/ecash/witness)
+// lets concurrent sign_transcript calls proceed as long as they land on
+// different stripes.  This pool is the pipeline in front of it: callers
+// partition payments into batches (so the NIZK batch verifier amortizes
+// the multi-exp) and submit one task per batch; `drain()` is the barrier
+// at the end of a wave.
+//
+// Lock discipline: the queue mutex sits ABOVE the service level (kPool)
+// because tasks always run with it released — a worker dequeues under the
+// lock, drops it, then executes.  Submitting from inside a task or while
+// holding a service lock would be flagged by the lock-order checker, which
+// is intentional: both are liveness hazards (a full queue would deadlock
+// against its own workers).
+
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "sync/annotated.h"
+
+namespace p2pcash::verify {
+
+class WorkerPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns `threads` workers (at least 1).
+  explicit WorkerPool(std::size_t threads);
+  /// Drains outstanding work, then joins the workers.
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task.  Tasks run in submission order per worker pickup,
+  /// with no ordering guarantee across workers.
+  void submit(Task task);
+
+  /// Blocks until every submitted task has finished executing (queue empty
+  /// AND no task in flight).  New submissions during a drain extend it.
+  void drain();
+
+ private:
+  void worker_loop();
+
+  mutable sync::Mutex mu_{"verify.worker_pool", sync::level::kPool};
+  sync::CondVar work_cv_;   // signalled on submit and shutdown
+  sync::CondVar idle_cv_;   // signalled when a task retires
+  std::deque<Task> queue_ P2P_GUARDED_BY(mu_);
+  std::size_t in_flight_ P2P_GUARDED_BY(mu_) = 0;
+  bool stopping_ P2P_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace p2pcash::verify

@@ -34,7 +34,7 @@ TEST(GoldenVectors, EndToEndArtifactsArePinned) {
   ASSERT_TRUE(coin.ok());
   EXPECT_EQ(
       digest_of(wire::encode(coin.value().coin)),
-      "50f4933648c4ad6d8dcc6e74dc12fdbde3cd6926cd7bbae390c7b3704742cf38");
+      "85e92fab283ba04870f20983c6fe7199a4e00dd1e53049ebd03d67abcc0a8f9b");
 
   MerchantId target = dep.merchant_ids()[0] ==
                               coin.value().coin.witnesses[0].merchant
@@ -45,11 +45,11 @@ TEST(GoldenVectors, EndToEndArtifactsArePinned) {
   ASSERT_EQ(queue.size(), 1u);
   EXPECT_EQ(
       digest_of(wire::encode(queue[0])),
-      "129463bb2450321a4c133869510abfbc4efe51f8292d5d58e5ba9d0b5764fb50");
+      "7415ba802d8be7a0dcc1a22ff1a2419a10326a05570869cfd00852aab8ccd2f9");
 
   EXPECT_EQ(
       digest_of(wire::encode(dep.broker().current_table())),
-      "354e7f985001342b525b21eb78fd7dba905b9f4543eba6d6bb51a861e777077a");
+      "7ed32c1e2635371fd053732db8677b53172c1d01a38df6c1ef5bbe7931a06ef7");
 }
 
 TEST(GoldenVectors, RerunsAreBitIdentical) {

@@ -16,6 +16,7 @@
 #include "metrics/counters.h"
 #include "nizk/representation.h"
 #include "sig/schnorr_sig.h"
+#include "wire/codec.h"
 
 namespace p2pcash {
 namespace {
@@ -164,6 +165,78 @@ TEST(MultiExp, TableMemoryIsReportedAfterUse) {
   std::size_t bytes = grp.fixed_base_memory_bytes();
   EXPECT_GT(bytes, 3u * 40u * 15u * 32u);
   EXPECT_LT(bytes, 3u * 40u * 15u * 128u);
+}
+
+TEST(MultiExp, DegenerateBatchInputs) {
+  // Degenerate shapes the batch verifier feeds multi_exp must match the
+  // plain ladder exactly: zero exponents, identity bases, and mixes of
+  // both must contribute nothing to the product.
+  const SchnorrGroup& grp = SchnorrGroup::test_256();
+  crypto::ChaChaRng rng("multi-exp/degenerate");
+  BigInt base = bn::random_below(rng, grp.p() - BigInt{1}) + BigInt{1};
+  BigInt e = grp.random_scalar(rng);
+  // Empty batch -> 1.
+  EXPECT_EQ(grp.multi_exp({}, {}), BigInt{1});
+  // All-zero exponents -> 1 regardless of bases.
+  std::vector<BigInt> bases{base, grp.g1(), grp.g2()};
+  std::vector<BigInt> zeros{BigInt{0}, BigInt{0}, BigInt{0}};
+  EXPECT_EQ(grp.multi_exp(bases, zeros), BigInt{1});
+  // Identity bases contribute nothing under any exponent.
+  std::vector<BigInt> ones{BigInt{1}, BigInt{1}};
+  std::vector<BigInt> exps{e, grp.random_scalar(rng)};
+  EXPECT_EQ(grp.multi_exp(ones, exps), BigInt{1});
+  // A mix: only the live term shows through.
+  std::vector<BigInt> mixed_bases{BigInt{1}, base, grp.g1()};
+  std::vector<BigInt> mixed_exps{e, e, BigInt{0}};
+  EXPECT_EQ(grp.multi_exp(mixed_bases, mixed_exps), grp.exp(base, e));
+}
+
+TEST(MultiExp, SingleElementBatchMatchesPlainLadderExactly) {
+  // A batch of one must produce byte-for-byte the plain ladder's result
+  // (same canonical residue) for loose bases, generators and edge
+  // exponents alike.
+  const SchnorrGroup& grp = SchnorrGroup::test_512();
+  crypto::ChaChaRng rng("multi-exp/single");
+  auto canonical = [](const BigInt& v) {
+    wire::Writer w;
+    w.put_bigint(v);
+    return w.take();
+  };
+  for (int i = 0; i < 10; ++i) {
+    BigInt base = bn::random_below(rng, grp.p() - BigInt{1}) + BigInt{1};
+    BigInt e = i == 0 ? BigInt{0} : grp.random_scalar(rng);
+    BigInt batched = grp.multi_exp({&base, 1}, {&e, 1});
+    ScopedDisableFastExp off;
+    BigInt plain = grp.exp(base, e);
+    ASSERT_EQ(canonical(batched), canonical(plain)) << "draw " << i;
+  }
+}
+
+TEST(MultiExp, PippengerPathAgreesWithProductOfExps) {
+  // 150 bases crosses the bucket-method threshold (128); the result must
+  // still agree with the naive product, including zero exponents and
+  // identity bases sprinkled in.
+  const SchnorrGroup& grp = SchnorrGroup::test_256();
+  crypto::ChaChaRng rng("multi-exp/pippenger");
+  std::vector<BigInt> bases, exps;
+  for (std::size_t i = 0; i < 150; ++i) {
+    if (i % 31 == 0) {
+      bases.push_back(BigInt{1});
+      exps.push_back(grp.random_scalar(rng));
+    } else if (i % 17 == 0) {
+      bases.push_back(bn::random_below(rng, grp.p() - BigInt{1}) + BigInt{1});
+      exps.push_back(BigInt{0});
+    } else {
+      bases.push_back(bn::random_below(rng, grp.p() - BigInt{1}) + BigInt{1});
+      exps.push_back(grp.random_scalar(rng));
+    }
+  }
+  BigInt fused = grp.multi_exp(bases, exps);
+  ScopedDisableFastExp off;
+  BigInt expected{1};
+  for (std::size_t i = 0; i < bases.size(); ++i)
+    expected = grp.mul(expected, grp.exp(bases[i], exps[i]));
+  EXPECT_EQ(fused, expected);
 }
 
 // --- Table 1 invariance: fast paths must not move any op count ----------

@@ -8,6 +8,7 @@
 #include <limits>
 
 #include "metrics/counters.h"
+#include "obs/json_writer.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
@@ -170,6 +171,39 @@ TEST(MetricsRegistry, ExportsAreByteDeterministic) {
   const auto second = build();
   EXPECT_EQ(first.first, second.first);
   EXPECT_EQ(first.second, second.second);
+}
+
+// ---------------------------------------------------------------------------
+// JsonWriter non-finite handling
+// ---------------------------------------------------------------------------
+
+TEST(JsonWriter, NonFiniteDoublesEmitNull) {
+  // "%.6g" renders inf/nan as bare tokens, which is not JSON.  An empty
+  // histogram's min is +inf and a 0/0 rate is NaN, and both reach the
+  // JSON export — they must come out as null.
+  JsonWriter w;
+  w.field("pinf", std::numeric_limits<double>::infinity());
+  w.field("ninf", -std::numeric_limits<double>::infinity());
+  w.field("nan", std::nan(""));
+  w.field("finite", 1.5);
+  w.array_double("mixed", {1.0, std::numeric_limits<double>::infinity(),
+                           std::nan("")});
+  const std::string doc = w.finish();
+  EXPECT_NE(doc.find("\"pinf\": null"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"ninf\": null"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"nan\": null"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"finite\": 1.5"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("[1, null, null]"), std::string::npos) << doc;
+}
+
+TEST(JsonWriter, EmptyHistogramJsonExportIsValid) {
+  // Regression for the concrete production path: a registered-but-never-
+  // recorded histogram exports min=+inf through the JSON emitter.
+  MetricsRegistry reg;
+  reg.histogram("never_recorded_ms");
+  const std::string doc = reg.json_text();
+  EXPECT_EQ(doc.find("inf"), std::string::npos) << doc;
+  EXPECT_EQ(doc.find("nan"), std::string::npos) << doc;
 }
 
 // ---------------------------------------------------------------------------

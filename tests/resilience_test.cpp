@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "actors/retry.h"
 #include "actors/world.h"
 #include "ecash_fixture.h"
@@ -43,6 +46,25 @@ TEST(RetryPolicy, BackoffIsCapped) {
   crypto::ChaChaRng rng("backoff3");
   for (int i = 0; i < 50; ++i) {
     EXPECT_LE(policy.next_backoff(1'000'000, rng), policy.backoff_cap_ms);
+  }
+}
+
+TEST(RetryPolicy, BackoffStaysFiniteForPathologicalPrev) {
+  // Regression: prev_ms must be clamped to the cap BEFORE the 3x multiply.
+  // SimTime is a double, so 3 * DBL_MAX (or 3 * inf from a caller feeding
+  // accumulated sim time) is non-finite; the sampled backoff must still be
+  // a finite value in [base, cap].
+  RetryPolicy policy;
+  crypto::ChaChaRng rng("backoff4");
+  for (const double prev : {std::numeric_limits<double>::max(),
+                            std::numeric_limits<double>::infinity(),
+                            policy.backoff_cap_ms * 1e12}) {
+    for (int i = 0; i < 20; ++i) {
+      const auto b = policy.next_backoff(prev, rng);
+      ASSERT_TRUE(std::isfinite(b)) << "prev=" << prev;
+      ASSERT_GE(b, policy.backoff_base_ms);
+      ASSERT_LE(b, policy.backoff_cap_ms);
+    }
   }
 }
 

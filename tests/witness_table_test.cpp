@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
 
 #include "crypto/chacha.h"
@@ -143,6 +144,14 @@ TEST(WitnessTable, RejectsDegenerateInputs) {
       {"a", f.broker.public_key(), 0}};
   EXPECT_THROW(WitnessTable::build(1, 0, zero_weight, f.broker, f.rng),
                std::invalid_argument);
+  // Regression: total weight is accumulated in a uint64 — two near-max
+  // weights would silently wrap and corrupt every range boundary.
+  std::vector<WitnessTable::Participant> wrapping = {
+      {"a", f.broker.public_key(),
+       std::numeric_limits<std::uint64_t>::max() - 1},
+      {"b", f.broker.public_key(), 2}};
+  EXPECT_THROW(WitnessTable::build(1, 0, wrapping, f.broker, f.rng),
+               std::overflow_error);
 }
 
 TEST(WitnessTable, SerializationRoundTrip) {
