@@ -41,20 +41,20 @@ void ProtocolActor::send_after_cost(const OpCounters& ops, Message msg) {
 
 void ProtocolActor::send_after_cost(const OpCounters& ops, Message msg,
                                     obs::TraceContext span) {
-  const SimTime cost = cost_.sample_cost_ms(ops, net_.rng());
+  const SimTime cost = cost_.sample_cost_ms(ops, rng());
   if (cost <= 0) {
     if (auto* tr = tracer()) tr->end_span(span);
-    net_.send(std::move(msg));
+    tx_.send(std::move(msg));
     return;
   }
-  net_.sim().schedule(cost,
+  schedule(cost,
                       [this, span, msg = std::move(msg)]() mutable {
                         if (auto* tr = tracer()) tr->end_span(span);
-                        net_.send(std::move(msg));
+                        tx_.send(std::move(msg));
                       });
 }
 
-void ProtocolActor::send_now(Message msg) { net_.send(std::move(msg)); }
+void ProtocolActor::send_now(Message msg) { tx_.send(std::move(msg)); }
 
 obs::TraceContext ProtocolActor::start_span(const obs::TraceContext& parent,
                                             std::string_view name) {
@@ -457,7 +457,7 @@ void MerchantActor::send_deposit(const Hash256& coin_hash) {
 void MerchantActor::arm_deposit_timer(const Hash256& coin_hash,
                                       std::size_t attempts_when_armed) {
   const std::uint64_t restart_gen = restart_generation_;
-  net_.sim().schedule(
+  schedule(
       retry_.attempt_timeout_ms,
       [this, coin_hash, attempts_when_armed, restart_gen]() {
         if (restart_gen != restart_generation_) return;
@@ -475,9 +475,9 @@ void MerchantActor::arm_deposit_timer(const Hash256& coin_hash,
           pd.span = obs::TraceContext{};
           return;
         }
-        const SimTime backoff = retry_.next_backoff(pd.prev_backoff, net_.rng());
+        const SimTime backoff = retry_.next_backoff(pd.prev_backoff, rng());
         pd.prev_backoff = backoff;
-        net_.sim().schedule(
+        schedule(
             backoff, [this, coin_hash, attempts_when_armed, restart_gen]() {
               if (restart_gen != restart_generation_) return;
               auto it2 = pending_deposits_.find(coin_hash);
@@ -537,12 +537,12 @@ void MerchantActor::on_restart() {
 // ClientActor
 // ---------------------------------------------------------------------------
 
-ClientActor::ClientActor(simnet::Network& net, simnet::CostModel cost,
+ClientActor::ClientActor(transport::Transport& tx, simnet::CostModel cost,
                          const group::SchnorrGroup& grp,
                          sig::PublicKey broker_key,
                          const ecash::WitnessTable& table,
                          const Directory& directory, std::uint64_t seed)
-    : ProtocolActor(net, cost),
+    : ProtocolActor(tx, cost),
       grp_(grp),
       broker_key_(broker_key),
       table_(table),
@@ -564,9 +564,9 @@ void ClientActor::withdraw(Cents denomination, WithdrawCallback done,
   pending.last_payload = w.take();
   const std::uint64_t generation = pending.generation;
   if (deadline_ms > 0) {
-    pending.deadline = net_.sim().now() + deadline_ms;
+    pending.deadline = now_ms() + deadline_ms;
     // Overall deadline: fail with a clean refusal if still unresolved.
-    net_.sim().schedule(deadline_ms, [this, generation]() {
+    schedule(deadline_ms, [this, generation]() {
       auto fail_in = [&](std::map<std::uint64_t, PendingWithdrawal>& m) {
         for (auto it = m.begin(); it != m.end(); ++it) {
           if (it->second.generation != generation) continue;
@@ -603,7 +603,7 @@ ClientActor::PendingWithdrawal* ClientActor::find_withdrawal(
 void ClientActor::arm_withdraw_timer(bool by_session, std::uint64_t key,
                                      std::uint64_t generation,
                                      std::size_t attempts) {
-  net_.sim().schedule(retry_.attempt_timeout_ms,
+  schedule(retry_.attempt_timeout_ms,
                       [this, by_session, key, generation, attempts]() {
                         on_withdraw_silence(by_session, key, generation,
                                             attempts);
@@ -617,19 +617,19 @@ void ClientActor::on_withdraw_silence(bool by_session, std::uint64_t key,
   if (!pending || pending->deadline <= 0) return;
   if (pending->attempts != attempts) return;  // a newer attempt is in flight
   trace_note(pending->span, "rpc.silence", "no broker reply before timeout");
-  if (health_.record_failure(directory_.broker, net_.sim().now())) {
+  if (health_.record_failure(directory_.broker, now_ms())) {
     ++resilience_.breaker_trips;
     trace_note(pending->span, "breaker.trip", "broker circuit opened");
   }
   if (pending->attempts >= retry_.max_attempts) return;  // deadline decides
   const SimTime backoff = retry_.next_backoff(pending->prev_backoff,
-                                              net_.rng());
+                                              rng());
   pending->prev_backoff = backoff;
-  net_.sim().schedule(backoff, [this, by_session, key, generation,
+  schedule(backoff, [this, by_session, key, generation,
                                 attempts]() {
     PendingWithdrawal* p = find_withdrawal(by_session, key, generation);
     if (!p || p->attempts != attempts) return;
-    if (!health_.allow(directory_.broker, net_.sim().now())) {
+    if (!health_.allow(directory_.broker, now_ms())) {
       // Breaker open: re-arm so the retry loop resumes with the probe.
       arm_withdraw_timer(by_session, key, generation, attempts);
       return;
@@ -732,7 +732,7 @@ void ClientActor::handle_withdraw_response(const Message& msg) {
     coin = wallet_.complete_withdrawal(*pending.state, response, table_);
   }
   // Charge the unblinding cost before reporting completion.
-  net_.sim().schedule(cost_.sample_cost_ms(ops, net_.rng()),
+  schedule(cost_.sample_cost_ms(ops, rng()),
                       [this, span = pending.span,
                        done = std::move(pending.done),
                        coin = std::move(coin)]() mutable {
@@ -769,7 +769,7 @@ void ClientActor::pay(const ecash::WalletCoin& coin,
   p.coin = coin;
   p.merchant = merchant;
   p.merchant_node = merchant_node->second;
-  p.started = net_.sim().now();
+  p.started = now_ms();
   p.deadline = p.started + timeout_ms;
   p.generation = ++pay_generation_;
   p.done = std::move(done);
@@ -829,24 +829,24 @@ void ClientActor::pay(const ecash::WalletCoin& coin,
     const std::size_t need = payment.coin.coin.bare.info.witness_k;
     std::size_t engaged = 0;
     for (std::size_t i = 0; i < payment.plan.size() && engaged < need; ++i) {
-      if (!health_.allow(payment.plan[i].node, net_.sim().now())) continue;
+      if (!health_.allow(payment.plan[i].node, now_ms())) continue;
       send_commit_req(payment, i);
       ++engaged;
     }
   };
-  const SimTime prep_cost = cost_.sample_cost_ms(ops, net_.rng());
+  const SimTime prep_cost = cost_.sample_cost_ms(ops, rng());
   if (prep_cost > 0) {
-    net_.sim().schedule(prep_cost, engage);
+    schedule(prep_cost, engage);
   } else {
     engage();
   }
 
-  net_.sim().schedule(timeout_ms, [this, coin_hash, generation]() {
+  schedule(timeout_ms, [this, coin_hash, generation]() {
     auto it = payments_.find(coin_hash);
     if (it == payments_.end() || it->second.generation != generation) return;
     PayResult result;
     result.accepted = false;
-    result.elapsed_ms = net_.sim().now() - it->second.started;
+    result.elapsed_ms = now_ms() - it->second.started;
     result.error = "timeout";
     ++resilience_.timeouts;
     trace_note(it->second.phase, "rpc.timeout", "payment deadline expired");
@@ -865,7 +865,7 @@ void ClientActor::send_commit_req(PendingPayment& p, std::size_t index) {
 void ClientActor::arm_commit_timer(const Hash256& coin_hash,
                                    std::uint64_t generation, std::size_t index,
                                    std::size_t attempts) {
-  net_.sim().schedule(retry_.attempt_timeout_ms,
+  schedule(retry_.attempt_timeout_ms,
                       [this, coin_hash, generation, index, attempts]() {
                         on_commit_silence(coin_hash, generation, index,
                                           attempts);
@@ -888,7 +888,7 @@ void ClientActor::on_commit_silence(const Hash256& coin_hash,
   // attempt budget runs out.
   trace_note(p.phase, "rpc.silence",
              "no commit from witness node " + std::to_string(attempt.node));
-  if (health_.record_failure(attempt.node, net_.sim().now())) {
+  if (health_.record_failure(attempt.node, now_ms())) {
     ++resilience_.breaker_trips;
     trace_note(p.phase, "breaker.trip",
                "witness node " + std::to_string(attempt.node) +
@@ -903,9 +903,9 @@ void ClientActor::on_commit_silence(const Hash256& coin_hash,
     check_commit_possibility(p, "witness unreachable");
     return;
   }
-  const SimTime backoff = retry_.next_backoff(attempt.prev_backoff, net_.rng());
+  const SimTime backoff = retry_.next_backoff(attempt.prev_backoff, rng());
   attempt.prev_backoff = backoff;
-  net_.sim().schedule(backoff, [this, coin_hash, generation, index,
+  schedule(backoff, [this, coin_hash, generation, index,
                                 attempts]() {
     auto it2 = payments_.find(coin_hash);
     if (it2 == payments_.end() || it2->second.generation != generation) return;
@@ -926,7 +926,7 @@ void ClientActor::engage_next_witness(PendingPayment& p) {
   for (std::size_t i = 0; i < p.plan.size(); ++i) {
     WitnessAttempt& attempt = p.plan[i];
     if (attempt.attempts > 0 || attempt.refused || attempt.exhausted) continue;
-    if (!health_.allow(attempt.node, net_.sim().now())) continue;
+    if (!health_.allow(attempt.node, now_ms())) continue;
     ++resilience_.failovers;
     trace_note(p.phase, "rpc.failover",
                "engaging spare witness node " + std::to_string(attempt.node));
@@ -945,7 +945,7 @@ void ClientActor::check_commit_possibility(PendingPayment& p,
   }
   if (possible >= need) return;
   PayResult result;
-  result.elapsed_ms = net_.sim().now() - p.started;
+  result.elapsed_ms = now_ms() - p.started;
   result.error = detail;
   finish_payment(p, std::move(result));
 }
@@ -1007,7 +1007,7 @@ void ClientActor::handle_commit(const Message& msg) {
   }
   if (!transcript) {
     PayResult result;
-    result.elapsed_ms = net_.sim().now() - p.started;
+    result.elapsed_ms = now_ms() - p.started;
     result.error = transcript.refusal().detail;
     finish_payment(p, std::move(result));
     return;
@@ -1020,14 +1020,14 @@ void ClientActor::handle_commit(const Message& msg) {
 
   const Hash256 coin_hash = p.intent.coin_hash;
   const std::uint64_t generation = p.generation;
-  const SimTime build_cost = cost_.sample_cost_ms(ops, net_.rng());
+  const SimTime build_cost = cost_.sample_cost_ms(ops, rng());
   auto deliver = [this, coin_hash, generation]() {
     auto it2 = payments_.find(coin_hash);
     if (it2 == payments_.end() || it2->second.generation != generation) return;
     send_transcript(it2->second);
   };
   if (build_cost > 0) {
-    net_.sim().schedule(build_cost, deliver);
+    schedule(build_cost, deliver);
   } else {
     deliver();
   }
@@ -1044,7 +1044,7 @@ void ClientActor::send_transcript(PendingPayment& p) {
 void ClientActor::arm_transcript_timer(const Hash256& coin_hash,
                                        std::uint64_t generation,
                                        std::size_t attempts) {
-  net_.sim().schedule(retry_.attempt_timeout_ms,
+  schedule(retry_.attempt_timeout_ms,
                       [this, coin_hash, generation, attempts]() {
                         on_transcript_silence(coin_hash, generation, attempts);
                       });
@@ -1058,22 +1058,22 @@ void ClientActor::on_transcript_silence(const Hash256& coin_hash,
   PendingPayment& p = it->second;
   if (p.transcript_attempts != attempts) return;  // a resend superseded this
   trace_note(p.phase, "rpc.silence", "no merchant reply to transcript");
-  if (health_.record_failure(p.merchant_node, net_.sim().now())) {
+  if (health_.record_failure(p.merchant_node, now_ms())) {
     ++resilience_.breaker_trips;
     trace_note(p.phase, "breaker.trip", "merchant circuit opened");
   }
   if (p.transcript_attempts >= retry_.max_attempts) {
     // The merchant is the one fixed counterparty — no failover target.
     PayResult result;
-    result.elapsed_ms = net_.sim().now() - p.started;
+    result.elapsed_ms = now_ms() - p.started;
     result.error = "merchant unreachable";
     finish_payment(p, std::move(result));
     return;
   }
   const SimTime backoff =
-      retry_.next_backoff(p.transcript_prev_backoff, net_.rng());
+      retry_.next_backoff(p.transcript_prev_backoff, rng());
   p.transcript_prev_backoff = backoff;
-  net_.sim().schedule(backoff, [this, coin_hash, generation, attempts]() {
+  schedule(backoff, [this, coin_hash, generation, attempts]() {
     auto it2 = payments_.find(coin_hash);
     if (it2 == payments_.end() || it2->second.generation != generation) return;
     PendingPayment& p2 = it2->second;
@@ -1102,7 +1102,7 @@ void ClientActor::handle_pay_reply(const Message& msg) {
     trace_note(it->second.phase, "pay.double_spend",
                "merchant returned a double-spend proof");
     PayResult result;
-    result.elapsed_ms = net_.sim().now() - it->second.started;
+    result.elapsed_ms = now_ms() - it->second.started;
     result.double_spend_proof = std::move(proof);
     result.error = "double spend detected";
     finish_payment(it->second, std::move(result));
@@ -1146,7 +1146,7 @@ void ClientActor::handle_pay_reply(const Message& msg) {
     return;
   }
   PayResult result;
-  result.elapsed_ms = net_.sim().now() - p.started;
+  result.elapsed_ms = now_ms() - p.started;
   if (msg.type == "pay.service") {
     health_.record_success(p.merchant_node);
     result.accepted = true;

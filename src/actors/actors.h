@@ -30,6 +30,7 @@
 #include "ecash/wallet.h"
 #include "ecash/witness.h"
 #include "simnet/net.h"
+#include "transport/transport.h"
 
 namespace p2pcash::actors {
 
@@ -46,16 +47,21 @@ struct Directory {
   std::map<MerchantId, NodeId> merchants;  // storefront + witness co-located
 };
 
-/// Base for protocol actors: cost-charged replies and current sim time as a
+/// Base for protocol actors: cost-charged replies and current time as a
 /// protocol Timestamp.
+///
+/// Actors are written against transport::Transport, never a concrete
+/// network: over SimnetTransport they behave byte-for-byte as they always
+/// did on simnet; over TcpNet the same handlers run on real sockets and
+/// worker threads.  The strand contract (transport.h) is what makes the
+/// actors' lock-free state safe there: all of one actor's handlers,
+/// timers and posts are mutually serialized by the transport.
 class ProtocolActor : public simnet::Node {
  public:
-  ProtocolActor(simnet::Network& net, simnet::CostModel cost)
-      : net_(net), cost_(cost) {}
+  ProtocolActor(transport::Transport& tx, simnet::CostModel cost)
+      : tx_(tx), cost_(cost) {}
 
-  Timestamp now() const {
-    return static_cast<Timestamp>(net_.sim().now());
-  }
+  Timestamp now() const { return static_cast<Timestamp>(tx_.now()); }
 
  protected:
   /// Sends `msg` after charging the compute time for `ops`.
@@ -67,10 +73,19 @@ class ProtocolActor : public simnet::Node {
   /// Sends with no compute charge.
   void send_now(Message msg);
 
-  /// The network's tracer, or nullptr when tracing is off.  All span
+  /// Current transport time in milliseconds (sim-time or wall-clock).
+  SimTime now_ms() const { return tx_.now(); }
+  /// Runs `fn` on this actor's strand after `delay_ms`.
+  void schedule(SimTime delay_ms, std::function<void()> fn) {
+    tx_.schedule_on(id(), delay_ms, std::move(fn));
+  }
+  /// This actor's strand-confined RNG (retry jitter, cost sampling).
+  bn::Rng& rng() { return tx_.rng(id()); }
+
+  /// The transport's tracer, or nullptr when tracing is off.  All span
   /// state in the actors is plain TraceContext values; with no tracer
   /// attached they stay invalid and every call on them no-ops.
-  obs::Tracer* tracer() const { return net_.tracer(); }
+  obs::Tracer* tracer() const { return tx_.tracer(); }
   /// Opens a child span of `parent` on this node (invalid when tracing is
   /// off or the parent is untraced).
   obs::TraceContext start_span(const obs::TraceContext& parent,
@@ -79,16 +94,16 @@ class ProtocolActor : public simnet::Node {
   void trace_note(const obs::TraceContext& ctx, std::string_view name,
                   std::string_view detail = {});
 
-  simnet::Network& net_;
+  transport::Transport& tx_;
   simnet::CostModel cost_;
 };
 
 /// The broker as an actor: withdrawal, deposit and renewal services.
 class BrokerActor final : public ProtocolActor {
  public:
-  BrokerActor(simnet::Network& net, simnet::CostModel cost,
+  BrokerActor(transport::Transport& tx, simnet::CostModel cost,
               ecash::Broker& broker)
-      : ProtocolActor(net, cost), broker_(broker) {}
+      : ProtocolActor(tx, cost), broker_(broker) {}
 
   void on_message(const Message& msg) override;
 
@@ -101,10 +116,10 @@ class BrokerActor final : public ProtocolActor {
 /// A merchant machine: storefront and witness service behind one node.
 class MerchantActor final : public ProtocolActor {
  public:
-  MerchantActor(simnet::Network& net, simnet::CostModel cost,
+  MerchantActor(transport::Transport& tx, simnet::CostModel cost,
                 ecash::Merchant& merchant, ecash::WitnessService& witness,
                 const Directory& directory)
-      : ProtocolActor(net, cost),
+      : ProtocolActor(tx, cost),
         merchant_(merchant),
         witness_(witness),
         directory_(directory) {}
@@ -182,7 +197,7 @@ class MerchantActor final : public ProtocolActor {
 /// successor order), and a per-peer circuit breaker.
 class ClientActor final : public ProtocolActor {
  public:
-  ClientActor(simnet::Network& net, simnet::CostModel cost,
+  ClientActor(transport::Transport& tx, simnet::CostModel cost,
               const group::SchnorrGroup& grp, sig::PublicKey broker_key,
               const ecash::WitnessTable& table, const Directory& directory,
               std::uint64_t seed);

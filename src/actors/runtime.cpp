@@ -1,0 +1,147 @@
+#include "actors/runtime.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace p2pcash::actors {
+
+namespace {
+MerchantId merchant_name(std::size_t i) {
+  char buf[32];  // large enough for "m" + any 64-bit index
+  std::snprintf(buf, sizeof buf, "m%03zu", i);
+  return buf;
+}
+}  // namespace
+
+NodeRuntime::NodeRuntime(const group::SchnorrGroup& grp, Options options)
+    : grp_(grp), options_(options) {
+  auto net_options = options_.net;
+  net_options.worker_threads = options_.worker_threads;
+  net_options.seed = options_.seed;
+  net_ = std::make_unique<transport::TcpNet>(net_options);
+
+  // Construction-time stream for key generation; every service then gets
+  // its own fork, confined to its host actor's strand.  (SimWorld shares
+  // one RNG across the world — legal only because simulation is
+  // single-threaded.)
+  crypto::ChaChaRng setup_rng(options_.seed);
+  broker_rng_ =
+      std::make_unique<crypto::ChaChaRng>(setup_rng.fork("broker"));
+  broker_ = std::make_unique<ecash::Broker>(grp_, *broker_rng_,
+                                            options_.broker);
+  broker_actor_ =
+      std::make_unique<BrokerActor>(*net_, options_.cost, *broker_);
+  directory_.broker = net_->attach(*broker_actor_);
+
+  if (options_.merchants == 0)
+    throw std::invalid_argument("NodeRuntime: need at least one merchant");
+  merchants_.reserve(options_.merchants);
+  for (std::size_t i = 0; i < options_.merchants; ++i) {
+    MerchantSlot slot;
+    slot.id = merchant_name(i);
+    auto key = sig::KeyPair::generate(grp_, setup_rng);
+    broker_->register_merchant(slot.id, key.public_key(),
+                               options_.security_deposit);
+    slot.rng = std::make_unique<crypto::ChaChaRng>(setup_rng.fork(slot.id));
+    slot.merchant = std::make_unique<ecash::Merchant>(
+        grp_, broker_->coin_key(), slot.id, key, *slot.rng);
+    slot.witness = std::make_unique<ecash::WitnessService>(
+        grp_, broker_->coin_key(), slot.id, key, *slot.rng);
+    slot.actor = std::make_unique<MerchantActor>(
+        *net_, options_.cost, *slot.merchant, *slot.witness, directory_);
+    slot.actor->set_retry_policy(options_.retry);
+    directory_.merchants[slot.id] = net_->attach(*slot.actor);
+    merchants_.push_back(std::move(slot));
+  }
+  broker_->publish_witness_table(/*now=*/0);
+}
+
+NodeRuntime::~NodeRuntime() { stop(); }
+
+std::vector<MerchantId> NodeRuntime::merchant_ids() const {
+  std::vector<MerchantId> out;
+  out.reserve(merchants_.size());
+  for (const auto& slot : merchants_) out.push_back(slot.id);
+  return out;
+}
+
+MerchantActor& NodeRuntime::merchant_actor(const MerchantId& id) {
+  for (auto& slot : merchants_) {
+    if (slot.id == id) return *slot.actor;
+  }
+  throw std::invalid_argument("NodeRuntime: unknown merchant " + id);
+}
+
+NodeId NodeRuntime::merchant_node(const MerchantId& id) const {
+  auto it = directory_.merchants.find(id);
+  if (it == directory_.merchants.end())
+    throw std::invalid_argument("NodeRuntime: unknown merchant " + id);
+  return it->second;
+}
+
+ClientActor& NodeRuntime::add_client() {
+  clients_.push_back(std::make_unique<ClientActor>(
+      *net_, options_.cost, grp_, broker_->coin_key(),
+      broker_->current_table(), directory_,
+      options_.seed * 1000003 + (++next_client_seed_)));
+  net_->attach(*clients_.back());
+  clients_.back()->set_retry_policy(options_.retry);
+  clients_.back()->set_breaker_config(options_.breaker);
+  return *clients_.back();
+}
+
+void NodeRuntime::start() { net_->start(); }
+
+void NodeRuntime::stop() {
+  if (net_) net_->stop();
+}
+
+void NodeRuntime::set_merchant_down(const MerchantId& id, bool down) {
+  net_->set_down(merchant_node(id), down);
+}
+
+ecash::Outcome<ecash::WalletCoin> NodeRuntime::withdraw(ClientActor& client,
+                                                        Cents denomination,
+                                                        SimTime deadline_ms) {
+  auto promise =
+      std::make_shared<std::promise<ecash::Outcome<ecash::WalletCoin>>>();
+  auto future = promise->get_future();
+  net_->post(client.id(), [&client, denomination, deadline_ms, promise] {
+    client.withdraw(
+        denomination,
+        [promise](ecash::Outcome<ecash::WalletCoin> result) {
+          promise->set_value(std::move(result));
+        },
+        deadline_ms);
+  });
+  return future.get();
+}
+
+ClientActor::PayResult NodeRuntime::pay(ClientActor& client,
+                                        const ecash::WalletCoin& coin,
+                                        const MerchantId& merchant,
+                                        SimTime timeout_ms) {
+  auto promise = std::make_shared<std::promise<ClientActor::PayResult>>();
+  auto future = promise->get_future();
+  net_->post(client.id(), [&client, coin, merchant, timeout_ms, promise] {
+    client.pay(
+        coin, merchant,
+        [promise](ClientActor::PayResult result) {
+          promise->set_value(std::move(result));
+        },
+        timeout_ms);
+  });
+  return future.get();
+}
+
+metrics::ResilienceCounters NodeRuntime::resilience_totals() const {
+  // Counters are plain fields mutated on actor strands: call this only
+  // while the transport is stopped (or quiescent).
+  metrics::ResilienceCounters total;
+  for (const auto& client : clients_) total += client->resilience();
+  for (const auto& slot : merchants_) total += slot.actor->resilience();
+  return total;
+}
+
+}  // namespace p2pcash::actors

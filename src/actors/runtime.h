@@ -1,0 +1,122 @@
+// runtime.h — a real multithreaded node deployment over TCP.
+//
+// The counterpart of SimWorld (world.h): the same construction recipe —
+// broker, merchant machines (storefront + witness), clients, witness
+// table published to everyone — but hosted on transport::TcpNet, so every
+// protocol message crosses a real loopback TCP connection and every actor
+// runs on a worker-pool strand.  This is the harness the scalability
+// bench drives for true payments/sec: with W worker threads, W payments
+// can be in distinct actors' handlers simultaneously.
+//
+// Differences from SimWorld, all forced by realness:
+//   * Time is wall-clock milliseconds (the transport's clock), so runs
+//     are NOT seed-reproducible; determinism tests stay on SimWorld.
+//   * Every service gets its own RNG stream (SimWorld shares one across
+//     the whole world — safe there because the simulation is one thread).
+//   * The default CostModel is free_cost(): real crypto already costs
+//     real time, and the simulated-cost model would just add sleeps.
+//   * No FaultPlan; crash/restart is modeled at the transport
+//     (TcpNet::set_down) — reconnection is the thing under test.
+//
+// This header is det_lint-scoped (src/actors): it reads no clock and no
+// entropy of its own; all time flows through the Transport.
+
+#pragma once
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "actors/actors.h"
+#include "transport/tcp_net.h"
+
+namespace p2pcash::actors {
+
+class NodeRuntime {
+ public:
+  struct Options {
+    std::size_t merchants = 4;
+    /// Strand-executor threads in the transport's worker pool.
+    std::size_t worker_threads = 2;
+    std::uint64_t seed = 1;
+    /// Compute-cost model charged by actors before replies.  Defaults to
+    /// free: the OpenSSL bignum work is real here.
+    simnet::CostModel cost = simnet::free_cost();
+    ecash::Broker::Config broker;
+    ecash::Cents security_deposit = 10'000;
+    /// Actor-level RPC retry discipline (timers on the wall clock now).
+    RetryPolicy retry;
+    PeerHealth::Config breaker;
+    /// Transport knobs (queue caps, reconnect pacing, frame limit).
+    /// worker_threads and seed above override the ones in here.
+    transport::TcpNet::Options net;
+  };
+
+  explicit NodeRuntime(const group::SchnorrGroup& grp, Options options);
+  ~NodeRuntime();  // stop()s
+  NodeRuntime(const NodeRuntime&) = delete;
+  NodeRuntime& operator=(const NodeRuntime&) = delete;
+
+  transport::TcpNet& net() { return *net_; }
+  ecash::Broker& broker() { return *broker_; }
+  const Directory& directory() const { return directory_; }
+
+  std::vector<MerchantId> merchant_ids() const;
+  MerchantActor& merchant_actor(const MerchantId& id);
+  NodeId merchant_node(const MerchantId& id) const;
+
+  /// Creates a client endpoint.  Only legal before start() (the TCP
+  /// transport fixes its endpoint set when the io loop spawns).
+  ClientActor& add_client();
+
+  /// Starts the io loop and worker pool; actors begin receiving.
+  void start();
+  /// Stops the transport.  Actors stay alive for post-mortem inspection.
+  void stop();
+
+  /// Takes a merchant machine down / up at the transport (listener closed,
+  /// connections severed — senders enter the reconnect path).
+  void set_merchant_down(const MerchantId& id, bool down);
+
+  // -- blocking drivers ----------------------------------------------------
+  // Callable from any external thread (NOT from an actor strand: they
+  // block on a future the strand must fulfil).  The operation is posted
+  // onto the client's strand, honoring the transport's serialization
+  // contract.
+
+  /// Withdraws one coin, waiting up to the actor-level deadline.
+  ecash::Outcome<ecash::WalletCoin> withdraw(ClientActor& client,
+                                             Cents denomination,
+                                             SimTime deadline_ms = 30'000);
+
+  /// Runs one full payment, waiting for the actor-level outcome.
+  ClientActor::PayResult pay(ClientActor& client,
+                             const ecash::WalletCoin& coin,
+                             const MerchantId& merchant,
+                             SimTime timeout_ms = 30'000);
+
+  /// Sum of the resilience counters across all clients and merchants.
+  metrics::ResilienceCounters resilience_totals() const;
+
+ private:
+  struct MerchantSlot {
+    MerchantId id;
+    std::unique_ptr<crypto::ChaChaRng> rng;  ///< strand-confined stream
+    std::unique_ptr<ecash::Merchant> merchant;
+    std::unique_ptr<ecash::WitnessService> witness;
+    std::unique_ptr<MerchantActor> actor;
+  };
+
+  group::SchnorrGroup grp_;
+  Options options_;
+  std::unique_ptr<transport::TcpNet> net_;
+  std::unique_ptr<crypto::ChaChaRng> broker_rng_;
+  std::unique_ptr<ecash::Broker> broker_;
+  std::unique_ptr<BrokerActor> broker_actor_;
+  Directory directory_;
+  std::vector<MerchantSlot> merchants_;
+  std::vector<std::unique_ptr<ClientActor>> clients_;
+  std::uint64_t next_client_seed_ = 0;
+};
+
+}  // namespace p2pcash::actors

@@ -21,6 +21,7 @@ SimWorld::SimWorld(const group::SchnorrGroup& grp, Options options)
       std::make_unique<simnet::UniformLatency>(options_.latency_lo,
                                                options_.latency_hi),
       *rng_, options_.wire);
+  shim_ = std::make_unique<transport::SimnetTransport>(*net_);
   // The tracer reads the simulator clock directly: spans carry sim-time,
   // so the same seed replays a byte-identical trace.
   tracer_ = std::make_unique<obs::Tracer>([this]() { return sim_.now(); },
@@ -29,8 +30,8 @@ SimWorld::SimWorld(const group::SchnorrGroup& grp, Options options)
   register_collectors();
   broker_ = std::make_unique<ecash::Broker>(grp_, *rng_, options_.broker);
   broker_actor_ =
-      std::make_unique<BrokerActor>(*net_, options_.cost, *broker_);
-  directory_.broker = net_->attach(*broker_actor_);
+      std::make_unique<BrokerActor>(*shim_, options_.cost, *broker_);
+  directory_.broker = shim_->attach(*broker_actor_);
   faults_ = std::make_unique<simnet::FaultPlan>(*net_);
   // Broker crash model: ledgers, account table and open sessions are
   // snapshotted synchronously at crash time and restored at restart
@@ -58,9 +59,9 @@ SimWorld::SimWorld(const group::SchnorrGroup& grp, Options options)
     slot.witness = std::make_unique<ecash::WitnessService>(
         grp_, broker_->coin_key(), slot.id, key, *rng_);
     slot.actor = std::make_unique<MerchantActor>(
-        *net_, options_.cost, *slot.merchant, *slot.witness, directory_);
+        *shim_, options_.cost, *slot.merchant, *slot.witness, directory_);
     slot.actor->set_retry_policy(options_.retry);
-    directory_.merchants[slot.id] = net_->attach(*slot.actor);
+    directory_.merchants[slot.id] = shim_->attach(*slot.actor);
     // Hooks capture the slot INDEX: merchants_ may still reallocate while
     // this constructor loop pushes more slots.
     faults_->set_recovery_hooks(
@@ -117,10 +118,10 @@ NodeId SimWorld::merchant_node(const MerchantId& id) const {
 
 ClientActor& SimWorld::add_client() {
   clients_.push_back(std::make_unique<ClientActor>(
-      *net_, options_.cost, grp_, broker_->coin_key(),
+      *shim_, options_.cost, grp_, broker_->coin_key(),
       broker_->current_table(), directory_,
       options_.seed * 1000003 + (++next_client_seed_)));
-  net_->attach(*clients_.back());
+  shim_->attach(*clients_.back());
   clients_.back()->set_retry_policy(options_.retry);
   clients_.back()->set_breaker_config(options_.breaker);
   return *clients_.back();

@@ -19,6 +19,7 @@
 #include "obs/trace.h"
 #include "simnet/fault.h"
 #include "simnet/sim.h"
+#include "transport/simnet_transport.h"
 
 namespace p2pcash::actors {
 
@@ -51,6 +52,7 @@ class SimWorld {
 
   simnet::Simulator& sim() { return sim_; }
   simnet::Network& net() { return *net_; }
+  transport::Transport& transport() { return *shim_; }
   ecash::Broker& broker() { return *broker_; }
   const Directory& directory() const { return directory_; }
   const group::SchnorrGroup& grp() const { return grp_; }
@@ -116,6 +118,9 @@ class SimWorld {
   bool trace_on_ = false;
   std::unique_ptr<crypto::ChaChaRng> rng_;
   std::unique_ptr<simnet::Network> net_;
+  /// The deterministic Transport the actors speak through: a verbatim
+  /// forwarding shim over net_, so the simnet path stays byte-identical.
+  std::unique_ptr<transport::SimnetTransport> shim_;
   std::unique_ptr<ecash::Broker> broker_;
   std::unique_ptr<BrokerActor> broker_actor_;
   std::unique_ptr<simnet::FaultPlan> faults_;

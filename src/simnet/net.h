@@ -28,6 +28,10 @@
 #include "simnet/models.h"
 #include "simnet/sim.h"
 
+namespace p2pcash::transport {
+class TcpNet;
+}  // namespace p2pcash::transport
+
 namespace p2pcash::simnet {
 
 /// A typed message. The payload is an opaque canonical encoding; `type`
@@ -55,6 +59,9 @@ class Node {
 
  private:
   friend class Network;
+  // The real transport (src/transport/tcp_net) assigns ids the same way
+  // Network does; it is the only other implementation of that role.
+  friend class p2pcash::transport::TcpNet;
   NodeId id_ = 0;
 };
 

@@ -75,6 +75,18 @@ namespace p2pcash::sync {
 /// level-L lock, only locks with level < L (or unranked, level 0) may be
 /// acquired.  Levels encode the call graph's legal nesting:
 ///
+///   kTransport (65)  transport.net — TCP conn registry, per-peer outbound
+///                    queues and stats.  Held only for queue append/flush
+///                    bookkeeping; never while running user code.
+///   kTransportTimer (63)
+///                    transport.timers — io-loop timer heap.  Fired timers
+///                    are extracted under the lock and dispatched after
+///                    release, so mailbox/pool locks never nest inside it.
+///   kMailbox (60)    transport.mailbox — per-endpoint strand queues.  A
+///                    drain swaps the queue out under the lock and runs
+///                    handlers with it released; handler code (service
+///                    locks, kService and below) therefore never executes
+///                    under a mailbox lock.
 ///   kPool (55)       verify.worker_pool — task queue; tasks run with the
 ///                    queue lock released, so no lock below is ever taken
 ///                    under it (and submitting while holding a service
@@ -95,6 +107,9 @@ namespace p2pcash::sync {
 ///   kGroupCache (5)  group.fast_base_cache, group.hash_cache — leaf-level
 ///                    lazy caches reachable from any exponentiation.
 namespace level {
+inline constexpr int kTransport = 65;
+inline constexpr int kTransportTimer = 63;
+inline constexpr int kMailbox = 60;
 inline constexpr int kPool = 55;
 inline constexpr int kService = 50;
 inline constexpr int kShard = 45;

@@ -1,0 +1,936 @@
+#include "transport/tcp_net.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "wire/codec.h"
+
+namespace p2pcash::transport {
+
+namespace {
+
+/// How many queued frame bytes flush_writes moves into the io staging
+/// buffer per refill: bounds the time the conn-registry lock is held and
+/// the memory outside the accounted queue.
+constexpr std::size_t kWriteChunk = 256 * 1024;
+
+/// Tasks one strand drain runs before re-submitting itself, so one hot
+/// endpoint cannot starve the other strands sharing the worker pool.
+constexpr std::size_t kStrandBatch = 64;
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_envelope(const Message& msg) {
+  wire::Writer w;
+  w.put_u32(msg.from);
+  w.put_u32(msg.to);
+  w.put_string(msg.type);
+  w.put_bytes(msg.payload);
+  return w.take();
+}
+
+Message decode_envelope(std::span<const std::uint8_t> bytes) {
+  wire::Reader r(bytes);
+  Message msg;
+  msg.from = r.get_u32();
+  msg.to = r.get_u32();
+  msg.type = r.get_string();
+  msg.payload = r.get_bytes();
+  r.expect_end();
+  return msg;
+}
+
+// ---------------------------------------------------------------------------
+// Internal structures
+// ---------------------------------------------------------------------------
+
+struct TcpNet::Endpoint {
+  NodeId id = 0;
+  simnet::Node* node = nullptr;
+  std::unique_ptr<crypto::ChaChaRng> rng;  // strand-confined
+
+  // io-thread-only listener state.  `port` is written once at attach()
+  // (before the io thread exists) and read-only afterwards.
+  int listen_fd = -1;
+  std::uint16_t port = 0;
+  bool down_io = false;
+
+  // Strand mailbox.
+  sync::Mutex mb_mu{"transport.mailbox", sync::level::kMailbox};
+  std::deque<std::function<void()>> mailbox P2P_GUARDED_BY(mb_mu);
+  bool drain_scheduled P2P_GUARDED_BY(mb_mu) = false;
+
+  // Lock-free mirrors for the inbound flow-control handshake between the
+  // io thread (pause) and the draining worker (resume request).
+  std::atomic<std::size_t> depth{0};
+  std::atomic<bool> paused{false};
+  std::atomic<bool> resume_request{false};
+};
+
+struct TcpNet::OutConn {
+  // One directed (from, to) connection; dialed lazily on first send.
+  NodeId from = 0;
+  NodeId to = 0;
+
+  // Guarded by TcpNet::mu_ (nested structs cannot name the outer instance
+  // mutex in annotations; ownership is by convention, enforced in review):
+  // queue, queued_bytes, dirty.
+  std::deque<std::vector<std::uint8_t>> queue;
+  std::size_t queued_bytes = 0;
+  bool dirty = false;
+
+  // io-thread-only.
+  enum class State { kIdle, kConnecting, kEstablished, kBackoff };
+  State state = State::kIdle;
+  int fd = -1;
+  bool want_write = false;
+  std::vector<std::uint8_t> io_buf;  ///< staged bytes being written
+  std::size_t io_off = 0;
+  simnet::SimTime prev_backoff = 0;
+  std::size_t attempts = 0;
+};
+
+struct TcpNet::InConn {
+  // io-thread-only: an accepted connection delivering frames to `dst`.
+  int fd = -1;
+  NodeId dst = 0;
+  bool paused = false;
+  wire::FrameDecoder decoder;
+
+  InConn(int fd_in, NodeId dst_in, std::size_t max_frame)
+      : fd(fd_in), dst(dst_in), decoder(max_frame) {}
+};
+
+struct TcpNet::Timer {
+  double due_ms = 0;
+  std::uint64_t seq = 0;
+  NodeId node = 0;
+  bool io_internal = false;  ///< run on the io thread (reconnect pacing)
+  std::function<void()> fn;
+};
+
+/// std:: heap primitives build max-heaps; invert to a (due, seq) min-heap.
+bool TcpNet::timer_later(const Timer& a, const Timer& b) {
+  if (a.due_ms != b.due_ms) return a.due_ms > b.due_ms;
+  return a.seq > b.seq;
+}
+
+struct TcpNet::AtomicStats {
+  std::atomic<std::uint64_t> messages_sent{0};
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> messages_received{0};
+  std::atomic<std::uint64_t> bytes_received{0};
+  std::atomic<std::uint64_t> backpressure_drops{0};
+  std::atomic<std::uint64_t> dropped_on_disconnect{0};
+  std::atomic<std::uint64_t> connects{0};
+  std::atomic<std::uint64_t> connect_failures{0};
+  std::atomic<std::uint64_t> disconnects{0};
+  std::atomic<std::uint64_t> breaker_deferrals{0};
+  std::atomic<std::uint64_t> decode_errors{0};
+  std::atomic<std::uint64_t> reads_paused{0};
+  std::atomic<std::uint64_t> timers_fired{0};
+};
+
+// ---------------------------------------------------------------------------
+// Construction / teardown
+// ---------------------------------------------------------------------------
+
+TcpNet::TcpNet(Options options)
+    : options_(options),
+      epoch_(std::chrono::steady_clock::now()),
+      health_(options.breaker),
+      io_rng_(options.seed ^ 0x74637069'6f726e67ULL),  // "tcpiorng"
+      stats_(std::make_unique<AtomicStats>()) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) throw_errno("eventfd");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0)
+    throw_errno("epoll_ctl(wake)");
+}
+
+TcpNet::~TcpNet() {
+  stop();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+NodeId TcpNet::attach(simnet::Node& node) {
+  if (running_.load(std::memory_order_acquire))
+    throw std::logic_error("TcpNet::attach: endpoints are fixed at start()");
+  auto ep = std::make_unique<Endpoint>();
+  ep->id = static_cast<NodeId>(endpoints_.size());
+  ep->node = &node;
+  ep->rng = std::make_unique<crypto::ChaChaRng>(options_.seed * 1000003ULL +
+                                                ep->id);
+  node.id_ = ep->id;
+  open_listener(*ep);
+  endpoints_.push_back(std::move(ep));
+  return endpoints_.back()->id;
+}
+
+void TcpNet::open_listener(Endpoint& ep) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket(listen)");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(ep.port);  // 0 on first bind: kernel picks
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    throw_errno("bind(127.0.0.1)");
+  }
+  if (::listen(fd, SOMAXCONN) < 0) {
+    ::close(fd);
+    throw_errno("listen");
+  }
+  if (ep.port == 0) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+      ::close(fd);
+      throw_errno("getsockname");
+    }
+    ep.port = ntohs(bound.sin_port);
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    ::close(fd);
+    throw_errno("epoll_ctl(listen)");
+  }
+  ep.listen_fd = fd;
+  listen_fds_[fd] = &ep;
+}
+
+void TcpNet::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  stopping_.store(false, std::memory_order_release);
+  pool_ = std::make_unique<verify::WorkerPool>(
+      std::max<std::size_t>(1, options_.worker_threads));
+  running_.store(true, std::memory_order_release);
+  io_thread_ = std::thread([this] { io_loop(); });
+  // Kick strands for anything post()ed or scheduled before start.
+  for (auto& ep : endpoints_) {
+    bool kick = false;
+    {
+      sync::MutexLock lock(ep->mb_mu);
+      if (!ep->mailbox.empty() && !ep->drain_scheduled) {
+        ep->drain_scheduled = true;
+        kick = true;
+      }
+    }
+    if (kick) submit_drain(*ep);
+  }
+  io_wake();
+}
+
+void TcpNet::stop() {
+  if (!running_.load(std::memory_order_acquire) && !io_thread_.joinable())
+    return;
+  stopping_.store(true, std::memory_order_release);
+  io_wake();
+  if (io_thread_.joinable()) io_thread_.join();
+  // WorkerPool's destructor drains the remaining strand tasks, then joins.
+  // No new messages can arrive (sockets closed) and sends are dropped, so
+  // the mailboxes go quiet and the drain terminates.
+  pool_.reset();
+  running_.store(false, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Public API (any thread)
+// ---------------------------------------------------------------------------
+
+SimTime TcpNet::now() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TcpNet::send(Message msg) {
+  if (stopping_.load(std::memory_order_acquire)) return;
+  if (msg.from >= endpoints_.size() || msg.to >= endpoints_.size())
+    throw std::logic_error("TcpNet::send: unknown endpoint id");
+  std::vector<std::uint8_t> frame;
+  const auto envelope = encode_envelope(msg);
+  try {
+    wire::append_frame(frame, envelope, options_.max_frame_bytes);
+  } catch (const wire::DecodeError&) {
+    // Oversized message: the peer's decoder would kill the connection.
+    // Refusing here keeps the failure on the sender that caused it.
+    stats_->backpressure_drops.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  bool wake = false;
+  {
+    sync::MutexLock lock(mu_);
+    auto& slot = conns_[{msg.from, msg.to}];
+    if (!slot) {
+      slot = std::make_unique<OutConn>();
+      slot->from = msg.from;
+      slot->to = msg.to;
+    }
+    OutConn& conn = *slot;
+    if (conn.queued_bytes + frame.size() > options_.peer_queue_limit_bytes) {
+      stats_->backpressure_drops.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    conn.queued_bytes += frame.size();
+    conn.queue.push_back(std::move(frame));
+    stats_->messages_sent.fetch_add(1, std::memory_order_relaxed);
+    if (!conn.dirty) {
+      conn.dirty = true;
+      dirty_.push_back(&conn);
+      wake = true;
+    }
+  }
+  if (wake) io_wake();
+}
+
+void TcpNet::schedule_on(NodeId node, SimTime delay_ms,
+                         std::function<void()> fn) {
+  if (node >= endpoints_.size())
+    throw std::logic_error("TcpNet::schedule_on: unknown endpoint id");
+  {
+    sync::MutexLock lock(timer_mu_);
+    timers_.push_back(Timer{now() + std::max<SimTime>(0, delay_ms),
+                            timer_seq_++, node, false, std::move(fn)});
+    std::push_heap(timers_.begin(), timers_.end(), timer_later);
+  }
+  io_wake();
+}
+
+void TcpNet::post(NodeId node, std::function<void()> fn) {
+  if (node >= endpoints_.size())
+    throw std::logic_error("TcpNet::post: unknown endpoint id");
+  dispatch(node, std::move(fn));
+}
+
+bn::Rng& TcpNet::rng(NodeId node) { return *endpoints_.at(node)->rng; }
+
+std::uint16_t TcpNet::port(NodeId node) const {
+  return endpoints_.at(node)->port;
+}
+
+void TcpNet::set_down(NodeId node, bool down) {
+  {
+    sync::MutexLock lock(mu_);
+    down_requests_.emplace_back(node, down);
+  }
+  io_wake();
+}
+
+TcpNet::Stats TcpNet::stats() const {
+  Stats s;
+  const auto& a = *stats_;
+  s.messages_sent = a.messages_sent.load(std::memory_order_relaxed);
+  s.bytes_sent = a.bytes_sent.load(std::memory_order_relaxed);
+  s.messages_received = a.messages_received.load(std::memory_order_relaxed);
+  s.bytes_received = a.bytes_received.load(std::memory_order_relaxed);
+  s.backpressure_drops = a.backpressure_drops.load(std::memory_order_relaxed);
+  s.dropped_on_disconnect =
+      a.dropped_on_disconnect.load(std::memory_order_relaxed);
+  s.connects = a.connects.load(std::memory_order_relaxed);
+  s.connect_failures = a.connect_failures.load(std::memory_order_relaxed);
+  s.disconnects = a.disconnects.load(std::memory_order_relaxed);
+  s.breaker_deferrals = a.breaker_deferrals.load(std::memory_order_relaxed);
+  s.decode_errors = a.decode_errors.load(std::memory_order_relaxed);
+  s.reads_paused = a.reads_paused.load(std::memory_order_relaxed);
+  s.timers_fired = a.timers_fired.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Strand machinery
+// ---------------------------------------------------------------------------
+
+void TcpNet::dispatch(NodeId node, std::function<void()> fn) {
+  Endpoint& ep = *endpoints_[node];
+  bool do_submit = false;
+  {
+    sync::MutexLock lock(ep.mb_mu);
+    ep.mailbox.push_back(std::move(fn));
+    ep.depth.fetch_add(1, std::memory_order_relaxed);
+    if (!ep.drain_scheduled && pool_) {
+      ep.drain_scheduled = true;
+      do_submit = true;
+    }
+  }
+  if (do_submit) submit_drain(ep);
+}
+
+void TcpNet::submit_drain(Endpoint& ep) {
+  pool_->submit([this, &ep] { drain_strand(ep); });
+}
+
+void TcpNet::drain_strand(Endpoint& ep) {
+  std::size_t processed = 0;
+  bool resubmit = false;
+  for (;;) {
+    std::function<void()> task;
+    {
+      sync::MutexLock lock(ep.mb_mu);
+      if (ep.mailbox.empty()) {
+        ep.drain_scheduled = false;
+        break;
+      }
+      if (processed >= kStrandBatch) {
+        resubmit = true;  // drain_scheduled stays true: we own the strand
+        break;
+      }
+      task = std::move(ep.mailbox.front());
+      ep.mailbox.pop_front();
+    }
+    const std::size_t depth =
+        ep.depth.fetch_sub(1, std::memory_order_relaxed) - 1;
+    task();
+    ++processed;
+    if (depth <= options_.mailbox_low_watermark &&
+        ep.paused.load(std::memory_order_acquire)) {
+      if (!ep.resume_request.exchange(true, std::memory_order_acq_rel))
+        io_wake();
+    }
+  }
+  if (resubmit) submit_drain(ep);
+}
+
+// ---------------------------------------------------------------------------
+// io thread
+// ---------------------------------------------------------------------------
+
+void TcpNet::io_wake() {
+  const std::uint64_t one = 1;
+  // A full eventfd counter (impossible here) or a race with close is
+  // harmless: the io loop re-checks all work sources every iteration.
+  [[maybe_unused]] auto n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+int TcpNet::timeout_to_next_timer_ms() {
+  sync::MutexLock lock(timer_mu_);
+  if (timers_.empty()) return -1;
+  const double delta = timers_.front().due_ms - now();
+  if (delta <= 0) return 0;
+  return static_cast<int>(std::min(delta + 1.0, 60'000.0));
+}
+
+void TcpNet::fire_due_timers() {
+  std::vector<Timer> due;
+  {
+    sync::MutexLock lock(timer_mu_);
+    while (!timers_.empty() && timers_.front().due_ms <= now()) {
+      std::pop_heap(timers_.begin(), timers_.end(), timer_later);
+      due.push_back(std::move(timers_.back()));
+      timers_.pop_back();
+    }
+  }
+  for (auto& t : due) {
+    stats_->timers_fired.fetch_add(1, std::memory_order_relaxed);
+    if (t.io_internal) {
+      t.fn();  // reconnect pacing: runs right here on the io thread
+    } else {
+      dispatch(t.node, std::move(t.fn));
+    }
+  }
+}
+
+void TcpNet::io_loop() {
+  std::array<epoll_event, 64> events;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    for (auto& ep : endpoints_) {
+      if (ep->resume_request.exchange(false, std::memory_order_acq_rel) &&
+          ep->paused.load(std::memory_order_acquire))
+        resume_reads(*ep);
+    }
+    service_dirty_conns();
+    fire_due_timers();
+    const int timeout = timeout_to_next_timer_ms();
+    const int n =
+        ::epoll_wait(epoll_fd_, events.data(),
+                     static_cast<int>(events.size()), timeout);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd gone: shutting down
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[static_cast<std::size_t>(i)].data.fd;
+      const std::uint32_t ev = events[static_cast<std::size_t>(i)].events;
+      if (fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] auto r = ::read(wake_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      if (auto it = listen_fds_.find(fd); it != listen_fds_.end()) {
+        on_accept(*it->second);
+        continue;
+      }
+      if (auto it = out_fds_.find(fd); it != out_fds_.end()) {
+        OutConn& conn = *it->second;
+        if (ev & (EPOLLERR | EPOLLHUP)) {
+          conn_failed(conn, conn.state == OutConn::State::kEstablished);
+          continue;
+        }
+        if (conn.state == OutConn::State::kConnecting && (ev & EPOLLOUT)) {
+          on_connect_writable(conn);
+          continue;
+        }
+        if (conn.state == OutConn::State::kEstablished) {
+          if (ev & EPOLLIN) {
+            // The protocol is one-way per connection; data only ever
+            // appears here as an EOF/reset indicator.
+            std::uint8_t sink[256];
+            const ssize_t r = ::recv(conn.fd, sink, sizeof(sink), 0);
+            if (r == 0 || (r < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+              conn_failed(conn, true);
+              continue;
+            }
+          }
+          if (ev & EPOLLOUT) flush_writes(conn);
+        }
+        continue;
+      }
+      if (auto it = in_fds_.find(fd); it != in_fds_.end()) {
+        InConn& conn = *it->second;
+        if (ev & (EPOLLERR | EPOLLHUP)) {
+          close_in_conn(conn);
+          continue;
+        }
+        if (ev & EPOLLIN) on_readable(conn);
+        continue;
+      }
+      // Stale event for an fd closed earlier in this batch: ignore.
+    }
+  }
+  close_all_io();
+}
+
+void TcpNet::service_dirty_conns() {
+  std::vector<OutConn*> dirty;
+  std::vector<std::pair<NodeId, bool>> downs;
+  {
+    sync::MutexLock lock(mu_);
+    dirty.swap(dirty_);
+    for (OutConn* c : dirty) c->dirty = false;
+    downs.swap(down_requests_);
+  }
+  for (const auto& [node, down] : downs) apply_down(node, down);
+  for (OutConn* c : dirty) {
+    switch (c->state) {
+      case OutConn::State::kIdle:
+        try_dial(*c);
+        break;
+      case OutConn::State::kEstablished:
+        flush_writes(*c);
+        break;
+      case OutConn::State::kConnecting:
+      case OutConn::State::kBackoff:
+        break;  // in-flight machinery will pick the queue up
+    }
+  }
+}
+
+void TcpNet::try_dial(OutConn& conn) {
+  {
+    sync::MutexLock lock(mu_);
+    if (conn.queue.empty() && conn.io_buf.empty()) return;
+  }
+  if (!health_.allow(conn.to, now())) {
+    // Breaker open: check back when it may admit a half-open probe.
+    stats_->breaker_deferrals.fetch_add(1, std::memory_order_relaxed);
+    conn.state = OutConn::State::kBackoff;
+    const SimTime delay =
+        options_.reconnect.next_backoff(conn.prev_backoff, io_rng_);
+    conn.prev_backoff = delay;
+    sync::MutexLock lock(timer_mu_);
+    timers_.push_back(Timer{now() + delay, timer_seq_++, conn.to, true,
+                            [this, &conn] {
+                              conn.state = OutConn::State::kIdle;
+                              try_dial(conn);
+                            }});
+    std::push_heap(timers_.begin(), timers_.end(), timer_later);
+    return;
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    conn_failed(conn, false);
+    return;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(endpoints_[conn.to]->port);
+  const int rc =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc == 0 || errno == EINPROGRESS) {
+    conn.fd = fd;
+    conn.state = OutConn::State::kConnecting;
+    out_fds_[fd] = &conn;
+    epoll_event ev{};
+    ev.events = EPOLLOUT;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    if (rc == 0) conn_established(conn);
+    return;
+  }
+  ::close(fd);
+  conn_failed(conn, false);
+}
+
+void TcpNet::on_connect_writable(OutConn& conn) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+    conn_failed(conn, false);
+    return;
+  }
+  conn_established(conn);
+}
+
+void TcpNet::conn_established(OutConn& conn) {
+  conn.state = OutConn::State::kEstablished;
+  conn.want_write = false;
+  conn.prev_backoff = 0;
+  conn.attempts = 0;
+  stats_->connects.fetch_add(1, std::memory_order_relaxed);
+  health_.record_success(conn.to);
+  epoll_event ev{};
+  ev.events = EPOLLIN;  // EOF watch; flush_writes arms EPOLLOUT as needed
+  ev.data.fd = conn.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  flush_writes(conn);
+}
+
+void TcpNet::conn_failed(OutConn& conn, bool was_established) {
+  if (conn.fd >= 0) {
+    out_fds_.erase(conn.fd);
+    ::close(conn.fd);
+    conn.fd = -1;
+  }
+  // A partial frame may have left with the old socket; the rest of the
+  // staging buffer is unframeable garbage to a fresh connection.
+  conn.io_buf.clear();
+  conn.io_off = 0;
+  conn.want_write = false;
+  if (was_established)
+    stats_->disconnects.fetch_add(1, std::memory_order_relaxed);
+  else
+    stats_->connect_failures.fetch_add(1, std::memory_order_relaxed);
+  health_.record_failure(conn.to, now());
+  conn.attempts += 1;
+  if (conn.attempts >= options_.reconnect.max_attempts) {
+    // Attempt budget exhausted for this outage: shed the queue (the actors'
+    // retry layer owns end-to-end delivery) and go quiet until a new send.
+    std::size_t flushed = 0;
+    {
+      sync::MutexLock lock(mu_);
+      flushed = conn.queue.size();
+      conn.queue.clear();
+      conn.queued_bytes = 0;
+    }
+    stats_->dropped_on_disconnect.fetch_add(flushed,
+                                            std::memory_order_relaxed);
+    conn.state = OutConn::State::kIdle;
+    conn.attempts = 0;
+    conn.prev_backoff = 0;
+    return;
+  }
+  conn.state = OutConn::State::kBackoff;
+  const SimTime delay =
+      options_.reconnect.next_backoff(conn.prev_backoff, io_rng_);
+  conn.prev_backoff = delay;
+  sync::MutexLock lock(timer_mu_);
+  timers_.push_back(Timer{now() + delay, timer_seq_++, conn.to, true,
+                          [this, &conn] {
+                            conn.state = OutConn::State::kIdle;
+                            try_dial(conn);
+                          }});
+  std::push_heap(timers_.begin(), timers_.end(), timer_later);
+}
+
+void TcpNet::flush_writes(OutConn& conn) {
+  for (;;) {
+    if (conn.io_off == conn.io_buf.size()) {
+      conn.io_buf.clear();
+      conn.io_off = 0;
+      sync::MutexLock lock(mu_);
+      while (!conn.queue.empty() && conn.io_buf.size() < kWriteChunk) {
+        auto& frame = conn.queue.front();
+        conn.io_buf.insert(conn.io_buf.end(), frame.begin(), frame.end());
+        conn.queued_bytes -= frame.size();
+        conn.queue.pop_front();
+      }
+    }
+    if (conn.io_buf.empty()) {
+      if (conn.want_write) {
+        conn.want_write = false;
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = conn.fd;
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+      }
+      return;
+    }
+    const ssize_t n =
+        ::send(conn.fd, conn.io_buf.data() + conn.io_off,
+               conn.io_buf.size() - conn.io_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.io_off += static_cast<std::size_t>(n);
+      stats_->bytes_sent.fetch_add(static_cast<std::uint64_t>(n),
+                                   std::memory_order_relaxed);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn.want_write) {
+        conn.want_write = true;
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLOUT;
+        ev.data.fd = conn.fd;
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+      }
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    conn_failed(conn, true);
+    return;
+  }
+}
+
+void TcpNet::on_accept(Endpoint& ep) {
+  for (;;) {
+    const int fd =
+        ::accept4(ep.listen_fd, nullptr, nullptr,
+                  SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN / transient: back to epoll
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn =
+        std::make_unique<InConn>(fd, ep.id, options_.max_frame_bytes);
+    epoll_event ev{};
+    ev.data.fd = fd;
+    if (ep.paused.load(std::memory_order_acquire)) {
+      conn->paused = true;
+      ev.events = 0;  // registered but muted until the strand drains
+    } else {
+      ev.events = EPOLLIN;
+    }
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    in_fds_[fd] = std::move(conn);
+  }
+}
+
+void TcpNet::on_readable(InConn& conn) {
+  Endpoint& ep = *endpoints_[conn.dst];
+  if (ep.depth.load(std::memory_order_acquire) >
+      options_.mailbox_high_watermark) {
+    pause_reads(ep);
+    return;
+  }
+  std::array<std::uint8_t, 64 * 1024> buf;
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd, buf.data(), buf.size(), 0);
+    if (n == 0) {
+      close_in_conn(conn);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_in_conn(conn);
+      return;
+    }
+    stats_->bytes_received.fetch_add(static_cast<std::uint64_t>(n),
+                                     std::memory_order_relaxed);
+    try {
+      conn.decoder.feed(
+          std::span<const std::uint8_t>(buf.data(),
+                                        static_cast<std::size_t>(n)));
+    } catch (const wire::DecodeError&) {
+      stats_->decode_errors.fetch_add(1, std::memory_order_relaxed);
+      close_in_conn(conn);
+      return;
+    }
+    while (auto payload = conn.decoder.next()) {
+      Message msg;
+      try {
+        msg = decode_envelope(*payload);
+      } catch (const wire::DecodeError&) {
+        stats_->decode_errors.fetch_add(1, std::memory_order_relaxed);
+        close_in_conn(conn);
+        return;
+      }
+      if (msg.to != conn.dst || msg.from >= endpoints_.size()) {
+        // Envelope decoded but addressed nonsense: hostile or confused
+        // peer.  Drop the message, keep the connection.
+        stats_->decode_errors.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      stats_->messages_received.fetch_add(1, std::memory_order_relaxed);
+      simnet::Node* node = ep.node;
+      dispatch(conn.dst,
+               [node, m = std::move(msg)] { node->on_message(m); });
+    }
+    if (ep.depth.load(std::memory_order_acquire) >
+        options_.mailbox_high_watermark) {
+      pause_reads(ep);
+      return;
+    }
+  }
+}
+
+void TcpNet::close_in_conn(InConn& conn) {
+  const int fd = conn.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  in_fds_.erase(fd);  // destroys conn — do not touch it past this line
+}
+
+void TcpNet::pause_reads(Endpoint& ep) {
+  ep.paused.store(true, std::memory_order_release);
+  stats_->reads_paused.fetch_add(1, std::memory_order_relaxed);
+  for (auto& [fd, conn] : in_fds_) {
+    if (conn->dst != ep.id || conn->paused) continue;
+    conn->paused = true;
+    epoll_event ev{};
+    ev.events = 0;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  }
+  // The strand may have drained between our depth check and the pause
+  // flag becoming visible; re-check so the resume request cannot be lost.
+  if (ep.depth.load(std::memory_order_acquire) <=
+      options_.mailbox_low_watermark)
+    resume_reads(ep);
+}
+
+void TcpNet::resume_reads(Endpoint& ep) {
+  ep.paused.store(false, std::memory_order_release);
+  for (auto& [fd, conn] : in_fds_) {
+    if (conn->dst != ep.id || !conn->paused) continue;
+    conn->paused = false;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  }
+}
+
+void TcpNet::apply_down(NodeId node, bool down) {
+  if (node >= endpoints_.size()) return;
+  Endpoint& ep = *endpoints_[node];
+  if (down == ep.down_io) return;
+  ep.down_io = down;
+  if (down) {
+    if (ep.listen_fd >= 0) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, ep.listen_fd, nullptr);
+      listen_fds_.erase(ep.listen_fd);
+      ::close(ep.listen_fd);
+      ep.listen_fd = -1;
+    }
+    for (auto it = in_fds_.begin(); it != in_fds_.end();) {
+      if (it->second->dst == node) {
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->first, nullptr);
+        ::close(it->first);
+        it = in_fds_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    std::vector<OutConn*> touching;
+    {
+      sync::MutexLock lock(mu_);
+      for (auto& [key, conn] : conns_)
+        if (key.first == node || key.second == node) touching.push_back(
+            conn.get());
+    }
+    for (OutConn* conn : touching) {
+      if (conn->from == node) {
+        // The "crashed" endpoint: silently lose its socket and queue.
+        if (conn->fd >= 0) {
+          out_fds_.erase(conn->fd);
+          ::close(conn->fd);
+          conn->fd = -1;
+        }
+        conn->io_buf.clear();
+        conn->io_off = 0;
+        conn->want_write = false;
+        conn->state = OutConn::State::kIdle;
+        conn->attempts = 0;
+        conn->prev_backoff = 0;
+        std::size_t flushed = 0;
+        {
+          sync::MutexLock lock(mu_);
+          flushed = conn->queue.size();
+          conn->queue.clear();
+          conn->queued_bytes = 0;
+        }
+        stats_->dropped_on_disconnect.fetch_add(flushed,
+                                                std::memory_order_relaxed);
+      } else if (conn->state == OutConn::State::kConnecting ||
+                 conn->state == OutConn::State::kEstablished) {
+        // Peers talking to the crashed node: sever now so they enter the
+        // reconnect path instead of waiting for a kernel timeout.
+        conn_failed(*conn, conn->state == OutConn::State::kEstablished);
+      }
+    }
+  } else {
+    try {
+      open_listener(ep);
+    } catch (const std::runtime_error&) {
+      // Port momentarily unavailable: stay down; a later set_down(false)
+      // can retry.  (SO_REUSEADDR makes this effectively unreachable.)
+      ep.down_io = true;
+    }
+  }
+}
+
+void TcpNet::close_all_io() {
+  for (auto& [fd, ep] : listen_fds_) {
+    ::close(fd);
+    ep->listen_fd = -1;
+  }
+  listen_fds_.clear();
+  for (auto& [fd, conn] : in_fds_) ::close(fd);
+  in_fds_.clear();
+  std::vector<OutConn*> all;
+  {
+    sync::MutexLock lock(mu_);
+    for (auto& [key, conn] : conns_) all.push_back(conn.get());
+  }
+  for (OutConn* conn : all) {
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+    conn->state = OutConn::State::kIdle;
+  }
+  out_fds_.clear();
+}
+
+}  // namespace p2pcash::transport

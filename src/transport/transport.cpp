@@ -1,0 +1,8 @@
+#include "transport/transport.h"
+
+namespace p2pcash::transport {
+
+// Out-of-line key function: anchors the vtable in this translation unit.
+Transport::~Transport() = default;
+
+}  // namespace p2pcash::transport

@@ -1,0 +1,58 @@
+#include "wire/framing.h"
+
+#include <cstring>
+
+namespace p2pcash::wire {
+
+void append_frame(std::vector<std::uint8_t>& out,
+                  std::span<const std::uint8_t> payload,
+                  std::size_t max_frame) {
+  if (payload.size() > max_frame)
+    throw DecodeError("append_frame: payload exceeds frame limit");
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  out.push_back(static_cast<std::uint8_t>(n >> 24));
+  out.push_back(static_cast<std::uint8_t>(n >> 16));
+  out.push_back(static_cast<std::uint8_t>(n >> 8));
+  out.push_back(static_cast<std::uint8_t>(n));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> data) {
+  if (poisoned_) throw DecodeError("FrameDecoder: poisoned stream");
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+  parse();
+}
+
+void FrameDecoder::parse() {
+  std::size_t pos = 0;
+  while (buffer_.size() - pos >= 4) {
+    const std::uint32_t n = (static_cast<std::uint32_t>(buffer_[pos]) << 24) |
+                            (static_cast<std::uint32_t>(buffer_[pos + 1]) << 16) |
+                            (static_cast<std::uint32_t>(buffer_[pos + 2]) << 8) |
+                            static_cast<std::uint32_t>(buffer_[pos + 3]);
+    if (n > max_frame_) {
+      // Reject on the header alone: buffering even part of an absurd
+      // payload hands the peer control of our memory.  Drop everything —
+      // the stream has no recoverable frame boundary after this.
+      poisoned_ = true;
+      buffer_.clear();
+      throw DecodeError("FrameDecoder: frame length exceeds limit");
+    }
+    if (buffer_.size() - pos - 4 < n) break;  // payload incomplete
+    ready_.emplace_back(buffer_.begin() + static_cast<std::ptrdiff_t>(pos + 4),
+                        buffer_.begin() +
+                            static_cast<std::ptrdiff_t>(pos + 4 + n));
+    pos += 4 + n;
+  }
+  if (pos > 0) buffer_.erase(buffer_.begin(),
+                             buffer_.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+std::optional<std::vector<std::uint8_t>> FrameDecoder::next() {
+  if (ready_.empty()) return std::nullopt;
+  auto out = std::move(ready_.front());
+  ready_.pop_front();
+  return out;
+}
+
+}  // namespace p2pcash::wire

@@ -1,0 +1,69 @@
+// framing.h — length-prefixed stream framing for byte-stream transports.
+//
+// A TCP connection delivers an arbitrary re-chunking of the sent bytes:
+// one write() can arrive as many reads, and many writes as one read.  The
+// frame layer restores message boundaries: every frame is a 4-byte
+// big-endian payload length followed by exactly that many payload bytes.
+//
+// FrameDecoder is *resumable*: feed() accepts any fragmentation of the
+// stream — one byte at a time, a length prefix split across reads, many
+// frames in one read — and next() yields complete payloads in order.  A
+// length prefix above the configured maximum is a protocol violation (a
+// corrupt or hostile peer), reported as DecodeError; the connection that
+// produced it must be torn down, since the stream can never re-synchronize.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "wire/codec.h"
+
+namespace p2pcash::wire {
+
+/// Hard ceiling on a frame payload.  Protocol messages (coins, transcripts,
+/// endorsements) are a few KB; anything near this limit is garbage or an
+/// attack on the receiver's allocator.
+inline constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{1} << 20;
+
+/// Appends one frame (length prefix + payload) to `out`.  Throws
+/// DecodeError if the payload exceeds `max_frame` — the peer could never
+/// parse it, so refusing at the sender keeps the failure local.
+void append_frame(std::vector<std::uint8_t>& out,
+                  std::span<const std::uint8_t> payload,
+                  std::size_t max_frame = kDefaultMaxFrameBytes);
+
+/// Incremental frame parser over an arbitrarily re-chunked byte stream.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame = kDefaultMaxFrameBytes)
+      : max_frame_(max_frame) {}
+
+  /// Appends raw stream bytes.  Throws DecodeError as soon as a frame
+  /// header announces a payload above the maximum — before buffering any
+  /// of it — after which the decoder is poisoned and every call throws.
+  void feed(std::span<const std::uint8_t> data);
+
+  /// Returns the next complete frame payload, or nullopt if the buffered
+  /// bytes end mid-header or mid-payload (feed more and retry).
+  std::optional<std::vector<std::uint8_t>> next();
+
+  /// Bytes buffered but not yet returned (partial header + payload).
+  std::size_t buffered() const { return buffer_.size(); }
+  /// Complete frames parsed and waiting for next().
+  std::size_t ready() const { return ready_.size(); }
+  std::size_t max_frame() const { return max_frame_; }
+
+ private:
+  void parse() /* throws DecodeError */;
+
+  std::size_t max_frame_;
+  bool poisoned_ = false;
+  std::vector<std::uint8_t> buffer_;  ///< partial header/payload bytes
+  std::deque<std::vector<std::uint8_t>> ready_;
+};
+
+}  // namespace p2pcash::wire

@@ -6,6 +6,7 @@
 
 #include "crypto/chacha.h"
 #include "ecash_fixture.h"
+#include "wire/framing.h"
 #include "wire/uri_form.h"
 
 namespace p2pcash::ecash {
@@ -199,6 +200,95 @@ TEST_F(FuzzFixture, AdversarialLengthPrefixCorpusNeverOverReads) {
       spliced.insert(spliced.end(), evil.begin(), evil.end());
       (void)try_decode<Coin>(spliced);  // must not crash or over-read
     }
+  }
+}
+
+TEST_F(FuzzFixture, FramingSurvivesAdversarialStreams) {
+  // The TCP transport's frame decoder faces a raw socket: truncation,
+  // hostile length prefixes, and garbage interleaved with real frames.
+  // Every input must end in parsed frames or DecodeError — never a crash,
+  // an over-read, or an unbounded allocation.
+  constexpr std::size_t kMax = 4096;
+
+  // 1. Truncated frames: every prefix of a multi-frame stream either
+  //    yields the complete leading frames or waits for more bytes.
+  std::vector<std::uint8_t> stream;
+  wire::append_frame(stream, std::vector<std::uint8_t>(10, 0x11), kMax);
+  wire::append_frame(stream, std::vector<std::uint8_t>(200, 0x22), kMax);
+  wire::append_frame(stream, std::vector<std::uint8_t>{}, kMax);
+  for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+    wire::FrameDecoder dec(kMax);
+    dec.feed(std::span<const std::uint8_t>(stream.data(), cut));
+    std::size_t frames = 0;
+    while (dec.next()) ++frames;
+    EXPECT_LE(frames, 3u) << "cut=" << cut;
+    EXPECT_LE(dec.buffered(), cut) << "cut=" << cut;
+  }
+
+  // 2. Oversized length prefixes: any header above kMax poisons the
+  //    decoder immediately, before payload bytes are buffered.
+  const std::vector<std::vector<std::uint8_t>> hostile_headers = {
+      {0xff, 0xff, 0xff, 0xff},  // ~SIZE_MAX claim
+      {0x80, 0x00, 0x00, 0x00},  // 2 GiB claim
+      {0x00, 0x00, 0x10, 0x01},  // kMax + 1
+  };
+  for (std::size_t i = 0; i < hostile_headers.size(); ++i) {
+    wire::FrameDecoder dec(kMax);
+    EXPECT_THROW(dec.feed(hostile_headers[i]), wire::DecodeError) << i;
+    EXPECT_EQ(dec.buffered(), 0u) << i;  // nothing hoarded for the attacker
+    EXPECT_THROW(dec.feed(std::vector<std::uint8_t>{0, 0, 0, 0}),
+                 wire::DecodeError)
+        << "poisoned decoder must stay poisoned, corpus " << i;
+  }
+
+  // 3. Garbage interleaved after valid frames: the stream desynchronizes
+  //    into either bogus-but-bounded frames or a DecodeError; the frames
+  //    parsed before the garbage are intact either way.
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<std::uint8_t> mixed;
+    std::vector<std::uint8_t> payload(1 + fuzz_rng_.next_u64() % 64);
+    fuzz_rng_.fill(payload);
+    wire::append_frame(mixed, payload, kMax);
+    std::vector<std::uint8_t> garbage(fuzz_rng_.next_u64() % 40);
+    fuzz_rng_.fill(garbage);
+    mixed.insert(mixed.end(), garbage.begin(), garbage.end());
+    wire::FrameDecoder dec(kMax);
+    try {
+      dec.feed(mixed);
+      auto first = dec.next();
+      ASSERT_TRUE(first.has_value()) << "trial " << trial;
+      EXPECT_EQ(*first, payload) << "trial " << trial;
+      while (auto f = dec.next()) EXPECT_LE(f->size(), kMax);
+    } catch (const wire::DecodeError&) {
+      // garbage read as an oversized header — correct rejection
+    }
+  }
+
+  // 4. Random re-chunking: any fragmentation of a valid stream reassembles
+  //    to the identical frame sequence.
+  std::vector<std::vector<std::uint8_t>> sent;
+  std::vector<std::uint8_t> wire_bytes;
+  for (int i = 0; i < 20; ++i) {
+    std::vector<std::uint8_t> p(fuzz_rng_.next_u64() % 300);
+    fuzz_rng_.fill(p);
+    sent.push_back(p);
+    wire::append_frame(wire_bytes, p, kMax);
+  }
+  for (int trial = 0; trial < 30; ++trial) {
+    wire::FrameDecoder dec(kMax);
+    std::vector<std::vector<std::uint8_t>> got;
+    std::size_t pos = 0;
+    while (pos < wire_bytes.size()) {
+      std::size_t chunk = 1 + fuzz_rng_.next_u64() %
+                                  std::min<std::size_t>(
+                                      97, wire_bytes.size() - pos);
+      dec.feed(std::span<const std::uint8_t>(wire_bytes.data() + pos, chunk));
+      pos += chunk;
+      while (auto f = dec.next()) got.push_back(*f);
+    }
+    ASSERT_EQ(got.size(), sent.size()) << "trial " << trial;
+    EXPECT_EQ(got, sent) << "trial " << trial;
+    EXPECT_EQ(dec.buffered(), 0u);
   }
 }
 

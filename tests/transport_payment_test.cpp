@@ -1,0 +1,295 @@
+// The same actor-level payment scenarios over BOTH transports: SimWorld's
+// deterministic simnet shim and NodeRuntime's real loopback TCP sockets.
+// Passing both proves the Transport seam is behavior-preserving — the
+// protocol logic in src/actors neither knows nor cares whether a message
+// crossed a simulated link or a kernel socket.  The TCP half runs under
+// TSan in CI (label "transport").
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "actors/runtime.h"
+#include "actors/world.h"
+
+namespace p2pcash::actors {
+namespace {
+
+constexpr std::size_t kMerchants = 6;
+constexpr simnet::SimTime kPayTimeoutMs = 8'000;
+
+/// One payment deployment, abstracted over the transport underneath.
+/// add_client() is only legal before start() (the TCP runtime fixes its
+/// endpoint set when the io loop spawns; the sim world just doesn't care).
+class Harness {
+ public:
+  virtual ~Harness() = default;
+  virtual ClientActor& add_client() = 0;
+  virtual void start() {}
+  virtual std::vector<MerchantId> merchant_ids() = 0;
+  virtual ecash::Outcome<ecash::WalletCoin> withdraw(ClientActor& client,
+                                                     ecash::Cents denom) = 0;
+  virtual ClientActor::PayResult pay(ClientActor& client,
+                                     const ecash::WalletCoin& coin,
+                                     const MerchantId& merchant) = 0;
+  /// Two clients spending at the same instant (the double-spend race).
+  virtual std::pair<ClientActor::PayResult, ClientActor::PayResult>
+  pay_racing(ClientActor& c1, ClientActor& c2, const ecash::WalletCoin& coin,
+             const MerchantId& m1, const MerchantId& m2) = 0;
+  virtual void set_merchant_down(const MerchantId& id, bool down) = 0;
+  virtual std::uint64_t services_delivered(const MerchantId& id) = 0;
+  virtual const group::SchnorrGroup& grp() const = 0;
+};
+
+class SimHarness : public Harness {
+ public:
+  SimHarness()
+      : grp_(group::SchnorrGroup::test_256()), world_(grp_, options()) {}
+
+  static SimWorld::Options options() {
+    SimWorld::Options opt;
+    opt.merchants = kMerchants;
+    opt.seed = 77;
+    opt.cost = simnet::free_cost();
+    opt.latency_lo = 25;
+    opt.latency_hi = 50;
+    opt.retry.attempt_timeout_ms = 500;
+    opt.retry.max_attempts = 2;
+    opt.breaker.open_ms = 500;
+    return opt;
+  }
+
+  ClientActor& add_client() override { return world_.add_client(); }
+  std::vector<MerchantId> merchant_ids() override {
+    return world_.merchant_ids();
+  }
+  ecash::Outcome<ecash::WalletCoin> withdraw(ClientActor& client,
+                                             ecash::Cents denom) override {
+    std::optional<ecash::Outcome<ecash::WalletCoin>> result;
+    client.withdraw(denom, [&](ecash::Outcome<ecash::WalletCoin> c) {
+      result = std::move(c);
+    });
+    world_.sim().run();
+    return std::move(*result);
+  }
+  ClientActor::PayResult pay(ClientActor& client,
+                             const ecash::WalletCoin& coin,
+                             const MerchantId& merchant) override {
+    std::optional<ClientActor::PayResult> result;
+    client.pay(coin, merchant,
+               [&](ClientActor::PayResult r) { result = std::move(r); },
+               kPayTimeoutMs);
+    world_.sim().run();
+    return std::move(*result);
+  }
+  std::pair<ClientActor::PayResult, ClientActor::PayResult> pay_racing(
+      ClientActor& c1, ClientActor& c2, const ecash::WalletCoin& coin,
+      const MerchantId& m1, const MerchantId& m2) override {
+    std::optional<ClientActor::PayResult> r1, r2;
+    c1.pay(coin, m1, [&](ClientActor::PayResult r) { r1 = std::move(r); },
+           kPayTimeoutMs);
+    c2.pay(coin, m2, [&](ClientActor::PayResult r) { r2 = std::move(r); },
+           kPayTimeoutMs);
+    world_.sim().run();
+    return {std::move(*r1), std::move(*r2)};
+  }
+  void set_merchant_down(const MerchantId& id, bool down) override {
+    world_.set_merchant_down(id, down);
+  }
+  std::uint64_t services_delivered(const MerchantId& id) override {
+    return world_.merchant(id).services_delivered();
+  }
+  const group::SchnorrGroup& grp() const override { return grp_; }
+
+ private:
+  const group::SchnorrGroup& grp_;
+  SimWorld world_;
+};
+
+class TcpHarness : public Harness {
+ public:
+  TcpHarness()
+      : grp_(group::SchnorrGroup::test_256()), runtime_(grp_, options()) {}
+
+  static NodeRuntime::Options options() {
+    NodeRuntime::Options opt;
+    opt.merchants = kMerchants;
+    opt.worker_threads = 4;
+    opt.seed = 77;
+    opt.retry.attempt_timeout_ms = 500;
+    opt.retry.max_attempts = 2;
+    opt.breaker.open_ms = 500;
+    // Tight reconnect pacing so the restart scenario converges quickly.
+    opt.net.reconnect.backoff_base_ms = 10;
+    opt.net.reconnect.backoff_cap_ms = 50;
+    opt.net.reconnect.max_attempts = 200;
+    opt.net.breaker.open_ms = 100;
+    return opt;
+  }
+
+  ClientActor& add_client() override { return runtime_.add_client(); }
+  void start() override { runtime_.start(); }
+  std::vector<MerchantId> merchant_ids() override {
+    return runtime_.merchant_ids();
+  }
+  ecash::Outcome<ecash::WalletCoin> withdraw(ClientActor& client,
+                                             ecash::Cents denom) override {
+    return runtime_.withdraw(client, denom);
+  }
+  ClientActor::PayResult pay(ClientActor& client,
+                             const ecash::WalletCoin& coin,
+                             const MerchantId& merchant) override {
+    return runtime_.pay(client, coin, merchant, kPayTimeoutMs);
+  }
+  std::pair<ClientActor::PayResult, ClientActor::PayResult> pay_racing(
+      ClientActor& c1, ClientActor& c2, const ecash::WalletCoin& coin,
+      const MerchantId& m1, const MerchantId& m2) override {
+    std::optional<ClientActor::PayResult> r1, r2;
+    std::thread t1(
+        [&] { r1 = runtime_.pay(c1, coin, m1, kPayTimeoutMs); });
+    std::thread t2(
+        [&] { r2 = runtime_.pay(c2, coin, m2, kPayTimeoutMs); });
+    t1.join();
+    t2.join();
+    return {std::move(*r1), std::move(*r2)};
+  }
+  void set_merchant_down(const MerchantId& id, bool down) override {
+    runtime_.set_merchant_down(id, down);
+  }
+  std::uint64_t services_delivered(const MerchantId& id) override {
+    return runtime_.merchant_actor(id).merchant().services_delivered();
+  }
+  const group::SchnorrGroup& grp() const override { return grp_; }
+
+ private:
+  const group::SchnorrGroup& grp_;
+  NodeRuntime runtime_;
+};
+
+ecash::WalletCoin must_withdraw(Harness& h, ClientActor& client) {
+  auto outcome = h.withdraw(client, 100);
+  EXPECT_TRUE(outcome.ok()) << outcome.refusal().detail;
+  return std::move(outcome).value();
+}
+
+MerchantId non_witness_merchant(Harness& h, const ecash::WalletCoin& coin) {
+  for (const auto& id : h.merchant_ids()) {
+    bool is_witness = false;
+    for (const auto& w : coin.coin.witnesses)
+      if (w.merchant == id) is_witness = true;
+    if (!is_witness) return id;
+  }
+  ADD_FAILURE() << "every merchant is a witness?";
+  return h.merchant_ids().front();
+}
+
+// -- the scenarios, written once ------------------------------------------
+
+void RunWithdrawScenario(Harness& h) {
+  auto& client = h.add_client();
+  h.start();
+  auto coin = must_withdraw(h, client);
+  EXPECT_EQ(coin.coin.bare.info.denomination, 100u);
+  EXPECT_FALSE(coin.coin.witnesses.empty());
+}
+
+void RunPaymentScenario(Harness& h) {
+  auto& client = h.add_client();
+  h.start();
+  auto coin = must_withdraw(h, client);
+  auto target = non_witness_merchant(h, coin);
+  auto result = h.pay(client, coin, target);
+  EXPECT_TRUE(result.accepted) << (result.error ? *result.error : "");
+  EXPECT_EQ(h.services_delivered(target), 1u);
+}
+
+void RunDoubleSpendScenario(Harness& h) {
+  auto& client = h.add_client();
+  h.start();
+  auto coin = must_withdraw(h, client);
+  auto ids = h.merchant_ids();
+  auto r1 = h.pay(client, coin, ids[0]);
+  auto r2 = h.pay(client, coin, ids[1]);
+  EXPECT_TRUE(r1.accepted) << (r1.error ? *r1.error : "");
+  EXPECT_FALSE(r2.accepted);
+  ASSERT_TRUE(r2.double_spend_proof.has_value());
+  EXPECT_TRUE(r2.double_spend_proof->verify(h.grp()));
+}
+
+void RunRacingDoubleSpendScenario(Harness& h) {
+  // A coin is a bearer instrument: two client instances holding its secrets
+  // fire at two merchants at the same instant.  The witness commitment
+  // serializes the race — at most one payment may be accepted.
+  auto& honest = h.add_client();
+  auto& accomplice = h.add_client();
+  h.start();
+  auto coin = must_withdraw(h, honest);
+  auto ids = h.merchant_ids();
+  auto [r1, r2] = h.pay_racing(honest, accomplice, coin, ids[0], ids[1]);
+  int successes = (r1.accepted ? 1 : 0) + (r2.accepted ? 1 : 0);
+  EXPECT_LE(successes, 1);
+}
+
+void RunMerchantRestartScenario(Harness& h) {
+  auto& client = h.add_client();
+  h.start();
+  auto coin = must_withdraw(h, client);
+  auto target = non_witness_merchant(h, coin);
+  h.set_merchant_down(target, true);
+  auto failed = h.pay(client, coin, target);
+  EXPECT_FALSE(failed.accepted);
+  ASSERT_TRUE(failed.error.has_value());
+  h.set_merchant_down(target, false);
+  // A fresh coin spent at the restarted merchant: the full stack (dial,
+  // framing, strands, actors) has recovered end to end.
+  auto coin2 = must_withdraw(h, client);
+  auto ok = h.pay(client, coin2, target);
+  EXPECT_TRUE(ok.accepted) << (ok.error ? *ok.error : "");
+}
+
+// -- instantiated over both transports ------------------------------------
+
+TEST(PaymentOverSimnet, Withdraw) { SimHarness h; RunWithdrawScenario(h); }
+TEST(PaymentOverTcp, Withdraw) { TcpHarness h; RunWithdrawScenario(h); }
+
+TEST(PaymentOverSimnet, PaymentSucceeds) {
+  SimHarness h;
+  RunPaymentScenario(h);
+}
+TEST(PaymentOverTcp, PaymentSucceeds) {
+  TcpHarness h;
+  RunPaymentScenario(h);
+}
+
+TEST(PaymentOverSimnet, DoubleSpendBlockedWithProof) {
+  SimHarness h;
+  RunDoubleSpendScenario(h);
+}
+TEST(PaymentOverTcp, DoubleSpendBlockedWithProof) {
+  TcpHarness h;
+  RunDoubleSpendScenario(h);
+}
+
+TEST(PaymentOverSimnet, RacingDoubleSpendAtMostOneWins) {
+  SimHarness h;
+  RunRacingDoubleSpendScenario(h);
+}
+TEST(PaymentOverTcp, RacingDoubleSpendAtMostOneWins) {
+  TcpHarness h;
+  RunRacingDoubleSpendScenario(h);
+}
+
+TEST(PaymentOverSimnet, MerchantRestartRecovery) {
+  SimHarness h;
+  RunMerchantRestartScenario(h);
+}
+TEST(PaymentOverTcp, MerchantRestartRecovery) {
+  TcpHarness h;
+  RunMerchantRestartScenario(h);
+}
+
+}  // namespace
+}  // namespace p2pcash::actors

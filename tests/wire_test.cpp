@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "wire/framing.h"
 #include "wire/uri_form.h"
 
 namespace p2pcash::wire {
@@ -173,6 +174,106 @@ TEST(UriForm, RenderedSizeIsTextOverhead) {
   UriForm form;
   form.add_bytes("data", payload);
   EXPECT_GT(form.rendered_size(), payload.size());
+}
+
+// ---------------------------------------------------------------------------
+// Stream framing (FrameDecoder): the TCP transport's message boundaries.
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> frame_of(const std::vector<std::uint8_t>& payload,
+                                   std::size_t max_frame =
+                                       kDefaultMaxFrameBytes) {
+  std::vector<std::uint8_t> out;
+  append_frame(out, payload, max_frame);
+  return out;
+}
+
+TEST(Framing, SingleFrameRoundTrip) {
+  FrameDecoder dec;
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  dec.feed(frame_of(payload));
+  auto got = dec.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(Framing, EmptyPayloadIsAValidFrame) {
+  FrameDecoder dec;
+  dec.feed(frame_of({}));
+  auto got = dec.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST(Framing, ByteAtATimeReassembly) {
+  // A TCP read can deliver any fragmentation: the pathological case is one
+  // byte per read, with the length prefix itself split across reads.
+  FrameDecoder dec;
+  std::vector<std::uint8_t> stream;
+  append_frame(stream, std::vector<std::uint8_t>{10, 20});
+  append_frame(stream, std::vector<std::uint8_t>{});
+  append_frame(stream, std::vector<std::uint8_t>{30, 40, 50});
+  std::vector<std::vector<std::uint8_t>> got;
+  for (std::uint8_t byte : stream) {
+    dec.feed(std::span<const std::uint8_t>(&byte, 1));
+    while (auto frame = dec.next()) got.push_back(*frame);
+  }
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], (std::vector<std::uint8_t>{10, 20}));
+  EXPECT_TRUE(got[1].empty());
+  EXPECT_EQ(got[2], (std::vector<std::uint8_t>{30, 40, 50}));
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(Framing, ManyFramesInOneFeed) {
+  FrameDecoder dec;
+  std::vector<std::uint8_t> stream;
+  for (std::uint8_t i = 0; i < 50; ++i)
+    append_frame(stream, std::vector<std::uint8_t>(i, i));
+  dec.feed(stream);
+  EXPECT_EQ(dec.ready(), 50u);
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    auto frame = dec.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(*frame, std::vector<std::uint8_t>(i, i));
+  }
+}
+
+TEST(Framing, PartialFrameWaitsForMoreBytes) {
+  FrameDecoder dec;
+  const auto full = frame_of({1, 2, 3, 4, 5, 6, 7, 8});
+  dec.feed(std::span<const std::uint8_t>(full.data(), 6));
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_EQ(dec.buffered(), 6u);
+  dec.feed(std::span<const std::uint8_t>(full.data() + 6, full.size() - 6));
+  EXPECT_TRUE(dec.next().has_value());
+}
+
+TEST(Framing, OversizedHeaderPoisonsTheStream) {
+  // The length prefix is rejected on sight — before any payload is
+  // buffered — and the decoder refuses everything afterwards (the stream
+  // has no recoverable frame boundary).
+  FrameDecoder dec(/*max_frame=*/16);
+  const std::vector<std::uint8_t> evil = {0x00, 0x00, 0x00, 0x11};  // 17
+  EXPECT_THROW(dec.feed(evil), DecodeError);
+  EXPECT_EQ(dec.buffered(), 0u);
+  EXPECT_THROW(dec.feed(frame_of({1}, 16)), DecodeError);
+}
+
+TEST(Framing, MaxFrameBoundaryExact) {
+  FrameDecoder dec(/*max_frame=*/8);
+  dec.feed(frame_of(std::vector<std::uint8_t>(8, 0xaa), 8));
+  auto got = dec.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->size(), 8u);
+}
+
+TEST(Framing, SenderRefusesOversizedPayload) {
+  std::vector<std::uint8_t> out;
+  EXPECT_THROW(append_frame(out, std::vector<std::uint8_t>(9, 0), 8),
+               DecodeError);
 }
 
 }  // namespace

@@ -50,7 +50,7 @@ CRYPTO_DIRS = ("src/crypto", "src/bn", "src/blindsig", "src/nizk",
 # public data.  Listed explicitly so the manifest check below catches any
 # new src/ module that nobody classified.
 NONCRYPTO_DIRS = ("src/group", "src/ecash", "src/simnet", "src/actors",
-                  "src/verify",
+                  "src/verify", "src/transport",
                   "src/overlay", "src/obs", "src/sync", "src/wire",
                   "src/baseline", "src/metrics")
 

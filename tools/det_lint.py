@@ -46,6 +46,24 @@ from pathlib import Path
 DET_DIRS = ("src/simnet", "src/actors", "src/overlay", "src/obs",
             "src/sync")
 
+# Directories explicitly OUTSIDE the determinism guarantee.  This is the
+# escape hatch for code whose whole point is the real world:
+#   * src/transport — the real TCP transport runs on the wall clock and
+#     kernel sockets BY DESIGN; its determinism story is the SimnetTransport
+#     shim (actors over simnet stay seed-replayable, pinned by chaos_test).
+#     Nothing in src/transport may be reached from a simnet replay path —
+#     SimWorld never constructs a TcpNet.
+#   * everything else here is pure computation (crypto, codec, services)
+#     or test/bench scaffolding that the replay tests don't byte-compare.
+# Every immediate subdirectory of src/ must appear in DET_DIRS or
+# EXEMPT_DIRS — an unclassified module is an error, so new code cannot
+# silently dodge the determinism decision (same policy as ct_lint's
+# module manifest).
+EXEMPT_DIRS = ("src/bn", "src/crypto", "src/metrics", "src/group",
+               "src/sig", "src/blindsig", "src/nizk", "src/wire",
+               "src/ecash", "src/verify", "src/transport", "src/baseline",
+               "src/escrow")
+
 ALLOW_RE = re.compile(r"//\s*det_lint:\s*allow(?::|\b)")
 
 # (pattern, message).  Patterns run against comment/string-stripped code.
@@ -107,7 +125,24 @@ def lint_paths(paths: list[Path], repo_root: Path) -> list[str]:
     return findings
 
 
+def check_manifest(repo_root: Path) -> list[str]:
+    """Every immediate subdirectory of src/ must be classified as
+    determinism-scoped or exempt; an unclassified module means nobody
+    decided whether the seed-replay guarantee applies to it."""
+    src = repo_root / "src"
+    known = {Path(d).name for d in DET_DIRS + EXEMPT_DIRS}
+    return sorted(f"src/{p.name}" for p in src.iterdir()
+                  if p.is_dir() and p.name not in known)
+
+
 def lint_tree(repo_root: Path) -> int:
+    unclassified = check_manifest(repo_root)
+    if unclassified:
+        for d in unclassified:
+            print(f"det_lint.py: {d} is not classified in DET_DIRS or "
+                  f"EXEMPT_DIRS; add it to the scope manifest",
+                  file=sys.stderr)
+        return 2
     files: list[Path] = []
     for d in DET_DIRS:
         base = repo_root / d
