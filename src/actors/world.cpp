@@ -11,6 +11,18 @@ MerchantId merchant_name(std::size_t i) {
   std::snprintf(buf, sizeof buf, "m%03zu", i);
   return buf;
 }
+
+std::string witness_log_name(const MerchantId& id) {
+  return "witness-" + id + ".log";
+}
+
+std::uint64_t draw_u64(bn::Rng& rng) {
+  std::array<std::uint8_t, 8> b{};
+  rng.fill(b);
+  std::uint64_t v = 0;
+  for (std::uint8_t x : b) v = (v << 8) | x;
+  return v;
+}
 }  // namespace
 
 SimWorld::SimWorld(const group::SchnorrGroup& grp, Options options)
@@ -33,17 +45,47 @@ SimWorld::SimWorld(const group::SchnorrGroup& grp, Options options)
       std::make_unique<BrokerActor>(*shim_, options_.cost, *broker_);
   directory_.broker = shim_->attach(*broker_actor_);
   faults_ = std::make_unique<simnet::FaultPlan>(*net_);
-  // Broker crash model: ledgers, account table and open sessions are
-  // snapshotted synchronously at crash time and restored at restart
-  // (restore_state itself discards half-open withdrawal sessions).
-  faults_->set_recovery_hooks(
-      directory_.broker,
-      /*on_crash=*/[this](simnet::NodeId) {
-        broker_durable_ = broker_->snapshot_state();
-      },
-      /*on_restart=*/[this](simnet::NodeId) {
-        if (!broker_durable_.empty()) broker_->restore_state(broker_durable_);
-      });
+  if (options_.durable_stores) {
+    // Durable mode: the broker journals into an append-only log; a crash
+    // kills the process at an arbitrary byte of the unsynced tail, and
+    // restart reopens the log (truncate + checkpoint restore + delta
+    // replay) — no acknowledged state may be lost.
+    store::LogStore::Options store_opts;
+    store_opts.metrics = &registry_;
+    broker_store_ = std::make_unique<store::LogStore>(store_vfs_, "broker.log",
+                                                      store_opts);
+    broker_->attach_store(*broker_store_);
+    faults_->set_recovery_hooks(
+        directory_.broker,
+        /*on_crash=*/
+        [this](simnet::NodeId) {
+          store_vfs_.crash_file(
+              "broker.log",
+              draw_u64(*rng_) %
+                  (store_vfs_.unsynced_bytes("broker.log") + 1));
+        },
+        /*on_restart=*/
+        [this](simnet::NodeId) {
+          store::LogStore::Options opts;
+          opts.metrics = &registry_;
+          broker_store_.reset();
+          broker_store_ = std::make_unique<store::LogStore>(
+              store_vfs_, "broker.log", opts);
+          broker_->attach_store(*broker_store_);
+        });
+  } else {
+    // Broker crash model: ledgers, account table and open sessions are
+    // snapshotted synchronously at crash time and restored at restart
+    // (restore_state itself discards half-open withdrawal sessions).
+    faults_->set_recovery_hooks(
+        directory_.broker,
+        /*on_crash=*/[this](simnet::NodeId) {
+          broker_durable_ = broker_->snapshot_state();
+        },
+        /*on_restart=*/[this](simnet::NodeId) {
+          if (!broker_durable_.empty()) broker_->restore_state(broker_durable_);
+        });
+  }
 
   if (options_.merchants == 0)
     throw std::invalid_argument("SimWorld: need at least one merchant");
@@ -64,24 +106,52 @@ SimWorld::SimWorld(const group::SchnorrGroup& grp, Options options)
     directory_.merchants[slot.id] = shim_->attach(*slot.actor);
     // Hooks capture the slot INDEX: merchants_ may still reallocate while
     // this constructor loop pushes more slots.
-    faults_->set_recovery_hooks(
-        directory_.merchants[slot.id],
-        /*on_crash=*/
-        [this, i](simnet::NodeId) {
-          // Synchronous WAL: the witness's commitments, spent records and
-          // proofs are on disk at the moment of the crash.
-          merchants_[i].durable = merchants_[i].witness->snapshot_state();
-        },
-        /*on_restart=*/
-        [this, i](simnet::NodeId) {
-          MerchantSlot& s = merchants_[i];
-          if (!s.durable.empty()) s.witness->restore_state(s.durable);
-          // Storefront's half-done payments were in memory only; clients
-          // re-drive or time out.  Endorsed deposits survive (queue +
-          // pending submissions are journaled with the witness WAL).
-          s.merchant->drop_pending();
-          s.actor->on_restart();
-        });
+    if (options_.durable_stores) {
+      store::LogStore::Options store_opts;
+      store_opts.metrics = &registry_;
+      slot.store = std::make_unique<store::LogStore>(
+          store_vfs_, witness_log_name(slot.id), store_opts);
+      slot.witness->attach_store(*slot.store);
+      faults_->set_recovery_hooks(
+          directory_.merchants[slot.id],
+          /*on_crash=*/
+          [this, i](simnet::NodeId) {
+            const std::string log = witness_log_name(merchants_[i].id);
+            store_vfs_.crash_file(
+                log, draw_u64(*rng_) % (store_vfs_.unsynced_bytes(log) + 1));
+          },
+          /*on_restart=*/
+          [this, i](simnet::NodeId) {
+            MerchantSlot& s = merchants_[i];
+            store::LogStore::Options opts;
+            opts.metrics = &registry_;
+            s.store.reset();
+            s.store = std::make_unique<store::LogStore>(
+                store_vfs_, witness_log_name(s.id), opts);
+            s.witness->attach_store(*s.store);
+            s.merchant->drop_pending();
+            s.actor->on_restart();
+          });
+    } else {
+      faults_->set_recovery_hooks(
+          directory_.merchants[slot.id],
+          /*on_crash=*/
+          [this, i](simnet::NodeId) {
+            // Synchronous WAL: the witness's commitments, spent records and
+            // proofs are on disk at the moment of the crash.
+            merchants_[i].durable = merchants_[i].witness->snapshot_state();
+          },
+          /*on_restart=*/
+          [this, i](simnet::NodeId) {
+            MerchantSlot& s = merchants_[i];
+            if (!s.durable.empty()) s.witness->restore_state(s.durable);
+            // Storefront's half-done payments were in memory only; clients
+            // re-drive or time out.  Endorsed deposits survive (queue +
+            // pending submissions are journaled with the witness WAL).
+            s.merchant->drop_pending();
+            s.actor->on_restart();
+          });
+    }
     merchants_.push_back(std::move(slot));
   }
   broker_->publish_witness_table(/*now=*/0);

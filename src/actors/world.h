@@ -19,6 +19,8 @@
 #include "obs/trace.h"
 #include "simnet/fault.h"
 #include "simnet/sim.h"
+#include "store/log_store.h"
+#include "store/vfs.h"
 #include "transport/simnet_transport.h"
 
 namespace p2pcash::actors {
@@ -46,6 +48,14 @@ class SimWorld {
     bool trace = false;
     /// Ring-buffer capacity of the trace sink (records, spans + events).
     std::size_t trace_capacity = std::size_t{1} << 16;
+    /// When true, broker and witnesses run behind append-only LogStores on
+    /// an in-memory Vfs, and the chaos crash hooks become real
+    /// kill-at-any-byte crash points: a crash tears the log at an
+    /// RNG-chosen unsynced byte and restart recovers by reopening the log
+    /// (truncate torn tail, restore checkpoint, replay deltas).  The
+    /// default (false) keeps the legacy snapshot hooks — and every seeded
+    /// schedule — byte-identical.
+    bool durable_stores = false;
   };
 
   explicit SimWorld(const group::SchnorrGroup& grp, Options options);
@@ -97,6 +107,11 @@ class SimWorld {
   void set_tracing(bool on);
   bool tracing() const { return trace_on_; }
 
+  /// The durable-mode Vfs holding every node's log (see
+  /// Options::durable_stores).  Exposed so tests can inspect or corrupt
+  /// log bytes; file names are "broker.log" and "witness-<id>.log".
+  store::MemVfs& store_vfs() { return store_vfs_; }
+
  private:
   struct MerchantSlot {
     MerchantId id;
@@ -105,6 +120,8 @@ class SimWorld {
     std::unique_ptr<MerchantActor> actor;
     /// Witness snapshot taken by the crash hook (synchronous WAL).
     std::vector<std::uint8_t> durable;
+    /// Durable mode: the witness's append-only log (reopened on restart).
+    std::unique_ptr<store::LogStore> store;
   };
 
   void register_collectors();
@@ -128,6 +145,12 @@ class SimWorld {
   std::vector<MerchantSlot> merchants_;
   std::vector<std::unique_ptr<ClientActor>> clients_;
   std::vector<std::uint8_t> broker_durable_;
+  /// Durable mode only (empty otherwise): the in-memory filesystem and
+  /// the broker's log.  Declared before the services that journal into
+  /// them are destroyed (members destruct in reverse order, so the stores
+  /// must outlive nothing — services never journal from destructors).
+  store::MemVfs store_vfs_;
+  std::unique_ptr<store::LogStore> broker_store_;
   std::uint64_t next_client_seed_ = 0;
 };
 

@@ -10,6 +10,18 @@ namespace p2pcash::ecash {
 using bn::BigInt;
 
 namespace {
+// Sub-delta tags inside one journaled record (see broker.h: one record
+// per mutating entry point, applied atomically on replay).
+constexpr std::uint8_t kDeltaAccount = 1;
+constexpr std::uint8_t kDeltaTable = 2;
+constexpr std::uint8_t kDeltaCounters = 3;
+constexpr std::uint8_t kDeltaDeposit = 4;
+constexpr std::uint8_t kDeltaRenewal = 5;
+constexpr std::uint8_t kDeltaWitnessFault = 6;
+constexpr std::uint8_t kDeltaFraudProof = 7;
+}  // namespace
+
+namespace {
 // The broker has a single key pair (x, y = g^x) like the paper's B: it
 // blind-signs coins and plain-signs witness-range entries with the same
 // key (the two uses are domain-separated by their hash tags).
@@ -27,10 +39,14 @@ Broker::Broker(group::SchnorrGroup grp, bn::Rng& rng, Config config)
 
 void Broker::register_merchant(const MerchantId& id, const sig::PublicKey& key,
                                Cents security_deposit) {
+  store::StoreCommit commit(store_);
   sync::MutexLock lock(mu_);
   auto& account = accounts_[id];
   account.key = key;
   account.deposit_remaining = security_deposit;
+  wire::Writer w;
+  delta_account(w, id);
+  journal(w);
 }
 
 bool Broker::is_registered(const MerchantId& id) const {
@@ -45,6 +61,7 @@ const Broker::MerchantAccount* Broker::account(const MerchantId& id) const {
 }
 
 void Broker::set_weight(const MerchantId& id, std::uint64_t weight) {
+  store::StoreCommit commit(store_);
   sync::MutexLock lock(mu_);
   auto it = accounts_.find(id);
   if (it == accounts_.end())
@@ -52,9 +69,13 @@ void Broker::set_weight(const MerchantId& id, std::uint64_t weight) {
   if (weight == 0)
     throw std::invalid_argument("Broker::set_weight: zero weight");
   it->second.weight = weight;
+  wire::Writer w;
+  delta_account(w, id);
+  journal(w);
 }
 
 const WitnessTable& Broker::publish_witness_table(Timestamp now) {
+  store::StoreCommit commit(store_);
   sync::MutexLock lock(mu_);
   std::vector<WitnessTable::Participant> participants;
   for (const auto& [id, account] : accounts_) {
@@ -66,6 +87,9 @@ const WitnessTable& Broker::publish_witness_table(Timestamp now) {
   auto version = static_cast<std::uint32_t>(tables_.size() + 1);
   tables_.push_back(
       WitnessTable::build(version, now, participants, identity_, rng_));
+  wire::Writer w;
+  delta_table(w, tables_.back());
+  journal(w);
   return tables_.back();
 }
 
@@ -100,6 +124,7 @@ CoinInfo Broker::make_info(Cents denomination, Timestamp now) const {
 
 Outcome<Broker::WithdrawalOffer> Broker::start_withdrawal(Cents denomination,
                                                           Timestamp now) {
+  store::StoreCommit commit(store_);
   sync::MutexLock lock(mu_);
   if (tables_.empty())
     return Refusal{RefusalReason::kInternal, "no witness table published"};
@@ -112,12 +137,16 @@ Outcome<Broker::WithdrawalOffer> Broker::start_withdrawal(Cents denomination,
   offer.first = session.first;
   withdrawal_sessions_.emplace(offer.session, std::move(session));
   fiat_collected_ += denomination;  // client pays out of band (card/deposit)
+  wire::Writer w;
+  delta_counters(w);
+  journal(w);
   return offer;
 }
 
 Outcome<Broker::WithdrawalOffer> Broker::start_withdrawal_escrowed(
     Cents denomination, const std::string& client_identity,
     const bn::BigInt& escrow_authority_y, Timestamp now) {
+  store::StoreCommit commit(store_);
   sync::MutexLock lock(mu_);
   if (tables_.empty())
     return Refusal{RefusalReason::kInternal, "no witness table published"};
@@ -134,11 +163,15 @@ Outcome<Broker::WithdrawalOffer> Broker::start_withdrawal_escrowed(
   offer.first = session.first;
   withdrawal_sessions_.emplace(offer.session, std::move(session));
   fiat_collected_ += denomination;
+  wire::Writer w;
+  delta_counters(w);
+  journal(w);
   return offer;
 }
 
 Outcome<blindsig::SignerResponse> Broker::finish_withdrawal(
     std::uint64_t session, const BigInt& e) {
+  store::StoreCommit commit(store_);
   sync::MutexLock lock(mu_);
   auto it = withdrawal_sessions_.find(session);
   if (it == withdrawal_sessions_.end()) {
@@ -158,6 +191,9 @@ Outcome<blindsig::SignerResponse> Broker::finish_withdrawal(
   withdrawal_sessions_.erase(it);  // one signature per session, ever
   completed_withdrawals_.emplace(session, CompletedWithdrawal{e, response});
   ++coins_issued_;
+  wire::Writer w;
+  delta_counters(w);
+  journal(w);
   return response;
 }
 
@@ -249,6 +285,7 @@ Outcome<std::vector<MerchantId>> Broker::validate_signed_transcript(
 Outcome<Broker::DepositReceipt> Broker::deposit(const MerchantId& depositor,
                                                 const SignedTranscript& st,
                                                 Timestamp now) {
+  store::StoreCommit commit(store_);
   sync::MutexLock lock(mu_);
   const PaymentTranscript& t = st.transcript;
   const CoinInfo& info = t.coin.bare.info;
@@ -281,6 +318,11 @@ Outcome<Broker::DepositReceipt> Broker::deposit(const MerchantId& depositor,
     deposits_.emplace(coin_hash, DepositRecord{st, depositor});
     account_it->second.balance += info.denomination;
     fiat_paid_out_ += info.denomination;
+    wire::Writer w;
+    delta_deposit(w, coin_hash);
+    delta_account(w, depositor);
+    delta_counters(w);
+    journal(w);
     return DepositReceipt{info.denomination, false};
   }
 
@@ -321,12 +363,19 @@ Outcome<Broker::DepositReceipt> Broker::deposit(const MerchantId& depositor,
   }
   account_it->second.balance += amount;
   fiat_paid_out_ += amount;
+  wire::Writer w;
+  delta_witness_fault(w, witness_faults_.back());
+  if (culprit_it != accounts_.end()) delta_account(w, culprit);
+  delta_account(w, depositor);
+  delta_counters(w);
+  journal(w);
   return DepositReceipt{amount, true};
 }
 
 Outcome<std::vector<Broker::WithdrawalOffer>> Broker::exchange(
     const SignedTranscript& st, const std::vector<Cents>& denominations,
     Timestamp now) {
+  store::StoreCommit commit(store_);
   sync::MutexLock lock(mu_);
   const PaymentTranscript& t = st.transcript;
   const CoinInfo& info = t.coin.bare.info;
@@ -374,6 +423,10 @@ Outcome<std::vector<Broker::WithdrawalOffer>> Broker::exchange(
     withdrawal_sessions_.emplace(offer.session, std::move(session));
     offers.push_back(std::move(offer));
   }
+  wire::Writer w;
+  delta_deposit(w, coin_hash);
+  delta_counters(w);
+  journal(w);
   return offers;
 }
 
@@ -388,6 +441,7 @@ BigInt Broker::renewal_challenge(const Coin& coin,
 
 Outcome<Broker::RenewalOffer> Broker::start_renewal(Cents denomination,
                                                     Timestamp now) {
+  store::StoreCommit commit(store_);
   sync::MutexLock lock(mu_);
   if (tables_.empty())
     return Refusal{RefusalReason::kInternal, "no witness table published"};
@@ -397,12 +451,16 @@ Outcome<Broker::RenewalOffer> Broker::start_renewal(Cents denomination,
   auto session = signer_.start(offer.info.bytes(), rng_);
   offer.first = session.first;
   renewal_sessions_.emplace(offer.session, std::move(session));
+  wire::Writer w;
+  delta_counters(w);
+  journal(w);
   return offer;
 }
 
 Outcome<blindsig::SignerResponse> Broker::finish_renewal(
     std::uint64_t session, const BigInt& e, const Coin& old_coin,
     const nizk::Response& proof, Timestamp datetime, Timestamp now) {
+  store::StoreCommit commit(store_);
   sync::MutexLock lock(mu_);
   auto it = renewal_sessions_.find(session);
   if (it == renewal_sessions_.end())
@@ -454,7 +512,12 @@ Outcome<blindsig::SignerResponse> Broker::finish_renewal(
       ds.a = current.a;
       ds.b = current.b;
       ds.secrets = *extracted;
-      if (ds.verify(grp_)) renewal_fraud_proofs_.push_back(ds);
+      if (ds.verify(grp_)) {
+        renewal_fraud_proofs_.push_back(ds);
+        wire::Writer w;
+        delta_fraud_proof(w, renewal_fraud_proofs_.back());
+        journal(w);
+      }
     }
     return Refusal{RefusalReason::kDoubleSpent, "coin was already deposited"};
   }
@@ -470,7 +533,12 @@ Outcome<blindsig::SignerResponse> Broker::finish_renewal(
       ds.a = current.a;
       ds.b = current.b;
       ds.secrets = *extracted;
-      if (ds.verify(grp_)) renewal_fraud_proofs_.push_back(ds);
+      if (ds.verify(grp_)) {
+        renewal_fraud_proofs_.push_back(ds);
+        wire::Writer w;
+        delta_fraud_proof(w, renewal_fraud_proofs_.back());
+        journal(w);
+      }
     }
     return Refusal{RefusalReason::kDoubleSpent, "coin was already renewed"};
   }
@@ -481,12 +549,20 @@ Outcome<blindsig::SignerResponse> Broker::finish_renewal(
   auto response = signer_.respond(it->second, e);
   renewal_sessions_.erase(it);
   ++coins_issued_;
+  wire::Writer w;
+  delta_renewal(w, coin_hash);
+  delta_counters(w);
+  journal(w);
   return response;
 }
 
 
 std::vector<std::uint8_t> Broker::snapshot_state() const {
   sync::MutexLock lock(mu_);
+  return snapshot_locked();
+}
+
+std::vector<std::uint8_t> Broker::snapshot_locked() const {
   wire::Writer w;
   w.put_string("p2pcash/broker-snapshot/v1");
   w.put_bigint(signer_.secret_x());
@@ -544,6 +620,13 @@ Hash256 snapshot_hash(wire::Reader& r) {
 
 void Broker::restore_state(std::span<const std::uint8_t> snapshot) {
   sync::MutexLock lock(mu_);
+  restore_locked(snapshot);
+  // An externally supplied snapshot supersedes the journal: compact so the
+  // store and the in-memory state agree again.
+  if (store_ != nullptr) store_->checkpoint(snapshot_locked());
+}
+
+void Broker::restore_locked(std::span<const std::uint8_t> snapshot) {
   wire::Reader r(snapshot);
   if (r.get_string() != "p2pcash/broker-snapshot/v1")
     throw wire::DecodeError("broker snapshot: bad magic");
@@ -616,5 +699,173 @@ void Broker::restore_state(std::span<const std::uint8_t> snapshot) {
   renewal_sessions_.clear();
 }
 
+// ---- store journaling ------------------------------------------------------
+
+void Broker::journal(const wire::Writer& w) {
+  if (store_ != nullptr && w.size() > 0) store_->append(w.bytes());
+}
+
+void Broker::delta_account(wire::Writer& w, const MerchantId& id) const {
+  const MerchantAccount& a = accounts_.at(id);
+  w.put_u8(kDeltaAccount);
+  w.put_string(id);
+  w.put_bigint(a.key.y);
+  w.put_u32(a.deposit_remaining);
+  w.put_i64(a.balance);
+  w.put_u64(a.weight);
+  w.put_u8(a.flagged ? 1 : 0);
+}
+
+void Broker::delta_counters(wire::Writer& w) const {
+  w.put_u8(kDeltaCounters);
+  w.put_u64(next_session_);
+  w.put_u64(coins_issued_);
+  w.put_i64(fiat_collected_);
+  w.put_i64(fiat_paid_out_);
+}
+
+void Broker::delta_deposit(wire::Writer& w, const Hash256& hash) const {
+  const DepositRecord& record = deposits_.at(hash);
+  w.put_u8(kDeltaDeposit);
+  w.put_bytes(hash);
+  record.st.encode(w);
+  w.put_string(record.depositor);
+}
+
+void Broker::delta_renewal(wire::Writer& w, const Hash256& hash) const {
+  const RenewalRecord& record = renewals_.at(hash);
+  w.put_u8(kDeltaRenewal);
+  w.put_bytes(hash);
+  record.coin.encode(w);
+  w.put_bigint(record.proof.r1);
+  w.put_bigint(record.proof.r2);
+  w.put_i64(record.datetime);
+}
+
+void Broker::delta_table(wire::Writer& w, const WitnessTable& table) {
+  w.put_u8(kDeltaTable);
+  table.encode(w);
+}
+
+void Broker::delta_witness_fault(wire::Writer& w,
+                                 const WitnessFaultProof& fault) {
+  w.put_u8(kDeltaWitnessFault);
+  w.put_bytes(fault.coin_hash);
+  fault.first.encode(w);
+  fault.second.encode(w);
+  w.put_string(fault.witness);
+}
+
+void Broker::delta_fraud_proof(wire::Writer& w,
+                               const DoubleSpendProof& proof) {
+  w.put_u8(kDeltaFraudProof);
+  proof.encode(w);
+}
+
+void Broker::apply_delta(std::span<const std::uint8_t> delta) {
+  wire::Reader r(delta);
+  while (!r.at_end()) {
+    switch (r.get_u8()) {
+      case kDeltaAccount: {
+        MerchantId id = r.get_string();
+        MerchantAccount a;
+        a.key.y = r.get_bigint();
+        a.deposit_remaining = r.get_u32();
+        a.balance = r.get_i64();
+        a.weight = r.get_u64();
+        a.flagged = r.get_u8() != 0;
+        accounts_[id] = std::move(a);
+        break;
+      }
+      case kDeltaTable: {
+        WitnessTable table = WitnessTable::decode(r);
+        // Tables are append-only in version order; a replayed record for a
+        // version we already hold (checkpoint raced ahead) is last-wins.
+        if (table.version() == tables_.size() + 1)
+          tables_.push_back(std::move(table));
+        else if (table.version() >= 1 && table.version() <= tables_.size())
+          tables_[table.version() - 1] = std::move(table);
+        else
+          throw wire::DecodeError("broker delta: table version gap");
+        break;
+      }
+      case kDeltaCounters: {
+        next_session_ = r.get_u64();
+        coins_issued_ = r.get_u64();
+        fiat_collected_ = r.get_i64();
+        fiat_paid_out_ = r.get_i64();
+        break;
+      }
+      case kDeltaDeposit: {
+        Hash256 hash = snapshot_hash(r);
+        DepositRecord record;
+        record.st = SignedTranscript::decode(r);
+        record.depositor = r.get_string();
+        deposits_[hash] = std::move(record);
+        break;
+      }
+      case kDeltaRenewal: {
+        Hash256 hash = snapshot_hash(r);
+        RenewalRecord record;
+        record.coin = Coin::decode(r);
+        record.proof.r1 = r.get_bigint();
+        record.proof.r2 = r.get_bigint();
+        record.datetime = r.get_i64();
+        renewals_[hash] = std::move(record);
+        break;
+      }
+      case kDeltaWitnessFault: {
+        WitnessFaultProof fault;
+        fault.coin_hash = snapshot_hash(r);
+        fault.first = SignedTranscript::decode(r);
+        fault.second = SignedTranscript::decode(r);
+        fault.witness = r.get_string();
+        witness_faults_.push_back(std::move(fault));
+        break;
+      }
+      case kDeltaFraudProof: {
+        renewal_fraud_proofs_.push_back(DoubleSpendProof::decode(r));
+        break;
+      }
+      default:
+        throw wire::DecodeError("broker delta: unknown tag");
+    }
+  }
+}
+
+void Broker::attach_store(store::Store& store) {
+  sync::MutexLock lock(mu_);
+  // Re-attach after a crash/restart: the previous store may already be
+  // destroyed, so drop the pointer before restore_locked can checkpoint
+  // through it.
+  store_ = nullptr;
+  if (store.empty()) {
+    // Fresh store: write a genesis checkpoint so the signing key itself is
+    // durable before the first operation is acknowledged.
+    store_ = &store;
+    store.checkpoint(snapshot_locked());
+    return;
+  }
+  store::Recovered rec = store.recover();
+  restore_locked(rec.snapshot);
+  for (const auto& delta : rec.deltas) apply_delta(delta);
+  // Set last: restore/replay above must not journal into the store they
+  // are reading from.
+  store_ = &store;
+}
+
+void Broker::checkpoint_store() {
+  sync::MutexLock lock(mu_);
+  if (store_ != nullptr) store_->checkpoint(snapshot_locked());
+}
+
+std::vector<std::uint8_t> Broker::export_table_file(
+    std::uint32_t version) const {
+  sync::MutexLock lock(mu_);
+  const WitnessTable* tbl = table_unlocked(version);
+  if (tbl == nullptr)
+    throw std::invalid_argument("Broker::export_table_file: unknown version");
+  return tbl->to_table_file();
+}
 
 }  // namespace p2pcash::ecash

@@ -37,6 +37,7 @@
 #include "ecash/coin.h"
 #include "ecash/transcript.h"
 #include "ecash/witness_table.h"
+#include "store/store.h"
 #include "sync/annotated.h"
 
 namespace p2pcash::ecash {
@@ -251,7 +252,33 @@ class Broker {
 
   std::vector<std::uint8_t> snapshot_state() const;
   /// Throws wire::DecodeError on malformed input; state unchanged on throw.
+  /// If a store is attached, the restored state is checkpointed into it.
   void restore_state(std::span<const std::uint8_t> snapshot);
+
+  // ---- durable store ---------------------------------------------------
+  //
+  // With a store attached, every mutating entry point journals one atomic
+  // delta record describing all of its state changes and commits it
+  // (group-commit fsync) before returning — an acknowledged deposit,
+  // signature or table publication survives a process kill.  Recovery is
+  // checkpoint restore + delta replay; replay is last-wins per key, so
+  // reopening after any crash point reproduces exactly the acknowledged
+  // prefix of operations.  Open sessions stay unpersisted as before.
+
+  /// Attaches a store while the broker is quiescent (no concurrent
+  /// callers).  An empty store receives a genesis checkpoint (making the
+  /// signing key itself durable); a non-empty store is recovered from:
+  /// the broker's entire state is replaced by checkpoint + deltas.
+  void attach_store(store::Store& store);
+  /// Compacts the attached store to one checkpoint of the current state.
+  /// No-op when detached.
+  void checkpoint_store();
+  bool has_store() const { return store_ != nullptr; }
+
+  /// Serializes a published table into the immutable mmap-friendly
+  /// store::table_file format (see WitnessTable::to_table_file).  Throws
+  /// std::invalid_argument for an unpublished version.
+  std::vector<std::uint8_t> export_table_file(std::uint32_t version) const;
 
  private:
   struct DepositRecord {
@@ -279,8 +306,36 @@ class Broker {
       const SignedTranscript& st, const Hash256& coin_hash,
       Timestamp now) const P2P_REQUIRES(mu_);
 
+  // ---- store journaling (see attach_store) ----
+  //
+  // Each mutating entry point gathers its sub-deltas into one wire::Writer
+  // and appends them as ONE log record, so a torn tail can never persist
+  // half an operation.  Sub-delta appliers are last-wins per key.
+  std::vector<std::uint8_t> snapshot_locked() const P2P_REQUIRES(mu_);
+  void restore_locked(std::span<const std::uint8_t> snapshot)
+      P2P_REQUIRES(mu_);
+  /// Re-applies one journaled delta record (recovery replay).
+  void apply_delta(std::span<const std::uint8_t> delta) P2P_REQUIRES(mu_);
+  /// Appends `w` as one delta record; no-op when no store is attached.
+  void journal(const wire::Writer& w) P2P_REQUIRES(mu_);
+  void delta_account(wire::Writer& w, const MerchantId& id) const
+      P2P_REQUIRES(mu_);
+  void delta_counters(wire::Writer& w) const P2P_REQUIRES(mu_);
+  void delta_deposit(wire::Writer& w, const Hash256& hash) const
+      P2P_REQUIRES(mu_);
+  void delta_renewal(wire::Writer& w, const Hash256& hash) const
+      P2P_REQUIRES(mu_);
+  static void delta_table(wire::Writer& w, const WitnessTable& table);
+  static void delta_witness_fault(wire::Writer& w,
+                                  const WitnessFaultProof& fault);
+  static void delta_fraud_proof(wire::Writer& w,
+                                const DoubleSpendProof& proof);
+
   group::SchnorrGroup grp_;  // immutable shared parameters: no guard
   bn::Rng& rng_;             // external; only drawn from under mu_
+  /// Set by attach_store while quiescent (same contract as the key pair in
+  /// public_key()), then only read — so unguarded reads never race.
+  store::Store* store_ = nullptr;
   /// Serializes every public entry point (see the thread-safety note in
   /// the header comment).  Private helpers assume it is already held.
   mutable sync::Mutex mu_{"ecash.broker", sync::level::kService};

@@ -8,6 +8,17 @@
 
 namespace p2pcash::ecash {
 
+namespace {
+// Sub-delta tags inside one journaled record (see witness.h: one record
+// per state transition, applied atomically on replay).
+constexpr std::uint8_t kDeltaCommitment = 1;
+constexpr std::uint8_t kDeltaSpent = 2;
+constexpr std::uint8_t kDeltaDoubleSpent = 3;
+constexpr std::uint8_t kDeltaChain = 4;
+constexpr std::uint8_t kDeltaSpentErase = 5;
+constexpr std::uint8_t kDeltaCounters = 6;
+}  // namespace
+
 WitnessService::WitnessService(group::SchnorrGroup grp,
                                sig::PublicKey broker_key, MerchantId id,
                                sig::KeyPair key, bn::Rng& rng)
@@ -19,6 +30,7 @@ WitnessService::WitnessService(group::SchnorrGroup grp,
 
 Outcome<WitnessCommitment> WitnessService::request_commitment(
     const Hash256& coin_hash, const Hash256& nonce, Timestamp now) {
+  store::StoreCommit store_commit(store_);
   Timestamp ttl;
   {
     sync::MutexLock lock(mu_);
@@ -61,6 +73,9 @@ Outcome<WitnessCommitment> WitnessService::request_commitment(
   }
   s.commitments[coin_hash] =
       CommitmentRecord{commitment, std::move(value), /*consumed=*/false};
+  wire::Writer w;
+  delta_commitment(w, coin_hash, s.commitments[coin_hash]);
+  journal(w);
   return commitment;
 }
 
@@ -94,6 +109,7 @@ std::optional<Outcome<SignResult>> WitnessService::sign_fast_path(
 
 Outcome<SignResult> WitnessService::sign_transcript(
     const PaymentTranscript& transcript, Timestamp now) {
+  store::StoreCommit store_commit(store_);
   const Coin& coin = transcript.coin;
   const Hash256 coin_hash = coin.bare.coin_hash();
   const bool faulty = is_faulty();
@@ -113,6 +129,7 @@ Outcome<SignResult> WitnessService::sign_transcript(
 
 std::vector<Outcome<SignResult>> WitnessService::sign_transcript_batch(
     std::span<const PaymentTranscript> transcripts, Timestamp now) {
+  store::StoreCommit store_commit(store_);
   const bool faulty = is_faulty();
   std::vector<std::optional<Outcome<SignResult>>> results(transcripts.size());
   std::vector<Hash256> hashes(transcripts.size());
@@ -237,6 +254,9 @@ Outcome<SignResult> WitnessService::finish_sign(
               payment_nonce(transcript.salt, transcript.merchant) ==
                   commit_it->second.commitment.nonce) {
             commit_it->second.consumed = true;
+            wire::Writer w;
+            delta_commitment(w, coin_hash, commit_it->second);
+            journal(w);
           }
           return SignResult{std::move(proof)};
         }
@@ -289,6 +309,11 @@ Outcome<SignResult> WitnessService::finish_sign(
       s.double_spent[coin_hash] = DoubleSpentRecord{proof};
       s.spent.erase(coin_hash);
       commit_it->second.consumed = true;  // promise discharged by the proof
+      wire::Writer w;
+      delta_double_spent(w, coin_hash, s.double_spent[coin_hash]);
+      delta_spent_erase(w, coin_hash);
+      delta_commitment(w, coin_hash, commit_it->second);
+      journal(w);
       return SignResult{std::move(proof)};
     }
 
@@ -304,13 +329,26 @@ Outcome<SignResult> WitnessService::finish_sign(
     // to reveal v during conflict resolution) but allow fresh commitments.
     commit_it->second.consumed = true;
     signed_new = true;
+    wire::Writer w;
+    delta_spent(w, coin_hash, s.spent[coin_hash]);
+    delta_commitment(w, coin_hash, commit_it->second);
+    journal(w);
     return SignResult{std::move(endorsement)};
   }();
   if (stale_evidence || signed_new) {
     sync::MutexLock lock(mu_);
     if (stale_evidence)
       stale_owner_evidence_.push_back(std::move(*stale_evidence));
-    if (signed_new) ++coins_signed_;
+    if (signed_new) {
+      ++coins_signed_;
+      // Journaled as its own record: the counter lives under mu_, above the
+      // stripe, so it cannot ride the spend record.  A torn tail between
+      // the two costs one counter tick of an unacknowledged operation —
+      // a performance statistic, never a safety invariant.
+      wire::Writer w;
+      delta_counters(w, coins_signed_);
+      journal(w);
+    }
   }
   return result;
 }
@@ -345,6 +383,7 @@ WitnessService::sign_transfer(const Coin& coin, const bn::BigInt& new_a,
                               const nizk::Response& response,
                               Timestamp datetime, Timestamp now) {
   using TransferResult = std::variant<TransferLink, DoubleSpendProof>;
+  store::StoreCommit store_commit(store_);
   const Hash256 coin_hash = coin.bare.coin_hash();
   const bool faulty = is_faulty();
 
@@ -414,6 +453,9 @@ WitnessService::sign_transfer(const Coin& coin, const bn::BigInt& new_a,
       proof.b = commitments.b;
       proof.secrets = *extracted;
       s.double_spent[coin_hash] = DoubleSpentRecord{proof};
+      wire::Writer w;
+      delta_double_spent(w, coin_hash, s.double_spent[coin_hash]);
+      journal(w);
       return TransferResult{std::move(proof)};
     }
     return Refusal{RefusalReason::kDoubleSpent,
@@ -435,6 +477,10 @@ WitnessService::sign_transfer(const Coin& coin, const bn::BigInt& new_a,
       proof.secrets = *extracted;
       s.double_spent[coin_hash] = DoubleSpentRecord{proof};
       s.spent.erase(coin_hash);
+      wire::Writer w;
+      delta_double_spent(w, coin_hash, s.double_spent[coin_hash]);
+      delta_spent_erase(w, coin_hash);
+      journal(w);
       return TransferResult{std::move(proof)};
     }
     return Refusal{RefusalReason::kDoubleSpent, "coin already spent"};
@@ -462,6 +508,9 @@ WitnessService::sign_transfer(const Coin& coin, const bn::BigInt& new_a,
   auto& chain = s.chains[coin_hash];
   chain = coin.transfers;
   chain.push_back(link);
+  wire::Writer w;
+  delta_chain(w, coin_hash, chain);
+  journal(w);
   return TransferResult{std::move(link)};
 }
 
@@ -598,8 +647,146 @@ void WitnessService::restore_state(std::span<const std::uint8_t> snapshot) {
     s.double_spent = std::move(staging[i].double_spent);
     s.chains = std::move(staging[i].chains);
   }
-  sync::MutexLock lock(mu_);
-  coins_signed_ = coins_signed;
+  {
+    sync::MutexLock lock(mu_);
+    coins_signed_ = coins_signed;
+  }
+  // An externally supplied snapshot supersedes the journal: compact so the
+  // store and the in-memory state agree again.
+  if (store_ != nullptr) store_->checkpoint(snapshot_state());
+}
+
+// ---- store journaling ------------------------------------------------------
+
+void WitnessService::journal(const wire::Writer& w) {
+  if (store_ != nullptr && w.size() > 0) store_->append(w.bytes());
+}
+
+void WitnessService::delta_commitment(wire::Writer& w, const Hash256& hash,
+                                      const CommitmentRecord& record) {
+  w.put_u8(kDeltaCommitment);
+  put_hash256(w, hash);
+  record.commitment.encode(w);
+  record.value.encode(w);
+  w.put_u8(record.consumed ? 1 : 0);
+}
+
+void WitnessService::delta_spent(wire::Writer& w, const Hash256& hash,
+                                 const SpentRecord& record) {
+  w.put_u8(kDeltaSpent);
+  put_hash256(w, hash);
+  record.transcript.encode(w);
+  record.endorsement.encode(w);
+}
+
+void WitnessService::delta_double_spent(wire::Writer& w, const Hash256& hash,
+                                        const DoubleSpentRecord& record) {
+  w.put_u8(kDeltaDoubleSpent);
+  put_hash256(w, hash);
+  record.proof.encode(w);
+}
+
+void WitnessService::delta_chain(wire::Writer& w, const Hash256& hash,
+                                 const std::vector<TransferLink>& chain) {
+  w.put_u8(kDeltaChain);
+  put_hash256(w, hash);
+  w.put_u32(static_cast<std::uint32_t>(chain.size()));
+  for (const auto& link : chain) link.encode(w);
+}
+
+void WitnessService::delta_spent_erase(wire::Writer& w, const Hash256& hash) {
+  w.put_u8(kDeltaSpentErase);
+  put_hash256(w, hash);
+}
+
+void WitnessService::delta_counters(wire::Writer& w,
+                                    std::uint64_t coins_signed) {
+  w.put_u8(kDeltaCounters);
+  w.put_u64(coins_signed);
+}
+
+void WitnessService::apply_delta(std::span<const std::uint8_t> delta) {
+  wire::Reader r(delta);
+  while (!r.at_end()) {
+    switch (r.get_u8()) {
+      case kDeltaCommitment: {
+        Hash256 hash = get_hash256(r);
+        CommitmentRecord record;
+        record.commitment = WitnessCommitment::decode(r);
+        record.value = CommittedValue::decode(r);
+        record.consumed = r.get_u8() != 0;
+        Stripe& s = stripe_for(hash);
+        sync::MutexLock lock(s.mu);
+        s.commitments[hash] = std::move(record);
+        break;
+      }
+      case kDeltaSpent: {
+        Hash256 hash = get_hash256(r);
+        SpentRecord record;
+        record.transcript = PaymentTranscript::decode(r);
+        record.endorsement = WitnessEndorsement::decode(r);
+        Stripe& s = stripe_for(hash);
+        sync::MutexLock lock(s.mu);
+        s.spent[hash] = std::move(record);
+        break;
+      }
+      case kDeltaDoubleSpent: {
+        Hash256 hash = get_hash256(r);
+        DoubleSpentRecord record{DoubleSpendProof::decode(r)};
+        Stripe& s = stripe_for(hash);
+        sync::MutexLock lock(s.mu);
+        s.double_spent[hash] = std::move(record);
+        break;
+      }
+      case kDeltaChain: {
+        Hash256 hash = get_hash256(r);
+        std::vector<TransferLink> chain;
+        for (std::uint32_t j = 0, m = r.get_u32(); j < m; ++j)
+          chain.push_back(TransferLink::decode(r));
+        Stripe& s = stripe_for(hash);
+        sync::MutexLock lock(s.mu);
+        s.chains[hash] = std::move(chain);
+        break;
+      }
+      case kDeltaSpentErase: {
+        Hash256 hash = get_hash256(r);
+        Stripe& s = stripe_for(hash);
+        sync::MutexLock lock(s.mu);
+        s.spent.erase(hash);
+        break;
+      }
+      case kDeltaCounters: {
+        std::uint64_t coins_signed = r.get_u64();
+        sync::MutexLock lock(mu_);
+        coins_signed_ = coins_signed;
+        break;
+      }
+      default:
+        throw wire::DecodeError("witness delta: unknown tag");
+    }
+  }
+}
+
+void WitnessService::attach_store(store::Store& store) {
+  // Re-attach after a crash/restart: the previous store may already be
+  // destroyed, so drop the pointer before restore_state can checkpoint
+  // through it.
+  store_ = nullptr;
+  if (store.empty()) {
+    // Fresh store: a genesis checkpoint makes the (empty but versioned)
+    // snapshot durable before the first operation is acknowledged.
+    store_ = &store;
+    store.checkpoint(snapshot_state());
+    return;
+  }
+  store::Recovered rec = store.recover();
+  restore_state(rec.snapshot);  // store_ still unset: no re-checkpoint
+  for (const auto& delta : rec.deltas) apply_delta(delta);
+  store_ = &store;
+}
+
+void WitnessService::checkpoint_store() {
+  if (store_ != nullptr) store_->checkpoint(snapshot_state());
 }
 
 }  // namespace p2pcash::ecash

@@ -42,6 +42,7 @@
 #include <variant>
 
 #include "ecash/transcript.h"
+#include "store/store.h"
 #include "sync/annotated.h"
 
 namespace p2pcash::ecash {
@@ -148,8 +149,25 @@ class WitnessService {
   /// Serializes all double-spend-relevant state.
   std::vector<std::uint8_t> snapshot_state() const;
   /// Replaces current state with a snapshot. Throws wire::DecodeError on
-  /// malformed input.
+  /// malformed input.  If a store is attached, the restored state is
+  /// checkpointed into it.
   void restore_state(std::span<const std::uint8_t> snapshot);
+
+  // ---- durable store ---------------------------------------------------
+  //
+  // Same contract as Broker::attach_store: with a store attached, every
+  // state transition (commitment issued, coin countersigned, double-spend
+  // recorded, transfer chained) journals one atomic delta record under the
+  // coin's stripe and commits it before the entry point returns.  An
+  // acknowledged endorsement therefore survives a kill — the witness can
+  // never be tricked into double-signing by crashing it.
+
+  /// Attaches a store while the service is quiescent.  Empty store →
+  /// genesis checkpoint; non-empty → state replaced by checkpoint + deltas.
+  void attach_store(store::Store& store);
+  /// Compacts the attached store to one checkpoint. No-op when detached.
+  void checkpoint_store();
+  bool has_store() const { return store_ != nullptr; }
 
  private:
   struct CommitmentRecord {
@@ -229,11 +247,36 @@ class WitnessService {
     return faulty_;
   }
 
+  // ---- store journaling (see attach_store) ----
+  //
+  // Encoders are static over the record values (no stripe annotation
+  // needed); callers journal while holding the coin's stripe, which is
+  // legal because kStore sits below kShard.  One wire::Writer per entry
+  // point → one log record → torn tails never persist half a transition.
+  /// Appends `w` as one delta record; no-op when no store is attached.
+  void journal(const wire::Writer& w);
+  static void delta_commitment(wire::Writer& w, const Hash256& hash,
+                               const CommitmentRecord& record);
+  static void delta_spent(wire::Writer& w, const Hash256& hash,
+                          const SpentRecord& record);
+  static void delta_double_spent(wire::Writer& w, const Hash256& hash,
+                                 const DoubleSpentRecord& record);
+  static void delta_chain(wire::Writer& w, const Hash256& hash,
+                          const std::vector<TransferLink>& chain);
+  static void delta_spent_erase(wire::Writer& w, const Hash256& hash);
+  static void delta_counters(wire::Writer& w, std::uint64_t coins_signed);
+  /// Re-applies one journaled delta record (recovery replay); takes the
+  /// touched coin's stripe (or mu_) per sub-record.
+  void apply_delta(std::span<const std::uint8_t> delta);
+
   group::SchnorrGroup grp_;    // immutable shared parameters: no guard
   sig::PublicKey broker_key_;  // fixed at construction
   MerchantId id_;              // fixed at construction
   sig::KeyPair key_;           // fixed at construction
   bn::Rng& rng_;               // external; only drawn from under rng_mu_
+  /// Set by attach_store while quiescent, then only read — unguarded reads
+  /// never race (same contract as Broker::store_).
+  store::Store* store_ = nullptr;
   /// Guards the scalar config/accounting fields.  Never acquired while a
   /// stripe is held (kService > kShard: service lock first or not at all).
   mutable sync::Mutex mu_{"ecash.witness", sync::level::kService};

@@ -1,0 +1,33 @@
+#include "store/crc32c.h"
+
+#include <array>
+
+namespace p2pcash::store {
+namespace {
+
+// Reflected CRC-32C polynomial.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ (kPoly & (0u - (crc & 1u)));
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  for (std::uint8_t byte : data)
+    crc = (crc >> 8) ^ kTable[(crc ^ byte) & 0xFFu];
+  return ~crc;
+}
+
+}  // namespace p2pcash::store

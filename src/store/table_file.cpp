@@ -1,0 +1,205 @@
+#include "store/table_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "store/crc32c.h"
+
+namespace p2pcash::store {
+namespace {
+
+constexpr std::array<std::uint8_t, 8> kMagic = {'P', '2', 'P', 'T',
+                                                'B', 'L', '0', '1'};
+constexpr std::size_t kHeaderBytes = kMagic.size() + 4 + 8 + 4;
+constexpr std::size_t kIndexSlotBytes = kTableKeyBytes + 8 + 8;
+
+void put_u32be(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8)
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void put_u64be(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8)
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+std::uint32_t load_u32be(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t load_u64be(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TableFileBuilder
+// ---------------------------------------------------------------------------
+
+void TableFileBuilder::add(const TableKey& key,
+                           std::span<const std::uint8_t> payload) {
+  entries_.push_back({key, {payload.begin(), payload.end()}});
+}
+
+std::vector<std::uint8_t> TableFileBuilder::build() const {
+  std::vector<Pending> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Pending& a, const Pending& b) { return a.key < b.key; });
+  for (std::size_t i = 1; i < sorted.size(); ++i)
+    if (sorted[i - 1].key == sorted[i].key)
+      throw std::invalid_argument(
+          "TableFileBuilder: duplicate range lower bound");
+
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), kMagic.begin(), kMagic.end());
+  put_u32be(out, version_);
+  put_u64be(out, static_cast<std::uint64_t>(published_at_));
+  put_u32be(out, static_cast<std::uint32_t>(sorted.size()));
+
+  std::uint64_t offset = 0;
+  for (const Pending& e : sorted) {
+    out.insert(out.end(), e.key.begin(), e.key.end());
+    put_u64be(out, offset);
+    put_u64be(out, e.payload.size());
+    offset += e.payload.size();
+  }
+  for (const Pending& e : sorted)
+    out.insert(out.end(), e.payload.begin(), e.payload.end());
+
+  put_u32be(out, crc32c(out));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TableFileView
+// ---------------------------------------------------------------------------
+
+TableFileView::TableFileView(std::span<const std::uint8_t> bytes)
+    : bytes_(bytes) {
+  auto fail = [](const char* what) {
+    throw std::runtime_error(std::string("table file: ") + what);
+  };
+  if (bytes_.size() < kHeaderBytes + 4) fail("shorter than header");
+  if (std::memcmp(bytes_.data(), kMagic.data(), kMagic.size()) != 0)
+    fail("bad magic");
+
+  const std::uint32_t stored_crc = load_u32be(&bytes_[bytes_.size() - 4]);
+  if (crc32c(bytes_.first(bytes_.size() - 4)) != stored_crc)
+    fail("checksum mismatch");
+
+  const std::uint8_t* p = bytes_.data() + kMagic.size();
+  version_ = load_u32be(p);
+  published_at_ = static_cast<std::int64_t>(load_u64be(p + 4));
+  n_ = load_u32be(p + 12);
+
+  index_off_ = kHeaderBytes;
+  const std::size_t body = bytes_.size() - kHeaderBytes - 4;
+  if (body / kIndexSlotBytes < n_) fail("entry count exceeds file size");
+  blob_off_ = index_off_ + static_cast<std::size_t>(n_) * kIndexSlotBytes;
+  blob_len_ = bytes_.size() - 4 - blob_off_;
+
+  // Index invariants: sorted strictly ascending, payloads inside the blob.
+  TableKey prev{};
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    const TableKey k = key(i);
+    if (i > 0 && !(prev < k)) fail("index keys not strictly ascending");
+    prev = k;
+    const std::uint8_t* slot = index_at(i);
+    const std::uint64_t off = load_u64be(slot + kTableKeyBytes);
+    const std::uint64_t len = load_u64be(slot + kTableKeyBytes + 8);
+    if (off > blob_len_ || len > blob_len_ - off)
+      fail("payload outside blob");
+  }
+}
+
+const std::uint8_t* TableFileView::index_at(std::uint32_t i) const {
+  return bytes_.data() + index_off_ +
+         static_cast<std::size_t>(i) * kIndexSlotBytes;
+}
+
+TableKey TableFileView::key(std::uint32_t i) const {
+  TableKey k;
+  std::memcpy(k.data(), index_at(i), kTableKeyBytes);
+  return k;
+}
+
+std::span<const std::uint8_t> TableFileView::payload(std::uint32_t i) const {
+  const std::uint8_t* slot = index_at(i);
+  const std::uint64_t off = load_u64be(slot + kTableKeyBytes);
+  const std::uint64_t len = load_u64be(slot + kTableKeyBytes + 8);
+  return bytes_.subspan(blob_off_ + off, len);
+}
+
+std::optional<std::uint32_t> TableFileView::predecessor(
+    const TableKey& key) const {
+  // Binary search for the last index slot with slot.key <= key.
+  std::uint32_t lo = 0, hi = n_;  // [lo, hi): candidates still in play
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (std::memcmp(index_at(mid), key.data(), kTableKeyBytes) <= 0)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  if (lo == 0) return std::nullopt;
+  return lo - 1;
+}
+
+// ---------------------------------------------------------------------------
+// MappedTableFile
+// ---------------------------------------------------------------------------
+
+MappedTableFile::MappedTableFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0)
+    throw std::runtime_error("open " + path + ": " + std::strerror(errno));
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw std::runtime_error("fstat " + path + ": " + std::strerror(errno));
+  }
+  map_len_ = static_cast<std::size_t>(st.st_size);
+  map_ = ::mmap(nullptr, map_len_ == 0 ? 1 : map_len_, PROT_READ, MAP_PRIVATE,
+                fd, 0);
+  ::close(fd);
+  if (map_ == MAP_FAILED) {
+    map_ = nullptr;
+    throw std::runtime_error("mmap " + path + ": " + std::strerror(errno));
+  }
+  bytes_ = {static_cast<const std::uint8_t*>(map_), map_len_};
+  try {
+    view_.emplace(bytes_);
+  } catch (...) {
+    ::munmap(map_, map_len_ == 0 ? 1 : map_len_);
+    map_ = nullptr;
+    throw;
+  }
+}
+
+MappedTableFile::~MappedTableFile() {
+  if (map_ != nullptr) ::munmap(map_, map_len_ == 0 ? 1 : map_len_);
+}
+
+MappedTableFile::MappedTableFile(MappedTableFile&& other) noexcept
+    : map_(other.map_),
+      map_len_(other.map_len_),
+      bytes_(other.bytes_),
+      view_(std::move(other.view_)) {
+  other.map_ = nullptr;
+  other.bytes_ = {};
+  other.view_.reset();
+}
+
+}  // namespace p2pcash::store

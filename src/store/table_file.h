@@ -1,0 +1,123 @@
+// table_file.h — immutable, mmap-friendly witness range-table format.
+//
+// The broker publishes signed witness range tables; every payment looks
+// up the coin point's responsible witness.  In memory that is a sorted
+// vector; at production scale (millions of range entries, republished on
+// rotation) the table should be a file the OS can page in lazily and
+// share between processes.  This format is built once, never mutated,
+// and readable directly from a raw byte span — no deserialization pass:
+//
+//   file   := magic "P2PTBL01"
+//           | u32 version | i64 published_at | u32 n      (header, BE)
+//           | n × (key[20] | u64 offset | u64 len)        (sorted index)
+//           | payload blob                                 (concatenated)
+//           | u32 crc32c(everything before this field)
+//
+// Keys are 20-byte big-endian range lower bounds (kRangeBits = 160), so
+// memcmp *is* numeric comparison and lookup is a plain binary search over
+// fixed-width index slots — O(log n) with at most log2(n) cache misses.
+// Offsets are relative to the blob start; payloads are the canonical
+// wire encodings of the table entries (opaque to this layer — the store
+// knows bytes, ecash::WitnessTable knows entries).
+//
+// TableFileBuilder assembles the bytes; TableFileView validates and
+// searches any byte span; MappedTableFile mmaps a real file read-only
+// and exposes a view over the mapping.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace p2pcash::store {
+
+/// Fixed key width: 160-bit range bounds, big-endian (memcmp == numeric).
+inline constexpr std::size_t kTableKeyBytes = 20;
+
+using TableKey = std::array<std::uint8_t, kTableKeyBytes>;
+
+class TableFileBuilder {
+ public:
+  TableFileBuilder(std::uint32_t version, std::int64_t published_at)
+      : version_(version), published_at_(published_at) {}
+
+  /// Adds one entry.  `key` is the range lower bound; `payload` the
+  /// entry's canonical encoding.  Entries may arrive in any order.
+  void add(const TableKey& key, std::span<const std::uint8_t> payload);
+
+  /// Serializes the file (sorts by key).  Duplicate keys are rejected
+  /// with std::invalid_argument — ranges partition the key space.
+  std::vector<std::uint8_t> build() const;
+
+ private:
+  struct Pending {
+    TableKey key;
+    std::vector<std::uint8_t> payload;
+  };
+  std::uint32_t version_;
+  std::int64_t published_at_;
+  std::vector<Pending> entries_;
+};
+
+/// Zero-copy reader over table-file bytes (a vector, an mmap, anything).
+/// The constructor validates magic, bounds, and the trailing CRC; all
+/// accessors after that are bounds-safe by construction.  The underlying
+/// bytes must outlive the view.
+class TableFileView {
+ public:
+  /// Throws std::runtime_error on any structural or checksum violation.
+  explicit TableFileView(std::span<const std::uint8_t> bytes);
+
+  std::uint32_t version() const { return version_; }
+  std::int64_t published_at() const { return published_at_; }
+  std::uint32_t entry_count() const { return n_; }
+
+  /// i-th key / payload, in sorted order (i < entry_count()).
+  TableKey key(std::uint32_t i) const;
+  std::span<const std::uint8_t> payload(std::uint32_t i) const;
+
+  /// Index of the last entry whose key is <= `key` (the candidate range
+  /// for a point lookup — the caller checks the range's upper bound);
+  /// nullopt when `key` precedes every entry.  O(log n).
+  std::optional<std::uint32_t> predecessor(const TableKey& key) const;
+
+ private:
+  const std::uint8_t* index_at(std::uint32_t i) const;
+
+  std::span<const std::uint8_t> bytes_;
+  std::uint32_t version_ = 0;
+  std::int64_t published_at_ = 0;
+  std::uint32_t n_ = 0;
+  std::size_t index_off_ = 0;
+  std::size_t blob_off_ = 0;
+  std::size_t blob_len_ = 0;
+};
+
+/// Read-only mmap of a table file on a real filesystem.  Movable, not
+/// copyable; unmaps on destruction.
+class MappedTableFile {
+ public:
+  /// Maps `path` and validates it.  Throws std::runtime_error on I/O or
+  /// format errors.
+  explicit MappedTableFile(const std::string& path);
+  ~MappedTableFile();
+  MappedTableFile(MappedTableFile&& other) noexcept;
+  MappedTableFile& operator=(MappedTableFile&&) = delete;
+  MappedTableFile(const MappedTableFile&) = delete;
+  MappedTableFile& operator=(const MappedTableFile&) = delete;
+
+  const TableFileView& view() const { return *view_; }
+  std::span<const std::uint8_t> bytes() const { return bytes_; }
+
+ private:
+  void* map_ = nullptr;
+  std::size_t map_len_ = 0;
+  std::span<const std::uint8_t> bytes_;
+  std::optional<TableFileView> view_;  // engaged after a successful map
+};
+
+}  // namespace p2pcash::store

@@ -1,0 +1,238 @@
+#include "store/vfs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace p2pcash::store {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PosixVfs
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class PosixFile : public File {
+ public:
+  explicit PosixFile(const std::string& path) : path_(path) {
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ < 0) throw_errno("open " + path);
+    struct stat st{};
+    if (::fstat(fd_, &st) != 0) throw_errno("fstat " + path);
+    size_ = static_cast<std::uint64_t>(st.st_size);
+  }
+
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void append(std::span<const std::uint8_t> data) override {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      ssize_t n = ::pwrite(fd_, data.data() + off, data.size() - off,
+                           static_cast<off_t>(size_ + off));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("pwrite " + path_);
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    size_ += data.size();
+  }
+
+  double sync() override {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (::fdatasync(fd_) != 0) throw_errno("fdatasync " + path_);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+  }
+
+  void truncate(std::uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0)
+      throw_errno("ftruncate " + path_);
+    size_ = size;
+  }
+
+  std::uint64_t size() const override { return size_; }
+
+  std::vector<std::uint8_t> read_all() const override {
+    std::vector<std::uint8_t> out(size_);
+    std::size_t off = 0;
+    while (off < out.size()) {
+      ssize_t n = ::pread(fd_, out.data() + off, out.size() - off,
+                          static_cast<off_t>(off));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("pread " + path_);
+      }
+      if (n == 0) break;  // shorter than expected: racing truncate
+      off += static_cast<std::size_t>(n);
+    }
+    out.resize(off);
+    return out;
+  }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace
+
+PosixVfs::PosixVfs(std::string dir) : dir_(std::move(dir)) {
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST)
+    throw_errno("mkdir " + dir_);
+}
+
+std::string PosixVfs::path_of(const std::string& name) const {
+  return dir_ + "/" + name;
+}
+
+std::unique_ptr<File> PosixVfs::open(const std::string& name) {
+  return std::make_unique<PosixFile>(path_of(name));
+}
+
+bool PosixVfs::exists(const std::string& name) const {
+  struct stat st{};
+  return ::stat(path_of(name).c_str(), &st) == 0;
+}
+
+void PosixVfs::rename(const std::string& from, const std::string& to) {
+  if (::rename(path_of(from).c_str(), path_of(to).c_str()) != 0)
+    throw_errno("rename " + path_of(from));
+}
+
+void PosixVfs::remove(const std::string& name) {
+  if (::unlink(path_of(name).c_str()) != 0 && errno != ENOENT)
+    throw_errno("unlink " + path_of(name));
+}
+
+// ---------------------------------------------------------------------------
+// MemVfs
+// ---------------------------------------------------------------------------
+
+/// Handle into a MemVfs entry.  Looks the entry up by name on every call:
+/// rename/crash/remove invalidate nothing, matching how a real fd keeps
+/// working while the directory entry changes underneath it closely enough
+/// for the recovery tests (which always reopen after a crash anyway).
+class MemVfs::MemFile : public File {
+ public:
+  MemFile(MemVfs* vfs, std::string name) : vfs_(vfs), name_(std::move(name)) {}
+
+  void append(std::span<const std::uint8_t> data) override {
+    sync::MutexLock lock(vfs_->mu_);
+    auto& e = vfs_->files_[name_];
+    e.bytes.insert(e.bytes.end(), data.begin(), data.end());
+  }
+
+  double sync() override {
+    sync::MutexLock lock(vfs_->mu_);
+    auto& e = vfs_->files_[name_];
+    e.synced = e.bytes.size();
+    return 0.0;  // simulated fsync is free: chaos schedules stay seeded
+  }
+
+  void truncate(std::uint64_t size) override {
+    sync::MutexLock lock(vfs_->mu_);
+    auto& e = vfs_->files_[name_];
+    if (size < e.bytes.size()) e.bytes.resize(size);
+    if (e.synced > e.bytes.size()) e.synced = e.bytes.size();
+  }
+
+  std::uint64_t size() const override {
+    sync::MutexLock lock(vfs_->mu_);
+    auto it = vfs_->files_.find(name_);
+    return it == vfs_->files_.end() ? 0 : it->second.bytes.size();
+  }
+
+  std::vector<std::uint8_t> read_all() const override {
+    sync::MutexLock lock(vfs_->mu_);
+    auto it = vfs_->files_.find(name_);
+    return it == vfs_->files_.end() ? std::vector<std::uint8_t>{}
+                                    : it->second.bytes;
+  }
+
+ private:
+  MemVfs* vfs_;
+  std::string name_;
+};
+
+std::unique_ptr<File> MemVfs::open(const std::string& name) {
+  {
+    sync::MutexLock lock(mu_);
+    files_.try_emplace(name);
+  }
+  return std::make_unique<MemFile>(this, name);
+}
+
+bool MemVfs::exists(const std::string& name) const {
+  sync::MutexLock lock(mu_);
+  return files_.count(name) != 0;
+}
+
+void MemVfs::rename(const std::string& from, const std::string& to) {
+  sync::MutexLock lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end())
+    throw std::runtime_error("MemVfs::rename: no such file: " + from);
+  Entry e = std::move(it->second);
+  files_.erase(it);
+  // A crash-atomic rename lands fully synced, like rename(2) after fsync.
+  e.synced = e.bytes.size();
+  files_[to] = std::move(e);
+}
+
+void MemVfs::remove(const std::string& name) {
+  sync::MutexLock lock(mu_);
+  files_.erase(name);
+}
+
+void MemVfs::crash_file(const std::string& name,
+                        std::uint64_t keep_unsynced_bytes) {
+  sync::MutexLock lock(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) return;
+  Entry& e = it->second;
+  const std::uint64_t tail = e.bytes.size() - e.synced;
+  const std::uint64_t keep = std::min(keep_unsynced_bytes, tail);
+  e.bytes.resize(e.synced + keep);
+  // The surviving torn tail is on disk now — it is what reopen sees.
+  e.synced = e.bytes.size();
+}
+
+std::uint64_t MemVfs::unsynced_bytes(const std::string& name) const {
+  sync::MutexLock lock(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) return 0;
+  return it->second.bytes.size() - it->second.synced;
+}
+
+std::vector<std::uint8_t> MemVfs::contents(const std::string& name) const {
+  sync::MutexLock lock(mu_);
+  auto it = files_.find(name);
+  return it == files_.end() ? std::vector<std::uint8_t>{} : it->second.bytes;
+}
+
+void MemVfs::set_contents(const std::string& name,
+                          std::vector<std::uint8_t> bytes) {
+  sync::MutexLock lock(mu_);
+  Entry& e = files_[name];
+  e.bytes = std::move(bytes);
+  e.synced = e.bytes.size();
+}
+
+}  // namespace p2pcash::store

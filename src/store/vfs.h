@@ -1,0 +1,144 @@
+// vfs.h — the store's filesystem seam.
+//
+// The durable log talks to the world through two tiny interfaces: `File`
+// (append / sync / truncate / read) and `Vfs` (open / rename / remove).
+// Two implementations:
+//
+//   PosixVfs — real files: open(O_APPEND-free, explicit offsets), pwrite,
+//       fdatasync, ftruncate.  sync() reports its wall-clock latency so
+//       the log can feed the fsync histogram.  Used by bench_storage and
+//       any real deployment.
+//
+//   MemVfs — a deterministic in-memory filesystem for the simulator and
+//       the crash-point tests.  Each file tracks a *synced prefix*: bytes
+//       past it are "in the page cache".  `crash_file(name, keep)`
+//       models a process kill at an arbitrary byte — the synced prefix
+//       survives, plus the first `keep` unsynced bytes (a torn tail the
+//       recovery scan must truncate).  sync() is instantaneous (0 ms) so
+//       seeded chaos schedules stay deterministic.
+//
+// Thread-safety: PosixFile serializes callers externally (the log store
+// holds its own mutex across file calls).  MemVfs carries an internal
+// leaf mutex (sync::level::kStoreVfs) because the chaos engine's crash
+// hooks race against node threads in multithreaded runs.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sync/annotated.h"
+
+namespace p2pcash::store {
+
+/// A writable log file.  Appends go to the end; `sync` makes everything
+/// written so far durable and returns the fsync latency in milliseconds
+/// (0.0 for in-memory files, keeping simulated time deterministic).
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Appends `data` at the end of the file.  Throws std::runtime_error on
+  /// I/O failure (a failed append poisons the store — see LogStore).
+  virtual void append(std::span<const std::uint8_t> data) = 0;
+
+  /// Makes all appended bytes durable.  Returns the latency in ms.
+  virtual double sync() = 0;
+
+  /// Truncates the file to `size` bytes (recovery chops torn tails).
+  virtual void truncate(std::uint64_t size) = 0;
+
+  virtual std::uint64_t size() const = 0;
+
+  /// Reads the whole file (recovery scans are sequential and logs are
+  /// compacted, so whole-file reads are the simple, correct choice).
+  virtual std::vector<std::uint8_t> read_all() const = 0;
+};
+
+/// Namespace of files.  `rename` must be atomic with respect to crashes
+/// (POSIX rename(2) semantics) — compaction relies on it.
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  /// Opens (creating if absent) a file for append + read.
+  virtual std::unique_ptr<File> open(const std::string& name) = 0;
+
+  virtual bool exists(const std::string& name) const = 0;
+
+  /// Atomically replaces `to` with `from` (from stops existing).
+  virtual void rename(const std::string& from, const std::string& to) = 0;
+
+  virtual void remove(const std::string& name) = 0;
+};
+
+// ---------------------------------------------------------------------------
+// POSIX implementation
+// ---------------------------------------------------------------------------
+
+class PosixVfs : public Vfs {
+ public:
+  /// Files live under `dir` (created if missing).
+  explicit PosixVfs(std::string dir);
+
+  std::unique_ptr<File> open(const std::string& name) override;
+  bool exists(const std::string& name) const override;
+  void rename(const std::string& from, const std::string& to) override;
+  void remove(const std::string& name) override;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string path_of(const std::string& name) const;
+  std::string dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Deterministic in-memory implementation
+// ---------------------------------------------------------------------------
+
+class MemVfs : public Vfs {
+ public:
+  MemVfs() = default;
+
+  std::unique_ptr<File> open(const std::string& name) override;
+  bool exists(const std::string& name) const override;
+  void rename(const std::string& from, const std::string& to) override;
+  void remove(const std::string& name) override;
+
+  /// Crash model: keeps the synced prefix plus the first
+  /// `keep_unsynced_bytes` of the unsynced tail (clamped to the tail
+  /// length) and discards the rest — the moral equivalent of the kernel
+  /// having written an arbitrary prefix of the page cache before the
+  /// process died.  Open handles keep appending to the truncated file,
+  /// so callers must reopen (as a restarted process would).
+  void crash_file(const std::string& name, std::uint64_t keep_unsynced_bytes);
+
+  /// Bytes currently past the synced prefix (what a crash could tear).
+  std::uint64_t unsynced_bytes(const std::string& name) const;
+
+  /// Raw current contents (tests inspect / corrupt log bytes directly).
+  std::vector<std::uint8_t> contents(const std::string& name) const;
+
+  /// Overwrites a file's contents wholesale, marking them synced (tests
+  /// plant hostile corpora this way).
+  void set_contents(const std::string& name, std::vector<std::uint8_t> bytes);
+
+ private:
+  struct Entry {
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t synced = 0;  // prefix of `bytes` that survives a crash
+  };
+
+  class MemFile;
+  friend class MemFile;
+
+  mutable sync::Mutex mu_{"store.vfs", sync::level::kStoreVfs};
+  std::map<std::string, Entry> files_ P2P_GUARDED_BY(mu_);
+};
+
+}  // namespace p2pcash::store

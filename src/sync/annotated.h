@@ -97,6 +97,11 @@ namespace p2pcash::sync {
 ///                    All stripes share the level, so holding two stripes
 ///                    at once is reported (stripes must be visited
 ///                    sequentially, never nested).
+///   kStore (42)      store.log — durable log store serialization (append
+///                    buffer, group-commit state).  Below kService and
+///                    kShard so broker/witness code may journal a delta
+///                    while holding its own service or stripe lock; the
+///                    group-commit leader releases it across fsync.
 ///   kActors (40)     actors.peer_health — breaker bookkeeping.
 ///   kShardRng (35)   ecash.witness_rng — shared-RNG draw guard, taken
 ///                    inside a stripe for countersigning.
@@ -104,6 +109,9 @@ namespace p2pcash::sync {
 ///   kRegistry (20)   obs.metrics_registry — instrument maps; exports call
 ///                    into histograms/sink/group collectors below.
 ///   kSink (10)       obs.trace_sink, obs.histogram — leaf buffers.
+///   kStoreVfs (8)    store.vfs — in-memory VFS file map (MemVfs).  A leaf:
+///                    reachable from under store.log during append/sync and
+///                    from the chaos engine's crash hooks.
 ///   kGroupCache (5)  group.fast_base_cache, group.hash_cache — leaf-level
 ///                    lazy caches reachable from any exponentiation.
 namespace level {
@@ -113,11 +121,13 @@ inline constexpr int kMailbox = 60;
 inline constexpr int kPool = 55;
 inline constexpr int kService = 50;
 inline constexpr int kShard = 45;
+inline constexpr int kStore = 42;
 inline constexpr int kActors = 40;
 inline constexpr int kShardRng = 35;
 inline constexpr int kTracer = 30;
 inline constexpr int kRegistry = 20;
 inline constexpr int kSink = 10;
+inline constexpr int kStoreVfs = 8;
 inline constexpr int kGroupCache = 5;
 }  // namespace level
 

@@ -3,12 +3,37 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+
 #include "ecash_fixture.h"
+#include "store/log_store.h"
+#include "store/vfs.h"
 
 namespace p2pcash::ecash {
 namespace {
 
 using testing::EcashTest;
+
+/// When $P2PCASH_STORE_ARTIFACT names a directory, dumps the offending log
+/// bytes and the record-boundary index there so CI can upload them as a
+/// failure artifact.
+void dump_store_artifact(const std::string& tag,
+                         const std::vector<std::uint8_t>& log,
+                         const std::vector<std::uint64_t>& bounds) {
+  const char* dir = std::getenv("P2PCASH_STORE_ARTIFACT");
+  if (dir == nullptr) return;
+  std::ofstream raw(std::string(dir) + "/" + tag + ".log", std::ios::binary);
+  raw.write(reinterpret_cast<const char*>(log.data()),
+            static_cast<std::streamsize>(log.size()));
+  std::ofstream idx(std::string(dir) + "/" + tag + ".idx");
+  for (auto b : bounds) idx << b << "\n";
+}
+
+std::uint32_t be32_at(const std::vector<std::uint8_t>& b, std::size_t off) {
+  return (std::uint32_t{b[off]} << 24) | (std::uint32_t{b[off + 1]} << 16) |
+         (std::uint32_t{b[off + 2]} << 8) | std::uint32_t{b[off + 3]};
+}
 
 class BrokerRecoveryTest : public EcashTest {
  protected:
@@ -124,6 +149,121 @@ TEST_F(BrokerRecoveryTest, CorruptSnapshotsRejectedAtomically) {
   }
   // Failed restores left the broker untouched.
   EXPECT_EQ(dep_.broker().snapshot_state(), before);
+}
+
+TEST_F(BrokerRecoveryTest, CrashPointMatrixLosesNoAcknowledgedOperation) {
+  // The durable-log contract, enforced exhaustively: attach a LogStore,
+  // drive a seeded workload, and for every acknowledged operation plant
+  // the log exactly as a crash at that commit boundary would leave it —
+  // recovery must reproduce the acknowledged state byte-for-byte.  Then
+  // kill at every record boundary and at torn cuts inside the following
+  // record: truncate-to-last-valid, never a crash, never half a record.
+  store::MemVfs vfs;
+  store::LogStore log(vfs, "broker.log");
+  dep_.broker().attach_store(log);
+
+  struct Ack {
+    std::uint64_t offset;
+    std::vector<std::uint8_t> snapshot;
+  };
+  std::vector<Ack> acks;
+  auto mark = [&]() {
+    acks.push_back({vfs.contents("broker.log").size(),
+                    dep_.broker().snapshot_state()});
+  };
+  mark();  // genesis checkpoint
+
+  // Seeded workload: withdrawals, a manual deposit (kept for the
+  // exactly-once probe), deposit waves, an exchange, a renewal and a table
+  // publication — every broker delta kind fires at least once.
+  std::vector<WalletCoin> coins;
+  for (int i = 0; i < 10; ++i) {
+    coins.push_back(withdraw(100));
+    mark();
+  }
+  const auto m0 = non_witness_merchant(coins[0]);
+  ASSERT_TRUE(dep_.pay(*wallet_, coins[0], m0, 2000).accepted);
+  auto queue = dep_.node(m0).merchant->drain_deposit_queue();
+  ASSERT_FALSE(queue.empty());
+  ASSERT_TRUE(dep_.broker().deposit(m0, queue[0], 2500).ok());
+  mark();
+  for (int i = 1; i < 6; ++i)
+    ASSERT_TRUE(dep_.pay(*wallet_, coins[i], non_witness_merchant(coins[i]),
+                         2000 + i)
+                    .accepted);
+  for (const auto& id : dep_.merchant_ids()) {
+    dep_.deposit_all(id, 3000);
+    mark();
+  }
+  ASSERT_TRUE(dep_.exchange(*wallet_, coins[6], {60, 40}, 4000).ok());
+  mark();
+  Timestamp when = coins[7].coin.bare.info.soft_expiry +
+                   dep_.broker().config().deposit_grace_ms + 1000;
+  ASSERT_TRUE(dep_.renew(*wallet_, coins[7], when).ok());
+  mark();
+  dep_.broker().publish_witness_table(5000);
+  mark();
+
+  const auto final_log = vfs.contents("broker.log");
+
+  // Record boundaries straight from the length-prefixed frames.
+  std::vector<std::uint64_t> bounds{0};
+  for (std::size_t off = 0;
+       off + store::kFrameHeaderBytes <= final_log.size();) {
+    off += store::kFrameHeaderBytes + be32_at(final_log, off);
+    ASSERT_LE(off, final_log.size());
+    bounds.push_back(off);
+  }
+  ASSERT_EQ(bounds.back(), final_log.size());
+
+  auto recover_at = [&](std::uint64_t cut) {
+    store::MemVfs crashed;
+    crashed.set_contents(
+        "broker.log",
+        std::vector<std::uint8_t>(
+            final_log.begin(),
+            final_log.begin() + static_cast<std::ptrdiff_t>(cut)));
+    store::LogStore reopened(crashed, "broker.log");
+    crypto::ChaChaRng rng("crash-matrix");
+    Broker reborn(dep_.grp(), rng, dep_.broker().config());
+    reborn.attach_store(reopened);
+    return reborn.snapshot_state();
+  };
+
+  // 1. Zero lost acknowledged operations: every commit boundary recovers
+  //    to the exact acknowledged state.
+  for (std::size_t i = 0; i < acks.size(); ++i)
+    EXPECT_EQ(recover_at(acks[i].offset), acks[i].snapshot) << "ack " << i;
+
+  // 2. Kill at every record boundary and inside every following record:
+  //    a torn tail recovers to the boundary state (records are atomic).
+  for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+    auto at_boundary = recover_at(bounds[i]);
+    const std::uint64_t next = bounds[i + 1];
+    for (std::uint64_t cut :
+         {bounds[i] + 1, (bounds[i] + next) / 2, next - 1}) {
+      if (cut <= bounds[i] || cut >= next) continue;
+      EXPECT_EQ(recover_at(cut), at_boundary) << "record " << i;
+    }
+  }
+
+  // 3. Exactly-once detection across the reboot: the already-credited
+  //    endorsement is refused, not paid twice, and balances are intact.
+  {
+    store::MemVfs last;
+    last.set_contents("broker.log", final_log);
+    store::LogStore reopened(last, "broker.log");
+    crypto::ChaChaRng rng("crash-matrix-final");
+    Broker reborn(dep_.grp(), rng, dep_.broker().config());
+    reborn.attach_store(reopened);
+    EXPECT_EQ(reborn.snapshot_state(), dep_.broker().snapshot_state());
+    auto again = reborn.deposit(m0, queue[0], 9000);
+    ASSERT_FALSE(again.ok());
+    EXPECT_EQ(again.refusal().reason, RefusalReason::kAlreadyDeposited);
+    EXPECT_EQ(reborn.account(m0)->balance, dep_.broker().account(m0)->balance);
+  }
+
+  if (HasFailure()) dump_store_artifact("broker", final_log, bounds);
 }
 
 }  // namespace

@@ -385,6 +385,76 @@ TEST(ChaosFast, DoubleSpendBlockedAcrossWitnessCrash) {
   }
 }
 
+// Durable-store mode: the crash no longer restores a clean snapshot — it
+// cuts the victim's log at a seed-chosen unsynced byte (kill-at-any-byte)
+// and recovery must truncate the torn tail and replay.  The hard guarantee
+// is unchanged: a coin spent before the crash stays unspendable after it.
+TEST(ChaosFast, DurableWitnessCrashStillBlocksDoubleSpend) {
+  auto& grp = group::SchnorrGroup::test_256();
+  auto opt = directed_options(1, 1);
+  opt.durable_stores = true;
+  SimWorld world(grp, opt);
+  auto& honest = world.add_client();
+  auto& thief = world.add_client();
+  auto coin = chaos_withdraw(world, honest);
+  const auto witness_id = coin.coin.witnesses[0].merchant;
+  auto ids = world.merchant_ids();
+  std::optional<ClientActor::PayResult> first;
+  honest.pay(coin, ids[0],
+             [&](ClientActor::PayResult r) { first = std::move(r); });
+  world.sim().run();
+  ASSERT_TRUE(first && first->accepted);
+  // The committed spend is on the witness's disk, not just in memory.
+  EXPECT_FALSE(
+      world.store_vfs().contents("witness-" + witness_id + ".log").empty());
+
+  world.crash_merchant(witness_id, /*at=*/100, /*restart_at=*/2'000);
+  world.sim().run();
+  std::optional<ClientActor::PayResult> second;
+  thief.pay(coin, ids[1],
+            [&](ClientActor::PayResult r) { second = std::move(r); },
+            /*timeout_ms=*/15'000);
+  world.sim().run();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_FALSE(second->accepted);
+  if (second->double_spend_proof) {
+    EXPECT_TRUE(second->double_spend_proof->verify(grp));
+  } else {
+    ASSERT_TRUE(second->error.has_value());
+  }
+}
+
+// Durable mid-sign restart: the crash tears the log mid-record (whatever
+// byte the seed picks), recovery truncates to the last commit, and the
+// retried transcript still completes exactly once.
+TEST(ChaosFast, DurableWitnessRestartMidSignStillCompletes) {
+  auto& grp = group::SchnorrGroup::test_256();
+  auto opt = directed_options(1, 1);
+  opt.durable_stores = true;
+  SimWorld world(grp, opt);
+  auto& client = world.add_client();
+  auto coin = chaos_withdraw(world, client);
+  const auto witness_id = coin.coin.witnesses[0].merchant;
+  ecash::MerchantId target;
+  for (const auto& id : world.merchant_ids()) {
+    if (id != witness_id) {
+      target = id;
+      break;
+    }
+  }
+  std::optional<ClientActor::PayResult> result;
+  client.pay(coin, target,
+             [&](ClientActor::PayResult r) { result = std::move(r); },
+             /*timeout_ms=*/30'000);
+  world.crash_merchant(witness_id, /*at=*/150, /*restart_at=*/5'000);
+  world.sim().run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->accepted) << (result->error ? *result->error : "");
+  EXPECT_GE(client.resilience().retries +
+                world.merchant_actor(target).resilience().duplicates_suppressed,
+            1u);
+}
+
 // A partition separating the client from everyone else must only delay the
 // payment: retries carry it once the partition heals.
 TEST(ChaosFast, PartitionHealRestoresLiveness) {

@@ -52,7 +52,12 @@ CRYPTO_DIRS = ("src/crypto", "src/bn", "src/blindsig", "src/nizk",
 NONCRYPTO_DIRS = ("src/group", "src/ecash", "src/simnet", "src/actors",
                   "src/verify", "src/transport",
                   "src/overlay", "src/obs", "src/sync", "src/wire",
-                  "src/baseline", "src/metrics")
+                  "src/baseline", "src/metrics",
+                  # src/store handles integrity (CRC32C framing), not
+                  # secrets: log payloads are the services' own snapshots
+                  # and timing there leaks nothing an observer of the
+                  # disk couldn't read directly.
+                  "src/store")
 
 ANNOTATION_RE = re.compile(r"//\s*ct-secret:\s*(?P<names>[A-Za-z0-9_,\s]+)")
 CT_OK_RE = re.compile(r"//\s*ct-ok(?::|\b)")

@@ -62,7 +62,12 @@ DET_DIRS = ("src/simnet", "src/actors", "src/overlay", "src/obs",
 EXEMPT_DIRS = ("src/bn", "src/crypto", "src/metrics", "src/group",
                "src/sig", "src/blindsig", "src/nizk", "src/wire",
                "src/ecash", "src/verify", "src/transport", "src/baseline",
-               "src/escrow")
+               "src/escrow",
+               # src/store talks to the real filesystem (PosixVfs, mmap)
+               # and measures wall-clock fsync latency by design, like
+               # src/transport.  Simulation determinism is preserved by
+               # MemVfs + the golden store/no-store equivalence test.
+               "src/store")
 
 ALLOW_RE = re.compile(r"//\s*det_lint:\s*allow(?::|\b)")
 
