@@ -14,11 +14,18 @@
 //       pipeline cannot produce, since with W workers W payments are
 //       genuinely in flight on W cores.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -127,15 +134,59 @@ ThroughputResult signing_throughput(const group::SchnorrGroup& grp,
   return out;
 }
 
+/// One protocol phase's wall-clock latency distribution, read from the
+/// runtime's span_<phase>_ms histograms after the timed section.
+struct PhaseStats {
+  double p50 = 0, p95 = 0, p99 = 0;
+  std::uint64_t count = 0;
+};
+
+/// Everything Sr captures beyond raw throughput: per-phase latency, the
+/// /metrics body scraped from the LIVE obs server mid-run (proving the
+/// endpoint serves while payments flow), and the trace export.
+struct ObsCapture {
+  std::vector<std::pair<std::string, PhaseStats>> phases;
+  std::string live_prom;  ///< scraped over HTTP from the running node
+  std::string trace_jsonl;
+  bool scraped_live = false;
+};
+
+/// Minimal blocking HTTP/1.0 GET against the node's own obs server;
+/// returns the response body ("" on any failure).
+std::string self_scrape(std::uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  std::string raw;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+    const std::string req = "GET " + target + " HTTP/1.0\r\n\r\n";
+    (void)::send(fd, req.data(), req.size(), 0);
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0)
+      raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const auto header_end = raw.find("\r\n\r\n");
+  return header_end == std::string::npos ? std::string{}
+                                         : raw.substr(header_end + 4);
+}
+
 // End-to-end payments over real loopback TCP: a NodeRuntime (broker + 8
 // merchant machines + `lanes` clients) on one TcpNet with `threads` strand
 // workers.  Coins are pre-withdrawn untimed; the timed section runs every
 // lane's payments concurrently, each lane a blocking driver thread feeding
 // its own client actor.  Every protocol message crosses a kernel socket.
+// With `capture`, the node also serves its obs endpoint for the duration
+// and the phase histograms / live scrape are collected before teardown.
 ThroughputResult real_transport_throughput(const group::SchnorrGroup& grp,
                                            std::size_t threads,
                                            std::size_t lanes,
-                                           int n_payments) {
+                                           int n_payments,
+                                           ObsCapture* capture = nullptr) {
   actors::NodeRuntime::Options opt;
   opt.merchants = 8;
   opt.worker_threads = threads;
@@ -144,6 +195,7 @@ ThroughputResult real_transport_throughput(const group::SchnorrGroup& grp,
   std::vector<actors::ClientActor*> clients;
   for (std::size_t i = 0; i < lanes; ++i) clients.push_back(&rt.add_client());
   rt.start();
+  const std::uint16_t obs_port = capture ? rt.start_obs_server(0) : 0;
   auto ids = rt.merchant_ids();
 
   std::vector<std::vector<WalletCoin>> coins(lanes);
@@ -169,6 +221,27 @@ ThroughputResult real_transport_throughput(const group::SchnorrGroup& grp,
   }
   for (auto& t : drivers) t.join();
   auto t1 = std::chrono::steady_clock::now();
+  if (capture) {
+    // Scrape the LIVE node before teardown — the same bytes an external
+    // Prometheus would see — then read the phase histograms directly.
+    capture->live_prom = self_scrape(obs_port, "/metrics");
+    capture->scraped_live = !capture->live_prom.empty();
+    for (const char* phase :
+         {"withdraw", "assign_witness", "payment_commit", "witness_sign",
+          "payment"}) {
+      const auto* h =
+          rt.metrics().find_histogram("span_" + std::string(phase) + "_ms");
+      PhaseStats stats;
+      if (h) {
+        stats.p50 = h->percentile(50);
+        stats.p95 = h->percentile(95);
+        stats.p99 = h->percentile(99);
+        stats.count = h->count();
+      }
+      capture->phases.emplace_back(phase, stats);
+    }
+    capture->trace_jsonl = rt.trace_sink().to_jsonl();
+  }
   rt.stop();
 
   ThroughputResult out;
@@ -315,8 +388,13 @@ int main(int argc, char** argv) {
     json.field("real_transport_payments_per_config", n);
     json.begin_object("real_transport");
     double baseline = 0;
+    ObsCapture capture;
     for (const Config& c : configs) {
-      auto r = real_transport_throughput(grp, c.threads, c.lanes, n);
+      // The last (largest) config runs with the obs server live and the
+      // phase histograms captured — one scrape of the busiest node.
+      const bool observed = &c == &configs.back();
+      auto r = real_transport_throughput(grp, c.threads, c.lanes, n,
+                                         observed ? &capture : nullptr);
       if (baseline == 0) baseline = r.payments_per_sec;
       const double speedup = r.payments_per_sec / baseline;
       std::printf("  %7zu  | %5zu  | %8.3f  | %11.1f  | %5.2fx\n", c.threads,
@@ -339,6 +417,35 @@ int main(int argc, char** argv) {
     bench::note("The t4-vs-t1 speedup is only meaningful on hosts with");
     bench::note(">= 4 hardware_threads — oversubscribed rows measure");
     bench::note("scheduling overhead, not scaling.");
+
+    std::printf("\n  per-phase wall-clock latency, largest config "
+                "(t%zu_l%zu, ms):\n",
+                configs.back().threads, configs.back().lanes);
+    std::printf("  %-16s | %-8s | %-8s | %-8s | %s\n", "phase", "p50", "p95",
+                "p99", "count");
+    std::printf("  -----------------|----------|----------|----------|------\n");
+    json.begin_object("phase_latency_ms");
+    for (const auto& [phase, stats] : capture.phases) {
+      std::printf("  %-16s | %8.3f | %8.3f | %8.3f | %5llu\n", phase.c_str(),
+                  stats.p50, stats.p95, stats.p99,
+                  static_cast<unsigned long long>(stats.count));
+      json.begin_object(phase);
+      json.field("p50", stats.p50);
+      json.field("p95", stats.p95);
+      json.field("p99", stats.p99);
+      json.field("count", stats.count);
+      json.end_object();
+    }
+    json.end_object();
+    json.field("live_scrape_ok", capture.scraped_live ? 1 : 0);
+    if (capture.scraped_live) {
+      std::ofstream("METRICS_scalability.prom") << capture.live_prom;
+      bench::note("live /metrics scrape saved to METRICS_scalability.prom");
+    } else {
+      bench::note("WARNING: live /metrics scrape failed — no snapshot saved");
+    }
+    std::ofstream("TRACE_scalability.jsonl") << capture.trace_jsonl;
+    bench::note("wall-clock trace export saved to TRACE_scalability.jsonl");
   }
 
   json.write_file(args.json_path);

@@ -1,0 +1,131 @@
+// obs_live — a live observable node: NodeRuntime over real loopback TCP
+// with the full obs stack wired up, serving /metrics, /healthz, /tracez
+// and /flightz over HTTP while payments flow.
+//
+//   $ ./examples/obs_live [--payments N] [--serve-ms MS] [--port P]
+//                         [--port-file PATH]
+//
+// Runs N withdraw+pay rounds, starts the scrape endpoint, then keeps
+// serving for --serve-ms so an external scraper (curl, Prometheus, the CI
+// smoke) can observe the node.  --port-file writes the bound port to a
+// file, for scripts that pass --port 0 (ephemeral).
+//
+// Honors P2PCASH_FLIGHT_ARTIFACT: if set, the flight recorder dumps its
+// breadcrumb ring there on abort or SIGUSR1 (kill -USR1 $pid for a live
+// snapshot).  Examples are outside the det_lint scope, so reading the
+// environment here — and passing it DOWN into the det-scoped runtime as
+// an explicit option — is exactly the intended layering.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "actors/runtime.h"
+
+using namespace p2pcash;
+using namespace p2pcash::actors;
+
+namespace {
+
+struct Args {
+  int payments = 3;
+  long serve_ms = 0;
+  int port = 0;
+  std::string port_file;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--payments") {
+      args.payments = std::atoi(value());
+    } else if (arg == "--serve-ms") {
+      args.serve_ms = std::atol(value());
+    } else if (arg == "--port") {
+      args.port = std::atoi(value());
+    } else if (arg == "--port-file") {
+      args.port_file = value();
+    } else {
+      std::fprintf(stderr,
+                   "usage: obs_live [--payments N] [--serve-ms MS] "
+                   "[--port P] [--port-file PATH]\n");
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+
+  const auto& grp = group::SchnorrGroup::test_256();
+  NodeRuntime::Options opt;
+  opt.merchants = 4;
+  opt.worker_threads = 2;
+  opt.seed = 2026;
+  opt.durable_stores = true;  // fold store fsync latency into /metrics
+  if (const char* artifact = std::getenv("P2PCASH_FLIGHT_ARTIFACT"))
+    opt.flight_artifact = artifact;
+
+  // rt.start() installs the process crash hooks (SIGABRT / SIGUSR1 dump
+  // the breadcrumb ring) because flight_artifact is set above.
+  NodeRuntime rt(grp, opt);
+  auto& client = rt.add_client();
+  rt.start();
+
+  const auto merchants = rt.merchant_ids();
+  int accepted = 0;
+  for (int i = 0; i < args.payments; ++i) {
+    auto coin = rt.withdraw(client, 100);
+    if (!coin.ok()) {
+      std::fprintf(stderr, "withdraw failed: %s\n",
+                   coin.refusal().detail.c_str());
+      continue;
+    }
+    const auto& target = merchants[static_cast<std::size_t>(i) %
+                                   merchants.size()];
+    auto result = rt.pay(client, std::move(coin).value(), target);
+    if (result.accepted) ++accepted;
+  }
+  // Flush the deferred deposits so /tracez shows the full protocol
+  // (withdraw ... deposit) for every accepted payment.
+  for (const auto& id : merchants) {
+    rt.net().post(rt.merchant_node(id),
+                  [&rt, id] { rt.merchant_actor(id).flush_deposits(); });
+  }
+
+  const std::uint16_t port =
+      rt.start_obs_server(static_cast<std::uint16_t>(args.port));
+  if (port == 0) {
+    std::fprintf(stderr, "obs_live: failed to bind scrape port\n");
+    return 1;
+  }
+  if (!args.port_file.empty()) {
+    if (std::FILE* f = std::fopen(args.port_file.c_str(), "w")) {
+      std::fprintf(f, "%u\n", port);
+      std::fclose(f);
+    }
+  }
+  std::printf("obs_live: %d/%d payments accepted\n", accepted,
+              args.payments);
+  std::printf("obs_live: serving http://127.0.0.1:%u/metrics (/healthz, "
+              "/tracez, /flightz) for %ld ms\n",
+              port, args.serve_ms);
+  std::fflush(stdout);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(args.serve_ms));
+
+  rt.stop();
+  std::printf("obs_live: served %llu scrape request(s)\n",
+              static_cast<unsigned long long>(
+                  rt.obs_server().requests_served()));
+  return accepted == args.payments ? 0 : 1;
+}

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace p2pcash::actors {
@@ -12,13 +13,44 @@ MerchantId merchant_name(std::size_t i) {
   std::snprintf(buf, sizeof buf, "m%03zu", i);
   return buf;
 }
+
+std::string witness_log_name(const MerchantId& id) {
+  return "witness-" + id + ".log";
+}
 }  // namespace
 
 NodeRuntime::NodeRuntime(const group::SchnorrGroup& grp, Options options)
-    : grp_(grp), options_(options) {
+    : grp_(grp),
+      options_(options),
+      sink_(options.trace_capacity),
+      flight_(options.flight_capacity, obs::clock_fn(wall_clock_)),
+      tracer_(wall_clock_, &sink_, &registry_),
+      obs_server_(obs::ObsServer::Sources{&registry_, &sink_, &flight_,
+                                          /*healthy=*/nullptr}) {
+  sink_.set_meta(
+      {"tcp", static_cast<std::uint32_t>(std::thread::hardware_concurrency())});
+  if (!options_.flight_artifact.empty())
+    flight_.set_artifact_path(options_.flight_artifact);
+  registry_.register_collector([this] {
+    using obs::Sample;
+    return std::vector<Sample>{
+        {"runtime_trace_spans", static_cast<double>(sink_.span_count()),
+         Sample::Type::kGauge},
+        {"runtime_trace_events", static_cast<double>(sink_.event_count()),
+         Sample::Type::kGauge},
+        {"runtime_trace_dropped_total", static_cast<double>(sink_.dropped()),
+         Sample::Type::kCounter},
+        {"runtime_flight_recorded_total",
+         static_cast<double>(flight_.recorded()), Sample::Type::kCounter},
+    };
+  });
+
   auto net_options = options_.net;
   net_options.worker_threads = options_.worker_threads;
   net_options.seed = options_.seed;
+  net_options.metrics = &registry_;
+  net_options.tracer = &tracer_;
+  net_options.flight = &flight_;
   net_ = std::make_unique<transport::TcpNet>(net_options);
 
   // Construction-time stream for key generation; every service then gets
@@ -30,6 +62,17 @@ NodeRuntime::NodeRuntime(const group::SchnorrGroup& grp, Options options)
       std::make_unique<crypto::ChaChaRng>(setup_rng.fork("broker"));
   broker_ = std::make_unique<ecash::Broker>(grp_, *broker_rng_,
                                             options_.broker);
+  if (options_.durable_stores) {
+    // Same journal recipe as SimWorld::durable_stores, with the fsync
+    // latency histograms folded into this runtime's registry — group
+    // commit under real multi-strand contention is exactly what the
+    // store_* metrics exist to expose.
+    store::LogStore::Options store_opts;
+    store_opts.metrics = &registry_;
+    broker_store_ = std::make_unique<store::LogStore>(store_vfs_, "broker.log",
+                                                      store_opts);
+    broker_->attach_store(*broker_store_);
+  }
   broker_actor_ =
       std::make_unique<BrokerActor>(*net_, options_.cost, *broker_);
   directory_.broker = net_->attach(*broker_actor_);
@@ -48,6 +91,13 @@ NodeRuntime::NodeRuntime(const group::SchnorrGroup& grp, Options options)
         grp_, broker_->coin_key(), slot.id, key, *slot.rng);
     slot.witness = std::make_unique<ecash::WitnessService>(
         grp_, broker_->coin_key(), slot.id, key, *slot.rng);
+    if (options_.durable_stores) {
+      store::LogStore::Options store_opts;
+      store_opts.metrics = &registry_;
+      slot.store = std::make_unique<store::LogStore>(
+          store_vfs_, witness_log_name(slot.id), store_opts);
+      slot.witness->attach_store(*slot.store);
+    }
     slot.actor = std::make_unique<MerchantActor>(
         *net_, options_.cost, *slot.merchant, *slot.witness, directory_);
     slot.actor->set_retry_policy(options_.retry);
@@ -91,11 +141,28 @@ ClientActor& NodeRuntime::add_client() {
   return *clients_.back();
 }
 
-void NodeRuntime::start() { net_->start(); }
+void NodeRuntime::start() {
+  // An explicit artifact path opts this runtime into the process-global
+  // crash hooks: SIGABRT (including lock-order violations) and SIGUSR1
+  // dump the breadcrumb ring to that file.  Signal dispositions are
+  // process-wide, so only the runtime the owner configured installs them.
+  if (!options_.flight_artifact.empty())
+    obs::FlightRecorder::install_process_hooks(&flight_);
+  net_->start();
+}
 
 void NodeRuntime::stop() {
+  if (!options_.flight_artifact.empty())
+    obs::FlightRecorder::install_process_hooks(nullptr);
+  obs_server_.stop();
   if (net_) net_->stop();
 }
+
+std::uint16_t NodeRuntime::start_obs_server(std::uint16_t port) {
+  return obs_server_.start(port);
+}
+
+void NodeRuntime::stop_obs_server() { obs_server_.stop(); }
 
 void NodeRuntime::set_merchant_down(const MerchantId& id, bool down) {
   net_->set_down(merchant_node(id), down);

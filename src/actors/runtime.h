@@ -25,9 +25,17 @@
 
 #include <future>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "actors/actors.h"
+#include "obs/clock.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics_registry.h"
+#include "obs/obs_server.h"
+#include "obs/trace.h"
+#include "store/log_store.h"
+#include "store/vfs.h"
 #include "transport/tcp_net.h"
 
 namespace p2pcash::actors {
@@ -48,8 +56,24 @@ class NodeRuntime {
     RetryPolicy retry;
     PeerHealth::Config breaker;
     /// Transport knobs (queue caps, reconnect pacing, frame limit).
-    /// worker_threads and seed above override the ones in here.
+    /// worker_threads and seed above override the ones in here, and the
+    /// runtime's own registry/tracer/flight-recorder are always wired in.
     transport::TcpNet::Options net;
+
+    /// Trace ring capacity (spans + events retained for /tracez).
+    std::size_t trace_capacity = 1 << 16;
+    /// Flight-recorder ring capacity (crash breadcrumbs).
+    std::size_t flight_capacity = 1024;
+    /// Where the flight recorder dumps on abort/SIGUSR1.  Empty = stderr.
+    /// Set explicitly by the host — this runtime reads no environment
+    /// (src/actors is determinism-scoped; getenv is banned here).
+    std::string flight_artifact;
+    /// Durable mode: broker and every witness journal coin state into
+    /// append-only logs (store::LogStore over an in-process MemVfs), with
+    /// group-commit fsync latency exported through the runtime registry
+    /// as store_* histograms — the same recipe SimWorld::durable_stores
+    /// uses, here exercised under real concurrency.
+    bool durable_stores = false;
   };
 
   explicit NodeRuntime(const group::SchnorrGroup& grp, Options options);
@@ -60,6 +84,25 @@ class NodeRuntime {
   transport::TcpNet& net() { return *net_; }
   ecash::Broker& broker() { return *broker_; }
   const Directory& directory() const { return directory_; }
+
+  // -- observability -------------------------------------------------------
+  // The runtime owns the full obs stack: a wall-clock Tracer whose spans
+  // stitch across nodes via the wire trace envelope, a MetricsRegistry
+  // fed by the transport/pool/store instrumentation, and an always-on
+  // FlightRecorder of recent transport breadcrumbs.
+
+  obs::MetricsRegistry& metrics() { return registry_; }
+  const obs::MetricsRegistry& metrics() const { return registry_; }
+  obs::TraceSink& trace_sink() { return sink_; }
+  obs::Tracer& tracer() { return tracer_; }
+  obs::FlightRecorder& flight_recorder() { return flight_; }
+
+  /// Starts the HTTP scrape endpoint (127.0.0.1, `port` or ephemeral when
+  /// 0) serving /metrics, /healthz, /tracez, /flightz from this runtime.
+  /// Returns the bound port (0 on failure).  Idempotent.
+  std::uint16_t start_obs_server(std::uint16_t port = 0);
+  void stop_obs_server();
+  obs::ObsServer& obs_server() { return obs_server_; }
 
   std::vector<MerchantId> merchant_ids() const;
   MerchantActor& merchant_actor(const MerchantId& id);
@@ -104,11 +147,25 @@ class NodeRuntime {
     std::unique_ptr<crypto::ChaChaRng> rng;  ///< strand-confined stream
     std::unique_ptr<ecash::Merchant> merchant;
     std::unique_ptr<ecash::WitnessService> witness;
+    std::unique_ptr<store::LogStore> store;  ///< durable mode only
     std::unique_ptr<MerchantActor> actor;
   };
 
   group::SchnorrGroup grp_;
   Options options_;
+
+  // Obs stack FIRST: the transport and stores borrow pointers into it, so
+  // it must outlive them (declaration order = construction order; reverse
+  // destruction tears the borrowers down before the lenders).
+  obs::MetricsRegistry registry_;
+  obs::TraceSink sink_;
+  obs::WallClock wall_clock_;
+  obs::FlightRecorder flight_;
+  obs::Tracer tracer_;
+
+  store::MemVfs store_vfs_;  ///< durable mode only (internally locked)
+  std::unique_ptr<store::LogStore> broker_store_;
+
   std::unique_ptr<transport::TcpNet> net_;
   std::unique_ptr<crypto::ChaChaRng> broker_rng_;
   std::unique_ptr<ecash::Broker> broker_;
@@ -117,6 +174,10 @@ class NodeRuntime {
   std::vector<MerchantSlot> merchants_;
   std::vector<std::unique_ptr<ClientActor>> clients_;
   std::uint64_t next_client_seed_ = 0;
+
+  // LAST: destroyed first, so a live scrape can never observe a
+  // half-torn-down runtime.
+  obs::ObsServer obs_server_;
 };
 
 }  // namespace p2pcash::actors

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <stdexcept>
+#include <thread>
 
 namespace p2pcash::actors {
 
@@ -38,6 +39,11 @@ SimWorld::SimWorld(const group::SchnorrGroup& grp, Options options)
   // so the same seed replays a byte-identical trace.
   tracer_ = std::make_unique<obs::Tracer>([this]() { return sim_.now(); },
                                           &sink_, &registry_);
+  // Mark exported batches as simulator traces so tooling can tell them
+  // from TCP traces without filename conventions.  hardware_threads is
+  // advisory metadata: the simulation itself is single-threaded.
+  sink_.set_meta(
+      {"sim", static_cast<std::uint32_t>(std::thread::hardware_concurrency())});
   set_tracing(options_.trace);
   register_collectors();
   broker_ = std::make_unique<ecash::Broker>(grp_, *rng_, options_.broker);

@@ -1,0 +1,81 @@
+// clock.h — the time seam between deterministic sim-time and wall-clock.
+//
+// The obs layer (Tracer, histograms, FlightRecorder) never reads a clock
+// of its own: every timestamp flows through an injected `Clock` (or the
+// equivalent `std::function<TimeMs()>`), so the SAME tracing code is
+//
+//   * byte-identical across seed replays when driven by the simulator
+//     (SimWorld passes the sim clock — see world.cpp), and
+//   * monotonic wall-clock when driven by the real transport (NodeRuntime
+//     passes a WallClock that shares its epoch with TcpNet::now()).
+//
+// WallClock is the ONLY wall-clock read in det_lint-scoped src/obs, and it
+// is marked with the reviewed escape hatch below: nothing on a simnet
+// replay path ever constructs one (SimWorld injects sim-time), so the
+// seed-replay guarantee is untouched.  ManualClock exists for tests that
+// need to step time explicitly without a simulator.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>  // det_lint: allow: WallClock is the documented wall-clock seam; sim paths inject sim-time
+#include <functional>
+
+namespace p2pcash::obs {
+
+/// Milliseconds on whichever clock was injected (sim-time or wall-clock).
+/// Redeclared identically in trace.h; both headers stay self-contained.
+using TimeMs = double;
+
+/// The seam: something that can tell the time in milliseconds.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimeMs now_ms() const = 0;
+};
+
+/// Monotonic wall-clock, milliseconds since construction.  Steady (never
+/// steps backwards on NTP adjustments), matching TcpNet::now()'s basis so
+/// span timestamps and transport timers share a timescale.
+class WallClock final : public Clock {
+ public:
+  WallClock()
+      : epoch_(std::chrono::steady_clock::now()) {}  // det_lint: allow: the wall-clock seam itself; never on a replay path
+
+  TimeMs now_ms() const override {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - epoch_)  // det_lint: allow: the wall-clock seam itself; never on a replay path
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;  // det_lint: allow: the wall-clock seam itself; never on a replay path
+};
+
+/// Test clock: time moves only when the test says so.  Thread-safe (an
+/// atomic double) so multi-threaded code under test can read it freely.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimeMs start_ms = 0) : now_(start_ms) {}
+
+  TimeMs now_ms() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void set(TimeMs t) { now_.store(t, std::memory_order_relaxed); }
+  void advance(TimeMs delta) {
+    now_.store(now_.load(std::memory_order_relaxed) + delta,
+               std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<TimeMs> now_;
+};
+
+/// Adapts a Clock to the `std::function<TimeMs()>` shape Tracer and
+/// FlightRecorder take.  The clock must outlive every consumer of the
+/// returned function.
+inline std::function<TimeMs()> clock_fn(const Clock& clock) {
+  return [&clock] { return clock.now_ms(); };
+}
+
+}  // namespace p2pcash::obs

@@ -1,0 +1,110 @@
+// flight_recorder.h — always-on crash breadcrumbs for the real runtime.
+//
+// When a multithreaded node aborts (assert, lock-order violation, chaos
+// kill) the post-mortem question is always "what was it doing in the last
+// few milliseconds?"  The FlightRecorder answers it: a fixed-size,
+// preallocated ring of small POD entries that any thread can append to
+// with one atomic fetch_add and a couple of memcpys — cheap enough to
+// leave on in production — plus a dump path that is safe to call from a
+// signal handler (no malloc, no locks, no stdio: raw ::open/::write).
+//
+// Concurrency model: deliberately LOCK-FREE, not merely thread-safe.
+//   * record() claims a slot via atomic fetch_add on seq_ and writes the
+//     entry fields non-atomically.  A reader that races a writer may see
+//     a torn entry; dump() marks entries whose seq stamp is inconsistent
+//     instead of trusting them.  Torn breadcrumbs are an accepted cost —
+//     a crash dump that can deadlock (because the crashing thread held
+//     the recorder's lock) would be worse than one with a garbled line.
+//   * Because there is no mutex here, the recorder introduces NO new lock
+//     level: it is callable from any lock context, including from inside
+//     sync::lock_order's violation handler and from signal handlers.
+//
+// Timestamps come through the same injected clock seam as the Tracer
+// (obs/clock.h): sim-time under the simulator, wall-clock in NodeRuntime.
+//
+// Process hooks (install_process_hooks):
+//   * SIGUSR1  — dump and continue (live inspection of a running node).
+//   * SIGABRT  — dump, restore the default handler, re-raise (so the
+//     abort still produces a core / nonzero exit for CI).
+//   * sync::lock_order violation handler — record the violation as a
+//     breadcrumb, dump, then abort (preserving the checker's fail-stop
+//     contract).
+// The artifact path is set explicitly by the host (NodeRuntime reads no
+// environment — src/actors is determinism-scoped); examples/CI read
+// P2PCASH_FLIGHT_ARTIFACT themselves and pass it down.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p2pcash::obs {
+
+class FlightRecorder {
+ public:
+  /// One breadcrumb.  Fixed-size character fields (truncating copy) so an
+  /// entry never allocates and the ring is a flat preallocated array.
+  struct Entry {
+    double t_ms = 0;
+    std::uint64_t seq = 0;  ///< 0 = slot never written
+    char name[24] = {};
+    char detail[104] = {};
+  };
+
+  /// `clock` stamps entries; it must be callable from arbitrary threads.
+  /// Capacity is rounded up to at least 8 entries.
+  explicit FlightRecorder(std::size_t capacity,
+                          std::function<double()> clock);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends a breadcrumb.  Lock-free; truncates oversized strings.
+  void record(std::string_view name, std::string_view detail = {});
+
+  /// Total entries ever recorded (may exceed capacity).
+  std::uint64_t recorded() const {
+    return seq_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity() const { return ring_.size(); }
+
+  /// Consistent-best-effort copy of the retained entries, oldest first.
+  /// Entries that appear torn (seq stamp out of range) are skipped.
+  std::vector<Entry> snapshot() const;
+
+  /// The dump text: one line per breadcrumb plus a header.  Allocates —
+  /// for tests and /flightz; the signal path uses dump() instead.
+  std::string dump_to_string() const;
+
+  /// Sets where dump() writes.  Copies into a fixed internal buffer
+  /// (truncating at ~500 bytes) so the signal path needs no allocation.
+  /// Empty path disables file dumps (dump() then writes to stderr only).
+  void set_artifact_path(std::string_view path);
+  std::string artifact_path() const;
+
+  /// Writes the ring to the artifact path (or stderr if none is set).
+  /// Signal-safe by construction: ::open/::write/snprintf into stack
+  /// buffers, no locks, no allocation.  `reason` names the trigger
+  /// ("sigusr1", "abort", "lock_order", ...).
+  void dump(const char* reason) const;
+
+  /// Installs SIGUSR1/SIGABRT handlers and chains the sync::lock_order
+  /// violation handler to `recorder` (see file comment).  Pass nullptr to
+  /// uninstall (restores default signal disposition and the checker's
+  /// default print-and-abort handler).  One recorder per process.
+  static void install_process_hooks(FlightRecorder* recorder);
+
+ private:
+  std::function<double()> clock_;  // fixed at construction: no guard
+  std::vector<Entry> ring_;        // preallocated; slots written lock-free
+  std::atomic<std::uint64_t> seq_{0};
+  char artifact_path_[512] = {};  // fixed buffer: readable from signals
+  std::atomic<std::size_t> artifact_len_{0};
+};
+
+}  // namespace p2pcash::obs

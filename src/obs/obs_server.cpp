@@ -1,0 +1,161 @@
+#include "obs/obs_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace p2pcash::obs {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 4096;
+constexpr int kAcceptPollMs = 200;   // stop() latency bound
+constexpr int kClientPollMs = 2000;  // slowloris bound per read
+
+std::string make_response(int code, const char* status,
+                          const char* content_type, const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += std::to_string(code);
+  out += ' ';
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+std::uint16_t ObsServer::start(std::uint16_t port) {
+  if (listen_fd_ >= 0) return port_;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return 0;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return 0;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return 0;
+  }
+
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  stopping_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  return port_;
+}
+
+void ObsServer::stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+void ObsServer::serve_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, kAcceptPollMs);
+    if (r <= 0 || !(pfd.revents & POLLIN)) continue;
+    const int client = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (client < 0) continue;
+    handle_connection(client);
+    ::close(client);
+  }
+}
+
+void ObsServer::handle_connection(int fd) {
+  // Read until the header terminator, a bound, or a poll timeout.  The
+  // request line is all we use; HTTP/1.0 GET has no body.
+  std::string req;
+  char buf[1024];
+  while (req.size() < kMaxRequestBytes &&
+         req.find("\r\n\r\n") == std::string::npos &&
+         req.find('\n') == std::string::npos) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, kClientPollMs) <= 0) return;
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) return;
+    req.append(buf, static_cast<std::size_t>(n));
+  }
+
+  std::string method, target;
+  {
+    const std::size_t sp1 = req.find(' ');
+    if (sp1 == std::string::npos) return;
+    const std::size_t sp2 = req.find(' ', sp1 + 1);
+    if (sp2 == std::string::npos) return;
+    method = req.substr(0, sp1);
+    target = req.substr(sp1 + 1, sp2 - sp1 - 1);
+  }
+
+  std::string response;
+  if (method != "GET") {
+    response = make_response(405, "Method Not Allowed", "text/plain",
+                             "method not allowed\n");
+  } else {
+    response = respond(target);
+  }
+  served_.fetch_add(1, std::memory_order_relaxed);
+
+  const char* data = response.data();
+  std::size_t left = response.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd, data, left, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+std::string ObsServer::respond(const std::string& target) const {
+  if (target == "/healthz") {
+    const bool ok = sources_.healthy ? sources_.healthy() : true;
+    return ok ? make_response(200, "OK", "text/plain", "ok\n")
+              : make_response(503, "Service Unavailable", "text/plain",
+                              "unhealthy\n");
+  }
+  if (target == "/metrics" && sources_.metrics) {
+    return make_response(200, "OK", "text/plain; version=0.0.4",
+                         sources_.metrics->prometheus_text());
+  }
+  if (target == "/metrics.json" && sources_.metrics) {
+    return make_response(200, "OK", "application/json",
+                         sources_.metrics->json_text());
+  }
+  if (target == "/tracez" && sources_.traces) {
+    return make_response(200, "OK", "application/x-ndjson",
+                         sources_.traces->to_jsonl());
+  }
+  if (target == "/flightz" && sources_.flight) {
+    return make_response(200, "OK", "text/plain",
+                         sources_.flight->dump_to_string());
+  }
+  return make_response(404, "Not Found", "text/plain", "not found\n");
+}
+
+}  // namespace p2pcash::obs

@@ -1,0 +1,84 @@
+// obs_server.h — minimal HTTP/1.0 scrape endpoint for a live node.
+//
+// Serves three read-only views of a running NodeRuntime (or any host that
+// wires up the sources):
+//
+//   GET /metrics       deterministic Prometheus text (MetricsRegistry)
+//   GET /metrics.json  the same registry as JSON
+//   GET /healthz       "ok\n" (200) or "unhealthy\n" (503)
+//   GET /tracez        recent spans/events as JSONL (TraceSink)
+//   GET /flightz       flight-recorder breadcrumbs as text
+//
+// Scope: loopback scraping by curl/Prometheus during benches, CI smokes,
+// and manual debugging.  It is deliberately NOT a general HTTP server —
+// HTTP/1.0, one request per connection, Connection: close, GET only,
+// bounded request read, no TLS, binds 127.0.0.1 only.
+//
+// Concurrency: one background thread owns the listening socket and serves
+// requests sequentially; shutdown is an atomic flag polled between
+// accepts (poll() with a short timeout, so stop() latency is bounded).
+// There is NO mutex in this class — the sources are either internally
+// locked (registry, sink) or lock-free (flight recorder) — so ObsServer
+// introduces no new lock level and cannot participate in a lock cycle.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace p2pcash::obs {
+
+class FlightRecorder;
+class MetricsRegistry;
+class TraceSink;
+
+class ObsServer {
+ public:
+  /// All sources optional: a missing source 404s its endpoint.  `healthy`
+  /// (optional) gates /healthz; default is always-healthy.
+  struct Sources {
+    const MetricsRegistry* metrics = nullptr;
+    const TraceSink* traces = nullptr;
+    const FlightRecorder* flight = nullptr;
+    std::function<bool()> healthy;
+  };
+
+  explicit ObsServer(Sources sources) : sources_(std::move(sources)) {}
+  ~ObsServer() { stop(); }
+
+  ObsServer(const ObsServer&) = delete;
+  ObsServer& operator=(const ObsServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral), starts the serving thread.
+  /// Returns the bound port, or 0 on bind/listen failure (no thread
+  /// started).  Idempotent: returns the current port if already running.
+  std::uint16_t start(std::uint16_t port = 0);
+
+  /// Stops the serving thread and closes the listener.  Idempotent.
+  void stop();
+
+  bool running() const { return listen_fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+
+  /// Requests served since start (for tests; relaxed counter).
+  std::uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+  std::string respond(const std::string& target) const;
+
+  Sources sources_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::thread thread_;
+};
+
+}  // namespace p2pcash::obs

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/clock.h"
 #include "obs/metrics_registry.h"
 
 namespace p2pcash::obs {
@@ -65,11 +66,24 @@ void append_event_line(std::string& out, const EventRecord& e) {
   out += "\"}\n";
 }
 
+void append_meta_line(std::string& out, const TraceSink::Meta& m) {
+  out += "{\"kind\":\"meta\",\"transport\":\"";
+  append_escaped(out, m.transport);
+  out += "\",\"hardware_threads\":";
+  out += std::to_string(m.hardware_threads);
+  out += "}\n";
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // TraceSink
 // ---------------------------------------------------------------------------
+
+void TraceSink::set_meta(Meta meta) {
+  sync::MutexLock lock(mu_);
+  meta_ = std::move(meta);
+}
 
 void TraceSink::push(Record record) {
   if (records_.size() >= capacity_) {
@@ -108,6 +122,7 @@ void TraceSink::clear() {
 std::string TraceSink::to_jsonl() const {
   sync::MutexLock lock(mu_);
   std::string out;
+  if (!meta_.transport.empty()) append_meta_line(out, meta_);
   for (const Record& r : records_) {
     if (r.is_span)
       append_span_line(out, r.span);
@@ -120,6 +135,7 @@ std::string TraceSink::to_jsonl() const {
 std::string TraceSink::trace_jsonl(TraceId trace) const {
   sync::MutexLock lock(mu_);
   std::string out;
+  if (!meta_.transport.empty()) append_meta_line(out, meta_);
   for (const Record& r : records_) {
     if (r.is_span && r.span.trace == trace)
       append_span_line(out, r.span);
@@ -157,6 +173,9 @@ std::vector<const SpanRecord*> TraceSink::spans_for(TraceId trace) const {
 Tracer::Tracer(std::function<TimeMs()> clock, TraceSink* sink,
                MetricsRegistry* registry)
     : clock_(std::move(clock)), sink_(sink), registry_(registry) {}
+
+Tracer::Tracer(const Clock& clock, TraceSink* sink, MetricsRegistry* registry)
+    : Tracer(clock_fn(clock), sink, registry) {}
 
 TraceContext Tracer::start_root(std::string_view name, std::uint32_t node) {
   const TimeMs now = clock_();

@@ -36,6 +36,7 @@
 
 namespace p2pcash::obs {
 
+class Clock;
 class MetricsRegistry;
 
 using TraceId = std::uint64_t;
@@ -82,8 +83,25 @@ struct EventRecord {
 /// whatever thread ran the work.
 class TraceSink {
  public:
+  /// Batch-level metadata emitted as a leading `{"kind":"meta",...}` line
+  /// so tooling can tell sim traces from TCP traces without filename
+  /// conventions.  Empty `transport` (the default) suppresses the line
+  /// entirely, keeping pre-existing golden sim traces byte-identical.
+  struct Meta {
+    std::string transport;  ///< "sim", "tcp", ... ; empty = no meta line
+    std::uint32_t hardware_threads = 0;
+  };
+
   explicit TraceSink(std::size_t capacity = 1 << 16)
       : capacity_(capacity ? capacity : 1) {}
+
+  /// Sets the batch metadata.  Survives clear(): the transport kind is a
+  /// property of the producer, not of the records currently retained.
+  void set_meta(Meta meta);
+  Meta meta() const {
+    sync::MutexLock lock(mu_);
+    return meta_;
+  }
 
   void add_span(SpanRecord span);
   void add_event(EventRecord event);
@@ -132,6 +150,7 @@ class TraceSink {
 
   mutable sync::Mutex mu_{"obs.trace_sink", sync::level::kSink};
   const std::size_t capacity_;  // immutable after construction: no guard
+  Meta meta_ P2P_GUARDED_BY(mu_);
   std::deque<Record> records_ P2P_GUARDED_BY(mu_);
   std::uint64_t dropped_ P2P_GUARDED_BY(mu_) = 0;
   std::uint64_t span_count_ P2P_GUARDED_BY(mu_) = 0;
@@ -147,6 +166,11 @@ class Tracer {
   /// `clock` supplies current sim-time; `sink` receives finished records;
   /// `registry` (optional) receives per-phase duration histograms.
   Tracer(std::function<TimeMs()> clock, TraceSink* sink,
+         MetricsRegistry* registry = nullptr);
+  /// Same, reading time through the obs::Clock seam (clock.h).  The clock
+  /// must outlive the tracer.  This is how NodeRuntime runs the identical
+  /// tracer code on monotonic wall-clock while SimWorld stays on sim-time.
+  Tracer(const Clock& clock, TraceSink* sink,
          MetricsRegistry* registry = nullptr);
 
   /// Opens a root span in a fresh trace.

@@ -18,6 +18,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/flight_recorder.h"
+#include "obs/metrics_registry.h"
 #include "wire/codec.h"
 
 namespace p2pcash::transport {
@@ -97,6 +99,10 @@ struct TcpNet::OutConn {
   std::deque<std::vector<std::uint8_t>> queue;
   std::size_t queued_bytes = 0;
   bool dirty = false;
+  /// Per-connection queue-depth gauge, resolved once under mu_ when the
+  /// conn is created (registry level < kTransport: legal descent) and
+  /// then updated lock-free wherever queued_bytes changes.
+  obs::Gauge* queue_gauge = nullptr;
 
   // io-thread-only.
   enum class State { kIdle, kConnecting, kEstablished, kBackoff };
@@ -148,6 +154,11 @@ struct TcpNet::AtomicStats {
   std::atomic<std::uint64_t> decode_errors{0};
   std::atomic<std::uint64_t> reads_paused{0};
   std::atomic<std::uint64_t> timers_fired{0};
+  /// Current total outbound backlog across every connection (a gauge,
+  /// not a monotonic stat): kept as a relaxed atomic so the metrics
+  /// collector can read it WITHOUT taking mu_ — collectors run under the
+  /// registry lock (level kRegistry) and must never climb to kTransport.
+  std::atomic<std::uint64_t> queued_bytes_now{0};
 };
 
 // ---------------------------------------------------------------------------
@@ -169,6 +180,68 @@ TcpNet::TcpNet(Options options)
   ev.data.fd = wake_fd_;
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0)
     throw_errno("epoll_ctl(wake)");
+  setup_observability();
+}
+
+void TcpNet::setup_observability() {
+  if (options_.tracer) {
+    tracer_ = options_.tracer;
+  } else {
+    // Own a wall-clock tracer so Transport::tracer() is never null.  The
+    // clock is TcpNet::now() — the same epoch the timer heap uses — so
+    // span timestamps line up with timer deadlines in one timescale.
+    owned_sink_ = std::make_unique<obs::TraceSink>();
+    owned_sink_->set_meta(
+        {"tcp", static_cast<std::uint32_t>(std::thread::hardware_concurrency())});
+    owned_tracer_ = std::make_unique<obs::Tracer>(
+        [this] { return now(); }, owned_sink_.get(), options_.metrics);
+    tracer_ = owned_tracer_.get();
+  }
+  if (!options_.metrics) return;
+  obs::MetricsRegistry& reg = *options_.metrics;
+  io_busy_ms_ = &reg.histogram("transport_io_loop_busy_ms");
+  timer_delay_ms_ = &reg.histogram("transport_timer_delay_ms");
+  strand_batch_ = &reg.histogram("transport_strand_batch");
+  queued_bytes_gauge_ = &reg.gauge("transport_outbound_queued_bytes");
+  // Counters are mirrored from the lock-free AtomicStats: the collector
+  // runs with the registry lock held and may not take mu_ (kTransport
+  // ranks far above kRegistry), so everything it reads is an atomic.
+  reg.register_collector([this] {
+    using obs::Sample;
+    const AtomicStats& a = *stats_;
+    auto counter = [](const char* name,
+                      const std::atomic<std::uint64_t>& v) {
+      return Sample{name, static_cast<double>(v.load(std::memory_order_relaxed)),
+                    Sample::Type::kCounter};
+    };
+    std::vector<Sample> out{
+        counter("transport_messages_sent_total", a.messages_sent),
+        counter("transport_bytes_sent_total", a.bytes_sent),
+        counter("transport_messages_received_total", a.messages_received),
+        counter("transport_bytes_received_total", a.bytes_received),
+        counter("transport_backpressure_drops_total", a.backpressure_drops),
+        counter("transport_dropped_on_disconnect_total",
+                a.dropped_on_disconnect),
+        counter("transport_connects_total", a.connects),
+        counter("transport_connect_failures_total", a.connect_failures),
+        counter("transport_disconnects_total", a.disconnects),
+        counter("transport_breaker_deferrals_total", a.breaker_deferrals),
+        counter("transport_decode_errors_total", a.decode_errors),
+        counter("transport_reads_paused_total", a.reads_paused),
+        counter("transport_timers_fired_total", a.timers_fired),
+    };
+    for (const auto& ep : endpoints_) {
+      out.push_back(Sample{
+          "transport_mailbox_depth_node_" + std::to_string(ep->id),
+          static_cast<double>(ep->depth.load(std::memory_order_relaxed)),
+          Sample::Type::kGauge});
+    }
+    return out;
+  });
+}
+
+void TcpNet::flight_note(std::string_view name, std::string_view detail) {
+  if (options_.flight) options_.flight->record(name, detail);
 }
 
 TcpNet::~TcpNet() {
@@ -233,6 +306,9 @@ void TcpNet::start() {
   stopping_.store(false, std::memory_order_release);
   pool_ = std::make_unique<verify::WorkerPool>(
       std::max<std::size_t>(1, options_.worker_threads));
+  if (options_.metrics)
+    pool_->instrument(*options_.metrics, "transport_pool_",
+                      [this] { return now(); });
   running_.store(true, std::memory_order_release);
   io_thread_ = std::thread([this] { io_loop(); });
   // Kick strands for anything post()ed or scheduled before start.
@@ -279,15 +355,22 @@ void TcpNet::send(Message msg) {
     throw std::logic_error("TcpNet::send: unknown endpoint id");
   std::vector<std::uint8_t> frame;
   const auto envelope = encode_envelope(msg);
+  // A traced message carries its context in the frame's wire envelope, so
+  // the receiving node can stitch its server span under the sender's.
+  const wire::TraceEnvelope wire_trace{msg.trace.trace, msg.trace.span};
   try {
-    wire::append_frame(frame, envelope, options_.max_frame_bytes);
+    wire::append_frame(frame, envelope, wire_trace, options_.max_frame_bytes);
   } catch (const wire::DecodeError&) {
     // Oversized message: the peer's decoder would kill the connection.
     // Refusing here keeps the failure on the sender that caused it.
     stats_->backpressure_drops.fetch_add(1, std::memory_order_relaxed);
+    if (msg.trace.valid())
+      tracer_->event(msg.trace, "net.oversized_drop", msg.type);
     return;
   }
   bool wake = false;
+  const std::size_t frame_bytes = frame.size();
+  bool dropped = false;
   {
     sync::MutexLock lock(mu_);
     auto& slot = conns_[{msg.from, msg.to}];
@@ -295,21 +378,40 @@ void TcpNet::send(Message msg) {
       slot = std::make_unique<OutConn>();
       slot->from = msg.from;
       slot->to = msg.to;
+      if (options_.metrics)
+        slot->queue_gauge = &options_.metrics->gauge(
+            "transport_conn_queue_bytes_" + std::to_string(msg.from) +
+            "_to_" + std::to_string(msg.to));
     }
     OutConn& conn = *slot;
     if (conn.queued_bytes + frame.size() > options_.peer_queue_limit_bytes) {
       stats_->backpressure_drops.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
-    conn.queued_bytes += frame.size();
-    conn.queue.push_back(std::move(frame));
-    stats_->messages_sent.fetch_add(1, std::memory_order_relaxed);
-    if (!conn.dirty) {
-      conn.dirty = true;
-      dirty_.push_back(&conn);
-      wake = true;
+      dropped = true;
+    } else {
+      conn.queued_bytes += frame.size();
+      conn.queue.push_back(std::move(frame));
+      if (conn.queue_gauge)
+        conn.queue_gauge->set(static_cast<double>(conn.queued_bytes));
+      stats_->messages_sent.fetch_add(1, std::memory_order_relaxed);
+      if (!conn.dirty) {
+        conn.dirty = true;
+        dirty_.push_back(&conn);
+        wake = true;
+      }
     }
   }
+  if (dropped) {
+    if (msg.trace.valid())
+      tracer_->event(msg.trace, "net.backpressure_drop", msg.type);
+    flight_note("net.backpressure_drop",
+                std::to_string(msg.from) + "->" + std::to_string(msg.to) +
+                    " " + msg.type);
+    return;
+  }
+  stats_->queued_bytes_now.fetch_add(frame_bytes, std::memory_order_relaxed);
+  if (queued_bytes_gauge_)
+    queued_bytes_gauge_->set(static_cast<double>(
+        stats_->queued_bytes_now.load(std::memory_order_relaxed)));
   if (wake) io_wake();
 }
 
@@ -417,6 +519,8 @@ void TcpNet::drain_strand(Endpoint& ep) {
         io_wake();
     }
   }
+  if (strand_batch_ && processed > 0)
+    strand_batch_->record(static_cast<double>(processed));
   if (resubmit) submit_drain(ep);
 }
 
@@ -449,8 +553,12 @@ void TcpNet::fire_due_timers() {
       timers_.pop_back();
     }
   }
+  const double fired_at = due.empty() ? 0 : now();
   for (auto& t : due) {
     stats_->timers_fired.fetch_add(1, std::memory_order_relaxed);
+    // How late the heap ran this timer: epoll wakeup slop + io-loop load.
+    if (timer_delay_ms_)
+      timer_delay_ms_->record(std::max(0.0, fired_at - t.due_ms));
     if (t.io_internal) {
       t.fn();  // reconnect pacing: runs right here on the io thread
     } else {
@@ -461,6 +569,11 @@ void TcpNet::fire_due_timers() {
 
 void TcpNet::io_loop() {
   std::array<epoll_event, 64> events;
+  // Busy time per iteration: everything between an epoll_wait returning
+  // and the next one starting.  Rising percentiles here mean the single
+  // io thread is becoming the bottleneck (the histogram ROADMAP item 5's
+  // load generator watches).
+  double busy_since = -1;
   while (!stopping_.load(std::memory_order_acquire)) {
     for (auto& ep : endpoints_) {
       if (ep->resume_request.exchange(false, std::memory_order_acq_rel) &&
@@ -470,9 +583,12 @@ void TcpNet::io_loop() {
     service_dirty_conns();
     fire_due_timers();
     const int timeout = timeout_to_next_timer_ms();
+    if (io_busy_ms_ && busy_since >= 0)
+      io_busy_ms_->record(now() - busy_since);
     const int n =
         ::epoll_wait(epoll_fd_, events.data(),
                      static_cast<int>(events.size()), timeout);
+    busy_since = io_busy_ms_ ? now() : -1;
     if (n < 0) {
       if (errno == EINTR) continue;
       break;  // epoll fd gone: shutting down
@@ -619,6 +735,8 @@ void TcpNet::conn_established(OutConn& conn) {
   conn.prev_backoff = 0;
   conn.attempts = 0;
   stats_->connects.fetch_add(1, std::memory_order_relaxed);
+  flight_note("net.connect",
+              std::to_string(conn.from) + "->" + std::to_string(conn.to));
   health_.record_success(conn.to);
   epoll_event ev{};
   ev.events = EPOLLIN;  // EOF watch; flush_writes arms EPOLLOUT as needed
@@ -638,24 +756,35 @@ void TcpNet::conn_failed(OutConn& conn, bool was_established) {
   conn.io_buf.clear();
   conn.io_off = 0;
   conn.want_write = false;
-  if (was_established)
+  if (was_established) {
     stats_->disconnects.fetch_add(1, std::memory_order_relaxed);
-  else
+    flight_note("net.disconnect",
+                std::to_string(conn.from) + "->" + std::to_string(conn.to));
+  } else {
     stats_->connect_failures.fetch_add(1, std::memory_order_relaxed);
+  }
   health_.record_failure(conn.to, now());
   conn.attempts += 1;
   if (conn.attempts >= options_.reconnect.max_attempts) {
     // Attempt budget exhausted for this outage: shed the queue (the actors'
     // retry layer owns end-to-end delivery) and go quiet until a new send.
     std::size_t flushed = 0;
+    std::size_t flushed_bytes = 0;
     {
       sync::MutexLock lock(mu_);
       flushed = conn.queue.size();
+      flushed_bytes = conn.queued_bytes;
       conn.queue.clear();
       conn.queued_bytes = 0;
+      if (conn.queue_gauge) conn.queue_gauge->set(0);
     }
+    stats_->queued_bytes_now.fetch_sub(flushed_bytes,
+                                       std::memory_order_relaxed);
     stats_->dropped_on_disconnect.fetch_add(flushed,
                                             std::memory_order_relaxed);
+    flight_note("net.queue_shed",
+                std::to_string(conn.from) + "->" + std::to_string(conn.to) +
+                    " frames=" + std::to_string(flushed));
     conn.state = OutConn::State::kIdle;
     conn.attempts = 0;
     conn.prev_backoff = 0;
@@ -679,12 +808,24 @@ void TcpNet::flush_writes(OutConn& conn) {
     if (conn.io_off == conn.io_buf.size()) {
       conn.io_buf.clear();
       conn.io_off = 0;
-      sync::MutexLock lock(mu_);
-      while (!conn.queue.empty() && conn.io_buf.size() < kWriteChunk) {
-        auto& frame = conn.queue.front();
-        conn.io_buf.insert(conn.io_buf.end(), frame.begin(), frame.end());
-        conn.queued_bytes -= frame.size();
-        conn.queue.pop_front();
+      std::size_t moved = 0;
+      {
+        sync::MutexLock lock(mu_);
+        while (!conn.queue.empty() && conn.io_buf.size() < kWriteChunk) {
+          auto& frame = conn.queue.front();
+          conn.io_buf.insert(conn.io_buf.end(), frame.begin(), frame.end());
+          conn.queued_bytes -= frame.size();
+          moved += frame.size();
+          conn.queue.pop_front();
+        }
+        if (moved > 0 && conn.queue_gauge)
+          conn.queue_gauge->set(static_cast<double>(conn.queued_bytes));
+      }
+      if (moved > 0) {
+        stats_->queued_bytes_now.fetch_sub(moved, std::memory_order_relaxed);
+        if (queued_bytes_gauge_)
+          queued_bytes_gauge_->set(static_cast<double>(
+              stats_->queued_bytes_now.load(std::memory_order_relaxed)));
       }
     }
     if (conn.io_buf.empty()) {
@@ -773,18 +914,24 @@ void TcpNet::on_readable(InConn& conn) {
                                         static_cast<std::size_t>(n)));
     } catch (const wire::DecodeError&) {
       stats_->decode_errors.fetch_add(1, std::memory_order_relaxed);
+      flight_note("net.decode_error", "node=" + std::to_string(conn.dst));
       close_in_conn(conn);
       return;
     }
-    while (auto payload = conn.decoder.next()) {
+    while (auto frame = conn.decoder.next_frame()) {
       Message msg;
       try {
-        msg = decode_envelope(*payload);
+        msg = decode_envelope(frame->payload);
       } catch (const wire::DecodeError&) {
         stats_->decode_errors.fetch_add(1, std::memory_order_relaxed);
+        flight_note("net.decode_error", "node=" + std::to_string(conn.dst));
         close_in_conn(conn);
         return;
       }
+      // Restore the trace context the sender put on the wire, so the
+      // handler's server span lands in the sender's trace.
+      msg.trace.trace = frame->trace.trace;
+      msg.trace.span = frame->trace.span;
       if (msg.to != conn.dst || msg.from >= endpoints_.size()) {
         // Envelope decoded but addressed nonsense: hostile or confused
         // peer.  Drop the message, keep the connection.
@@ -814,6 +961,7 @@ void TcpNet::close_in_conn(InConn& conn) {
 void TcpNet::pause_reads(Endpoint& ep) {
   ep.paused.store(true, std::memory_order_release);
   stats_->reads_paused.fetch_add(1, std::memory_order_relaxed);
+  flight_note("net.reads_paused", "node=" + std::to_string(ep.id));
   for (auto& [fd, conn] : in_fds_) {
     if (conn->dst != ep.id || conn->paused) continue;
     conn->paused = true;
@@ -846,6 +994,8 @@ void TcpNet::apply_down(NodeId node, bool down) {
   Endpoint& ep = *endpoints_[node];
   if (down == ep.down_io) return;
   ep.down_io = down;
+  flight_note(down ? "net.node_down" : "net.node_up",
+              "node=" + std::to_string(node));
   if (down) {
     if (ep.listen_fd >= 0) {
       ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, ep.listen_fd, nullptr);
@@ -884,12 +1034,17 @@ void TcpNet::apply_down(NodeId node, bool down) {
         conn->attempts = 0;
         conn->prev_backoff = 0;
         std::size_t flushed = 0;
+        std::size_t flushed_bytes = 0;
         {
           sync::MutexLock lock(mu_);
           flushed = conn->queue.size();
+          flushed_bytes = conn->queued_bytes;
           conn->queue.clear();
           conn->queued_bytes = 0;
+          if (conn->queue_gauge) conn->queue_gauge->set(0);
         }
+        stats_->queued_bytes_now.fetch_sub(flushed_bytes,
+                                           std::memory_order_relaxed);
         stats_->dropped_on_disconnect.fetch_add(flushed,
                                                 std::memory_order_relaxed);
       } else if (conn->state == OutConn::State::kConnecting ||

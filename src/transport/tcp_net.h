@@ -45,6 +45,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -54,6 +55,13 @@
 #include "transport/transport.h"
 #include "verify/worker_pool.h"
 #include "wire/framing.h"
+
+namespace p2pcash::obs {
+class FlightRecorder;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+}  // namespace p2pcash::obs
 
 namespace p2pcash::transport {
 
@@ -80,6 +88,17 @@ class TcpNet final : public Transport {
     /// outage) and the per-peer connect breaker.
     actors::RetryPolicy reconnect;
     actors::PeerHealth::Config breaker;
+
+    /// Observability seams (all optional, all borrowed — each must
+    /// outlive the TcpNet; the registry additionally must not be scraped
+    /// after the TcpNet is destroyed, since its collector reads TcpNet
+    /// state).  With `metrics` set, the io loop, timer heap, strands and
+    /// outbound queues export histograms/gauges/counters; with `tracer`
+    /// unset, TcpNet owns a wall-clock tracer of its own so tracer() is
+    /// never null; `flight` receives connection-lifecycle breadcrumbs.
+    obs::MetricsRegistry* metrics = nullptr;
+    obs::Tracer* tracer = nullptr;
+    obs::FlightRecorder* flight = nullptr;
   };
 
   /// Transport-level accounting (all monotonic; snapshot via stats()).
@@ -123,9 +142,14 @@ class TcpNet final : public Transport {
                    std::function<void()> fn) override;
   void post(NodeId node, std::function<void()> fn) override;
   bn::Rng& rng(NodeId node) override;
-  /// Tracing is a simnet facility (sim-time stamped, replay-deterministic);
-  /// the real transport reports through Stats instead.
-  obs::Tracer* tracer() const override { return nullptr; }
+  /// Never null: the injected tracer (Options::tracer) or an owned
+  /// wall-clock tracer whose sink can be read via trace_sink().  Traced
+  /// sends carry their context in the wire frame's trace envelope, so
+  /// spans stitch across nodes over real TCP.
+  obs::Tracer* tracer() const override { return tracer_; }
+  /// The owned tracer's sink; nullptr when a tracer was injected (the
+  /// injector owns the sink then).
+  obs::TraceSink* trace_sink() const { return owned_sink_.get(); }
 
   /// The endpoint's loopback listen port (stable across set_down cycles).
   std::uint16_t port(NodeId node) const;
@@ -149,6 +173,10 @@ class TcpNet final : public Transport {
   void dispatch(NodeId node, std::function<void()> fn);
   void drain_strand(Endpoint& ep);
   void submit_drain(Endpoint& ep);
+
+  // -- observability --
+  void setup_observability();  // ctor helper: tracer/metrics/collector
+  void flight_note(std::string_view name, std::string_view detail);
 
   // -- io thread --
   void io_loop();
@@ -207,6 +235,18 @@ class TcpNet final : public Transport {
   // Stats: relaxed atomics so hot paths never take a lock to count.
   struct AtomicStats;
   std::unique_ptr<AtomicStats> stats_;
+
+  // Observability.  The owned sink/tracer exist only when no tracer was
+  // injected; tracer_ itself is never null after construction.  Histogram
+  // pointers are resolved once against the registry (node-based maps:
+  // references are stable) and read lock-free on the hot paths.
+  std::unique_ptr<obs::TraceSink> owned_sink_;
+  std::unique_ptr<obs::Tracer> owned_tracer_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Histogram* io_busy_ms_ = nullptr;     ///< epoll loop busy time
+  obs::Histogram* timer_delay_ms_ = nullptr; ///< timer-heap firing lag
+  obs::Histogram* strand_batch_ = nullptr;   ///< tasks per strand drain
+  obs::Gauge* queued_bytes_gauge_ = nullptr; ///< total outbound backlog
 };
 
 }  // namespace p2pcash::transport

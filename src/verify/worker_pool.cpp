@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics_registry.h"
+
 namespace p2pcash::verify {
 
 WorkerPool::WorkerPool(std::size_t threads) {
@@ -21,10 +23,24 @@ WorkerPool::~WorkerPool() {
   for (std::thread& w : workers_) w.join();
 }
 
+void WorkerPool::instrument(obs::MetricsRegistry& registry,
+                            const std::string& prefix,
+                            std::function<double()> clock) {
+  // References into the registry's node-based maps are stable for its
+  // lifetime, so caching the histograms keeps the hot path free of map
+  // lookups and string concatenation.
+  clock_ = std::move(clock);
+  queue_delay_ms_ = &registry.histogram(prefix + "queue_delay_ms");
+  drain_batch_ = &registry.histogram(prefix + "drain_batch");
+}
+
 void WorkerPool::submit(Task task) {
+  QueuedTask qt;
+  qt.fn = std::move(task);
+  if (clock_) qt.enqueued_ms = clock_();
   {
     sync::MutexLock lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(qt));
   }
   work_cv_.notify_one();
 }
@@ -35,8 +51,27 @@ void WorkerPool::drain() {
 }
 
 void WorkerPool::worker_loop() {
+  // A "drain batch" is the run of tasks this worker executes without ever
+  // blocking on the condvar: the batch the queue naturally formed while
+  // the worker was busy.  Large batches mean the pool is the bottleneck;
+  // batches of 1 mean it is keeping up.
+  std::size_t batch = 0;
   for (;;) {
-    Task task;
+    if (batch > 0 && drain_batch_) {
+      // The queue looked empty on the last pass: the batch is over.
+      // Peek without holding the histogram's lock under ours (MutexLock
+      // is strictly scoped, so this is its own critical section).
+      bool dry;
+      {
+        sync::MutexLock lock(mu_);
+        dry = queue_.empty() && !stopping_;
+      }
+      if (dry) {
+        drain_batch_->record(static_cast<double>(batch));
+        batch = 0;
+      }
+    }
+    QueuedTask task;
     {
       sync::MutexLock lock(mu_);
       while (!stopping_ && queue_.empty()) work_cv_.wait(mu_);
@@ -45,7 +80,10 @@ void WorkerPool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();  // queue lock released: the task may take service locks freely
+    if (queue_delay_ms_ && clock_)
+      queue_delay_ms_->record(clock_() - task.enqueued_ms);
+    ++batch;
+    task.fn();  // queue lock released: the task may take service locks freely
     bool now_idle;
     {
       sync::MutexLock lock(mu_);

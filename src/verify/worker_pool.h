@@ -20,10 +20,16 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "sync/annotated.h"
+
+namespace p2pcash::obs {
+class Histogram;
+class MetricsRegistry;
+}  // namespace p2pcash::obs
 
 namespace p2pcash::verify {
 
@@ -48,15 +54,36 @@ class WorkerPool {
   /// AND no task in flight).  New submissions during a drain extend it.
   void drain();
 
+  /// Wires the pool's dark corners into a metrics registry:
+  ///   <prefix>queue_delay_ms   histogram — submit-to-dequeue latency
+  ///   <prefix>drain_batch      histogram — consecutive tasks one worker
+  ///                            ran without blocking (the natural batch
+  ///                            the queue formed under load)
+  /// `clock` stamps submissions (same seam as obs::Tracer — wall-clock
+  /// under TcpNet, sim-time in tests).  Call BEFORE the first submit();
+  /// the histograms are recorded with the pool lock released, so no lock
+  /// ordering is introduced beyond kPool → (registry internals).
+  void instrument(obs::MetricsRegistry& registry, const std::string& prefix,
+                  std::function<double()> clock);
+
  private:
   void worker_loop();
 
   mutable sync::Mutex mu_{"verify.worker_pool", sync::level::kPool};
   sync::CondVar work_cv_;   // signalled on submit and shutdown
   sync::CondVar idle_cv_;   // signalled when a task retires
-  std::deque<Task> queue_ P2P_GUARDED_BY(mu_);
+  struct QueuedTask {
+    Task fn;
+    double enqueued_ms = 0;  ///< clock at submit (0 when uninstrumented)
+  };
+  std::deque<QueuedTask> queue_ P2P_GUARDED_BY(mu_);
   std::size_t in_flight_ P2P_GUARDED_BY(mu_) = 0;
   bool stopping_ P2P_GUARDED_BY(mu_) = false;
+  // Instrumentation seams; set once by instrument() before any submit,
+  // then read-only (workers read them without the lock).
+  std::function<double()> clock_;
+  obs::Histogram* queue_delay_ms_ = nullptr;
+  obs::Histogram* drain_batch_ = nullptr;
   std::vector<std::thread> workers_;
 };
 

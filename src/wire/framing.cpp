@@ -1,20 +1,66 @@
 #include "wire/framing.h"
 
 #include <cstring>
+#include <stdexcept>
 
 namespace p2pcash::wire {
+
+namespace {
+
+void check_max_frame(std::size_t max_frame) {
+  // The top bit of the length word is the trace-envelope flag; a limit at
+  // or above it would make flagged lengths ambiguous.  This is a caller
+  // configuration bug, not a peer protocol violation, hence not
+  // DecodeError.
+  if (max_frame >= kTraceFlagBit)
+    throw std::invalid_argument("framing: max_frame must be < 2^31");
+}
+
+void append_u32be(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void append_u64be(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8)
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+std::uint64_t read_u64be(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
 
 void append_frame(std::vector<std::uint8_t>& out,
                   std::span<const std::uint8_t> payload,
                   std::size_t max_frame) {
+  append_frame(out, payload, TraceEnvelope{}, max_frame);
+}
+
+void append_frame(std::vector<std::uint8_t>& out,
+                  std::span<const std::uint8_t> payload,
+                  const TraceEnvelope& trace, std::size_t max_frame) {
+  check_max_frame(max_frame);
   if (payload.size() > max_frame)
     throw DecodeError("append_frame: payload exceeds frame limit");
-  const auto n = static_cast<std::uint32_t>(payload.size());
-  out.push_back(static_cast<std::uint8_t>(n >> 24));
-  out.push_back(static_cast<std::uint8_t>(n >> 16));
-  out.push_back(static_cast<std::uint8_t>(n >> 8));
-  out.push_back(static_cast<std::uint8_t>(n));
+  auto n = static_cast<std::uint32_t>(payload.size());
+  if (trace.valid()) {
+    append_u32be(out, n | kTraceFlagBit);
+    append_u64be(out, trace.trace);
+    append_u64be(out, trace.span);
+  } else {
+    append_u32be(out, n);
+  }
   out.insert(out.end(), payload.begin(), payload.end());
+}
+
+FrameDecoder::FrameDecoder(std::size_t max_frame) : max_frame_(max_frame) {
+  check_max_frame(max_frame);
 }
 
 void FrameDecoder::feed(std::span<const std::uint8_t> data) {
@@ -26,10 +72,14 @@ void FrameDecoder::feed(std::span<const std::uint8_t> data) {
 void FrameDecoder::parse() {
   std::size_t pos = 0;
   while (buffer_.size() - pos >= 4) {
-    const std::uint32_t n = (static_cast<std::uint32_t>(buffer_[pos]) << 24) |
-                            (static_cast<std::uint32_t>(buffer_[pos + 1]) << 16) |
-                            (static_cast<std::uint32_t>(buffer_[pos + 2]) << 8) |
-                            static_cast<std::uint32_t>(buffer_[pos + 3]);
+    const std::uint32_t raw =
+        (static_cast<std::uint32_t>(buffer_[pos]) << 24) |
+        (static_cast<std::uint32_t>(buffer_[pos + 1]) << 16) |
+        (static_cast<std::uint32_t>(buffer_[pos + 2]) << 8) |
+        static_cast<std::uint32_t>(buffer_[pos + 3]);
+    const bool traced = (raw & kTraceFlagBit) != 0;
+    const std::uint32_t n = raw & ~kTraceFlagBit;
+    const std::size_t header = 4 + (traced ? kTraceEnvelopeBytes : 0);
     if (n > max_frame_) {
       // Reject on the header alone: buffering even part of an absurd
       // payload hands the peer control of our memory.  Drop everything —
@@ -38,17 +88,30 @@ void FrameDecoder::parse() {
       buffer_.clear();
       throw DecodeError("FrameDecoder: frame length exceeds limit");
     }
-    if (buffer_.size() - pos - 4 < n) break;  // payload incomplete
-    ready_.emplace_back(buffer_.begin() + static_cast<std::ptrdiff_t>(pos + 4),
-                        buffer_.begin() +
-                            static_cast<std::ptrdiff_t>(pos + 4 + n));
-    pos += 4 + n;
+    if (buffer_.size() - pos < header + n) break;  // envelope/payload short
+    Frame frame;
+    if (traced) {
+      frame.trace.trace = read_u64be(buffer_.data() + pos + 4);
+      frame.trace.span = read_u64be(buffer_.data() + pos + 12);
+    }
+    frame.payload.assign(
+        buffer_.begin() + static_cast<std::ptrdiff_t>(pos + header),
+        buffer_.begin() + static_cast<std::ptrdiff_t>(pos + header + n));
+    ready_.push_back(std::move(frame));
+    pos += header + n;
   }
   if (pos > 0) buffer_.erase(buffer_.begin(),
                              buffer_.begin() + static_cast<std::ptrdiff_t>(pos));
 }
 
 std::optional<std::vector<std::uint8_t>> FrameDecoder::next() {
+  if (ready_.empty()) return std::nullopt;
+  auto out = std::move(ready_.front().payload);
+  ready_.pop_front();
+  return out;
+}
+
+std::optional<Frame> FrameDecoder::next_frame() {
   if (ready_.empty()) return std::nullopt;
   auto out = std::move(ready_.front());
   ready_.pop_front();

@@ -11,6 +11,15 @@
 // length prefix above the configured maximum is a protocol violation (a
 // corrupt or hostile peer), reported as DecodeError; the connection that
 // produced it must be torn down, since the stream can never re-synchronize.
+//
+// Trace envelope: a frame may carry an optional 16-byte trace context
+// (trace id + parent span id, both big-endian u64) between the length
+// prefix and the payload.  Presence is flagged by the top bit of the
+// length word (kTraceFlagBit); the length field still counts PAYLOAD
+// bytes only.  Untraced frames are byte-identical to the pre-envelope
+// format — the flag bit was always zero because max_frame is far below
+// 2^31 — so mixed-version peers interoperate on untraced traffic and
+// golden byte streams stay stable.
 
 #pragma once
 
@@ -29,6 +38,33 @@ namespace p2pcash::wire {
 /// attack on the receiver's allocator.
 inline constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{1} << 20;
 
+/// Length-word bit flagging a 16-byte trace envelope after the prefix.
+/// Any max_frame must stay strictly below this so the bit is unambiguous;
+/// append_frame and FrameDecoder enforce that invariant.
+inline constexpr std::uint32_t kTraceFlagBit = 0x8000'0000u;
+
+/// Wire size of the trace envelope (two big-endian u64s).
+inline constexpr std::size_t kTraceEnvelopeBytes = 16;
+
+/// The trace context a frame can carry: which trace the message belongs
+/// to and which span caused the send.  trace == 0 means "untraced" and
+/// encodes to zero wire bytes (mirrors obs::TraceContext, which wire/
+/// must not depend on).
+struct TraceEnvelope {
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
+
+  bool valid() const { return trace != 0; }
+  friend bool operator==(const TraceEnvelope&, const TraceEnvelope&) = default;
+};
+
+/// One decoded frame: the payload plus its trace envelope (invalid — all
+/// zeros — for untraced frames).
+struct Frame {
+  std::vector<std::uint8_t> payload;
+  TraceEnvelope trace;
+};
+
 /// Appends one frame (length prefix + payload) to `out`.  Throws
 /// DecodeError if the payload exceeds `max_frame` — the peer could never
 /// parse it, so refusing at the sender keeps the failure local.
@@ -36,11 +72,18 @@ void append_frame(std::vector<std::uint8_t>& out,
                   std::span<const std::uint8_t> payload,
                   std::size_t max_frame = kDefaultMaxFrameBytes);
 
+/// Same, carrying `trace` in the wire envelope.  An invalid (zero)
+/// envelope emits a plain frame, byte-identical to the overload above —
+/// callers never need to branch on "is this message traced".
+void append_frame(std::vector<std::uint8_t>& out,
+                  std::span<const std::uint8_t> payload,
+                  const TraceEnvelope& trace,
+                  std::size_t max_frame = kDefaultMaxFrameBytes);
+
 /// Incremental frame parser over an arbitrarily re-chunked byte stream.
 class FrameDecoder {
  public:
-  explicit FrameDecoder(std::size_t max_frame = kDefaultMaxFrameBytes)
-      : max_frame_(max_frame) {}
+  explicit FrameDecoder(std::size_t max_frame = kDefaultMaxFrameBytes);
 
   /// Appends raw stream bytes.  Throws DecodeError as soon as a frame
   /// header announces a payload above the maximum — before buffering any
@@ -48,8 +91,13 @@ class FrameDecoder {
   void feed(std::span<const std::uint8_t> data);
 
   /// Returns the next complete frame payload, or nullopt if the buffered
-  /// bytes end mid-header or mid-payload (feed more and retry).
+  /// bytes end mid-header or mid-payload (feed more and retry).  Drops
+  /// the trace envelope; use next_frame() to keep it.
   std::optional<std::vector<std::uint8_t>> next();
+
+  /// Returns the next complete frame (payload + trace envelope), or
+  /// nullopt if the buffered bytes end mid-frame.
+  std::optional<Frame> next_frame();
 
   /// Bytes buffered but not yet returned (partial header + payload).
   std::size_t buffered() const { return buffer_.size(); }
@@ -63,7 +111,7 @@ class FrameDecoder {
   std::size_t max_frame_;
   bool poisoned_ = false;
   std::vector<std::uint8_t> buffer_;  ///< partial header/payload bytes
-  std::deque<std::vector<std::uint8_t>> ready_;
+  std::deque<Frame> ready_;
 };
 
 }  // namespace p2pcash::wire

@@ -227,12 +227,14 @@ TEST_F(FuzzFixture, FramingSurvivesAdversarialStreams) {
     EXPECT_LE(dec.buffered(), cut) << "cut=" << cut;
   }
 
-  // 2. Oversized length prefixes: any header above kMax poisons the
+  // 2. Oversized length prefixes: any header whose payload length (after
+  //    masking the trace-envelope flag bit) is above kMax poisons the
   //    decoder immediately, before payload bytes are buffered.
   const std::vector<std::vector<std::uint8_t>> hostile_headers = {
-      {0xff, 0xff, 0xff, 0xff},  // ~SIZE_MAX claim
-      {0x80, 0x00, 0x00, 0x00},  // 2 GiB claim
+      {0xff, 0xff, 0xff, 0xff},  // traced flag + ~2 GiB claim
+      {0x7f, 0xff, 0xff, 0xff},  // untraced ~2 GiB claim
       {0x00, 0x00, 0x10, 0x01},  // kMax + 1
+      {0x80, 0x00, 0x10, 0x01},  // traced flag + kMax + 1
   };
   for (std::size_t i = 0; i < hostile_headers.size(); ++i) {
     wire::FrameDecoder dec(kMax);

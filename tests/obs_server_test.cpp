@@ -1,0 +1,196 @@
+// ObsServer: the live HTTP scrape endpoint.  Exercised over real loopback
+// sockets — a scrape must return exactly what the registry/sink export
+// functions produce, byte for byte, twice in a row (the determinism the
+// golden-scrape CI check relies on).
+
+#include "obs/obs_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "obs/clock.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace p2pcash::obs {
+namespace {
+
+struct HttpResponse {
+  std::string status_line;
+  std::string headers;
+  std::string body;
+};
+
+/// Blocking one-shot HTTP/1.0 GET against 127.0.0.1:`port`.
+HttpResponse http_get(std::uint16_t port, const std::string& target,
+                      const std::string& method = "GET") {
+  HttpResponse out;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return out;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return out;
+  }
+  const std::string request = method + " " + target + " HTTP/1.0\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const auto line_end = raw.find("\r\n");
+  if (line_end == std::string::npos) return out;
+  out.status_line = raw.substr(0, line_end);
+  const auto header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) return out;
+  out.headers = raw.substr(line_end + 2, header_end - line_end - 2);
+  out.body = raw.substr(header_end + 4);
+  return out;
+}
+
+struct ServerFixture : ::testing::Test {
+  ServerFixture()
+      : flight(8, clock_fn(clock)),
+        tracer(clock, &sink, &registry) {}
+
+  void populate() {
+    registry.counter("payments_total").inc(3);
+    registry.gauge("queue_depth").set(2);
+    registry.histogram("pay_ms").record(4.0);
+    sink.set_meta({"tcp", 8});
+    const auto root = tracer.start_root("payment", 1);
+    clock.set(5.0);
+    tracer.event(root, "rpc.retry", "resend");
+    tracer.end_span(root, "ok");
+    flight.record("net.connect", "node 1");
+  }
+
+  ManualClock clock;
+  MetricsRegistry registry;
+  TraceSink sink;
+  FlightRecorder flight;
+  Tracer tracer;
+};
+
+TEST_F(ServerFixture, GoldenScrapeMatchesRegistryExportByteForByte) {
+  populate();
+  ObsServer server({&registry, &sink, &flight, nullptr});
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+
+  const auto first = http_get(port, "/metrics");
+  const auto second = http_get(port, "/metrics");
+  EXPECT_EQ(first.status_line, "HTTP/1.0 200 OK");
+  EXPECT_NE(first.headers.find("text/plain; version=0.0.4"),
+            std::string::npos)
+      << first.headers;
+  // Two scrapes of an idle registry are byte-identical, and both equal
+  // the in-process export exactly.
+  EXPECT_EQ(first.body, second.body);
+  EXPECT_EQ(first.body, registry.prometheus_text());
+  EXPECT_NE(first.body.find("payments_total 3"), std::string::npos);
+  EXPECT_NE(first.body.find("pay_ms_bucket"), std::string::npos);
+  EXPECT_EQ(server.requests_served(), 2u);
+}
+
+TEST_F(ServerFixture, MetricsJsonEndpointMatchesJsonExport) {
+  populate();
+  ObsServer server({&registry, &sink, &flight, nullptr});
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  const auto got = http_get(port, "/metrics.json");
+  EXPECT_EQ(got.status_line, "HTTP/1.0 200 OK");
+  EXPECT_EQ(got.body, registry.json_text());
+}
+
+TEST_F(ServerFixture, TracezServesSinkJsonlWithMeta) {
+  populate();
+  ObsServer server({&registry, &sink, &flight, nullptr});
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  const auto got = http_get(port, "/tracez");
+  EXPECT_EQ(got.status_line, "HTTP/1.0 200 OK");
+  EXPECT_NE(got.headers.find("application/x-ndjson"), std::string::npos);
+  EXPECT_EQ(got.body, sink.to_jsonl());
+  EXPECT_NE(got.body.find("\"transport\":\"tcp\""), std::string::npos);
+  EXPECT_NE(got.body.find("\"name\":\"payment\""), std::string::npos);
+}
+
+TEST_F(ServerFixture, FlightzServesBreadcrumbs) {
+  populate();
+  ObsServer server({&registry, &sink, &flight, nullptr});
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  const auto got = http_get(port, "/flightz");
+  EXPECT_EQ(got.status_line, "HTTP/1.0 200 OK");
+  EXPECT_NE(got.body.find("net.connect"), std::string::npos);
+}
+
+TEST_F(ServerFixture, HealthzReflectsTheHealthCallback) {
+  bool healthy = true;
+  ObsServer server({&registry, &sink, &flight, [&healthy] {
+                      return healthy;
+                    }});
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  EXPECT_EQ(http_get(port, "/healthz").status_line, "HTTP/1.0 200 OK");
+  healthy = false;
+  const auto sick = http_get(port, "/healthz");
+  EXPECT_EQ(sick.status_line, "HTTP/1.0 503 Service Unavailable");
+  EXPECT_EQ(sick.body, "unhealthy\n");
+}
+
+TEST_F(ServerFixture, UnknownTargetIs404AndNonGetIs405) {
+  ObsServer server({&registry, &sink, &flight, nullptr});
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  EXPECT_EQ(http_get(port, "/nope").status_line,
+            "HTTP/1.0 404 Not Found");
+  EXPECT_EQ(http_get(port, "/metrics", "POST").status_line,
+            "HTTP/1.0 405 Method Not Allowed");
+}
+
+TEST_F(ServerFixture, StartIsIdempotentAndStopReleasesThePort) {
+  ObsServer server({&registry, &sink, &flight, nullptr});
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  EXPECT_EQ(server.start(0), port);  // already running: same port back
+  EXPECT_TRUE(server.running());
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent
+  // Restart binds fresh.
+  const std::uint16_t again = server.start(0);
+  EXPECT_NE(again, 0);
+  EXPECT_EQ(http_get(again, "/healthz").status_line, "HTTP/1.0 200 OK");
+}
+
+TEST(ObsServer, MissingSourcesServe404) {
+  ObsServer server({nullptr, nullptr, nullptr, nullptr});
+  const std::uint16_t port = server.start(0);
+  ASSERT_NE(port, 0);
+  EXPECT_EQ(http_get(port, "/metrics").status_line,
+            "HTTP/1.0 404 Not Found");
+  EXPECT_EQ(http_get(port, "/tracez").status_line,
+            "HTTP/1.0 404 Not Found");
+  // /healthz needs no source.
+  EXPECT_EQ(http_get(port, "/healthz").status_line, "HTTP/1.0 200 OK");
+}
+
+}  // namespace
+}  // namespace p2pcash::obs

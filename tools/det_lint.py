@@ -12,7 +12,11 @@ style as ct_lint.py):
     rand/srand/random_device/mt19937/default_random_engine and friends;
   * wall-clock reads — std::chrono::{system,steady,high_resolution}_clock,
     time(), clock(), gettimeofday, clock_gettime (sim code must use the
-    sim clock, obs code is stamped with sim-time by its callers);
+    sim clock, obs code is stamped with sim-time by its callers; the one
+    reviewed exception is the obs::WallClock seam in src/obs/clock.h,
+    whose steady_clock reads carry `det_lint: allow` tags — it exists so
+    the SAME Tracer type can run on wall time under TcpNet, and it is
+    never constructed on a replay path);
   * process environment — getenv (config must flow through explicit
     parameters so two runs of one binary cannot diverge);
   * unordered associative containers — std::unordered_map/set iteration

@@ -1,0 +1,266 @@
+#!/usr/bin/env python3
+"""Diff two Prometheus text-format scrapes from the obs layer.
+
+Usage:
+  tools/metrics_diff.py BEFORE.prom AFTER.prom [options]
+  tools/metrics_diff.py --self-test
+
+Parses both files as the subset of the Prometheus exposition format that
+obs::MetricsRegistry::prometheus_text emits — "# HELP/# TYPE" comment
+lines and "name value" sample lines — and reports, sorted by name:
+
+  * metrics present only in AFTER  (added)
+  * metrics present only in BEFORE (removed)
+  * metrics whose value changed    (with the numeric delta)
+
+Options:
+  --ignore-regex RE     drop metrics whose name matches RE (repeatable);
+                        typical use: timing histograms that never compare
+                        equal across runs (e.g. '_ms(_bucket|_sum)?$').
+  --fail-on-decrease    exit 1 if any *_total counter decreased — counters
+                        are monotone, so a decrease in a later scrape of
+                        the same process is an instrumentation bug.
+  --self-test           run the embedded fixtures and exit.
+
+Exit status: 0 no (failing) differences, 1 differences / decrease found,
+2 usage or IO errors.  Without --fail-on-decrease the diff is purely
+informational and exits 0 unless a file cannot be parsed.
+"""
+
+import io
+import re
+import sys
+
+
+def parse(path, text, errors):
+    """Returns {name: value} for every sample line."""
+    samples = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            errors.append(f"{path}:{lineno}: expected 'name value'")
+            continue
+        name, raw = parts
+        try:
+            value = float(raw)
+        except ValueError:
+            errors.append(f"{path}:{lineno}: bad value {raw!r}")
+            continue
+        if name in samples:
+            errors.append(f"{path}:{lineno}: duplicate metric {name}")
+        samples[name] = value
+    return samples
+
+
+def fmt(value):
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def diff(before, after, ignore_patterns, fail_on_decrease,
+         out=sys.stdout):
+    def kept(name):
+        return not any(p.search(name) for p in ignore_patterns)
+
+    added = sorted(n for n in after if n not in before and kept(n))
+    removed = sorted(n for n in before if n not in after and kept(n))
+    changed = sorted(
+        n for n in before
+        if n in after and before[n] != after[n] and kept(n)
+    )
+
+    for name in added:
+        print(f"+ {name} {fmt(after[name])}", file=out)
+    for name in removed:
+        print(f"- {name} {fmt(before[name])}", file=out)
+    decreases = []
+    for name in changed:
+        delta = after[name] - before[name]
+        sign = "+" if delta >= 0 else ""
+        print(
+            f"~ {name} {fmt(before[name])} -> {fmt(after[name])} "
+            f"({sign}{fmt(delta)})",
+            file=out,
+        )
+        if name.endswith("_total") and delta < 0:
+            decreases.append(name)
+
+    total = len(added) + len(removed) + len(changed)
+    print(
+        f"metrics_diff: {len(added)} added, {len(removed)} removed, "
+        f"{len(changed)} changed",
+        file=out,
+    )
+    if fail_on_decrease and decreases:
+        for name in decreases:
+            print(
+                f"metrics_diff: counter {name} decreased "
+                f"({fmt(before[name])} -> {fmt(after[name])})",
+                file=out,
+            )
+        return 1
+    if fail_on_decrease:
+        return 0
+    return 1 if total else 0
+
+
+def run(before_path, after_path, ignore_patterns, fail_on_decrease):
+    errors = []
+    texts = []
+    for path in (before_path, after_path):
+        try:
+            with open(path, encoding="utf-8") as f:
+                texts.append(f.read())
+        except OSError as e:
+            print(f"metrics_diff: {e}", file=sys.stderr)
+            return 2
+    before = parse(before_path, texts[0], errors)
+    after = parse(after_path, texts[1], errors)
+    if errors:
+        for e in errors[:20]:
+            print(f"metrics_diff: {e}", file=sys.stderr)
+        return 2
+    return diff(before, after, ignore_patterns, fail_on_decrease)
+
+
+# --- self-test fixtures ----------------------------------------------------
+
+BEFORE_FIXTURE = """\
+# HELP payments_total Completed payments.
+# TYPE payments_total counter
+payments_total 10
+transport_reconnects_total 2
+queue_depth 5
+latency_ms_sum 12.5
+"""
+
+AFTER_FIXTURE = """\
+payments_total 15
+transport_reconnects_total 2
+queue_depth 3
+latency_ms_sum 99.25
+deposits_total 4
+"""
+
+DECREASE_FIXTURE = """\
+payments_total 7
+transport_reconnects_total 2
+queue_depth 3
+latency_ms_sum 99.25
+"""
+
+
+def self_test():
+    failures = 0
+
+    def check(desc, before_text, after_text, ignore, fail_on_decrease,
+              expected_exit, expect_in_output=(), expect_not_in=()):
+        nonlocal failures
+        errors = []
+        before = parse("<before>", before_text, errors)
+        after = parse("<after>", after_text, errors)
+        out = io.StringIO()
+        got = diff(before, after, [re.compile(p) for p in ignore],
+                   fail_on_decrease, out=out)
+        text = out.getvalue()
+        ok = got == expected_exit and not errors
+        for needle in expect_in_output:
+            ok = ok and needle in text
+        for needle in expect_not_in:
+            ok = ok and needle not in text
+        if not ok:
+            failures += 1
+            print(
+                f"metrics_diff: self-test FAILED: {desc}: "
+                f"exit {got} (wanted {expected_exit})",
+                file=sys.stderr,
+            )
+            sys.stderr.write(text)
+
+    check(
+        "added/removed/changed reported sorted with deltas",
+        BEFORE_FIXTURE, AFTER_FIXTURE, [], False, 1,
+        expect_in_output=[
+            "+ deposits_total 4",
+            "~ payments_total 10 -> 15 (+5)",
+            "~ queue_depth 5 -> 3 (-2)",
+            "3 changed",
+        ],
+    )
+    check(
+        "identical scrapes exit 0",
+        BEFORE_FIXTURE, BEFORE_FIXTURE, [], False, 0,
+        expect_in_output=["0 added, 0 removed, 0 changed"],
+    )
+    check(
+        "--ignore-regex drops noisy histograms",
+        BEFORE_FIXTURE, AFTER_FIXTURE, [r"_ms(_bucket|_sum|_count)?$"],
+        False, 1,
+        expect_not_in=["latency_ms_sum"],
+    )
+    check(
+        "--fail-on-decrease flags a shrinking counter",
+        BEFORE_FIXTURE, DECREASE_FIXTURE, [], True, 1,
+        expect_in_output=["counter payments_total decreased"],
+    )
+    check(
+        "--fail-on-decrease ignores gauge decreases",
+        BEFORE_FIXTURE, AFTER_FIXTURE, [], True, 0,
+    )
+
+    errors = []
+    parse("<bad>", "oops\nname 1 2\nname nan-ish-garbage-x\n", errors)
+    if len(errors) != 3:
+        failures += 1
+        print(
+            f"metrics_diff: self-test FAILED: parser errors: {errors}",
+            file=sys.stderr,
+        )
+
+    total = 6
+    status = "FAIL" if failures else "ok"
+    print(f"metrics_diff: self-test: {total - failures}/{total} [{status}]")
+    return 1 if failures else 0
+
+
+def main(argv):
+    paths = []
+    ignore_patterns = []
+    fail_on_decrease = False
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--self-test":
+            return self_test()
+        elif arg == "--fail-on-decrease":
+            fail_on_decrease = True
+        elif arg == "--ignore-regex":
+            i += 1
+            if i >= len(argv):
+                print("metrics_diff: --ignore-regex needs a value",
+                      file=sys.stderr)
+                return 2
+            ignore_patterns.append(re.compile(argv[i]))
+        elif arg.startswith("--ignore-regex="):
+            ignore_patterns.append(re.compile(arg.split("=", 1)[1]))
+        elif arg.startswith("-"):
+            print(f"metrics_diff: unknown flag {arg}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+        i += 1
+    if len(paths) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    return run(paths[0], paths[1], ignore_patterns, fail_on_decrease)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv[1:]))
+    except BrokenPipeError:  # e.g. `metrics_diff ... | head`
+        sys.exit(0)

@@ -2,7 +2,8 @@
 """Schema check for the JSONL traces written by the obs layer.
 
 Usage:
-  tools/trace_lint.py TRACE_payment.jsonl [--require-phases a,b,c]
+  tools/trace_lint.py TRACE_payment.jsonl [--require-phases a,b,c] [--stitch]
+  tools/trace_lint.py --self-test
 
 Validates every line against the record schemas emitted by
 src/obs/trace.cpp and enforces the cross-record invariants a consumer
@@ -14,15 +15,32 @@ src/obs/trace.cpp and enforces the cross-record invariants a consumer
   * events carry trace/span ids, a timestamp and a name;
   * span ids are unique across the file;
   * every record's trace id is positive (0 means "untraced" and must never
-    be exported).
+    be exported);
+  * meta records may carry free-form context, but the well-known fields
+    written by TraceSink::set_meta are type-checked when present:
+    "transport" must be a string, "hardware_threads" a non-negative int.
 
 With --require-phases, additionally checks that at least one span exists
 for each named phase — the end-to-end "the trace covers every protocol
 phase" acceptance gate in CI.
 
+With --stitch, additionally checks the cross-node parent/child structure
+that wall-clock traces over real TCP must satisfy (the wire trace
+envelope restores parent context on the receiving node):
+
+  * every span with parent != 0 has its parent span in the same file;
+  * parent and child agree on the trace id;
+  * a child never starts measurably before its parent
+    (child.start_ms >= parent.start_ms - epsilon; --stitch-epsilon-ms,
+    default 1.0, absorbs cross-thread clock reads on the same host).
+
+--self-test runs the linter against embedded known-good and known-bad
+fixtures and exits 0 only if every fixture produces the expected verdict.
+
 Exit status: 0 clean, 1 validation errors, 2 usage/IO errors.
 """
 
+import io
 import json
 import sys
 
@@ -45,6 +63,13 @@ EVENT_FIELDS = {
     "name": str,
     "detail": str,
 }
+# Fields TraceSink::set_meta emits.  Meta records stay open-ended (the
+# chaos-artifact dump adds seed/schedule keys), but when these appear
+# they must have the documented types.
+META_KNOWN_FIELDS = {
+    "transport": str,
+    "hardware_threads": int,
+}
 
 
 def check_fields(record, schema, lineno, errors):
@@ -62,18 +87,48 @@ def check_fields(record, schema, lineno, errors):
             errors.append(f"line {lineno}: unknown field '{key}'")
 
 
-def lint(path, require_phases):
+def check_stitching(span_records, epsilon_ms, errors):
+    """Parent/child structure checks over the whole file (--stitch)."""
+    by_id = {}
+    for lineno, record in span_records:
+        span_id = record.get("span")
+        if isinstance(span_id, int):
+            by_id[span_id] = (lineno, record)
+    for lineno, record in span_records:
+        parent = record.get("parent")
+        if not isinstance(parent, int) or parent == 0:
+            continue
+        if parent not in by_id:
+            errors.append(
+                f"line {lineno}: orphan span {record.get('span')} "
+                f"('{record.get('name')}'): parent {parent} not in file"
+            )
+            continue
+        _, parent_rec = by_id[parent]
+        if parent_rec.get("trace") != record.get("trace"):
+            errors.append(
+                f"line {lineno}: span {record.get('span')} trace id "
+                f"{record.get('trace')} != parent's {parent_rec.get('trace')}"
+            )
+        child_start = record.get("start_ms")
+        parent_start = parent_rec.get("start_ms")
+        if isinstance(child_start, (int, float)) and isinstance(
+            parent_start, (int, float)
+        ):
+            if child_start < parent_start - epsilon_ms:
+                errors.append(
+                    f"line {lineno}: span {record.get('span')} starts "
+                    f"{parent_start - child_start:.3f}ms before its parent"
+                )
+
+
+def lint_lines(path, lines, require_phases, stitch, epsilon_ms,
+               out=sys.stdout, err=sys.stderr):
     errors = []
     seen_span_ids = set()
     phases_seen = set()
+    span_records = []
     spans = events = 0
-
-    try:
-        with open(path, encoding="utf-8") as f:
-            lines = f.read().splitlines()
-    except OSError as e:
-        print(f"trace_lint: {e}", file=sys.stderr)
-        return 2
 
     for lineno, line in enumerate(lines, start=1):
         if not line.strip():
@@ -91,6 +146,7 @@ def lint(path, require_phases):
         if kind == "span":
             spans += 1
             check_fields(record, SPAN_FIELDS, lineno, errors)
+            span_records.append((lineno, record))
             if isinstance(record.get("span"), int):
                 if record["span"] in seen_span_ids:
                     errors.append(
@@ -110,9 +166,20 @@ def lint(path, require_phases):
             events += 1
             check_fields(record, EVENT_FIELDS, lineno, errors)
         elif kind == "meta":
-            # Free-form context record (seed, schedule name) prepended by
-            # the chaos-artifact dump; only the kind tag is mandatory.
-            pass
+            # Free-form context record (seed, schedule name, transport
+            # kind).  Only the kind tag is mandatory, but the well-known
+            # fields must have the documented types when present.
+            for key, types in META_KNOWN_FIELDS.items():
+                if key in record and not isinstance(record[key], types):
+                    errors.append(
+                        f"line {lineno}: meta field '{key}' has type "
+                        f"{type(record[key]).__name__}"
+                    )
+            if isinstance(record.get("hardware_threads"), int):
+                if record["hardware_threads"] < 0:
+                    errors.append(
+                        f"line {lineno}: negative hardware_threads"
+                    )
         else:
             errors.append(f"line {lineno}: unknown kind {kind!r}")
             continue
@@ -120,32 +187,208 @@ def lint(path, require_phases):
         if kind != "meta" and isinstance(trace, int) and trace <= 0:
             errors.append(f"line {lineno}: non-positive trace id {trace}")
 
+    if stitch:
+        check_stitching(span_records, epsilon_ms, errors)
+
     for phase in require_phases:
         if phase not in phases_seen:
             errors.append(f"required phase '{phase}' has no span")
 
-    for err in errors[:50]:
-        print(f"trace_lint: {path}: {err}", file=sys.stderr)
+    for e in errors[:50]:
+        print(f"trace_lint: {path}: {e}", file=err)
     if len(errors) > 50:
         print(
             f"trace_lint: {path}: ... and {len(errors) - 50} more",
-            file=sys.stderr,
+            file=err,
         )
     status = "FAIL" if errors else "ok"
     print(
         f"trace_lint: {path}: {spans} spans, {events} events, "
-        f"{len(errors)} error(s) [{status}]"
+        f"{len(errors)} error(s) [{status}]",
+        file=out,
     )
     return 1 if errors else 0
+
+
+def lint(path, require_phases, stitch, epsilon_ms):
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"trace_lint: {e}", file=sys.stderr)
+        return 2
+    return lint_lines(path, lines, require_phases, stitch, epsilon_ms)
+
+
+# --- self-test fixtures ----------------------------------------------------
+
+def _span(trace=1, span=1, parent=0, name="payment", node=0,
+          start=0.0, end=1.0, status="ok"):
+    return json.dumps({
+        "kind": "span", "trace": trace, "span": span, "parent": parent,
+        "name": name, "node": node, "start_ms": start, "end_ms": end,
+        "status": status,
+    })
+
+
+SELF_TESTS = [
+    # (description, lines, flags, expected exit)
+    (
+        "clean sim trace with meta",
+        [
+            '{"kind":"meta","transport":"sim","hardware_threads":8}',
+            _span(span=1, name="withdraw"),
+            _span(span=2, parent=1, name="assign_witness", start=0.1),
+            '{"kind":"event","trace":1,"span":1,"t_ms":0.5,'
+            '"name":"rpc.retry","detail":"x"}',
+        ],
+        {"stitch": True},
+        0,
+    ),
+    (
+        "stitched tcp trace covering phases",
+        [
+            '{"kind":"meta","transport":"tcp","hardware_threads":4}',
+            _span(span=1, name="payment", start=0.0, end=9.0),
+            _span(span=2, parent=1, name="payment_commit", node=1,
+                  start=1.0, end=4.0),
+            _span(span=3, parent=2, name="witness_commit", node=2,
+                  start=1.5, end=3.0),
+        ],
+        {"stitch": True,
+         "require_phases": ["payment", "payment_commit", "witness_commit"]},
+        0,
+    ),
+    (
+        "orphan server span fails --stitch",
+        [
+            _span(span=1, name="payment"),
+            _span(span=7, parent=99, name="witness_commit", node=2),
+        ],
+        {"stitch": True},
+        1,
+    ),
+    (
+        "orphan passes without --stitch (schema-only mode)",
+        [
+            _span(span=1, name="payment"),
+            _span(span=7, parent=99, name="witness_commit", node=2),
+        ],
+        {},
+        0,
+    ),
+    (
+        "child starting before parent fails --stitch",
+        [
+            _span(span=1, name="payment", start=10.0, end=20.0),
+            _span(span=2, parent=1, name="payment_commit",
+                  start=2.0, end=12.0),
+        ],
+        {"stitch": True},
+        1,
+    ),
+    (
+        "child within epsilon of parent start is ok",
+        [
+            _span(span=1, name="payment", start=10.0, end=20.0),
+            _span(span=2, parent=1, name="payment_commit",
+                  start=9.5, end=12.0),
+        ],
+        {"stitch": True},
+        0,
+    ),
+    (
+        "trace id mismatch across parent link fails --stitch",
+        [
+            _span(trace=1, span=1, name="payment"),
+            _span(trace=2, span=2, parent=1, name="payment_commit"),
+        ],
+        {"stitch": True},
+        1,
+    ),
+    (
+        "meta with wrong transport type fails",
+        ['{"kind":"meta","transport":7}', _span()],
+        {},
+        1,
+    ),
+    (
+        "meta with wrong hardware_threads type fails",
+        ['{"kind":"meta","transport":"tcp","hardware_threads":"8"}', _span()],
+        {},
+        1,
+    ),
+    (
+        "free-form meta keys stay allowed",
+        ['{"kind":"meta","seed":1234,"schedule":"chaos-a"}', _span()],
+        {},
+        0,
+    ),
+    (
+        "missing required phase fails",
+        [_span(name="withdraw")],
+        {"require_phases": ["deposit"]},
+        1,
+    ),
+    (
+        "duplicate span id fails",
+        [_span(span=5), _span(span=5, start=2.0, end=3.0)],
+        {},
+        1,
+    ),
+    (
+        "end before start fails",
+        [_span(start=5.0, end=1.0)],
+        {},
+        1,
+    ),
+    (
+        "zero trace id fails",
+        [_span(trace=0)],
+        {},
+        1,
+    ),
+]
+
+
+def self_test():
+    failures = 0
+    for desc, lines, flags, expected in SELF_TESTS:
+        out, err = io.StringIO(), io.StringIO()
+        got = lint_lines(
+            f"<self-test: {desc}>", lines,
+            flags.get("require_phases", []),
+            flags.get("stitch", False),
+            flags.get("epsilon_ms", 1.0),
+            out=out, err=err,
+        )
+        if got != expected:
+            failures += 1
+            print(
+                f"trace_lint: self-test FAILED: {desc}: "
+                f"expected exit {expected}, got {got}",
+                file=sys.stderr,
+            )
+            sys.stderr.write(err.getvalue())
+    total = len(SELF_TESTS)
+    status = "FAIL" if failures else "ok"
+    print(f"trace_lint: self-test: {total - failures}/{total} [{status}]")
+    return 1 if failures else 0
 
 
 def main(argv):
     path = None
     require_phases = []
+    stitch = False
+    epsilon_ms = 1.0
     i = 0
     while i < len(argv):
         arg = argv[i]
-        if arg == "--require-phases":
+        if arg == "--self-test":
+            return self_test()
+        elif arg == "--stitch":
+            stitch = True
+        elif arg == "--require-phases":
             i += 1
             if i >= len(argv):
                 print("trace_lint: --require-phases needs a value",
@@ -156,6 +399,15 @@ def main(argv):
             require_phases += [
                 p for p in arg.split("=", 1)[1].split(",") if p
             ]
+        elif arg == "--stitch-epsilon-ms":
+            i += 1
+            if i >= len(argv):
+                print("trace_lint: --stitch-epsilon-ms needs a value",
+                      file=sys.stderr)
+                return 2
+            epsilon_ms = float(argv[i])
+        elif arg.startswith("--stitch-epsilon-ms="):
+            epsilon_ms = float(arg.split("=", 1)[1])
         elif arg.startswith("-"):
             print(f"trace_lint: unknown flag {arg}", file=sys.stderr)
             return 2
@@ -168,7 +420,7 @@ def main(argv):
     if path is None:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    return lint(path, require_phases)
+    return lint(path, require_phases, stitch, epsilon_ms)
 
 
 if __name__ == "__main__":
